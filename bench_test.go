@@ -1,0 +1,294 @@
+package xpe
+
+// One testing.B benchmark per experiment of DESIGN.md §3. The paper
+// (a theory paper) has no measured tables; each bench regenerates one of
+// its complexity claims — see EXPERIMENTS.md for the recorded shapes.
+// cmd/xpebench prints the same data as human-readable tables.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xpe/internal/core"
+	"xpe/internal/experiments"
+	"xpe/internal/gen"
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+	"xpe/internal/hre"
+	"xpe/internal/schema"
+	"xpe/internal/xpath"
+)
+
+func mustCompile(b *testing.B, names *ha.Names, src string) *core.CompiledQuery {
+	b.Helper()
+	cq, err := experiments.CompileQuery(names, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cq
+}
+
+// BenchmarkE1HREEvalLinear — Theorem 3 / §6: evaluating the e₁ side of a
+// selection query is linear in document size (ns/node roughly constant
+// across sub-benchmarks).
+func BenchmarkE1HREEvalLinear(b *testing.B) {
+	names := experiments.NewDocEnv()
+	cq := mustCompile(b, names, experiments.SelectQuery)
+	for _, n := range []int{1000, 10000, 100000} {
+		doc := gen.Document(gen.DefaultDocConfig(), n)
+		b.Run(fmt.Sprintf("nodes=%d", doc.Size()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cq.Select(doc)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(doc.Size()), "ns/node")
+		})
+	}
+}
+
+// BenchmarkE2PHREvalLinear — Algorithm 1 (§7): two depth-first traversals,
+// linear in document size.
+func BenchmarkE2PHREvalLinear(b *testing.B) {
+	names := experiments.NewDocEnv()
+	cq := mustCompile(b, names, experiments.SiblingQuery)
+	for _, n := range []int{1000, 10000, 100000} {
+		doc := gen.Document(gen.DefaultDocConfig(), n)
+		b.Run(fmt.Sprintf("nodes=%d", doc.Size()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cq.Select(doc)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(doc.Size()), "ns/node")
+		})
+	}
+}
+
+// BenchmarkE3Determinize — §6: compilation (determinization) is exponential
+// on the adversarial k-th-from-end family, flat on a typical family.
+func BenchmarkE3Determinize(b *testing.B) {
+	for _, k := range []int{2, 4, 6, 8, 10} {
+		b.Run(fmt.Sprintf("adversarial/k=%d", k), func(b *testing.B) {
+			states := 0
+			for i := 0; i < b.N; i++ {
+				names := ha.NewNames()
+				for _, s := range []string{"a", "b", "c", "r"} {
+					names.Syms.Intern(s)
+				}
+				c, err := core.CompilePHR(core.MustParsePHR(gen.KthFromEndPHR(k)), names)
+				if err != nil {
+					b.Fatal(err)
+				}
+				states = c.MaxComponentStates()
+			}
+			b.ReportMetric(float64(states), "dfa-states")
+		})
+		b.Run(fmt.Sprintf("typical/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				names := ha.NewNames()
+				names.Syms.Intern("c")
+				names.Syms.Intern("r")
+				if _, err := core.CompilePHR(core.MustParsePHR(gen.TypicalPHR(k)), names); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4TwoPassVsNaive — §7: Algorithm 1 vs per-node definitional
+// matching; the gap widens with document size.
+func BenchmarkE4TwoPassVsNaive(b *testing.B) {
+	names := experiments.NewDocEnv()
+	phr := core.MustParsePHR(experiments.SiblingQuery)
+	compiled, err := core.CompilePHR(phr, names)
+	if err != nil {
+		b.Fatal(err)
+	}
+	naive, err := core.NewNaiveMatcher(phr, names)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{300, 1000, 3000} {
+		doc := gen.Document(gen.DefaultDocConfig(), n)
+		b.Run(fmt.Sprintf("alg1/nodes=%d", doc.Size()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				compiled.Locate(doc)
+			}
+		})
+		b.Run(fmt.Sprintf("naive/nodes=%d", doc.Size()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := naive.LocateAll(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5Baselines — §1/§2: the PHR engine vs the XPath subset vs
+// classical path expressions on a 30k-node document.
+func BenchmarkE5Baselines(b *testing.B) {
+	names := experiments.NewDocEnv()
+	doc := gen.Document(gen.DefaultDocConfig(), 30000)
+	xdoc := xpath.NewDoc(doc)
+
+	vertical := mustCompile(b, names, experiments.PathQuery)
+	sibling := mustCompile(b, names, experiments.SiblingQuery)
+	xpVert := xpath.MustParse("/doc//figure")
+	xpSib := xpath.MustParse("//figure[following-sibling::*[1][self::table]]")
+
+	b.Run("vertical/phr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			vertical.Select(doc)
+		}
+	})
+	b.Run("vertical/xpath", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			xpVert.Select(xdoc)
+		}
+	})
+	b.Run("sibling/phr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sibling.Select(doc)
+		}
+	})
+	b.Run("sibling/xpath", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			xpSib.Select(xdoc)
+		}
+	})
+}
+
+// BenchmarkE6SchemaTransform — §8: select/delete output-schema
+// construction across input-grammar sizes.
+func BenchmarkE6SchemaTransform(b *testing.B) {
+	for _, k := range []int{1, 2, 3} {
+		names := ha.NewNames()
+		s, err := schema.ParseGrammar(experiments.LayeredGrammar(k), names)
+		if err != nil {
+			b.Fatal(err)
+		}
+		layers := "doc"
+		for i := 1; i <= k; i++ {
+			layers += fmt.Sprintf("|section%d", i)
+		}
+		cq, err := experiments.CompileQuery(names, fmt.Sprintf("figure (%s)*", layers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("select/layers=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := schema.TransformSelect(s, cq, schema.Subtrees); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("delete/layers=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := schema.TransformDelete(s, cq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE7HADeterminize — Theorem 1: hedge-automaton subset construction
+// on adversarial horizontal languages.
+func BenchmarkE7HADeterminize(b *testing.B) {
+	for _, k := range []int{2, 4, 6, 8} {
+		src := fmt.Sprintf("r<(a | b)* b%s>", repeat(" (a | b)", k-1))
+		e := hre.MustParse(src)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			states := 0
+			for i := 0; i < b.N; i++ {
+				names := ha.NewNames()
+				nha, err := hre.Compile(e, names)
+				if err != nil {
+					b.Fatal(err)
+				}
+				det := nha.Determinize()
+				for _, hz := range det.DHA.Horiz {
+					if hz != nil && hz.DFA.NumStates > states {
+						states = hz.DFA.NumStates
+					}
+				}
+			}
+			b.ReportMetric(float64(states), "horiz-dfa-states")
+		})
+	}
+}
+
+func repeat(s string, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		out += s
+	}
+	return out
+}
+
+// BenchmarkAblationMinimize — design-choice ablation (DESIGN.md §4):
+// minimizing the sibling membership DFAs costs compile time and saves
+// evaluation-time automaton size; this measures both configurations of
+// compile and evaluation on the sibling query.
+func BenchmarkAblationMinimize(b *testing.B) {
+	doc := gen.Document(gen.DefaultDocConfig(), 30000)
+	for _, cfg := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"minimized", core.Options{}},
+		{"unminimized", core.Options{SkipMinimize: true}},
+	} {
+		names := experiments.NewDocEnv()
+		phr := core.MustParsePHR(experiments.SiblingQuery)
+		compiled, err := core.CompilePHROpt(phr, names, cfg.opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("compile/"+cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				names2 := experiments.NewDocEnv()
+				if _, err := core.CompilePHROpt(core.MustParsePHR(experiments.SiblingQuery), names2, cfg.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("eval/"+cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				compiled.Locate(doc)
+			}
+			b.ReportMetric(float64(compiled.MaxComponentStates()), "dfa-states")
+		})
+	}
+}
+
+// BenchmarkE8PointedAlgebra — Figures 1–2: pointed-hedge product and
+// decomposition throughput.
+func BenchmarkE8PointedAlgebra(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := hedge.DefaultRandConfig()
+	us := make([]hedge.Hedge, 64)
+	vs := make([]hedge.Hedge, 64)
+	for i := range us {
+		us[i] = hedge.RandomPointed(rng, cfg)
+		vs[i] = hedge.RandomPointed(rng, cfg)
+	}
+	b.Run("product", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hedge.Product(us[i%64], vs[i%64]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	prods := make([]hedge.Hedge, 64)
+	for i := range prods {
+		prods[i] = hedge.MustProduct(us[i], vs[i])
+	}
+	b.Run("decompose", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hedge.Decompose(prods[i%64]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,57 @@
+// Command xpebench regenerates the reproduction's experiment tables (see
+// DESIGN.md §3 and EXPERIMENTS.md): one table per complexity claim or
+// construction of the paper.
+//
+// Usage:
+//
+//	xpebench [-experiment all|E1|E2|...] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xpe/internal/experiments"
+)
+
+func main() {
+	which := flag.String("experiment", "all", "experiment id (E1..E8) or 'all'")
+	quick := flag.Bool("quick", false, "smaller sizes for a fast run")
+	flag.Parse()
+
+	fns := map[string]func(bool) (*experiments.Table, error){
+		"E1": experiments.E1, "E2": experiments.E2, "E3": experiments.E3,
+		"E4": experiments.E4, "E5": experiments.E5, "E6": experiments.E6,
+		"E7": experiments.E7, "E8": experiments.E8,
+	}
+	var tables []*experiments.Table
+	if *which == "all" {
+		ts, err := experiments.All(*quick)
+		if err != nil {
+			fatal(err)
+		}
+		tables = ts
+	} else {
+		fn, ok := fns[strings.ToUpper(*which)]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q", *which))
+		}
+		t, err := fn(*quick)
+		if err != nil {
+			fatal(err)
+		}
+		tables = append(tables, t)
+	}
+	var b strings.Builder
+	for _, t := range tables {
+		t.Render(&b)
+	}
+	fmt.Print(b.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xpebench:", err)
+	os.Exit(1)
+}

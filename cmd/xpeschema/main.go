@@ -1,0 +1,120 @@
+// Command xpeschema performs schema transformation (Section 8 of the
+// paper): given an input grammar and a selection query, it builds the
+// output schema of the query (select) or of deleting the located nodes
+// (delete), then reports the output automaton's size, example members, and
+// optional membership checks.
+//
+// Usage:
+//
+//	xpeschema -grammar g.txt -query 'fig sec* [* ; doc ; *]' \
+//	          [-op select|delete] [-shape subtree|subhedge] \
+//	          [-check 'term' ...] [-samples N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"xpe"
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+	"xpe/internal/schema"
+)
+
+func main() {
+	grammarPath := flag.String("grammar", "", "input grammar file (required)")
+	query := flag.String("query", "", "selection query (required)")
+	op := flag.String("op", "select", "operation: select or delete")
+	shape := flag.String("shape", "subtree", "select result shape: subtree or subhedge")
+	samples := flag.Int("samples", 3, "number of example members to print")
+	emit := flag.Bool("emit", false, "emit the output schema as grammar text")
+	var checks multiFlag
+	flag.Var(&checks, "check", "term-syntax hedge to test against the output schema (repeatable)")
+	flag.Parse()
+	if *grammarPath == "" || *query == "" {
+		fmt.Fprintln(os.Stderr, "xpeschema: -grammar and -query are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(*grammarPath)
+	if err != nil {
+		fatal(err)
+	}
+	eng := xpe.NewEngine()
+	sch, err := eng.ParseSchema(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	q, err := eng.CompileQuery(*query)
+	if err != nil {
+		fatal(err)
+	}
+
+	var out *xpe.Schema
+	switch *op {
+	case "select":
+		s := xpe.Subtrees
+		if *shape == "subhedge" {
+			s = xpe.Subhedges
+		} else if *shape != "subtree" {
+			fatal(fmt.Errorf("unknown shape %q", *shape))
+		}
+		out, err = sch.TransformSelect(q, s)
+	case "delete":
+		out, err = sch.TransformDelete(q)
+	default:
+		err = fmt.Errorf("unknown op %q", *op)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	und := out.Underlying()
+	if *emit {
+		text, err := schema.ToGrammar(und)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(text)
+		return
+	}
+	fmt.Printf("input schema:  %d det. states\n", sch.Underlying().DHA.NumStates)
+	fmt.Printf("output schema: %d nondet. states, %d rules, %d det. states\n",
+		und.NHA.NumStates, len(und.NHA.Rules), und.DHA.NumStates)
+
+	if w, ok := und.DHA.SomeHedge(); ok {
+		fmt.Printf("witness:       %s\n", w)
+		sampler, ok := ha.NewSampler(und.DHA, rand.New(rand.NewSource(1)))
+		if ok {
+			for i := 0; i < *samples; i++ {
+				if m, ok := sampler.Sample(4); ok {
+					fmt.Printf("member:        %s\n", m)
+				}
+			}
+		}
+	} else {
+		fmt.Println("output language is EMPTY")
+	}
+
+	for _, c := range checks {
+		h, err := hedge.Parse(c)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("check %-30q ∈ output? %v\n", c, out.ValidateHedge(h))
+	}
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xpeschema:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,94 @@
+// Command xpeselect runs a selection query against an XML document and
+// prints the located nodes.
+//
+// Usage:
+//
+//	xpeselect -query 'fig sec* [* ; doc ; *]' [-format paths|term|xml] [file.xml]
+//
+// With no file argument the document is read from standard input. Query
+// syntax is documented on xpe.Engine.CompileQuery.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"xpe"
+	"xpe/internal/hedge"
+	"xpe/internal/xmlhedge"
+)
+
+func main() {
+	query := flag.String("query", "", "selection query")
+	xpathQ := flag.String("xpath", "", "XPath location path (translated to a selection query)")
+	format := flag.String("format", "paths", "output format: paths, term, or xml")
+	term := flag.Bool("term", false, "input is in term syntax rather than XML")
+	flag.Parse()
+	if (*query == "") == (*xpathQ == "") {
+		fmt.Fprintln(os.Stderr, "xpeselect: exactly one of -query or -xpath is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var input io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		input = f
+	}
+
+	eng := xpe.NewEngine()
+	var doc *xpe.Document
+	var err error
+	if *term {
+		data, rerr := io.ReadAll(input)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		doc, err = eng.ParseTerm(string(data))
+	} else {
+		doc, err = eng.ParseXML(input)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	var q *xpe.Query
+	if *xpathQ != "" {
+		q, err = eng.CompileXPath(*xpathQ)
+	} else {
+		q, err = eng.CompileQuery(*query)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	matches := q.Select(doc)
+	for _, m := range matches {
+		switch *format {
+		case "paths":
+			fmt.Println(m.Path)
+		case "term":
+			fmt.Printf("%s\t%s\n", m.Path, m.Term)
+		case "xml":
+			s, err := xmlhedge.ToString(hedge.Hedge{m.Node})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s\t%s\n", m.Path, s)
+		default:
+			fatal(fmt.Errorf("unknown format %q", *format))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "xpeselect: %d node(s) located\n", len(matches))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xpeselect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+package xpe_test
+
+import (
+	"fmt"
+
+	"xpe"
+)
+
+// The introduction's motivating query: figures whose immediately following
+// sibling is a table.
+func Example() {
+	eng := xpe.NewEngine()
+	doc, _ := eng.ParseXMLString("<doc><sec><fig/><tab/><fig/></sec></doc>")
+	q, _ := eng.CompileQuery("[* ; fig ; tab .] (sec|doc)*")
+	for _, m := range q.Select(doc) {
+		fmt.Println(m.Path, m.Term)
+	}
+	// Output: 1.1.1 fig
+}
+
+func ExampleEngine_CompileQuery() {
+	eng := xpe.NewEngine()
+	doc, _ := eng.ParseTerm("doc<sec<fig> sec<par> fig>")
+	// Classical path expression: figures under any chain of secs under doc
+	// (bases read from the node's level up to the top).
+	q, _ := eng.CompileQuery("fig sec* [* ; doc ; *]")
+	for _, m := range q.Select(doc) {
+		fmt.Println(m.Path)
+	}
+	// Output:
+	// 1.1.1
+	// 1.3
+}
+
+func ExampleEngine_CompileXPath() {
+	eng := xpe.NewEngine()
+	doc, _ := eng.ParseXMLString("<doc><fig/><tab/><fig/></doc>")
+	q, _ := eng.CompileXPath("//fig[following-sibling::*[1][self::tab]]")
+	fmt.Println(len(q.Select(doc)))
+	// Output: 1
+}
+
+func ExampleQuery_SelectBindings() {
+	eng := xpe.NewEngine()
+	doc, _ := eng.ParseTerm("doc<sec<fig>>")
+	q, _ := eng.CompileQuery("fig sec@s* [* ; doc ; *]@d")
+	for _, m := range q.SelectBindings(doc) {
+		for _, b := range m.Bindings {
+			fmt.Println(b.Name, b.Path)
+		}
+	}
+	// Output:
+	// d 1
+	// s 1.1
+}
+
+func ExampleQuery_Delete() {
+	eng := xpe.NewEngine()
+	doc, _ := eng.ParseTerm("doc<sec<fig par> fig>")
+	q, _ := eng.CompileQuery("fig (sec|doc)*")
+	fmt.Println(q.Delete(doc).Term())
+	// Output: doc<sec<par>>
+}
+
+func ExampleSchema_TransformSelect() {
+	eng := xpe.NewEngine()
+	sch, _ := eng.ParseSchema(`
+start = doc
+element doc { sec* }
+element sec { (fig | par)* }
+element fig { empty }
+element par { text* }
+`)
+	q, _ := eng.CompileQuery("select(fig*; [* ; sec ; *] doc)")
+	out, _ := sch.TransformSelect(q, xpe.Subtrees)
+	member, _ := eng.ParseTerm("sec<fig fig>")
+	nonMember, _ := eng.ParseTerm("sec<par>")
+	fmt.Println(out.Validate(member), out.Validate(nonMember))
+	// Output: true false
+}
+
+func ExampleQuery_UniqueBindings() {
+	eng := xpe.NewEngine()
+	ok, _ := eng.CompileQuery("fig sec@s* [* ; doc ; *]")
+	dup, _ := eng.CompileQuery("fig (sec@a | sec@b) [* ; doc ; *]")
+	fmt.Println(ok.UniqueBindings(), dup.UniqueBindings())
+	// Output: true false
+}

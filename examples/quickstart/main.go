@@ -1,0 +1,53 @@
+// Quickstart: locate figures whose immediately following sibling is a
+// table — the motivating example from the paper's introduction, which
+// classical path expressions cannot express.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xpe"
+)
+
+func main() {
+	eng := xpe.NewEngine()
+
+	doc, err := eng.ParseXMLString(`
+<article>
+  <section>
+    <figure/>
+    <table/>
+    <figure/>
+    <para>text</para>
+  </section>
+  <section>
+    <figure/>
+  </section>
+</article>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("document:", doc.Term())
+
+	// A pointed hedge representation reads from the node's own level up to
+	// the top: the figure's younger siblings start with a table; every
+	// ancestor level is unconstrained section/article.
+	q, err := eng.CompileQuery("[* ; figure ; table .] (section|article)*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("query:   ", q)
+
+	for _, m := range q.Select(doc) {
+		fmt.Printf("located: %-8s %s\n", m.Path, m.Term)
+	}
+
+	// Classical path expressions are the special case with unconstrained
+	// sibling sides: all figures under section chains.
+	all, err := eng.CompileQuery("figure section* [* ; article ; *]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("all figures under sections: %d\n", len(all.Select(doc)))
+}

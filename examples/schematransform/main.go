@@ -1,0 +1,72 @@
+// Schematransform: Section 8 end-to-end — given an input grammar and a
+// selection query, compute the output schema of the query's results and of
+// deleting the located nodes, then demonstrate both on documents.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xpe"
+)
+
+const grammar = `
+start = doc
+element doc { (section | para)* }
+element section { (section | figure | para)* }
+element figure { empty }
+element para { text* }
+`
+
+func main() {
+	eng := xpe.NewEngine()
+	sch, err := eng.ParseSchema(grammar)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sections that contain only figures.
+	q, err := eng.CompileQuery("select(figure*; [* ; section ; *] (section|doc)*)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("input grammar:", "doc{(section|para)*}, section{(section|figure|para)*}, ...")
+	fmt.Println("query:        ", q)
+
+	selOut, err := sch.TransformSelect(q, xpe.Subtrees)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nselect output schema (subtree shape) — membership checks:")
+	for _, term := range []string{
+		"section",
+		"section<figure figure>",
+		"section<para>",
+		"section<section<figure>>",
+		"doc",
+	} {
+		d, err := eng.ParseTerm(term)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s ∈ output? %v\n", term, selOut.Validate(d))
+	}
+
+	delOut, err := sch.TransformDelete(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndelete transformation on documents:")
+	for _, term := range []string{
+		"doc<section<figure figure> para>",
+		"doc<section<figure para> section<figure>>",
+	} {
+		d, err := eng.ParseTerm(term)
+		if err != nil {
+			log.Fatal(err)
+		}
+		deleted := q.Delete(d)
+		fmt.Printf("  %-44s → %-30s (in: %v, out-schema: %v)\n",
+			term, deleted.Term(), sch.Validate(d), delOut.Validate(deleted))
+	}
+}

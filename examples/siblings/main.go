@@ -1,0 +1,78 @@
+// Siblings: a walkthrough of the paper's formal machinery on its own
+// worked examples — pointed hedges, the product ⊕ (Figure 1), the unique
+// decomposition into pointed base hedges (Figure 2), and the Section 5/6
+// selection examples.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xpe"
+	"xpe/internal/hedge"
+)
+
+func main() {
+	// Figure 1: (a⟨x⟩b⟨η⟩) ⊕ (a⟨x⟩b⟨c⟨η⟩y⟩).
+	u := hedge.MustParse("a<$x> b<@>")
+	v := hedge.MustParse("a<$x> b<c<@> $y>")
+	prod, err := hedge.Product(u, v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("u          =", u)
+	fmt.Println("v          =", v)
+	fmt.Println("u ⊕ v      =", prod)
+
+	// Figure 2: decomposition of v, bottom-to-top.
+	bases, err := hedge.Decompose(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("decompose v:")
+	for i, b := range bases {
+		fmt.Printf("  base %d   = %s\n", i+1, b)
+	}
+
+	// Section 5: (a⟨z⟩*^z, b, a⟨z⟩*^z)* locates b-labeled nodes all of
+	// whose ancestors are b while every other node is a.
+	eng := xpe.NewEngine()
+	q, err := eng.CompileQuery("[a<~z>*^z ; b ; a<~z>*^z]*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, term := range []string{
+		"a b<a b<a>> a", // both b nodes qualify
+		"a b<b> b",      // the younger sibling b disqualifies everything
+	} {
+		doc, err := eng.ParseTerm(term)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s on %q locates:", q, term)
+		ms := q.Select(doc)
+		if len(ms) == 0 {
+			fmt.Print(" nothing")
+		}
+		for _, m := range ms {
+			fmt.Printf(" %s", m.Path)
+		}
+		fmt.Println()
+	}
+
+	// Section 6: select((b|x)*, (ε,a,b)(b,a,ε)) on ba⟨a⟨bx⟩b⟩ locates the
+	// first second-level node of the second top-level node.
+	doc, err := eng.ParseTerm("b a<a<b $x> b>")
+	if err != nil {
+		log.Fatal(err)
+	}
+	q6, err := eng.CompileQuery("select((b | $x)*; [() ; a ; b] [b ; a ; ()])")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s on %q locates:", q6, doc.Term())
+	for _, m := range q6.Select(doc) {
+		fmt.Printf(" %s (%s)", m.Path, m.Term)
+	}
+	fmt.Println()
+}

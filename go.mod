@@ -1,0 +1,3 @@
+module xpe
+
+go 1.22

@@ -1,0 +1,137 @@
+package xpe
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xpe/internal/gen"
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+)
+
+// TestIntegrationPipeline runs the whole library surface end-to-end: parse
+// XML, validate against a schema, query with sibling conditions, extract
+// bindings, delete, rename, and check every artifact against transformed
+// schemas.
+func TestIntegrationPipeline(t *testing.T) {
+	eng := NewEngine()
+	sch, err := eng.ParseSchema(gen.DocGrammar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := eng.ParseXMLString(`
+<doc>
+  <section>
+    <figure/><table/>
+    <section><figure/><para>deep</para></section>
+  </section>
+  <section><para>flat</para></section>
+</doc>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sch.Validate(doc) {
+		t.Fatal("document must conform to the generator grammar")
+	}
+
+	// Sibling-aware selection.
+	q, err := eng.CompileQuery("[* ; figure ; table .] (section|doc)*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := q.Select(doc)
+	if len(ms) != 1 || ms[0].Path != "1.1.1" {
+		t.Fatalf("matches = %v", ms)
+	}
+
+	// XPath agreement on the same query.
+	xq, err := eng.CompileXPath("//figure[following-sibling::*[1][self::table]]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xms := xq.Select(doc)
+	if len(xms) != 1 || xms[0].Path != ms[0].Path {
+		t.Fatalf("xpath matches = %v", xms)
+	}
+
+	// Bindings.
+	qb, err := eng.CompileQuery("figure section@s* [* ; doc ; *]@d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qb.UniqueBindings() {
+		t.Fatal("bindings should be unique")
+	}
+	bms := qb.SelectBindings(doc)
+	if len(bms) != 2 {
+		t.Fatalf("bound matches = %v", bms)
+	}
+
+	// Delete all figures; the result must conform to the delete-transformed
+	// schema and contain no figures.
+	qAllFigs, err := eng.CompileQuery("figure section* [* ; doc ; *]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	delSchema, err := sch.TransformDelete(qAllFigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleted := qAllFigs.Delete(doc)
+	if strings.Contains(deleted.Term(), "figure") {
+		t.Fatalf("figures survived deletion: %s", deleted.Term())
+	}
+	if !delSchema.Validate(deleted) {
+		t.Fatal("deleted document must conform to the delete output schema")
+	}
+
+	// Rename tables; validate against the rename-transformed schema.
+	qTables, err := eng.CompileQuery("table (section|doc)*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	renSchema, err := sch.TransformRename(qTables, "grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed := qTables.Rename(doc, "grid")
+	if !strings.Contains(renamed.Term(), "grid") {
+		t.Fatalf("rename did not apply: %s", renamed.Term())
+	}
+	if !renSchema.Validate(renamed) {
+		t.Fatal("renamed document must conform to the rename output schema")
+	}
+
+	// Select output schema contains every selected subtree, across sampled
+	// documents from the schema.
+	selSchema, err := sch.TransformSelect(qAllFigs, Subtrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler, ok := ha.NewSampler(sch.Underlying().DHA, rand.New(rand.NewSource(5)))
+	if !ok {
+		t.Fatal("schema empty")
+	}
+	for i := 0; i < 20; i++ {
+		h, ok := sampler.Sample(4)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		d := eng.FromHedge(h)
+		for _, m := range qAllFigs.Select(d) {
+			if !selSchema.ValidateHedge(hedge.Hedge{m.Node}) {
+				t.Fatal("selected subtree outside output schema")
+			}
+		}
+	}
+
+	// Round trip back to XML.
+	out, err := deleted.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "figure") {
+		t.Fatalf("xml still mentions figures: %s", out)
+	}
+}

@@ -1,0 +1,142 @@
+// Package alphabet provides symbol interning shared by every automaton in
+// the repository. All automata — string automata over hedge-automaton state
+// sets, hedge automata over XML element names, the string automaton N of
+// Theorem 4 — run over dense int symbols; an Interner maps external names to
+// those symbols and back.
+package alphabet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Symbol is a dense interned identifier. Valid symbols are non-negative;
+// None marks the absence of a symbol.
+type Symbol = int
+
+// None is the invalid symbol.
+const None Symbol = -1
+
+// Interner assigns dense Symbols to names. The zero value is ready to use.
+type Interner struct {
+	names []string
+	ids   map[string]Symbol
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]Symbol)}
+}
+
+// Intern returns the symbol for name, assigning a fresh one if needed.
+func (in *Interner) Intern(name string) Symbol {
+	if in.ids == nil {
+		in.ids = make(map[string]Symbol)
+	}
+	if s, ok := in.ids[name]; ok {
+		return s
+	}
+	s := Symbol(len(in.names))
+	in.names = append(in.names, name)
+	in.ids[name] = s
+	return s
+}
+
+// Lookup returns the symbol for name, or None if it was never interned.
+func (in *Interner) Lookup(name string) Symbol {
+	if in.ids == nil {
+		return None
+	}
+	if s, ok := in.ids[name]; ok {
+		return s
+	}
+	return None
+}
+
+// Name returns the name of s, or a diagnostic placeholder for unknown
+// symbols.
+func (in *Interner) Name(s Symbol) string {
+	if s < 0 || s >= len(in.names) {
+		return fmt.Sprintf("<sym:%d>", s)
+	}
+	return in.names[s]
+}
+
+// Len reports the number of interned symbols.
+func (in *Interner) Len() int { return len(in.names) }
+
+// Names returns a copy of all interned names, in symbol order.
+func (in *Interner) Names() []string {
+	out := make([]string, len(in.names))
+	copy(out, in.names)
+	return out
+}
+
+// SortedNames returns all interned names in lexicographic order.
+func (in *Interner) SortedNames() []string {
+	out := in.Names()
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns an independent copy of the interner.
+func (in *Interner) Clone() *Interner {
+	c := NewInterner()
+	for _, n := range in.names {
+		c.Intern(n)
+	}
+	return c
+}
+
+// TupleInterner assigns dense ids to int tuples. It is used to realize
+// product constructions (composite hedge-automaton states, equivalence
+// classes of Theorem 4) with dense state numbering.
+type TupleInterner struct {
+	tuples [][]int
+	ids    map[string]int
+}
+
+// NewTupleInterner returns an empty tuple interner.
+func NewTupleInterner() *TupleInterner {
+	return &TupleInterner{ids: make(map[string]int)}
+}
+
+func tupleKey(t []int) string {
+	// Fixed-width little-endian encoding; tuples are short, so this is
+	// cheap and collision-free.
+	b := make([]byte, 0, len(t)*4)
+	for _, v := range t {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// Intern returns the id for tuple t, assigning a fresh one if needed. The
+// tuple is copied; the caller may reuse t.
+func (ti *TupleInterner) Intern(t []int) int {
+	k := tupleKey(t)
+	if id, ok := ti.ids[k]; ok {
+		return id
+	}
+	id := len(ti.tuples)
+	cp := make([]int, len(t))
+	copy(cp, t)
+	ti.tuples = append(ti.tuples, cp)
+	ti.ids[k] = id
+	return id
+}
+
+// Lookup returns the id of t, or -1 if t was never interned.
+func (ti *TupleInterner) Lookup(t []int) int {
+	if id, ok := ti.ids[tupleKey(t)]; ok {
+		return id
+	}
+	return -1
+}
+
+// Tuple returns the tuple with the given id. The returned slice must not be
+// modified.
+func (ti *TupleInterner) Tuple(id int) []int { return ti.tuples[id] }
+
+// Len reports the number of interned tuples.
+func (ti *TupleInterner) Len() int { return len(ti.tuples) }

@@ -1,0 +1,151 @@
+package alphabet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInternerBasics(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("a")
+	b := in.Intern("b")
+	if a == b {
+		t.Fatal("distinct names must get distinct symbols")
+	}
+	if in.Intern("a") != a {
+		t.Fatal("interning is not idempotent")
+	}
+	if in.Lookup("a") != a || in.Lookup("zzz") != None {
+		t.Fatal("lookup wrong")
+	}
+	if in.Name(a) != "a" || in.Name(b) != "b" {
+		t.Fatal("name wrong")
+	}
+	if in.Len() != 2 {
+		t.Fatalf("Len = %d", in.Len())
+	}
+	if got := in.Name(99); got == "" {
+		t.Fatal("unknown symbols should render a placeholder")
+	}
+}
+
+func TestInternerZeroValue(t *testing.T) {
+	var in Interner
+	if in.Lookup("x") != None {
+		t.Fatal("zero-value lookup should miss")
+	}
+	s := in.Intern("x")
+	if in.Lookup("x") != s {
+		t.Fatal("zero-value intern broken")
+	}
+}
+
+func TestInternerCloneAndNames(t *testing.T) {
+	in := NewInterner()
+	in.Intern("b")
+	in.Intern("a")
+	c := in.Clone()
+	c.Intern("z")
+	if in.Len() != 2 || c.Len() != 3 {
+		t.Fatal("clone not independent")
+	}
+	names := in.Names()
+	if names[0] != "b" || names[1] != "a" {
+		t.Fatalf("Names = %v", names)
+	}
+	sorted := in.SortedNames()
+	if sorted[0] != "a" || sorted[1] != "b" {
+		t.Fatalf("SortedNames = %v", sorted)
+	}
+}
+
+func TestInternerDense(t *testing.T) {
+	in := NewInterner()
+	f := func(names []string) bool {
+		for _, n := range names {
+			s := in.Intern(n)
+			if s < 0 || s >= in.Len() {
+				return false
+			}
+			if in.Name(s) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTupleInterner(t *testing.T) {
+	ti := NewTupleInterner()
+	a := ti.Intern([]int{1, 2, 3})
+	b := ti.Intern([]int{1, 2, 4})
+	if a == b {
+		t.Fatal("distinct tuples must get distinct ids")
+	}
+	if ti.Intern([]int{1, 2, 3}) != a {
+		t.Fatal("interning is not idempotent")
+	}
+	if ti.Lookup([]int{1, 2, 3}) != a || ti.Lookup([]int{9}) != -1 {
+		t.Fatal("lookup wrong")
+	}
+	got := ti.Tuple(a)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("Tuple = %v", got)
+	}
+	// The stored tuple must be a copy.
+	src := []int{7, 7}
+	id := ti.Intern(src)
+	src[0] = 99
+	if ti.Tuple(id)[0] != 7 {
+		t.Fatal("tuple not copied")
+	}
+	if ti.Len() != 3 {
+		t.Fatalf("Len = %d", ti.Len())
+	}
+}
+
+func TestTupleInternerEmptyAndNegative(t *testing.T) {
+	ti := NewTupleInterner()
+	e := ti.Intern(nil)
+	if ti.Lookup([]int{}) != e {
+		t.Fatal("nil and empty tuples must coincide")
+	}
+	n := ti.Intern([]int{-1, -2})
+	if ti.Lookup([]int{-1, -2}) != n {
+		t.Fatal("negative components must round trip")
+	}
+	if ti.Lookup([]int{-1}) == n {
+		t.Fatal("prefix must not collide")
+	}
+}
+
+func TestTupleInternerQuick(t *testing.T) {
+	ti := NewTupleInterner()
+	f := func(a, b []int16) bool {
+		ta := make([]int, len(a))
+		for i, v := range a {
+			ta[i] = int(v)
+		}
+		tb := make([]int, len(b))
+		for i, v := range b {
+			tb[i] = int(v)
+		}
+		ia, ib := ti.Intern(ta), ti.Intern(tb)
+		equal := len(ta) == len(tb)
+		if equal {
+			for i := range ta {
+				if ta[i] != tb[i] {
+					equal = false
+					break
+				}
+			}
+		}
+		return (ia == ib) == equal
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,275 @@
+// Package caterpillar implements caterpillar expressions, the context
+// specification technique of Brüggemann-Klein and Wood that the paper's
+// related-work section (§2) compares against: regular expressions over
+// tree walks. A caterpillar atom either moves (up, down = first child,
+// left, right) or tests the current node (isroot, isleaf, isfirst, islast,
+// a label name, or text). A node is selected when some walk starting at it
+// spells a word of the expression's language.
+//
+// Caterpillars express many sibling- and ancestor-sensitive conditions
+// (e.g. "figure directly followed by a table" is `figure right table`) but
+// are incomparable with the paper's formalism in general; the package
+// exists as the third baseline of the E5 experiment family.
+//
+// Syntax: the sre regular-expression syntax whose symbols are the keywords
+// up, down, left, right, isroot, isleaf, isfirst, islast, text, or any
+// other name (a label test; quote labels colliding with keywords).
+package caterpillar
+
+import (
+	"fmt"
+
+	"xpe/internal/alphabet"
+	"xpe/internal/hedge"
+	"xpe/internal/sfa"
+	"xpe/internal/sre"
+)
+
+// Expr is a compiled caterpillar expression.
+type Expr struct {
+	src  string
+	in   *alphabet.Interner
+	nfa  *sfa.NFA
+	atom []atom // symbol id → atom meaning
+}
+
+type atomKind int
+
+const (
+	moveUp atomKind = iota
+	moveDown
+	moveLeft
+	moveRight
+	testRoot
+	testLeaf
+	testFirst
+	testLast
+	testText
+	testLabel
+)
+
+type atom struct {
+	kind  atomKind
+	label string // testLabel
+}
+
+var keywords = map[string]atomKind{
+	"up": moveUp, "down": moveDown, "left": moveLeft, "right": moveRight,
+	"isroot": testRoot, "isleaf": testLeaf, "isfirst": testFirst,
+	"islast": testLast, "text": testText,
+}
+
+// Parse compiles a caterpillar expression.
+func Parse(src string) (*Expr, error) {
+	e, err := sre.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range e.SymbolNames() {
+		if n == "" {
+			return nil, fmt.Errorf("caterpillar: empty atom")
+		}
+	}
+	in := alphabet.NewInterner()
+	nfa := e.CompileNFA(in)
+	atoms := make([]atom, in.Len())
+	for sym := 0; sym < in.Len(); sym++ {
+		name := in.Name(sym)
+		if k, ok := keywords[name]; ok {
+			atoms[sym] = atom{kind: k}
+		} else {
+			atoms[sym] = atom{kind: testLabel, label: name}
+		}
+	}
+	// '.' (Any) is not meaningful for walks; sre expands it over interned
+	// symbols, which is fine.
+	return &Expr{src: src, in: in, nfa: nfa, atom: atoms}, nil
+}
+
+// MustParse is Parse, panicking on error.
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// String returns the source expression.
+func (e *Expr) String() string { return e.src }
+
+// Doc indexes a hedge for walking.
+type Doc struct {
+	nodes   []*hedge.Node
+	idx     map[*hedge.Node]int
+	parent  []int // node index → parent index (-1 = top level)
+	pos     []int // node index → position among siblings
+	sibs    [][]*hedge.Node
+	sibList []int // node index → index into sibs
+}
+
+// NewDoc indexes h.
+func NewDoc(h hedge.Hedge) *Doc {
+	d := &Doc{idx: map[*hedge.Node]int{}}
+	var rec func(h hedge.Hedge, parent int)
+	rec = func(h hedge.Hedge, parent int) {
+		listID := len(d.sibs)
+		d.sibs = append(d.sibs, h)
+		for i, n := range h {
+			id := len(d.nodes)
+			d.nodes = append(d.nodes, n)
+			d.idx[n] = id
+			d.parent = append(d.parent, parent)
+			d.pos = append(d.pos, i)
+			d.sibList = append(d.sibList, listID)
+			if n.Kind == hedge.Elem {
+				rec(n.Children, id)
+			}
+		}
+	}
+	rec(h, -1)
+	return d
+}
+
+// Select returns the nodes from which some walk matches the expression, in
+// document order. The computation is a backward reachability over the
+// product of the expression NFA and the document graph: O(|NFA| · nodes ·
+// alphabet).
+func (e *Expr) Select(d *Doc) []*hedge.Node {
+	numN := len(d.nodes)
+	numQ := e.nfa.NumStates
+	if numN == 0 || numQ == 0 {
+		return nil
+	}
+	// good[q][n]: from NFA state q at node n, some suffix walk reaches an
+	// accepting NFA state. Computed as a fixpoint from accepting states.
+	good := make([][]bool, numQ)
+	for q := range good {
+		good[q] = make([]bool, numN)
+	}
+	type cfg struct{ q, n int }
+	var queue []cfg
+	mark := func(q, n int) {
+		if !good[q][n] {
+			good[q][n] = true
+			queue = append(queue, cfg{q, n})
+		}
+	}
+	// ε-closure in reverse: if q' good at n and q -ε-> q', then q good.
+	// Build reverse edge lists once.
+	revEps := make([][]int, numQ)
+	type symEdge struct{ from, sym int }
+	revSym := make([][]symEdge, numQ)
+	for q := 0; q < numQ; q++ {
+		for _, t := range e.nfa.Eps[q] {
+			revEps[t] = append(revEps[t], q)
+		}
+		for sym, ts := range e.nfa.Trans[q] {
+			for _, t := range ts {
+				revSym[t] = append(revSym[t], symEdge{q, sym})
+			}
+		}
+	}
+	for q := 0; q < numQ; q++ {
+		if e.nfa.Accept[q] {
+			for n := 0; n < numN; n++ {
+				mark(q, n)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, q := range revEps[c.q] {
+			mark(q, c.n)
+		}
+		for _, edge := range revSym[c.q] {
+			// The atom takes some node m to c.n (moves) or stays (tests).
+			for _, m := range e.preimages(d, edge.sym, c.n) {
+				mark(edge.from, m)
+			}
+		}
+	}
+	var out []*hedge.Node
+	starts := e.nfa.EpsClosure(e.nfa.Start)
+	for n := 0; n < numN; n++ {
+		for _, q := range starts {
+			if good[q][n] {
+				out = append(out, d.nodes[n])
+				break
+			}
+		}
+	}
+	return out
+}
+
+// preimages returns the nodes m such that executing the atom at m lands on
+// node n (for tests: m = n when the test holds).
+func (e *Expr) preimages(d *Doc, sym, n int) []int {
+	a := e.atom[sym]
+	node := d.nodes[n]
+	switch a.kind {
+	case moveUp:
+		// m's parent is n: preimages = children of n.
+		if node.Kind != hedge.Elem {
+			return nil
+		}
+		out := make([]int, 0, len(node.Children))
+		for _, c := range node.Children {
+			out = append(out, d.idx[c])
+		}
+		return out
+	case moveDown:
+		// down goes to the FIRST child: preimage is the parent, only if n
+		// is its first child.
+		if d.pos[n] == 0 && d.parent[n] >= 0 {
+			return []int{d.parent[n]}
+		}
+		return nil
+	case moveLeft:
+		// m's left neighbour... left moves to the previous sibling, so the
+		// preimage is the next sibling.
+		sibs := d.sibs[d.sibList[n]]
+		if d.pos[n]+1 < len(sibs) {
+			return []int{d.idx[sibs[d.pos[n]+1]]}
+		}
+		return nil
+	case moveRight:
+		sibs := d.sibs[d.sibList[n]]
+		if d.pos[n] > 0 {
+			return []int{d.idx[sibs[d.pos[n]-1]]}
+		}
+		return nil
+	case testRoot:
+		if d.parent[n] == -1 {
+			return []int{n}
+		}
+		return nil
+	case testLeaf:
+		if node.Kind != hedge.Elem || len(node.Children) == 0 {
+			return []int{n}
+		}
+		return nil
+	case testFirst:
+		if d.pos[n] == 0 {
+			return []int{n}
+		}
+		return nil
+	case testLast:
+		if d.pos[n] == len(d.sibs[d.sibList[n]])-1 {
+			return []int{n}
+		}
+		return nil
+	case testText:
+		if node.Kind == hedge.Var {
+			return []int{n}
+		}
+		return nil
+	case testLabel:
+		if node.Kind == hedge.Elem && node.Name == a.label {
+			return []int{n}
+		}
+		return nil
+	}
+	return nil
+}

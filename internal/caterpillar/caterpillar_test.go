@@ -1,0 +1,130 @@
+package caterpillar
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpe/internal/hedge"
+	"xpe/internal/xpath"
+)
+
+func sel(t *testing.T, src string, h hedge.Hedge) map[*hedge.Node]bool {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	out := map[*hedge.Node]bool{}
+	for _, n := range e.Select(NewDoc(h)) {
+		out[n] = true
+	}
+	return out
+}
+
+func TestLabelTest(t *testing.T) {
+	h := hedge.MustParse("doc<figure table figure>")
+	got := sel(t, "figure", h)
+	if len(got) != 2 {
+		t.Fatalf("got %d figures", len(got))
+	}
+	if got[h[0]] {
+		t.Fatal("doc must not match")
+	}
+}
+
+func TestSiblingWalk(t *testing.T) {
+	// "figure right table": start at a figure, step right, see a table —
+	// the introduction's sibling query as a caterpillar.
+	h := hedge.MustParse("doc<figure table figure note figure>")
+	got := sel(t, "figure right table", h)
+	if len(got) != 1 || !got[h[0].Children[0]] {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAncestorWalk(t *testing.T) {
+	// All ancestors are sections until the root: figure (up section)* up
+	// doc isroot.
+	h := hedge.MustParse("doc<section<figure> table<figure>>")
+	got := sel(t, "figure up section up doc isroot", h)
+	if len(got) != 1 || !got[h[0].Children[0].Children[0]] {
+		t.Fatalf("got %v", got)
+	}
+	got = sel(t, "figure (up section)* up doc isroot", h)
+	if len(got) != 1 {
+		t.Fatalf("starred walk got %v", got)
+	}
+}
+
+func TestPositionAndLeafTests(t *testing.T) {
+	h := hedge.MustParse("doc<a b c>")
+	if got := sel(t, "isfirst a", h); len(got) != 1 || !got[h[0].Children[0]] {
+		t.Fatalf("isfirst got %v", got)
+	}
+	if got := sel(t, "islast c", h); len(got) != 1 || !got[h[0].Children[2]] {
+		t.Fatalf("islast got %v", got)
+	}
+	leaves := sel(t, "isleaf", h)
+	if len(leaves) != 3 {
+		t.Fatalf("isleaf got %d", len(leaves))
+	}
+	if got := sel(t, "isroot", h); len(got) != 1 || !got[h[0]] {
+		t.Fatalf("isroot got %v", got)
+	}
+}
+
+func TestDownWalk(t *testing.T) {
+	// down moves to the first child.
+	h := hedge.MustParse("doc<a<b c> d>")
+	got := sel(t, "doc down a down b", h)
+	if len(got) != 1 || !got[h[0]] {
+		t.Fatalf("got %v", got)
+	}
+	if got := sel(t, "doc down d", h); len(got) != 0 {
+		t.Fatal("down must reach the FIRST child only")
+	}
+}
+
+func TestTextTest(t *testing.T) {
+	h := hedge.MustParse("doc<para<$x>>")
+	got := sel(t, "para down text", h)
+	if len(got) != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestAgainstXPathSiblingQuery cross-checks the caterpillar sibling walk
+// against the XPath engine on random documents.
+func TestAgainstXPathSiblingQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := hedge.RandConfig{Symbols: []string{"figure", "table", "doc"}, Vars: nil, MaxDepth: 4, MaxWidth: 4}
+	cat := MustParse("figure right table")
+	xp := xpath.MustParse("//figure[following-sibling::*[1][self::table]]")
+	for i := 0; i < 150; i++ {
+		h := hedge.Random(rng, cfg)
+		want := map[*hedge.Node]bool{}
+		for _, n := range xp.Select(xpath.NewDoc(h)) {
+			want[n] = true
+		}
+		got := map[*hedge.Node]bool{}
+		for _, n := range cat.Select(NewDoc(h)) {
+			got[n] = true
+		}
+		h.Visit(func(p hedge.Path, n *hedge.Node) bool {
+			if got[n] != want[n] {
+				t.Fatalf("disagreement at %v in %q: cat=%v xpath=%v", p, h, got[n], want[n])
+			}
+			return true
+		})
+	}
+}
+
+func TestEmptyAndErrors(t *testing.T) {
+	if _, err := Parse("("); err == nil {
+		t.Fatal("bad syntax accepted")
+	}
+	e := MustParse("figure")
+	if got := e.Select(NewDoc(nil)); len(got) != 0 {
+		t.Fatal("empty document should select nothing")
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+)
+
+func compileBind(t *testing.T, src string) *CompiledPHR {
+	t.Helper()
+	names := ha.NewNames()
+	for _, s := range []string{"doc", "sec", "fig", "par", "a", "b"} {
+		names.Syms.Intern(s)
+	}
+	c, err := CompilePHR(MustParsePHR(src), names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBindingsCaptureAncestor(t *testing.T) {
+	// Capture the section containing each located figure.
+	c := compileBind(t, "fig sec@s* [* ; doc ; *]@d")
+	h := hedge.MustParse("doc<sec<fig sec<fig>> fig>")
+	ms := c.LocateBindings(h)
+	if len(ms) != 3 {
+		t.Fatalf("located %d, want 3", len(ms))
+	}
+	// Deepest figure 1.1.2.1: the innermost sec* level is 1.1.2 (the
+	// last-matched sec); d is always the doc.
+	byPath := map[string]BoundMatch{}
+	for _, m := range ms {
+		byPath[m.Path.String()] = m
+	}
+	m := byPath["1.1.2.1"]
+	if m.Node == nil {
+		t.Fatalf("missing match at 1.1.2.1: %v", ms)
+	}
+	if m.BindingPaths["d"].String() != "1" {
+		t.Fatalf("d bound to %v", m.BindingPaths["d"])
+	}
+	if got := m.BindingPaths["s"].String(); got != "1.1.2" && got != "1.1" {
+		t.Fatalf("s bound to %v", got)
+	}
+	// The top-level figure under doc matches with zero sec levels: no s
+	// binding.
+	m2 := byPath["1.2"]
+	if _, ok := m2.Bindings["s"]; ok {
+		t.Fatal("s must be unbound when sec* matches zero levels")
+	}
+	if m2.BindingPaths["d"].String() != "1" {
+		t.Fatal("d must still be bound")
+	}
+}
+
+func TestBindingsAgreeWithLocate(t *testing.T) {
+	// LocateBindings must locate exactly the nodes Locate does.
+	srcs := []string{
+		"fig sec@s* [* ; doc ; *]",
+		"[* ; a ; b]@x (a|b)*",
+		"a@n (b@m a@n)*",
+	}
+	cfg := hedge.RandConfig{Symbols: []string{"a", "b", "doc", "sec", "fig"}, Vars: nil, MaxDepth: 4, MaxWidth: 3}
+	rng := rand.New(rand.NewSource(7))
+	for _, src := range srcs {
+		c := compileBind(t, src)
+		for i := 0; i < 60; i++ {
+			h := hedge.Random(rng, cfg)
+			plain := c.Locate(h)
+			bound := c.LocateBindings(h)
+			if len(bound) != len(plain.Paths) {
+				t.Fatalf("%q: bound %d vs plain %d on %q", src, len(bound), len(plain.Paths), h)
+			}
+			for j, m := range bound {
+				if !m.Path.Equal(plain.Paths[j]) {
+					t.Fatalf("%q: path order differs on %q", src, h)
+				}
+			}
+		}
+	}
+}
+
+func TestBindingsSelfCapture(t *testing.T) {
+	// Binding the node's own base captures the node itself.
+	c := compileBind(t, "fig@self (sec|doc)*")
+	h := hedge.MustParse("doc<sec<fig>>")
+	ms := c.LocateBindings(h)
+	if len(ms) != 1 {
+		t.Fatalf("located %d", len(ms))
+	}
+	if ms[0].Bindings["self"] != ms[0].Node {
+		t.Fatal("self binding must be the located node")
+	}
+}
+
+func TestHasUniqueBindings(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"fig sec* [* ; doc ; *]", true},
+		{"a@n (b a)*", true},
+		{"a (a@x | a@y)", false},                 // same label, two abstract choices
+		{"(a | b)*", true},                       // distinct labels never co-occur
+		{"a* a*", false},                         // the classic split ambiguity
+		{"[* ; a ; b]@x | [b ; a ; *]@y", false}, // may co-occur on label a
+	}
+	for _, cse := range cases {
+		c := compileBind(t, cse.src)
+		if got := c.HasUniqueBindings(); got != cse.want {
+			t.Errorf("HasUniqueBindings(%q) = %v, want %v", cse.src, got, cse.want)
+		}
+	}
+}
+
+func TestBindingsRenderAndReparse(t *testing.T) {
+	p := MustParsePHR("fig@f [a<~z>*^z ; sec ; *]@s doc")
+	if p.Bases[0].Bind != "f" || p.Bases[1].Bind != "s" || p.Bases[2].Bind != "" {
+		t.Fatalf("binds = %+v", p.Bases)
+	}
+	again := MustParsePHR(p.String())
+	if again.Bases[0].Bind != "f" || again.Bases[1].Bind != "s" {
+		t.Fatalf("round trip lost bindings: %s", p)
+	}
+	if _, err := ParsePHR("fig@"); err == nil {
+		t.Fatal("dangling '@' should fail")
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"xpe/internal/hedge"
+)
+
+// BulkSelect evaluates the query over many documents concurrently and
+// returns one Result per document, in input order. The compiled query is
+// immutable after compilation except for the recycled evaluation arenas
+// and the lazily-determinized mirror automaton, both of which are safe
+// under concurrency (sync.Pool; the mirror is locked); a server answering
+// the same query over a document stream is the intended shape.
+func (cq *CompiledQuery) BulkSelect(docs []hedge.Hedge, workers int) []*Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+	out := make([]*Result, len(docs))
+	if workers <= 1 {
+		for i, d := range docs {
+			out[i] = cq.Select(d)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = cq.Select(docs[i])
+			}
+		}()
+	}
+	for i := range docs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+)
+
+func TestBulkSelectMatchesSequential(t *testing.T) {
+	names := ha.NewNames()
+	names.Syms.Intern("a")
+	names.Syms.Intern("b")
+	names.Vars.Intern("x")
+	q, err := ParseQuery("select(b*; [* ; a ; b .] (a|b)*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := CompileQuery(q, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	cfg := hedge.RandConfig{Symbols: []string{"a", "b"}, Vars: []string{"x"}, MaxDepth: 4, MaxWidth: 3}
+	docs := make([]hedge.Hedge, 64)
+	for i := range docs {
+		docs[i] = hedge.Random(rng, cfg)
+	}
+	parallel := cq.BulkSelect(docs, 8)
+	for i, d := range docs {
+		want := cq.Select(d)
+		got := parallel[i]
+		if len(got.Paths) != len(want.Paths) {
+			t.Fatalf("doc %d: %d vs %d matches", i, len(got.Paths), len(want.Paths))
+		}
+		for j := range want.Paths {
+			if !got.Paths[j].Equal(want.Paths[j]) {
+				t.Fatalf("doc %d: path %d differs", i, j)
+			}
+		}
+	}
+	// Degenerate worker counts.
+	for _, w := range []int{0, 1, 1000} {
+		rs := cq.BulkSelect(docs[:3], w)
+		if len(rs) != 3 {
+			t.Fatalf("workers=%d: %d results", w, len(rs))
+		}
+	}
+	if rs := cq.BulkSelect(nil, 4); len(rs) != 0 {
+		t.Fatal("empty input should give empty output")
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import "testing"
+
+// FuzzParsePHR asserts the PHR parser never panics and that successful
+// parses render to re-parseable text. Run with `go test -fuzz FuzzParsePHR`
+// for coverage-guided exploration; the seed corpus runs in every `go test`.
+func FuzzParsePHR(f *testing.F) {
+	for _, s := range []string{
+		"a",
+		"[a<~z>*^z ; b ; a<~z>*^z]*",
+		"fig sec@s* [* ; doc ; *]@d",
+		"(a | b)+ c?",
+		"[() ; a ; b] [b ; a ; ()]",
+		"[; ;]",
+		"a@",
+		"(((",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		phr, err := ParsePHR(src)
+		if err != nil {
+			return
+		}
+		again, err := ParsePHR(phr.String())
+		if err != nil {
+			t.Fatalf("rendering of %q does not re-parse: %q: %v", src, phr.String(), err)
+		}
+		// Rendering may duplicate shared bases (e.g. `e+` prints its base
+		// twice); after unification both sides must agree.
+		if len(Optimize(again).Bases) != len(Optimize(phr).Bases) {
+			t.Fatalf("unified base count changed across round trip of %q", src)
+		}
+	})
+}
+
+// FuzzParseQuery covers the select(e1; phr) wrapper.
+func FuzzParseQuery(f *testing.F) {
+	for _, s := range []string{
+		"select(fig*; [* ; sec ; *] doc)",
+		"select(*; a)",
+		"select(b*)",
+		"a b*",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		if _, err := ParseQuery(q.String()); err != nil {
+			t.Fatalf("rendering of %q does not re-parse: %q: %v", src, q.String(), err)
+		}
+	})
+}

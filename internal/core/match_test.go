@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+)
+
+// testSchema builds a small document schema over {doc, sec, fig, par}:
+// doc⟨(sec|par)*⟩ at top (exactly one doc), sec⟨(sec|fig|par)*⟩,
+// fig⟨ε⟩, par⟨x*⟩.
+func testSchema(names *ha.Names) *ha.DHA {
+	for _, s := range []string{"doc", "sec", "fig", "par"} {
+		names.Syms.Intern(s)
+	}
+	names.Vars.Intern("x")
+	b := ha.NewBuilder(names)
+	b.Iota("x", "qx")
+	b.MustRule("doc", "qdoc", "(qsec | qpar)*")
+	b.MustRule("sec", "qsec", "(qsec | qfig | qpar)*")
+	b.MustRule("fig", "qfig", "()")
+	b.MustRule("par", "qpar", "qx*")
+	b.MustFinal("qdoc")
+	return b.Build().Determinize().DHA
+}
+
+func matchQueries() []string {
+	return []string{
+		"fig sec* [* ; doc ; *]",                    // figures under section chains
+		"[* ; fig ; par (sec|fig|par)*] (sec|doc)*", // fig immediately followed by par
+		"select(fig*; [* ; sec ; *] (sec|doc)*)",    // sections holding only figures
+		"sec sec [* ; doc ; *]",                     // depth-2 sections exactly
+	}
+}
+
+func buildMatch(t *testing.T, qsrc string) (*ha.DHA, *CompiledQuery, *MatchAutomaton, *ha.Names) {
+	t.Helper()
+	names := ha.NewNames()
+	schema := testSchema(names)
+	q, err := ParseQuery(qsrc)
+	if err != nil {
+		t.Fatalf("%q: %v", qsrc, err)
+	}
+	cq, err := CompileQuery(q, names)
+	if err != nil {
+		t.Fatalf("%q: %v", qsrc, err)
+	}
+	m, err := BuildMatchAutomaton(schema, cq)
+	if err != nil {
+		t.Fatalf("%q: %v", qsrc, err)
+	}
+	return schema, cq, m, names
+}
+
+func TestMatchAutomatonPreservesSchemaLanguage(t *testing.T) {
+	for _, qsrc := range matchQueries() {
+		schema, _, m, _ := buildMatch(t, qsrc)
+		rng := rand.New(rand.NewSource(7))
+		cfg := hedge.RandConfig{
+			Symbols: []string{"doc", "sec", "fig", "par"},
+			Vars:    []string{"x"}, MaxDepth: 4, MaxWidth: 3,
+		}
+		// Random noise hedges: agreement both ways.
+		for i := 0; i < 80; i++ {
+			h := hedge.Random(rng, cfg)
+			if schema.Accepts(h) != m.NHA.Accepts(h) {
+				t.Fatalf("%q: language changed on %q (schema=%v)", qsrc, h, schema.Accepts(h))
+			}
+		}
+		// Sampled schema members must be accepted.
+		sampler, ok := ha.NewSampler(schema, rng)
+		if !ok {
+			t.Fatal("schema empty")
+		}
+		for i := 0; i < 40; i++ {
+			doc, ok := sampler.Sample(4)
+			if !ok {
+				t.Fatal("sample failed")
+			}
+			if !schema.Accepts(doc) {
+				t.Fatalf("sampler produced non-member %q", doc)
+			}
+			if !m.NHA.Accepts(doc) {
+				t.Fatalf("%q: match automaton rejects schema member %q", qsrc, doc)
+			}
+		}
+	}
+}
+
+func TestMatchAutomatonMarkingAgreesWithSelect(t *testing.T) {
+	for _, qsrc := range matchQueries() {
+		schema, cq, m, _ := buildMatch(t, qsrc)
+		rng := rand.New(rand.NewSource(13))
+		sampler, ok := ha.NewSampler(schema, rng)
+		if !ok {
+			t.Fatal("schema empty")
+		}
+		for i := 0; i < 60; i++ {
+			doc, ok := sampler.Sample(4)
+			if !ok {
+				t.Fatal("sample failed")
+			}
+			marked, ok := m.MarkedNodes(doc)
+			if !ok {
+				t.Fatalf("%q: run extraction failed on %q", qsrc, doc)
+			}
+			want := cq.Select(doc)
+			doc.Visit(func(p hedge.Path, n *hedge.Node) bool {
+				if marked[n] != want.Located[n] {
+					t.Fatalf("%q: marking disagrees with Algorithm 1 at %v in %q: match=%v select=%v",
+						qsrc, p, doc, marked[n], want.Located[n])
+				}
+				return true
+			})
+		}
+	}
+}
+
+func TestMatchAutomatonUniqueRunStates(t *testing.T) {
+	// Element states of a successful computation are unique per node: the
+	// possible-state sets of the NHA may be larger, but only one choice can
+	// thread through acceptance. We verify that repeated extraction yields
+	// identical assignments, and that the assignment is consistent with the
+	// state structure (labels match).
+	_, _, m, names := buildMatch(t, "fig sec* [* ; doc ; *]")
+	rng := rand.New(rand.NewSource(17))
+	schema := testSchema(names)
+	sampler, _ := ha.NewSampler(schema, rng)
+	for i := 0; i < 30; i++ {
+		doc, _ := sampler.Sample(4)
+		a1, ok1 := m.Run(doc)
+		a2, ok2 := m.Run(doc)
+		if !ok1 || !ok2 {
+			t.Fatalf("run failed on %q", doc)
+		}
+		doc.Visit(func(p hedge.Path, n *hedge.Node) bool {
+			if a1[n] != a2[n] {
+				t.Fatalf("non-deterministic extraction at %v", p)
+			}
+			if n.Kind == hedge.Elem {
+				tup := m.States.Tuple(a1[n])
+				if tup[0] != 1 {
+					t.Fatalf("element got leaf state at %v", p)
+				}
+				if names.Syms.Name(tup[3]) != n.Name {
+					t.Fatalf("state label %q != node label %q", names.Syms.Name(tup[3]), n.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"xpe/internal/hedge"
+	"xpe/internal/sfa"
+)
+
+// Run extracts the successful computation of h by the match automaton and
+// returns the per-node states, or ok=false when h is not accepted (not in
+// the schema). Theorem 5 guarantees at most one successful computation, so
+// any successful assignment found is the computation.
+func (m *MatchAutomaton) Run(h hedge.Hedge) (map[*hedge.Node]int, bool) {
+	nrun := m.NHA.Exec(h)
+	if !nrun.Accepted {
+		return nil, false
+	}
+	assign := make(map[*hedge.Node]int, h.Size())
+	word, ok := wordFromSets(m.NHA.Final, nrun.Top)
+	if !ok {
+		return nil, false
+	}
+	if !m.assignRec(h, word, nrun.Sets, assign) {
+		return nil, false
+	}
+	return assign, true
+}
+
+// ruleFor returns the unique rule producing the given element state.
+func (m *MatchAutomaton) ruleFor(state int) *sfa.NFA {
+	for i := range m.NHA.Rules {
+		if m.NHA.Rules[i].Result == state {
+			return m.NHA.Rules[i].Lang
+		}
+	}
+	return nil
+}
+
+// assignRec distributes chosen states down the hedge.
+func (m *MatchAutomaton) assignRec(h hedge.Hedge, states []int, sets map[*hedge.Node][]int, out map[*hedge.Node]int) bool {
+	for i, n := range h {
+		st := states[i]
+		out[n] = st
+		if n.Kind != hedge.Elem {
+			continue
+		}
+		lang := m.ruleFor(st)
+		if lang == nil {
+			return false
+		}
+		childSets := make([][]int, len(n.Children))
+		for j, c := range n.Children {
+			childSets[j] = sets[c]
+		}
+		childStates, ok := wordFromSets(lang, childSets)
+		if !ok {
+			return false
+		}
+		if !m.assignRec(n.Children, childStates, sets, out) {
+			return false
+		}
+	}
+	return true
+}
+
+// MarkedNodes returns the located nodes according to the match automaton's
+// unique successful computation (ok=false when h is outside the schema).
+func (m *MatchAutomaton) MarkedNodes(h hedge.Hedge) (map[*hedge.Node]bool, bool) {
+	assign, ok := m.Run(h)
+	if !ok {
+		return nil, false
+	}
+	out := map[*hedge.Node]bool{}
+	for n, st := range assign {
+		if m.Marked[st] {
+			out[n] = true
+		}
+	}
+	return out, true
+}
+
+// wordFromSets finds a word w with w[j] ∈ sets[j] accepted by the NFA, by
+// forward subset simulation with per-step frontier recording and backward
+// reconstruction.
+func wordFromSets(nfa *sfa.NFA, sets [][]int) ([]int, bool) {
+	type frontier struct {
+		states []int
+	}
+	fronts := make([]frontier, len(sets)+1)
+	fronts[0] = frontier{nfa.EpsClosure(nfa.Start)}
+	for j, set := range sets {
+		nextSet := map[int]bool{}
+		for _, s := range fronts[j].states {
+			for _, sym := range set {
+				for _, t := range nfa.Trans[s][sym] {
+					nextSet[t] = true
+				}
+			}
+		}
+		lst := make([]int, 0, len(nextSet))
+		for s := range nextSet {
+			lst = append(lst, s)
+		}
+		fronts[j+1] = frontier{nfa.EpsClosure(lst)}
+		if len(fronts[j+1].states) == 0 {
+			return nil, false
+		}
+	}
+	// Pick an accepting end state and walk back.
+	goal := -1
+	for _, s := range fronts[len(sets)].states {
+		if nfa.Accept[s] {
+			goal = s
+			break
+		}
+	}
+	if goal == -1 {
+		return nil, false
+	}
+	word := make([]int, len(sets))
+	cur := goal
+	for j := len(sets) - 1; j >= 0; j-- {
+		found := false
+		// ε-ancestry: cur must be ε-reachable from some direct successor.
+		for _, s := range fronts[j].states {
+			if found {
+				break
+			}
+			for _, sym := range sets[j] {
+				if found {
+					break
+				}
+				for _, t := range nfa.Trans[s][sym] {
+					if contains(nfa.EpsClosure([]int{t}), cur) {
+						word[j] = sym
+						cur = s
+						found = true
+						break
+					}
+				}
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return word, true
+}
+
+func contains(sorted []int, x int) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == x
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"xpe/internal/alphabet"
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+	"xpe/internal/hre"
+	"xpe/internal/sfa"
+)
+
+// NaiveMatcher evaluates pointed hedge representations directly from the
+// definitions (Definition 19): it decomposes the pointed hedge into pointed
+// base hedges, tests each base hedge against each pointed base hedge
+// representation by hedge-automaton membership, and checks the resulting
+// candidate sequence against the top-level regular expression.
+//
+// It is the correctness oracle for the Algorithm 1 evaluator and the
+// baseline of the naive-vs-two-pass experiment (E4): evaluating a node
+// costs O(depth · |hedge|) here, so locating all nodes is quadratic, where
+// Algorithm 1 is linear.
+type NaiveMatcher struct {
+	phr   *PHR
+	names *ha.Names
+	sides []*ha.NHA // per base: left automaton at 2i, right at 2i+1 (nil = any)
+	expr  *sfa.NFA  // top-level regex over base indexes
+}
+
+// NewNaiveMatcher compiles the base sides once (membership tests still run
+// per node per level).
+func NewNaiveMatcher(phr *PHR, names *ha.Names) (*NaiveMatcher, error) {
+	m := &NaiveMatcher{phr: phr, names: names}
+	for _, b := range phr.Bases {
+		names.Syms.Intern(b.Label)
+		for _, side := range []*hre.Expr{b.Left, b.Right} {
+			if side == nil {
+				m.sides = append(m.sides, nil)
+				continue
+			}
+			nha, err := hre.Compile(side, names)
+			if err != nil {
+				return nil, err
+			}
+			m.sides = append(m.sides, nha)
+		}
+	}
+	// Top-level regex over symbols t0..tn-1 mapped to indexes.
+	nfa := phr.Expr.CompileNFA(namesForBases(len(phr.Bases)))
+	nfa.GrowAlphabet(len(phr.Bases))
+	m.expr = nfa
+	return m, nil
+}
+
+// namesForBases returns an interner pre-seeded with t0..tn-1 so base
+// symbols map to their indexes.
+func namesForBases(n int) *alphabet.Interner {
+	in := alphabet.NewInterner()
+	for i := 0; i < n; i++ {
+		in.Intern(baseSymbol(i))
+	}
+	return in
+}
+
+// MatchesPointed reports whether the pointed hedge u matches the PHR
+// (Definition 19).
+func (m *NaiveMatcher) MatchesPointed(u hedge.Hedge) (bool, error) {
+	bases, err := hedge.Decompose(u)
+	if err != nil {
+		return false, err
+	}
+	// Candidate base representations per decomposition position.
+	cands := make([][]int, len(bases))
+	for j, b := range bases {
+		for i, rep := range m.phr.Bases {
+			if rep.Label != b.Label {
+				continue
+			}
+			if left := m.sides[2*i]; left != nil && !left.Accepts(b.Left) {
+				continue
+			}
+			if right := m.sides[2*i+1]; right != nil && !right.Accepts(b.Right) {
+				continue
+			}
+			cands[j] = append(cands[j], i)
+		}
+	}
+	return acceptsSets(m.expr, cands), nil
+}
+
+// LocateAll returns the set of nodes of h whose envelope matches the PHR,
+// by building each node's envelope and matching it independently — the
+// definitional, super-linear evaluation.
+func (m *NaiveMatcher) LocateAll(h hedge.Hedge) (map[*hedge.Node]bool, error) {
+	out := map[*hedge.Node]bool{}
+	var firstErr error
+	h.Visit(func(p hedge.Path, n *hedge.Node) bool {
+		if n.Kind != hedge.Elem || firstErr != nil {
+			return firstErr == nil
+		}
+		env, err := h.Envelope(p)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		ok, err := m.MatchesPointed(env)
+		if err != nil {
+			firstErr = err
+			return false
+		}
+		if ok {
+			out[n] = true
+		}
+		return true
+	})
+	return out, firstErr
+}
+
+// acceptsSets reports whether some word w with w[j] ∈ sets[j] is accepted
+// by the NFA.
+func acceptsSets(nfa *sfa.NFA, sets [][]int) bool {
+	cur := nfa.EpsClosure(nfa.Start)
+	for _, set := range sets {
+		next := map[int]bool{}
+		for _, s := range cur {
+			for _, sym := range set {
+				for _, t := range nfa.Trans[s][sym] {
+					next[t] = true
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		lst := make([]int, 0, len(next))
+		for s := range next {
+			lst = append(lst, s)
+		}
+		cur = nfa.EpsClosure(lst)
+	}
+	for _, s := range cur {
+		if nfa.Accept[s] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"xpe/internal/alphabet"
+	"xpe/internal/sre"
+)
+
+// Optimize — the paper's first open issue (§9): "is it possible to
+// generalize useful techniques (e.g., optimization) developed for path
+// expressions to hedge regular expressions and pointed hedge
+// representations?" This pass generalizes three classical path-expression
+// optimizations to PHRs:
+//
+//  1. base unification — bases with identical label, sides, and binding
+//     collapse to one symbol, shrinking the candidate alphabet the
+//     evaluator scans per node;
+//  2. unreachable-base elimination — bases whose symbol cannot occur in
+//     any word of the top-level regular expression are dropped;
+//  3. regular-expression canonicalization — the top-level expression is
+//     rebuilt from the minimal DFA of its (unified) symbol language,
+//     removing redundant alternation and nesting.
+//
+// The result locates exactly the same nodes (Locate-equivalence is fuzzed
+// in tests); compiled automata are shared across unified bases, so
+// compilation also gets cheaper.
+func Optimize(phr *PHR) *PHR {
+	// 1. Unify duplicate bases.
+	type key struct{ left, label, right, bind string }
+	keyOf := func(b BaseRep) key {
+		k := key{label: b.Label, bind: b.Bind}
+		if b.Left != nil {
+			k.left = b.Left.String()
+		} else {
+			k.left = "*"
+		}
+		if b.Right != nil {
+			k.right = b.Right.String()
+		} else {
+			k.right = "*"
+		}
+		return k
+	}
+	remap := make([]int, len(phr.Bases))
+	var bases []BaseRep
+	byKey := map[key]int{}
+	for i, b := range phr.Bases {
+		k := keyOf(b)
+		if j, ok := byKey[k]; ok {
+			remap[i] = j
+			continue
+		}
+		byKey[k] = len(bases)
+		remap[i] = len(bases)
+		bases = append(bases, b)
+	}
+
+	// Rewrite the regex onto unified symbols.
+	expr := rewriteSymbols(phr.Expr, func(i int) *sre.Expr {
+		return sre.Sym(baseSymbol(remap[i]))
+	})
+
+	// 2. Drop bases whose symbols never occur in an accepted word.
+	in := alphabet.NewInterner()
+	for i := range bases {
+		in.Intern(baseSymbol(i))
+	}
+	nfa := expr.CompileNFA(in)
+	nfa.GrowAlphabet(len(bases))
+	allowed := make([]bool, len(bases))
+	for i := range allowed {
+		allowed[i] = true
+	}
+	useful := nfa.UsefulSymbols(allowed)
+	if len(useful) < len(bases) {
+		grown := make([]bool, len(bases))
+		copy(grown, useful)
+		useful = grown
+	}
+	remap2 := make([]int, len(bases))
+	var kept []BaseRep
+	for i, b := range bases {
+		if useful[i] {
+			remap2[i] = len(kept)
+			kept = append(kept, b)
+		} else {
+			remap2[i] = -1
+		}
+	}
+	expr = rewriteSymbols(expr, func(i int) *sre.Expr {
+		if remap2[i] < 0 {
+			return sre.Empty()
+		}
+		return sre.Sym(baseSymbol(remap2[i]))
+	})
+
+	// 3. Canonicalize the regular expression via its minimal DFA.
+	in2 := alphabet.NewInterner()
+	for i := range kept {
+		in2.Intern(baseSymbol(i))
+	}
+	dfa := expr.CompileDFA(in2)
+	expr = sre.FromDFA(dfa, func(sym int) string { return in2.Name(sym) })
+
+	return &PHR{Bases: kept, Expr: expr}
+}
+
+// rewriteSymbols maps base symbols of a regex through fn.
+func rewriteSymbols(e *sre.Expr, fn func(baseIdx int) *sre.Expr) *sre.Expr {
+	switch e.Kind {
+	case sre.KSym:
+		var i int
+		if n, _ := sscanBaseSymbol(e.Name); n >= 0 {
+			i = n
+		}
+		return fn(i)
+	case sre.KCat, sre.KAlt, sre.KStar:
+		subs := make([]*sre.Expr, len(e.Subs))
+		for i, s := range e.Subs {
+			subs[i] = rewriteSymbols(s, fn)
+		}
+		return &sre.Expr{Kind: e.Kind, Subs: subs}
+	default:
+		return e
+	}
+}
+
+// sscanBaseSymbol parses "t<i>".
+func sscanBaseSymbol(s string) (int, bool) {
+	if len(s) < 2 || s[0] != 't' {
+		return -1, false
+	}
+	n := 0
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return -1, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+	"xpe/internal/sre"
+)
+
+func TestOptimizeUnifiesDuplicateBases(t *testing.T) {
+	// "a a* | a" parses three separate 'a' bases; all have identical
+	// shape, so one suffices.
+	phr := MustParsePHR("a a* | a")
+	opt := Optimize(phr)
+	if len(opt.Bases) != 1 {
+		t.Fatalf("bases = %d, want 1 (%s)", len(opt.Bases), opt)
+	}
+}
+
+func TestOptimizeDropsUnreachableBases(t *testing.T) {
+	// ∅-concatenation makes a base unreachable: b ([] c) — c can never
+	// occur. Build by hand since ∅ has no surface syntax.
+	phr := MustParsePHR("a | b")
+	phr.Expr = mustSreCat(t, phr)
+	opt := Optimize(phr)
+	for _, b := range opt.Bases {
+		if b.Label == "b" {
+			t.Fatalf("unreachable base survived: %s", opt)
+		}
+	}
+}
+
+// mustSreCat rewires "a | b" into "a | (b ∅)" so the b base is useless.
+func mustSreCat(t *testing.T, phr *PHR) *sre.Expr {
+	t.Helper()
+	alt := phr.Expr
+	if len(alt.Subs) != 2 {
+		t.Fatalf("unexpected parse shape %v", alt)
+	}
+	alt.Subs[1] = sre.Cat(alt.Subs[1], sre.Empty())
+	return alt
+}
+
+func TestOptimizePreservesLocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2718))
+	cfg := hedge.RandConfig{Symbols: []string{"a", "b"}, Vars: []string{"x"}, MaxDepth: 4, MaxWidth: 3}
+	for trial := 0; trial < 60; trial++ {
+		phr := randPHR(rng)
+		opt := Optimize(phr)
+		names := ha.NewNames()
+		names.Syms.Intern("a")
+		names.Syms.Intern("b")
+		names.Vars.Intern("x")
+		c1, err := CompilePHR(phr, names)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		c2, err := CompilePHR(opt, names)
+		if err != nil {
+			t.Fatalf("trial %d (optimized %s): %v", trial, opt, err)
+		}
+		for i := 0; i < 25; i++ {
+			h := hedge.Random(rng, cfg)
+			r1 := c1.Locate(h)
+			r2 := c2.Locate(h)
+			if len(r1.Paths) != len(r2.Paths) {
+				t.Fatalf("trial %d: %s vs %s differ on %q (%d vs %d)",
+					trial, phr, opt, h, len(r1.Paths), len(r2.Paths))
+			}
+			for j := range r1.Paths {
+				if !r1.Paths[j].Equal(r2.Paths[j]) {
+					t.Fatalf("trial %d: path mismatch on %q", trial, h)
+				}
+			}
+		}
+		if len(opt.Bases) > len(phr.Bases) {
+			t.Fatalf("trial %d: optimization grew the base set", trial)
+		}
+	}
+}
+
+func TestOptimizeKeepsBindingsApart(t *testing.T) {
+	// Bases differing only in binding names must NOT unify.
+	phr := MustParsePHR("a@x a@y")
+	opt := Optimize(phr)
+	if len(opt.Bases) != 2 {
+		t.Fatalf("bound bases unified: %s", opt)
+	}
+}

@@ -1,0 +1,441 @@
+// Package core implements the paper's primary contribution: pointed hedge
+// representations (Section 5), selection queries (Section 6), the
+// two-traversal evaluation algorithm (Section 7, Theorem 4 and Algorithm
+// 1), and the match-identifying hedge automata used for schema
+// transformation (Section 8, Theorems 3 and 5).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"xpe/internal/hedge"
+	"xpe/internal/hre"
+	"xpe/internal/sre"
+)
+
+// BaseRep is a pointed base hedge representation (e₁, a, e₂) (Definition
+// 16): Label is the condition on the node's label, Left constrains the
+// elder siblings and their descendants, Right the younger siblings and
+// their descendants. A nil Left or Right means "any hedge" — the special
+// case that makes a PHR a classical path expression.
+type BaseRep struct {
+	Left  *hre.Expr // nil = any hedge
+	Label string
+	Right *hre.Expr // nil = any hedge
+	// Bind optionally names the base: when a pointed hedge matches the
+	// representation, the ancestor level matched by this base is captured
+	// under the name (the Section 9 "variables" extension; see
+	// CompiledPHR.LocateBindings).
+	Bind string
+}
+
+// String renders the base in the package's concrete syntax.
+func (b BaseRep) String() string {
+	suffix := ""
+	if b.Bind != "" {
+		suffix = "@" + b.Bind
+	}
+	if b.Left == nil && b.Right == nil {
+		return b.Label + suffix
+	}
+	render := func(e *hre.Expr) string {
+		if e == nil {
+			return "*"
+		}
+		return e.String()
+	}
+	return fmt.Sprintf("[%s ; %s ; %s]%s", render(b.Left), b.Label, render(b.Right), suffix)
+}
+
+// PHR is a pointed hedge representation (Definition 18): a regular
+// expression over a finite set of pointed base hedge representations. Expr
+// is a string regular expression whose symbol "tᵢ" denotes Bases[i].
+//
+// Per Definition 19 the symbol sequence is matched against the
+// decomposition of a pointed hedge from the BOTTOM (the base containing η)
+// to the top level; a path-expression-style root-first order must be
+// reversed before constructing a PHR (see package pathexpr).
+type PHR struct {
+	Bases []BaseRep
+	Expr  *sre.Expr
+}
+
+// baseSymbol names base i in PHR.Expr.
+func baseSymbol(i int) string { return fmt.Sprintf("t%d", i) }
+
+// String renders the PHR in the package's concrete syntax.
+func (p *PHR) String() string {
+	var b strings.Builder
+	renderPHR(&b, p, p.Expr, 0)
+	return b.String()
+}
+
+func renderPHR(b *strings.Builder, p *PHR, e *sre.Expr, prec int) {
+	switch e.Kind {
+	case sre.KEmpty:
+		b.WriteString("[]")
+	case sre.KEps:
+		b.WriteString("()")
+	case sre.KSym:
+		var i int
+		fmt.Sscanf(e.Name, "t%d", &i)
+		b.WriteString(p.Bases[i].String())
+	case sre.KAny:
+		b.WriteByte('.')
+	case sre.KCat:
+		if prec > 1 {
+			b.WriteByte('(')
+		}
+		for i, s := range e.Subs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderPHR(b, p, s, 2)
+		}
+		if prec > 1 {
+			b.WriteByte(')')
+		}
+	case sre.KAlt:
+		if prec > 0 {
+			b.WriteByte('(')
+		}
+		for i, s := range e.Subs {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			renderPHR(b, p, s, 1)
+		}
+		if prec > 0 {
+			b.WriteByte(')')
+		}
+	case sre.KStar:
+		renderPHR(b, p, e.Subs[0], 2)
+		b.WriteByte('*')
+	}
+}
+
+// ParsePHR parses a pointed hedge representation. Syntax:
+//
+//	phr  := alt of cat of rep of atom    (same combinators as sre: | , * + ?)
+//	atom := '[' side ';' NAME ';' side ']'   — explicit triple
+//	      | NAME                             — sugar for [*; NAME; *]
+//	      | '(' phr ')' | '()'
+//	side := '*'                              — any hedge
+//	      | hedge regular expression         (package hre syntax)
+//
+// Example (the paper's Section 5 example): "[a<~z>*^z ; b ; a<~z>*^z]*".
+func ParsePHR(input string) (*PHR, error) {
+	p := &phrParser{input: input}
+	p.skip()
+	if p.eof() {
+		return nil, p.err("empty pointed hedge representation")
+	}
+	phr := &PHR{}
+	e, err := p.alt(phr)
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if !p.eof() {
+		return nil, p.err("unexpected trailing input")
+	}
+	phr.Expr = e
+	return phr, nil
+}
+
+// MustParsePHR is ParsePHR, panicking on error.
+func MustParsePHR(input string) *PHR {
+	p, err := ParsePHR(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type phrParser struct {
+	input string
+	pos   int
+}
+
+func (p *phrParser) err(msg string) error {
+	return fmt.Errorf("phr: parse error at offset %d in %q: %s", p.pos, p.input, msg)
+}
+
+func (p *phrParser) eof() bool { return p.pos >= len(p.input) }
+
+func (p *phrParser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+func (p *phrParser) skip() {
+	for !p.eof() {
+		switch p.input[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *phrParser) alt(phr *PHR) (*sre.Expr, error) {
+	first, err := p.cat(phr)
+	if err != nil {
+		return nil, err
+	}
+	subs := []*sre.Expr{first}
+	for {
+		p.skip()
+		if p.peek() != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.cat(phr)
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	return sre.Alt(subs...), nil
+}
+
+func (p *phrParser) cat(phr *PHR) (*sre.Expr, error) {
+	first, err := p.rep(phr)
+	if err != nil {
+		return nil, err
+	}
+	subs := []*sre.Expr{first}
+	for {
+		p.skip()
+		c := p.peek()
+		if c == ',' {
+			p.pos++
+			p.skip()
+			c = p.peek()
+			if !phrStartsAtom(c) {
+				return nil, p.err("expected expression after ','")
+			}
+		}
+		if !phrStartsAtom(c) {
+			break
+		}
+		next, err := p.rep(phr)
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	return sre.Cat(subs...), nil
+}
+
+func phrStartsAtom(c byte) bool {
+	return c == '(' || c == '[' || c == '_' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func (p *phrParser) rep(phr *PHR) (*sre.Expr, error) {
+	e, err := p.atom(phr)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		switch p.peek() {
+		case '*':
+			p.pos++
+			e = sre.Star(e)
+		case '+':
+			p.pos++
+			e = sre.Plus(e)
+		case '?':
+			p.pos++
+			e = sre.Opt(e)
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *phrParser) atom(phr *PHR) (*sre.Expr, error) {
+	p.skip()
+	switch c := p.peek(); {
+	case c == '(':
+		p.pos++
+		p.skip()
+		if p.peek() == ')' {
+			p.pos++
+			return sre.Eps(), nil
+		}
+		e, err := p.alt(phr)
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if p.peek() != ')' {
+			return nil, p.err("expected ')'")
+		}
+		p.pos++
+		return e, nil
+	case c == '[':
+		p.pos++
+		left, err := p.side()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(';'); err != nil {
+			return nil, err
+		}
+		label, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(';'); err != nil {
+			return nil, err
+		}
+		right, err := p.side()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if p.peek() != ']' {
+			return nil, p.err("expected ']'")
+		}
+		p.pos++
+		return p.addBase(phr, BaseRep{Left: left, Label: label, Right: right})
+	case phrStartsAtom(c):
+		label, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		return p.addBase(phr, BaseRep{Label: label})
+	default:
+		return nil, p.err("expected a base ('[e;a;e]' or a name) or '('")
+	}
+}
+
+func (p *phrParser) addBase(phr *PHR, b BaseRep) (*sre.Expr, error) {
+	// Optional binding suffix '@name' (the Section 9 variables extension).
+	p.skip()
+	if p.peek() == '@' {
+		p.pos++
+		name, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		b.Bind = name
+	}
+	phr.Bases = append(phr.Bases, b)
+	return sre.Sym(baseSymbol(len(phr.Bases) - 1)), nil
+}
+
+func (p *phrParser) name() (string, error) {
+	p.skip()
+	start := p.pos
+	if p.eof() {
+		return "", p.err("expected a name")
+	}
+	c := p.input[p.pos]
+	if !(c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z') {
+		return "", p.err("expected a name")
+	}
+	p.pos++
+	for !p.eof() {
+		c := p.input[p.pos]
+		if c == '_' || c == '-' || c == '.' ||
+			c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.input[start:p.pos], nil
+}
+
+func (p *phrParser) expect(c byte) error {
+	p.skip()
+	if p.peek() != c {
+		return p.err(fmt.Sprintf("expected %q", string(c)))
+	}
+	p.pos++
+	return nil
+}
+
+// side parses '*' or an embedded hedge regular expression, scanning up to
+// the next top-level ';' or ']'.
+func (p *phrParser) side() (*hre.Expr, error) {
+	p.skip()
+	if p.peek() == '*' {
+		// '*' alone means any hedge — but only if followed by ';' or ']'.
+		save := p.pos
+		p.pos++
+		p.skip()
+		if p.peek() == ';' || p.peek() == ']' {
+			return nil, nil
+		}
+		p.pos = save
+	}
+	start := p.pos
+	depth := 0
+	for !p.eof() {
+		switch p.input[p.pos] {
+		case '<', '(':
+			depth++
+		case '>', ')':
+			depth--
+		case ';':
+			if depth == 0 {
+				e, err := hre.Parse(strings.TrimSpace(p.input[start:p.pos]))
+				if err != nil {
+					return nil, fmt.Errorf("phr: in side expression: %w", err)
+				}
+				return e, nil
+			}
+		case ']':
+			if depth == 0 {
+				e, err := hre.Parse(strings.TrimSpace(p.input[start:p.pos]))
+				if err != nil {
+					return nil, fmt.Errorf("phr: in side expression: %w", err)
+				}
+				return e, nil
+			}
+		}
+		p.pos++
+	}
+	return nil, p.err("unterminated base")
+}
+
+// PathExpression builds the PHR corresponding to a classical path
+// expression: a regular expression over node labels, interpreted on the
+// path from the node to the TOP level (bottom-up, matching Definition 19).
+// Every sibling condition is "any hedge".
+func PathExpression(labels *sre.Expr) *PHR {
+	phr := &PHR{}
+	var convert func(e *sre.Expr) *sre.Expr
+	convert = func(e *sre.Expr) *sre.Expr {
+		switch e.Kind {
+		case sre.KSym:
+			phr.Bases = append(phr.Bases, BaseRep{Label: e.Name})
+			return sre.Sym(baseSymbol(len(phr.Bases) - 1))
+		case sre.KCat, sre.KAlt, sre.KStar:
+			subs := make([]*sre.Expr, len(e.Subs))
+			for i, s := range e.Subs {
+				subs[i] = convert(s)
+			}
+			return &sre.Expr{Kind: e.Kind, Subs: subs}
+		default:
+			return e
+		}
+	}
+	phr.Expr = convert(labels)
+	return phr
+}
+
+// EnvelopeOf is a convenience wrapper around hedge.Envelope for query
+// evaluation.
+func EnvelopeOf(h hedge.Hedge, p hedge.Path) (hedge.Hedge, error) {
+	return h.Envelope(p)
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+
+	"xpe/internal/alphabet"
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+	"xpe/internal/hre"
+	"xpe/internal/sfa"
+)
+
+// Query is a selection query select(e₁, e₂) (Definition 20): e₁ is a hedge
+// regular expression constraining the subhedge of a node, e₂ a pointed
+// hedge representation constraining its envelope. A nil Subhedge means "any
+// subhedge".
+type Query struct {
+	Subhedge *hre.Expr // e₁ (nil = any)
+	Envelope *PHR      // e₂
+}
+
+// ParseQuery parses "select(e1; phr)" or just "phr" (any subhedge).
+func ParseQuery(input string) (*Query, error) {
+	trimmed := input
+	if len(trimmed) >= 7 && trimmed[:7] == "select(" {
+		body := trimmed[7:]
+		// Split at the top-level ';'.
+		depth := 0
+		for i := 0; i < len(body); i++ {
+			switch body[i] {
+			case '(', '<', '[':
+				depth++
+			case ')', '>', ']':
+				if depth == 0 && body[i] == ')' && i == len(body)-1 {
+					return nil, fmt.Errorf("core: select(...) needs 'e1; phr'")
+				}
+				depth--
+			case ';':
+				if depth == 0 {
+					var sub *hre.Expr
+					left := trim(body[:i])
+					if left != "*" {
+						var err error
+						sub, err = hre.Parse(left)
+						if err != nil {
+							return nil, err
+						}
+					}
+					rest := trim(body[i+1:])
+					if len(rest) == 0 || rest[len(rest)-1] != ')' {
+						return nil, fmt.Errorf("core: select(...) not closed")
+					}
+					phr, err := ParsePHR(trim(rest[:len(rest)-1]))
+					if err != nil {
+						return nil, err
+					}
+					return &Query{Subhedge: sub, Envelope: phr}, nil
+				}
+			}
+		}
+		return nil, fmt.Errorf("core: select(...) needs 'e1; phr'")
+	}
+	phr, err := ParsePHR(input)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{Envelope: phr}, nil
+}
+
+func trim(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t' || s[0] == '\n') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t' || s[len(s)-1] == '\n') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// String renders the query.
+func (q *Query) String() string {
+	if q.Subhedge == nil {
+		return q.Envelope.String()
+	}
+	return fmt.Sprintf("select(%s; %s)", q.Subhedge, q.Envelope)
+}
+
+// CompiledQuery is the executable form of a selection query: the Theorem 3
+// machinery for e₁ (a complete DHA plus its final DFA, checked against each
+// node's child-state sequence) and the Theorem 4 / Algorithm 1 machinery
+// for e₂.
+type CompiledQuery struct {
+	Names *ha.Names
+	phr   *CompiledPHR
+	sub   *subChecker // nil = any subhedge
+}
+
+// subChecker decides "subhedge of n ∈ L(e₁)" per node in one bottom-up
+// pass: it runs the complete DHA of e₁ and tests the child sequence against
+// the final DFA — exactly the marking bit of Theorem 3's M↓e.
+type subChecker struct {
+	dha  *ha.DHA
+	sink int
+	fin  *sfa.DFA
+}
+
+// CompileQuery compiles a selection query. Intern the document alphabet
+// into names before calling for a closed-world reading of side conditions.
+func CompileQuery(q *Query, names *ha.Names) (*CompiledQuery, error) {
+	cq := &CompiledQuery{Names: names}
+	phr, err := CompilePHR(q.Envelope, names)
+	if err != nil {
+		return nil, err
+	}
+	cq.phr = phr
+	if q.Subhedge != nil {
+		nha, err := hre.Compile(q.Subhedge, names)
+		if err != nil {
+			return nil, err
+		}
+		det := nha.Determinize()
+		cq.sub = &subChecker{
+			dha:  det.DHA,
+			sink: det.Subsets.Lookup(nil),
+			fin:  det.DHA.Final.Complete(),
+		}
+	}
+	return cq, nil
+}
+
+// Select returns the nodes of h located by the query (Definition 22).
+func (cq *CompiledQuery) Select(h hedge.Hedge) *Result {
+	if cq.sub == nil {
+		return cq.phr.Locate(h)
+	}
+	// Combined evaluation: the PHR annotation tree and the e₁ marking tree
+	// walk the document in lockstep with the mirror automaton.
+	phrRecs, ar := cq.phr.annotate(h)
+	subRecs := cq.sub.annotate(h)
+	res := &Result{Located: map[*hedge.Node]bool{}}
+	cq.selectWalk(h, phrRecs, subRecs, nil, cq.phr.mirror.start(), res)
+	cq.phr.arenas.Put(ar)
+	return res
+}
+
+func (cq *CompiledQuery) selectWalk(h hedge.Hedge, phrRecs []annot, subRecs []subAnnot, prefix hedge.Path, parentState int, res *Result) {
+	for i, n := range h {
+		p := append(prefix, i)
+		if n.Kind != hedge.Elem {
+			continue
+		}
+		ni := &phrRecs[i]
+		cands := cq.phr.candidates(n.Name, ni.leftBits, ni.rightBits)
+		st := cq.phr.mirror.step(parentState, cands)
+		if cq.phr.mirror.accepting(st) && subRecs[i].marked {
+			res.Located[n] = true
+			res.Paths = append(res.Paths, p.Clone())
+		}
+		cq.selectWalk(n.Children, ni.children, subRecs[i].children, p, st, res)
+	}
+}
+
+// subAnnot is the per-node record of the e₁ marking pass (Theorem 3's bit).
+type subAnnot struct {
+	state    int
+	marked   bool
+	children []subAnnot
+}
+
+// annotate computes, per node, the e₁ automaton state and whether the
+// node's subhedge is in L(e₁). Records are bump-allocated from one slab.
+func (s *subChecker) annotate(h hedge.Hedge) []subAnnot {
+	arena := make([]subAnnot, h.Size())
+	return s.annotateIn(h, &arena)
+}
+
+func (s *subChecker) annotateIn(h hedge.Hedge, arena *[]subAnnot) []subAnnot {
+	recs := (*arena)[:len(h)]
+	*arena = (*arena)[len(h):]
+	for i, n := range h {
+		a := &recs[i]
+		switch n.Kind {
+		case hedge.Var:
+			a.state = s.sink
+			if v := s.dha.Names.Vars.Lookup(n.Name); v != alphabet.None && v < len(s.dha.Iota) {
+				if q := s.dha.Iota[v]; q != alphabet.None {
+					a.state = q
+				}
+			}
+		case hedge.Elem:
+			a.children = s.annotateIn(n.Children, arena)
+			fs := s.fin.Start
+			for j := range a.children {
+				fs = s.fin.Step(fs, a.children[j].state)
+			}
+			a.marked = s.fin.Accepting(fs)
+			a.state = s.applyAlphaAnnot(n.Name, a.children)
+		default:
+			a.state = s.sink
+		}
+	}
+	return recs
+}
+
+func (s *subChecker) applyAlphaAnnot(symName string, children []subAnnot) int {
+	sym := s.dha.Names.Syms.Lookup(symName)
+	if sym == alphabet.None || sym >= len(s.dha.Horiz) || s.dha.Horiz[sym] == nil {
+		return s.sink
+	}
+	hz := s.dha.Horiz[sym]
+	st := hz.DFA.Start
+	for j := range children {
+		st = hz.DFA.Step(st, children[j].state)
+		if st == sfa.Dead {
+			return s.sink
+		}
+	}
+	if q := hz.Out[st]; q != alphabet.None {
+		return q
+	}
+	return s.sink
+}
+
+// SelectBindings is Select with variable capture: located nodes are
+// returned together with the ancestors bound by named bases (see
+// CompiledPHR.LocateBindings). The e₁ condition filters matches as usual.
+func (cq *CompiledQuery) SelectBindings(h hedge.Hedge) []BoundMatch {
+	ms := cq.phr.LocateBindings(h)
+	if cq.sub == nil {
+		return ms
+	}
+	subRecs := cq.sub.annotate(h)
+	marked := map[*hedge.Node]bool{}
+	var collect func(h hedge.Hedge, recs []subAnnot)
+	collect = func(h hedge.Hedge, recs []subAnnot) {
+		for i, n := range h {
+			if recs[i].marked {
+				marked[n] = true
+			}
+			if n.Kind == hedge.Elem {
+				collect(n.Children, recs[i].children)
+			}
+		}
+	}
+	collect(h, subRecs)
+	out := ms[:0]
+	for _, m := range ms {
+		if marked[m.Node] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// HasUniqueBindings reports (conservatively) whether the query's envelope
+// determines bindings uniquely per match.
+func (cq *CompiledQuery) HasUniqueBindings() bool {
+	return cq.phr.HasUniqueBindings()
+}
+
+// SelectNaive evaluates the query from the definitions: per node, test the
+// subhedge by automaton membership and the envelope by decomposition
+// matching. Used as the oracle and as the E4 baseline.
+func SelectNaive(q *Query, names *ha.Names, h hedge.Hedge) (map[*hedge.Node]bool, error) {
+	matcher, err := NewNaiveMatcher(q.Envelope, names)
+	if err != nil {
+		return nil, err
+	}
+	var subNHA *ha.NHA
+	if q.Subhedge != nil {
+		subNHA, err = hre.Compile(q.Subhedge, names)
+		if err != nil {
+			return nil, err
+		}
+	}
+	located, err := matcher.LocateAll(h)
+	if err != nil {
+		return nil, err
+	}
+	if subNHA == nil {
+		return located, nil
+	}
+	out := map[*hedge.Node]bool{}
+	for n := range located {
+		if subNHA.Accepts(n.Children) {
+			out[n] = true
+		}
+	}
+	return out, nil
+}

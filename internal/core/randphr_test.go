@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+	"xpe/internal/hre"
+	"xpe/internal/sre"
+)
+
+// randSide generates a random hedge regular expression side condition over
+// {a,b} with variable x (nil = any hedge).
+func randSide(rng *rand.Rand) *hre.Expr {
+	if rng.Intn(3) == 0 {
+		return nil
+	}
+	var gen func(depth int) *hre.Expr
+	gen = func(depth int) *hre.Expr {
+		if depth <= 0 {
+			switch rng.Intn(4) {
+			case 0:
+				return hre.Leaf("a")
+			case 1:
+				return hre.Leaf("b")
+			case 2:
+				return hre.Var("x")
+			default:
+				return hre.Any()
+			}
+		}
+		switch rng.Intn(5) {
+		case 0:
+			return hre.Elem("a", gen(depth-1))
+		case 1:
+			return hre.Cat(gen(depth-1), gen(depth-1))
+		case 2:
+			return hre.Alt(gen(depth-1), gen(depth-1))
+		case 3:
+			return hre.Star(gen(depth - 1))
+		default:
+			return gen(depth - 1)
+		}
+	}
+	return gen(2)
+}
+
+// randPHR generates a random pointed hedge representation with up to four
+// bases over labels {a,b}.
+func randPHR(rng *rand.Rand) *PHR {
+	phr := &PHR{}
+	nBases := 1 + rng.Intn(3)
+	syms := make([]*sre.Expr, nBases)
+	for i := 0; i < nBases; i++ {
+		label := "a"
+		if rng.Intn(2) == 0 {
+			label = "b"
+		}
+		phr.Bases = append(phr.Bases, BaseRep{
+			Left:  randSide(rng),
+			Label: label,
+			Right: randSide(rng),
+		})
+		syms[i] = sre.Sym(baseSymbol(i))
+	}
+	var gen func(depth int) *sre.Expr
+	gen = func(depth int) *sre.Expr {
+		if depth <= 0 {
+			return syms[rng.Intn(nBases)]
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return sre.Cat(gen(depth-1), gen(depth-1))
+		case 1:
+			return sre.Alt(gen(depth-1), gen(depth-1))
+		case 2:
+			return sre.Star(gen(depth - 1))
+		default:
+			return gen(depth - 1)
+		}
+	}
+	phr.Expr = gen(2)
+	return phr
+}
+
+// TestNaiveVsAlgorithm1Fuzz compares the two evaluators on randomly
+// generated representations and documents — the strongest correctness
+// evidence for Theorem 4 / Algorithm 1 in the suite.
+func TestNaiveVsAlgorithm1Fuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	cfg := hedge.RandConfig{Symbols: []string{"a", "b"}, Vars: []string{"x"}, MaxDepth: 4, MaxWidth: 3}
+	for trial := 0; trial < 80; trial++ {
+		phr := randPHR(rng)
+		names := ha.NewNames()
+		names.Syms.Intern("a")
+		names.Syms.Intern("b")
+		names.Vars.Intern("x")
+		compiled, err := CompilePHR(phr, names)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, phr, err)
+		}
+		naive, err := NewNaiveMatcher(phr, names)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < 25; i++ {
+			h := hedge.Random(rng, cfg)
+			fast := compiled.Locate(h)
+			slow, err := naive.LocateAll(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.Visit(func(p hedge.Path, n *hedge.Node) bool {
+				if fast.Located[n] != slow[n] {
+					t.Fatalf("trial %d: %s disagrees at %v in %q: fast=%v naive=%v",
+						trial, phr, p, h, fast.Located[n], slow[n])
+				}
+				return true
+			})
+		}
+	}
+}
+
+// TestMatchAutomatonFuzz checks the Theorem 5 construction on random
+// representations against a small schema: language preservation and
+// marking agreement.
+func TestMatchAutomatonFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 25; trial++ {
+		names := ha.NewNames()
+		names.Syms.Intern("a")
+		names.Syms.Intern("b")
+		names.Vars.Intern("x")
+		// Schema: a-rooted documents over {a,b,x}.
+		b := ha.NewBuilder(names)
+		b.Iota("x", "qx")
+		b.MustRule("a", "qa", "(qa | qb | qx)*")
+		b.MustRule("b", "qb", "(qa | qb | qx)*")
+		b.MustFinal("qa")
+		schema := b.Build().Determinize().DHA
+
+		phr := randPHR(rng)
+		cq, err := CompileQuery(&Query{Envelope: phr}, names)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		m, err := BuildMatchAutomaton(schema, cq)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, phr, err)
+		}
+		cfg := hedge.RandConfig{Symbols: []string{"a", "b"}, Vars: []string{"x"}, MaxDepth: 3, MaxWidth: 3}
+		for i := 0; i < 20; i++ {
+			h := hedge.Random(rng, cfg)
+			if schema.Accepts(h) != m.NHA.Accepts(h) {
+				t.Fatalf("trial %d: %s changed the schema language on %q", trial, phr, h)
+			}
+			if !schema.Accepts(h) {
+				continue
+			}
+			marked, ok := m.MarkedNodes(h)
+			if !ok {
+				t.Fatalf("trial %d: run extraction failed on %q", trial, h)
+			}
+			want := cq.Select(h)
+			h.Visit(func(p hedge.Path, n *hedge.Node) bool {
+				if marked[n] != want.Located[n] {
+					t.Fatalf("trial %d: %s marking disagrees at %v in %q", trial, phr, p, h)
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:     "EX",
+		Title:  "demo",
+		Claim:  "none",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"note"},
+	}
+	var b strings.Builder
+	tab.Render(&b)
+	out := b.String()
+	for _, want := range []string{"== EX: demo", "claim: none", "333", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLayeredGrammarShape(t *testing.T) {
+	g := LayeredGrammar(3)
+	for _, want := range []string{"element section1", "element section3", "start = doc"} {
+		if !strings.Contains(g, want) {
+			t.Fatalf("grammar missing %q", want)
+		}
+	}
+}
+
+// TestExperimentsQuick runs the fast experiments end-to-end so the harness
+// cannot rot. The heavyweight scaling experiments (E1, E2, E4, E5) are
+// exercised by `go test -bench` and cmd/xpebench.
+func TestExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, fn := range []func(bool) (*Table, error){E3, E6, E7, E8} {
+		tab, err := fn(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced no rows", tab.ID)
+		}
+		var b strings.Builder
+		tab.Render(&b)
+		if !strings.Contains(b.String(), tab.ID) {
+			t.Fatalf("%s render broken", tab.ID)
+		}
+	}
+}
+
+func TestE3ShowsExponentialShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tab, err := E3(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The adversarial membership-DFA states must grow 4x per +2 in k.
+	var prev int
+	for i, row := range tab.Rows {
+		var states int
+		if _, err := sscan(row[2], &states); err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if i > 0 && states != prev*4-6 && states < prev*3 {
+			t.Fatalf("no exponential growth: %d after %d", states, prev)
+		}
+		prev = states
+	}
+}
+
+func sscan(s string, out *int) (int, error) {
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			break
+		}
+		n = n*10 + int(r-'0')
+	}
+	*out = n
+	return n, nil
+}

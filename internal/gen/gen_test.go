@@ -1,0 +1,58 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpe/internal/ha"
+	"xpe/internal/schema"
+)
+
+func TestDocumentSizeAndValidity(t *testing.T) {
+	names := ha.NewNames()
+	s := schema.MustParseGrammar(DocGrammar, names)
+	for _, target := range []int{50, 500, 5000} {
+		doc := Document(DefaultDocConfig(), target)
+		n := doc.Size()
+		if n < target || n > target*2 {
+			t.Fatalf("target %d produced %d nodes", target, n)
+		}
+		if !s.DHA.Accepts(doc) {
+			t.Fatalf("generated document (target %d) violates DocGrammar", target)
+		}
+	}
+}
+
+func TestDocumentDeterministic(t *testing.T) {
+	a := Document(DefaultDocConfig(), 300)
+	b := Document(DefaultDocConfig(), 300)
+	if !a.Equal(b) {
+		t.Fatal("generation is not deterministic")
+	}
+}
+
+func TestKthFromEndBlowup(t *testing.T) {
+	// The NFA for the k-th-from-end language is linear in k; its minimal
+	// DFA has 2^k states.
+	for _, k := range []int{2, 4, 6} {
+		e := KthFromEndExpr(k)
+		pe, err := parseSRE(e)
+		if err != nil {
+			t.Fatalf("%q: %v", e, err)
+		}
+		if got := pe; got != 1<<k {
+			t.Fatalf("k=%d: minimal DFA has %d states, want %d", k, got, 1<<k)
+		}
+	}
+}
+
+func TestSiblingRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := SiblingRow(rng, 10)
+	if h.Size() != 12 { // r + 10 siblings + c
+		t.Fatalf("size = %d", h.Size())
+	}
+	if h[0].Children[10].Name != "c" {
+		t.Fatal("c must be last")
+	}
+}

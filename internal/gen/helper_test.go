@@ -1,0 +1,20 @@
+package gen
+
+import (
+	"xpe/internal/alphabet"
+	"xpe/internal/sre"
+)
+
+// parseSRE compiles an expression over {a,b} and returns its minimal DFA
+// state count (accepting-relevant states: the completed minimal automaton
+// minus nothing — the classic 2^k count includes the whole machine).
+func parseSRE(src string) (int, error) {
+	e, err := sre.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	in := alphabet.NewInterner()
+	in.Intern("a")
+	in.Intern("b")
+	return e.CompileDFA(in).NumStates, nil
+}

@@ -1,0 +1,137 @@
+package ha
+
+import (
+	"xpe/internal/hedge"
+	"xpe/internal/sfa"
+)
+
+// Ambiguity (Section 9 of the paper). The paper's future-work section
+// proposes adding variables to hedge regular expressions and notes that
+// "variables can be safely introduced to unambiguous expressions" — an
+// expression is ambiguous when some hedge has more than one way to match.
+// At the automaton level this is: some accepted hedge has two distinct
+// successful computations. That property is decidable by a self-product
+// construction that tracks whether the two simulated computations have
+// diverged anywhere.
+//
+// States of the pair automaton are (q₁, q₂, d) with d = 1 iff the two
+// computations differ at or below the node: d = [q₁ ≠ q₂] ∨ (some child
+// has d = 1). The automaton accepts hedges whose both projections are
+// accepted and whose top level contains a d = 1 state; the original
+// automaton is ambiguous iff that language is non-empty.
+
+// Ambiguous reports whether some hedge has two distinct successful
+// computations.
+func (n *NHA) Ambiguous() bool {
+	return !n.pairAutomaton().IsEmpty()
+}
+
+// AmbiguityWitness returns a hedge with two distinct successful
+// computations, or ok=false when the automaton is unambiguous. The pair
+// automaton is determinized to extract the witness, which can be expensive
+// for large automata.
+func (n *NHA) AmbiguityWitness() (hedge.Hedge, bool) {
+	pair := n.pairAutomaton()
+	if pair.IsEmpty() {
+		return nil, false
+	}
+	return pair.Determinize().DHA.SomeHedge()
+}
+
+// pairID encodes (q1, q2, d) over N original states.
+func pairID(n, q1, q2, d int) int { return (q1*n+q2)*2 + d }
+
+// pairAutomaton builds the self-product with difference tracking.
+func (n *NHA) pairAutomaton() *NHA {
+	numQ := n.NumStates
+	pairStates := numQ * numQ * 2
+	p := NewNHA(n.Names)
+	p.NumStates = pairStates
+
+	// Leaves: every pair of ι choices; d records whether they differ.
+	p.Iota = make([][]int, len(n.Iota))
+	for v, qs := range n.Iota {
+		for _, q1 := range qs {
+			for _, q2 := range qs {
+				d := 0
+				if q1 != q2 {
+					d = 1
+				}
+				p.Iota[v] = append(p.Iota[v], pairID(numQ, q1, q2, d))
+			}
+		}
+	}
+
+	// lift maps a language over states to a language over pair symbols by
+	// the given projection.
+	lift := func(lang *sfa.NFA, project func(q int) []int) *sfa.NFA {
+		out := lang.MapSymbols(pairStates, project)
+		out.GrowAlphabet(pairStates)
+		return out
+	}
+	proj1 := func(q1 int) []int {
+		syms := make([]int, 0, numQ*2)
+		for q2 := 0; q2 < numQ; q2++ {
+			syms = append(syms, pairID(numQ, q1, q2, 0), pairID(numQ, q1, q2, 1))
+		}
+		return syms
+	}
+	proj2 := func(q2 int) []int {
+		syms := make([]int, 0, numQ*2)
+		for q1 := 0; q1 < numQ; q1++ {
+			syms = append(syms, pairID(numQ, q1, q2, 0), pairID(numQ, q1, q2, 1))
+		}
+		return syms
+	}
+	// bitFilter restricts a pair language by the d-bits of its symbols:
+	// all-zero (wantOne=false) or at-least-one-one (wantOne=true).
+	bitFilter := func(lang *sfa.NFA, wantOne bool) *sfa.NFA {
+		flag := sfa.NewDFA(pairStates)
+		s0 := flag.AddState(!wantOne)
+		s1 := flag.AddState(wantOne)
+		flag.Start = s0
+		for sym := 0; sym < pairStates; sym++ {
+			if sym%2 == 1 {
+				flag.SetTrans(s0, sym, s1)
+			} else {
+				flag.SetTrans(s0, sym, s0)
+			}
+			flag.SetTrans(s1, sym, s1)
+		}
+		if !wantOne {
+			// All-zero words: stay in s0; s1 is a trap we never accept.
+			flag.Accept[s1] = false
+		}
+		return sfa.IntersectNFA(lang, flag.ToNFA())
+	}
+
+	for i := range n.Rules {
+		for j := range n.Rules {
+			r1, r2 := &n.Rules[i], &n.Rules[j]
+			if r1.Sym != r2.Sym {
+				continue
+			}
+			base := sfa.IntersectNFA(lift(r1.Lang, proj1), lift(r2.Lang, proj2))
+			if r1.Result != r2.Result {
+				p.AddRule(r1.Sym, pairID(numQ, r1.Result, r2.Result, 1), base)
+				continue
+			}
+			p.AddRule(r1.Sym, pairID(numQ, r1.Result, r2.Result, 0), bitFilter(base, false))
+			p.AddRule(r1.Sym, pairID(numQ, r1.Result, r2.Result, 1), bitFilter(base, true))
+		}
+	}
+
+	// Final: both projections accepted and a difference present somewhere.
+	p.Final = bitFilter(sfa.IntersectNFA(lift(n.Final, proj1), lift(n.Final, proj2)), true)
+	return p
+}
+
+// UnambiguousOn reports whether the automaton has at most one successful
+// computation for the specific hedge h (a cheaper per-document check used
+// to validate variable bindings).
+func (n *NHA) UnambiguousOn(h hedge.Hedge) bool {
+	if !n.Accepts(h) {
+		return true
+	}
+	return !n.pairAutomaton().Accepts(h)
+}

@@ -1,0 +1,124 @@
+package ha
+
+import (
+	"testing"
+
+	"xpe/internal/hedge"
+)
+
+func TestPaperM1Unambiguous(t *testing.T) {
+	// M₁ (Section 3) is nondeterministic — the second p of d⟨p⟨xx⟩p⟨xx⟩⟩
+	// can reach qp1 or qp2 — but it has only ONE successful computation:
+	// the d rule demands qp1 qp2*, which filters the (qp1, qp1) choice.
+	// Nondeterminism is not ambiguity.
+	m := paperM1(t)
+	if m.Ambiguous() {
+		t.Fatal("M1 has a unique successful computation per hedge")
+	}
+}
+
+func TestAmbiguousRelaxedM1(t *testing.T) {
+	// Relaxing d's horizontal language to (qp1|qp2)* makes both choices
+	// complete: genuinely ambiguous.
+	names := NewNames()
+	names.Syms.Intern("d")
+	names.Syms.Intern("p")
+	names.Vars.Intern("x")
+	b := NewBuilder(names)
+	b.Iota("x", "qx")
+	b.MustRule("d", "qd", "(qp1 | qp2)*")
+	b.MustRule("p", "qp1", "qx qx")
+	b.MustRule("p", "qp2", "qx qx")
+	b.MustFinal("qd*")
+	m := b.Build()
+	if !m.Ambiguous() {
+		t.Fatal("relaxed M1 should be ambiguous")
+	}
+	w, ok := m.AmbiguityWitness()
+	if !ok {
+		t.Fatal("no witness")
+	}
+	if !m.Accepts(w) {
+		t.Fatalf("witness %v not accepted", w)
+	}
+	if m.UnambiguousOn(w) {
+		t.Fatalf("witness %v should have two computations", w)
+	}
+}
+
+func TestUnambiguousPaperM0(t *testing.T) {
+	// M₀ is deterministic, hence unambiguous.
+	m := paperM0(t)
+	if m.Ambiguous() {
+		t.Fatal("M0 should be unambiguous")
+	}
+	if _, ok := m.AmbiguityWitness(); ok {
+		t.Fatal("unexpected witness")
+	}
+}
+
+func TestAmbiguousUnionOverlap(t *testing.T) {
+	// Two rules for the same (symbol, different results) covering the same
+	// child word: classic ambiguity.
+	names := NewNames()
+	names.Syms.Intern("a")
+	names.Vars.Intern("x")
+	b := NewBuilder(names)
+	b.Iota("x", "qx")
+	b.MustRule("a", "q1", "qx")
+	b.MustRule("a", "q2", "qx")
+	b.MustFinal("q1 | q2")
+	m := b.Build()
+	if !m.Ambiguous() {
+		t.Fatal("overlapping rules should be ambiguous")
+	}
+	// Restricting the final set to one result removes the ambiguity:
+	// the q2 computation no longer completes.
+	b2 := NewBuilder(names)
+	b2.Iota("x", "px")
+	b2.MustRule("a", "p1", "px")
+	b2.MustRule("a", "p2", "px")
+	b2.MustFinal("p1")
+	if b2.Build().Ambiguous() {
+		t.Fatal("dead nondeterminism is not ambiguity")
+	}
+}
+
+func TestAmbiguousHorizontalOverlap(t *testing.T) {
+	// One rule whose language overlaps with another rule of the SAME
+	// result is not ambiguous (same computation either way)...
+	names := NewNames()
+	names.Syms.Intern("a")
+	names.Vars.Intern("x")
+	b := NewBuilder(names)
+	b.Iota("x", "qx")
+	b.MustRule("a", "q", "qx*")
+	b.MustRule("a", "q", "qx qx*") // overlapping language, same result
+	b.MustFinal("q")
+	if b.Build().Ambiguous() {
+		t.Fatal("overlapping rules with one result are not ambiguous")
+	}
+}
+
+func TestAmbiguousLeafChoice(t *testing.T) {
+	// A variable mapped to two states, both completable: ambiguous at the
+	// leaf.
+	names := NewNames()
+	names.Syms.Intern("a")
+	names.Vars.Intern("x")
+	b := NewBuilder(names)
+	b.Iota("x", "q1")
+	b.Iota("x", "q2")
+	b.MustRule("a", "qa", "q1 | q2")
+	b.MustFinal("qa")
+	m := b.Build()
+	if !m.Ambiguous() {
+		t.Fatal("leaf-level nondeterminism should be ambiguous")
+	}
+	if !m.UnambiguousOn(hedge.MustParse("a<$x> a<$x>")) {
+		t.Fatal("rejected hedges are trivially unambiguous")
+	}
+	if m.UnambiguousOn(hedge.MustParse("a<$x>")) {
+		t.Fatal("a<$x> has two computations")
+	}
+}

@@ -1,0 +1,106 @@
+package ha
+
+import (
+	"fmt"
+
+	"xpe/internal/alphabet"
+	"xpe/internal/sfa"
+	"xpe/internal/sre"
+)
+
+// Builder assembles an NHA from named states and string regular
+// expressions over those state names, mirroring how the paper presents
+// automata (e.g. the automaton M₀ of Section 3 with α₀(d,u)=q_d for
+// u ∈ L(q_p1 q_p2*)).
+type Builder struct {
+	names  *Names
+	states *alphabet.Interner
+	nha    *NHA
+}
+
+// NewBuilder returns a builder over the given names.
+func NewBuilder(names *Names) *Builder {
+	return &Builder{
+		names:  names,
+		states: alphabet.NewInterner(),
+		nha:    NewNHA(names),
+	}
+}
+
+// State interns a state name and returns its id.
+func (b *Builder) State(name string) int {
+	id := b.states.Intern(name)
+	for b.nha.NumStates <= id {
+		b.nha.AddState()
+	}
+	return id
+}
+
+// StateName returns the name of state id.
+func (b *Builder) StateName(id int) string { return b.states.Name(id) }
+
+// Iota declares q ∈ ι(varName).
+func (b *Builder) Iota(varName, state string) {
+	v := b.names.Vars.Intern(varName)
+	b.nha.AddIota(v, b.State(state))
+}
+
+// Rule declares α(sym, u) ∋ result for u ∈ L(langExpr), where langExpr is a
+// string regular expression over state names.
+func (b *Builder) Rule(sym, result, langExpr string) error {
+	e, err := sre.Parse(langExpr)
+	if err != nil {
+		return fmt.Errorf("ha: rule %s→%s: %w", sym, result, err)
+	}
+	for _, n := range e.SymbolNames() {
+		b.State(n)
+	}
+	lang := e.CompileNFA(b.states)
+	b.nha.AddRule(b.names.Syms.Intern(sym), b.State(result), lang)
+	return nil
+}
+
+// RuleEps declares α(sym, ε) ∋ result, i.e. sym may label a childless node
+// yielding result.
+func (b *Builder) RuleEps(sym, result string) {
+	b.nha.AddRule(b.names.Syms.Intern(sym), b.State(result), sfa.EpsLang(b.nha.NumStates))
+}
+
+// Final declares the final state sequence set F as a string regular
+// expression over state names.
+func (b *Builder) Final(expr string) error {
+	e, err := sre.Parse(expr)
+	if err != nil {
+		return fmt.Errorf("ha: final set: %w", err)
+	}
+	for _, n := range e.SymbolNames() {
+		b.State(n)
+	}
+	b.nha.Final = e.CompileNFA(b.states)
+	return nil
+}
+
+// Build returns the assembled NHA. The builder can keep being used; Build
+// may be called repeatedly.
+func (b *Builder) Build() *NHA {
+	// Normalize language alphabets to the final state count.
+	for i := range b.nha.Rules {
+		b.nha.Rules[i].Lang.GrowAlphabet(b.nha.NumStates)
+	}
+	b.nha.Final.GrowAlphabet(b.nha.NumStates)
+	return b.nha
+}
+
+// MustRule is Rule, panicking on error.
+func (b *Builder) MustRule(sym, result, langExpr string) {
+	if err := b.Rule(sym, result, langExpr); err != nil {
+		panic(err)
+	}
+}
+
+// MustFinal is Final, panicking on error.
+func (b *Builder) MustFinal(expr string) {
+	if err := b.Final(expr); err != nil {
+		panic(err)
+	}
+}

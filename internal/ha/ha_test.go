@@ -1,0 +1,319 @@
+package ha
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpe/internal/hedge"
+)
+
+// paperM0 builds the paper's Section-3 example M₀: it accepts any sequence
+// of trees d⟨p⟨x⟩⟩, d⟨p⟨x⟩p⟨y⟩⟩, … — each d has one p⟨x⟩ followed by any
+// number of p⟨y⟩.
+func paperM0(t testing.TB) *NHA {
+	names := NewNames()
+	names.Syms.Intern("d")
+	names.Syms.Intern("p")
+	names.Vars.Intern("x")
+	names.Vars.Intern("y")
+	b := NewBuilder(names)
+	b.Iota("x", "qx")
+	b.Iota("y", "qy")
+	b.MustRule("d", "qd", "qp1, qp2*")
+	b.MustRule("p", "qp1", "qx")
+	b.MustRule("p", "qp2", "qy")
+	b.MustFinal("qd*")
+	return b.Build()
+}
+
+// paperM1 builds the paper's non-deterministic example M₁: d over p-children
+// where every p has children x x; the first p yields qp1, later ones may
+// yield qp1 or qp2; acceptance requires qd at the top... (Final in the paper
+// is printed as L(q_x*), an apparent typo for L(q_d*); we use qd*.)
+func paperM1(t testing.TB) *NHA {
+	names := NewNames()
+	names.Syms.Intern("d")
+	names.Syms.Intern("p")
+	names.Vars.Intern("x")
+	names.Vars.Intern("y")
+	b := NewBuilder(names)
+	b.Iota("x", "qx")
+	b.MustRule("d", "qd", "qp1, qp2*")
+	b.MustRule("p", "qp1", "qx, qx")
+	b.MustRule("p", "qp2", "qx, qx")
+	b.MustRule("p", "qp1", "qx")
+	b.MustFinal("qd*")
+	return b.Build()
+}
+
+func TestPaperM0(t *testing.T) {
+	m := paperM0(t)
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"d<p<$x> p<$y>> d<p<$x>>", true}, // the paper's worked example
+		{"d<p<$x>>", true},
+		{"", true}, // F = qd* contains ε
+		{"d<p<$y>>", false},
+		{"d<p<$x> p<$x>>", false},
+		{"p<$x>", false},
+		{"d<>", false},
+		{"d<p<$x> p<$y> p<$y>>", true},
+	}
+	for _, c := range cases {
+		if got := m.Accepts(hedge.MustParse(c.src)); got != c.want {
+			t.Errorf("M0.Accepts(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPaperM0Computation(t *testing.T) {
+	// The computation of d⟨p⟨x⟩p⟨y⟩⟩d⟨p⟨x⟩⟩ by M₀ has ceil q_d q_d.
+	m := paperM0(t)
+	det := m.Determinize()
+	h := hedge.MustParse("d<p<$x> p<$y>> d<p<$x>>")
+	run := det.DHA.Exec(h)
+	if !run.Accepted {
+		t.Fatal("expected acceptance")
+	}
+	for _, topState := range run.Top {
+		set := det.SubsetOf(topState)
+		if len(set) != 1 {
+			t.Fatalf("top subset = %v, want a singleton {qd}", set)
+		}
+	}
+}
+
+func TestPaperM1(t *testing.T) {
+	m := paperM1(t)
+	// The paper executes M₁ on d⟨p⟨x⟩p⟨y⟩⟩ (no computation: y has no state)
+	// and d⟨p⟨xx⟩p⟨xx⟩⟩ (accepted).
+	if m.Accepts(hedge.MustParse("d<p<$x> p<$y>>")) {
+		t.Fatal("M1 should reject d<p<$x> p<$y>>")
+	}
+	if !m.Accepts(hedge.MustParse("d<p<$x $x> p<$x $x>>")) {
+		t.Fatal("M1 should accept d<p<$x $x> p<$x $x>>")
+	}
+	// Both computations of the second hedge exist: check the reachable set
+	// of the second p node contains both qp1 and qp2.
+	h := hedge.MustParse("d<p<$x $x> p<$x $x>>")
+	run := m.Exec(h)
+	secondP := h[0].Children[1]
+	if got := len(run.Sets[secondP]); got != 2 {
+		t.Fatalf("second p should reach 2 states, got %v", run.Sets[secondP])
+	}
+}
+
+func TestTheorem1DeterminizeAgrees(t *testing.T) {
+	for name, m := range map[string]*NHA{"M0": paperM0(t), "M1": paperM1(t)} {
+		det := m.Determinize()
+		rng := rand.New(rand.NewSource(42))
+		cfg := hedge.RandConfig{
+			Symbols: []string{"d", "p"}, Vars: []string{"x", "y"},
+			MaxDepth: 4, MaxWidth: 3,
+		}
+		for i := 0; i < 400; i++ {
+			h := hedge.Random(rng, cfg)
+			if m.Accepts(h) != det.DHA.Accepts(h) {
+				t.Fatalf("%s: NHA and determinized DHA disagree on %v", name, h)
+			}
+		}
+	}
+}
+
+func TestDHACompleteAssignsEverywhere(t *testing.T) {
+	det := paperM0(t).Determinize()
+	c := det.DHA.Complete()
+	rng := rand.New(rand.NewSource(7))
+	cfg := hedge.RandConfig{
+		Symbols: []string{"d", "p"}, Vars: []string{"x", "y"},
+		MaxDepth: 4, MaxWidth: 3,
+	}
+	for i := 0; i < 200; i++ {
+		h := hedge.Random(rng, cfg)
+		run := c.Exec(h)
+		if !run.Complete {
+			t.Fatalf("complete DHA failed to assign a state in %v", h)
+		}
+		if run.Accepted != det.DHA.Accepts(h) {
+			t.Fatalf("completion changed the language on %v", h)
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	det := paperM0(t).Determinize()
+	comp := det.DHA.Complement()
+	rng := rand.New(rand.NewSource(9))
+	cfg := hedge.RandConfig{
+		Symbols: []string{"d", "p"}, Vars: []string{"x", "y"},
+		MaxDepth: 4, MaxWidth: 3,
+	}
+	for i := 0; i < 200; i++ {
+		h := hedge.Random(rng, cfg)
+		if det.DHA.Accepts(h) == comp.Accepts(h) {
+			t.Fatalf("complement agrees with original on %v", h)
+		}
+	}
+}
+
+func TestProductIntersectUnion(t *testing.T) {
+	names := NewNames()
+	names.Syms.Intern("a")
+	names.Vars.Intern("x")
+	// A: all top-level nodes are a (any children); B: exactly two top-level
+	// nodes.
+	ba := NewBuilder(names)
+	ba.Iota("x", "qx")
+	ba.MustRule("a", "qa", "(qa | qx)*")
+	ba.MustFinal("qa*")
+	a := ba.Build().Determinize().DHA
+
+	bb := NewBuilder(names)
+	bb.Iota("x", "px")
+	bb.MustRule("a", "pa", "(pa | px)*")
+	bb.MustFinal("(pa | px) (pa | px)")
+	b := bb.Build().Determinize().DHA
+
+	inter, err := Intersect(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	cfg := hedge.RandConfig{Symbols: []string{"a"}, Vars: []string{"x"}, MaxDepth: 3, MaxWidth: 3}
+	for i := 0; i < 300; i++ {
+		h := hedge.Random(rng, cfg)
+		ia, ib := a.Accepts(h), b.Accepts(h)
+		if inter.Accepts(h) != (ia && ib) {
+			t.Fatalf("intersection wrong on %v (a=%v b=%v)", h, ia, ib)
+		}
+		if uni.Accepts(h) != (ia || ib) {
+			t.Fatalf("union wrong on %v", h)
+		}
+	}
+}
+
+func TestEmptinessAndWitness(t *testing.T) {
+	m := paperM0(t)
+	if m.IsEmpty() {
+		t.Fatal("M0 should be non-empty")
+	}
+	det := m.Determinize()
+	w, ok := det.DHA.SomeHedge()
+	if !ok {
+		t.Fatal("SomeHedge found nothing")
+	}
+	if !m.Accepts(w) {
+		t.Fatalf("witness %v not accepted", w)
+	}
+
+	// An automaton with unsatisfiable rules is empty... build one: a needs
+	// a child state that nothing produces.
+	names := NewNames()
+	names.Syms.Intern("a")
+	names.Vars.Intern("x")
+	b := NewBuilder(names)
+	b.Iota("x", "qx")
+	b.MustRule("a", "qa", "qnever")
+	b.MustFinal("qa qa*")
+	empty := b.Build()
+	if !empty.IsEmpty() {
+		t.Fatal("unsatisfiable automaton should be empty")
+	}
+	if !empty.Determinize().DHA.IsEmpty() {
+		t.Fatal("determinized unsatisfiable automaton should be empty")
+	}
+	if _, ok := empty.Determinize().DHA.SomeHedge(); ok {
+		t.Fatal("SomeHedge on empty language")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	m0 := paperM0(t)
+	a := m0.Determinize().DHA
+	b := m0.Determinize().DHA.Complete() // same language, different shape
+	eq, err := Equivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("equivalent automata reported different")
+	}
+	c := a.Complement()
+	eq, err = Equivalent(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("automaton equivalent to its complement")
+	}
+}
+
+func TestToNHARoundTrip(t *testing.T) {
+	det := paperM0(t).Determinize()
+	back := det.DHA.ToNHA()
+	rng := rand.New(rand.NewSource(13))
+	cfg := hedge.RandConfig{
+		Symbols: []string{"d", "p"}, Vars: []string{"x", "y"},
+		MaxDepth: 4, MaxWidth: 3,
+	}
+	for i := 0; i < 200; i++ {
+		h := hedge.Random(rng, cfg)
+		if det.DHA.Accepts(h) != back.Accepts(h) {
+			t.Fatalf("ToNHA changed the language on %v", h)
+		}
+	}
+}
+
+func TestInhabitedStates(t *testing.T) {
+	m := paperM0(t)
+	inh := m.InhabitedStates()
+	// qx, qy, qp1, qp2, qd are all inhabited.
+	count := 0
+	for _, b := range inh {
+		if b {
+			count++
+		}
+	}
+	if count != m.NumStates {
+		t.Fatalf("inhabited %d of %d states", count, m.NumStates)
+	}
+}
+
+func TestEmptyHedgeAcceptance(t *testing.T) {
+	m := paperM0(t) // F = qd* contains ε
+	if !m.Accepts(nil) {
+		t.Fatal("ε should be accepted by M0")
+	}
+	names := NewNames()
+	names.Syms.Intern("a")
+	names.Vars.Intern("x")
+	b := NewBuilder(names)
+	b.Iota("x", "qx")
+	b.MustRule("a", "qa", "()")
+	b.MustFinal("qa")
+	m2 := b.Build()
+	if m2.Accepts(nil) {
+		t.Fatal("ε should be rejected when F = {qa}")
+	}
+	if !m2.Accepts(hedge.MustParse("a")) {
+		t.Fatal("a should be accepted")
+	}
+}
+
+func TestUnknownSymbolsRejected(t *testing.T) {
+	m := paperM0(t)
+	det := m.Determinize()
+	h := hedge.Hedge{hedge.NewElem("zzz")}
+	if det.DHA.Accepts(h) {
+		t.Fatal("hedge with unknown symbol should be rejected")
+	}
+	if m.Accepts(h) {
+		t.Fatal("NHA should also reject unknown symbols")
+	}
+}

@@ -1,0 +1,250 @@
+package ha
+
+import (
+	"fmt"
+
+	"xpe/internal/alphabet"
+	"xpe/internal/sfa"
+)
+
+// NaryProduct builds the product of several complete(d) DHAs over the same
+// Names, exploring only reachable tuple states. The final-state-sequence
+// condition is acc(per-component acceptance). The returned Tuples interner
+// maps product states back to component-state tuples.
+//
+// The match-identifying constructions of Section 8 run the input schema,
+// the Theorem 3 marking automaton M↓e₁, and the component automata of a
+// pointed hedge representation in lockstep; this product realizes that
+// lockstep as a single automaton.
+func NaryProduct(ds []*DHA, acc func(accepts []bool) bool) (*DHA, *alphabet.TupleInterner, error) {
+	if len(ds) == 0 {
+		return nil, nil, fmt.Errorf("ha: empty product")
+	}
+	names := ds[0].Names
+	comps := make([]*DHA, len(ds))
+	for i, d := range ds {
+		if d.Names != names {
+			return nil, nil, fmt.Errorf("ha: product of automata over different Names")
+		}
+		comps[i] = d.Complete()
+	}
+	k := len(comps)
+	tuples := alphabet.NewTupleInterner()
+
+	// Seed with ι tuples.
+	numVars := names.Vars.Len()
+	iota := make([]int, numVars)
+	tup := make([]int, k)
+	for v := 0; v < numVars; v++ {
+		for i, c := range comps {
+			tup[i] = c.Iota[v]
+		}
+		iota[v] = tuples.Intern(tup)
+	}
+	if numVars == 0 {
+		// Ensure at least the all-sink tuple exists so exploration can run.
+		for i, c := range comps {
+			tup[i] = c.NumStates - 1 // Complete() appends the sink last
+		}
+		tuples.Intern(tup)
+	}
+
+	// Horizontal exploration to a fixpoint: the tuple alphabet may grow
+	// while horizontal product DFAs are explored.
+	numSyms := names.Syms.Len()
+	for {
+		before := tuples.Len()
+		for sym := 0; sym < numSyms; sym++ {
+			exploreTupleHorizontal(comps, sym, tuples)
+		}
+		if tuples.Len() == before {
+			break
+		}
+	}
+
+	p := &DHA{
+		Names:     names,
+		NumStates: tuples.Len(),
+		Iota:      iota,
+		Horiz:     make([]*Horiz, numSyms),
+	}
+	for sym := 0; sym < numSyms; sym++ {
+		p.Horiz[sym] = buildTupleHorizontal(comps, sym, tuples)
+	}
+	p.Final = buildTupleFinal(comps, tuples, acc)
+	return p, tuples, nil
+}
+
+// stepTuple advances the per-component horizontal DFA states on a product
+// symbol.
+func stepTuple(comps []*DHA, sym int, hstates []int, tuples *alphabet.TupleInterner, symbol int) []int {
+	qs := tuples.Tuple(symbol)
+	next := make([]int, len(comps))
+	for i, c := range comps {
+		next[i] = c.Horiz[sym].DFA.Step(hstates[i], qs[i])
+	}
+	return next
+}
+
+func outTuple(comps []*DHA, sym int, hstates []int) []int {
+	out := make([]int, len(comps))
+	for i, c := range comps {
+		out[i] = c.Horiz[sym].Out[hstates[i]]
+	}
+	return out
+}
+
+func exploreTupleHorizontal(comps []*DHA, sym int, tuples *alphabet.TupleInterner) {
+	hseen := alphabet.NewTupleInterner()
+	start := make([]int, len(comps))
+	for i, c := range comps {
+		start[i] = c.Horiz[sym].DFA.Start
+	}
+	queue := [][]int{start}
+	hseen.Intern(start)
+	tuples.Intern(outTuple(comps, sym, start))
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for id := 0; id < tuples.Len(); id++ {
+			next := stepTuple(comps, sym, cur, tuples, id)
+			tuples.Intern(outTuple(comps, sym, next))
+			if hseen.Lookup(next) == -1 {
+				hseen.Intern(next)
+				queue = append(queue, next)
+			}
+		}
+	}
+}
+
+func buildTupleHorizontal(comps []*DHA, sym int, tuples *alphabet.TupleInterner) *Horiz {
+	numQ := tuples.Len()
+	dfa := sfa.NewDFA(numQ)
+	hids := alphabet.NewTupleInterner()
+	var out []int
+	var pending [][]int
+	get := func(hs []int) int {
+		if id := hids.Lookup(hs); id != -1 {
+			return id
+		}
+		id := dfa.AddState(false)
+		hids.Intern(hs)
+		out = append(out, tuples.Lookup(outTuple(comps, sym, hs)))
+		pending = append(pending, append([]int(nil), hs...))
+		return id
+	}
+	start := make([]int, len(comps))
+	for i, c := range comps {
+		start[i] = c.Horiz[sym].DFA.Start
+	}
+	dfa.Start = get(start)
+	for i := 0; i < len(pending); i++ {
+		cur := pending[i]
+		from := i
+		for id := 0; id < numQ; id++ {
+			dfa.SetTrans(from, id, get(stepTuple(comps, sym, cur, tuples, id)))
+		}
+	}
+	return &Horiz{DFA: dfa, Out: out}
+}
+
+func buildTupleFinal(comps []*DHA, tuples *alphabet.TupleInterner, acc func([]bool) bool) *sfa.DFA {
+	numQ := tuples.Len()
+	dfa := sfa.NewDFA(numQ)
+	hids := alphabet.NewTupleInterner()
+	var pending [][]int
+	accepts := func(fs []int) bool {
+		bits := make([]bool, len(comps))
+		for i, c := range comps {
+			bits[i] = c.Final.Accepting(fs[i])
+		}
+		return acc(bits)
+	}
+	get := func(fs []int) int {
+		if id := hids.Lookup(fs); id != -1 {
+			return id
+		}
+		id := dfa.AddState(accepts(fs))
+		hids.Intern(fs)
+		pending = append(pending, append([]int(nil), fs...))
+		return id
+	}
+	start := make([]int, len(comps))
+	for i, c := range comps {
+		start[i] = c.Final.Start
+	}
+	dfa.Start = get(start)
+	for i := 0; i < len(pending); i++ {
+		cur := pending[i]
+		from := i
+		for id := 0; id < numQ; id++ {
+			qs := tuples.Tuple(id)
+			next := make([]int, len(comps))
+			for j, c := range comps {
+				next[j] = c.Final.Step(cur[j], qs[j])
+			}
+			dfa.SetTrans(from, id, get(next))
+		}
+	}
+	return dfa
+}
+
+// MarkChildren implements the Theorem 3 state augmentation: given a DHA d,
+// it returns a complete DHA whose states are pairs (q, bit) — encoded as
+// q·2+bit — where bit records whether the node's child-state sequence is in
+// d.Final, i.e. whether the node's subhedge is in L(d). The returned
+// automaton accepts every hedge over the interned alphabet (its final set
+// is the lifted original — callers wanting "accept everything" per Theorem
+// 3 can ignore acceptance); marked[s] reports the bit of encoded state s.
+func MarkChildren(d *DHA) (*DHA, []bool) {
+	c := d.Complete()
+	fin := c.Final // complete DFA over c's states
+	numQ := c.NumStates * 2
+	m := &DHA{
+		Names:     c.Names,
+		NumStates: numQ,
+		Iota:      make([]int, len(c.Iota)),
+		Horiz:     make([]*Horiz, len(c.Horiz)),
+	}
+	for v, q := range c.Iota {
+		m.Iota[v] = q * 2 // leaves are never marked (they have no children)
+	}
+	for sym, hz := range c.Horiz {
+		// Product of the horizontal DFA with the final DFA, both reading
+		// the projection of (q, bit) symbols to q.
+		nf := fin.NumStates
+		pair := func(h, f int) int { return h*nf + f }
+		dfa := sfa.NewDFA(numQ)
+		out := make([]int, hz.DFA.NumStates*nf)
+		for h := 0; h < hz.DFA.NumStates; h++ {
+			for f := 0; f < nf; f++ {
+				dfa.AddState(false)
+				bit := 0
+				if fin.Accept[f] {
+					bit = 1
+				}
+				out[pair(h, f)] = hz.Out[h]*2 + bit
+			}
+		}
+		dfa.Start = pair(hz.DFA.Start, fin.Start)
+		for h := 0; h < hz.DFA.NumStates; h++ {
+			for f := 0; f < nf; f++ {
+				for q := 0; q < c.NumStates; q++ {
+					to := pair(hz.DFA.Step(h, q), fin.Step(f, q))
+					dfa.SetTrans(pair(h, f), q*2, to)
+					dfa.SetTrans(pair(h, f), q*2+1, to)
+				}
+			}
+		}
+		m.Horiz[sym] = &Horiz{DFA: dfa, Out: out}
+	}
+	// Final: the lifted original final set (projection to q).
+	m.Final = fin.ToNFA().MapSymbols(numQ, func(q int) []int {
+		return []int{q * 2, q*2 + 1}
+	}).Determinize().Complete()
+	marked := make([]bool, numQ)
+	for s := 1; s < numQ; s += 2 {
+		marked[s] = true
+	}
+	return m, marked
+}

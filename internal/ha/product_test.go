@@ -1,0 +1,145 @@
+package ha
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpe/internal/hedge"
+)
+
+func TestNaryProductAgrees(t *testing.T) {
+	names := NewNames()
+	names.Syms.Intern("a")
+	names.Syms.Intern("b")
+	names.Vars.Intern("x")
+
+	ba := NewBuilder(names)
+	ba.Iota("x", "qx")
+	ba.MustRule("a", "qa", "(qa | qb | qx)*")
+	ba.MustRule("b", "qb", "(qa | qb | qx)*")
+	ba.MustFinal("qa*") // all top-level nodes are a
+	a := ba.Build().Determinize().DHA
+
+	bb := NewBuilder(names)
+	bb.Iota("x", "px")
+	bb.MustRule("a", "pa", "(pa | pb | px)*")
+	bb.MustRule("b", "pb", "(pa | pb | px)*")
+	bb.MustFinal("(pa | pb | px) (pa | pb | px)") // exactly two top nodes
+	b := bb.Build().Determinize().DHA
+
+	bc := NewBuilder(names)
+	bc.Iota("x", "rx")
+	bc.MustRule("a", "ra", "()")
+	bc.MustRule("a", "ri", "(ra | rb | rx)+")
+	bc.MustRule("b", "rb", "(ra | rb | rx)*")
+	bc.MustFinal("(ra | rb | rx | ri)*")
+	c := bc.Build().Determinize().DHA
+
+	p, tuples, err := NaryProduct([]*DHA{a, b, c}, func(acc []bool) bool {
+		return acc[0] && !acc[1] || acc[2]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuples.Len() != p.NumStates {
+		t.Fatalf("tuple count %d != product states %d", tuples.Len(), p.NumStates)
+	}
+	rng := rand.New(rand.NewSource(3))
+	cfg := hedge.RandConfig{Symbols: []string{"a", "b"}, Vars: []string{"x"}, MaxDepth: 3, MaxWidth: 3}
+	for i := 0; i < 300; i++ {
+		h := hedge.Random(rng, cfg)
+		want := a.Accepts(h) && !b.Accepts(h) || c.Accepts(h)
+		if got := p.Accepts(h); got != want {
+			t.Fatalf("product wrong on %v: got %v want %v (a=%v b=%v c=%v)",
+				h, got, want, a.Accepts(h), b.Accepts(h), c.Accepts(h))
+		}
+		// Product states must project to component states.
+		run := p.Exec(h)
+		ra, rb, rc := a.Complete().Exec(h), b.Complete().Exec(h), c.Complete().Exec(h)
+		h.Visit(func(_ hedge.Path, n *hedge.Node) bool {
+			tup := tuples.Tuple(run.States[n])
+			if tup[0] != ra.States[n] || tup[1] != rb.States[n] || tup[2] != rc.States[n] {
+				t.Fatalf("projection mismatch at %v in %v", n, h)
+			}
+			return true
+		})
+	}
+}
+
+func TestMarkChildren(t *testing.T) {
+	// d: language "all children sequences matching (b|x)*" rooted anywhere —
+	// use the paper's Theorem 3 example e = (b|x)*: mark nodes whose
+	// subhedge consists of b-leaves and x variables.
+	names := NewNames()
+	names.Syms.Intern("a")
+	names.Syms.Intern("b")
+	names.Vars.Intern("x")
+	bd := NewBuilder(names)
+	bd.Iota("x", "qx")
+	bd.MustRule("b", "qb", "()")
+	bd.MustRule("a", "qa", "(qa | qb | qx)*") // a nodes allowed inside, any children
+	bd.MustRule("b", "qa", "(qa | qb | qx)+") // b with children is not a "plain b"
+	bd.MustFinal("(qb | qx)*")
+	d := bd.Build().Determinize().DHA
+
+	m, marked := MarkChildren(d)
+	// ba⟨a⟨bx⟩b⟩ from Section 6: only the inner a (children bx) is marked.
+	h := hedge.MustParse("b a<a<b $x> b>")
+	run := m.Exec(h)
+	if !run.Complete {
+		t.Fatal("marking automaton must assign states everywhere")
+	}
+	wantMarked := map[string]bool{}
+	inner := h[1].Children[0] // a⟨bx⟩
+	wantMarked[inner.Name] = true
+	h.Visit(func(p hedge.Path, n *hedge.Node) bool {
+		isMarked := marked[run.States[n]]
+		want := n == inner || (n.Kind == hedge.Elem && dAccepts(d, n))
+		if isMarked != want {
+			t.Fatalf("node %v at %v: marked=%v want=%v", n.Name, p, isMarked, want)
+		}
+		return true
+	})
+}
+
+// dAccepts reports whether the node's subhedge is accepted by d.
+func dAccepts(d *DHA, n *hedge.Node) bool {
+	if n.Kind != hedge.Elem {
+		return false
+	}
+	return d.Accepts(n.Children)
+}
+
+func TestMarkChildrenRandomAgreement(t *testing.T) {
+	names := NewNames()
+	names.Syms.Intern("a")
+	names.Syms.Intern("b")
+	names.Vars.Intern("x")
+	bd := NewBuilder(names)
+	bd.Iota("x", "qx")
+	bd.MustRule("b", "qb", "()")
+	bd.MustRule("a", "qa", "(qb | qx)*")
+	bd.MustFinal("qa qa*")
+	d := bd.Build().Determinize().DHA
+	m, marked := MarkChildren(d)
+
+	rng := rand.New(rand.NewSource(5))
+	cfg := hedge.RandConfig{Symbols: []string{"a", "b"}, Vars: []string{"x"}, MaxDepth: 4, MaxWidth: 3}
+	for i := 0; i < 200; i++ {
+		h := hedge.Random(rng, cfg)
+		run := m.Exec(h)
+		h.Visit(func(p hedge.Path, n *hedge.Node) bool {
+			if n.Kind != hedge.Elem {
+				if marked[run.States[n]] {
+					t.Fatalf("leaf marked at %v in %v", p, h)
+				}
+				return true
+			}
+			want := d.Accepts(n.Children)
+			if got := marked[run.States[n]]; got != want {
+				t.Fatalf("mark mismatch at %v in %v: got %v want %v", p, h, got, want)
+			}
+			return true
+		})
+	}
+}

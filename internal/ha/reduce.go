@@ -1,0 +1,272 @@
+package ha
+
+import (
+	"xpe/internal/alphabet"
+	"xpe/internal/sfa"
+)
+
+// Reduce merges behaviourally indistinguishable states of a complete(d)
+// deterministic hedge automaton — the hedge analogue of DFA minimization by
+// partition refinement. Two automaton states fall into one class when no
+// horizontal automaton (including the final-sequence automaton) can tell
+// them apart; horizontal states are refined jointly, since their outputs
+// are automaton states and their alphabets are the automaton's state set.
+//
+// The computed partition is a congruence, so the quotient accepts exactly
+// the same language (tests double-check via Equivalent). It is used to
+// shrink the automata produced by the Section 8 schema transformations,
+// whose product constructions routinely introduce redundant states.
+func (d *DHA) Reduce() *DHA {
+	c := d.Complete()
+	numQ := c.NumStates
+
+	// Uninhabited states never occur in any computation: they are pinned
+	// into one class and excluded from horizontal signatures, so they can
+	// never prevent a merge.
+	inhabited := c.inhabitedStates()
+
+	// All horizontal structures, final automaton last (with no Out).
+	type table struct {
+		dfa *sfa.DFA
+		out []int // nil for the final automaton
+	}
+	var tables []table
+	for _, hz := range c.Horiz {
+		if hz != nil {
+			tables = append(tables, table{hz.DFA, hz.Out})
+		}
+	}
+	tables = append(tables, table{c.Final, nil})
+
+	// Q-classes and per-table state classes, refined alternately.
+	qClass := make([]int, numQ) // all zero initially
+	numQClasses := 1
+	tClass := make([][]int, len(tables))
+	for i, tb := range tables {
+		tClass[i] = make([]int, tb.dfa.NumStates)
+	}
+
+	refineTables := func() {
+		for i, tb := range tables {
+			// Initial base: acceptance (final automaton) or the Q-class of
+			// the output state.
+			base := make([]int, tb.dfa.NumStates)
+			for s := range base {
+				if tb.out == nil {
+					if tb.dfa.Accept[s] {
+						base[s] = 1
+					}
+				} else {
+					base[s] = qClass[tb.out[s]]
+				}
+			}
+			tClass[i] = minimizeWithBase(tb.dfa, base, numQ, inhabited)
+		}
+	}
+	refineQ := func() int {
+		sig := alphabet.NewTupleInterner()
+		next := make([]int, numQ)
+		buf := make([]int, 0, 64)
+		uninhabitedClass := -1
+		for q := 0; q < numQ; q++ {
+			if !inhabited[q] {
+				if uninhabitedClass == -1 {
+					uninhabitedClass = sig.Intern([]int{-7})
+				}
+				next[q] = uninhabitedClass
+				continue
+			}
+			buf = buf[:0]
+			buf = append(buf, qClass[q])
+			for i, tb := range tables {
+				for s := 0; s < tb.dfa.NumStates; s++ {
+					buf = append(buf, tClass[i][tb.dfa.Step(s, q)])
+				}
+			}
+			next[q] = sig.Intern(buf)
+		}
+		copy(qClass, next)
+		return sig.Len()
+	}
+
+	for {
+		refineTables()
+		n := refineQ()
+		if n == numQClasses {
+			break
+		}
+		numQClasses = n
+	}
+
+	// Build the quotient.
+	out := &DHA{
+		Names:     c.Names,
+		NumStates: numQClasses,
+		Iota:      make([]int, len(c.Iota)),
+		Horiz:     make([]*Horiz, len(c.Horiz)),
+	}
+	for v, q := range c.Iota {
+		out.Iota[v] = qClass[q]
+	}
+	// Class representatives.
+	rep := make([]int, numQClasses)
+	for i := range rep {
+		rep[i] = -1
+	}
+	for q := numQ - 1; q >= 0; q-- {
+		rep[qClass[q]] = q
+	}
+	ti := 0
+	for sym, hz := range c.Horiz {
+		if hz == nil {
+			continue
+		}
+		out.Horiz[sym] = quotientHoriz(hz, tClass[ti], qClass, numQClasses, rep)
+		ti++
+	}
+	out.Final = quotientDFA(c.Final, tClass[len(tables)-1], qClass, numQClasses, rep)
+	return out
+}
+
+// minimizeWithBase partitions the DFA's states by behaviour, starting from
+// the given base partition, stepping only on inhabited symbols (words over
+// uninhabited states never occur).
+func minimizeWithBase(dfa *sfa.DFA, base []int, alpha int, inhabited []bool) []int {
+	class := append([]int(nil), base...)
+	num := 0
+	seen := map[int]bool{}
+	for _, c := range class {
+		if !seen[c] {
+			seen[c] = true
+			num++
+		}
+	}
+	for {
+		sig := alphabet.NewTupleInterner()
+		next := make([]int, len(class))
+		buf := make([]int, 0, alpha+1)
+		for s := range class {
+			buf = buf[:0]
+			buf = append(buf, class[s])
+			for q := 0; q < alpha; q++ {
+				if inhabited[q] {
+					buf = append(buf, class[dfa.Step(s, q)])
+				}
+			}
+			next[s] = sig.Intern(buf)
+		}
+		if sig.Len() == num {
+			return next
+		}
+		num = sig.Len()
+		class = next
+	}
+}
+
+// InhabitedStates reports, per state, whether some hedge reaches it.
+func (d *DHA) InhabitedStates() []bool { return d.inhabitedStates() }
+
+// ReachableHorizontal marks the horizontal DFA states reachable over the
+// allowed state symbols.
+func ReachableHorizontal(hz *Horiz, allowed []bool) []bool {
+	return reachableHorizOver(hz.DFA, allowed)
+}
+
+// inhabitedStates marks states reachable by some hedge.
+func (d *DHA) inhabitedStates() []bool {
+	inhabited := make([]bool, d.NumStates)
+	for _, q := range d.Iota {
+		if q != alphabet.None {
+			inhabited[q] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, hz := range d.Horiz {
+			if hz == nil {
+				continue
+			}
+			reach := reachableHorizOver(hz.DFA, inhabited)
+			for hs, ok := range reach {
+				if !ok {
+					continue
+				}
+				q := hz.Out[hs]
+				if q != alphabet.None && !inhabited[q] {
+					inhabited[q] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return inhabited
+}
+
+func reachableHorizOver(dfa *sfa.DFA, allowed []bool) []bool {
+	seen := make([]bool, dfa.NumStates)
+	if dfa.Start == sfa.Dead {
+		return seen
+	}
+	seen[dfa.Start] = true
+	stack := []int{dfa.Start}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for q, to := range dfa.Trans[s] {
+			if to == sfa.Dead || q >= len(allowed) || !allowed[q] || seen[to] {
+				continue
+			}
+			seen[to] = true
+			stack = append(stack, to)
+		}
+	}
+	return seen
+}
+
+// quotientHoriz builds the quotient horizontal structure over Q-classes.
+func quotientHoriz(hz *Horiz, sClass, qClass []int, numQClasses int, rep []int) *Horiz {
+	dfa := quotientDFA(hz.DFA, sClass, qClass, numQClasses, rep)
+	// Out per quotient state: via any representative horizontal state.
+	out := make([]int, dfa.NumStates)
+	srep := make([]int, dfa.NumStates)
+	for i := range srep {
+		srep[i] = -1
+	}
+	for s := len(sClass) - 1; s >= 0; s-- {
+		srep[sClass[s]] = s
+	}
+	for sc, s := range srep {
+		out[sc] = qClass[hz.Out[s]]
+	}
+	return &Horiz{DFA: dfa, Out: out}
+}
+
+// quotientDFA builds the quotient of a horizontal DFA: states are sClass
+// classes, symbols are Q-classes (stepping via representatives, which is
+// well defined by congruence stability).
+func quotientDFA(dfa *sfa.DFA, sClass, qClass []int, numQClasses int, rep []int) *sfa.DFA {
+	numS := 0
+	for _, c := range sClass {
+		if c+1 > numS {
+			numS = c + 1
+		}
+	}
+	out := sfa.NewDFA(numQClasses)
+	srep := make([]int, numS)
+	for i := range srep {
+		srep[i] = -1
+	}
+	for s := len(sClass) - 1; s >= 0; s-- {
+		srep[sClass[s]] = s
+	}
+	for sc := 0; sc < numS; sc++ {
+		out.AddState(dfa.Accept[srep[sc]])
+	}
+	out.Start = sClass[dfa.Start]
+	for sc := 0; sc < numS; sc++ {
+		for qc := 0; qc < numQClasses; qc++ {
+			out.SetTrans(sc, qc, sClass[dfa.Step(srep[sc], rep[qc])])
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package ha
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpe/internal/hedge"
+)
+
+func TestReducePreservesLanguage(t *testing.T) {
+	automata := map[string]*DHA{
+		"M0":           paperM0(t).Determinize().DHA,
+		"M1":           paperM1(t).Determinize().DHA,
+		"M0 completed": paperM0(t).Determinize().DHA.Complete().Complete(),
+	}
+	for name, d := range automata {
+		r := d.Reduce()
+		eq, err := Equivalent(d, r)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !eq {
+			t.Fatalf("%s: Reduce changed the language", name)
+		}
+		if r.NumStates > d.NumStates+1 {
+			t.Fatalf("%s: Reduce grew the automaton: %d → %d", name, d.NumStates, r.NumStates)
+		}
+	}
+}
+
+func TestReduceMergesRedundantStates(t *testing.T) {
+	// A product automaton has many behaviourally equal states: the product
+	// of an automaton with itself must reduce back to (roughly) the
+	// original size.
+	d := paperM0(t).Determinize().DHA
+	p, err := Intersect(d, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Reduce()
+	if r.NumStates >= p.NumStates {
+		t.Fatalf("self-product not reduced: %d → %d", p.NumStates, r.NumStates)
+	}
+	// Sampled language agreement (exact equivalence of the large product is
+	// covered for the small automata in TestReducePreservesLanguage).
+	rng := rand.New(rand.NewSource(17))
+	cfg := hedge.RandConfig{Symbols: []string{"d", "p"}, Vars: []string{"x", "y"}, MaxDepth: 4, MaxWidth: 3}
+	for i := 0; i < 300; i++ {
+		h := hedge.Random(rng, cfg)
+		if p.Accepts(h) != r.Accepts(h) {
+			t.Fatalf("reduction broke the self-product on %q", h)
+		}
+	}
+	dc := d.Complete()
+	if r.NumStates > dc.NumStates+2 {
+		t.Fatalf("self-product should reduce to about the original: %d vs %d",
+			r.NumStates, dc.NumStates)
+	}
+}
+
+func TestReduceRandomAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cfg := hedge.RandConfig{Symbols: []string{"d", "p"}, Vars: []string{"x", "y"}, MaxDepth: 4, MaxWidth: 3}
+	d := paperM0(t).Determinize().DHA
+	r := d.Reduce()
+	for i := 0; i < 300; i++ {
+		h := hedge.Random(rng, cfg)
+		if d.Accepts(h) != r.Accepts(h) {
+			t.Fatalf("reduced automaton disagrees on %q", h)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package ha
+
+import (
+	"math/rand"
+
+	"xpe/internal/alphabet"
+	"xpe/internal/hedge"
+	"xpe/internal/sfa"
+)
+
+// Sampler draws random hedges from the language of a DHA. It is used to
+// sample documents from schemas in tests and benchmarks.
+type Sampler struct {
+	d       *DHA
+	rng     *rand.Rand
+	witness []*hedge.Node // minimal-ish witness tree per state (nil = uninhabited)
+	// realizations[q] = (symbol, horizontal-DFA accepting state) options
+	// that produce q.
+	realizations [][]realization
+}
+
+type realization struct {
+	sym    int
+	target int // horizontal DFA state with Out == q
+}
+
+// NewSampler prepares a sampler; ok is false when the language is empty.
+func NewSampler(d *DHA, rng *rand.Rand) (*Sampler, bool) {
+	s := &Sampler{d: d, rng: rng}
+	s.witness = make([]*hedge.Node, d.NumStates)
+	for v, q := range d.Iota {
+		if q != alphabet.None && s.witness[q] == nil {
+			s.witness[q] = hedge.NewVar(d.Names.Vars.Name(v))
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for sym, hz := range d.Horiz {
+			if hz == nil {
+				continue
+			}
+			for hs, q := range hz.Out {
+				if q == alphabet.None || s.witness[q] != nil {
+					continue
+				}
+				word, ok := someWordOver(hz.DFA, hs, s.witness)
+				if !ok {
+					continue
+				}
+				children := make(hedge.Hedge, len(word))
+				for i, cq := range word {
+					children[i] = s.witness[cq].Clone()
+				}
+				s.witness[q] = hedge.NewElem(d.Names.Syms.Name(sym), children...)
+				changed = true
+			}
+		}
+	}
+	s.realizations = make([][]realization, d.NumStates)
+	for sym, hz := range d.Horiz {
+		if hz == nil {
+			continue
+		}
+		reachable := s.reachableHoriz(hz)
+		for hs, q := range hz.Out {
+			if q == alphabet.None || !reachable[hs] {
+				continue
+			}
+			s.realizations[q] = append(s.realizations[q], realization{sym, hs})
+		}
+	}
+	// Check non-emptiness.
+	if _, ok := s.sampleTop(1); !ok {
+		return nil, false
+	}
+	return s, true
+}
+
+// reachableHoriz marks horizontal states reachable over inhabited symbols.
+func (s *Sampler) reachableHoriz(hz *Horiz) []bool {
+	seen := make([]bool, hz.DFA.NumStates)
+	if hz.DFA.Start == sfa.Dead {
+		return seen
+	}
+	stack := []int{hz.DFA.Start}
+	seen[hz.DFA.Start] = true
+	for len(stack) > 0 {
+		h := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for q, to := range hz.DFA.Trans[h] {
+			if to == sfa.Dead || q >= len(s.witness) || s.witness[q] == nil || seen[to] {
+				continue
+			}
+			seen[to] = true
+			stack = append(stack, to)
+		}
+	}
+	return seen
+}
+
+// Sample draws a random member. depthBudget bounds recursive realization
+// (witness trees are used below the budget); widthBias ∈ (0,1) controls how
+// eagerly random walks stop (smaller = wider hedges). ok is false when the
+// language is empty.
+func (s *Sampler) Sample(depthBudget int) (hedge.Hedge, bool) {
+	top, ok := s.sampleTop(40)
+	if !ok {
+		return nil, false
+	}
+	out := make(hedge.Hedge, len(top))
+	for i, q := range top {
+		out[i] = s.realize(q, depthBudget)
+	}
+	return out, true
+}
+
+// sampleTop picks a random accepted word over inhabited states from the
+// final DFA.
+func (s *Sampler) sampleTop(maxLen int) ([]int, bool) {
+	return s.randomWord(s.d.Final, func(st int) bool { return s.d.Final.Accepting(st) }, maxLen)
+}
+
+// randomWord walks the DFA over inhabited symbols, restricted to states
+// from which acceptance stays reachable, stopping at accepting states with
+// increasing probability.
+func (s *Sampler) randomWord(dfa *sfa.DFA, accepting func(int) bool, maxLen int) ([]int, bool) {
+	co := s.coReachable(dfa, accepting)
+	if dfa.Start == sfa.Dead || !co[dfa.Start] {
+		return nil, false
+	}
+	var word []int
+	st := dfa.Start
+	for steps := 0; ; steps++ {
+		if accepting(st) && (steps >= maxLen || s.rng.Intn(3) == 0) {
+			return word, true
+		}
+		// Candidate inhabited moves that keep acceptance reachable.
+		var moves []int
+		for q, to := range dfa.Trans[st] {
+			if to != sfa.Dead && co[to] && q < len(s.witness) && s.witness[q] != nil {
+				moves = append(moves, q)
+			}
+		}
+		if len(moves) == 0 {
+			return word, accepting(st)
+		}
+		if steps >= maxLen {
+			rest, ok := s.completeWord(dfa, st, accepting)
+			if !ok {
+				return word, accepting(st)
+			}
+			return append(word, rest...), true
+		}
+		q := moves[s.rng.Intn(len(moves))]
+		word = append(word, q)
+		st = dfa.Trans[st][q]
+	}
+}
+
+// coReachable marks states from which an accepting state is reachable over
+// inhabited symbols.
+func (s *Sampler) coReachable(dfa *sfa.DFA, accepting func(int) bool) []bool {
+	// Reverse adjacency restricted to inhabited symbols.
+	radj := make([][]int, dfa.NumStates)
+	for st := 0; st < dfa.NumStates; st++ {
+		for q, to := range dfa.Trans[st] {
+			if to != sfa.Dead && q < len(s.witness) && s.witness[q] != nil {
+				radj[to] = append(radj[to], st)
+			}
+		}
+	}
+	co := make([]bool, dfa.NumStates)
+	var stack []int
+	for st := 0; st < dfa.NumStates; st++ {
+		if accepting(st) {
+			co[st] = true
+			stack = append(stack, st)
+		}
+	}
+	for len(stack) > 0 {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, from := range radj[st] {
+			if !co[from] {
+				co[from] = true
+				stack = append(stack, from)
+			}
+		}
+	}
+	return co
+}
+
+// completeWord finds a shortest inhabited-symbol path from st to an
+// accepting state.
+func (s *Sampler) completeWord(dfa *sfa.DFA, st int, accepting func(int) bool) ([]int, bool) {
+	type pred struct{ state, sym int }
+	prev := map[int]pred{}
+	seen := map[int]bool{st: true}
+	queue := []int{st}
+	goal := -1
+	for len(queue) > 0 && goal < 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if accepting(cur) {
+			goal = cur
+			break
+		}
+		for q, to := range dfa.Trans[cur] {
+			if to == sfa.Dead || q >= len(s.witness) || s.witness[q] == nil || seen[to] {
+				continue
+			}
+			seen[to] = true
+			prev[to] = pred{cur, q}
+			queue = append(queue, to)
+		}
+	}
+	if goal < 0 {
+		return nil, false
+	}
+	var rev []int
+	for cur := goal; cur != st; {
+		p := prev[cur]
+		rev = append(rev, p.sym)
+		cur = p.state
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// realize builds a random tree reaching state q.
+func (s *Sampler) realize(q, depthBudget int) *hedge.Node {
+	if depthBudget <= 0 || len(s.realizations[q]) == 0 {
+		return s.witness[q].Clone()
+	}
+	// Prefer a leaf realization occasionally if the state is a ι image.
+	if s.witness[q] != nil && s.witness[q].Kind == hedge.Var && s.rng.Intn(2) == 0 {
+		return s.witness[q].Clone()
+	}
+	r := s.realizations[q][s.rng.Intn(len(s.realizations[q]))]
+	hz := s.d.Horiz[r.sym]
+	word, ok := s.randomWord(hz.DFA, func(st int) bool { return st == r.target }, 20)
+	if !ok {
+		return s.witness[q].Clone()
+	}
+	children := make(hedge.Hedge, len(word))
+	for i, cq := range word {
+		children[i] = s.realize(cq, depthBudget-1)
+	}
+	return hedge.NewElem(s.d.Names.Syms.Name(r.sym), children...)
+}

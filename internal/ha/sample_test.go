@@ -1,0 +1,100 @@
+package ha
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpe/internal/hedge"
+)
+
+func TestSamplerMembersAreMembers(t *testing.T) {
+	det := paperM0(t).Determinize()
+	rng := rand.New(rand.NewSource(3))
+	s, ok := NewSampler(det.DHA, rng)
+	if !ok {
+		t.Fatal("M0 is non-empty")
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		h, ok := s.Sample(4)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		if !det.DHA.Accepts(h) {
+			t.Fatalf("sampled non-member %q", h)
+		}
+		seen[h.String()] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("sampler shows no diversity: %d distinct members", len(seen))
+	}
+}
+
+func TestSamplerEmptyLanguage(t *testing.T) {
+	names := NewNames()
+	names.Syms.Intern("a")
+	names.Vars.Intern("x")
+	b := NewBuilder(names)
+	b.Iota("x", "qx")
+	b.MustRule("a", "qa", "qnever")
+	b.MustFinal("qa")
+	det := b.Build().Determinize()
+	if _, ok := NewSampler(det.DHA, rand.New(rand.NewSource(1))); ok {
+		t.Fatal("sampler must reject an empty language")
+	}
+}
+
+func TestSamplerDepthBudget(t *testing.T) {
+	// All-a hedges: sampling with a depth budget must terminate and stay in
+	// the language.
+	names := NewNames()
+	names.Syms.Intern("a")
+	b := NewBuilder(names)
+	b.MustRule("a", "qa", "qa*")
+	b.MustFinal("qa*")
+	det := b.Build().Determinize()
+	rng := rand.New(rand.NewSource(7))
+	s, ok := NewSampler(det.DHA, rng)
+	if !ok {
+		t.Fatal("language is non-empty")
+	}
+	for i := 0; i < 100; i++ {
+		h, ok := s.Sample(3)
+		if !ok {
+			t.Fatal("sample failed")
+		}
+		if !det.DHA.Accepts(h) {
+			t.Fatalf("non-member %q", h)
+		}
+	}
+}
+
+func TestBuilderAuxiliaries(t *testing.T) {
+	names := NewNames()
+	names.Syms.Intern("a")
+	names.Vars.Intern("x")
+	b := NewBuilder(names)
+	id := b.State("q0")
+	if b.StateName(id) != "q0" {
+		t.Fatal("StateName wrong")
+	}
+	b.RuleEps("a", "qa")
+	b.MustFinal("qa")
+	m := b.Build()
+	if !m.Accepts(hedge.MustParse("a")) {
+		t.Fatal("RuleEps should accept a childless a")
+	}
+	if m.Accepts(hedge.MustParse("a<a>")) {
+		t.Fatal("RuleEps must not accept children")
+	}
+	if got := m.Names.Syms.Len(); got == 0 {
+		t.Fatal("names not threaded")
+	}
+	det := m.Determinize()
+	if det.DHA.NumSyms() == 0 {
+		t.Fatal("NumSyms should reflect the horizontal table")
+	}
+	if SubstVarName("z") == "z" {
+		t.Fatal("SubstVarName must be reserved")
+	}
+}

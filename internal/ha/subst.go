@@ -1,0 +1,12 @@
+package ha
+
+// Substitution-symbol support (Section 4 of the paper). The Lemma 1 proof
+// "allows substitution symbols as variables of hedge automata": each z ∈ Z
+// gets a dedicated leaf state z̄. We realize this by tracking substitution
+// symbols in the Vars interner under a reserved, unparseable name, so the
+// ordinary ι machinery applies to them.
+
+// SubstVarName returns the reserved variable name under which substitution
+// symbol z is tracked in Names.Vars. The NUL prefix keeps it disjoint from
+// every parseable variable name.
+func SubstVarName(z string) string { return "\x00subst:" + z }

@@ -1,0 +1,40 @@
+package hedge
+
+// RenameNodes returns a copy of h in which every node of the set carries
+// newLabel — the document side of the rename query operation.
+func (h Hedge) RenameNodes(rename map[*Node]bool, newLabel string) Hedge {
+	out := h.Clone()
+	// Walk original and copy in lockstep to transfer the node set.
+	var rec func(orig, copy Hedge)
+	rec = func(orig, copy Hedge) {
+		for i, n := range orig {
+			if rename[n] {
+				copy[i].Name = newLabel
+			}
+			if n.Kind == Elem {
+				rec(n.Children, copy[i].Children)
+			}
+		}
+	}
+	rec(h, out)
+	return out
+}
+
+// RemoveNodes returns a copy of h with the subtree of every node in the set
+// removed (a node inside a removed subtree is simply gone; membership of
+// descendants is irrelevant). It implements the document side of the
+// delete query of Section 8.
+func (h Hedge) RemoveNodes(remove map[*Node]bool) Hedge {
+	var out Hedge
+	for _, n := range h {
+		if remove[n] {
+			continue
+		}
+		c := &Node{Kind: n.Kind, Name: n.Name}
+		if n.Kind == Elem {
+			c.Children = n.Children.RemoveNodes(remove)
+		}
+		out = append(out, c)
+	}
+	return out
+}

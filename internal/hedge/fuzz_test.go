@@ -1,0 +1,31 @@
+package hedge
+
+import "testing"
+
+// FuzzParse asserts the hedge parser never panics and round-trips.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"a b<b $x>",
+		"d<p<$x> p<$y>> d<p<$x>>",
+		"a<~z>",
+		"b<@>",
+		"a<",
+		"@ a",
+		"$",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		h, err := Parse(src)
+		if err != nil {
+			return
+		}
+		again, err := Parse(h.String())
+		if err != nil {
+			t.Fatalf("rendering of %q does not re-parse: %q: %v", src, h.String(), err)
+		}
+		if !h.Equal(again) {
+			t.Fatalf("round trip changed structure for %q", src)
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package hedge
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// Parse parses the term syntax for hedges used throughout the paper, with
+// the following concrete conventions:
+//
+//	hedge  := node*                       (whitespace- or comma-separated)
+//	node   := NAME                        — element a⟨ε⟩, abbreviated a
+//	        | NAME '<' hedge '>'          — element a⟨u⟩
+//	        | '$' NAME                    — variable leaf x ∈ X
+//	        | '~' NAME                    — substitution-symbol leaf z ∈ Z
+//	        | '@'                         — the η leaf of pointed hedges
+//	NAME   := [A-Za-z_][A-Za-z0-9_.-]*
+//
+// Example: the paper's hedge a⟨ε⟩b⟨b⟨ε⟩x⟩ is written "a b<b $x>".
+func Parse(input string) (Hedge, error) {
+	p := &hparser{input: input}
+	h, err := p.hedge()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if !p.eof() {
+		return nil, p.err("unexpected trailing input")
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// MustParse parses input and panics on error; for tests and literals.
+func MustParse(input string) Hedge {
+	h, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+type hparser struct {
+	input string
+	pos   int
+}
+
+func (p *hparser) err(msg string) error {
+	return fmt.Errorf("hedge: parse error at offset %d in %q: %s", p.pos, p.input, msg)
+}
+
+func (p *hparser) eof() bool { return p.pos >= len(p.input) }
+
+func (p *hparser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+func (p *hparser) skip() {
+	for !p.eof() {
+		switch p.input[p.pos] {
+		case ' ', '\t', '\n', '\r', ',':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *hparser) hedge() (Hedge, error) {
+	var h Hedge
+	for {
+		p.skip()
+		c := p.peek()
+		if c == 0 || c == '>' {
+			return h, nil
+		}
+		n, err := p.node()
+		if err != nil {
+			return nil, err
+		}
+		h = append(h, n)
+	}
+}
+
+func (p *hparser) node() (*Node, error) {
+	switch c := p.peek(); {
+	case c == '@':
+		p.pos++
+		return NewEta(), nil
+	case c == '$':
+		p.pos++
+		name, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		return NewVar(name), nil
+	case c == '~':
+		p.pos++
+		name, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		return NewSubst(name), nil
+	default:
+		name, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		n := NewElem(name)
+		p.skip()
+		if p.peek() == '<' {
+			p.pos++
+			children, err := p.hedge()
+			if err != nil {
+				return nil, err
+			}
+			if p.peek() != '>' {
+				return nil, p.err("expected '>'")
+			}
+			p.pos++
+			n.Children = children
+		}
+		return n, nil
+	}
+}
+
+func (p *hparser) name() (string, error) {
+	start := p.pos
+	if p.eof() || !isHNameStart(rune(p.input[p.pos])) {
+		return "", p.err("expected a name")
+	}
+	p.pos++
+	for !p.eof() && isHNameRest(rune(p.input[p.pos])) {
+		p.pos++
+	}
+	return p.input[start:p.pos], nil
+}
+
+func isHNameStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+
+func isHNameRest(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,141 @@
+package hedge
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotPointed is returned when a hedge does not contain exactly one η as
+// the sole child of an element.
+var ErrNotPointed = errors.New("hedge: not a pointed hedge")
+
+// EtaPath returns the Dewey path of the η leaf if the hedge is pointed
+// (exactly one η, occurring as a sole child), or an error.
+func (h Hedge) EtaPath() (Path, error) {
+	var found []Path
+	h.Visit(func(p Path, n *Node) bool {
+		if n.Kind == Subst && n.Name == Eta {
+			found = append(found, p.Clone())
+		}
+		return true
+	})
+	if len(found) != 1 {
+		return nil, fmt.Errorf("%w: %d occurrences of η", ErrNotPointed, len(found))
+	}
+	p := found[0]
+	if len(p) == 0 {
+		return nil, fmt.Errorf("%w: η at top level", ErrNotPointed)
+	}
+	parent := h.At(p[:len(p)-1])
+	if len(parent.Children) != 1 {
+		return nil, fmt.Errorf("%w: η is not a sole child", ErrNotPointed)
+	}
+	return p, nil
+}
+
+// IsPointed reports whether the hedge is a pointed hedge (Definition 13).
+func (h Hedge) IsPointed() bool {
+	_, err := h.EtaPath()
+	return err == nil
+}
+
+// Product computes u ⊕ v (Definition 14): the pointed hedge obtained by
+// replacing the η of v with u. Both operands must be pointed; the result is
+// pointed (its η is the η of u). Figure 1 of the paper.
+func Product(u, v Hedge) (Hedge, error) {
+	if _, err := u.EtaPath(); err != nil {
+		return nil, fmt.Errorf("left operand: %w", err)
+	}
+	vp, err := v.EtaPath()
+	if err != nil {
+		return nil, fmt.Errorf("right operand: %w", err)
+	}
+	out := v.Clone()
+	parent := out.At(vp[:len(vp)-1])
+	parent.Children = u.Clone()
+	return out, nil
+}
+
+// MustProduct is Product, panicking on error; for tests and literals.
+func MustProduct(u, v Hedge) Hedge {
+	h, err := Product(u, v)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// IsPointedBase reports whether the hedge is a pointed base hedge
+// (Definition 15): of the form u₁ a⟨η⟩ u₂ with u₁, u₂ plain hedges.
+func (h Hedge) IsPointedBase() bool {
+	p, err := h.EtaPath()
+	return err == nil && len(p) == 2
+}
+
+// Base describes one pointed base hedge u₁ a⟨η⟩ u₂ resulting from
+// decomposition: Left is u₁, Label is a, Right is u₂.
+type Base struct {
+	Left  Hedge
+	Label string
+	Right Hedge
+}
+
+// Hedge reconstructs the pointed base hedge u₁ a⟨η⟩ u₂.
+func (b Base) Hedge() Hedge {
+	h := b.Left.Clone()
+	h = append(h, NewElem(b.Label, NewEta()))
+	return append(h, b.Right.Clone()...)
+}
+
+// String renders the base in term syntax.
+func (b Base) String() string { return b.Hedge().String() }
+
+// Decompose uniquely decomposes a pointed hedge into its sequence of
+// pointed base hedges (Figure 2). The sequence begins at the bottom (the
+// base containing η's position) and ends at the top level, so that folding
+// it with Product from the left reconstructs the original:
+//
+//	u = b₁ ⊕ b₂ ⊕ … ⊕ bₖ.
+func Decompose(h Hedge) ([]Base, error) {
+	etaPath, err := h.EtaPath()
+	if err != nil {
+		return nil, err
+	}
+	// etaPath addresses η itself; its ancestors are etaPath[:1..len-1].
+	// Collect the sibling list of every ancestor level in one walk, then
+	// emit bases from the η's parent (deepest) up to the top level.
+	levels := make([]Hedge, 0, len(etaPath)-1)
+	cur := h
+	for _, idx := range etaPath[:len(etaPath)-1] {
+		levels = append(levels, cur)
+		cur = cur[idx].Children
+	}
+	bases := make([]Base, 0, len(etaPath)-1)
+	for level := len(levels) - 1; level >= 0; level-- {
+		siblings := levels[level]
+		idx := etaPath[level]
+		bases = append(bases, Base{
+			Left:  siblings[:idx].Clone(),
+			Label: siblings[idx].Name,
+			Right: siblings[idx+1:].Clone(),
+		})
+	}
+	return bases, nil
+}
+
+// Recompose folds a non-empty base sequence back into a pointed hedge with
+// Product: b₁ ⊕ b₂ ⊕ … ⊕ bₖ.
+func Recompose(bases []Base) (Hedge, error) {
+	if len(bases) == 0 {
+		return nil, errors.New("hedge: cannot recompose an empty base sequence")
+	}
+	acc := bases[0].Hedge()
+	for _, b := range bases[1:] {
+		var err error
+		acc, err = Product(acc, b.Hedge())
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}

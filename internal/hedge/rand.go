@@ -1,0 +1,98 @@
+package hedge
+
+import "math/rand"
+
+// RandConfig parameterizes random hedge generation for tests and property
+// checks.
+type RandConfig struct {
+	Symbols  []string // Σ labels (must be non-empty)
+	Vars     []string // X variables (may be empty)
+	MaxDepth int      // maximum height
+	MaxWidth int      // maximum children / top-level nodes
+}
+
+// DefaultRandConfig is a small configuration suitable for exhaustive-ish
+// property testing.
+func DefaultRandConfig() RandConfig {
+	return RandConfig{
+		Symbols:  []string{"a", "b", "c"},
+		Vars:     []string{"x", "y"},
+		MaxDepth: 4,
+		MaxWidth: 3,
+	}
+}
+
+// Random generates a random hedge according to cfg.
+func Random(rng *rand.Rand, cfg RandConfig) Hedge {
+	return randomHedge(rng, cfg, cfg.MaxDepth)
+}
+
+func randomHedge(rng *rand.Rand, cfg RandConfig, depth int) Hedge {
+	if depth <= 0 {
+		return nil
+	}
+	width := rng.Intn(cfg.MaxWidth + 1)
+	h := make(Hedge, 0, width)
+	for i := 0; i < width; i++ {
+		if len(cfg.Vars) > 0 && rng.Intn(3) == 0 {
+			h = append(h, NewVar(cfg.Vars[rng.Intn(len(cfg.Vars))]))
+			continue
+		}
+		n := NewElem(cfg.Symbols[rng.Intn(len(cfg.Symbols))])
+		n.Children = randomHedge(rng, cfg, depth-1)
+		h = append(h, n)
+	}
+	return h
+}
+
+// RandomNonEmpty generates a random hedge with at least one element node.
+func RandomNonEmpty(rng *rand.Rand, cfg RandConfig) Hedge {
+	for {
+		h := Random(rng, cfg)
+		hasElem := false
+		h.Visit(func(_ Path, n *Node) bool {
+			if n.Kind == Elem {
+				hasElem = true
+			}
+			return !hasElem
+		})
+		if hasElem {
+			return h
+		}
+	}
+}
+
+// RandomPointed generates a random pointed hedge: a random hedge with one
+// random element node's children replaced by η.
+func RandomPointed(rng *rand.Rand, cfg RandConfig) Hedge {
+	h := RandomNonEmpty(rng, cfg)
+	var elems []Path
+	h.Visit(func(p Path, n *Node) bool {
+		if n.Kind == Elem {
+			elems = append(elems, p.Clone())
+		}
+		return true
+	})
+	p := elems[rng.Intn(len(elems))]
+	out, err := h.Envelope(p)
+	if err != nil {
+		panic(err) // unreachable: p addresses an element
+	}
+	return out
+}
+
+// RandomSized generates a hedge with approximately want nodes, by repeatedly
+// appending random trees. It is used by the scaling benchmarks.
+func RandomSized(rng *rand.Rand, cfg RandConfig, want int) Hedge {
+	var h Hedge
+	total := 0
+	for total < want {
+		t := randomHedge(rng, cfg, cfg.MaxDepth)
+		if len(t) == 0 {
+			t = Hedge{NewElem(cfg.Symbols[rng.Intn(len(cfg.Symbols))])}
+		}
+		h = append(h, t...)
+		total += t.Size()
+	}
+	return h
+}

@@ -1,0 +1,17 @@
+package hre
+
+import "xpe/internal/ha"
+
+// Ambiguous reports whether the Lemma 1 automaton of e admits a hedge with
+// two distinct successful computations. Section 9 of the paper proposes
+// introducing variables to hedge regular expressions and observes that
+// "variables can be safely introduced to unambiguous expressions"; this is
+// the corresponding decision procedure (at the automaton level, which is
+// what variable bindings would be read off of).
+func Ambiguous(e *Expr, names *ha.Names) (bool, error) {
+	nha, err := Compile(e, names)
+	if err != nil {
+		return false, err
+	}
+	return nha.Ambiguous(), nil
+}

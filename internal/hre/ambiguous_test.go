@@ -1,0 +1,35 @@
+package hre
+
+import (
+	"testing"
+
+	"xpe/internal/ha"
+)
+
+func TestAmbiguousExpressions(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"a", false},
+		{"a | a", true}, // two derivations of the same hedge
+		{"a | b", false},
+		{"a* a*", true}, // aa splits 0+2, 1+1, 2+0
+		{"a b", false},
+		{"a<b | c>", false},
+		{"a<b*> | a<b b*>", true}, // a⟨b⟩ matches both branches
+		{"a<~z>*^z", false},       // the recursive all-a language, one way per hedge
+		{"$x | $x", true},
+		{"(a | b)*", false},
+	}
+	for _, c := range cases {
+		names := ha.NewNames()
+		got, err := Ambiguous(MustParse(c.src), names)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		if got != c.want {
+			t.Errorf("Ambiguous(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}

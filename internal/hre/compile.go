@@ -1,0 +1,216 @@
+package hre
+
+import (
+	"fmt"
+
+	"xpe/internal/ha"
+	"xpe/internal/sfa"
+)
+
+// Compile converts a hedge regular expression to a non-deterministic hedge
+// automaton accepting L(e) — the Lemma 1 construction, implemented
+// compositionally over a single automaton under construction:
+//
+//   - Cases 1–3 (∅, ε, x) produce final languages over fresh leaf states.
+//   - Case 4 (a⟨e⟩) adds one state q and the rule α⁻¹(a,q) = F(e).
+//   - Cases 5–7 (concatenation, alternation, star) combine final languages
+//     with the corresponding string-language operations; the paper's state
+//     renaming (Q₁ ∩ Q₂ ⊆ Z̄) is automatic because every sub-fragment
+//     allocates fresh states, sharing only the z̄ leaf states.
+//   - Case 8 (a⟨z⟩) uses the shared leaf state z̄ of the substitution
+//     symbol, tracked as a reserved variable (ha.SubstVarName).
+//   - Case 9 (e₁ ∘z e₂) rewrites every rule of e₂'s fragment whose language
+//     contains the one-symbol word z̄: the word is removed and F(e₁) is
+//     added as an alternative child-sequence language.
+//   - Case 10 (e^z) adds, for every rule of the fragment whose language
+//     contains the word z̄, an additional rule with language F(e) —
+//     realizing arbitrarily deep self-embedding.
+//
+// Symbols and variables mentioned in e are interned into names. The
+// returned automaton accepts exactly L(e), including members that still
+// contain substitution symbols (represented as hedge.Subst leaves).
+func Compile(e *Expr, names *ha.Names) (*ha.NHA, error) {
+	syms, vars, _ := e.Names()
+	for _, a := range syms {
+		names.Syms.Intern(a)
+	}
+	for _, x := range vars {
+		names.Vars.Intern(x)
+	}
+	c := &compiler{nha: ha.NewNHA(names), zbar: map[string]int{}}
+	final, err := c.compile(e)
+	if err != nil {
+		return nil, err
+	}
+	c.nha.Final = final
+	// Normalize language alphabets to the final state count.
+	for i := range c.nha.Rules {
+		c.nha.Rules[i].Lang.GrowAlphabet(c.nha.NumStates)
+	}
+	c.nha.Final.GrowAlphabet(c.nha.NumStates)
+	return c.nha, nil
+}
+
+// MustCompile is Compile, panicking on error.
+func MustCompile(e *Expr, names *ha.Names) *ha.NHA {
+	n, err := Compile(e, names)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type compiler struct {
+	nha  *ha.NHA
+	zbar map[string]int // substitution symbol → shared leaf state z̄
+}
+
+// zbarState returns the shared z̄ state for substitution symbol z,
+// creating it (with ι(z) = z̄) on first use.
+func (c *compiler) zbarState(z string) int {
+	if q, ok := c.zbar[z]; ok {
+		return q
+	}
+	q := c.nha.AddState()
+	v := c.nha.Names.Vars.Intern(ha.SubstVarName(z))
+	c.nha.AddIota(v, q)
+	c.zbar[z] = q
+	return q
+}
+
+// compile returns the final-state-sequence language F of the fragment
+// M(e); all rules and ι entries are accumulated into c.nha.
+func (c *compiler) compile(e *Expr) (*sfa.NFA, error) {
+	switch e.Kind {
+	case KEmpty:
+		return sfa.EmptyLang(c.nha.NumStates), nil
+
+	case KEps:
+		return sfa.EpsLang(c.nha.NumStates), nil
+
+	case KVar:
+		q := c.nha.AddState()
+		v := c.nha.Names.Vars.Intern(e.Name)
+		c.nha.AddIota(v, q)
+		return sfa.SymbolLang(q+1, q), nil
+
+	case KElem:
+		inner, err := c.compile(e.Subs[0])
+		if err != nil {
+			return nil, err
+		}
+		q := c.nha.AddState()
+		c.nha.AddRule(c.nha.Names.Syms.Intern(e.Name), q, inner)
+		return sfa.SymbolLang(q+1, q), nil
+
+	case KSubst:
+		zb := c.zbarState(e.Z)
+		q := c.nha.AddState()
+		c.nha.AddRule(c.nha.Names.Syms.Intern(e.Name), q,
+			sfa.WordLang(c.nha.NumStates, []int{zb}))
+		return sfa.SymbolLang(q+1, q), nil
+
+	case KCat:
+		acc, err := c.compile(e.Subs[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range e.Subs[1:] {
+			next, err := c.compile(s)
+			if err != nil {
+				return nil, err
+			}
+			acc = sfa.Concat(acc, next)
+		}
+		return acc, nil
+
+	case KAlt:
+		acc, err := c.compile(e.Subs[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range e.Subs[1:] {
+			next, err := c.compile(s)
+			if err != nil {
+				return nil, err
+			}
+			acc = sfa.Union(acc, next)
+		}
+		return acc, nil
+
+	case KStar:
+		inner, err := c.compile(e.Subs[0])
+		if err != nil {
+			return nil, err
+		}
+		return sfa.Star(inner), nil
+
+	case KEmbed:
+		f1, err := c.compile(e.Subs[0])
+		if err != nil {
+			return nil, err
+		}
+		lo := len(c.nha.Rules)
+		f2, err := c.compile(e.Subs[1])
+		if err != nil {
+			return nil, err
+		}
+		zb, used := c.zbar[e.Z]
+		if !used {
+			// e₂ cannot mention z: L(e₁ ∘z e₂) = L(e₂).
+			return f2, nil
+		}
+		c.rewriteAtZbar(lo, len(c.nha.Rules), zb, f1, true)
+		return f2, nil
+
+	case KVClose:
+		lo := len(c.nha.Rules)
+		f, err := c.compile(e.Subs[0])
+		if err != nil {
+			return nil, err
+		}
+		zb, used := c.zbar[e.Z]
+		if !used {
+			return f, nil
+		}
+		c.rewriteAtZbar(lo, len(c.nha.Rules), zb, f, false)
+		return f, nil
+
+	case KAny:
+		// Desugar '.' over the alphabet interned so far (closed world):
+		// (a₁⟨z⟩|…|x₁|…)*^z for a fresh substitution symbol.
+		var vars []string
+		for _, v := range c.nha.Names.Vars.Names() {
+			if len(v) > 0 && v[0] != '\x00' {
+				vars = append(vars, v)
+			}
+		}
+		return c.compile(AnyHedge(c.nha.Names.Syms.Names(), vars))
+	}
+	return nil, fmt.Errorf("hre: cannot compile node kind %d", e.Kind)
+}
+
+// rewriteAtZbar scans the rules created in [lo, hi) for languages
+// containing the one-symbol word z̄ and adds the alternative language alt
+// for the same (symbol, result) pair. When remove is true (case 9,
+// embedding) the word z̄ is removed from the original language; when false
+// (case 10, vertical closure) it is kept, permitting partial substitution.
+func (c *compiler) rewriteAtZbar(lo, hi, zb int, alt *sfa.NFA, remove bool) {
+	word := []int{zb}
+	type target struct{ sym, result int }
+	var targets []target
+	for i := lo; i < hi; i++ {
+		rule := &c.nha.Rules[i]
+		if !rule.Lang.Accepts(word) {
+			continue
+		}
+		targets = append(targets, target{rule.Sym, rule.Result})
+		if remove {
+			rule.Lang = sfa.DifferenceNFA(rule.Lang,
+				sfa.WordLang(rule.Lang.NumSymbols, word))
+		}
+	}
+	for _, t := range targets {
+		c.nha.AddRule(t.sym, t.result, alt.Clone())
+	}
+}

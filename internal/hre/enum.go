@@ -1,0 +1,193 @@
+package hre
+
+import (
+	"sort"
+
+	"xpe/internal/hedge"
+)
+
+// Enumerate returns every hedge of L(e) (Definition 12) with at most
+// maxNodes nodes, including members that still contain substitution
+// symbols. It implements the definitional semantics directly — star,
+// embedding, and vertical closure as size-bounded fixpoints — and serves as
+// the oracle against which the Lemma 1 compilation is verified.
+//
+// Completeness argument for the bounds: in an embedding U ∘z V, every
+// chosen member of U appears verbatim in the result, so members of U larger
+// than the target bound can never contribute; the upper hedge v ∈ V,
+// however, shrinks by one node per occurrence of z, and since substitution
+// symbols occur only as sole children, v has at most |v|/2 occurrences —
+// hence |v| ≤ 2·bound suffices. The vertical closure iterates the same
+// embedding with the accumulated set as the lower operand.
+func Enumerate(e *Expr, maxNodes int) []hedge.Hedge {
+	set := enum(e, maxNodes)
+	out := make([]hedge.Hedge, 0, len(set))
+	for _, h := range set {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// hset is a deduplicated set of hedges keyed by their rendering.
+type hset map[string]hedge.Hedge
+
+func (s hset) add(h hedge.Hedge) bool {
+	k := h.String()
+	if _, ok := s[k]; ok {
+		return false
+	}
+	s[k] = h
+	return true
+}
+
+// enum returns all members of L(e) with at most bound nodes.
+func enum(e *Expr, bound int) hset {
+	out := hset{}
+	if bound < 0 {
+		return out
+	}
+	switch e.Kind {
+	case KEmpty:
+	case KAny:
+		panic("hre: '.' (any hedge) has no enumerative semantics; it is resolved against the interned alphabet at compile time")
+	case KEps:
+		out.add(nil)
+	case KVar:
+		if bound >= 1 {
+			out.add(hedge.Hedge{hedge.NewVar(e.Name)})
+		}
+	case KSubst:
+		if bound >= 2 {
+			out.add(hedge.Hedge{hedge.NewElem(e.Name, hedge.NewSubst(e.Z))})
+		}
+	case KElem:
+		for _, u := range enum(e.Subs[0], bound-1) {
+			out.add(hedge.Hedge{hedge.NewElem(e.Name, u...)})
+		}
+	case KCat:
+		out = enum(e.Subs[0], bound)
+		for _, s := range e.Subs[1:] {
+			out = catSets(out, enum(s, bound), bound)
+		}
+	case KAlt:
+		for _, s := range e.Subs {
+			for _, h := range enum(s, bound) {
+				out.add(h)
+			}
+		}
+	case KStar:
+		base := enum(e.Subs[0], bound)
+		out.add(nil)
+		for {
+			grew := false
+			next := catSets(out, base, bound)
+			for _, h := range next {
+				if out.add(h) {
+					grew = true
+				}
+			}
+			if !grew {
+				break
+			}
+		}
+	case KEmbed:
+		lower := enum(e.Subs[0], bound)
+		upper := enum(e.Subs[1], 2*bound)
+		for _, v := range upper {
+			for _, h := range embedAll(lower, e.Z, v, bound) {
+				out.add(h)
+			}
+		}
+	case KVClose:
+		// L(e^z) = ⋃ᵢ L(e^{i,z}) with L(e^{i+1,z}) = L(e^{i,z}) ∘z L(e)
+		// ∪ L(e^{i,z}): a size-bounded fixpoint. The accumulated set only
+		// needs members ≤ bound (they appear verbatim in larger members);
+		// the upper operand ranges over L(e) up to 2·bound.
+		base := enum(e.Subs[0], 2*bound)
+		for _, h := range base {
+			if h.Size() <= bound {
+				out.add(h)
+			}
+		}
+		for {
+			grew := false
+			for _, v := range base {
+				for _, h := range embedAll(out, e.Z, v, bound) {
+					if out.add(h) {
+						grew = true
+					}
+				}
+			}
+			if !grew {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// catSets concatenates every pair within the size bound.
+func catSets(a, b hset, bound int) hset {
+	out := hset{}
+	for _, u := range a {
+		su := u.Size()
+		if su > bound {
+			continue
+		}
+		for _, v := range b {
+			if su+v.Size() > bound {
+				continue
+			}
+			h := append(u.Clone(), v.Clone()...)
+			out.add(h)
+		}
+	}
+	return out
+}
+
+// embedAll returns the members of U ∘z v (Definition 10) with at most
+// bound nodes: every way of replacing each occurrence of z in v by a member
+// of U (occurrences independently). Recursion prunes a branch as soon as
+// its minimum achievable size — every remaining z replaced by ε — exceeds
+// the bound.
+func embedAll(u hset, z string, v hedge.Hedge, bound int) []hedge.Hedge {
+	var occs []hedge.Path
+	v.Visit(func(p hedge.Path, n *hedge.Node) bool {
+		if n.Kind == hedge.Subst && n.Name == z {
+			occs = append(occs, p.Clone())
+		}
+		return true
+	})
+	if len(occs) == 0 {
+		if v.Size() <= bound {
+			return []hedge.Hedge{v.Clone()}
+		}
+		return nil
+	}
+	members := make([]hedge.Hedge, 0, len(u))
+	for _, m := range u {
+		members = append(members, m)
+	}
+	var out []hedge.Hedge
+	var rec func(cur hedge.Hedge, idx int)
+	rec = func(cur hedge.Hedge, idx int) {
+		remaining := len(occs) - idx
+		if cur.Size()-remaining > bound {
+			return
+		}
+		if idx == len(occs) {
+			out = append(out, cur)
+			return
+		}
+		p := occs[idx]
+		for _, m := range members {
+			next := cur.Clone()
+			parent := next.At(p[:len(p)-1])
+			parent.Children = m.Clone()
+			rec(next, idx+1)
+		}
+	}
+	rec(v.Clone(), 0)
+	return out
+}

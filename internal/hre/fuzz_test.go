@@ -1,0 +1,32 @@
+package hre
+
+import "testing"
+
+// FuzzParse asserts the HRE parser never panics and renders re-parseable
+// text on success.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"a<~z>*^z",
+		"a<$x | b> %z c<~z>",
+		"(a | b)* c+ d?",
+		". a<.>",
+		"a<~",
+		"%z",
+		"a^",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		again, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("rendering of %q does not re-parse: %q: %v", src, e.String(), err)
+		}
+		if again.String() != e.String() {
+			t.Fatalf("unstable rendering for %q: %q vs %q", src, e.String(), again.String())
+		}
+	})
+}

@@ -1,0 +1,262 @@
+package hre
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// Parse parses the concrete syntax documented in the package comment.
+func Parse(input string) (*Expr, error) {
+	p := &parser{input: input}
+	p.skip()
+	if p.eof() {
+		return nil, p.err("empty expression")
+	}
+	e, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if !p.eof() {
+		return nil, p.err("unexpected trailing input")
+	}
+	return e, nil
+}
+
+// MustParse parses input and panics on error; for tests and literals.
+func MustParse(input string) *Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) err(msg string) error {
+	return fmt.Errorf("hre: parse error at offset %d in %q: %s", p.pos, p.input, msg)
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.input) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+func (p *parser) skip() {
+	for !p.eof() {
+		switch p.input[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) alt() (*Expr, error) {
+	first, err := p.embed()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Expr{first}
+	for {
+		p.skip()
+		if p.peek() != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.embed()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	return Alt(subs...), nil
+}
+
+// embed parses left-associative e₁ %z e₂ chains.
+func (p *parser) embed() (*Expr, error) {
+	acc, err := p.cat()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		if p.peek() != '%' {
+			return acc, nil
+		}
+		p.pos++
+		z, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := p.cat()
+		if err != nil {
+			return nil, err
+		}
+		acc = Embed(acc, z, rhs)
+	}
+}
+
+func (p *parser) cat() (*Expr, error) {
+	first, err := p.rep()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Expr{first}
+	for {
+		p.skip()
+		c := p.peek()
+		if c == ',' {
+			p.pos++
+			p.skip()
+			c = p.peek()
+			if !startsAtom(c) {
+				return nil, p.err("expected expression after ','")
+			}
+		}
+		if !startsAtom(c) {
+			break
+		}
+		next, err := p.rep()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	return Cat(subs...), nil
+}
+
+func startsAtom(c byte) bool {
+	return c == '(' || c == '$' || c == '_' || c == '.' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func (p *parser) rep() (*Expr, error) {
+	e, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		switch p.peek() {
+		case '*':
+			p.pos++
+			e = Star(e)
+		case '+':
+			p.pos++
+			e = Plus(e)
+		case '?':
+			p.pos++
+			e = Opt(e)
+		case '^':
+			p.pos++
+			z, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			e = VClose(e, z)
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) atom() (*Expr, error) {
+	p.skip()
+	switch c := p.peek(); {
+	case c == '(':
+		p.pos++
+		p.skip()
+		if p.peek() == ')' {
+			p.pos++
+			return Eps(), nil
+		}
+		e, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if p.peek() != ')' {
+			return nil, p.err("expected ')'")
+		}
+		p.pos++
+		return e, nil
+	case c == '.':
+		p.pos++
+		return Any(), nil
+	case c == '$':
+		p.pos++
+		name, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		return Var(name), nil
+	case isNameStart(rune(c)):
+		name, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if p.peek() != '<' {
+			return Leaf(name), nil
+		}
+		p.pos++
+		p.skip()
+		if p.peek() == '~' {
+			p.pos++
+			z, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			p.skip()
+			if p.peek() != '>' {
+				return nil, p.err("expected '>' after substitution symbol")
+			}
+			p.pos++
+			return Subst(name, z), nil
+		}
+		if p.peek() == '>' {
+			p.pos++
+			return Leaf(name), nil
+		}
+		inner, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if p.peek() != '>' {
+			return nil, p.err("expected '>'")
+		}
+		p.pos++
+		return Elem(name, inner), nil
+	default:
+		return nil, p.err("expected an atom")
+	}
+}
+
+func (p *parser) name() (string, error) {
+	start := p.pos
+	if p.eof() || !isNameStart(rune(p.input[p.pos])) {
+		return "", p.err("expected a name")
+	}
+	p.pos++
+	for !p.eof() && isNameRest(rune(p.input[p.pos])) {
+		p.pos++
+	}
+	return p.input[start:p.pos], nil
+}
+
+func isNameStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+
+func isNameRest(r rune) bool {
+	return r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,99 @@
+package hre
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpe/internal/ha"
+)
+
+// randExpr generates a random hedge regular expression over {a,b},
+// variables {x}, and substitution symbols {z,w}, with bounded depth.
+func randExpr(rng *rand.Rand, depth int, allowSubst bool) *Expr {
+	if depth <= 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return Leaf("a")
+		case 1:
+			return Leaf("b")
+		case 2:
+			return Var("x")
+		default:
+			return Eps()
+		}
+	}
+	n := 8
+	if allowSubst {
+		n = 10
+	}
+	switch rng.Intn(n) {
+	case 0:
+		return Elem("a", randExpr(rng, depth-1, allowSubst))
+	case 1:
+		return Elem("b", randExpr(rng, depth-1, allowSubst))
+	case 2:
+		return Cat(randExpr(rng, depth-1, allowSubst), randExpr(rng, depth-1, allowSubst))
+	case 3:
+		return Alt(randExpr(rng, depth-1, allowSubst), randExpr(rng, depth-1, allowSubst))
+	case 4:
+		return Star(randExpr(rng, depth-1, allowSubst))
+	case 5, 6, 7:
+		return randExpr(rng, depth-1, allowSubst)
+	case 8:
+		z := "z"
+		if rng.Intn(2) == 0 {
+			z = "w"
+		}
+		if rng.Intn(2) == 0 {
+			return Subst("a", z)
+		}
+		return Subst("b", z)
+	default:
+		z := "z"
+		if rng.Intn(2) == 0 {
+			z = "w"
+		}
+		if rng.Intn(2) == 0 {
+			return VClose(randExpr(rng, depth-1, true), z)
+		}
+		return Embed(randExpr(rng, depth-1, true), z, randExpr(rng, depth-1, true))
+	}
+}
+
+// TestCompileAgainstOracleRandom fuzzes the Lemma 1 compiler against the
+// enumerative semantics on randomly generated expressions: every
+// enumerated member must be accepted, and on plain hedges the automaton
+// must agree exactly with the bounded oracle.
+func TestCompileAgainstOracleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	const maxNodes = 4
+	universe := allHedges([]string{"a", "b"}, []string{"x"}, []string{"z", "w"}, maxNodes)
+	for trial := 0; trial < 120; trial++ {
+		e := randExpr(rng, 3, true)
+		names := ha.NewNames()
+		nha, err := Compile(e, names)
+		if err != nil {
+			t.Fatalf("trial %d: Compile(%s): %v", trial, e, err)
+		}
+		members := Enumerate(e, maxNodes)
+		memberSet := map[string]bool{}
+		for _, h := range members {
+			memberSet[h.String()] = true
+			if !nha.Accepts(h) {
+				t.Fatalf("trial %d: %s rejects member %q", trial, e, h)
+			}
+		}
+		for _, h := range universe {
+			if h.HasSubst() {
+				if memberSet[h.String()] && !nha.Accepts(h) {
+					t.Fatalf("trial %d: %s rejects subst member %q", trial, e, h)
+				}
+				continue
+			}
+			if nha.Accepts(h) != memberSet[h.String()] {
+				t.Fatalf("trial %d: %s disagrees with oracle on plain %q (automaton=%v)",
+					trial, e, h, nha.Accepts(h))
+			}
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package hre
+
+import (
+	"fmt"
+
+	"xpe/internal/alphabet"
+	"xpe/internal/ha"
+	"xpe/internal/sfa"
+	"xpe/internal/sre"
+)
+
+// ToExpr converts a deterministic hedge automaton to a hedge regular
+// expression e with L(e) ∩ H[Σ,X] = L(M) — the Lemma 2 construction.
+//
+// The algorithm follows the paper exactly:
+//
+//  1. The state space is split so that ζ(q) — the unique symbol labeling
+//     nodes that reach q — is well defined: element states become (q,a)
+//     pairs and ι images become dedicated leaf states.
+//  2. R(q, Q₁, Q₂) — the child-sequence languages where interior nodes use
+//     states in Q₁ and connector nodes (ζ(r)⟨z_r⟩) use states in Q₂ — is
+//     computed by the three-equation recursion over the cardinality of Q₁,
+//     with the base case substituting leaf/connector expressions into the
+//     state-eliminated regex of α⁻¹(ζ(q), q).
+//  3. Every state r occurring in F is replaced by ζ(r)⟨R(r, Q, ∅)⟩ (for
+//     element states) or the alternation of its variables (for leaf
+//     states).
+//
+// The construction is exponential; it is intended for small automata and
+// round-trip testing against Compile (Theorem 2).
+func ToExpr(d *ha.DHA) (*Expr, error) {
+	c, err := newLemma2(d)
+	if err != nil {
+		return nil, err
+	}
+	return c.finalExpr()
+}
+
+// lemma2 carries the preprocessed automaton. The new state space S is
+// leafStates ∪ elemStates:
+//
+//	leaf state i  — reached exactly by the variables vars[i]
+//	elem state j  — the pair (origState[j], sym[j]) with ζ = sym[j]
+type lemma2 struct {
+	d *ha.DHA
+
+	// Leaf states: one per original state that is an ι image.
+	leafOf   map[int]int // original state → leaf index
+	leafVars [][]string  // leaf index → variable names
+	leafOrig []int       // leaf index → original state
+	// Element states: one per (original state, symbol) with non-empty
+	// α⁻¹(a, q).
+	elemOf   map[[2]int]int // (orig state, sym) → elem index
+	elemOrig [][2]int       // elem index → (orig state, sym)
+
+	// horiz[j] = α'⁻¹(ζ(r), r) for elem state j, as a DFA over the new
+	// state space S (leaf i ↦ symbol i, elem j ↦ symbol numLeaf+j).
+	horiz []*sfa.DFA
+	// finalDFA = h⁻¹(F) over S.
+	finalDFA *sfa.DFA
+
+	memo map[memoKey]*Expr
+}
+
+type memoKey struct {
+	q     int
+	mask1 uint64
+	mask2 uint64
+}
+
+func newLemma2(d *ha.DHA) (*lemma2, error) {
+	c := &lemma2{
+		d:      d,
+		leafOf: map[int]int{},
+		elemOf: map[[2]int]int{},
+		memo:   map[memoKey]*Expr{},
+	}
+	// Leaf states from ι.
+	for v, q := range d.Iota {
+		if q == alphabet.None {
+			continue
+		}
+		idx, ok := c.leafOf[q]
+		if !ok {
+			idx = len(c.leafVars)
+			c.leafOf[q] = idx
+			c.leafVars = append(c.leafVars, nil)
+			c.leafOrig = append(c.leafOrig, q)
+		}
+		c.leafVars[idx] = append(c.leafVars[idx], d.Names.Vars.Name(v))
+	}
+	// Element states from horizontal structures.
+	for sym, hz := range d.Horiz {
+		if hz == nil {
+			continue
+		}
+		seen := map[int]bool{}
+		for _, q := range hz.Out {
+			if q != alphabet.None && !seen[q] {
+				seen[q] = true
+				key := [2]int{q, sym}
+				if _, ok := c.elemOf[key]; !ok {
+					c.elemOf[key] = len(c.elemOrig)
+					c.elemOrig = append(c.elemOrig, key)
+				}
+			}
+		}
+	}
+	if len(c.elemOrig) > 60 {
+		return nil, fmt.Errorf("hre: ToExpr limited to 60 element states, have %d", len(c.elemOrig))
+	}
+	// Horizontal languages lifted to the new state space: a word over S is
+	// in α'⁻¹(a, (q,a)) iff its projection to original states is in
+	// α⁻¹(a, q).
+	numS := len(c.leafOrig) + len(c.elemOrig)
+	for _, key := range c.elemOrig {
+		q, sym := key[0], key[1]
+		c.horiz = append(c.horiz, c.liftDFA(acceptWhere(d.Horiz[sym], q), numS))
+	}
+	c.finalDFA = c.liftDFA(d.Final, numS)
+	return c, nil
+}
+
+// acceptWhere returns a DFA over original states accepting the words that
+// drive hz into a horizontal state with output q.
+func acceptWhere(hz *ha.Horiz, q int) *sfa.DFA {
+	dfa := hz.DFA.Clone()
+	for hs := range dfa.Accept {
+		dfa.Accept[hs] = hs < len(hz.Out) && hz.Out[hs] == q
+	}
+	return dfa
+}
+
+// liftDFA converts a DFA over original states into a DFA over the new
+// state space S: each transition on original state q is duplicated onto
+// every new state (leaf or element) projecting to q.
+func (c *lemma2) liftDFA(orig *sfa.DFA, numS int) *sfa.DFA {
+	images := make(map[int][]int) // original state → S symbols
+	for i, q := range c.leafOrig {
+		images[q] = append(images[q], i)
+	}
+	for j, key := range c.elemOrig {
+		images[key[0]] = append(images[key[0]], len(c.leafOrig)+j)
+	}
+	nfa := orig.ToNFA().MapSymbols(numS, func(q int) []int { return images[q] })
+	nfa.GrowAlphabet(numS)
+	return nfa.Determinize()
+}
+
+// symName renders an S symbol for the intermediate string regexes.
+func (c *lemma2) symName(s int) string { return fmt.Sprintf("s%d", s) }
+
+func (c *lemma2) symOfName(name string) int {
+	var s int
+	fmt.Sscanf(name, "s%d", &s)
+	return s
+}
+
+// zName returns the substitution symbol used for elem state j.
+func (c *lemma2) zName(j int) string { return fmt.Sprintf("z%d", j) }
+
+// leafExpr is the alternation of the variables reaching leaf index i.
+func (c *lemma2) leafExpr(i int) *Expr {
+	subs := make([]*Expr, len(c.leafVars[i]))
+	for k, v := range c.leafVars[i] {
+		subs[k] = Var(v)
+	}
+	return Alt(subs...)
+}
+
+// connectorExpr is ζ(r)⟨z_r⟩ for elem index j.
+func (c *lemma2) connectorExpr(j int) *Expr {
+	sym := c.d.Names.Syms.Name(c.elemOrig[j][1])
+	return Subst(sym, c.zName(j))
+}
+
+// substitute maps a string regex over S symbols to an HRE by replacing each
+// symbol with the given per-symbol expression.
+func (c *lemma2) substitute(e *sre.Expr, sub func(s int) *Expr) *Expr {
+	switch e.Kind {
+	case sre.KEmpty:
+		return Empty()
+	case sre.KEps:
+		return Eps()
+	case sre.KSym:
+		return sub(c.symOfName(e.Name))
+	case sre.KCat:
+		subs := make([]*Expr, len(e.Subs))
+		for i, s := range e.Subs {
+			subs[i] = c.substitute(s, sub)
+		}
+		return Cat(subs...)
+	case sre.KAlt:
+		subs := make([]*Expr, len(e.Subs))
+		for i, s := range e.Subs {
+			subs[i] = c.substitute(s, sub)
+		}
+		return Alt(subs...)
+	case sre.KStar:
+		return Star(c.substitute(e.Subs[0], sub))
+	}
+	return Empty()
+}
+
+// R computes R(q, Q₁, Q₂) for elem state q with Q₁/Q₂ as bitmasks over
+// element states.
+func (c *lemma2) R(q int, mask1, mask2 uint64) *Expr {
+	key := memoKey{q, mask1, mask2}
+	if e, ok := c.memo[key]; ok {
+		return e
+	}
+	var result *Expr
+	if mask1 == 0 {
+		// Base case: every node is a leaf or a connector in Q₂.
+		regex := sre.FromDFA(c.horiz[q], c.symName)
+		result = c.substitute(regex, func(s int) *Expr {
+			if s < len(c.leafOrig) {
+				return c.leafExpr(s)
+			}
+			j := s - len(c.leafOrig)
+			if mask2&(1<<uint(j)) != 0 {
+				return c.connectorExpr(j)
+			}
+			return Empty()
+		})
+	} else {
+		// Pick the highest element state p in Q₁ and apply the paper's
+		// three-equation elimination.
+		p := 63
+		for mask1&(1<<uint(p)) == 0 {
+			p--
+		}
+		rest := mask1 &^ (1 << uint(p))
+		zp := c.zName(p)
+		a := c.R(p, rest, mask2)            // R(p, Q₁, Q₂)
+		b := c.R(p, rest, mask2|1<<uint(p)) // R(p, Q₁, Q₂∪{p})
+		cc := c.R(q, rest, mask2|1<<uint(p))
+		dd := c.R(q, rest, mask2)
+		inner := Alt(Embed(a, zp, VClose(b, zp)), a)
+		result = Alt(Embed(inner, zp, cc), dd)
+	}
+	result = prune(result)
+	c.memo[key] = result
+	return result
+}
+
+// finalExpr substitutes every state of F with its tree expression.
+func (c *lemma2) finalExpr() (*Expr, error) {
+	all := uint64(0)
+	for j := range c.elemOrig {
+		all |= 1 << uint(j)
+	}
+	regex := sre.FromDFA(c.finalDFA, c.symName)
+	result := c.substitute(regex, func(s int) *Expr {
+		if s < len(c.leafOrig) {
+			return c.leafExpr(s)
+		}
+		j := s - len(c.leafOrig)
+		sym := c.d.Names.Syms.Name(c.elemOrig[j][1])
+		return Elem(sym, c.R(j, all, 0))
+	})
+	return prune(result), nil
+}
+
+// prune applies ∅/ε absorption so the exponential construction stays as
+// small as possible.
+func prune(e *Expr) *Expr {
+	switch e.Kind {
+	case KCat:
+		var subs []*Expr
+		for _, s := range e.Subs {
+			s = prune(s)
+			if s.Kind == KEmpty {
+				return Empty()
+			}
+			if s.Kind == KEps {
+				continue
+			}
+			if s.Kind == KCat {
+				subs = append(subs, s.Subs...)
+				continue
+			}
+			subs = append(subs, s)
+		}
+		return Cat(subs...)
+	case KAlt:
+		var subs []*Expr
+		seen := map[*Expr]bool{}
+		for _, s := range e.Subs {
+			s = prune(s)
+			if s.Kind == KEmpty || seen[s] {
+				continue
+			}
+			seen[s] = true
+			if s.Kind == KAlt {
+				subs = append(subs, s.Subs...)
+				continue
+			}
+			subs = append(subs, s)
+		}
+		return Alt(subs...)
+	case KStar:
+		s := prune(e.Subs[0])
+		if s.Kind == KEmpty || s.Kind == KEps {
+			return Eps()
+		}
+		return Star(s)
+	case KElem:
+		return Elem(e.Name, prune(e.Subs[0]))
+	case KEmbed:
+		lower, upper := prune(e.Subs[0]), prune(e.Subs[1])
+		if upper.Kind == KEmpty {
+			return Empty()
+		}
+		if !mentionsZ(upper, e.Z) {
+			return upper
+		}
+		if lower.Kind == KEmpty {
+			// Every member of upper mentioning z is dropped; members
+			// without z survive. Conservatively keep the node.
+			return Embed(lower, e.Z, upper)
+		}
+		return Embed(lower, e.Z, upper)
+	case KVClose:
+		s := prune(e.Subs[0])
+		if s.Kind == KEmpty {
+			return Empty()
+		}
+		if !mentionsZ(s, e.Z) {
+			return s
+		}
+		return VClose(s, e.Z)
+	}
+	return e
+}
+
+func mentionsZ(e *Expr, z string) bool {
+	found := false
+	e.Walk(func(x *Expr) {
+		if x.Kind == KSubst && x.Z == z {
+			found = true
+		}
+	})
+	return found
+}

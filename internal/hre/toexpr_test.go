@@ -1,0 +1,127 @@
+package hre
+
+import (
+	"testing"
+
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+)
+
+// roundTrip converts expr → NHA → DHA → expr → NHA and checks that the
+// original and reconstructed automata agree on every plain hedge up to
+// maxNodes nodes (Theorem 2). Substitution-symbol hedges are excluded: the
+// reconstruction introduces fresh substitution symbols of its own.
+func roundTrip(t *testing.T, src string, maxNodes int) {
+	t.Helper()
+	e := MustParse(src)
+	names := ha.NewNames()
+	orig := MustCompile(e, names)
+	det := orig.Determinize()
+
+	back, err := ToExpr(det.DHA)
+	if err != nil {
+		t.Fatalf("ToExpr(%q): %v", src, err)
+	}
+	names2 := ha.NewNames()
+	recon, err := Compile(back, names2)
+	if err != nil {
+		t.Fatalf("re-Compile of %q: %v", src, err)
+	}
+	syms, vars, _ := e.Names()
+	for _, h := range allHedges(syms, vars, nil, maxNodes) {
+		if h.HasSubst() {
+			continue
+		}
+		want := orig.Accepts(h)
+		got := recon.Accepts(h)
+		if got != want {
+			t.Fatalf("%q: round trip changed membership of %q: orig=%v recon=%v\nreconstructed: %s",
+				src, h, want, got, back)
+		}
+	}
+}
+
+func TestLemma2RoundTrip(t *testing.T) {
+	cases := []struct {
+		src      string
+		maxNodes int
+	}{
+		{"$x", 3},
+		{"a", 3},
+		{"a*", 4},
+		{"a b", 4},
+		{"a | $x", 3},
+		{"a<$x>", 4},
+		{"a<b*>", 4},
+		{"a<$x>*", 4},
+		{"(a | b)*", 4},
+	}
+	for _, c := range cases {
+		roundTrip(t, c.src, c.maxNodes)
+	}
+}
+
+func TestLemma2RecursiveLanguage(t *testing.T) {
+	// A genuinely recursive language — all hedges over {a} — exercises the
+	// three-equation elimination (non-empty Q₁ recursion).
+	roundTrip(t, "a<~z>*^z", 5)
+}
+
+func TestLemma2OnBuiltAutomaton(t *testing.T) {
+	// M₀ from Section 3, built by hand rather than compiled.
+	names := ha.NewNames()
+	names.Syms.Intern("d")
+	names.Syms.Intern("p")
+	names.Vars.Intern("x")
+	names.Vars.Intern("y")
+	b := ha.NewBuilder(names)
+	b.Iota("x", "qx")
+	b.Iota("y", "qy")
+	b.MustRule("d", "qd", "qp1, qp2*")
+	b.MustRule("p", "qp1", "qx")
+	b.MustRule("p", "qp2", "qy")
+	b.MustFinal("qd*")
+	m0 := b.Build()
+	det := m0.Determinize()
+
+	back, err := ToExpr(det.DHA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names2 := ha.NewNames()
+	recon, err := Compile(back, names2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range allHedges([]string{"d", "p"}, []string{"x", "y"}, nil, 4) {
+		if m0.Accepts(h) != recon.Accepts(h) {
+			t.Fatalf("Lemma 2 round trip of M0 changed membership of %q", h)
+		}
+	}
+}
+
+func TestToExprWitnessInLanguage(t *testing.T) {
+	// Sanity: the reconstructed expression of a non-empty automaton is
+	// non-empty and its small members are accepted by the original.
+	e := MustParse("a<b c*>")
+	names := ha.NewNames()
+	orig := MustCompile(e, names)
+	det := orig.Determinize()
+	back, err := ToExpr(det.DHA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := Enumerate(back, 5)
+	if len(members) == 0 {
+		t.Fatal("reconstructed expression has no small members")
+	}
+	for _, h := range members {
+		if h.HasSubst() {
+			continue
+		}
+		if !orig.Accepts(h) {
+			t.Fatalf("reconstructed member %q not in original language", h)
+		}
+	}
+	_ = hedge.Hedge(nil)
+}

@@ -1,0 +1,118 @@
+// Package pathexpr implements classical path expressions — the baseline
+// formalism the paper extends. A path expression is a regular expression
+// over node labels, matched against the path from the TOP level down to a
+// node (root-first, the conventional reading of the introduction's
+// (section*, figure) example).
+//
+// The paper observes that a path expression is exactly a pointed hedge
+// representation whose sibling conditions accept every hedge; ToPHR
+// performs that embedding (reversing the regex, since Definition 19 reads
+// decompositions bottom-up).
+package pathexpr
+
+import (
+	"xpe/internal/alphabet"
+	"xpe/internal/core"
+	"xpe/internal/hedge"
+	"xpe/internal/sfa"
+	"xpe/internal/sre"
+)
+
+// PathExpr is a parsed path expression.
+type PathExpr struct {
+	Labels *sre.Expr
+}
+
+// Parse parses a path expression in sre syntax over element labels, e.g.
+// "section*, figure".
+func Parse(src string) (*PathExpr, error) {
+	e, err := sre.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &PathExpr{Labels: e}, nil
+}
+
+// MustParse is Parse, panicking on error.
+func MustParse(src string) *PathExpr {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String renders the expression.
+func (p *PathExpr) String() string { return p.Labels.String() }
+
+// Compiled is the executable form: a complete DFA over interned labels,
+// stepped top-down — one transition per node, so bulk location is linear.
+type Compiled struct {
+	in  *alphabet.Interner
+	dfa *sfa.DFA
+}
+
+// Compile builds the label DFA.
+func (p *PathExpr) Compile() *Compiled {
+	in := alphabet.NewInterner()
+	dfa := p.Labels.CompileDFA(in).Complete()
+	return &Compiled{in: in, dfa: dfa}
+}
+
+// Locate returns the nodes whose root path matches the expression, in
+// document order.
+func (c *Compiled) Locate(h hedge.Hedge) []hedge.Path {
+	var out []hedge.Path
+	var rec func(h hedge.Hedge, prefix hedge.Path, state int)
+	rec = func(h hedge.Hedge, prefix hedge.Path, state int) {
+		for i, n := range h {
+			if n.Kind != hedge.Elem {
+				continue
+			}
+			p := append(prefix, i)
+			sym := c.in.Lookup(n.Name)
+			next := sfa.Dead
+			if sym != alphabet.None {
+				next = c.dfa.Step(state, sym)
+			}
+			if next == sfa.Dead {
+				continue // no extension can match a completed DFA's dead state
+			}
+			if c.dfa.Accepting(next) {
+				out = append(out, p.Clone())
+			}
+			rec(n.Children, p, next)
+		}
+	}
+	rec(h, nil, c.dfa.Start)
+	return out
+}
+
+// ToPHR embeds the path expression into a pointed hedge representation:
+// the label regex is reversed (Definition 19 reads bottom-up) and every
+// sibling condition accepts any hedge.
+func (p *PathExpr) ToPHR() *core.PHR {
+	return core.PathExpression(reverse(p.Labels))
+}
+
+// reverse mirrors a regular expression.
+func reverse(e *sre.Expr) *sre.Expr {
+	switch e.Kind {
+	case sre.KCat:
+		subs := make([]*sre.Expr, len(e.Subs))
+		for i, s := range e.Subs {
+			subs[len(subs)-1-i] = reverse(s)
+		}
+		return sre.Cat(subs...)
+	case sre.KAlt:
+		subs := make([]*sre.Expr, len(e.Subs))
+		for i, s := range e.Subs {
+			subs[i] = reverse(s)
+		}
+		return sre.Alt(subs...)
+	case sre.KStar:
+		return sre.Star(reverse(e.Subs[0]))
+	default:
+		return e
+	}
+}

@@ -1,0 +1,88 @@
+package pathexpr
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpe/internal/core"
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+)
+
+func TestLocateIntroExample(t *testing.T) {
+	// (section*, figure) under a doc root: the paper's introduction.
+	p := MustParse("doc, section*, figure")
+	c := p.Compile()
+	h := hedge.MustParse("doc<section<figure section<figure>> figure para>")
+	got := map[string]bool{}
+	for _, path := range c.Locate(h) {
+		got[path.String()] = true
+	}
+	want := []string{"1.1.1", "1.1.2.1", "1.2"}
+	if len(got) != len(want) {
+		t.Fatalf("located %v, want %v", got, want)
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Fatalf("missing %v", w)
+		}
+	}
+}
+
+func TestToPHRAgreesWithDirect(t *testing.T) {
+	exprs := []string{
+		"a",
+		"a, b",
+		"a*, b",
+		"(a | b)*",
+		"doc, section*, figure",
+		"a, (b, a)*",
+	}
+	rng := rand.New(rand.NewSource(3))
+	cfg := hedge.RandConfig{
+		Symbols: []string{"a", "b", "doc", "section", "figure"},
+		Vars:    []string{"x"}, MaxDepth: 4, MaxWidth: 3,
+	}
+	for _, src := range exprs {
+		p := MustParse(src)
+		direct := p.Compile()
+		names := ha.NewNames()
+		for _, s := range cfg.Symbols {
+			names.Syms.Intern(s)
+		}
+		names.Vars.Intern("x")
+		compiled, err := core.CompilePHR(p.ToPHR(), names)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		for i := 0; i < 80; i++ {
+			h := hedge.Random(rng, cfg)
+			directSet := map[string]bool{}
+			for _, path := range direct.Locate(h) {
+				directSet[path.String()] = true
+			}
+			res := compiled.Locate(h)
+			phrSet := map[string]bool{}
+			for _, path := range res.Paths {
+				phrSet[path.String()] = true
+			}
+			if len(directSet) != len(phrSet) {
+				t.Fatalf("%q: sets differ on %q: direct=%v phr=%v", src, h, directSet, phrSet)
+			}
+			for k := range directSet {
+				if !phrSet[k] {
+					t.Fatalf("%q: missing %v on %q", src, k, h)
+				}
+			}
+		}
+	}
+}
+
+func TestUnknownLabels(t *testing.T) {
+	p := MustParse("a")
+	c := p.Compile()
+	h := hedge.Hedge{hedge.NewElem("zzz")}
+	if len(c.Locate(h)) != 0 {
+		t.Fatal("unknown label must not match")
+	}
+}

@@ -1,0 +1,31 @@
+package schema
+
+import "xpe/internal/ha"
+
+// Equivalent reports whether two schemas over the same Names accept the
+// same document language.
+func Equivalent(a, b *Schema) (bool, error) {
+	return ha.Equivalent(a.DHA, b.DHA)
+}
+
+// Includes reports whether every document of sub is accepted by super
+// (language inclusion — the schema-evolution check downstream tooling
+// needs before swapping grammars).
+func Includes(super, sub *Schema) (bool, error) {
+	diff, err := ha.ProductDHA(sub.DHA, super.DHA, func(x, y bool) bool { return x && !y })
+	if err != nil {
+		return false, err
+	}
+	return diff.IsEmpty(), nil
+}
+
+// Reduced returns an equivalent schema whose deterministic automaton has
+// behaviourally-merged states (ha.Reduce). The Section 8 transformations
+// build products whose outputs routinely carry redundant states; reduction
+// shrinks them before further composition.
+func Reduced(s *Schema) *Schema {
+	r := s.DHA.Reduce()
+	out := FromDHA(r)
+	out.Classes = s.Classes
+	return out
+}

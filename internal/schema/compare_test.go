@@ -1,0 +1,124 @@
+package schema
+
+import (
+	"testing"
+
+	"xpe/internal/core"
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+)
+
+// compileQueryErr is compileQuery returning the error.
+func compileQueryErr(names *ha.Names, qsrc string) (*core.CompiledQuery, error) {
+	q, err := core.ParseQuery(qsrc)
+	if err != nil {
+		return nil, err
+	}
+	return core.CompileQuery(q, names)
+}
+
+func TestEquivalentAndIncludes(t *testing.T) {
+	names := ha.NewNames()
+	a := MustParseGrammar(`
+start = doc
+element doc { sec* }
+element sec { fig* }
+element fig { empty }
+`, names)
+	// Same language, different grammar shape.
+	b := MustParseGrammar(`
+start = doc2
+define doc2 = element doc { sec2* }
+define sec2 = element sec { fig2* }
+define fig2 = element fig { empty }
+`, names)
+	// A strictly larger language (sections may also hold sections).
+	c := MustParseGrammar(`
+start = doc3
+define doc3 = element doc { sec3* }
+define sec3 = element sec { (sec3 | fig3)* }
+define fig3 = element fig { empty }
+`, names)
+
+	eq, err := Equivalent(a, b)
+	if err != nil || !eq {
+		t.Fatalf("a ≡ b expected (err=%v)", err)
+	}
+	eq, err = Equivalent(a, c)
+	if err != nil || eq {
+		t.Fatalf("a ≢ c expected (err=%v)", err)
+	}
+	inc, err := Includes(c, a)
+	if err != nil || !inc {
+		t.Fatalf("c ⊇ a expected (err=%v)", err)
+	}
+	inc, err = Includes(a, c)
+	if err != nil || inc {
+		t.Fatalf("a ⊉ c expected (err=%v)", err)
+	}
+}
+
+func TestTransformRename(t *testing.T) {
+	names := ha.NewNames()
+	s := MustParseGrammar(docGrammar, names)
+	// Rename sections-of-only-figures to "gallery".
+	cq := compileQuery(t, names, "select(fig*; [* ; sec ; *] (sec|doc)*)")
+	out, err := TransformRename(s, cq, "gallery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"doc<gallery<fig fig>>", true},
+		{"doc<sec<fig fig>>", false},         // a located node must be renamed
+		{"doc<sec<par>>", true},              // unlocated sections keep their label
+		{"doc<gallery<par>>", false},         // non-matching sections cannot be renamed
+		{"doc<sec<gallery<fig> par>>", true}, // nested rename inside a surviving sec
+		{"doc", true},
+	}
+	for _, c := range cases {
+		h := hedge.MustParse(c.src)
+		if got := out.DHA.Accepts(h); got != c.want {
+			t.Errorf("rename output Accepts(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestTransformRenameRoundTripOnDocuments(t *testing.T) {
+	names := ha.NewNames()
+	s := MustParseGrammar(docGrammar, names)
+	cq := compileQuery(t, names, "fig sec* [* ; doc ; *]")
+	out, err := TransformRename(s, cq, "image")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every renamed document must be accepted by the output schema.
+	docs := []string{
+		"doc<sec<fig par>>",
+		"doc<sec<sec<fig> fig>>",
+		"doc<par>",
+	}
+	for _, src := range docs {
+		h := hedge.MustParse(src)
+		if !s.DHA.Accepts(h) {
+			t.Fatalf("test document %q outside input schema", src)
+		}
+		q2, err := compileQueryErr(names, "fig sec* [* ; doc ; *]")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := q2.Select(h)
+		renamed := h.Clone()
+		// Locate again on the clone (node identity differs).
+		res2 := q2.Select(renamed)
+		for n := range res2.Located {
+			n.Name = "image"
+		}
+		_ = res
+		if !out.DHA.Accepts(renamed) {
+			t.Fatalf("renamed document %q rejected by rename output schema", renamed)
+		}
+	}
+}

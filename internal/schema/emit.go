@@ -1,0 +1,234 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xpe/internal/alphabet"
+	"xpe/internal/ha"
+	"xpe/internal/sfa"
+	"xpe/internal/sre"
+)
+
+// ToGrammar renders the schema back as grammar text, closing the Section 8
+// loop: transformation outputs (which are automata) become the same
+// human-readable syntax the inputs were written in. The construction
+// mirrors Lemma 2's preprocessing: each inhabited (state, label) pair of
+// the reduced automaton becomes a grammar class whose content model is the
+// state-eliminated regex of its horizontal language, with state symbols
+// expanded to class alternations.
+//
+// Only text leaves are expressible in the grammar syntax; schemas whose ι
+// uses other variables are rejected.
+func ToGrammar(s *Schema) (string, error) {
+	d := s.DHA.Reduce()
+	// Leaf states.
+	textState := alphabet.None
+	for v := 0; v < d.Names.Vars.Len(); v++ {
+		name := d.Names.Vars.Name(v)
+		if v >= len(d.Iota) || d.Iota[v] == alphabet.None {
+			continue
+		}
+		if name == TextVar {
+			textState = d.Iota[v]
+			continue
+		}
+		if strings.HasPrefix(name, "\x00") {
+			continue // reserved substitution-variable bookkeeping
+		}
+		// A non-text variable that shares the text state is harmless;
+		// anything else is not expressible.
+		if textState == alphabet.None || d.Iota[v] != textState {
+			return "", fmt.Errorf("schema: variable %q is not expressible in grammar syntax", name)
+		}
+	}
+
+	inhabited := d.InhabitedStates()
+	// Classes: one per inhabited (state, label).
+	type classKey struct{ q, sym int }
+	classes := map[classKey]string{}
+	var order []classKey
+	for sym, hz := range d.Horiz {
+		if hz == nil {
+			continue
+		}
+		seen := map[int]bool{}
+		for hs, reach := range ha.ReachableHorizontal(hz, inhabited) {
+			if !reach {
+				continue
+			}
+			q := hz.Out[hs]
+			if q == alphabet.None || seen[q] {
+				continue
+			}
+			seen[q] = true
+			k := classKey{q, sym}
+			classes[k] = fmt.Sprintf("n%d_%s", q, d.Names.Syms.Name(sym))
+			order = append(order, k)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].q != order[j].q {
+			return order[i].q < order[j].q
+		}
+		return order[i].sym < order[j].sym
+	})
+
+	// Prune classes unreachable from the start content (the reduction
+	// keeps distinguishable-but-unused states; their classes would only
+	// clutter the grammar).
+	reach := map[classKey]bool{}
+	var stack []classKey
+	seed := func(dfa *sfa.DFA) {
+		// Only symbols on accepting paths count (completion puts every
+		// symbol in the transition tables).
+		useful := dfa.ToNFA().UsefulSymbols(inhabited)
+		for _, k := range order {
+			if k.q < len(useful) && useful[k.q] && !reach[k] {
+				reach[k] = true
+				stack = append(stack, k)
+			}
+		}
+	}
+	seed(d.Final)
+	for len(stack) > 0 {
+		k := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		seed(acceptingInto(d.Horiz[k.sym], k.q))
+	}
+	kept := order[:0]
+	for _, k := range order {
+		if reach[k] {
+			kept = append(kept, k)
+		} else {
+			delete(classes, k)
+		}
+	}
+	order = kept
+
+	// Per automaton state: the alternation of grammar tokens producing it.
+	tokenOf := func(q int) (string, bool) {
+		var alts []string
+		if q == textState {
+			alts = append(alts, "text")
+		}
+		for _, k := range order {
+			if k.q == q {
+				alts = append(alts, classes[k])
+			}
+		}
+		switch len(alts) {
+		case 0:
+			return "", false
+		case 1:
+			return alts[0], true
+		default:
+			return "(" + strings.Join(alts, " | ") + ")", true
+		}
+	}
+	// renderContent turns a DFA over automaton states into grammar content.
+	renderContent := func(dfa *sfa.DFA) (string, error) {
+		restricted := dfa.Clone()
+		for st := 0; st < restricted.NumStates; st++ {
+			for q := range restricted.Trans[st] {
+				if q >= len(inhabited) || !inhabited[q] {
+					delete(restricted.Trans[st], q)
+				}
+			}
+		}
+		e := sre.FromDFA(restricted.Minimize(), func(q int) string { return fmt.Sprintf("q%d", q) })
+		if e.Kind == sre.KEmpty {
+			return "", fmt.Errorf("schema: empty content language")
+		}
+		out, err := substituteTokens(e, tokenOf)
+		if err != nil {
+			return "", err
+		}
+		if out == "()" {
+			return "empty", nil
+		}
+		return out, nil
+	}
+
+	var b strings.Builder
+	start, err := renderContent(d.Final)
+	if err != nil {
+		return "", fmt.Errorf("schema: start: %w (is the language empty?)", err)
+	}
+	fmt.Fprintf(&b, "start = %s\n", start)
+	for _, k := range order {
+		content, err := renderContent(acceptingInto(d.Horiz[k.sym], k.q))
+		if err != nil {
+			return "", fmt.Errorf("schema: class %s: %w", classes[k], err)
+		}
+		fmt.Fprintf(&b, "define %s = element %s { %s }\n",
+			classes[k], d.Names.Syms.Name(k.sym), content)
+	}
+	return b.String(), nil
+}
+
+// acceptingInto marks the horizontal states producing q as accepting.
+func acceptingInto(hz *ha.Horiz, q int) *sfa.DFA {
+	dfa := hz.DFA.Clone()
+	for hs := range dfa.Accept {
+		dfa.Accept[hs] = hs < len(hz.Out) && hz.Out[hs] == q
+	}
+	return dfa
+}
+
+// substituteTokens renders a regex over q<i> symbols with tokens.
+func substituteTokens(e *sre.Expr, tokenOf func(q int) (string, bool)) (string, error) {
+	var render func(e *sre.Expr, prec int) (string, error)
+	render = func(e *sre.Expr, prec int) (string, error) {
+		switch e.Kind {
+		case sre.KEps:
+			return "()", nil
+		case sre.KSym:
+			var q int
+			fmt.Sscanf(e.Name, "q%d", &q)
+			tok, ok := tokenOf(q)
+			if !ok {
+				return "", fmt.Errorf("state q%d has no grammar token", q)
+			}
+			return tok, nil
+		case sre.KCat:
+			parts := make([]string, len(e.Subs))
+			for i, s := range e.Subs {
+				p, err := render(s, 2)
+				if err != nil {
+					return "", err
+				}
+				parts[i] = p
+			}
+			out := strings.Join(parts, ", ")
+			if prec > 1 {
+				out = "(" + out + ")"
+			}
+			return out, nil
+		case sre.KAlt:
+			parts := make([]string, len(e.Subs))
+			for i, s := range e.Subs {
+				p, err := render(s, 1)
+				if err != nil {
+					return "", err
+				}
+				parts[i] = p
+			}
+			out := strings.Join(parts, " | ")
+			if prec > 0 {
+				out = "(" + out + ")"
+			}
+			return out, nil
+		case sre.KStar:
+			p, err := render(e.Subs[0], 2)
+			if err != nil {
+				return "", err
+			}
+			return p + "*", nil
+		default:
+			return "", fmt.Errorf("unexpected regex node %d", e.Kind)
+		}
+	}
+	return render(e, 0)
+}

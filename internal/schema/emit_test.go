@@ -1,0 +1,93 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+)
+
+func TestToGrammarRoundTrip(t *testing.T) {
+	grammars := []string{
+		docGrammar,
+		`
+start = list
+element list { odd (even odd)* }
+define odd = element item { text }
+define even = element item { empty }
+`,
+		`
+start = a | b b
+element a { (a | b)* }
+element b { empty }
+`,
+	}
+	for _, src := range grammars {
+		names := ha.NewNames()
+		s := MustParseGrammar(src, names)
+		emitted, err := ToGrammar(s)
+		if err != nil {
+			t.Fatalf("ToGrammar: %v\n(grammar: %s)", err, src)
+		}
+		back, err := ParseGrammar(emitted, names)
+		if err != nil {
+			t.Fatalf("emitted grammar does not re-parse: %v\n%s", err, emitted)
+		}
+		eq, err := Equivalent(s, back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("emission changed the language:\noriginal: %s\nemitted:\n%s", src, emitted)
+		}
+	}
+}
+
+func TestToGrammarOfTransformOutput(t *testing.T) {
+	// The Section 8 loop closed: transform a schema, emit the output as a
+	// grammar, re-parse, and compare languages.
+	names := ha.NewNames()
+	s := MustParseGrammar(docGrammar, names)
+	cq := compileQuery(t, names, "fig sec* [* ; doc ; *]")
+	out, err := TransformDelete(s, cq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emitted, err := ToGrammar(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(emitted, "element") {
+		t.Fatalf("no classes emitted:\n%s", emitted)
+	}
+	back, err := ParseGrammar(emitted, names)
+	if err != nil {
+		t.Fatalf("emitted transform grammar does not re-parse: %v\n%s", err, emitted)
+	}
+	eq, err := Equivalent(out, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("emission changed the transformed language:\n%s", emitted)
+	}
+	// Sanity: the emitted grammar must reject figure-bearing documents.
+	if back.DHA.Accepts(hedge.MustParse("doc<sec<fig>>")) {
+		t.Fatal("deleted figures reappeared")
+	}
+}
+
+func TestToGrammarRejectsForeignVariables(t *testing.T) {
+	names := ha.NewNames()
+	names.Syms.Intern("a")
+	names.Vars.Intern("weird")
+	b := ha.NewBuilder(names)
+	b.Iota("weird", "qw")
+	b.MustRule("a", "qa", "qw*")
+	b.MustFinal("qa")
+	s := FromNHA(b.Build())
+	if _, err := ToGrammar(s); err == nil {
+		t.Fatal("non-text variables must be rejected")
+	}
+}

@@ -1,0 +1,251 @@
+// Package schema provides the schema substrate of Section 8: a small
+// RELAX/TREX-flavoured grammar language compiled to hedge automata, and the
+// schema transformations for selection and deletion queries, built on the
+// match-identifying automata of Theorem 5.
+//
+// Grammar syntax (line-oriented; '#' starts a comment):
+//
+//	start = <regex over class names>
+//	element NAME { <content> }                 — class NAME labeled NAME
+//	define CLASS = element LABEL { <content> } — class CLASS labeled LABEL
+//
+// Content is a string regular expression (package sre syntax) over class
+// names, plus the builtin "text" which matches a text leaf. Two classes may
+// share a label ("define"d classes), which is exactly what makes the
+// formalism hedge-regular rather than merely local — the distinction the
+// paper draws against DTD-style schemas.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+	"xpe/internal/sre"
+)
+
+// TextVar is the variable name used for text leaves (shared with package
+// xmlhedge via package hedge).
+const TextVar = hedge.TextVar
+
+// Schema is a compiled schema: the grammar (if any), the NHA it compiles
+// to, and the determinized complete DHA used by the transformations.
+type Schema struct {
+	Names *ha.Names
+	NHA   *ha.NHA
+	// DHA is the determinized, complete automaton.
+	DHA *ha.DHA
+	// Classes lists the grammar's class names in definition order (empty
+	// for schemas built directly from automata).
+	Classes []string
+}
+
+// FromNHA wraps an automaton as a schema.
+func FromNHA(n *ha.NHA) *Schema {
+	det := n.Determinize()
+	return &Schema{Names: n.Names, NHA: n, DHA: det.DHA}
+}
+
+// FromDHA wraps a deterministic automaton as a schema.
+func FromDHA(d *ha.DHA) *Schema {
+	return &Schema{Names: d.Names, NHA: d.ToNHA(), DHA: d}
+}
+
+// classDef is one grammar production.
+type classDef struct {
+	class   string
+	label   string
+	content *sre.Expr
+}
+
+// ParseGrammar parses and compiles a grammar. Element labels, the text
+// variable, and class states are interned into names.
+func ParseGrammar(src string, names *ha.Names) (*Schema, error) {
+	var defs []classDef
+	var start *sre.Expr
+	lines := strings.Split(src, "\n")
+	for i := 0; i < len(lines); i++ {
+		line := lines[i]
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Join continuation lines until braces balance for element forms.
+		for strings.Contains(line, "{") && !balanced(line) && i+1 < len(lines) {
+			i++
+			line += " " + strings.TrimSpace(lines[i])
+		}
+		switch {
+		case strings.HasPrefix(line, "start"):
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "start"))
+			if !strings.HasPrefix(rest, "=") {
+				return nil, fmt.Errorf("schema: line %d: expected 'start = ...'", i+1)
+			}
+			e, err := sre.Parse(strings.TrimSpace(rest[1:]))
+			if err != nil {
+				return nil, fmt.Errorf("schema: line %d: %w", i+1, err)
+			}
+			start = e
+		case strings.HasPrefix(line, "define"):
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "define"))
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("schema: line %d: expected 'define CLASS = element ...'", i+1)
+			}
+			class := strings.TrimSpace(rest[:eq])
+			def, err := parseElement(strings.TrimSpace(rest[eq+1:]), i+1)
+			if err != nil {
+				return nil, err
+			}
+			def.class = class
+			defs = append(defs, *def)
+		case strings.HasPrefix(line, "element"):
+			def, err := parseElement(line, i+1)
+			if err != nil {
+				return nil, err
+			}
+			def.class = def.label
+			defs = append(defs, *def)
+		default:
+			return nil, fmt.Errorf("schema: line %d: unrecognized declaration %q", i+1, line)
+		}
+	}
+	if start == nil {
+		return nil, fmt.Errorf("schema: missing 'start = ...' declaration")
+	}
+	if len(defs) == 0 {
+		return nil, fmt.Errorf("schema: no element declarations")
+	}
+	return compileGrammar(defs, start, names)
+}
+
+// MustParseGrammar is ParseGrammar, panicking on error.
+func MustParseGrammar(src string, names *ha.Names) *Schema {
+	s, err := ParseGrammar(src, names)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func balanced(s string) bool {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+		}
+	}
+	return depth == 0
+}
+
+// parseElement parses "element LABEL { content }".
+func parseElement(s string, lineNo int) (*classDef, error) {
+	if !strings.HasPrefix(s, "element") {
+		return nil, fmt.Errorf("schema: line %d: expected 'element'", lineNo)
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(s, "element"))
+	open := strings.IndexByte(rest, '{')
+	if open < 0 || !strings.HasSuffix(rest, "}") {
+		return nil, fmt.Errorf("schema: line %d: expected 'element NAME { ... }'", lineNo)
+	}
+	label := strings.TrimSpace(rest[:open])
+	if label == "" {
+		return nil, fmt.Errorf("schema: line %d: missing element name", lineNo)
+	}
+	body := strings.TrimSpace(rest[open+1 : len(rest)-1])
+	var content *sre.Expr
+	if body == "" || body == "empty" {
+		content = sre.Eps()
+	} else {
+		e, err := sre.Parse(body)
+		if err != nil {
+			return nil, fmt.Errorf("schema: line %d: %w", lineNo, err)
+		}
+		content = e
+	}
+	return &classDef{label: label, content: content}, nil
+}
+
+// compileGrammar builds the NHA: one state per class, ι(text) = a dedicated
+// text state, and per class the rule (label, q_class, content lifted to
+// class states).
+func compileGrammar(defs []classDef, start *sre.Expr, names *ha.Names) (*Schema, error) {
+	b := ha.NewBuilder(names)
+	classes := map[string]bool{}
+	var order []string
+	for _, d := range defs {
+		if classes[d.class] {
+			return nil, fmt.Errorf("schema: class %q defined twice", d.class)
+		}
+		classes[d.class] = true
+		order = append(order, d.class)
+	}
+	// The builder names states after classes; "text" maps to the text
+	// variable's state.
+	b.Iota(TextVar, stateName("text"))
+	resolve := func(e *sre.Expr, where string) (string, error) {
+		// Rewrite class names/text to state names and validate references.
+		var bad error
+		var rec func(x *sre.Expr) *sre.Expr
+		rec = func(x *sre.Expr) *sre.Expr {
+			switch x.Kind {
+			case sre.KSym:
+				if x.Name != "text" && !classes[x.Name] {
+					bad = fmt.Errorf("schema: %s references undefined class %q", where, x.Name)
+					return x
+				}
+				return sre.Sym(stateName(x.Name))
+			case sre.KAny:
+				// '.' in content = any class or text.
+				subs := make([]*sre.Expr, 0, len(order)+1)
+				for _, c := range order {
+					subs = append(subs, sre.Sym(stateName(c)))
+				}
+				subs = append(subs, sre.Sym(stateName("text")))
+				return sre.Alt(subs...)
+			default:
+				subs := make([]*sre.Expr, len(x.Subs))
+				for i, s := range x.Subs {
+					subs[i] = rec(s)
+				}
+				return &sre.Expr{Kind: x.Kind, Name: x.Name, Subs: subs}
+			}
+		}
+		out := rec(e)
+		if bad != nil {
+			return "", bad
+		}
+		return out.String(), nil
+	}
+	for _, d := range defs {
+		content, err := resolve(d.content, fmt.Sprintf("element %s (class %s)", d.label, d.class))
+		if err != nil {
+			return nil, err
+		}
+		if err := b.Rule(d.label, stateName(d.class), content); err != nil {
+			return nil, err
+		}
+	}
+	startContent, err := resolve(start, "start")
+	if err != nil {
+		return nil, err
+	}
+	if err := b.Final(startContent); err != nil {
+		return nil, err
+	}
+	nha := b.Build()
+	s := FromNHA(nha)
+	s.Classes = order
+	return s, nil
+}
+
+// stateName decorates class names so they cannot collide with sre
+// metasyntax.
+func stateName(class string) string { return "c_" + class }

@@ -1,0 +1,270 @@
+package schema
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpe/internal/core"
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+)
+
+const docGrammar = `
+# A small document grammar.
+start = doc
+element doc { (sec | par)* }
+element sec { (sec | fig | par)* }
+element fig { empty }
+element par { text* }
+`
+
+func TestParseGrammar(t *testing.T) {
+	names := ha.NewNames()
+	s, err := ParseGrammar(docGrammar, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"doc", true},
+		{"doc<sec<fig> par<$x>>", false}, // $x is not the text variable
+		{"doc<sec<fig>>", true},
+		{"doc<par>", true},
+		{"doc doc", false},
+		{"sec", false},
+		{"doc<fig>", false}, // fig not allowed directly under doc
+	}
+	for _, c := range cases {
+		h := hedge.MustParse(c.src)
+		if got := s.DHA.Accepts(h); got != c.want {
+			t.Errorf("Accepts(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+	// Text leaves use the dedicated variable.
+	text := hedge.Hedge{hedge.NewElem("doc", hedge.NewElem("par", hedge.NewVar(TextVar)))}
+	if !s.DHA.Accepts(text) {
+		t.Fatal("par with text should be accepted")
+	}
+}
+
+func TestParseGrammarRegularity(t *testing.T) {
+	// Two classes share the label "item" — beyond local tree grammars.
+	src := `
+start = list
+element list { odd (even odd)* }
+define odd = element item { text }
+define even = element item { empty }
+`
+	names := ha.NewNames()
+	s, err := ParseGrammar(src, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := func() *hedge.Node { return hedge.NewVar(TextVar) }
+	okDoc := hedge.Hedge{hedge.NewElem("list",
+		hedge.NewElem("item", text()),
+		hedge.NewElem("item"),
+		hedge.NewElem("item", text()),
+	)}
+	if !s.DHA.Accepts(okDoc) {
+		t.Fatal("alternating list should be accepted")
+	}
+	badDoc := hedge.Hedge{hedge.NewElem("list",
+		hedge.NewElem("item", text()),
+		hedge.NewElem("item", text()),
+	)}
+	if s.DHA.Accepts(badDoc) {
+		t.Fatal("two odd items in a row should be rejected")
+	}
+}
+
+func TestParseGrammarErrors(t *testing.T) {
+	names := ha.NewNames()
+	bad := []string{
+		"",
+		"start = doc", // no elements
+		"element doc { undefinedclass }\nstart = doc",
+		"element doc { }", // no start
+		"element doc { sec }\nelement doc {}\nstart = doc", // duplicate class
+		"garbage",
+	}
+	for _, src := range bad {
+		if _, err := ParseGrammar(src, names); err == nil {
+			t.Errorf("ParseGrammar(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func compileQuery(t *testing.T, names *ha.Names, qsrc string) *core.CompiledQuery {
+	t.Helper()
+	q, err := core.ParseQuery(qsrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := core.CompileQuery(q, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cq
+}
+
+func TestTransformSelectSubtreesHandVerified(t *testing.T) {
+	names := ha.NewNames()
+	s := MustParseGrammar(docGrammar, names)
+	// Query: sections whose subhedge is only figures.
+	cq := compileQuery(t, names, "select(fig*; [* ; sec ; *] (sec|doc)*)")
+	out, err := TransformSelect(s, cq, Subtrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"sec", true}, // empty section qualifies (ε ∈ fig*)
+		{"sec<fig>", true},
+		{"sec<fig fig fig>", true},
+		{"sec<par>", false},
+		{"sec<sec<fig>>", false}, // contains a section, not fig*
+		{"fig", false},
+		{"doc", false},
+		{"sec sec", false}, // a single node is selected, not a pair
+	}
+	for _, c := range cases {
+		h := hedge.MustParse(c.src)
+		if got := out.DHA.Accepts(h); got != c.want {
+			t.Errorf("select output Accepts(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestTransformSelectSubhedges(t *testing.T) {
+	names := ha.NewNames()
+	s := MustParseGrammar(docGrammar, names)
+	cq := compileQuery(t, names, "select(fig*; [* ; sec ; *] (sec|doc)*)")
+	out, err := TransformSelect(s, cq, Subhedges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.DHA.Accepts(nil) {
+		t.Fatal("ε (empty section content) should be in the output")
+	}
+	if !out.DHA.Accepts(hedge.MustParse("fig fig")) {
+		t.Fatal("fig fig should be in the output")
+	}
+	if out.DHA.Accepts(hedge.MustParse("par")) {
+		t.Fatal("par should not be in the output")
+	}
+}
+
+func TestTransformSelectSampledContainment(t *testing.T) {
+	names := ha.NewNames()
+	s := MustParseGrammar(docGrammar, names)
+	queries := []string{
+		"fig sec* [* ; doc ; *]",
+		"select(fig*; [* ; sec ; *] (sec|doc)*)",
+		"[* ; fig ; par (sec|fig|par)*] (sec|doc)*",
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, qsrc := range queries {
+		cq := compileQuery(t, names, qsrc)
+		outSub, err := TransformSelect(s, cq, Subhedges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outTree, err := TransformSelect(s, cq, Subtrees)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampler, ok := ha.NewSampler(s.DHA, rng)
+		if !ok {
+			t.Fatal("schema empty")
+		}
+		found := 0
+		for i := 0; i < 60; i++ {
+			doc, ok := sampler.Sample(4)
+			if !ok {
+				t.Fatal("sample failed")
+			}
+			res := cq.Select(doc)
+			for n := range res.Located {
+				found++
+				if !outSub.DHA.Accepts(hedge.Hedge(n.Children)) {
+					t.Fatalf("%q: located subhedge %q not in output schema", qsrc, hedge.Hedge(n.Children))
+				}
+				tree := hedge.Hedge{n}
+				if !outTree.DHA.Accepts(tree) {
+					t.Fatalf("%q: located subtree %q not in output schema", qsrc, tree)
+				}
+			}
+		}
+		if found == 0 {
+			t.Fatalf("%q: sampling never located a node; test vacuous", qsrc)
+		}
+	}
+}
+
+func TestTransformDelete(t *testing.T) {
+	names := ha.NewNames()
+	s := MustParseGrammar(docGrammar, names)
+	queries := []string{
+		"fig sec* [* ; doc ; *]",
+		"select(fig*; [* ; sec ; *] (sec|doc)*)",
+		"par (sec|doc)*",
+	}
+	rng := rand.New(rand.NewSource(9))
+	for _, qsrc := range queries {
+		cq := compileQuery(t, names, qsrc)
+		out, err := TransformDelete(s, cq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampler, ok := ha.NewSampler(s.DHA, rng)
+		if !ok {
+			t.Fatal("schema empty")
+		}
+		checked := 0
+		for i := 0; i < 60; i++ {
+			doc, ok := sampler.Sample(4)
+			if !ok {
+				t.Fatal("sample failed")
+			}
+			res := cq.Select(doc)
+			deleted := doc.RemoveNodes(res.Located)
+			if !out.DHA.Accepts(deleted) {
+				t.Fatalf("%q: post-deletion document %q (from %q) rejected by output schema",
+					qsrc, deleted, doc)
+			}
+			if len(res.Located) > 0 {
+				checked++
+			}
+		}
+		if checked == 0 {
+			t.Fatalf("%q: no sampled document had located nodes; test vacuous", qsrc)
+		}
+	}
+}
+
+func TestTransformDeleteNegative(t *testing.T) {
+	// After deleting all figures under doc, no document of the output
+	// schema contains a figure under a section chain... the output schema
+	// must reject documents that still contain such figures.
+	names := ha.NewNames()
+	s := MustParseGrammar(docGrammar, names)
+	cq := compileQuery(t, names, "fig sec* [* ; doc ; *]")
+	out, err := TransformDelete(s, cq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.DHA.Accepts(hedge.MustParse("doc<sec<fig>>")) {
+		t.Fatal("document with a surviving figure should be rejected")
+	}
+	if !out.DHA.Accepts(hedge.MustParse("doc<sec<par>>")) {
+		t.Fatal("figure-free document should be accepted")
+	}
+	if !out.DHA.Accepts(hedge.MustParse("doc<sec>")) {
+		t.Fatal("emptied section should be accepted")
+	}
+}

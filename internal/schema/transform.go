@@ -1,0 +1,152 @@
+package schema
+
+import (
+	"fmt"
+
+	"xpe/internal/core"
+	"xpe/internal/ha"
+	"xpe/internal/sfa"
+)
+
+// ResultShape selects what the select query returns per located node, and
+// therefore what the output schema describes.
+type ResultShape int
+
+const (
+	// Subhedges: the output schema describes the subhedge (child forest)
+	// of located nodes.
+	Subhedges ResultShape = iota
+	// Subtrees: the output schema describes the located node together with
+	// its subhedge, a⟨u⟩.
+	Subtrees
+)
+
+// TransformSelect computes the output schema of a selection query
+// (Section 8): the set of results the query can produce over any document
+// of the input schema. The construction builds the match-identifying
+// automaton (schema ⊗ M↓e₁ ⊗ M↑e₂), analyses which marked states are
+// useful (inhabited and occurring in an accepting computation), and emits
+// an automaton whose final set collects the results at those states.
+func TransformSelect(s *Schema, cq *core.CompiledQuery, shape ResultShape) (*Schema, error) {
+	m, err := core.BuildMatchAutomaton(s.DHA, cq)
+	if err != nil {
+		return nil, err
+	}
+	usefulMarked := usefulMarkedStates(m)
+	out := ha.NewNHA(m.Names)
+	out.NumStates = m.NHA.NumStates
+	out.Iota = m.NHA.Iota
+	out.Rules = m.NHA.Rules
+	switch shape {
+	case Subhedges:
+		// Final = ⋃ α⁻¹(a, st) over useful marked states st.
+		fin := sfa.EmptyLang(out.NumStates)
+		for i := range m.NHA.Rules {
+			if usefulMarked[m.NHA.Rules[i].Result] {
+				fin = sfa.Union(fin, m.NHA.Rules[i].Lang)
+			}
+		}
+		out.Final = fin
+	case Subtrees:
+		var syms []int
+		for st, ok := range usefulMarked {
+			if ok {
+				syms = append(syms, st)
+			}
+		}
+		out.Final = sfa.SymbolSetLang(out.NumStates, syms)
+	default:
+		return nil, fmt.Errorf("schema: unknown result shape %d", shape)
+	}
+	return FromNHA(out), nil
+}
+
+// TransformDelete computes the output schema of a delete query: the
+// documents of the input schema with every located subtree removed. By
+// Theorem 5 the match-identifying automaton assigns marked states exactly
+// to located nodes in its unique successful computation, so erasing marked
+// useful states from every horizontal language (the erasing homomorphism of
+// Section 8) yields exactly the post-deletion documents.
+func TransformDelete(s *Schema, cq *core.CompiledQuery) (*Schema, error) {
+	m, err := core.BuildMatchAutomaton(s.DHA, cq)
+	if err != nil {
+		return nil, err
+	}
+	usefulMarked := usefulMarkedStates(m)
+	erase := func(sym int) bool { return sym < len(usefulMarked) && usefulMarked[sym] }
+	out := ha.NewNHA(m.Names)
+	out.NumStates = m.NHA.NumStates
+	out.Iota = m.NHA.Iota
+	for _, r := range m.NHA.Rules {
+		if usefulMarked[r.Result] {
+			// A located node never survives deletion; its rule is dropped
+			// (its content constrained the original document only).
+			continue
+		}
+		out.Rules = append(out.Rules, ha.Rule{Sym: r.Sym, Result: r.Result, Lang: r.Lang.EraseSymbols(erase)})
+	}
+	out.Final = m.NHA.Final.EraseSymbols(erase)
+	return FromNHA(out), nil
+}
+
+// TransformRename computes the output schema of renaming every located
+// node to newLabel (a third query operation in the spirit of Section 8).
+// Located nodes keep their content; only their label changes, so the
+// match automaton's rules for marked useful states move to the new symbol.
+func TransformRename(s *Schema, cq *core.CompiledQuery, newLabel string) (*Schema, error) {
+	m, err := core.BuildMatchAutomaton(s.DHA, cq)
+	if err != nil {
+		return nil, err
+	}
+	usefulMarked := usefulMarkedStates(m)
+	newSym := m.Names.Syms.Intern(newLabel)
+	out := ha.NewNHA(m.Names)
+	out.NumStates = m.NHA.NumStates
+	out.Iota = m.NHA.Iota
+	out.Final = m.NHA.Final
+	for _, r := range m.NHA.Rules {
+		sym := r.Sym
+		if usefulMarked[r.Result] {
+			sym = newSym
+		}
+		out.Rules = append(out.Rules, ha.Rule{Sym: sym, Result: r.Result, Lang: r.Lang})
+	}
+	return FromNHA(out), nil
+}
+
+// usefulMarkedStates reports which marked states of the match automaton are
+// inhabited and occur in some accepting computation.
+func usefulMarkedStates(m *core.MatchAutomaton) []bool {
+	inhabited := m.NHA.InhabitedStates()
+	useful := make([]bool, m.NHA.NumStates)
+	// Top-down: states occurring usefully in the final set, then in rule
+	// languages of useful states.
+	mark := func(bits []bool) bool {
+		changed := false
+		for st, ok := range bits {
+			if ok && !useful[st] {
+				useful[st] = true
+				changed = true
+			}
+		}
+		return changed
+	}
+	mark(m.NHA.Final.UsefulSymbols(inhabited))
+	for changed := true; changed; {
+		changed = false
+		for i := range m.NHA.Rules {
+			r := &m.NHA.Rules[i]
+			if !useful[r.Result] || !inhabited[r.Result] {
+				continue
+			}
+			if mark(r.Lang.UsefulSymbols(inhabited)) {
+				changed = true
+			}
+		}
+	}
+	out := make([]bool, m.NHA.NumStates)
+	for st := range out {
+		out[st] = useful[st] && inhabited[st] && m.Marked[st]
+	}
+	return out
+}

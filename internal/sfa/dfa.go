@@ -1,0 +1,419 @@
+package sfa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dead is the implicit reject state of a DFA: Step returns Dead when no
+// transition is defined, and every transition out of Dead stays in Dead.
+const Dead = -1
+
+// DFA is a deterministic finite automaton over the alphabet
+// {0, …, NumSymbols-1}. Transitions may be partial; missing entries go to
+// the implicit Dead state.
+type DFA struct {
+	NumStates  int
+	NumSymbols int
+	Start      int
+	Accept     []bool
+	Trans      []map[int]int // state → symbol → state
+}
+
+// NewDFA returns an empty DFA (Start must be set after adding states).
+func NewDFA(numSymbols int) *DFA {
+	return &DFA{NumSymbols: numSymbols, Start: Dead}
+}
+
+// AddState adds a fresh state and returns its id.
+func (d *DFA) AddState(accept bool) int {
+	id := d.NumStates
+	d.NumStates++
+	d.Accept = append(d.Accept, accept)
+	d.Trans = append(d.Trans, nil)
+	return id
+}
+
+// SetTrans sets the transition from→to on sym, growing the alphabet if
+// needed.
+func (d *DFA) SetTrans(from, sym, to int) {
+	if sym >= d.NumSymbols {
+		d.NumSymbols = sym + 1
+	}
+	if d.Trans[from] == nil {
+		d.Trans[from] = make(map[int]int)
+	}
+	d.Trans[from][sym] = to
+}
+
+// Step returns the successor of state on sym (Dead-absorbing).
+func (d *DFA) Step(state, sym int) int {
+	if state == Dead {
+		return Dead
+	}
+	if t, ok := d.Trans[state][sym]; ok {
+		return t
+	}
+	return Dead
+}
+
+// Run returns the state reached from Start on word (possibly Dead).
+func (d *DFA) Run(word []int) int {
+	cur := d.Start
+	for _, sym := range word {
+		cur = d.Step(cur, sym)
+		if cur == Dead {
+			return Dead
+		}
+	}
+	return cur
+}
+
+// Accepting reports whether state is accepting (Dead never is).
+func (d *DFA) Accepting(state int) bool {
+	return state != Dead && d.Accept[state]
+}
+
+// Accepts reports whether the DFA accepts word.
+func (d *DFA) Accepts(word []int) bool { return d.Accepting(d.Run(word)) }
+
+// Complete returns an equivalent total DFA: every state has a transition on
+// every symbol in {0,…,NumSymbols-1}; a fresh dead state is added if needed.
+func (d *DFA) Complete() *DFA {
+	c := NewDFA(d.NumSymbols)
+	for i := 0; i < d.NumStates; i++ {
+		c.AddState(d.Accept[i])
+	}
+	c.Start = d.Start
+	dead := Dead
+	needDead := d.Start == Dead
+	for s := 0; s < d.NumStates; s++ {
+		for sym := 0; sym < d.NumSymbols; sym++ {
+			t := d.Step(s, sym)
+			if t == Dead {
+				needDead = true
+			}
+		}
+	}
+	if needDead {
+		dead = c.AddState(false)
+		for sym := 0; sym < d.NumSymbols; sym++ {
+			c.SetTrans(dead, sym, dead)
+		}
+		if c.Start == Dead {
+			c.Start = dead
+		}
+	}
+	for s := 0; s < d.NumStates; s++ {
+		for sym := 0; sym < d.NumSymbols; sym++ {
+			t := d.Step(s, sym)
+			if t == Dead {
+				t = dead
+			}
+			c.SetTrans(s, sym, t)
+		}
+	}
+	return c
+}
+
+// Complement returns a DFA accepting the complement language over the same
+// alphabet.
+func (d *DFA) Complement() *DFA {
+	c := d.Complete()
+	for i := range c.Accept {
+		c.Accept[i] = !c.Accept[i]
+	}
+	return c
+}
+
+// IsEmpty reports whether the language is empty.
+func (d *DFA) IsEmpty() bool {
+	if d.Start == Dead {
+		return true
+	}
+	seen := make([]bool, d.NumStates)
+	stack := []int{d.Start}
+	seen[d.Start] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.Accept[s] {
+			return false
+		}
+		for _, t := range d.Trans[s] {
+			if t != Dead && !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return true
+}
+
+// SomeWord returns a word in the language and true, or nil and false when
+// the language is empty.
+func (d *DFA) SomeWord() ([]int, bool) {
+	if d.Start == Dead {
+		return nil, false
+	}
+	type pred struct {
+		state, sym int
+	}
+	prev := make(map[int]pred)
+	seen := make([]bool, d.NumStates)
+	queue := []int{d.Start}
+	seen[d.Start] = true
+	goal := Dead
+	for len(queue) > 0 && goal == Dead {
+		s := queue[0]
+		queue = queue[1:]
+		if d.Accept[s] {
+			goal = s
+			break
+		}
+		syms := make([]int, 0, len(d.Trans[s]))
+		for sym := range d.Trans[s] {
+			syms = append(syms, sym)
+		}
+		sort.Ints(syms)
+		for _, sym := range syms {
+			t := d.Trans[s][sym]
+			if t != Dead && !seen[t] {
+				seen[t] = true
+				prev[t] = pred{s, sym}
+				queue = append(queue, t)
+			}
+		}
+	}
+	if goal == Dead {
+		return nil, false
+	}
+	var rev []int
+	for s := goal; s != d.Start; {
+		p := prev[s]
+		rev = append(rev, p.sym)
+		s = p.state
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// pairOp builds the product automaton of two completed DFAs with accepting
+// condition acc.
+func pairOp(a, b *DFA, acc func(x, y bool) bool) *DFA {
+	syms := a.NumSymbols
+	if b.NumSymbols > syms {
+		syms = b.NumSymbols
+	}
+	ac := a.Complete()
+	bc := b.Complete()
+	ac.NumSymbols, bc.NumSymbols = syms, syms
+	ac = ac.Complete() // re-complete after growing the alphabet
+	bc = bc.Complete()
+	p := NewDFA(syms)
+	type pair struct{ x, y int }
+	ids := map[pair]int{}
+	var order []pair
+	get := func(pr pair) int {
+		if id, ok := ids[pr]; ok {
+			return id
+		}
+		id := p.AddState(acc(ac.Accept[pr.x], bc.Accept[pr.y]))
+		ids[pr] = id
+		order = append(order, pr)
+		return id
+	}
+	start := pair{ac.Start, bc.Start}
+	p.Start = get(start)
+	for i := 0; i < len(order); i++ {
+		pr := order[i]
+		from := ids[pr]
+		for sym := 0; sym < syms; sym++ {
+			nx := pair{ac.Step(pr.x, sym), bc.Step(pr.y, sym)}
+			p.SetTrans(from, sym, get(nx))
+		}
+	}
+	return p
+}
+
+// IntersectDFA returns a DFA for L(a) ∩ L(b).
+func IntersectDFA(a, b *DFA) *DFA {
+	return pairOp(a, b, func(x, y bool) bool { return x && y })
+}
+
+// UnionDFA returns a DFA for L(a) ∪ L(b).
+func UnionDFA(a, b *DFA) *DFA {
+	return pairOp(a, b, func(x, y bool) bool { return x || y })
+}
+
+// DifferenceDFA returns a DFA for L(a) \ L(b).
+func DifferenceDFA(a, b *DFA) *DFA {
+	return pairOp(a, b, func(x, y bool) bool { return x && !y })
+}
+
+// EquivalentDFA reports whether a and b accept the same language (over the
+// union of their alphabets).
+func EquivalentDFA(a, b *DFA) bool {
+	return DifferenceDFA(a, b).IsEmpty() && DifferenceDFA(b, a).IsEmpty()
+}
+
+// ToNFA converts the DFA to an equivalent NFA.
+func (d *DFA) ToNFA() *NFA {
+	n := NewNFA(d.NumSymbols)
+	for i := 0; i < d.NumStates; i++ {
+		n.AddState(d.Accept[i])
+	}
+	if d.Start != Dead {
+		n.MarkStart(d.Start)
+	}
+	for s := 0; s < d.NumStates; s++ {
+		for sym, t := range d.Trans[s] {
+			if t != Dead {
+				n.AddTrans(s, sym, t)
+			}
+		}
+	}
+	return n
+}
+
+// Reverse returns an NFA for the mirror image of the language.
+func (d *DFA) Reverse() *NFA { return d.ToNFA().Reverse() }
+
+// trimReachable removes states unreachable from Start.
+func (d *DFA) trimReachable() *DFA {
+	if d.Start == Dead {
+		return NewDFA(d.NumSymbols)
+	}
+	remap := make([]int, d.NumStates)
+	for i := range remap {
+		remap[i] = Dead
+	}
+	t := NewDFA(d.NumSymbols)
+	var order []int
+	remap[d.Start] = t.AddState(d.Accept[d.Start])
+	order = append(order, d.Start)
+	for i := 0; i < len(order); i++ {
+		s := order[i]
+		for _, to := range d.Trans[s] {
+			if to != Dead && remap[to] == Dead {
+				remap[to] = t.AddState(d.Accept[to])
+				order = append(order, to)
+			}
+		}
+	}
+	t.Start = remap[d.Start]
+	for _, s := range order {
+		for sym, to := range d.Trans[s] {
+			if to != Dead {
+				t.SetTrans(remap[s], sym, remap[to])
+			}
+		}
+	}
+	return t
+}
+
+// Minimize returns the minimal total DFA for the language (Moore partition
+// refinement). The result is complete; its states are the Myhill–Nerode
+// classes restricted to reachable states, which is how the right-invariant
+// equivalences ≡ of Theorem 4 are realized.
+func (d *DFA) Minimize() *DFA {
+	c := d.trimReachable().Complete()
+	if c.NumStates == 0 {
+		// Language is empty over this alphabet: single dead state.
+		m := NewDFA(d.NumSymbols)
+		s := m.AddState(false)
+		m.Start = s
+		for sym := 0; sym < m.NumSymbols; sym++ {
+			m.SetTrans(s, sym, s)
+		}
+		return m
+	}
+	// Initial partition: accepting vs non-accepting.
+	class := make([]int, c.NumStates)
+	numClasses := 1
+	hasAcc, hasRej := false, false
+	for _, a := range c.Accept {
+		if a {
+			hasAcc = true
+		} else {
+			hasRej = true
+		}
+	}
+	if hasAcc && hasRej {
+		numClasses = 2
+		for s, a := range c.Accept {
+			if a {
+				class[s] = 1
+			}
+		}
+	}
+	for {
+		// Signature of a state: (class, class of successor per symbol).
+		sig := make(map[string]int)
+		next := make([]int, c.NumStates)
+		n := 0
+		buf := make([]byte, 0, (c.NumSymbols+1)*4)
+		for s := 0; s < c.NumStates; s++ {
+			buf = buf[:0]
+			enc := func(v int) {
+				buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+			enc(class[s])
+			for sym := 0; sym < c.NumSymbols; sym++ {
+				enc(class[c.Trans[s][sym]])
+			}
+			k := string(buf)
+			id, ok := sig[k]
+			if !ok {
+				id = n
+				n++
+				sig[k] = id
+			}
+			next[s] = id
+		}
+		if n == numClasses {
+			break
+		}
+		class, numClasses = next, n
+	}
+	m := NewDFA(c.NumSymbols)
+	for i := 0; i < numClasses; i++ {
+		m.AddState(false)
+	}
+	for s := 0; s < c.NumStates; s++ {
+		if c.Accept[s] {
+			m.Accept[class[s]] = true
+		}
+		for sym := 0; sym < c.NumSymbols; sym++ {
+			m.SetTrans(class[s], sym, class[c.Trans[s][sym]])
+		}
+	}
+	m.Start = class[c.Start]
+	return m
+}
+
+// Clone returns a deep copy.
+func (d *DFA) Clone() *DFA {
+	c := NewDFA(d.NumSymbols)
+	c.NumStates = d.NumStates
+	c.Start = d.Start
+	c.Accept = append([]bool(nil), d.Accept...)
+	c.Trans = make([]map[int]int, d.NumStates)
+	for s := 0; s < d.NumStates; s++ {
+		if d.Trans[s] != nil {
+			m := make(map[int]int, len(d.Trans[s]))
+			for sym, t := range d.Trans[s] {
+				m[sym] = t
+			}
+			c.Trans[s] = m
+		}
+	}
+	return c
+}
+
+// String renders a compact description for debugging.
+func (d *DFA) String() string {
+	return fmt.Sprintf("DFA{states:%d syms:%d start:%d}", d.NumStates, d.NumSymbols, d.Start)
+}

@@ -1,0 +1,136 @@
+package sfa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestToNFAAndDFAReverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		n := randNFA(rng, 2+rng.Intn(4), 2)
+		d := n.Determinize()
+		back := d.ToNFA()
+		rev := d.Reverse()
+		for i := 0; i < 60; i++ {
+			w := randWord(rng, 2, 8)
+			if d.Accepts(w) != back.Accepts(w) {
+				t.Fatalf("ToNFA changed the language on %v", w)
+			}
+			mirror := make([]int, len(w))
+			for j := range w {
+				mirror[j] = w[len(w)-1-j]
+			}
+			if d.Accepts(w) != rev.Accepts(mirror) {
+				t.Fatalf("DFA.Reverse wrong on %v", w)
+			}
+		}
+	}
+}
+
+func TestSymbolSetLangAndAcceptsEmpty(t *testing.T) {
+	l := SymbolSetLang(3, []int{0, 2})
+	if !l.Accepts([]int{0}) || !l.Accepts([]int{2}) || l.Accepts([]int{1}) || l.Accepts(nil) {
+		t.Fatal("SymbolSetLang wrong")
+	}
+	if l.AcceptsEmpty() {
+		t.Fatal("AcceptsEmpty wrong")
+	}
+	if !EpsLang(1).AcceptsEmpty() {
+		t.Fatal("ε language must accept ε")
+	}
+}
+
+func TestIntersectAndDifferenceNFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 25; trial++ {
+		a := randNFA(rng, 2+rng.Intn(3), 2)
+		b := randNFA(rng, 2+rng.Intn(3), 2)
+		inter := IntersectNFA(a, b)
+		diff := DifferenceNFA(a, b)
+		for i := 0; i < 50; i++ {
+			w := randWord(rng, 2, 7)
+			if inter.Accepts(w) != (a.Accepts(w) && b.Accepts(w)) {
+				t.Fatalf("IntersectNFA wrong on %v", w)
+			}
+			if diff.Accepts(w) != (a.Accepts(w) && !b.Accepts(w)) {
+				t.Fatalf("DifferenceNFA wrong on %v", w)
+			}
+		}
+	}
+}
+
+func TestUsefulSymbols(t *testing.T) {
+	// Language 0·1 | 2·deadend: symbol 2 leads nowhere accepting.
+	n := NewNFA(3)
+	s0 := n.AddState(false)
+	s1 := n.AddState(false)
+	s2 := n.AddState(true)
+	sDead := n.AddState(false)
+	n.MarkStart(s0)
+	n.AddTrans(s0, 0, s1)
+	n.AddTrans(s1, 1, s2)
+	n.AddTrans(s0, 2, sDead)
+	allowed := []bool{true, true, true}
+	useful := n.UsefulSymbols(allowed)
+	if !useful[0] || !useful[1] || useful[2] {
+		t.Fatalf("useful = %v", useful)
+	}
+	// Disallowing symbol 1 kills the accepting path, making 0 useless too.
+	useful = n.UsefulSymbols([]bool{true, false, true})
+	if useful[0] || useful[1] || useful[2] {
+		t.Fatalf("useful after restriction = %v", useful)
+	}
+}
+
+func TestUsefulSymbolsEpsilon(t *testing.T) {
+	// ε-transitions participate in reachability.
+	n := NewNFA(1)
+	s0 := n.AddState(false)
+	s1 := n.AddState(false)
+	s2 := n.AddState(true)
+	n.MarkStart(s0)
+	n.AddEps(s0, s1)
+	n.AddTrans(s1, 0, s2)
+	useful := n.UsefulSymbols([]bool{true})
+	if !useful[0] {
+		t.Fatal("symbol 0 reachable through ε must be useful")
+	}
+}
+
+func TestSomeWordDeterministicOrder(t *testing.T) {
+	// SomeWord explores symbols in sorted order, so the witness is stable.
+	d := NewDFA(2)
+	s0 := d.AddState(false)
+	s1 := d.AddState(true)
+	d.Start = s0
+	d.SetTrans(s0, 1, s1)
+	d.SetTrans(s0, 0, s1)
+	w, ok := d.SomeWord()
+	if !ok || len(w) != 1 || w[0] != 0 {
+		t.Fatalf("SomeWord = %v", w)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	n := abStar()
+	if !strings.Contains(n.String(), "NFA{") {
+		t.Fatal("NFA.String")
+	}
+	d := n.Determinize()
+	if !strings.Contains(d.String(), "DFA{") {
+		t.Fatal("DFA.String")
+	}
+}
+
+func TestMinimizeEmptyAndFull(t *testing.T) {
+	empty := EmptyLang(2).Determinize().Minimize()
+	if !empty.IsEmpty() {
+		t.Fatal("minimized empty language should stay empty")
+	}
+	full := AllLang(2).Determinize().Minimize()
+	if full.NumStates != 1 {
+		t.Fatalf("minimal universal DFA has %d states", full.NumStates)
+	}
+}

@@ -1,0 +1,325 @@
+package sfa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// ab returns an NFA over {0,1} accepting (01)*.
+func abStar() *NFA {
+	n := NewNFA(2)
+	s0 := n.AddState(true)
+	s1 := n.AddState(false)
+	n.MarkStart(s0)
+	n.AddTrans(s0, 0, s1)
+	n.AddTrans(s1, 1, s0)
+	return n
+}
+
+func TestNFAAccepts(t *testing.T) {
+	n := abStar()
+	cases := []struct {
+		word []int
+		want bool
+	}{
+		{nil, true},
+		{[]int{0, 1}, true},
+		{[]int{0, 1, 0, 1}, true},
+		{[]int{0}, false},
+		{[]int{1}, false},
+		{[]int{0, 1, 0}, false},
+		{[]int{1, 0}, false},
+	}
+	for _, c := range cases {
+		if got := n.Accepts(c.word); got != c.want {
+			t.Errorf("Accepts(%v) = %v, want %v", c.word, got, c.want)
+		}
+	}
+}
+
+func TestEpsClosure(t *testing.T) {
+	n := NewNFA(1)
+	a := n.AddState(false)
+	b := n.AddState(false)
+	c := n.AddState(true)
+	n.AddEps(a, b)
+	n.AddEps(b, c)
+	got := n.EpsClosure([]int{a})
+	if len(got) != 3 || got[0] != a || got[1] != b || got[2] != c {
+		t.Fatalf("EpsClosure = %v, want [0 1 2]", got)
+	}
+}
+
+func TestDeterminizeAgrees(t *testing.T) {
+	n := abStar()
+	d := n.Determinize()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		w := randWord(rng, 2, 12)
+		if n.Accepts(w) != d.Accepts(w) {
+			t.Fatalf("NFA/DFA disagree on %v", w)
+		}
+	}
+}
+
+func randWord(rng *rand.Rand, alpha, maxLen int) []int {
+	k := rng.Intn(maxLen + 1)
+	w := make([]int, k)
+	for i := range w {
+		w[i] = rng.Intn(alpha)
+	}
+	return w
+}
+
+// randNFA builds a random NFA for differential tests.
+func randNFA(rng *rand.Rand, states, alpha int) *NFA {
+	n := NewNFA(alpha)
+	for i := 0; i < states; i++ {
+		n.AddState(rng.Intn(3) == 0)
+	}
+	n.MarkStart(rng.Intn(states))
+	edges := states * 2
+	for i := 0; i < edges; i++ {
+		n.AddTrans(rng.Intn(states), rng.Intn(alpha), rng.Intn(states))
+	}
+	if rng.Intn(2) == 0 {
+		n.AddEps(rng.Intn(states), rng.Intn(states))
+	}
+	return n
+}
+
+func TestDeterminizeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := randNFA(rng, 2+rng.Intn(5), 2+rng.Intn(2))
+		d := n.Determinize()
+		m := d.Minimize()
+		for i := 0; i < 60; i++ {
+			w := randWord(rng, n.NumSymbols, 8)
+			na, da, ma := n.Accepts(w), d.Accepts(w), m.Accepts(w)
+			if na != da || da != ma {
+				t.Fatalf("trial %d: disagree on %v: nfa=%v dfa=%v min=%v", trial, w, na, da, ma)
+			}
+		}
+	}
+}
+
+func TestMinimizeCanonical(t *testing.T) {
+	// Two structurally different NFAs for the same language minimize to the
+	// same number of states.
+	a := abStar()
+	// (01)* built redundantly.
+	b := Star(Concat(SymbolLang(2, 0), SymbolLang(2, 1)))
+	ma, mb := a.MinimalDFA(), b.MinimalDFA()
+	if ma.NumStates != mb.NumStates {
+		t.Fatalf("minimal DFAs differ in size: %d vs %d", ma.NumStates, mb.NumStates)
+	}
+	if !EquivalentDFA(ma, mb) {
+		t.Fatal("minimal DFAs not equivalent")
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		a := randNFA(rng, 3+rng.Intn(3), 2).Determinize()
+		b := randNFA(rng, 3+rng.Intn(3), 2).Determinize()
+		inter := IntersectDFA(a, b)
+		uni := UnionDFA(a, b)
+		diff := DifferenceDFA(a, b)
+		comp := a.Complement()
+		for i := 0; i < 50; i++ {
+			w := randWord(rng, 2, 8)
+			ia, ib := a.Accepts(w), b.Accepts(w)
+			if inter.Accepts(w) != (ia && ib) {
+				t.Fatalf("intersect wrong on %v", w)
+			}
+			if uni.Accepts(w) != (ia || ib) {
+				t.Fatalf("union wrong on %v", w)
+			}
+			if diff.Accepts(w) != (ia && !ib) {
+				t.Fatalf("difference wrong on %v", w)
+			}
+			if comp.Accepts(w) != !ia {
+				t.Fatalf("complement wrong on %v", w)
+			}
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		n := randNFA(rng, 2+rng.Intn(4), 2)
+		r := n.Reverse()
+		for i := 0; i < 50; i++ {
+			w := randWord(rng, 2, 8)
+			rev := make([]int, len(w))
+			for j := range w {
+				rev[j] = w[len(w)-1-j]
+			}
+			if n.Accepts(w) != r.Accepts(rev) {
+				t.Fatalf("reverse disagrees on %v", w)
+			}
+		}
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := randNFA(rng, 2+rng.Intn(4), 2)
+		rr := n.Reverse().Reverse()
+		if !EquivalentNFA(n, rr) {
+			t.Fatalf("reverse not an involution (trial %d)", trial)
+		}
+	}
+}
+
+func TestEmptinessAndSomeWord(t *testing.T) {
+	if !EmptyLang(2).IsEmpty() {
+		t.Fatal("EmptyLang not empty")
+	}
+	if EpsLang(2).IsEmpty() {
+		t.Fatal("EpsLang empty")
+	}
+	d := abStar().Determinize()
+	w, ok := d.SomeWord()
+	if !ok {
+		t.Fatal("SomeWord found nothing")
+	}
+	if !d.Accepts(w) {
+		t.Fatalf("SomeWord returned non-member %v", w)
+	}
+	empty := EmptyLang(2).Determinize()
+	if _, ok := empty.SomeWord(); ok {
+		t.Fatal("SomeWord on empty language")
+	}
+}
+
+func TestWordLangAndAllLang(t *testing.T) {
+	w := WordLang(3, []int{0, 2, 1})
+	if !w.Accepts([]int{0, 2, 1}) || w.Accepts([]int{0, 2}) || w.Accepts(nil) {
+		t.Fatal("WordLang wrong")
+	}
+	all := AllLang(2)
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 20; i++ {
+		if !all.Accepts(randWord(rng, 2, 6)) {
+			t.Fatal("AllLang rejected a word")
+		}
+	}
+}
+
+func TestUnionConcatStarSemantics(t *testing.T) {
+	a := SymbolLang(2, 0)
+	b := SymbolLang(2, 1)
+	ab := Concat(a, b)
+	if !ab.Accepts([]int{0, 1}) || ab.Accepts([]int{0}) {
+		t.Fatal("Concat wrong")
+	}
+	u := Union(a, b)
+	if !u.Accepts([]int{0}) || !u.Accepts([]int{1}) || u.Accepts([]int{0, 1}) {
+		t.Fatal("Union wrong")
+	}
+	s := Star(a)
+	if !s.Accepts(nil) || !s.Accepts([]int{0, 0, 0}) || s.Accepts([]int{1}) {
+		t.Fatal("Star wrong")
+	}
+}
+
+func TestMapSymbolsHomomorphism(t *testing.T) {
+	// Map 0↦{0,1}, 1↦{} over (01)*: result accepts words formed by choosing
+	// 0 or 1 for the first letter and deleting transitions on second...
+	n := abStar()
+	m := n.MapSymbols(2, func(sym int) []int {
+		if sym == 0 {
+			return []int{0, 1}
+		}
+		return nil
+	})
+	if m.Accepts([]int{0, 1}) {
+		t.Fatal("transition on 1 should be deleted")
+	}
+	if !m.Accepts(nil) {
+		t.Fatal("ε must remain accepted")
+	}
+}
+
+func TestEraseSymbols(t *testing.T) {
+	// Erase 1 from (01)*: accepted words become 0*.
+	n := abStar()
+	e := n.EraseSymbols(func(sym int) bool { return sym == 1 })
+	for i := 0; i < 5; i++ {
+		w := make([]int, i)
+		if !e.Accepts(w) {
+			t.Fatalf("0^%d should be accepted after erasing", i)
+		}
+	}
+	if e.Accepts([]int{1}) {
+		t.Fatal("1 should not be accepted after erasing")
+	}
+}
+
+func TestEquivalence(t *testing.T) {
+	a := Star(Concat(SymbolLang(2, 0), SymbolLang(2, 1)))
+	b := abStar()
+	if !EquivalentNFA(a, b) {
+		t.Fatal("equivalent languages reported different")
+	}
+	c := Star(SymbolLang(2, 0))
+	if EquivalentNFA(a, c) {
+		t.Fatal("different languages reported equivalent")
+	}
+	if !SubsetOfNFA(EpsLang(2), a) {
+		t.Fatal("ε ⊆ (01)* should hold")
+	}
+	if SubsetOfNFA(a, EpsLang(2)) {
+		t.Fatal("(01)* ⊆ {ε} should not hold")
+	}
+}
+
+func TestCompleteTotality(t *testing.T) {
+	d := abStar().Determinize().Complete()
+	for s := 0; s < d.NumStates; s++ {
+		for sym := 0; sym < d.NumSymbols; sym++ {
+			if d.Step(s, sym) == Dead {
+				t.Fatalf("Complete left a hole at (%d,%d)", s, sym)
+			}
+		}
+	}
+}
+
+func TestQuickDeterminizePreservesMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := func(seed int64, raw []byte) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randNFA(r, 2+r.Intn(4), 2)
+		d := n.Determinize()
+		w := make([]int, 0, len(raw))
+		for _, b := range raw {
+			w = append(w, int(b)%2)
+		}
+		return n.Accepts(w) == d.Accepts(w)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := abStar()
+	c := n.Clone()
+	c.AddTrans(0, 1, 0)
+	if n.Accepts([]int{1}) {
+		t.Fatal("mutation of clone leaked into original")
+	}
+	d := n.Determinize()
+	dc := d.Clone()
+	dc.Accept[0] = false
+	if !d.Accepts(nil) {
+		t.Fatal("mutation of DFA clone leaked into original")
+	}
+}

@@ -1,0 +1,84 @@
+package sfa
+
+// Determinize converts the NFA to a DFA by subset construction, exploring
+// only reachable subsets. Transitions of the result are partial: the empty
+// subset is represented by the implicit Dead state.
+func (n *NFA) Determinize() *DFA {
+	d := NewDFA(n.NumSymbols)
+	ids := map[string]int{}
+	var sets [][]int
+	key := func(set []int) string {
+		b := make([]byte, 0, len(set)*4)
+		for _, s := range set {
+			b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+		}
+		return string(b)
+	}
+	accepting := func(set []int) bool {
+		for _, s := range set {
+			if n.Accept[s] {
+				return true
+			}
+		}
+		return false
+	}
+	get := func(set []int) int {
+		k := key(set)
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		id := d.AddState(accepting(set))
+		ids[k] = id
+		sets = append(sets, set)
+		return id
+	}
+	start := n.EpsClosure(n.Start)
+	if len(start) == 0 {
+		// No start states: empty language, keep Start == Dead.
+		return d
+	}
+	d.Start = get(start)
+	for i := 0; i < len(sets); i++ {
+		set := sets[i]
+		from := i
+		// Collect the symbols on which any member moves.
+		syms := map[int]bool{}
+		for _, s := range set {
+			for sym := range n.Trans[s] {
+				syms[sym] = true
+			}
+		}
+		for sym := range syms {
+			next := n.stepSet(set, sym)
+			if len(next) == 0 {
+				continue
+			}
+			d.SetTrans(from, sym, get(next))
+		}
+	}
+	return d
+}
+
+// MinimalDFA determinizes and minimizes in one call.
+func (n *NFA) MinimalDFA() *DFA { return n.Determinize().Minimize() }
+
+// IntersectNFA returns an NFA for L(a) ∩ L(b) via the product of their
+// determinizations.
+func IntersectNFA(a, b *NFA) *NFA {
+	return IntersectDFA(a.Determinize(), b.Determinize()).ToNFA()
+}
+
+// DifferenceNFA returns an NFA for L(a) \ L(b).
+func DifferenceNFA(a, b *NFA) *NFA {
+	return DifferenceDFA(a.Determinize(), b.Determinize()).ToNFA()
+}
+
+// EquivalentNFA reports whether two NFAs accept the same language.
+func EquivalentNFA(a, b *NFA) bool {
+	return EquivalentDFA(a.Determinize(), b.Determinize())
+}
+
+// SubsetOfNFA reports whether L(a) ⊆ L(b).
+func SubsetOfNFA(a, b *NFA) bool {
+	return DifferenceDFA(a.Determinize(), b.Determinize()).IsEmpty()
+}

@@ -1,0 +1,79 @@
+package sfa
+
+// UsefulSymbols reports, per symbol, whether it occurs in some accepted
+// word of the NFA whose symbols are all allowed. A symbol is useful iff
+// some transition on it connects a start-reachable state to an
+// acceptance-co-reachable state (both over allowed symbols only).
+func (n *NFA) UsefulSymbols(allowed []bool) []bool {
+	ok := func(sym int) bool { return sym < len(allowed) && allowed[sym] }
+	// Forward reachability.
+	fwd := make([]bool, n.NumStates)
+	stack := append([]int(nil), n.Start...)
+	for _, s := range stack {
+		fwd[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		push := func(t int) {
+			if !fwd[t] {
+				fwd[t] = true
+				stack = append(stack, t)
+			}
+		}
+		for _, t := range n.Eps[s] {
+			push(t)
+		}
+		for sym, ts := range n.Trans[s] {
+			if !ok(sym) {
+				continue
+			}
+			for _, t := range ts {
+				push(t)
+			}
+		}
+	}
+	// Backward co-reachability.
+	radj := make([][]int, n.NumStates)
+	type edge struct{ from, sym, to int }
+	var edges []edge
+	for s := 0; s < n.NumStates; s++ {
+		for _, t := range n.Eps[s] {
+			radj[t] = append(radj[t], s)
+		}
+		for sym, ts := range n.Trans[s] {
+			if !ok(sym) {
+				continue
+			}
+			for _, t := range ts {
+				radj[t] = append(radj[t], s)
+				edges = append(edges, edge{s, sym, t})
+			}
+		}
+	}
+	bwd := make([]bool, n.NumStates)
+	stack = stack[:0]
+	for s := 0; s < n.NumStates; s++ {
+		if n.Accept[s] {
+			bwd[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, f := range radj[s] {
+			if !bwd[f] {
+				bwd[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+	useful := make([]bool, n.NumSymbols)
+	for _, e := range edges {
+		if fwd[e.from] && bwd[e.to] {
+			useful[e.sym] = true
+		}
+	}
+	return useful
+}

@@ -1,0 +1,75 @@
+package sre
+
+import "xpe/internal/sfa"
+
+// FromDFA returns a regular expression for the DFA's language using the
+// classical state-elimination (GNFA) construction. nameOf maps alphabet
+// symbols to the names used in the resulting expression. This powers the
+// Lemma 2 conversion of hedge automata back to hedge regular expressions,
+// where horizontal languages over state sets must be rendered as
+// expressions.
+func FromDFA(d *sfa.DFA, nameOf func(sym int) string) *Expr {
+	n := d.NumStates
+	if n == 0 || d.Start == sfa.Dead {
+		return Empty()
+	}
+	// GNFA over states 0..n-1 with virtual start n and accept n+1.
+	start, accept := n, n+1
+	edges := make([][]*Expr, n+2)
+	for i := range edges {
+		edges[i] = make([]*Expr, n+2)
+	}
+	join := func(i, j int, e *Expr) {
+		if e == nil || e.Kind == KEmpty {
+			return
+		}
+		if edges[i][j] == nil {
+			edges[i][j] = e
+		} else {
+			edges[i][j] = simplify(Alt(edges[i][j], e))
+		}
+	}
+	for s := 0; s < n; s++ {
+		for sym, t := range d.Trans[s] {
+			if t != sfa.Dead {
+				join(s, t, Sym(nameOf(sym)))
+			}
+		}
+		if d.Accept[s] {
+			join(s, accept, Eps())
+		}
+	}
+	join(start, d.Start, Eps())
+
+	for k := 0; k < n; k++ {
+		self := edges[k][k]
+		var loop *Expr
+		switch {
+		case self == nil || self.Kind == KEmpty:
+			loop = Eps()
+		case self.Kind == KEps:
+			loop = Eps()
+		default:
+			loop = Star(self)
+		}
+		for i := 0; i < n+2; i++ {
+			if i == k || edges[i][k] == nil {
+				continue
+			}
+			for j := 0; j < n+2; j++ {
+				if j == k || edges[k][j] == nil {
+					continue
+				}
+				join(i, j, simplify(Cat(edges[i][k], loop, edges[k][j])))
+			}
+		}
+		for i := 0; i < n+2; i++ {
+			edges[i][k] = nil
+			edges[k][i] = nil
+		}
+	}
+	if edges[start][accept] == nil {
+		return Empty()
+	}
+	return edges[start][accept]
+}

@@ -1,0 +1,86 @@
+package sre
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xpe/internal/alphabet"
+)
+
+func symName(sym int) string { return fmt.Sprintf("s%d", sym) }
+
+func TestFromDFARoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	exprs := []string{
+		"s0", "s0*", "s0, s1", "s0 | s1", "(s0 | s1)*, s0",
+		"(s0, s1)*", "s0+, s1?", "()",
+	}
+	for _, src := range exprs {
+		e := MustParse(src)
+		in := alphabet.NewInterner()
+		in.Intern("s0")
+		in.Intern("s1")
+		d := e.CompileDFA(in)
+		back := FromDFA(d, symName)
+		// Compare behaviour on random words.
+		for i := 0; i < 300; i++ {
+			w := randNamedWord(rng, []string{"s0", "s1"}, 7)
+			if e.Matches(w) != back.Matches(w) {
+				t.Fatalf("%q: FromDFA changed language on %v (got %q)", src, w, back)
+			}
+		}
+	}
+}
+
+func TestFromDFAEmpty(t *testing.T) {
+	in := alphabet.NewInterner()
+	in.Intern("s0")
+	d := Empty().CompileDFA(in)
+	back := FromDFA(d, symName)
+	if back.Matches(nil) || back.Matches([]string{"s0"}) {
+		t.Fatal("FromDFA of empty language should stay empty")
+	}
+}
+
+func TestFromDFARandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 30; trial++ {
+		// Random small regex → DFA → regex → compare.
+		e := randExpr(rng, 3)
+		in := alphabet.NewInterner()
+		in.Intern("s0")
+		in.Intern("s1")
+		d := e.CompileDFA(in)
+		back := FromDFA(d, symName)
+		for i := 0; i < 100; i++ {
+			w := randNamedWord(rng, []string{"s0", "s1"}, 6)
+			if e.Matches(w) != back.Matches(w) {
+				t.Fatalf("trial %d: %q vs %q disagree on %v", trial, e, back, w)
+			}
+		}
+	}
+}
+
+func randExpr(rng *rand.Rand, depth int) *Expr {
+	if depth == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return Sym("s0")
+		case 1:
+			return Sym("s1")
+		default:
+			return Eps()
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return Cat(randExpr(rng, depth-1), randExpr(rng, depth-1))
+	case 1:
+		return Alt(randExpr(rng, depth-1), randExpr(rng, depth-1))
+	case 2:
+		return Star(randExpr(rng, depth-1))
+	default:
+		return randExpr(rng, depth-1)
+	}
+}

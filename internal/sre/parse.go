@@ -1,0 +1,202 @@
+package sre
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseError describes a syntax error with its byte offset in the input.
+type ParseError struct {
+	Input  string
+	Offset int
+	Msg    string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sre: parse error at offset %d in %q: %s", e.Offset, e.Input, e.Msg)
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+// Parse parses the concrete syntax documented in the package comment.
+func Parse(input string) (*Expr, error) {
+	p := &parser{input: input}
+	p.skipSpace()
+	if p.eof() {
+		return nil, p.err("empty expression")
+	}
+	e, err := p.alt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, p.err("unexpected trailing input")
+	}
+	return e, nil
+}
+
+// MustParse parses input and panics on error; for tests and literals.
+func MustParse(input string) *Expr {
+	e, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (p *parser) err(msg string) error {
+	return &ParseError{Input: p.input, Offset: p.pos, Msg: msg}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.input) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() && (p.input[p.pos] == ' ' || p.input[p.pos] == '\t' || p.input[p.pos] == '\n' || p.input[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *parser) alt() (*Expr, error) {
+	first, err := p.cat()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Expr{first}
+	for {
+		p.skipSpace()
+		if p.peek() != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.cat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	return Alt(subs...), nil
+}
+
+func (p *parser) cat() (*Expr, error) {
+	first, err := p.rep()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Expr{first}
+	for {
+		p.skipSpace()
+		c := p.peek()
+		if c == ',' {
+			p.pos++
+			p.skipSpace()
+			c = p.peek()
+			if !startsAtom(c) {
+				return nil, p.err("expected expression after ','")
+			}
+		}
+		if !startsAtom(c) {
+			break
+		}
+		next, err := p.rep()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	return Cat(subs...), nil
+}
+
+func startsAtom(c byte) bool {
+	return c == '(' || c == '.' || c == '\'' || c == '_' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func (p *parser) rep() (*Expr, error) {
+	e, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '*':
+			p.pos++
+			e = Star(e)
+		case '+':
+			p.pos++
+			e = Plus(e)
+		case '?':
+			p.pos++
+			e = Opt(e)
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) atom() (*Expr, error) {
+	p.skipSpace()
+	switch c := p.peek(); {
+	case c == '(':
+		p.pos++
+		p.skipSpace()
+		if p.peek() == ')' {
+			p.pos++
+			return Eps(), nil
+		}
+		e, err := p.alt()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return nil, p.err("expected ')'")
+		}
+		p.pos++
+		return e, nil
+	case c == '.':
+		p.pos++
+		return Any(), nil
+	case c == '\'':
+		p.pos++
+		var b strings.Builder
+		for !p.eof() && p.input[p.pos] != '\'' {
+			b.WriteByte(p.input[p.pos])
+			p.pos++
+		}
+		if p.eof() {
+			return nil, p.err("unterminated quoted name")
+		}
+		p.pos++
+		return Sym(b.String()), nil
+	case isNameStart(rune(c)):
+		start := p.pos
+		p.pos++
+		for !p.eof() && isNameRest(rune(p.input[p.pos])) {
+			p.pos++
+		}
+		return Sym(p.input[start:p.pos]), nil
+	default:
+		return nil, p.err("expected name, '.', quoted name, or '('")
+	}
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNameRest(r rune) bool {
+	return r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

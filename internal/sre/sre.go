@@ -1,0 +1,341 @@
+// Package sre implements string regular expressions over named alphabets.
+//
+// These are the classical regular expressions of the paper: they describe
+// the final-state-sequence sets F and horizontal languages of hedge
+// automata (Section 3), classical path expressions such as (section*,
+// figure) from the introduction, and the top-level regular expressions over
+// pointed base hedge representations (Definition 18).
+//
+// Concrete syntax:
+//
+//	expr     := alt
+//	alt      := cat ('|' cat)*
+//	cat      := rep ((',' | juxtaposition) rep)*
+//	rep      := atom ('*' | '+' | '?')*
+//	atom     := name | '.' | '(' expr ')' | '()'   — '()' is ε
+//	name     := [A-Za-z_][A-Za-z0-9_-]* | '\'' any* '\''
+//
+// '.' matches any single symbol of the (closed) alphabet supplied at
+// compile time.
+package sre
+
+import (
+	"fmt"
+	"strings"
+
+	"xpe/internal/alphabet"
+	"xpe/internal/sfa"
+)
+
+// Kind discriminates expression nodes.
+type Kind int
+
+// Expression node kinds.
+const (
+	KEmpty Kind = iota // ∅ — the empty language
+	KEps               // ε
+	KSym               // a single named symbol
+	KAny               // any single symbol ('.')
+	KCat               // concatenation
+	KAlt               // alternation
+	KStar              // Kleene closure
+)
+
+// Expr is a regular-expression node. Expressions are immutable after
+// construction.
+type Expr struct {
+	Kind Kind
+	Name string // KSym
+	Subs []*Expr
+}
+
+// Constructors.
+
+// Empty returns the ∅ expression.
+func Empty() *Expr { return &Expr{Kind: KEmpty} }
+
+// Eps returns the ε expression.
+func Eps() *Expr { return &Expr{Kind: KEps} }
+
+// Sym returns the expression matching the single symbol name.
+func Sym(name string) *Expr { return &Expr{Kind: KSym, Name: name} }
+
+// Any returns the '.' expression.
+func Any() *Expr { return &Expr{Kind: KAny} }
+
+// Cat concatenates the given expressions (ε when none).
+func Cat(subs ...*Expr) *Expr {
+	switch len(subs) {
+	case 0:
+		return Eps()
+	case 1:
+		return subs[0]
+	}
+	return &Expr{Kind: KCat, Subs: subs}
+}
+
+// Alt alternates the given expressions (∅ when none).
+func Alt(subs ...*Expr) *Expr {
+	switch len(subs) {
+	case 0:
+		return Empty()
+	case 1:
+		return subs[0]
+	}
+	return &Expr{Kind: KAlt, Subs: subs}
+}
+
+// Star returns e*.
+func Star(e *Expr) *Expr { return &Expr{Kind: KStar, Subs: []*Expr{e}} }
+
+// Plus returns ee*.
+func Plus(e *Expr) *Expr { return Cat(e, Star(e)) }
+
+// Opt returns e|ε.
+func Opt(e *Expr) *Expr { return Alt(e, Eps()) }
+
+// String renders the expression in the package's concrete syntax.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.render(&b, 0)
+	return b.String()
+}
+
+// precedence levels: 0 alt, 1 cat, 2 rep/atom
+func (e *Expr) render(b *strings.Builder, prec int) {
+	switch e.Kind {
+	case KEmpty:
+		b.WriteString("[]") // unparsable marker; ∅ has no surface syntax
+	case KEps:
+		b.WriteString("()")
+	case KSym:
+		if isPlainName(e.Name) {
+			b.WriteString(e.Name)
+		} else {
+			b.WriteByte('\'')
+			b.WriteString(e.Name)
+			b.WriteByte('\'')
+		}
+	case KAny:
+		b.WriteByte('.')
+	case KCat:
+		if prec > 1 {
+			b.WriteByte('(')
+		}
+		for i, s := range e.Subs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			s.render(b, 2)
+		}
+		if prec > 1 {
+			b.WriteByte(')')
+		}
+	case KAlt:
+		if prec > 0 {
+			b.WriteByte('(')
+		}
+		for i, s := range e.Subs {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			s.render(b, 1)
+		}
+		if prec > 0 {
+			b.WriteByte(')')
+		}
+	case KStar:
+		e.Subs[0].render(b, 2)
+		b.WriteByte('*')
+	}
+}
+
+func isPlainName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case i > 0 && (r >= '0' && r <= '9' || r == '-'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// SymbolNames returns the distinct symbol names mentioned in e.
+func (e *Expr) SymbolNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(*Expr)
+	walk = func(x *Expr) {
+		if x.Kind == KSym && !seen[x.Name] {
+			seen[x.Name] = true
+			out = append(out, x.Name)
+		}
+		for _, s := range x.Subs {
+			walk(s)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// CompileNFA compiles the expression to an NFA (Thompson construction) over
+// the alphabet described by in. KAny expands to every symbol currently
+// interned in in, so callers must intern the full alphabet first. Symbols
+// named in e are interned on the fly.
+func (e *Expr) CompileNFA(in *alphabet.Interner) *sfa.NFA {
+	// Intern names first so KAny sees a stable alphabet that at least
+	// includes every symbol in the expression.
+	for _, n := range e.SymbolNames() {
+		in.Intern(n)
+	}
+	return e.compile(in)
+}
+
+func (e *Expr) compile(in *alphabet.Interner) *sfa.NFA {
+	n := in.Len()
+	switch e.Kind {
+	case KEmpty:
+		return sfa.EmptyLang(n)
+	case KEps:
+		return sfa.EpsLang(n)
+	case KSym:
+		return sfa.SymbolLang(n, in.Intern(e.Name))
+	case KAny:
+		syms := make([]int, n)
+		for i := range syms {
+			syms[i] = i
+		}
+		return sfa.SymbolSetLang(n, syms)
+	case KCat:
+		acc := e.Subs[0].compile(in)
+		for _, s := range e.Subs[1:] {
+			acc = sfa.Concat(acc, s.compile(in))
+		}
+		return acc
+	case KAlt:
+		acc := e.Subs[0].compile(in)
+		for _, s := range e.Subs[1:] {
+			acc = sfa.Union(acc, s.compile(in))
+		}
+		return acc
+	case KStar:
+		return sfa.Star(e.Subs[0].compile(in))
+	}
+	panic(fmt.Sprintf("sre: unknown kind %d", e.Kind))
+}
+
+// CompileDFA compiles to a minimal DFA over the interner's alphabet.
+func (e *Expr) CompileDFA(in *alphabet.Interner) *sfa.DFA {
+	return e.CompileNFA(in).MinimalDFA()
+}
+
+// Matches reports whether the word of symbol names matches e, using
+// Brzozowski derivatives. It is an automaton-free oracle used to cross-check
+// the compiled automata in tests.
+func (e *Expr) Matches(word []string) bool {
+	cur := e
+	for _, sym := range word {
+		cur = cur.derive(sym)
+		if cur.Kind == KEmpty {
+			return false
+		}
+	}
+	return cur.Nullable()
+}
+
+// Nullable reports whether ε ∈ L(e).
+func (e *Expr) Nullable() bool {
+	switch e.Kind {
+	case KEps, KStar:
+		return true
+	case KEmpty, KSym, KAny:
+		return false
+	case KCat:
+		for _, s := range e.Subs {
+			if !s.Nullable() {
+				return false
+			}
+		}
+		return true
+	case KAlt:
+		for _, s := range e.Subs {
+			if s.Nullable() {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// derive returns the Brzozowski derivative of e with respect to sym.
+func (e *Expr) derive(sym string) *Expr {
+	switch e.Kind {
+	case KEmpty, KEps:
+		return Empty()
+	case KSym:
+		if e.Name == sym {
+			return Eps()
+		}
+		return Empty()
+	case KAny:
+		return Eps()
+	case KCat:
+		head, tail := e.Subs[0], Cat(e.Subs[1:]...)
+		d := Cat(head.derive(sym), tail)
+		if head.Nullable() {
+			d = Alt(d, tail.derive(sym))
+		}
+		return simplify(d)
+	case KAlt:
+		subs := make([]*Expr, 0, len(e.Subs))
+		for _, s := range e.Subs {
+			subs = append(subs, s.derive(sym))
+		}
+		return simplify(Alt(subs...))
+	case KStar:
+		return simplify(Cat(e.Subs[0].derive(sym), e))
+	}
+	return Empty()
+}
+
+// simplify applies ∅/ε absorption rules so derivative chains stay small.
+func simplify(e *Expr) *Expr {
+	switch e.Kind {
+	case KCat:
+		var subs []*Expr
+		for _, s := range e.Subs {
+			if s.Kind == KEmpty {
+				return Empty()
+			}
+			if s.Kind == KEps {
+				continue
+			}
+			if s.Kind == KCat {
+				subs = append(subs, s.Subs...)
+				continue
+			}
+			subs = append(subs, s)
+		}
+		return Cat(subs...)
+	case KAlt:
+		var subs []*Expr
+		for _, s := range e.Subs {
+			if s.Kind == KEmpty {
+				continue
+			}
+			if s.Kind == KAlt {
+				subs = append(subs, s.Subs...)
+				continue
+			}
+			subs = append(subs, s)
+		}
+		return Alt(subs...)
+	}
+	return e
+}

@@ -1,0 +1,189 @@
+package sre
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpe/internal/alphabet"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"a",
+		"a, b",
+		"a | b",
+		"(a, b)*",
+		"section*, figure",
+		"a+",
+		"b?",
+		"'weird name'",
+		"()",
+		".",
+		"(a | b)*, c",
+		"a b c",
+	}
+	for _, src := range cases {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		again, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q → %q): %v", src, e.String(), err)
+		}
+		// Compare by behaviour on random words over the mentioned alphabet.
+		names := e.SymbolNames()
+		if len(names) == 0 {
+			names = []string{"a"}
+		}
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 100; i++ {
+			w := randNamedWord(rng, names, 6)
+			if e.Matches(w) != again.Matches(w) {
+				t.Fatalf("round-trip of %q changed language on %v", src, w)
+			}
+		}
+	}
+}
+
+func randNamedWord(rng *rand.Rand, names []string, maxLen int) []string {
+	k := rng.Intn(maxLen + 1)
+	w := make([]string, k)
+	for i := range w {
+		w[i] = names[rng.Intn(len(names))]
+	}
+	return w
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"", "(", ")", "a |", "*", "a,,b", "'unterminated", "a)"}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestMatchesBasics(t *testing.T) {
+	cases := []struct {
+		expr string
+		word []string
+		want bool
+	}{
+		{"a", []string{"a"}, true},
+		{"a", []string{"b"}, false},
+		{"a", nil, false},
+		{"a*", nil, true},
+		{"a*", []string{"a", "a", "a"}, true},
+		{"a, b", []string{"a", "b"}, true},
+		{"a, b", []string{"b", "a"}, false},
+		{"a | b", []string{"b"}, true},
+		{"a+", nil, false},
+		{"a+", []string{"a"}, true},
+		{"a?", nil, true},
+		{"a?", []string{"a", "a"}, false},
+		{"()", nil, true},
+		{"()", []string{"a"}, false},
+		{"section*, figure", []string{"section", "section", "figure"}, true},
+		{"section*, figure", []string{"figure"}, true},
+		{"section*, figure", []string{"section"}, false},
+		{".", []string{"anything"}, true},
+		{".", nil, false},
+	}
+	for _, c := range cases {
+		e := MustParse(c.expr)
+		if got := e.Matches(c.word); got != c.want {
+			t.Errorf("%q.Matches(%v) = %v, want %v", c.expr, c.word, got, c.want)
+		}
+	}
+}
+
+func TestCompileAgreesWithDerivatives(t *testing.T) {
+	exprs := []string{
+		"a", "a*", "a, b", "a | b", "(a | b)*, a, b",
+		"a+, b?", "(a, b)* | (b, a)*", "section*, figure",
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, src := range exprs {
+		e := MustParse(src)
+		in := alphabet.NewInterner()
+		names := e.SymbolNames()
+		for _, n := range names {
+			in.Intern(n)
+		}
+		nfa := e.CompileNFA(in)
+		dfa := e.CompileDFA(in)
+		for i := 0; i < 200; i++ {
+			w := randNamedWord(rng, names, 8)
+			iw := make([]int, len(w))
+			for j, nm := range w {
+				iw[j] = in.Intern(nm)
+			}
+			want := e.Matches(w)
+			if nfa.Accepts(iw) != want {
+				t.Fatalf("%q: NFA disagrees with derivatives on %v", src, w)
+			}
+			if dfa.Accepts(iw) != want {
+				t.Fatalf("%q: DFA disagrees with derivatives on %v", src, w)
+			}
+		}
+	}
+}
+
+func TestAnyIsClosedWorld(t *testing.T) {
+	in := alphabet.NewInterner()
+	in.Intern("a")
+	in.Intern("b")
+	e := MustParse(".*")
+	dfa := e.CompileDFA(in)
+	a, b := in.Lookup("a"), in.Lookup("b")
+	if !dfa.Accepts([]int{a, b, a}) {
+		t.Fatal(".* should accept any interned word")
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	if Cat().Kind != KEps {
+		t.Fatal("empty Cat should be ε")
+	}
+	if Alt().Kind != KEmpty {
+		t.Fatal("empty Alt should be ∅")
+	}
+	if got := Cat(Sym("a")).String(); got != "a" {
+		t.Fatalf("singleton Cat = %q", got)
+	}
+	if !Opt(Sym("a")).Nullable() {
+		t.Fatal("a? should be nullable")
+	}
+	if Plus(Sym("a")).Nullable() {
+		t.Fatal("a+ should not be nullable")
+	}
+	if !Empty().derive("x").Matches(nil) == false {
+		t.Fatal("derivative of ∅ misbehaves")
+	}
+}
+
+func TestSymbolNames(t *testing.T) {
+	e := MustParse("a, (b | a)*, c")
+	names := e.SymbolNames()
+	want := map[string]bool{"a": true, "b": true, "c": true}
+	if len(names) != 3 {
+		t.Fatalf("SymbolNames = %v", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected name %q", n)
+		}
+	}
+}
+
+func TestQuotedNameRendering(t *testing.T) {
+	e := Sym("has space")
+	if e.String() != "'has space'" {
+		t.Fatalf("quoted rendering = %q", e.String())
+	}
+	e2 := MustParse(e.String())
+	if e2.Name != "has space" {
+		t.Fatalf("quoted round-trip = %q", e2.Name)
+	}
+}

@@ -1,0 +1,146 @@
+// Package xmlhedge bridges XML documents and the hedge data model: an XML
+// document is an ordered tree (Section 1 of the paper), read here as a
+// one-tree hedge whose elements are Σ-labeled nodes and whose character
+// data becomes text leaves (variables named hedge.TextVar, with the actual
+// characters preserved as payload).
+//
+// Attributes, comments, processing instructions, and the XML declaration
+// are skipped: the paper's framework conditions on element structure (its
+// Section 2 sketches how attributes could be folded into the alphabet; that
+// extension is out of scope here).
+package xmlhedge
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"xpe/internal/hedge"
+)
+
+// Options controls parsing.
+type Options struct {
+	// KeepWhitespace retains whitespace-only text nodes; by default they
+	// are dropped (the usual reading for document-oriented schemas).
+	KeepWhitespace bool
+}
+
+// Parse reads an XML document into a hedge. The result has one top-level
+// node (the document element); parse errors from the underlying decoder are
+// returned as-is.
+func Parse(r io.Reader, opts Options) (hedge.Hedge, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*hedge.Node
+	var top hedge.Hedge
+	appendNode := func(n *hedge.Node) {
+		if len(stack) == 0 {
+			top = append(top, n)
+			return
+		}
+		parent := stack[len(stack)-1]
+		parent.Children = append(parent.Children, n)
+	}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlhedge: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := hedge.NewElem(t.Name.Local)
+			appendNode(n)
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmlhedge: unbalanced end element %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			text := string(t)
+			if !opts.KeepWhitespace && strings.TrimSpace(text) == "" {
+				continue
+			}
+			if len(stack) == 0 {
+				if strings.TrimSpace(text) == "" {
+					continue // prolog/epilog whitespace
+				}
+				return nil, fmt.Errorf("xmlhedge: character data outside the document element")
+			}
+			n := hedge.NewVar(hedge.TextVar)
+			n.Text = text
+			appendNode(n)
+		default:
+			// Comments, directives, and processing instructions are
+			// skipped.
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmlhedge: unexpected end of input inside <%s>", stack[len(stack)-1].Name)
+	}
+	if len(top) == 0 {
+		return nil, fmt.Errorf("xmlhedge: no document element")
+	}
+	return top, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string, opts Options) (hedge.Hedge, error) {
+	return Parse(strings.NewReader(s), opts)
+}
+
+// MustParseString is ParseString, panicking on error; for tests and
+// examples.
+func MustParseString(s string) hedge.Hedge {
+	h, err := ParseString(s, Options{})
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Write serializes a hedge back to XML. Text leaves emit their payload
+// (escaped); non-text variables emit their name as character data;
+// substitution symbols are rejected (they have no XML form).
+func Write(w io.Writer, h hedge.Hedge) error {
+	for _, n := range h {
+		if err := writeNode(w, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeNode(w io.Writer, n *hedge.Node) error {
+	switch n.Kind {
+	case hedge.Elem:
+		if _, err := fmt.Fprintf(w, "<%s>", n.Name); err != nil {
+			return err
+		}
+		if err := Write(w, n.Children); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "</%s>", n.Name)
+		return err
+	case hedge.Var:
+		text := n.Text
+		if text == "" && n.Name != hedge.TextVar {
+			text = n.Name
+		}
+		return xml.EscapeText(w, []byte(text))
+	default:
+		return fmt.Errorf("xmlhedge: cannot serialize substitution symbol %q", n.Name)
+	}
+}
+
+// ToString serializes a hedge to an XML string.
+func ToString(h hedge.Hedge) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, h); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,94 @@
+package xmlhedge
+
+import (
+	"strings"
+	"testing"
+
+	"xpe/internal/hedge"
+)
+
+func TestParseBasic(t *testing.T) {
+	h, err := ParseString(`<doc><sec><fig/></sec><par>hello</par></doc>`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 1 || h[0].Name != "doc" {
+		t.Fatalf("top = %v", h)
+	}
+	doc := h[0]
+	if len(doc.Children) != 2 {
+		t.Fatalf("doc children = %v", doc.Children)
+	}
+	par := doc.Children[1]
+	if len(par.Children) != 1 || par.Children[0].Kind != hedge.Var ||
+		par.Children[0].Name != hedge.TextVar || par.Children[0].Text != "hello" {
+		t.Fatalf("text leaf = %+v", par.Children[0])
+	}
+}
+
+func TestParseWhitespacePolicy(t *testing.T) {
+	src := "<doc>\n  <a/>\n</doc>"
+	h, err := ParseString(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h[0].Children) != 1 {
+		t.Fatalf("whitespace not dropped: %v", h[0].Children)
+	}
+	h, err = ParseString(src, Options{KeepWhitespace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h[0].Children) != 3 {
+		t.Fatalf("whitespace not kept: %v", h[0].Children)
+	}
+}
+
+func TestParseSkipsNonElements(t *testing.T) {
+	src := `<?xml version="1.0"?><!-- c --><doc a="1"><!-- inner --><a/></doc>`
+	h, err := ParseString(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h[0].Children) != 1 || h[0].Children[0].Name != "a" {
+		t.Fatalf("children = %v", h[0].Children)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"", "<a>", "<a></b>", "text only"}
+	for _, src := range bad {
+		if _, err := ParseString(src, Options{}); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := `<doc><sec><fig></fig>mixed</sec><par>a &lt; b</par></doc>`
+	h, err := ParseString(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ToString(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ParseString(out, Options{})
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", out, err)
+	}
+	if !h.Equal(h2) {
+		t.Fatalf("round trip changed structure: %q vs %q", h, h2)
+	}
+	if !strings.Contains(out, "a &lt; b") {
+		t.Fatalf("escaping lost: %q", out)
+	}
+}
+
+func TestWriteRejectsSubst(t *testing.T) {
+	h := hedge.Hedge{hedge.NewElem("a", hedge.NewSubst("z"))}
+	if _, err := ToString(h); err == nil {
+		t.Fatal("substitution symbols must not serialize")
+	}
+}

@@ -1,0 +1,38 @@
+package xpath
+
+import (
+	"testing"
+
+	"xpe/internal/hedge"
+)
+
+// FuzzParse asserts the XPath parser never panics, renders stably, and that
+// evaluation of parsed paths never panics either.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"/doc/section/figure",
+		"//figure[following-sibling::*[1][self::table]]",
+		"//section[figure][2]",
+		"a/..//b/text()",
+		"self::*",
+		"//",
+		"a[",
+	} {
+		f.Add(s)
+	}
+	doc := NewDoc(hedge.MustParse("doc<section<figure table> para<$x>>"))
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("rendering of %q does not re-parse: %q: %v", src, p.String(), err)
+		}
+		if p2.String() != p.String() {
+			t.Fatalf("unstable rendering for %q", src)
+		}
+		p.Select(doc) // must not panic
+	})
+}

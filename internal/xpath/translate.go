@@ -1,0 +1,216 @@
+package xpath
+
+import (
+	"fmt"
+
+	"xpe/internal/core"
+	"xpe/internal/hre"
+	"xpe/internal/sre"
+)
+
+// Translate compiles an XPath location path from the supported fragment
+// into a selection query (pointed hedge representation, plus a subhedge
+// expression for final-step child predicates), witnessing the Section 2
+// claim that XPath's path core with sibling predicates embeds into the
+// paper's formalism. labels is the closed-world element alphabet and vars
+// the variable (text-leaf) alphabet: "any label" steps expand over labels,
+// and XPath's element-only '*' skips variable leaves, which the sibling
+// translations must account for.
+//
+// Supported fragment:
+//
+//   - absolute paths of child steps and '//' (descendant-or-self::node())
+//   - name tests NAME and *
+//   - on any step, sibling predicates:
+//     [following-sibling::NAME]             — some younger sibling is NAME
+//     [preceding-sibling::NAME]             — some elder sibling is NAME
+//     [following-sibling::*[1][self::NAME]] — the next element sibling is NAME
+//     [preceding-sibling::*[1][self::NAME]] — the previous element sibling is NAME
+//   - on the final step, child-existence predicates [NAME] (they become
+//     the subhedge expression e₁ of select(e₁, e₂))
+//
+// Anything else returns an error. The PHR base sequence is emitted in the
+// paper's bottom-up order (final step first).
+func Translate(p *Path, labels, vars []string) (*core.Query, error) {
+	if len(p.Steps) == 0 {
+		return nil, fmt.Errorf("xpath: empty path")
+	}
+	tr := &translator{phr: &core.PHR{}, labels: labels, vars: vars}
+	var parts []*sre.Expr
+	for si, st := range p.Steps {
+		last := si == len(p.Steps)-1
+		switch st.Axis {
+		case AxisChild:
+			alt, subExpr, err := tr.childStep(st, last)
+			if err != nil {
+				return nil, err
+			}
+			if subExpr != nil {
+				tr.sub = subExpr
+			}
+			parts = append(parts, alt)
+		case AxisDescendantOrSelf:
+			if (st.Test.Name != "*" && st.Test.Name != "node()") || len(st.Preds) != 0 {
+				return nil, fmt.Errorf("xpath: only bare '//' descendant steps are translatable")
+			}
+			parts = append(parts, sre.Star(tr.anyLabelAlt()))
+		default:
+			return nil, fmt.Errorf("xpath: axis of step %d is outside the translatable fragment", si+1)
+		}
+	}
+	// Reverse: Definition 19 reads decompositions from the node's level up.
+	rev := make([]*sre.Expr, len(parts))
+	for i, e := range parts {
+		rev[len(parts)-1-i] = e
+	}
+	tr.phr.Expr = sre.Cat(rev...)
+	return &core.Query{Subhedge: tr.sub, Envelope: tr.phr}, nil
+}
+
+type translator struct {
+	phr    *core.PHR
+	labels []string
+	vars   []string
+	sub    *hre.Expr
+}
+
+// childStep renders one child step as an alternation of bases, extracting
+// sibling conditions (and, on the final step, child-existence predicates).
+func (tr *translator) childStep(st Step, last bool) (*sre.Expr, *hre.Expr, error) {
+	var left, right *hre.Expr
+	var subs []*hre.Expr
+	for _, pr := range st.Preds {
+		if pr.Path == nil {
+			return nil, nil, fmt.Errorf("xpath: positional predicates are only translatable inside sibling predicates")
+		}
+		l, r, sub, err := tr.classifyPredicate(pr.Path, last)
+		if err != nil {
+			return nil, nil, err
+		}
+		if l != nil {
+			if left != nil {
+				return nil, nil, fmt.Errorf("xpath: at most one preceding-sibling predicate per step")
+			}
+			left = l
+		}
+		if r != nil {
+			if right != nil {
+				return nil, nil, fmt.Errorf("xpath: at most one following-sibling predicate per step")
+			}
+			right = r
+		}
+		if sub != nil {
+			// XPath existence predicates are idempotent: [N][N] ≡ [N].
+			dup := false
+			for _, prev := range subs {
+				if prev.String() == sub.String() {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				subs = append(subs, sub)
+			}
+		}
+	}
+	var subExpr *hre.Expr
+	for _, s := range subs {
+		if subExpr == nil {
+			subExpr = s
+		} else {
+			// Conjunction of containment: both orders.
+			subExpr = hre.Alt(hre.Cat(subExpr, s), hre.Cat(s, subExpr))
+		}
+	}
+	names := tr.stepLabels(st.Test)
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("xpath: name test %q matches no label of the closed alphabet", st.Test.Name)
+	}
+	alts := make([]*sre.Expr, len(names))
+	for i, name := range names {
+		alts[i] = tr.addBase(core.BaseRep{Left: left, Label: name, Right: right})
+	}
+	return sre.Alt(alts...), subExpr, nil
+}
+
+// classifyPredicate maps a predicate path to a side condition or a
+// child-existence expression.
+func (tr *translator) classifyPredicate(p *Path, last bool) (left, right, sub *hre.Expr, err error) {
+	steps := p.Steps
+	switch {
+	// following-sibling::NAME  /  preceding-sibling::NAME
+	case len(steps) == 1 && steps[0].Axis == AxisFollowingSibling && len(steps[0].Preds) == 0 && steps[0].Test.Name != "*":
+		return nil, containsTop(steps[0].Test.Name), nil, nil
+	case len(steps) == 1 && steps[0].Axis == AxisPrecedingSibling && len(steps[0].Preds) == 0 && steps[0].Test.Name != "*":
+		return containsTop(steps[0].Test.Name), nil, nil, nil
+	// following-sibling::*[1][self::NAME] and the preceding variant
+	case len(steps) == 1 && steps[0].Test.Name == "*" && len(steps[0].Preds) == 2 &&
+		steps[0].Preds[0].Path == nil && steps[0].Preds[0].Position == 1 &&
+		steps[0].Preds[1].Path != nil && isSelfName(steps[0].Preds[1].Path):
+		name := steps[0].Preds[1].Path.Steps[0].Test.Name
+		switch steps[0].Axis {
+		case AxisFollowingSibling:
+			// XPath's '*' counts element siblings only, so variable leaves
+			// may precede the required element.
+			return nil, hre.Cat(tr.varStar(), hre.Elem(name, hre.Any()), hre.Any()), nil, nil
+		case AxisPrecedingSibling:
+			return hre.Cat(hre.Any(), hre.Elem(name, hre.Any()), tr.varStar()), nil, nil, nil
+		}
+	// child existence: NAME (final step only)
+	case len(steps) == 1 && steps[0].Axis == AxisChild && len(steps[0].Preds) == 0 && steps[0].Test.Name != "*" && steps[0].Test.Name != "text()":
+		if !last {
+			return nil, nil, nil, fmt.Errorf("xpath: child-existence predicates are only translatable on the final step")
+		}
+		return nil, nil, containsTop(steps[0].Test.Name), nil
+	}
+	return nil, nil, nil, fmt.Errorf("xpath: predicate %q is outside the translatable fragment", p)
+}
+
+func isSelfName(p *Path) bool {
+	return len(p.Steps) == 1 && p.Steps[0].Axis == AxisSelf &&
+		p.Steps[0].Test.Name != "*" && len(p.Steps[0].Preds) == 0
+}
+
+// containsTop is the hedge language "some top-level element is NAME":
+// . NAME<.> .
+func containsTop(name string) *hre.Expr {
+	return hre.Cat(hre.Any(), hre.Elem(name, hre.Any()), hre.Any())
+}
+
+// varStar matches any run of variable (text) leaves.
+func (tr *translator) varStar() *hre.Expr {
+	if len(tr.vars) == 0 {
+		return hre.Eps()
+	}
+	alts := make([]*hre.Expr, len(tr.vars))
+	for i, v := range tr.vars {
+		alts[i] = hre.Var(v)
+	}
+	return hre.Star(hre.Alt(alts...))
+}
+
+func (tr *translator) stepLabels(t NodeTest) []string {
+	if t.Name == "*" {
+		return tr.labels
+	}
+	for _, l := range tr.labels {
+		if l == t.Name {
+			return []string{l}
+		}
+	}
+	return nil
+}
+
+// anyLabelAlt renders one "any label, any siblings" level.
+func (tr *translator) anyLabelAlt() *sre.Expr {
+	alts := make([]*sre.Expr, len(tr.labels))
+	for i, name := range tr.labels {
+		alts[i] = tr.addBase(core.BaseRep{Label: name})
+	}
+	return sre.Alt(alts...)
+}
+
+func (tr *translator) addBase(b core.BaseRep) *sre.Expr {
+	tr.phr.Bases = append(tr.phr.Bases, b)
+	return sre.Sym(fmt.Sprintf("t%d", len(tr.phr.Bases)-1))
+}

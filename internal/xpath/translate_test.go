@@ -1,0 +1,95 @@
+package xpath
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpe/internal/core"
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+)
+
+var translatable = []string{
+	"/doc/section/figure",
+	"//figure",
+	"/doc//figure",
+	"//section/figure",
+	"//figure[following-sibling::table]",
+	"//figure[preceding-sibling::table]",
+	"//figure[following-sibling::*[1][self::table]]",
+	"//figure[preceding-sibling::*[1][self::table]]",
+	"//section[figure]",
+	"//section[figure][table]",
+	"//*",
+	"/doc/*/figure",
+	"//section[figure][figure]",
+}
+
+var docLabels = []string{"doc", "section", "figure", "table", "para"}
+
+// TestTranslateDifferential compares the XPath engine against the
+// translated PHR evaluated by Algorithm 1, node for node, on random
+// documents — the executable form of the Section 2 embedding claim.
+func TestTranslateDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := hedge.RandConfig{Symbols: docLabels, Vars: []string{"x"}, MaxDepth: 5, MaxWidth: 4}
+	for _, src := range translatable {
+		p := MustParse(src)
+		q, err := Translate(p, docLabels, []string{"x"})
+		if err != nil {
+			t.Fatalf("Translate(%q): %v", src, err)
+		}
+		names := ha.NewNames()
+		for _, l := range docLabels {
+			names.Syms.Intern(l)
+		}
+		names.Vars.Intern("x")
+		cq, err := core.CompileQuery(q, names)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		total := 0
+		for i := 0; i < 40; i++ {
+			h := hedge.Random(rng, cfg)
+			d := NewDoc(h)
+			want := map[*hedge.Node]bool{}
+			for _, n := range p.Select(d) {
+				want[n] = true
+			}
+			got := cq.Select(h)
+			total += len(want)
+			h.Visit(func(path hedge.Path, n *hedge.Node) bool {
+				if got.Located[n] != want[n] {
+					t.Fatalf("%q: disagreement at %v in %q: phr=%v xpath=%v",
+						src, path, h, got.Located[n], want[n])
+				}
+				return true
+			})
+		}
+		if total == 0 {
+			t.Logf("%q: no matches in 40 random documents (weak coverage)", src)
+		}
+	}
+}
+
+func TestTranslateRejectsOutsideFragment(t *testing.T) {
+	bad := []string{
+		"//figure/ancestor::section",
+		"//section/figure[2]",
+		"//figure/..",
+		"//section[figure/table]",
+		"//section[figure]/para", // child-existence on a non-final step
+		"//figure[following-sibling::table][following-sibling::para]",
+	}
+	for _, src := range bad {
+		if _, err := Translate(MustParse(src), docLabels, nil); err == nil {
+			t.Errorf("Translate(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestTranslateUnknownLabel(t *testing.T) {
+	if _, err := Translate(MustParse("/nosuch"), docLabels, nil); err == nil {
+		t.Error("unknown name test should fail against the closed alphabet")
+	}
+}

@@ -1,0 +1,500 @@
+// Package xpath implements a small XPath-1.0-subset engine evaluated
+// directly on hedges. It is the "industrial comparator" of the paper's
+// introduction and related-work discussion (Section 2): sibling-aware
+// queries like //figure[following-sibling::*[1][self::table]] are
+// expressible here and as pointed hedge representations, which experiment
+// E5 exploits; conversely, queries like "every ancestor is labeled a" (the
+// paper's a* example) are expressible as PHRs but not in this fragment of
+// XPath.
+//
+// Supported grammar:
+//
+//	path      := '/'? steps | '//' steps          (relative paths start at
+//	                                               the top-level nodes)
+//	steps     := step (('/' | '//') step)*
+//	step      := axis? nodetest predicate*
+//	axis      := ('child' | 'descendant' | 'descendant-or-self' | 'self' |
+//	              'parent' | 'ancestor' | 'following-sibling' |
+//	              'preceding-sibling') '::'
+//	nodetest  := NAME | '*' | 'text()'
+//	predicate := '[' path ']'                     (existence)
+//	           | '[' INTEGER ']'                  (position)
+//
+// '//' abbreviates /descendant-or-self::*/ in the usual way.
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"xpe/internal/hedge"
+)
+
+// Axis enumerates the supported axes.
+type Axis int
+
+// Supported axes.
+const (
+	AxisChild Axis = iota
+	AxisDescendant
+	AxisDescendantOrSelf
+	AxisSelf
+	AxisParent
+	AxisAncestor
+	AxisFollowingSibling
+	AxisPrecedingSibling
+)
+
+var axisNames = map[string]Axis{
+	"child":              AxisChild,
+	"descendant":         AxisDescendant,
+	"descendant-or-self": AxisDescendantOrSelf,
+	"self":               AxisSelf,
+	"parent":             AxisParent,
+	"ancestor":           AxisAncestor,
+	"following-sibling":  AxisFollowingSibling,
+	"preceding-sibling":  AxisPrecedingSibling,
+}
+
+// reverseAxis reports whether position() counts backwards (XPath's reverse
+// document order for ancestor/preceding axes).
+func (a Axis) reverse() bool {
+	return a == AxisAncestor || a == AxisPrecedingSibling || a == AxisParent
+}
+
+// NodeTest is a step's node test.
+type NodeTest struct {
+	Name string // "*" = any element; "text()" = text leaves
+}
+
+// Predicate filters a step's node list.
+type Predicate struct {
+	Path     *Path // nil for positional predicates
+	Position int   // 1-based, when Path is nil
+}
+
+// Step is one location step.
+type Step struct {
+	Axis  Axis
+	Test  NodeTest
+	Preds []Predicate
+}
+
+// Path is a parsed location path.
+type Path struct {
+	Absolute bool
+	Steps    []Step
+}
+
+// String renders the path.
+func (p *Path) String() string {
+	var b strings.Builder
+	if p.Absolute {
+		b.WriteByte('/')
+	}
+	for i, s := range p.Steps {
+		if i > 0 {
+			b.WriteByte('/')
+		}
+		for name, a := range axisNames {
+			if a == s.Axis && a != AxisChild {
+				b.WriteString(name)
+				b.WriteString("::")
+				break
+			}
+		}
+		b.WriteString(s.Test.Name)
+		for _, pr := range s.Preds {
+			b.WriteByte('[')
+			if pr.Path != nil {
+				b.WriteString(pr.Path.String())
+			} else {
+				b.WriteString(strconv.Itoa(pr.Position))
+			}
+			b.WriteByte(']')
+		}
+	}
+	return b.String()
+}
+
+// Doc indexes a hedge for axis navigation.
+type Doc struct {
+	Root    hedge.Hedge
+	parents map[*hedge.Node]*hedge.Node
+	pos     map[*hedge.Node]int
+	order   map[*hedge.Node]int
+}
+
+// NewDoc indexes h.
+func NewDoc(h hedge.Hedge) *Doc {
+	d := &Doc{
+		Root:    h,
+		parents: map[*hedge.Node]*hedge.Node{},
+		pos:     map[*hedge.Node]int{},
+		order:   map[*hedge.Node]int{},
+	}
+	count := 0
+	var rec func(h hedge.Hedge, parent *hedge.Node)
+	rec = func(h hedge.Hedge, parent *hedge.Node) {
+		for i, n := range h {
+			d.parents[n] = parent
+			d.pos[n] = i
+			d.order[n] = count
+			count++
+			if n.Kind == hedge.Elem {
+				rec(n.Children, n)
+			}
+		}
+	}
+	rec(h, nil)
+	return d
+}
+
+// siblings returns the sibling list of n (the top-level hedge for roots).
+func (d *Doc) siblings(n *hedge.Node) hedge.Hedge {
+	if p := d.parents[n]; p != nil {
+		return p.Children
+	}
+	return d.Root
+}
+
+// Select evaluates the path with the top-level nodes as context and returns
+// the result in document order.
+func (p *Path) Select(d *Doc) []*hedge.Node {
+	// Context: for absolute paths (and in this engine, relative ones too)
+	// evaluation starts at a virtual root whose children are the top-level
+	// nodes.
+	cur := []*hedge.Node{nil} // nil = virtual root
+	for _, s := range p.Steps {
+		next := map[*hedge.Node]bool{}
+		var ordered []*hedge.Node
+		for _, ctx := range cur {
+			for _, n := range s.apply(d, ctx) {
+				if !next[n] {
+					next[n] = true
+					ordered = append(ordered, n)
+				}
+			}
+		}
+		cur = ordered
+	}
+	// Filter out the virtual root and sort by document order.
+	var out []*hedge.Node
+	for _, n := range cur {
+		if n != nil {
+			out = append(out, n)
+		}
+	}
+	sortByOrder(d, out)
+	return out
+}
+
+func sortByOrder(d *Doc, ns []*hedge.Node) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && d.order[ns[j-1]] > d.order[ns[j]]; j-- {
+			ns[j-1], ns[j] = ns[j], ns[j-1]
+		}
+	}
+}
+
+// apply evaluates one step from a context node (nil = virtual root).
+func (s *Step) apply(d *Doc, ctx *hedge.Node) []*hedge.Node {
+	var axisNodes []*hedge.Node
+	collectDesc := func(h hedge.Hedge) {
+		h.Visit(func(_ hedge.Path, n *hedge.Node) bool {
+			axisNodes = append(axisNodes, n)
+			return true
+		})
+	}
+	children := func() hedge.Hedge {
+		if ctx == nil {
+			return d.Root
+		}
+		if ctx.Kind == hedge.Elem {
+			return ctx.Children
+		}
+		return nil
+	}
+	switch s.Axis {
+	case AxisChild:
+		axisNodes = append(axisNodes, children()...)
+	case AxisDescendant:
+		collectDesc(children())
+	case AxisDescendantOrSelf:
+		// The (possibly virtual-root) context itself belongs to the axis;
+		// only the node() test matches the virtual root.
+		axisNodes = append(axisNodes, ctx)
+		collectDesc(children())
+	case AxisSelf:
+		if ctx != nil {
+			axisNodes = append(axisNodes, ctx)
+		}
+	case AxisParent:
+		if ctx != nil {
+			if p := d.parents[ctx]; p != nil {
+				axisNodes = append(axisNodes, p)
+			}
+		}
+	case AxisAncestor:
+		for n := ctx; n != nil; {
+			n = d.parents[n]
+			if n != nil {
+				axisNodes = append(axisNodes, n)
+			}
+		}
+	case AxisFollowingSibling:
+		if ctx != nil {
+			sibs := d.siblings(ctx)
+			for i := d.pos[ctx] + 1; i < len(sibs); i++ {
+				axisNodes = append(axisNodes, sibs[i])
+			}
+		}
+	case AxisPrecedingSibling:
+		if ctx != nil {
+			sibs := d.siblings(ctx)
+			for i := d.pos[ctx] - 1; i >= 0; i-- {
+				axisNodes = append(axisNodes, sibs[i])
+			}
+		}
+	}
+	// Node test.
+	var tested []*hedge.Node
+	for _, n := range axisNodes {
+		if s.Test.matches(n) {
+			tested = append(tested, n)
+		}
+	}
+	// Predicates, applied in sequence; position() is the index in the
+	// current list (already in axis order).
+	for _, pr := range s.Preds {
+		var kept []*hedge.Node
+		for i, n := range tested {
+			if pr.holds(d, n, i+1) {
+				kept = append(kept, n)
+			}
+		}
+		tested = kept
+	}
+	return tested
+}
+
+func (t NodeTest) matches(n *hedge.Node) bool {
+	if n == nil { // virtual root
+		return t.Name == "node()"
+	}
+	switch t.Name {
+	case "*":
+		return n.Kind == hedge.Elem
+	case "node()":
+		return true
+	case "text()":
+		return n.Kind == hedge.Var
+	default:
+		return n.Kind == hedge.Elem && n.Name == t.Name
+	}
+}
+
+func (pr Predicate) holds(d *Doc, n *hedge.Node, position int) bool {
+	if pr.Path == nil {
+		return position == pr.Position
+	}
+	// Existence of the relative path from n.
+	cur := []*hedge.Node{n}
+	for _, s := range pr.Path.Steps {
+		var next []*hedge.Node
+		seen := map[*hedge.Node]bool{}
+		for _, ctx := range cur {
+			for _, m := range s.apply(d, ctx) {
+				if !seen[m] {
+					seen[m] = true
+					next = append(next, m)
+				}
+			}
+		}
+		cur = next
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	return len(cur) > 0
+}
+
+// Parse parses a location path.
+func Parse(src string) (*Path, error) {
+	p := &parser{input: src}
+	path, err := p.path()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, p.errf("unexpected trailing input")
+	}
+	return path, nil
+}
+
+// MustParse is Parse, panicking on error.
+func MustParse(src string) *Path {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	input string
+	pos   int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("xpath: at offset %d in %q: %s", p.pos, p.input, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.input) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+func (p *parser) path() (*Path, error) {
+	path := &Path{}
+	if strings.HasPrefix(p.input[p.pos:], "//") {
+		p.pos += 2
+		path.Absolute = true
+		path.Steps = append(path.Steps, Step{Axis: AxisDescendantOrSelf, Test: NodeTest{Name: "node()"}})
+	} else if p.peek() == '/' {
+		p.pos++
+		path.Absolute = true
+	}
+	for {
+		st, err := p.step()
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, *st)
+		if strings.HasPrefix(p.input[p.pos:], "//") {
+			p.pos += 2
+			path.Steps = append(path.Steps, Step{Axis: AxisDescendantOrSelf, Test: NodeTest{Name: "node()"}})
+			continue
+		}
+		if p.peek() == '/' {
+			p.pos++
+			continue
+		}
+		return path, nil
+	}
+}
+
+func (p *parser) step() (*Step, error) {
+	st := &Step{Axis: AxisChild}
+	if p.peek() == '.' {
+		if strings.HasPrefix(p.input[p.pos:], "..") {
+			p.pos += 2
+			st.Axis = AxisParent
+			st.Test = NodeTest{Name: "*"}
+			return st, nil
+		}
+		p.pos++
+		st.Axis = AxisSelf
+		st.Test = NodeTest{Name: "*"}
+		return st, nil
+	}
+	name, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasPrefix(p.input[p.pos:], "::") {
+		axis, ok := axisNames[name]
+		if !ok {
+			return nil, p.errf("unknown axis %q", name)
+		}
+		st.Axis = axis
+		p.pos += 2
+		name, err = p.name()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if (name == "text" || name == "node") && strings.HasPrefix(p.input[p.pos:], "()") {
+		p.pos += 2
+		name += "()"
+	}
+	st.Test = NodeTest{Name: name}
+	for p.peek() == '[' {
+		p.pos++
+		pred, err := p.predicate()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ']' {
+			return nil, p.errf("expected ']'")
+		}
+		p.pos++
+		st.Preds = append(st.Preds, *pred)
+	}
+	return st, nil
+}
+
+func (p *parser) predicate() (*Predicate, error) {
+	if c := p.peek(); c >= '0' && c <= '9' {
+		start := p.pos
+		for !p.eof() && p.input[p.pos] >= '0' && p.input[p.pos] <= '9' {
+			p.pos++
+		}
+		n, err := strconv.Atoi(p.input[start:p.pos])
+		if err != nil || n < 1 {
+			return nil, p.errf("bad position predicate")
+		}
+		return &Predicate{Position: n}, nil
+	}
+	// A relative path; scan to the matching ']'.
+	start := p.pos
+	depth := 0
+	for !p.eof() {
+		switch p.input[p.pos] {
+		case '[':
+			depth++
+		case ']':
+			if depth == 0 {
+				sub, err := Parse(p.input[start:p.pos])
+				if err != nil {
+					return nil, err
+				}
+				return &Predicate{Path: sub}, nil
+			}
+			depth--
+		}
+		p.pos++
+	}
+	return nil, p.errf("unterminated predicate")
+}
+
+func (p *parser) name() (string, error) {
+	start := p.pos
+	if p.eof() {
+		return "", p.errf("expected a name")
+	}
+	if p.peek() == '*' {
+		p.pos++
+		return "*", nil
+	}
+	r := rune(p.input[p.pos])
+	if !(r == '_' || unicode.IsLetter(r)) {
+		return "", p.errf("expected a name")
+	}
+	p.pos++
+	for !p.eof() {
+		r := rune(p.input[p.pos])
+		if r == '_' || r == '-' || r == '.' || unicode.IsLetter(r) || unicode.IsDigit(r) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.input[start:p.pos], nil
+}

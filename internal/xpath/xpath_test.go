@@ -1,0 +1,156 @@
+package xpath
+
+import (
+	"testing"
+
+	"xpe/internal/hedge"
+)
+
+func doc(t *testing.T) (*Doc, hedge.Hedge) {
+	t.Helper()
+	h := hedge.MustParse("doc<section<figure table figure note> section<figure> para<$x>>")
+	return NewDoc(h), h
+}
+
+func sel(t *testing.T, d *Doc, src string) []string {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	nodes := p.Select(d)
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name
+	}
+	return out
+}
+
+func TestChildAndDescendant(t *testing.T) {
+	d, _ := doc(t)
+	if got := sel(t, d, "/doc/section/figure"); len(got) != 3 {
+		t.Fatalf("child figures = %v", got)
+	}
+	if got := sel(t, d, "//figure"); len(got) != 3 {
+		t.Fatalf("descendant figures = %v", got)
+	}
+	if got := sel(t, d, "//section"); len(got) != 2 {
+		t.Fatalf("sections = %v", got)
+	}
+	if got := sel(t, d, "/doc"); len(got) != 1 || got[0] != "doc" {
+		t.Fatalf("doc = %v", got)
+	}
+	if got := sel(t, d, "/section"); len(got) != 0 {
+		t.Fatalf("top-level section = %v", got)
+	}
+}
+
+func TestWildcardAndText(t *testing.T) {
+	d, _ := doc(t)
+	if got := sel(t, d, "/doc/*"); len(got) != 3 {
+		t.Fatalf("children = %v", got)
+	}
+	p := MustParse("//para/text()")
+	nodes := p.Select(d)
+	if len(nodes) != 1 || nodes[0].Kind != hedge.Var {
+		t.Fatalf("text nodes = %v", nodes)
+	}
+}
+
+func TestSiblingAxes(t *testing.T) {
+	d, h := doc(t)
+	// Figures whose immediately following sibling is a table — the
+	// introduction's example.
+	got := MustParse("//figure[following-sibling::*[1][self::table]]").Select(d)
+	if len(got) != 1 {
+		t.Fatalf("got %d nodes", len(got))
+	}
+	if got[0] != h[0].Children[0].Children[0] {
+		t.Fatal("wrong node located")
+	}
+	// Preceding sibling.
+	got = MustParse("//figure[preceding-sibling::table]").Select(d)
+	if len(got) != 1 || got[0] != h[0].Children[0].Children[2] {
+		t.Fatalf("preceding-sibling = %v", got)
+	}
+}
+
+func TestParentAncestorSelf(t *testing.T) {
+	d, _ := doc(t)
+	if got := sel(t, d, "//figure/.."); len(got) != 2 {
+		t.Fatalf("parents = %v", got)
+	}
+	if got := sel(t, d, "//figure/ancestor::doc"); len(got) != 1 {
+		t.Fatalf("ancestors = %v", got)
+	}
+	if got := sel(t, d, "//table/self::table"); len(got) != 1 {
+		t.Fatalf("self = %v", got)
+	}
+	if got := sel(t, d, "//table/self::figure"); len(got) != 0 {
+		t.Fatalf("self mismatch = %v", got)
+	}
+}
+
+func TestPositionalPredicates(t *testing.T) {
+	d, h := doc(t)
+	first := h[0].Children[0].Children[0]
+	got := MustParse("//section/figure[1]").Select(d)
+	if len(got) != 2 { // first figure of each section
+		t.Fatalf("figure[1] per section = %d nodes", len(got))
+	}
+	if got[0] != first {
+		t.Fatal("wrong first figure")
+	}
+	got = MustParse("/doc/section[2]/figure").Select(d)
+	if len(got) != 1 {
+		t.Fatalf("section[2] figures = %v", got)
+	}
+}
+
+func TestExistencePredicates(t *testing.T) {
+	d, _ := doc(t)
+	if got := sel(t, d, "//section[figure]"); len(got) != 2 {
+		t.Fatalf("sections with figures = %v", got)
+	}
+	if got := sel(t, d, "//section[note]"); len(got) != 1 {
+		t.Fatalf("sections with notes = %v", got)
+	}
+	if got := sel(t, d, "//section[table/missing]"); len(got) != 0 {
+		t.Fatalf("impossible predicate = %v", got)
+	}
+}
+
+func TestDocumentOrderAndDedup(t *testing.T) {
+	d, h := doc(t)
+	p := MustParse("//figure/ancestor::*/figure")
+	nodes := p.Select(d)
+	// All figures, each once, in document order.
+	if len(nodes) != 3 {
+		t.Fatalf("got %d nodes", len(nodes))
+	}
+	if nodes[0] != h[0].Children[0].Children[0] {
+		t.Fatal("not in document order")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"", "/", "//", "foo::a", "a[", "a[]", "a[0]", "a/", "a[b"}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	for _, src := range []string{
+		"/doc/section/figure",
+		"//figure[following-sibling::*[1][self::table]]",
+	} {
+		p := MustParse(src)
+		p2 := MustParse(p.String())
+		if p.String() != p2.String() {
+			t.Fatalf("unstable rendering: %q vs %q", p.String(), p2.String())
+		}
+	}
+}

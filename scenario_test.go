@@ -1,0 +1,120 @@
+package xpe
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScenarioXHTML exercises the library on a second, XHTML-flavoured
+// vocabulary with a hedge-regular (not merely local) grammar: definition
+// lists must alternate dt/dd pairs — a constraint DTDs cannot express but
+// hedge automata can (the distinction the paper draws in §2 against local
+// tree grammars).
+func TestScenarioXHTML(t *testing.T) {
+	eng := NewEngine()
+	sch, err := eng.ParseSchema(`
+start = html
+element html { head body }
+element head { title }
+element title { text* }
+element body { (h1 | p | dl | img)* }
+element h1 { text* }
+element p { (text | img | em)* }
+element em { text* }
+element img { empty }
+define dl = element dl { (dt dd)* }
+element dt { text* }
+element dd { (text | p)* }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	good, err := eng.ParseXMLString(`
+<html><head><title>t</title></head>
+<body>
+  <h1>header</h1>
+  <p>intro <img/> tail</p>
+  <dl><dt>term</dt><dd>def</dd><dt>term2</dt><dd>def2</dd></dl>
+  <img/>
+</body></html>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sch.Validate(good) {
+		t.Fatal("well-formed page should validate")
+	}
+
+	// dt without its dd: the alternation constraint must reject.
+	bad, err := eng.ParseXMLString(
+		`<html><head><title>t</title></head><body><dl><dt>term</dt></dl></body></html>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Validate(bad) {
+		t.Fatal("unpaired dt must be rejected (hedge-regular constraint)")
+	}
+
+	// Query: images directly inside paragraphs (not top-level images).
+	// '*' sides keep the Theorem 5 product small for the transformations
+	// below ('.' would compile a full any-hedge automaton with identical
+	// semantics — see the 4b notes in DESIGN.md).
+	q, err := eng.CompileQuery("img [* ; p ; *] [* ; body ; *] [* ; html ; *]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := q.Select(good)
+	if len(ms) != 1 || ms[0].Path != "1.2.2.2" {
+		t.Fatalf("inline images = %v", ms)
+	}
+
+	// Delete all inline images; the page must conform to the transformed
+	// schema and keep the top-level image.
+	del, err := sch.TransformDelete(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := q.Delete(good)
+	if !del.Validate(stripped) {
+		t.Fatal("stripped page must conform to delete output schema")
+	}
+	if strings.Count(stripped.Term(), "img") != 1 {
+		t.Fatalf("expected exactly the top-level img to survive: %s", stripped.Term())
+	}
+
+	// Select output schema: the subtree shape of located images is just
+	// img⟨ε⟩.
+	sel, err := sch.TransformSelect(q, Subtrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgDoc, _ := eng.ParseTerm("img")
+	pDoc, _ := eng.ParseTerm("p")
+	if !sel.Validate(imgDoc) || sel.Validate(pDoc) {
+		t.Fatal("select output schema should be exactly {img}")
+	}
+
+	// Bindings: capture the paragraph holding each inline image.
+	qb, err := eng.CompileQuery("img [* ; p ; *]@para [* ; body ; *] [* ; html ; *]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bms := qb.SelectBindings(good)
+	if len(bms) != 1 {
+		t.Fatalf("bound matches = %v", bms)
+	}
+	if bms[0].Bindings[0].Name != "para" || bms[0].Bindings[0].Path != "1.2.2" {
+		t.Fatalf("binding = %+v", bms[0].Bindings)
+	}
+
+	// The dt/dd alternation is queryable too: dd nodes whose immediate
+	// elder sibling is a dt (all of them, by the grammar).
+	qdd, err := eng.CompileQuery("[. dt<.> ; dd ; *] (dl|body|html)*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dds := qdd.Select(good)
+	if len(dds) != 2 {
+		t.Fatalf("dd-after-dt = %v", dds)
+	}
+}

@@ -1,0 +1,359 @@
+// Package xpe — extended path expressions for XML — is a from-scratch
+// implementation of Murata's PODS 2001 paper: hedge regular expressions,
+// pointed hedge representations, linear-time selection-query evaluation by
+// two depth-first traversals, and schema transformation via
+// match-identifying hedge automata.
+//
+// The package is a facade over the full machinery in internal/: an Engine
+// holds the shared alphabet; documents are parsed from XML or from the
+// paper's term syntax; queries are selection queries select(e₁, e₂)
+// combining a hedge regular expression (condition on a node's subhedge)
+// with a pointed hedge representation (condition on its envelope:
+// ancestors, siblings, siblings of ancestors, and their descendants).
+//
+// Quickstart:
+//
+//	eng := xpe.NewEngine()
+//	doc, _ := eng.ParseXMLString("<doc><sec><fig/><tab/></sec></doc>")
+//	q, _ := eng.CompileQuery("[* ; fig ; tab .] (sec|doc)*")
+//	for _, m := range q.Select(doc) {
+//		fmt.Println(m.Path, m.Term)
+//	}
+//
+// Query syntax is documented on CompileQuery; schema grammars on
+// ParseSchema.
+package xpe
+
+import (
+	"io"
+
+	"xpe/internal/core"
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+	"xpe/internal/schema"
+	"xpe/internal/xmlhedge"
+	"xpe/internal/xpath"
+)
+
+// Engine holds the shared symbol/variable alphabet. Every document, query,
+// and schema compiled through the same Engine agrees on the alphabet,
+// which is what the paper's closed-world side conditions (and the product
+// constructions of Section 8) require.
+type Engine struct {
+	names *ha.Names
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine { return &Engine{names: ha.NewNames()} }
+
+// Document is a parsed XML document or hedge.
+type Document struct {
+	eng   *Engine
+	hedge hedge.Hedge
+}
+
+// ParseXML reads an XML document.
+func (e *Engine) ParseXML(r io.Reader) (*Document, error) {
+	h, err := xmlhedge.Parse(r, xmlhedge.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return e.adopt(h), nil
+}
+
+// ParseXMLString reads an XML document from a string.
+func (e *Engine) ParseXMLString(s string) (*Document, error) {
+	h, err := xmlhedge.ParseString(s, xmlhedge.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return e.adopt(h), nil
+}
+
+// ParseTerm reads a document in the paper's term syntax (see
+// internal/hedge): "doc<sec<fig tab>>", with $x for variables.
+func (e *Engine) ParseTerm(s string) (*Document, error) {
+	h, err := hedge.Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	return e.adopt(h), nil
+}
+
+// FromHedge adopts an already-built hedge as a document (the hedge is
+// shared, not copied; callers must not mutate it afterwards).
+func (e *Engine) FromHedge(h hedge.Hedge) *Document { return e.adopt(h) }
+
+// adopt interns the document's alphabet and wraps it.
+func (e *Engine) adopt(h hedge.Hedge) *Document {
+	syms, vars, _ := h.Labels()
+	for _, s := range syms {
+		e.names.Syms.Intern(s)
+	}
+	for _, v := range vars {
+		e.names.Vars.Intern(v)
+	}
+	return &Document{eng: e, hedge: h}
+}
+
+// Hedge exposes the underlying hedge (shared, do not mutate).
+func (d *Document) Hedge() hedge.Hedge { return d.hedge }
+
+// Size returns the node count.
+func (d *Document) Size() int { return d.hedge.Size() }
+
+// Term renders the document in term syntax.
+func (d *Document) Term() string { return d.hedge.String() }
+
+// XML serializes the document back to XML.
+func (d *Document) XML() (string, error) { return xmlhedge.ToString(d.hedge) }
+
+// Query is a compiled selection query.
+type Query struct {
+	eng *Engine
+	src string
+	cq  *core.CompiledQuery
+}
+
+// CompileQuery parses and compiles a selection query. Two forms:
+//
+//	phr                      — locate nodes whose envelope matches the
+//	                           pointed hedge representation
+//	select(e1; phr)          — additionally require the node's subhedge to
+//	                           match the hedge regular expression e1
+//
+// A pointed hedge representation is a regular expression (| , * + ? and
+// parentheses) over pointed base hedge representations:
+//
+//	[e1 ; label ; e2]  — elder siblings (and their subtrees) match e1, the
+//	                     node is labeled label, younger siblings match e2;
+//	                     '*' for either side means "any hedge"
+//	label              — sugar for [* ; label ; *]
+//
+// Per Definition 19 of the paper the sequence reads from the node's own
+// level UP to the top level: "fig sec* [* ; doc ; *]" locates fig nodes
+// under a chain of sec nodes under a doc root.
+//
+// Hedge regular expressions (the sides and e1) use the internal/hre
+// syntax: labels build elements (a, a<...>), $x variables, '.' any hedge,
+// a<~z> substitution targets with e^z vertical closure and e1 %z e2
+// embedding.
+//
+// Compile queries after the documents/schemas whose alphabet they should
+// range over: '.' and schema products are closed-world over the engine's
+// interned alphabet.
+func (e *Engine) CompileQuery(src string) (*Query, error) {
+	q, err := core.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	cq, err := core.CompileQuery(q, e.names)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{eng: e, src: src, cq: cq}, nil
+}
+
+// String returns the query source.
+func (q *Query) String() string { return q.src }
+
+// Match is one located node.
+type Match struct {
+	// Path is the Dewey address of the node (1-based, dot-separated).
+	Path string
+	// Term is the located subtree in term syntax.
+	Term string
+	// Node is the located node within the document's hedge.
+	Node *hedge.Node
+}
+
+// Select runs the query against a document using Algorithm 1 (two
+// depth-first traversals; time linear in the document size) and returns
+// the located nodes in document order.
+func (q *Query) Select(d *Document) []Match {
+	res := q.cq.Select(d.hedge)
+	out := make([]Match, 0, len(res.Paths))
+	for _, p := range res.Paths {
+		n := d.hedge.At(p)
+		out = append(out, Match{Path: p.String(), Term: n.String(), Node: n})
+	}
+	return out
+}
+
+// Binding is one captured variable of a match.
+type Binding struct {
+	Name string
+	Path string
+	Term string
+}
+
+// BoundMatch is a match with its captured variables (bases written with a
+// '@name' suffix, e.g. "fig sec@s* [* ; doc ; *]@d").
+type BoundMatch struct {
+	Match
+	Bindings []Binding
+}
+
+// SelectBindings is Select with variable capture (the paper's Section 9
+// extension): each match carries the ancestors bound by named bases. When
+// the envelope is ambiguous one successful match per node is chosen; use
+// UniqueBindings to check up front.
+func (q *Query) SelectBindings(d *Document) []BoundMatch {
+	ms := q.cq.SelectBindings(d.hedge)
+	out := make([]BoundMatch, 0, len(ms))
+	for _, m := range ms {
+		bm := BoundMatch{Match: Match{Path: m.Path.String(), Term: m.Node.String(), Node: m.Node}}
+		for name, p := range m.BindingPaths {
+			bm.Bindings = append(bm.Bindings, Binding{Name: name, Path: p.String(), Term: m.Bindings[name].String()})
+		}
+		sortBindings(bm.Bindings)
+		out = append(out, bm)
+	}
+	return out
+}
+
+func sortBindings(bs []Binding) {
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && bs[j-1].Name > bs[j].Name; j-- {
+			bs[j-1], bs[j] = bs[j], bs[j-1]
+		}
+	}
+}
+
+// UniqueBindings reports (conservatively) whether every match determines
+// its bindings uniquely.
+func (q *Query) UniqueBindings() bool { return q.cq.HasUniqueBindings() }
+
+// Schema is a compiled schema.
+type Schema struct {
+	eng *Engine
+	s   *schema.Schema
+}
+
+// ParseSchema parses a grammar in the internal/schema syntax:
+//
+//	start = doc
+//	element doc { (sec | par)* }
+//	define deepsec = element sec { ... }   — classes may share labels
+//	element par { text* }
+func (e *Engine) ParseSchema(src string) (*Schema, error) {
+	s, err := schema.ParseGrammar(src, e.names)
+	if err != nil {
+		return nil, err
+	}
+	return &Schema{eng: e, s: s}, nil
+}
+
+// Validate reports whether the document conforms to the schema.
+func (s *Schema) Validate(d *Document) bool {
+	return s.s.DHA.Accepts(d.hedge)
+}
+
+// ValidateHedge reports whether a raw hedge conforms to the schema.
+func (s *Schema) ValidateHedge(h hedge.Hedge) bool { return s.s.DHA.Accepts(h) }
+
+// ResultShape selects what TransformSelect's output schema describes.
+type ResultShape = schema.ResultShape
+
+// Result shapes.
+const (
+	Subhedges = schema.Subhedges
+	Subtrees  = schema.Subtrees
+)
+
+// TransformSelect computes the output schema of the query over this input
+// schema (Section 8): the language of results the query can produce on any
+// conforming document.
+func (s *Schema) TransformSelect(q *Query, shape ResultShape) (*Schema, error) {
+	out, err := schema.TransformSelect(s.s, q.cq, shape)
+	if err != nil {
+		return nil, err
+	}
+	return &Schema{eng: s.eng, s: out}, nil
+}
+
+// TransformDelete computes the output schema of deleting every node the
+// query locates, over this input schema.
+func (s *Schema) TransformDelete(q *Query) (*Schema, error) {
+	out, err := schema.TransformDelete(s.s, q.cq)
+	if err != nil {
+		return nil, err
+	}
+	return &Schema{eng: s.eng, s: out}, nil
+}
+
+// TransformRename computes the output schema of renaming every located
+// node to newLabel over this input schema.
+func (s *Schema) TransformRename(q *Query, newLabel string) (*Schema, error) {
+	out, err := schema.TransformRename(s.s, q.cq, newLabel)
+	if err != nil {
+		return nil, err
+	}
+	return &Schema{eng: s.eng, s: out}, nil
+}
+
+// EquivalentTo reports whether both schemas accept the same documents.
+func (s *Schema) EquivalentTo(other *Schema) (bool, error) {
+	return schema.Equivalent(s.s, other.s)
+}
+
+// Includes reports whether every document of other conforms to s.
+func (s *Schema) Includes(other *Schema) (bool, error) {
+	return schema.Includes(s.s, other.s)
+}
+
+// Delete returns a copy of the document with every located subtree
+// removed (the document-level counterpart of TransformDelete).
+func (q *Query) Delete(d *Document) *Document {
+	res := q.cq.Select(d.hedge)
+	return &Document{eng: d.eng, hedge: d.hedge.RemoveNodes(res.Located)}
+}
+
+// Rename returns a copy of the document with every located node relabeled
+// to newLabel (the document-level counterpart of TransformRename).
+func (q *Query) Rename(d *Document, newLabel string) *Document {
+	res := q.cq.Select(d.hedge)
+	d.eng.names.Syms.Intern(newLabel)
+	return &Document{eng: d.eng, hedge: d.hedge.RenameNodes(res.Located, newLabel)}
+}
+
+// CompileXPath translates an XPath location path from the supported
+// fragment (see internal/xpath.Translate) into a selection query over the
+// engine's interned alphabet and compiles it. It demonstrates the paper's
+// Section 2 point that XPath's sibling-aware path core embeds into
+// extended path expressions.
+func (e *Engine) CompileXPath(src string) (*Query, error) {
+	p, err := xpath.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var vars []string
+	for _, v := range e.names.Vars.Names() {
+		if len(v) > 0 && v[0] != '\x00' {
+			vars = append(vars, v)
+		}
+	}
+	q, err := xpath.Translate(p, e.names.Syms.Names(), vars)
+	if err != nil {
+		return nil, err
+	}
+	// Translation emits one base per label per '//' level; the optimizer
+	// (base unification + canonicalization) collapses the duplicates.
+	q.Envelope = core.Optimize(q.Envelope)
+	cq, err := core.CompileQuery(q, e.names)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{eng: e, src: src, cq: cq}, nil
+}
+
+// Internal accessors used by the benchmark harness and cmd tools.
+
+// Names exposes the engine's interners.
+func (e *Engine) Names() *ha.Names { return e.names }
+
+// Compiled exposes the compiled core query.
+func (q *Query) Compiled() *core.CompiledQuery { return q.cq }
+
+// Underlying exposes the compiled schema.
+func (s *Schema) Underlying() *schema.Schema { return s.s }

@@ -1,0 +1,138 @@
+package xpe
+
+import "testing"
+
+func TestFacadeXPathTranslation(t *testing.T) {
+	eng := NewEngine()
+	doc, err := eng.ParseXMLString(
+		"<doc><sec><fig/><tab/><fig/></sec><sec><fig/></sec></doc>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := eng.CompileXPath("//fig[following-sibling::*[1][self::tab]]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := q.Select(doc)
+	if len(ms) != 1 || ms[0].Path != "1.1.1" {
+		t.Fatalf("matches = %v", ms)
+	}
+	// All figures.
+	q2, err := eng.CompileXPath("//fig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(q2.Select(doc)); got != 3 {
+		t.Fatalf("//fig located %d", got)
+	}
+	// Out-of-fragment paths fail loudly.
+	if _, err := eng.CompileXPath("//fig/ancestor::sec"); err == nil {
+		t.Fatal("untranslatable path accepted")
+	}
+}
+
+func TestFacadeRename(t *testing.T) {
+	eng := NewEngine()
+	sch, err := eng.ParseSchema(`
+start = doc
+element doc { sec* }
+element sec { (sec | fig | par)* }
+element fig { empty }
+element par { text* }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := eng.CompileQuery("select(fig*; [* ; sec ; *] (sec|doc)*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := eng.ParseTerm("doc<sec<fig> sec<par>>")
+	renamed := q.Rename(doc, "gallery")
+	if renamed.Term() != "doc<gallery<fig> sec<par>>" {
+		t.Fatalf("renamed = %q", renamed.Term())
+	}
+	out, err := sch.TransformRename(q, "gallery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Validate(renamed) {
+		t.Fatal("renamed document must conform to the rename output schema")
+	}
+	if out.Validate(doc) {
+		t.Fatal("the un-renamed document must not conform (its empty sec should be a gallery)")
+	}
+}
+
+func TestFacadeSchemaComparison(t *testing.T) {
+	eng := NewEngine()
+	small, err := eng.ParseSchema(`
+start = doc
+element doc { fig* }
+element fig { empty }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := eng.ParseSchema(`
+start = doc2
+define doc2 = element doc { (fig2 | par)* }
+define fig2 = element fig { empty }
+element par { text* }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := small.EquivalentTo(big)
+	if err != nil || eq {
+		t.Fatalf("schemas should differ (err=%v)", err)
+	}
+	inc, err := big.Includes(small)
+	if err != nil || !inc {
+		t.Fatalf("big ⊇ small expected (err=%v)", err)
+	}
+	inc, err = small.Includes(big)
+	if err != nil || inc {
+		t.Fatalf("small ⊉ big expected (err=%v)", err)
+	}
+}
+
+func TestFacadeBindings(t *testing.T) {
+	eng := NewEngine()
+	doc, err := eng.ParseXMLString("<doc><sec><fig/><sec><fig/></sec></sec></doc>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := eng.CompileQuery("fig sec@s* [* ; doc ; *]@d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.UniqueBindings() {
+		t.Fatal("query should have unique bindings")
+	}
+	ms := q.SelectBindings(doc)
+	if len(ms) != 2 {
+		t.Fatalf("matches = %v", ms)
+	}
+	for _, m := range ms {
+		names := map[string]string{}
+		for _, b := range m.Bindings {
+			names[b.Name] = b.Path
+		}
+		if names["d"] != "1" {
+			t.Fatalf("d bound to %q", names["d"])
+		}
+		if _, ok := names["s"]; !ok {
+			t.Fatalf("s unbound for %v", m.Path)
+		}
+	}
+	// e1-filtered bindings.
+	q2, err := eng.CompileQuery("select(fig*; [* ; sec ; *]@self (sec|doc)*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := q2.SelectBindings(doc)
+	if len(bs) != 1 || bs[0].Path != "1.1.2" {
+		t.Fatalf("filtered bindings = %v", bs)
+	}
+}

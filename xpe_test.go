@@ -1,0 +1,109 @@
+package xpe
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeSelect(t *testing.T) {
+	eng := NewEngine()
+	doc, err := eng.ParseXMLString(
+		"<doc><sec><fig/><tab/><fig/></sec><sec><fig/></sec></doc>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := eng.CompileQuery("[* ; fig ; tab .] (sec|doc)*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := q.Select(doc)
+	if len(ms) != 1 || ms[0].Path != "1.1.1" {
+		t.Fatalf("matches = %v", ms)
+	}
+	if ms[0].Term != "fig" {
+		t.Fatalf("term = %q", ms[0].Term)
+	}
+}
+
+func TestFacadeTermAndXMLRoundTrip(t *testing.T) {
+	eng := NewEngine()
+	doc, err := eng.ParseTerm("doc<sec<fig> par<$x>>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Size() != 5 {
+		t.Fatalf("size = %d", doc.Size())
+	}
+	xml, err := doc.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(xml, "<fig></fig>") {
+		t.Fatalf("xml = %q", xml)
+	}
+	if doc.Term() != "doc<sec<fig> par<$x>>" {
+		t.Fatalf("term = %q", doc.Term())
+	}
+}
+
+func TestFacadeSchemaWorkflow(t *testing.T) {
+	eng := NewEngine()
+	sch, err := eng.ParseSchema(`
+start = doc
+element doc { sec* }
+element sec { (sec | fig | par)* }
+element fig { empty }
+element par { text* }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, _ := eng.ParseTerm("doc<sec<fig>>")
+	bad, _ := eng.ParseTerm("doc<fig>")
+	if !sch.Validate(good) || sch.Validate(bad) {
+		t.Fatal("validation wrong")
+	}
+
+	q, err := eng.CompileQuery("select(fig*; [* ; sec ; *] (sec|doc)*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sch.TransformSelect(q, Subtrees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secOfFigs, _ := eng.ParseTerm("sec<fig fig>")
+	secOfPar, _ := eng.ParseTerm("sec<par>")
+	if !out.Validate(secOfFigs) || out.Validate(secOfPar) {
+		t.Fatal("select output schema wrong")
+	}
+
+	del, err := sch.TransformDelete(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleting fig-only sections from doc<sec<fig>> leaves doc<>.
+	deleted := q.Delete(good)
+	if deleted.Term() != "doc" {
+		t.Fatalf("deleted = %q", deleted.Term())
+	}
+	if !del.Validate(deleted) {
+		t.Fatal("deleted document must conform to the delete output schema")
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	eng := NewEngine()
+	if _, err := eng.ParseXMLString("<a>"); err == nil {
+		t.Fatal("bad XML accepted")
+	}
+	if _, err := eng.ParseTerm("a<"); err == nil {
+		t.Fatal("bad term accepted")
+	}
+	if _, err := eng.CompileQuery("[;;]"); err == nil {
+		t.Fatal("bad query accepted")
+	}
+	if _, err := eng.ParseSchema("nope"); err == nil {
+		t.Fatal("bad schema accepted")
+	}
+}
