@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:"; \
+		echo "$$out"; \
+		exit 1; \
+	fi
+
+# check is the CI gate: formatting, static analysis, and the full test
+# suite under the race detector.
+check: fmt vet build race
+
+bench:
+	$(GO) test -bench . -benchmem -run NONE ./...

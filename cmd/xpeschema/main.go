@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -114,7 +115,17 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
 
+// fatal prints err and exits, expanding the facade's typed compile errors
+// into position-bearing diagnostics.
 func fatal(err error) {
+	var ce *xpe.CompileError
+	if errors.As(err, &ce) {
+		fmt.Fprintf(os.Stderr, "xpeschema: cannot compile: %s\n", ce.Msg)
+		if ce.Offset >= 0 {
+			fmt.Fprintf(os.Stderr, "  at offset %d: %s\n", ce.Offset, ce.Excerpt)
+		}
+		os.Exit(1)
+	}
 	fmt.Fprintln(os.Stderr, "xpeschema:", err)
 	os.Exit(1)
 }

@@ -4,12 +4,22 @@
 // Usage:
 //
 //	xpeselect -query 'fig sec* [* ; doc ; *]' [-format paths|term|xml] [file.xml]
+//	xpeselect -query 'a b*' -stream [-split entry] [-workers N] [file.xml]
 //
 // With no file argument the document is read from standard input. Query
 // syntax is documented on xpe.Engine.CompileQuery.
+//
+// With -stream the document is never held in memory: it is split into
+// records (children of the document element, or subtrees rooted at the
+// -split element) and each record is evaluated independently, so paths
+// are record-relative and envelope conditions range over the record
+// subtree only. Because the query is compiled before the document is
+// read, '.' in a streamed query ranges over the query's own labels.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -25,10 +35,18 @@ func main() {
 	xpathQ := flag.String("xpath", "", "XPath location path (translated to a selection query)")
 	format := flag.String("format", "paths", "output format: paths, term, or xml")
 	term := flag.Bool("term", false, "input is in term syntax rather than XML")
+	streaming := flag.Bool("stream", false, "evaluate record by record in bounded memory")
+	split := flag.String("split", "", "record root element for -stream (default: children of the document element)")
+	workers := flag.Int("workers", 0, "concurrent record workers for -stream (0 = GOMAXPROCS)")
+	maxNodes := flag.Int("max-record-nodes", 0, "abort -stream if a record exceeds this node count (0 = unlimited)")
 	flag.Parse()
 	if (*query == "") == (*xpathQ == "") {
 		fmt.Fprintln(os.Stderr, "xpeselect: exactly one of -query or -xpath is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *streaming && *term {
+		fmt.Fprintln(os.Stderr, "xpeselect: -stream reads XML, not -term input")
 		os.Exit(2)
 	}
 
@@ -43,6 +61,26 @@ func main() {
 	}
 
 	eng := xpe.NewEngine()
+
+	if *streaming {
+		q := compileQuery(eng, *query, *xpathQ)
+		opts := xpe.SelectOptions{
+			Workers:        *workers,
+			SplitElement:   *split,
+			MaxRecordNodes: *maxNodes,
+		}
+		stats, err := eng.SelectStream(context.Background(), input, q, opts,
+			func(m xpe.StreamMatch) error {
+				return printMatch(m.Match, *format, m.RecordPath)
+			})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "xpeselect: %d node(s) located in %d record(s), %d bytes\n",
+			stats.Matches, stats.Records, stats.Bytes)
+		return
+	}
+
 	var doc *xpe.Document
 	var err error
 	if *term {
@@ -58,37 +96,83 @@ func main() {
 		fatal(err)
 	}
 
-	var q *xpe.Query
-	if *xpathQ != "" {
-		q, err = eng.CompileXPath(*xpathQ)
-	} else {
-		q, err = eng.CompileQuery(*query)
-	}
-	if err != nil {
-		fatal(err)
-	}
-
+	q := compileQuery(eng, *query, *xpathQ)
 	matches := q.Select(doc)
 	for _, m := range matches {
-		switch *format {
-		case "paths":
-			fmt.Println(m.Path)
-		case "term":
-			fmt.Printf("%s\t%s\n", m.Path, m.Term)
-		case "xml":
-			s, err := xmlhedge.ToString(hedge.Hedge{m.Node})
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("%s\t%s\n", m.Path, s)
-		default:
-			fatal(fmt.Errorf("unknown format %q", *format))
+		if err := printMatch(m, *format, ""); err != nil {
+			fatal(err)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "xpeselect: %d node(s) located\n", len(matches))
 }
 
+// compileQuery compiles whichever of -query / -xpath was given; queries
+// are compiled after the document parse in the in-memory path so that '.'
+// ranges over the document alphabet.
+func compileQuery(eng *xpe.Engine, query, xpathQ string) *xpe.Query {
+	var q *xpe.Query
+	var err error
+	if xpathQ != "" {
+		q, err = eng.CompileXPath(xpathQ)
+	} else {
+		q, err = eng.CompileQuery(query)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	return q
+}
+
+// printMatch renders one located node; recPath, when non-empty, prefixes
+// the record-relative path with the record's position in the document.
+func printMatch(m xpe.Match, format, recPath string) error {
+	path := m.Path
+	if recPath != "" {
+		path = recPath + "/" + path
+	}
+	switch format {
+	case "paths":
+		fmt.Println(path)
+	case "term":
+		fmt.Printf("%s\t%s\n", path, m.Term)
+	case "xml":
+		s, err := xmlhedge.ToString(hedge.Hedge{m.Node})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\t%s\n", path, s)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	return nil
+}
+
+// fatal prints err and exits, expanding the facade's typed errors into
+// position-bearing diagnostics.
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "xpeselect:", err)
+	var ce *xpe.CompileError
+	var pe *xpe.ParseError
+	var le *xpe.LimitError
+	switch {
+	case errors.As(err, &ce):
+		fmt.Fprintf(os.Stderr, "xpeselect: cannot compile query: %s\n", ce.Msg)
+		if ce.Offset >= 0 {
+			fmt.Fprintf(os.Stderr, "  at offset %d: %s\n", ce.Offset, ce.Excerpt)
+		}
+	case errors.As(err, &pe):
+		fmt.Fprintf(os.Stderr, "xpeselect: malformed input: %s\n", pe.Msg)
+		if pe.Line > 0 {
+			fmt.Fprintf(os.Stderr, "  at line %d", pe.Line)
+			if pe.Excerpt != "" {
+				fmt.Fprintf(os.Stderr, ": %s", pe.Excerpt)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+	case errors.As(err, &le):
+		fmt.Fprintf(os.Stderr, "xpeselect: record %d (at %s) exceeds the %s limit of %d\n",
+			le.Record, le.Path, le.Kind, le.Limit)
+	default:
+		fmt.Fprintln(os.Stderr, "xpeselect:", err)
+	}
 	os.Exit(1)
 }

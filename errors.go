@@ -1,0 +1,174 @@
+package xpe
+
+import (
+	"context"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"strings"
+
+	"xpe/internal/core"
+	"xpe/internal/xmlhedge"
+)
+
+// ParseError reports a malformed document at the facade boundary
+// (ParseXML, ParseXMLString, ParseTerm, SelectStream). Use errors.As to
+// recover it; Unwrap exposes the underlying decoder error.
+type ParseError struct {
+	// Line is the 1-based input line of the error, 0 when unknown (the
+	// XML decoder reports lines; the term parser does not).
+	Line int
+	// Excerpt is the offending source line, "" when the input was not
+	// retained (reader-based parses).
+	Excerpt string
+	// Msg is the decoder's diagnosis.
+	Msg string
+	// Err is the underlying error.
+	Err error
+}
+
+func (e *ParseError) Error() string {
+	switch {
+	case e.Line > 0 && e.Excerpt != "":
+		return fmt.Sprintf("xpe: parse error at line %d near %q: %s", e.Line, e.Excerpt, e.Msg)
+	case e.Line > 0:
+		return fmt.Sprintf("xpe: parse error at line %d: %s", e.Line, e.Msg)
+	default:
+		return fmt.Sprintf("xpe: parse error: %s", e.Msg)
+	}
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// CompileError reports a selection query, XPath expression, or schema
+// grammar that failed to parse or compile (CompileQuery, CompileXPath,
+// ParseSchema). Use errors.As to recover it.
+type CompileError struct {
+	// Source is the query or grammar text handed to the compiler.
+	Source string
+	// Offset is the byte offset the parser stopped at, -1 when unknown.
+	Offset int
+	// Excerpt is the source fragment around Offset, "" when unknown.
+	Excerpt string
+	// Msg is the parser's diagnosis.
+	Msg string
+	// Err is the underlying error.
+	Err error
+}
+
+func (e *CompileError) Error() string {
+	if e.Offset >= 0 {
+		return fmt.Sprintf("xpe: compile error at offset %d near %q: %s", e.Offset, e.Excerpt, e.Msg)
+	}
+	return fmt.Sprintf("xpe: compile error: %s", e.Msg)
+}
+
+func (e *CompileError) Unwrap() error { return e.Err }
+
+// LimitError reports a streamed record exceeding a SelectOptions resource
+// bound; the stream cannot continue past it. Use errors.As to recover it.
+type LimitError struct {
+	// Kind is the exceeded bound: "nodes" or "depth".
+	Kind string
+	// Limit is the configured bound.
+	Limit int
+	// Record is the 0-based index of the offending record.
+	Record int
+	// Path is the Dewey path of the record root in the input document.
+	Path string
+	// Err is the underlying error.
+	Err error
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("xpe: record %d at %s exceeds %s limit %d", e.Record, e.Path, e.Kind, e.Limit)
+}
+
+func (e *LimitError) Unwrap() error { return e.Err }
+
+// wrapParseErr converts a document parse failure into *ParseError. src is
+// the full input when available (string parses), "" otherwise.
+func wrapParseErr(err error, src string) error {
+	if err == nil {
+		return nil
+	}
+	pe := &ParseError{Msg: err.Error(), Err: err}
+	var se *xml.SyntaxError
+	if errors.As(err, &se) {
+		pe.Line = se.Line
+		pe.Msg = se.Msg
+	}
+	if pe.Line > 0 && src != "" {
+		lines := strings.Split(src, "\n")
+		if pe.Line <= len(lines) {
+			pe.Excerpt = clip(strings.TrimSpace(lines[pe.Line-1]), 40)
+		}
+	}
+	return pe
+}
+
+// wrapCompileErr converts a query/schema compilation failure into
+// *CompileError, recovering position information from the core parser's
+// structured errors when present.
+func wrapCompileErr(err error, src string) error {
+	if err == nil {
+		return nil
+	}
+	ce := &CompileError{Source: src, Offset: -1, Msg: err.Error(), Err: err}
+	var se *core.SyntaxError
+	if errors.As(err, &se) {
+		ce.Offset = se.Offset
+		ce.Msg = se.Msg
+		ce.Excerpt = excerptAt(se.Input, se.Offset)
+	}
+	return ce
+}
+
+// wrapStreamErr converts streaming-internal errors into their exported
+// counterparts. Callers must pass yield-originated errors through
+// unwrapped before reaching here: everything else a stream can fail with
+// is a record limit, a cancellation, or a malformed input.
+func wrapStreamErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var le *xmlhedge.LimitError
+	if errors.As(err, &le) {
+		return &LimitError{Kind: le.Kind, Limit: le.Limit, Record: le.Record, Path: le.Path.String(), Err: err}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return wrapParseErr(err, "")
+}
+
+// excerptAt returns a short window of src around offset.
+func excerptAt(src string, offset int) string {
+	if offset < 0 || offset > len(src) {
+		return clip(src, 40)
+	}
+	start := offset - 20
+	if start < 0 {
+		start = 0
+	}
+	end := offset + 20
+	if end > len(src) {
+		end = len(src)
+	}
+	out := src[start:end]
+	if start > 0 {
+		out = "…" + out
+	}
+	if end < len(src) {
+		out += "…"
+	}
+	return out
+}
+
+// clip truncates s to at most n bytes with an ellipsis.
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

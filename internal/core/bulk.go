@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -14,6 +15,14 @@ import (
 // under concurrency (sync.Pool; the mirror is locked); a server answering
 // the same query over a document stream is the intended shape.
 func (cq *CompiledQuery) BulkSelect(docs []hedge.Hedge, workers int) []*Result {
+	out, _ := cq.BulkSelectCtx(context.Background(), docs, workers)
+	return out
+}
+
+// BulkSelectCtx is BulkSelect under a context: when ctx is canceled the
+// remaining documents are abandoned and ctx.Err() is returned alongside the
+// partial results (entries for unevaluated documents are nil).
+func (cq *CompiledQuery) BulkSelectCtx(ctx context.Context, docs []hedge.Hedge, workers int) ([]*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -23,9 +32,12 @@ func (cq *CompiledQuery) BulkSelect(docs []hedge.Hedge, workers int) []*Result {
 	out := make([]*Result, len(docs))
 	if workers <= 1 {
 		for i, d := range docs {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
 			out[i] = cq.Select(d)
 		}
-		return out
+		return out, ctx.Err()
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -38,10 +50,20 @@ func (cq *CompiledQuery) BulkSelect(docs []hedge.Hedge, workers int) []*Result {
 			}
 		}()
 	}
+	var err error
+dispatch:
 	for i := range docs {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
-	return out
+	if err == nil {
+		err = ctx.Err()
+	}
+	return out, err
 }

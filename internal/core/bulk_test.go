@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -49,5 +50,67 @@ func TestBulkSelectMatchesSequential(t *testing.T) {
 	}
 	if rs := cq.BulkSelect(nil, 4); len(rs) != 0 {
 		t.Fatal("empty input should give empty output")
+	}
+}
+
+func TestBulkSelectCtx(t *testing.T) {
+	names := ha.NewNames()
+	names.Syms.Intern("a")
+	names.Syms.Intern("b")
+	q, err := ParseQuery("[* ; a ; b .] (a|b)*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := CompileQuery(q, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	cfg := hedge.RandConfig{Symbols: []string{"a", "b"}, Vars: []string{"x"}, MaxDepth: 3, MaxWidth: 3}
+	docs := make([]hedge.Hedge, 16)
+	for i := range docs {
+		docs[i] = hedge.Random(rng, cfg)
+	}
+
+	// Workers exceeding the document count clamp cleanly.
+	rs, err := cq.BulkSelectCtx(context.Background(), docs[:2], 50)
+	if err != nil || len(rs) != 2 || rs[0] == nil || rs[1] == nil {
+		t.Fatalf("workers>docs: rs=%v err=%v", rs, err)
+	}
+
+	// Zero documents: no results, no error, any worker count.
+	for _, w := range []int{0, 1, 8} {
+		rs, err := cq.BulkSelectCtx(context.Background(), nil, w)
+		if err != nil || len(rs) != 0 {
+			t.Fatalf("zero docs workers=%d: rs=%v err=%v", w, rs, err)
+		}
+	}
+
+	// A pre-canceled context evaluates nothing.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, w := range []int{1, 4} {
+		rs, err := cq.BulkSelectCtx(ctx, docs, w)
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", w, err)
+		}
+		if len(rs) != len(docs) {
+			t.Fatalf("workers=%d: partial result slice has %d entries", w, len(rs))
+		}
+		if w == 1 && rs[0] != nil {
+			t.Fatal("sequential pre-canceled run should not evaluate doc 0")
+		}
+	}
+
+	// BulkSelect stays a thin wrapper over the ctx form.
+	plain := cq.BulkSelect(docs, 4)
+	withCtx, err := cq.BulkSelectCtx(context.Background(), docs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if len(plain[i].Paths) != len(withCtx[i].Paths) {
+			t.Fatalf("doc %d: wrapper and ctx form disagree", i)
+		}
 	}
 }

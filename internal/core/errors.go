@@ -1,0 +1,18 @@
+package core
+
+import "fmt"
+
+// SyntaxError is a structured parse error from the query/PHR parsers: the
+// offending input, the byte offset the parser stopped at, and a message.
+// The facade surfaces it (via errors.As) as xpe.CompileError with a source
+// excerpt; the rendered text keeps the historical "parse error at offset"
+// shape so existing callers matching on strings are unaffected.
+type SyntaxError struct {
+	Input  string
+	Offset int
+	Msg    string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("phr: parse error at offset %d in %q: %s", e.Offset, e.Input, e.Msg)
+}

@@ -159,7 +159,7 @@ type phrParser struct {
 }
 
 func (p *phrParser) err(msg string) error {
-	return fmt.Errorf("phr: parse error at offset %d in %q: %s", p.pos, p.input, msg)
+	return &SyntaxError{Input: p.input, Offset: p.pos, Msg: msg}
 }
 
 func (p *phrParser) eof() bool { return p.pos >= len(p.input) }

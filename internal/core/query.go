@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"xpe/internal/alphabet"
 	"xpe/internal/ha"
@@ -32,7 +33,7 @@ func ParseQuery(input string) (*Query, error) {
 				depth++
 			case ')', '>', ']':
 				if depth == 0 && body[i] == ')' && i == len(body)-1 {
-					return nil, fmt.Errorf("core: select(...) needs 'e1; phr'")
+					return nil, &SyntaxError{Input: input, Offset: i + 7, Msg: "select(...) needs 'e1; phr'"}
 				}
 				depth--
 			case ';':
@@ -48,7 +49,7 @@ func ParseQuery(input string) (*Query, error) {
 					}
 					rest := trim(body[i+1:])
 					if len(rest) == 0 || rest[len(rest)-1] != ')' {
-						return nil, fmt.Errorf("core: select(...) not closed")
+						return nil, &SyntaxError{Input: input, Offset: len(input) - 1, Msg: "select(...) not closed"}
 					}
 					phr, err := ParsePHR(trim(rest[:len(rest)-1]))
 					if err != nil {
@@ -58,7 +59,7 @@ func ParseQuery(input string) (*Query, error) {
 				}
 			}
 		}
-		return nil, fmt.Errorf("core: select(...) needs 'e1; phr'")
+		return nil, &SyntaxError{Input: input, Offset: len(input), Msg: "select(...) needs 'e1; phr'"}
 	}
 	phr, err := ParsePHR(input)
 	if err != nil {
@@ -102,6 +103,11 @@ type subChecker struct {
 	dha  *ha.DHA
 	sink int
 	fin  *sfa.DFA
+	// arenas recycles marking slabs across calls, mirroring
+	// CompiledPHR.arenas: repeated evaluation (BulkSelect workers, the
+	// streaming record loop) reuses the slabs instead of allocating
+	// per document.
+	arenas sync.Pool
 }
 
 // CompileQuery compiles a selection query. Intern the document alphabet
@@ -136,11 +142,75 @@ func (cq *CompiledQuery) Select(h hedge.Hedge) *Result {
 	// Combined evaluation: the PHR annotation tree and the e₁ marking tree
 	// walk the document in lockstep with the mirror automaton.
 	phrRecs, ar := cq.phr.annotate(h)
-	subRecs := cq.sub.annotate(h)
+	subRecs, sar := cq.sub.annotate(h)
 	res := &Result{Located: map[*hedge.Node]bool{}}
 	cq.selectWalk(h, phrRecs, subRecs, nil, cq.phr.mirror.start(), res)
 	cq.phr.arenas.Put(ar)
+	cq.sub.arenas.Put(sar)
 	return res
+}
+
+// SelectEach runs Algorithm 1 and calls fn for every located node in
+// document order with its Dewey path. It returns false when fn stopped the
+// walk early, true when the whole document was traversed. The path slice is
+// reused between calls to fn (clone it to retain), and all evaluation state
+// comes from recycled arenas, so repeated evaluation — the streaming
+// per-record hot loop — allocates nothing in steady state.
+func (cq *CompiledQuery) SelectEach(h hedge.Hedge, fn func(p hedge.Path, n *hedge.Node) bool) bool {
+	phrRecs, ar := cq.phr.annotate(h)
+	var subRecs []subAnnot
+	var sar *subArena
+	if cq.sub != nil {
+		subRecs, sar = cq.sub.annotate(h)
+	}
+	w := eachPool.Get().(*eachWalker)
+	w.cq, w.fn = cq, fn
+	done := w.walk(h, phrRecs, subRecs, cq.phr.mirror.start())
+	w.cq, w.fn = nil, nil
+	w.path = w.path[:0]
+	eachPool.Put(w)
+	cq.phr.arenas.Put(ar)
+	if sar != nil {
+		cq.sub.arenas.Put(sar)
+	}
+	return done
+}
+
+// eachWalker is the second-traversal state of SelectEach: the shared Dewey
+// path buffer grows and shrinks in place as the walk descends.
+type eachWalker struct {
+	cq   *CompiledQuery
+	fn   func(p hedge.Path, n *hedge.Node) bool
+	path hedge.Path
+}
+
+var eachPool = sync.Pool{New: func() any { return &eachWalker{path: make(hedge.Path, 0, 32)} }}
+
+func (w *eachWalker) walk(h hedge.Hedge, phrRecs []annot, subRecs []subAnnot, parentState int) bool {
+	phr := w.cq.phr
+	for i, n := range h {
+		if n.Kind != hedge.Elem {
+			continue
+		}
+		ni := &phrRecs[i]
+		cands := phr.candidates(n.Name, ni.leftBits, ni.rightBits)
+		st := phr.mirror.step(parentState, cands)
+		w.path = append(w.path, i)
+		if phr.mirror.accepting(st) && (subRecs == nil || subRecs[i].marked) {
+			if !w.fn(w.path, n) {
+				return false
+			}
+		}
+		var childSub []subAnnot
+		if subRecs != nil {
+			childSub = subRecs[i].children
+		}
+		if !w.walk(n.Children, ni.children, childSub, st) {
+			return false
+		}
+		w.path = w.path[:len(w.path)-1]
+	}
+	return true
 }
 
 func (cq *CompiledQuery) selectWalk(h hedge.Hedge, phrRecs []annot, subRecs []subAnnot, prefix hedge.Path, parentState int, res *Result) {
@@ -167,11 +237,27 @@ type subAnnot struct {
 	children []subAnnot
 }
 
+// subArena is the recycled slab of one marking pass.
+type subArena struct {
+	buf  []subAnnot
+	rest []subAnnot
+}
+
 // annotate computes, per node, the e₁ automaton state and whether the
-// node's subhedge is in L(e₁). Records are bump-allocated from one slab.
-func (s *subChecker) annotate(h hedge.Hedge) []subAnnot {
-	arena := make([]subAnnot, h.Size())
-	return s.annotateIn(h, &arena)
+// node's subhedge is in L(e₁). Records are bump-allocated from one recycled
+// slab; hand the returned arena back to s.arenas once the records are no
+// longer referenced.
+func (s *subChecker) annotate(h hedge.Hedge) ([]subAnnot, *subArena) {
+	ar, _ := s.arenas.Get().(*subArena)
+	if ar == nil {
+		ar = &subArena{}
+	}
+	size := h.Size()
+	if cap(ar.buf) < size {
+		ar.buf = make([]subAnnot, size)
+	}
+	ar.rest = ar.buf[:size]
+	return s.annotateIn(h, &ar.rest), ar
 }
 
 func (s *subChecker) annotateIn(h hedge.Hedge, arena *[]subAnnot) []subAnnot {
@@ -179,6 +265,10 @@ func (s *subChecker) annotateIn(h hedge.Hedge, arena *[]subAnnot) []subAnnot {
 	*arena = (*arena)[len(h):]
 	for i, n := range h {
 		a := &recs[i]
+		// Slabs are recycled: clear the fields the switch below may leave
+		// untouched for this node kind.
+		a.marked = false
+		a.children = nil
 		switch n.Kind {
 		case hedge.Var:
 			a.state = s.sink
@@ -229,7 +319,7 @@ func (cq *CompiledQuery) SelectBindings(h hedge.Hedge) []BoundMatch {
 	if cq.sub == nil {
 		return ms
 	}
-	subRecs := cq.sub.annotate(h)
+	subRecs, sar := cq.sub.annotate(h)
 	marked := map[*hedge.Node]bool{}
 	var collect func(h hedge.Hedge, recs []subAnnot)
 	collect = func(h hedge.Hedge, recs []subAnnot) {
@@ -243,6 +333,7 @@ func (cq *CompiledQuery) SelectBindings(h hedge.Hedge) []BoundMatch {
 		}
 	}
 	collect(h, subRecs)
+	cq.sub.arenas.Put(sar)
 	out := ms[:0]
 	for _, m := range ms {
 		if marked[m.Node] {

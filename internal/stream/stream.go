@@ -1,0 +1,307 @@
+// Package stream evaluates a compiled selection query over an XML input
+// stream record by record: the input is split into records (top-level
+// children of the document element, or subtrees rooted at a configured
+// split element), each record is parsed into a recycled arena-backed hedge
+// and evaluated with Algorithm 1, and the per-record results are delivered
+// through a callback in document order — as soon as each record completes.
+//
+// Peak memory is O(largest record × in-flight records), never O(document):
+// with W workers at most W+1 record arenas exist, and a single-worker run
+// holds exactly one. Records are independent evaluation units — each is
+// treated as its own document, so a query's envelope conditions range over
+// the record subtree only (the paper's Algorithm 1 run per record). That is
+// the semantics that admits single-pass bounded-memory evaluation: sibling
+// conditions of record ancestors would need the not-yet-read remainder of
+// the document.
+package stream
+
+import (
+	"context"
+	"errors"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"xpe/internal/core"
+	"xpe/internal/hedge"
+	"xpe/internal/xmlhedge"
+)
+
+// Config tunes a streaming run; the zero value is the default
+// configuration.
+type Config struct {
+	// Split names the record root element; empty splits at the document
+	// element's children (see xmlhedge.RecordOptions.Split).
+	Split string
+	// Workers is the number of concurrent evaluation workers; <=0 means
+	// GOMAXPROCS. Results are delivered in document order regardless.
+	Workers int
+	// MaxRecordNodes / MaxRecordDepth bound individual records (0 =
+	// unlimited); a violating record aborts the stream with
+	// *xmlhedge.LimitError.
+	MaxRecordNodes int
+	MaxRecordDepth int
+	// KeepWhitespace retains whitespace-only text nodes.
+	KeepWhitespace bool
+}
+
+// Stats aggregates one streaming run.
+type Stats struct {
+	Records int64 // records evaluated and delivered
+	Nodes   int64 // total nodes across delivered records
+	Matches int64 // total located nodes
+	Bytes   int64 // input bytes consumed by the XML decoder
+}
+
+// Match is one located node within a record.
+type Match struct {
+	// Path is the record-relative Dewey path (the record root is node 1).
+	Path hedge.Path
+	// Node is the located node; like Result.Hedge it is arena-backed and
+	// valid only until the yield callback returns.
+	Node *hedge.Node
+}
+
+// Result is one evaluated record.
+type Result struct {
+	// Index is the 0-based record sequence number.
+	Index int
+	// Path is the Dewey path of the record root within the input document.
+	Path hedge.Path
+	// Nodes is the record's node count.
+	Nodes int
+	// Matches lists the located nodes in document order.
+	Matches []Match
+
+	pathBuf []int
+	arena   *xmlhedge.Arena
+}
+
+// reset prepares a recycled Result for reuse.
+func (r *Result) reset() {
+	r.Matches = r.Matches[:0]
+	r.pathBuf = r.pathBuf[:0]
+}
+
+// addMatch copies the (reused) path into the result's backing buffer and
+// appends a match.
+func (r *Result) addMatch(p hedge.Path, n *hedge.Node) {
+	start := len(r.pathBuf)
+	r.pathBuf = append(r.pathBuf, p...)
+	r.Matches = append(r.Matches, Match{Path: r.pathBuf[start:len(r.pathBuf):len(r.pathBuf)], Node: n})
+}
+
+// ErrStop, returned by a yield callback, ends the stream early with no
+// error (mirroring fs.SkipAll).
+var ErrStop = errors.New("stream: stop")
+
+// Run streams records from r, evaluates cq on each, and calls yield once
+// per record in document order. Hedge nodes referenced by the Result are
+// recycled: they are valid only until yield returns. Run returns the stats
+// accumulated over delivered records and the first error among: a parse or
+// limit error from the splitter, a yield error (ErrStop is filtered to
+// nil), or ctx cancellation.
+func Run(ctx context.Context, r io.Reader, cq *core.CompiledQuery, cfg Config, yield func(*Result) error) (Stats, error) {
+	ropts := xmlhedge.RecordOptions{
+		Split:          cfg.Split,
+		MaxNodes:       cfg.MaxRecordNodes,
+		MaxDepth:       cfg.MaxRecordDepth,
+		KeepWhitespace: cfg.KeepWhitespace,
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rr := xmlhedge.NewRecordReader(r, ropts)
+	if workers <= 1 {
+		return runSequential(ctx, rr, cq, yield)
+	}
+	return runParallel(ctx, rr, cq, workers, yield)
+}
+
+// evaluate runs the query over one parsed record.
+func evaluate(cq *core.CompiledQuery, rec *xmlhedge.Record, res *Result) {
+	res.reset()
+	res.Index, res.Path, res.Nodes = rec.Index, rec.Path, rec.Nodes
+	cq.SelectEach(rec.Hedge, func(p hedge.Path, n *hedge.Node) bool {
+		res.addMatch(p, n)
+		return true
+	})
+}
+
+// runSequential is the single-worker hot loop: one arena, one Result, no
+// goroutines — steady-state evaluation allocates nothing.
+func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.CompiledQuery, yield func(*Result) error) (Stats, error) {
+	var (
+		stats Stats
+		arena xmlhedge.Arena
+		res   Result
+	)
+	for {
+		if err := ctx.Err(); err != nil {
+			stats.Bytes = rr.InputOffset()
+			return stats, err
+		}
+		arena.Reset()
+		rec, err := rr.Read(&arena)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			stats.Bytes = rr.InputOffset()
+			return stats, err
+		}
+		evaluate(cq, &rec, &res)
+		stats.Records++
+		stats.Nodes += int64(res.Nodes)
+		stats.Matches += int64(len(res.Matches))
+		if err := yield(&res); err != nil {
+			stats.Bytes = rr.InputOffset()
+			if err == ErrStop {
+				return stats, nil
+			}
+			return stats, err
+		}
+	}
+	stats.Bytes = rr.InputOffset()
+	return stats, nil
+}
+
+// runParallel fans records out to a bounded worker pool and reorders the
+// results for in-order delivery. The arena pool (workers+1 arenas) is the
+// memory bound: the producer blocks until a delivered record's arena is
+// recycled.
+func runParallel(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.CompiledQuery, workers int, yield func(*Result) error) (Stats, error) {
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	nArenas := workers + 1
+	free := make(chan *xmlhedge.Arena, nArenas)
+	for i := 0; i < nArenas; i++ {
+		free <- &xmlhedge.Arena{}
+	}
+	type job struct {
+		rec xmlhedge.Record
+		res *Result
+	}
+	jobs := make(chan job, nArenas)
+	done := make(chan *Result, nArenas)
+	resPool := sync.Pool{New: func() any { return &Result{} }}
+
+	var (
+		bytes    atomic.Int64
+		errMu    sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+
+	// Producer: split records into recycled arenas.
+	go func() {
+		defer close(jobs)
+		for {
+			var arena *xmlhedge.Arena
+			select {
+			case arena = <-free:
+			case <-ictx.Done():
+				bytes.Store(rr.InputOffset())
+				return
+			}
+			arena.Reset()
+			rec, err := rr.Read(arena)
+			if err != nil {
+				if err != io.EOF {
+					setErr(err)
+				}
+				bytes.Store(rr.InputOffset())
+				return
+			}
+			res := resPool.Get().(*Result)
+			res.arena = arena
+			select {
+			case jobs <- job{rec: rec, res: res}:
+			case <-ictx.Done():
+				bytes.Store(rr.InputOffset())
+				return
+			}
+		}
+	}()
+
+	// Workers: evaluate records; the mirror automaton and arenas inside cq
+	// are concurrency-safe (locked / pooled).
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				evaluate(cq, &j.rec, j.res)
+				select {
+				case done <- j.res:
+				case <-ictx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	// Collector (this goroutine): reorder and deliver.
+	var stats Stats
+	pending := map[int]*Result{}
+	next := 0
+	failed := false
+	for res := range done {
+		pending[res.Index] = res
+		for !failed {
+			r, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			stats.Records++
+			stats.Nodes += int64(r.Nodes)
+			stats.Matches += int64(len(r.Matches))
+			err := yield(r)
+			free <- r.arena
+			r.arena = nil
+			resPool.Put(r)
+			if err != nil {
+				if err != ErrStop {
+					setErr(err)
+				}
+				cancel()
+				failed = true
+			}
+		}
+		if failed {
+			// Keep draining so workers and the producer can exit; recycle
+			// without delivering.
+			for idx, r := range pending {
+				delete(pending, idx)
+				free <- r.arena
+				r.arena = nil
+				resPool.Put(r)
+			}
+		}
+	}
+	stats.Bytes = bytes.Load()
+	errMu.Lock()
+	err := firstErr
+	errMu.Unlock()
+	if err == nil {
+		err = ctx.Err()
+	}
+	return stats, err
+}

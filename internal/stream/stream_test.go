@@ -1,0 +1,191 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"xpe/internal/core"
+	"xpe/internal/ha"
+	"xpe/internal/xmlhedge"
+)
+
+func compile(t testing.TB, names *ha.Names, src string) *core.CompiledQuery {
+	t.Helper()
+	q, err := core.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := core.CompileQuery(q, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cq
+}
+
+// feed builds a multi-record document: entries holding a/b children where
+// every third entry has the b-after-a shape the test query locates.
+func feed(n int) string {
+	var b strings.Builder
+	b.WriteString("<feed>")
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			b.WriteString("<entry><a/><b/></entry>")
+		} else {
+			b.WriteString("<entry><b/><a/></entry>")
+		}
+	}
+	b.WriteString("</feed>")
+	return b.String()
+}
+
+// collectRun streams input and renders each delivered match as
+// "recordIndex:path" for comparison.
+func collectRun(t *testing.T, input string, cq *core.CompiledQuery, cfg Config) ([]string, Stats) {
+	t.Helper()
+	var got []string
+	stats, err := Run(context.Background(), strings.NewReader(input), cq, cfg,
+		func(r *Result) error {
+			for _, m := range r.Matches {
+				got = append(got, fmt.Sprintf("%d:%s:%s", r.Index, m.Path, m.Node.Name))
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, stats
+}
+
+func TestRunMatchesInMemorySelect(t *testing.T) {
+	const n = 50
+	input := feed(n)
+	names := ha.NewNames()
+	// "a immediately followed by b, directly under the entry root".
+	cq := compile(t, names, "[* ; a ; b .] entry")
+
+	// Reference: per-record in-memory evaluation.
+	var want []string
+	whole := xmlhedge.MustParseString(input)
+	for i, rec := range whole[0].Children {
+		res := cq.Select(append(whole[:0:0], rec))
+		for _, p := range res.Paths {
+			want = append(want, fmt.Sprintf("%d:%s:%s", i, p, whole[0].Children[i].Children[p[1]].Name))
+		}
+	}
+
+	for _, workers := range []int{1, 4} {
+		got, stats := collectRun(t, input, cq, Config{Workers: workers})
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d matches, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: match %d = %s, want %s", workers, i, got[i], want[i])
+			}
+		}
+		if stats.Records != n {
+			t.Errorf("workers=%d: records = %d, want %d", workers, stats.Records, n)
+		}
+		if stats.Matches != int64(len(want)) {
+			t.Errorf("workers=%d: matches = %d, want %d", workers, stats.Matches, len(want))
+		}
+		if stats.Bytes == 0 || stats.Nodes != int64(3*n) {
+			t.Errorf("workers=%d: stats = %+v", workers, stats)
+		}
+	}
+}
+
+func TestRunDeliversInOrder(t *testing.T) {
+	const n = 200
+	input := feed(n)
+	names := ha.NewNames()
+	cq := compile(t, names, "[* ; a ; b .] entry")
+	next := 0
+	_, err := Run(context.Background(), strings.NewReader(input), cq, Config{Workers: 8},
+		func(r *Result) error {
+			if r.Index != next {
+				t.Fatalf("record %d delivered, want %d", r.Index, next)
+			}
+			next++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != n {
+		t.Fatalf("delivered %d records, want %d", next, n)
+	}
+}
+
+func TestRunErrStop(t *testing.T) {
+	input := feed(30)
+	names := ha.NewNames()
+	cq := compile(t, names, "[* ; a ; b .] entry")
+	for _, workers := range []int{1, 4} {
+		seen := 0
+		stats, err := Run(context.Background(), strings.NewReader(input), cq, Config{Workers: workers},
+			func(r *Result) error {
+				seen++
+				if seen == 5 {
+					return ErrStop
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if seen != 5 || stats.Records != 5 {
+			t.Fatalf("workers=%d: seen=%d records=%d, want 5", workers, seen, stats.Records)
+		}
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	input := feed(100)
+	names := ha.NewNames()
+	cq := compile(t, names, "[* ; a ; b .] entry")
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		delivered := 0
+		_, err := Run(ctx, strings.NewReader(input), cq, Config{Workers: workers},
+			func(r *Result) error {
+				delivered++
+				if delivered == 3 {
+					cancel()
+				}
+				return nil
+			})
+		cancel()
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestRunYieldError(t *testing.T) {
+	input := feed(20)
+	names := ha.NewNames()
+	cq := compile(t, names, "[* ; a ; b .] entry")
+	boom := fmt.Errorf("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := Run(context.Background(), strings.NewReader(input), cq, Config{Workers: workers},
+			func(r *Result) error { return boom })
+		if err != boom {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+	}
+}
+
+func TestRunLimitAborts(t *testing.T) {
+	input := feed(20)
+	names := ha.NewNames()
+	cq := compile(t, names, "[* ; a ; b .] entry")
+	_, err := Run(context.Background(), strings.NewReader(input), cq,
+		Config{Workers: 4, MaxRecordNodes: 2},
+		func(r *Result) error { return nil })
+	if _, ok := err.(*xmlhedge.LimitError); !ok {
+		t.Fatalf("err = %v, want *xmlhedge.LimitError", err)
+	}
+}

@@ -1,0 +1,252 @@
+package xmlhedge
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"xpe/internal/hedge"
+)
+
+// RecordOptions configures record splitting for streaming evaluation.
+type RecordOptions struct {
+	// Split names the record root element: every subtree rooted at an
+	// element with this local name (outermost wins when they nest) is one
+	// record. Empty means the default split: every child element of the
+	// document element is a record.
+	Split string
+	// MaxNodes bounds the node count of a single record (0 = unlimited);
+	// exceeding it aborts the stream with a *LimitError.
+	MaxNodes int
+	// MaxDepth bounds the element nesting depth within a record, counting
+	// the record root as depth 1 (0 = unlimited).
+	MaxDepth int
+	// KeepWhitespace retains whitespace-only text nodes (see Options).
+	KeepWhitespace bool
+}
+
+// LimitError reports a record exceeding a configured resource bound. The
+// stream cannot continue past it: the offending record is abandoned
+// mid-parse to keep memory bounded.
+type LimitError struct {
+	Kind   string // "nodes" or "depth"
+	Limit  int    // the configured bound
+	Record int    // 0-based index of the offending record
+	Path   hedge.Path
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("xmlhedge: record %d at %s exceeds %s limit %d",
+		e.Record, e.Path, e.Kind, e.Limit)
+}
+
+// Arena bump-allocates hedge nodes in fixed-size chunks and recycles them
+// across records: Reset rewinds the arena without freeing, and recycled
+// element nodes keep their Children slice capacity, so a warm arena parses
+// a record of familiar shape with no allocation. Chunking keeps previously
+// handed-out node pointers stable while the arena grows.
+type Arena struct {
+	chunks  [][]hedge.Node
+	chunk   int // current chunk index
+	used    int // nodes used in the current chunk
+	rootBuf [1]*hedge.Node
+}
+
+const arenaChunk = 512
+
+// Reset rewinds the arena; hedges parsed from it become invalid.
+func (a *Arena) Reset() { a.chunk, a.used = 0, 0 }
+
+func (a *Arena) node(kind hedge.NodeKind, name string) *hedge.Node {
+	if a.chunk == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]hedge.Node, arenaChunk))
+	}
+	n := &a.chunks[a.chunk][a.used]
+	a.used++
+	if a.used == arenaChunk {
+		a.chunk++
+		a.used = 0
+	}
+	n.Kind, n.Name, n.Text = kind, name, ""
+	n.Children = n.Children[:0]
+	return n
+}
+
+// Record is one streamed record: a single-tree hedge plus its position in
+// the enclosing document.
+type Record struct {
+	// Index is the 0-based record sequence number.
+	Index int
+	// Path is the Dewey path of the record root within the input document.
+	Path hedge.Path
+	// Nodes is the node count of the record subtree.
+	Nodes int
+	// Hedge is the record subtree as a one-tree hedge. When the record was
+	// read into an Arena it is valid only until that arena is Reset.
+	Hedge hedge.Hedge
+}
+
+// RecordReader incrementally splits an XML document into records. It keeps
+// only the record currently being parsed in memory, so streaming a
+// multi-gigabyte document costs O(largest record), not O(document).
+type RecordReader struct {
+	dec  *xml.Decoder
+	opts RecordOptions
+	idx  int   // next record index
+	idxs []int // sibling index of each open outside-record element
+	// counts[d] = children seen so far at depth d outside records
+	// (counts[0] counts top-level nodes).
+	counts []int
+	err    error // sticky
+}
+
+// NewRecordReader starts splitting r under the given options.
+func NewRecordReader(r io.Reader, opts RecordOptions) *RecordReader {
+	return &RecordReader{dec: xml.NewDecoder(r), opts: opts, counts: []int{0}}
+}
+
+// InputOffset returns the number of input bytes consumed so far.
+func (rr *RecordReader) InputOffset() int64 { return rr.dec.InputOffset() }
+
+// Read returns the next record, parsed into arena a (a may be nil to
+// allocate plainly). It returns io.EOF at a well-formed end of input; any
+// other error (including *LimitError) is sticky.
+func (rr *RecordReader) Read(a *Arena) (Record, error) {
+	if rr.err != nil {
+		return Record{}, rr.err
+	}
+	rec, err := rr.read(a)
+	if err != nil {
+		rr.err = err
+	}
+	return rec, err
+}
+
+func (rr *RecordReader) read(a *Arena) (Record, error) {
+	for {
+		tok, err := rr.dec.Token()
+		if err == io.EOF {
+			if len(rr.idxs) != 0 {
+				return Record{}, fmt.Errorf("xmlhedge: unexpected end of input at depth %d", len(rr.idxs))
+			}
+			return Record{}, io.EOF
+		}
+		if err != nil {
+			return Record{}, fmt.Errorf("xmlhedge: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth := len(rr.idxs)
+			if rr.isRecordRoot(t.Name.Local, depth) {
+				return rr.readRecord(t, a)
+			}
+			rr.idxs = append(rr.idxs, rr.counts[depth])
+			rr.counts[depth]++
+			rr.counts = append(rr.counts[:depth+1], 0)
+		case xml.EndElement:
+			// The decoder guarantees balance; this closes an outside-record
+			// element.
+			rr.idxs = rr.idxs[:len(rr.idxs)-1]
+		case xml.CharData:
+			if rr.opts.KeepWhitespace || !isSpace(t) {
+				if len(rr.idxs) == 0 {
+					if isSpace(t) {
+						continue // prolog/epilog whitespace
+					}
+					return Record{}, fmt.Errorf("xmlhedge: character data outside the document element")
+				}
+				// Text between records occupies a child slot, exactly as in
+				// the whole-document parse.
+				rr.counts[len(rr.idxs)]++
+			}
+		}
+	}
+}
+
+// isRecordRoot decides whether a start element outside any record begins a
+// record: under the default split, any child of a top-level element; under
+// a named split, any element with the split name.
+func (rr *RecordReader) isRecordRoot(name string, depth int) bool {
+	if rr.opts.Split == "" {
+		return depth == 1
+	}
+	return name == rr.opts.Split
+}
+
+// readRecord parses the subtree rooted at start into a record.
+func (rr *RecordReader) readRecord(start xml.StartElement, a *Arena) (Record, error) {
+	depth := len(rr.idxs)
+	rec := Record{Index: rr.idx, Path: append(append(hedge.Path(nil), rr.idxs...), rr.counts[depth])}
+	newNode := func(kind hedge.NodeKind, name string) *hedge.Node {
+		if a == nil {
+			return &hedge.Node{Kind: kind, Name: name}
+		}
+		return a.node(kind, name)
+	}
+	limitErr := func(kind string, limit int) error {
+		return &LimitError{Kind: kind, Limit: limit, Record: rec.Index, Path: rec.Path}
+	}
+	root := newNode(hedge.Elem, start.Name.Local)
+	rec.Nodes = 1
+	stack := []*hedge.Node{root}
+	for len(stack) > 0 {
+		tok, err := rr.dec.Token()
+		if err != nil {
+			if err == io.EOF {
+				err = fmt.Errorf("xmlhedge: unexpected end of input inside <%s>", stack[len(stack)-1].Name)
+			} else {
+				err = fmt.Errorf("xmlhedge: %w", err)
+			}
+			return Record{}, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if rr.opts.MaxDepth > 0 && len(stack)+1 > rr.opts.MaxDepth {
+				return Record{}, limitErr("depth", rr.opts.MaxDepth)
+			}
+			if rr.opts.MaxNodes > 0 && rec.Nodes+1 > rr.opts.MaxNodes {
+				return Record{}, limitErr("nodes", rr.opts.MaxNodes)
+			}
+			rec.Nodes++
+			n := newNode(hedge.Elem, t.Name.Local)
+			parent := stack[len(stack)-1]
+			parent.Children = append(parent.Children, n)
+			stack = append(stack, n)
+		case xml.EndElement:
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if !rr.opts.KeepWhitespace && isSpace(t) {
+				continue
+			}
+			if rr.opts.MaxNodes > 0 && rec.Nodes+1 > rr.opts.MaxNodes {
+				return Record{}, limitErr("nodes", rr.opts.MaxNodes)
+			}
+			rec.Nodes++
+			n := newNode(hedge.Var, hedge.TextVar)
+			n.Text = string(t)
+			parent := stack[len(stack)-1]
+			parent.Children = append(parent.Children, n)
+		}
+	}
+	rr.counts[depth]++
+	rr.idx++
+	if a != nil {
+		a.rootBuf[0] = root
+		rec.Hedge = a.rootBuf[:1:1]
+	} else {
+		rec.Hedge = hedge.Hedge{root}
+	}
+	return rec, nil
+}
+
+// isSpace reports whether the character data is whitespace-only.
+func isSpace(b []byte) bool {
+	for _, c := range b {
+		switch c {
+		case ' ', '\t', '\n', '\r':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,129 @@
+package xpe
+
+import (
+	"context"
+	"io"
+	"iter"
+
+	"xpe/internal/stream"
+)
+
+// SelectOptions tunes streaming evaluation; the zero value is the default
+// configuration (split at the document element's children, GOMAXPROCS
+// workers, no record limits).
+type SelectOptions struct {
+	// Workers is the number of concurrent record-evaluation workers; <= 0
+	// means GOMAXPROCS, 1 forces the zero-allocation sequential loop.
+	// Matches are delivered in document order regardless.
+	Workers int
+	// SplitElement names the record root element: every subtree rooted at
+	// an element with this name (outermost wins when nested) is one
+	// record, e.g. "entry" for a feed. Empty splits the document into the
+	// document element's children.
+	SplitElement string
+	// MaxRecordNodes bounds the node count of a single record (0 =
+	// unlimited). A violating record aborts the stream with *LimitError.
+	MaxRecordNodes int
+	// MaxRecordDepth bounds element nesting within a record, counting the
+	// record root as depth 1 (0 = unlimited).
+	MaxRecordDepth int
+	// KeepWhitespace retains whitespace-only text nodes.
+	KeepWhitespace bool
+}
+
+// StreamStats aggregates one SelectStream run.
+type StreamStats struct {
+	Records int64 // records evaluated and delivered
+	Nodes   int64 // total nodes across delivered records
+	Matches int64 // total located nodes
+	Bytes   int64 // input bytes consumed by the XML decoder
+}
+
+// StreamMatch is one located node of a streamed record. Path (and Term)
+// are record-relative: the record root is node 1, exactly as if the record
+// were parsed as its own document.
+type StreamMatch struct {
+	Match
+	// Record is the 0-based record sequence number.
+	Record int
+	// RecordPath is the Dewey path of the record root within the input
+	// document; RecordPath + Path[1:] addresses the node in the whole
+	// document.
+	RecordPath string
+}
+
+// ErrStop, returned from a SelectStream yield callback, ends the stream
+// early with no error.
+var ErrStop = stream.ErrStop
+
+// SelectStream evaluates q over an XML stream record by record: r is
+// split into records (see SelectOptions.SplitElement), each record is
+// parsed into a recycled arena and evaluated as an independent document
+// with Algorithm 1, and yield is called once per located node in document
+// order, as soon as the record completes. Peak memory is O(largest record
+// × workers), never O(document) — a multi-gigabyte feed streams in
+// constant space.
+//
+// Each record is its own evaluation unit: envelope conditions range over
+// the record subtree, not the enclosing document (single-pass streaming
+// cannot see the younger siblings of a record's ancestors). StreamMatch.Node
+// references recycled storage and is valid only during the callback;
+// Path and Term are stable copies. Returning ErrStop from yield ends the
+// stream cleanly; any other error aborts it and is returned.
+//
+// The engine's interned alphabet is closed-world exactly as for Select:
+// compile queries after interning the symbols they should range over (a
+// label outside the alphabet at compile time fails '.'-sides and schema
+// products). Errors are typed: *ParseError for malformed XML, *LimitError
+// for a record exceeding the configured bounds.
+func (e *Engine) SelectStream(ctx context.Context, r io.Reader, q *Query, opts SelectOptions, yield func(StreamMatch) error) (StreamStats, error) {
+	cfg := stream.Config{
+		Split:          opts.SplitElement,
+		Workers:        opts.Workers,
+		MaxRecordNodes: opts.MaxRecordNodes,
+		MaxRecordDepth: opts.MaxRecordDepth,
+		KeepWhitespace: opts.KeepWhitespace,
+	}
+	var yerr error // yield-originated, passed through unwrapped
+	st, err := stream.Run(ctx, r, q.cq, cfg, func(res *stream.Result) error {
+		recPath := res.Path.String()
+		for i := range res.Matches {
+			m := &res.Matches[i]
+			sm := StreamMatch{
+				Match:      Match{Path: m.Path.String(), Term: m.Node.String(), Node: m.Node},
+				Record:     res.Index,
+				RecordPath: recPath,
+			}
+			if err := yield(sm); err != nil {
+				if err != ErrStop {
+					yerr = err
+				}
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil && err == yerr {
+		return StreamStats(st), err
+	}
+	return StreamStats(st), wrapStreamErr(err)
+}
+
+// SelectStreamSeq is the pull form of SelectStream: it returns an iterator
+// over (match, error) pairs for use with range-over-func. Iteration stops
+// at the first non-nil error (yielded as the final pair with a zero
+// match); breaking out of the loop cancels the stream. The stream runs
+// only while being iterated — the iterator is single-use.
+func (e *Engine) SelectStreamSeq(ctx context.Context, r io.Reader, q *Query, opts SelectOptions) iter.Seq2[StreamMatch, error] {
+	return func(yield func(StreamMatch, error) bool) {
+		_, err := e.SelectStream(ctx, r, q, opts, func(m StreamMatch) error {
+			if !yield(m, nil) {
+				return ErrStop
+			}
+			return nil
+		})
+		if err != nil {
+			yield(StreamMatch{}, err)
+		}
+	}
+}

@@ -16,16 +16,27 @@
 //	eng := xpe.NewEngine()
 //	doc, _ := eng.ParseXMLString("<doc><sec><fig/><tab/></sec></doc>")
 //	q, _ := eng.CompileQuery("[* ; fig ; tab .] (sec|doc)*")
-//	for _, m := range q.Select(doc) {
+//	for m := range q.Matches(doc) {
 //		fmt.Println(m.Path, m.Term)
 //	}
 //
+// Matches is a range-over-func iterator (stop early by breaking); Select
+// materializes the slice. Context-accepting variants (SelectCtx) and the
+// streaming entry point SelectStream — which evaluates a query over an XML
+// stream record by record in bounded memory, with worker-pool fan-out and
+// in-order delivery — accept a SelectOptions. Errors crossing the facade
+// are typed: *ParseError (malformed documents), *CompileError (bad queries
+// or grammars, with offset and excerpt), and *LimitError (streamed record
+// over a configured bound), all recoverable with errors.As.
+//
 // Query syntax is documented on CompileQuery; schema grammars on
-// ParseSchema.
+// ParseSchema; streaming on SelectStream.
 package xpe
 
 import (
+	"context"
 	"io"
+	"iter"
 
 	"xpe/internal/core"
 	"xpe/internal/ha"
@@ -52,30 +63,32 @@ type Document struct {
 	hedge hedge.Hedge
 }
 
-// ParseXML reads an XML document.
+// ParseXML reads an XML document. Failures are reported as *ParseError.
 func (e *Engine) ParseXML(r io.Reader) (*Document, error) {
 	h, err := xmlhedge.Parse(r, xmlhedge.Options{})
 	if err != nil {
-		return nil, err
+		return nil, wrapParseErr(err, "")
 	}
 	return e.adopt(h), nil
 }
 
-// ParseXMLString reads an XML document from a string.
+// ParseXMLString reads an XML document from a string. Failures are
+// reported as *ParseError carrying the offending line.
 func (e *Engine) ParseXMLString(s string) (*Document, error) {
 	h, err := xmlhedge.ParseString(s, xmlhedge.Options{})
 	if err != nil {
-		return nil, err
+		return nil, wrapParseErr(err, s)
 	}
 	return e.adopt(h), nil
 }
 
 // ParseTerm reads a document in the paper's term syntax (see
-// internal/hedge): "doc<sec<fig tab>>", with $x for variables.
+// internal/hedge): "doc<sec<fig tab>>", with $x for variables. Failures
+// are reported as *ParseError.
 func (e *Engine) ParseTerm(s string) (*Document, error) {
 	h, err := hedge.Parse(s)
 	if err != nil {
-		return nil, err
+		return nil, wrapParseErr(err, s)
 	}
 	return e.adopt(h), nil
 }
@@ -145,11 +158,11 @@ type Query struct {
 func (e *Engine) CompileQuery(src string) (*Query, error) {
 	q, err := core.ParseQuery(src)
 	if err != nil {
-		return nil, err
+		return nil, wrapCompileErr(err, src)
 	}
 	cq, err := core.CompileQuery(q, e.names)
 	if err != nil {
-		return nil, err
+		return nil, wrapCompileErr(err, src)
 	}
 	return &Query{eng: e, src: src, cq: cq}, nil
 }
@@ -167,17 +180,50 @@ type Match struct {
 	Node *hedge.Node
 }
 
-// Select runs the query against a document using Algorithm 1 (two
-// depth-first traversals; time linear in the document size) and returns
-// the located nodes in document order.
+// Matches runs the query against a document using Algorithm 1 (two
+// depth-first traversals; time linear in the document size) and returns a
+// range-over-func iterator over the located nodes in document order.
+// Breaking out of the loop stops the underlying walk — no match slice is
+// materialized, and nodes after the break point are never visited by the
+// second traversal. The iterator is rewindable: ranging again re-evaluates
+// the query.
+func (q *Query) Matches(d *Document) iter.Seq[Match] {
+	return func(yield func(Match) bool) {
+		q.cq.SelectEach(d.hedge, func(p hedge.Path, n *hedge.Node) bool {
+			return yield(Match{Path: p.String(), Term: n.String(), Node: n})
+		})
+	}
+}
+
+// Select is Matches materialized: the located nodes in document order.
 func (q *Query) Select(d *Document) []Match {
-	res := q.cq.Select(d.hedge)
-	out := make([]Match, 0, len(res.Paths))
-	for _, p := range res.Paths {
-		n := d.hedge.At(p)
-		out = append(out, Match{Path: p.String(), Term: n.String(), Node: n})
+	var out []Match
+	for m := range q.Matches(d) {
+		out = append(out, m)
 	}
 	return out
+}
+
+// SelectCtx is Select under a context: evaluation stops at the first
+// located node found after ctx is canceled, returning ctx.Err(). (The
+// traversal itself is not preempted between matches; use SelectStream for
+// fully cancelable evaluation of large inputs.)
+func (q *Query) SelectCtx(ctx context.Context, d *Document) ([]Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var out []Match
+	q.cq.SelectEach(d.hedge, func(p hedge.Path, n *hedge.Node) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		out = append(out, Match{Path: p.String(), Term: n.String(), Node: n})
+		return true
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Binding is one captured variable of a match.
@@ -239,7 +285,7 @@ type Schema struct {
 func (e *Engine) ParseSchema(src string) (*Schema, error) {
 	s, err := schema.ParseGrammar(src, e.names)
 	if err != nil {
-		return nil, err
+		return nil, wrapCompileErr(err, src)
 	}
 	return &Schema{eng: e, s: s}, nil
 }
@@ -325,7 +371,7 @@ func (q *Query) Rename(d *Document, newLabel string) *Document {
 func (e *Engine) CompileXPath(src string) (*Query, error) {
 	p, err := xpath.Parse(src)
 	if err != nil {
-		return nil, err
+		return nil, wrapCompileErr(err, src)
 	}
 	var vars []string
 	for _, v := range e.names.Vars.Names() {
@@ -335,14 +381,14 @@ func (e *Engine) CompileXPath(src string) (*Query, error) {
 	}
 	q, err := xpath.Translate(p, e.names.Syms.Names(), vars)
 	if err != nil {
-		return nil, err
+		return nil, wrapCompileErr(err, src)
 	}
 	// Translation emits one base per label per '//' level; the optimizer
 	// (base unification + canonicalization) collapses the duplicates.
 	q.Envelope = core.Optimize(q.Envelope)
 	cq, err := core.CompileQuery(q, e.names)
 	if err != nil {
-		return nil, err
+		return nil, wrapCompileErr(err, src)
 	}
 	return &Query{eng: e, src: src, cq: cq}, nil
 }
