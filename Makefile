@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench
+.PHONY: all build test race vet fmt check bench bench-json
 
 all: check
 
@@ -24,9 +24,17 @@ fmt:
 		exit 1; \
 	fi
 
-# check is the CI gate: formatting, static analysis, and the full test
-# suite under the race detector.
-check: fmt vet build race
+# check is the CI gate: formatting, static analysis, the full test suite
+# under the race detector, and a quick perf-regression run (bench-json
+# exercises the instrumented paths end to end; the recorded baseline in
+# BENCH_core.json comes from the non-quick run).
+check: fmt vet build race bench-json
 
 bench:
 	$(GO) test -bench . -benchmem -run NONE ./...
+
+# bench-json regenerates the perf-regression report. Quick mode (default
+# here) keeps CI fast; run `go run ./cmd/xpebench -bench-json -out
+# BENCH_core.json` for the recorded baseline.
+bench-json:
+	$(GO) run ./cmd/xpebench -bench-json -quick -out BENCH_core.json

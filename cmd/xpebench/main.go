@@ -5,6 +5,13 @@
 // Usage:
 //
 //	xpebench [-experiment all|E1|E2|...] [-quick]
+//	xpebench -bench-json [-quick] [-out BENCH_core.json]
+//
+// With -bench-json the experiment tables are skipped; instead the
+// perf-regression workloads run (in-memory select with and without a
+// metrics sink, streaming with 1 and 4 workers, bulk select) and the
+// report — ns/op, allocs/op, nodes/sec, metrics overhead, peak RSS — is
+// written as JSON to -out (default stdout).
 package main
 
 import (
@@ -19,7 +26,29 @@ import (
 func main() {
 	which := flag.String("experiment", "all", "experiment id (E1..E8) or 'all'")
 	quick := flag.Bool("quick", false, "smaller sizes for a fast run")
+	benchJSON := flag.Bool("bench-json", false, "run the perf-regression workloads and emit JSON instead of tables")
+	out := flag.String("out", "", "output file for -bench-json (default stdout)")
 	flag.Parse()
+
+	if *benchJSON {
+		rep, err := experiments.BenchJSON(*quick)
+		if err != nil {
+			fatal(err)
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rep.WriteJSON(w); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	fns := map[string]func(bool) (*experiments.Table, error){
 		"E1": experiments.E1, "E2": experiments.E2, "E3": experiments.E3,

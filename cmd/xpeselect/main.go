@@ -39,6 +39,7 @@ func main() {
 	split := flag.String("split", "", "record root element for -stream (default: children of the document element)")
 	workers := flag.Int("workers", 0, "concurrent record workers for -stream (0 = GOMAXPROCS)")
 	maxNodes := flag.Int("max-record-nodes", 0, "abort -stream if a record exceeds this node count (0 = unlimited)")
+	showMetrics := flag.Bool("metrics", false, "print engine metrics as JSON on stderr after the run")
 	flag.Parse()
 	if (*query == "") == (*xpathQ == "") {
 		fmt.Fprintln(os.Stderr, "xpeselect: exactly one of -query or -xpath is required")
@@ -78,6 +79,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "xpeselect: %d node(s) located in %d record(s), %d bytes\n",
 			stats.Matches, stats.Records, stats.Bytes)
+		printMetrics(eng, *showMetrics)
 		return
 	}
 
@@ -104,6 +106,18 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "xpeselect: %d node(s) located\n", len(matches))
+	printMetrics(eng, *showMetrics)
+}
+
+// printMetrics writes the engine's cumulative metrics snapshot to stderr
+// when -metrics is set.
+func printMetrics(eng *xpe.Engine, enabled bool) {
+	if !enabled {
+		return
+	}
+	if err := xpe.WriteStats(os.Stderr, eng.Stats()); err != nil {
+		fatal(err)
+	}
 }
 
 // compileQuery compiles whichever of -query / -xpath was given; queries

@@ -8,6 +8,7 @@ import (
 	"xpe/internal/ha"
 	"xpe/internal/hedge"
 	"xpe/internal/hre"
+	"xpe/internal/metrics"
 	"xpe/internal/sfa"
 )
 
@@ -41,7 +42,18 @@ type CompiledPHR struct {
 	// first traversal costs two slab reslices instead of zeroing fresh
 	// pages per call (which would dominate on megabyte-scale documents).
 	arenas sync.Pool
+
+	// metrics, when non-nil, receives one flush of evaluation counters per
+	// Locate call. Work counts accumulate in the per-call arena as plain
+	// integer arithmetic regardless; the nil check gates only the atomic
+	// flush, so detached evaluation pays no synchronization.
+	metrics *metrics.Eval
 }
+
+// SetMetrics attaches (or, with nil, detaches) an evaluation sink: every
+// Locate flushes its node, mark, and transition counts there. Do not call
+// concurrently with evaluation.
+func (c *CompiledPHR) SetMetrics(m *metrics.Eval) { c.metrics = m }
 
 // component is one side automaton: a complete DHA plus its final membership
 // DFAs in both directions.
@@ -168,17 +180,30 @@ func (c *CompiledPHR) Locate(h hedge.Hedge) *Result {
 	recs, ar := c.annotate(h)
 	res := &Result{Located: map[*hedge.Node]bool{}}
 	c.secondPass(h, recs, nil, c.mirror.start(), res)
+	if m := c.metrics; m != nil {
+		m.Docs.Inc()
+		m.Nodes.Add(int64(ar.size))
+		m.Marks.Add(int64(len(res.Paths)))
+		m.Transitions.Add(ar.steps + ar.elems)
+	}
 	c.arenas.Put(ar)
 	return res
 }
 
 // annotArena bump-allocates every annot record (and component-state array)
-// of one Locate call from two recycled slabs sized to the document.
+// of one Locate call from two recycled slabs sized to the document. It
+// doubles as the per-call tally of the first traversal's work (size, elems,
+// steps): accumulating into the arena is single-goroutine plain arithmetic,
+// flushed to the attached metrics sink — if any — once per call.
 type annotArena struct {
 	recsBuf   []annot
 	statesBuf []int
 	recs      []annot
 	states    []int
+
+	size  int   // nodes in the document being annotated
+	elems int64 // element nodes (= mirror-automaton steps of the second pass)
+	steps int64 // component membership-DFA transitions taken
 }
 
 func (ar *annotArena) reset(size, comps int) {
@@ -190,6 +215,7 @@ func (ar *annotArena) reset(size, comps int) {
 	}
 	ar.recs = ar.recsBuf[:size]
 	ar.states = ar.statesBuf[:size*comps]
+	ar.size, ar.elems, ar.steps = size, 0, 0
 }
 
 func (ar *annotArena) take(n, comps int) ([]annot, []int) {
@@ -221,14 +247,22 @@ func (c *CompiledPHR) annotateIn(h hedge.Hedge, ar *annotArena) []annot {
 		// membership bits accumulate with |=, so clear them explicitly.
 		a.children = nil
 		a.leftBits, a.rightBits = 0, 0
-		if n.Kind == hedge.Elem && len(n.Children) > 0 {
-			a.children = c.annotateIn(n.Children, ar)
+		if n.Kind == hedge.Elem {
+			ar.elems++
+			if len(n.Children) > 0 {
+				a.children = c.annotateIn(n.Children, ar)
+			}
 		}
 		a.compStates = states[i*len(c.comps) : (i+1)*len(c.comps)]
 		for ci, comp := range c.comps {
 			a.compStates[ci] = c.stateOf(ci, comp, n, a.children)
 		}
+		// stateOf steps each component's horizontal DFA once per child.
+		ar.steps += int64(len(a.children)) * int64(len(c.comps))
 	}
+	// The membership passes below step each component's final DFAs once per
+	// node in both directions.
+	ar.steps += 2 * int64(len(recs)) * int64(len(c.comps))
 	for ci, comp := range c.comps {
 		bit := uint64(1) << uint(ci)
 		st := comp.fwd.Start

@@ -6,6 +6,7 @@ import (
 
 	"xpe/internal/alphabet"
 	"xpe/internal/ha"
+	"xpe/internal/metrics"
 	"xpe/internal/sfa"
 )
 
@@ -30,6 +31,11 @@ type MatchAutomaton struct {
 	// States maps NHA state ids to their structure: [1, q, s, sym] for
 	// element states, [0, q] for leaf states.
 	States *alphabet.TupleInterner
+
+	// Metrics, when non-nil, receives one flush of evaluation counters per
+	// Run/MarkedNodes call (schema-level evaluation is off the streaming
+	// hot path, so a simple exported field suffices).
+	Metrics *metrics.Eval
 
 	p       *ha.DHA                 // product of schema × M↓e₁ × sides
 	tuples  *alphabet.TupleInterner // product state → component tuple

@@ -10,6 +10,10 @@ import (
 // the schema). Theorem 5 guarantees at most one successful computation, so
 // any successful assignment found is the computation.
 func (m *MatchAutomaton) Run(h hedge.Hedge) (map[*hedge.Node]int, bool) {
+	if mm := m.Metrics; mm != nil {
+		mm.Docs.Inc()
+		mm.Nodes.Add(int64(h.Size()))
+	}
 	nrun := m.NHA.Exec(h)
 	if !nrun.Accepted {
 		return nil, false
@@ -74,6 +78,9 @@ func (m *MatchAutomaton) MarkedNodes(h hedge.Hedge) (map[*hedge.Node]bool, bool)
 		if m.Marked[st] {
 			out[n] = true
 		}
+	}
+	if mm := m.Metrics; mm != nil {
+		mm.Marks.Add(int64(len(out)))
 	}
 	return out, true
 }

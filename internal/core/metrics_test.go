@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"xpe/internal/gen"
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+	"xpe/internal/metrics"
+)
+
+// compileDocQuery compiles a query over the gen.Document vocabulary.
+func compileDocQuery(t *testing.T, src string) *CompiledQuery {
+	t.Helper()
+	names := ha.NewNames()
+	for _, s := range []string{"doc", "section", "figure", "table", "para"} {
+		names.Syms.Intern(s)
+	}
+	names.Vars.Intern(hedge.TextVar)
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := CompileQuery(q, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cq
+}
+
+// TestMetricsLinearity is the observable form of Theorems 3–5: for a fixed
+// compiled query, nodes visited must equal the document size exactly and
+// automaton transitions must scale linearly with it — the per-node
+// transition cost stays within a constant band as documents grow 16×.
+func TestMetricsLinearity(t *testing.T) {
+	cq := compileDocQuery(t, "select(figure*; [* ; section ; *] (section|doc)*)")
+	var sink metrics.Eval
+	cq.SetMetrics(&sink)
+
+	var ratios []float64
+	for _, size := range []int{2000, 8000, 32000} {
+		doc := gen.Document(gen.DefaultDocConfig(), size)
+		n := int64(doc.Size())
+		before := sink.Snapshot()
+		res := cq.Select(doc)
+		d := sink.Snapshot()
+
+		if docs := d.Docs - before.Docs; docs != 1 {
+			t.Fatalf("size %d: docs delta = %d, want 1", size, docs)
+		}
+		if nodes := d.NodesVisited - before.NodesVisited; nodes != n {
+			t.Errorf("size %d: nodes visited = %d, want exactly %d", size, nodes, n)
+		}
+		if marks := d.MarksEmitted - before.MarksEmitted; marks != int64(len(res.Paths)) {
+			t.Errorf("size %d: marks = %d, want %d located", size, marks, len(res.Paths))
+		}
+		trans := d.Transitions - before.Transitions
+		if trans <= 0 {
+			t.Fatalf("size %d: transitions = %d, want > 0", size, trans)
+		}
+		ratios = append(ratios, float64(trans)/float64(n))
+	}
+	min, max := ratios[0], ratios[0]
+	for _, r := range ratios[1:] {
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	// Linear scaling means a constant per-node cost; allow a modest band
+	// for shape variation between generated documents. A super-linear
+	// evaluator would blow past this immediately (16× size → ~16× ratio).
+	if max/min > 1.5 {
+		t.Errorf("transitions per node drifted %v (max/min %.2f > 1.5): evaluation is not linear", ratios, max/min)
+	}
+}
+
+// TestMetricsDifferential: attaching or detaching a sink must not change
+// any result — same paths, same located set, same SelectEach stream.
+func TestMetricsDifferential(t *testing.T) {
+	for _, src := range []string{
+		"figure section* [* ; doc ; *]",
+		"select(figure*; [* ; section ; *] (section|doc)*)",
+	} {
+		cq := compileDocQuery(t, src)
+		doc := gen.Document(gen.DefaultDocConfig(), 5000)
+
+		cq.SetMetrics(nil)
+		off := cq.Select(doc)
+		var offEach []string
+		cq.SelectEach(doc, func(p hedge.Path, n *hedge.Node) bool {
+			offEach = append(offEach, p.String())
+			return true
+		})
+
+		var sink metrics.Eval
+		cq.SetMetrics(&sink)
+		on := cq.Select(doc)
+		var onEach []string
+		cq.SelectEach(doc, func(p hedge.Path, n *hedge.Node) bool {
+			onEach = append(onEach, p.String())
+			return true
+		})
+
+		if len(on.Paths) != len(off.Paths) {
+			t.Fatalf("%q: %d paths with sink, %d without", src, len(on.Paths), len(off.Paths))
+		}
+		for i := range on.Paths {
+			if on.Paths[i].String() != off.Paths[i].String() {
+				t.Errorf("%q: path %d = %s with sink, %s without", src, i, on.Paths[i], off.Paths[i])
+			}
+		}
+		if len(onEach) != len(offEach) {
+			t.Fatalf("%q: SelectEach yielded %d with sink, %d without", src, len(onEach), len(offEach))
+		}
+		for i := range onEach {
+			if onEach[i] != offEach[i] {
+				t.Errorf("%q: SelectEach %d = %s with sink, %s without", src, i, onEach[i], offEach[i])
+			}
+		}
+	}
+}
+
+// TestMetricsZeroAlloc: the sink flush must not allocate — SelectEach's
+// steady-state allocation count is identical with and without a sink.
+func TestMetricsZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector drops sync.Pool items at random, perturbing AllocsPerRun")
+	}
+	cq := compileDocQuery(t, "select(figure*; [* ; section ; *] (section|doc)*)")
+	doc := gen.Document(gen.DefaultDocConfig(), 3000)
+	run := func() {
+		cq.SelectEach(doc, func(hedge.Path, *hedge.Node) bool { return true })
+	}
+	run() // warm the evaluation arenas
+	cq.SetMetrics(nil)
+	without := testing.AllocsPerRun(20, run)
+	var sink metrics.Eval
+	cq.SetMetrics(&sink)
+	with := testing.AllocsPerRun(20, run)
+	if with > without {
+		t.Errorf("sink adds allocations: %.1f allocs/run with sink, %.1f without", with, without)
+	}
+}
+
+// TestMatchAutomatonMetrics: the Theorem 5 path flushes the same sink.
+func TestMatchAutomatonMetrics(t *testing.T) {
+	_, _, m, _ := buildMatch(t, "fig sec* [* ; doc ; *]")
+	var sink metrics.Eval
+	m.Metrics = &sink
+	h := hedge.MustParse("doc<sec<fig> par<$x>>")
+	marked, ok := m.MarkedNodes(h)
+	if !ok {
+		t.Fatal("hedge rejected by match automaton")
+	}
+	s := sink.Snapshot()
+	if s.Docs != 1 {
+		t.Errorf("docs = %d, want 1", s.Docs)
+	}
+	if s.NodesVisited != int64(h.Size()) {
+		t.Errorf("nodes visited = %d, want %d", s.NodesVisited, h.Size())
+	}
+	if s.MarksEmitted != int64(len(marked)) {
+		t.Errorf("marks = %d, want %d", s.MarksEmitted, len(marked))
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"xpe/internal/ha"
 	"xpe/internal/hedge"
 	"xpe/internal/hre"
+	"xpe/internal/metrics"
 	"xpe/internal/sfa"
 )
 
@@ -94,6 +95,20 @@ type CompiledQuery struct {
 	Names *ha.Names
 	phr   *CompiledPHR
 	sub   *subChecker // nil = any subhedge
+
+	// metrics, when non-nil, receives one flush of evaluation counters per
+	// Select/SelectEach call (see CompiledPHR.metrics for the cost model).
+	metrics *metrics.Eval
+}
+
+// SetMetrics attaches (or, with nil, detaches) an evaluation sink: every
+// Select, SelectEach, and Locate through this query flushes its counters
+// there. The sink must be attached before evaluation begins; concurrent
+// evaluators (BulkSelect workers, streaming records) may share it — all
+// cells are atomic.
+func (cq *CompiledQuery) SetMetrics(m *metrics.Eval) {
+	cq.metrics = m
+	cq.phr.SetMetrics(m)
 }
 
 // subChecker decides "subhedge of n ∈ L(e₁)" per node in one bottom-up
@@ -145,6 +160,12 @@ func (cq *CompiledQuery) Select(h hedge.Hedge) *Result {
 	subRecs, sar := cq.sub.annotate(h)
 	res := &Result{Located: map[*hedge.Node]bool{}}
 	cq.selectWalk(h, phrRecs, subRecs, nil, cq.phr.mirror.start(), res)
+	if m := cq.metrics; m != nil {
+		m.Docs.Inc()
+		m.Nodes.Add(int64(ar.size))
+		m.Marks.Add(int64(len(res.Paths)))
+		m.Transitions.Add(ar.steps + ar.elems + sar.steps)
+	}
 	cq.phr.arenas.Put(ar)
 	cq.sub.arenas.Put(sar)
 	return res
@@ -164,8 +185,18 @@ func (cq *CompiledQuery) SelectEach(h hedge.Hedge, fn func(p hedge.Path, n *hedg
 		subRecs, sar = cq.sub.annotate(h)
 	}
 	w := eachPool.Get().(*eachWalker)
-	w.cq, w.fn = cq, fn
+	w.cq, w.fn, w.marks = cq, fn, 0
 	done := w.walk(h, phrRecs, subRecs, cq.phr.mirror.start())
+	if m := cq.metrics; m != nil {
+		m.Docs.Inc()
+		m.Nodes.Add(int64(ar.size))
+		m.Marks.Add(w.marks)
+		steps := ar.steps + ar.elems
+		if sar != nil {
+			steps += sar.steps
+		}
+		m.Transitions.Add(steps)
+	}
 	w.cq, w.fn = nil, nil
 	w.path = w.path[:0]
 	eachPool.Put(w)
@@ -179,9 +210,10 @@ func (cq *CompiledQuery) SelectEach(h hedge.Hedge, fn func(p hedge.Path, n *hedg
 // eachWalker is the second-traversal state of SelectEach: the shared Dewey
 // path buffer grows and shrinks in place as the walk descends.
 type eachWalker struct {
-	cq   *CompiledQuery
-	fn   func(p hedge.Path, n *hedge.Node) bool
-	path hedge.Path
+	cq    *CompiledQuery
+	fn    func(p hedge.Path, n *hedge.Node) bool
+	path  hedge.Path
+	marks int64 // located nodes yielded by this walk
 }
 
 var eachPool = sync.Pool{New: func() any { return &eachWalker{path: make(hedge.Path, 0, 32)} }}
@@ -197,6 +229,7 @@ func (w *eachWalker) walk(h hedge.Hedge, phrRecs []annot, subRecs []subAnnot, pa
 		st := phr.mirror.step(parentState, cands)
 		w.path = append(w.path, i)
 		if phr.mirror.accepting(st) && (subRecs == nil || subRecs[i].marked) {
+			w.marks++
 			if !w.fn(w.path, n) {
 				return false
 			}
@@ -237,10 +270,12 @@ type subAnnot struct {
 	children []subAnnot
 }
 
-// subArena is the recycled slab of one marking pass.
+// subArena is the recycled slab of one marking pass, doubling as its
+// per-call transition tally (see annotArena).
 type subArena struct {
-	buf  []subAnnot
-	rest []subAnnot
+	buf   []subAnnot
+	rest  []subAnnot
+	steps int64 // e₁ DFA transitions taken (horizontal + final)
 }
 
 // annotate computes, per node, the e₁ automaton state and whether the
@@ -257,12 +292,13 @@ func (s *subChecker) annotate(h hedge.Hedge) ([]subAnnot, *subArena) {
 		ar.buf = make([]subAnnot, size)
 	}
 	ar.rest = ar.buf[:size]
-	return s.annotateIn(h, &ar.rest), ar
+	ar.steps = 0
+	return s.annotateIn(h, ar), ar
 }
 
-func (s *subChecker) annotateIn(h hedge.Hedge, arena *[]subAnnot) []subAnnot {
-	recs := (*arena)[:len(h)]
-	*arena = (*arena)[len(h):]
+func (s *subChecker) annotateIn(h hedge.Hedge, ar *subArena) []subAnnot {
+	recs := ar.rest[:len(h)]
+	ar.rest = ar.rest[len(h):]
 	for i, n := range h {
 		a := &recs[i]
 		// Slabs are recycled: clear the fields the switch below may leave
@@ -278,13 +314,15 @@ func (s *subChecker) annotateIn(h hedge.Hedge, arena *[]subAnnot) []subAnnot {
 				}
 			}
 		case hedge.Elem:
-			a.children = s.annotateIn(n.Children, arena)
+			a.children = s.annotateIn(n.Children, ar)
 			fs := s.fin.Start
 			for j := range a.children {
 				fs = s.fin.Step(fs, a.children[j].state)
 			}
 			a.marked = s.fin.Accepting(fs)
 			a.state = s.applyAlphaAnnot(n.Name, a.children)
+			// One final-DFA step and one horizontal-DFA step per child.
+			ar.steps += 2 * int64(len(a.children))
 		default:
 			a.state = s.sink
 		}

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; allocation
+// differential tests skip under it (the detector randomly drops
+// sync.Pool items, perturbing AllocsPerRun).
+const raceEnabled = true

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"xpe/internal/core"
+	"xpe/internal/gen"
+	"xpe/internal/hedge"
+	"xpe/internal/metrics"
+	"xpe/internal/stream"
+	"xpe/internal/xmlhedge"
+)
+
+// BenchResult is one benchmark workload's measurements, in the units Go's
+// testing package reports plus a throughput figure.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	NodesPerSec float64 `json:"nodes_per_sec,omitempty"`
+}
+
+// BenchReport is the layout of BENCH_core.json: the perf-regression
+// baseline for the in-memory, streaming, and bulk evaluation paths, plus
+// the measured cost of attaching a metrics sink.
+type BenchReport struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	Quick     bool   `json:"quick"`
+	// MetricsOverheadPct is what attaching an engine-wide sink costs on
+	// the in-memory hot path: the median of paired sink/no-sink ns/op
+	// ratios measured in adjacent windows (pairing cancels the
+	// time-correlated scheduling noise a single-window delta would carry).
+	// The no-sink path is the regression-gated hot path.
+	MetricsOverheadPct float64       `json:"metrics_overhead_pct"`
+	PeakRSSBytes       int64         `json:"peak_rss_bytes"`
+	Results            []BenchResult `json:"results"`
+}
+
+// measure times fn until minTime has elapsed (at least twice) and reports
+// per-op duration and per-op allocation deltas from runtime.MemStats.
+// nodes is the per-op node count driving the throughput figure (0 = none).
+func measure(name string, nodes int64, minTime time.Duration, fn func()) BenchResult {
+	fn() // warm up: arenas, lazy automata
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var iters int64
+	start := time.Now()
+	var elapsed time.Duration
+	for {
+		fn()
+		iters++
+		elapsed = time.Since(start)
+		if elapsed >= minTime && iters >= 2 {
+			break
+		}
+	}
+	runtime.ReadMemStats(&after)
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
+	res := BenchResult{
+		Name:        name,
+		Iterations:  iters,
+		NsPerOp:     nsPerOp,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+	}
+	if nodes > 0 && nsPerOp > 0 {
+		res.NodesPerSec = float64(nodes) / nsPerOp * 1e9
+	}
+	return res
+}
+
+// peakRSS reads the process high-water RSS from /proc/self/status (VmHWM);
+// on platforms without procfs it falls back to the Go heap's Sys figure.
+func peakRSS() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err == nil {
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+				continue
+			}
+			fields := bytes.Fields(line[len("VmHWM:"):])
+			if len(fields) >= 1 {
+				if kb, err := strconv.ParseInt(string(fields[0]), 10, 64); err == nil {
+					return kb * 1024
+				}
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys)
+}
+
+// countEach runs SelectEach discarding matches (the zero-allocation hot
+// path benchmarks gate on).
+func countEach(cq *core.CompiledQuery, doc hedge.Hedge) int {
+	n := 0
+	cq.SelectEach(doc, func(hedge.Path, *hedge.Node) bool { n++; return true })
+	return n
+}
+
+// BenchJSON runs the perf-regression workloads and returns the report.
+// quick shrinks sizes and time budgets for CI (`make bench-json`); the full
+// run is the recorded baseline in BENCH_core.json.
+func BenchJSON(quick bool) (*BenchReport, error) {
+	minTime := 300 * time.Millisecond
+	memSizes := []int{10000, 100000}
+	streamSize, bulkDocs, bulkSize := 100000, 64, 4000
+	if quick {
+		minTime = 40 * time.Millisecond
+		memSizes = []int{10000}
+		streamSize, bulkDocs, bulkSize = 20000, 16, 2000
+	}
+	rep := &BenchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Quick:     quick,
+	}
+
+	names := NewDocEnv()
+	cq, err := CompileQuery(names, SelectQuery)
+	if err != nil {
+		return nil, err
+	}
+
+	// In-memory select: the paper's Algorithm 1 hot path. The no-sink /
+	// sink pair is measured in alternating rounds, keeping each side's best
+	// round — scheduling noise between two separate windows would otherwise
+	// dwarf the per-document flush the overhead figure gates (< 3%).
+	docs := map[int]hedge.Hedge{}
+	for _, n := range memSizes {
+		docs[n] = gen.Document(gen.DefaultDocConfig(), n)
+	}
+	overheadDoc := docs[memSizes[0]]
+	overheadNodes := int64(overheadDoc.Size())
+	pairTime := minTime / 4
+	if pairTime < 10*time.Millisecond {
+		pairTime = 10 * time.Millisecond
+	}
+	var sink metrics.Eval
+	var base, withSink BenchResult
+	var ratios []float64
+	rounds := 7
+	if quick {
+		rounds = 5
+	}
+	for round := 0; round < rounds; round++ {
+		cq.SetMetrics(nil)
+		r := measure("select-"+sizeName(memSizes[0])+"-nosink", overheadNodes,
+			pairTime, func() { countEach(cq, overheadDoc) })
+		if round == 0 || r.NsPerOp < base.NsPerOp {
+			base = r
+		}
+		cq.SetMetrics(&sink)
+		s := measure("select-"+sizeName(memSizes[0])+"-sink", overheadNodes,
+			pairTime, func() { countEach(cq, overheadDoc) })
+		if round == 0 || s.NsPerOp < withSink.NsPerOp {
+			withSink = s
+		}
+		ratios = append(ratios, s.NsPerOp/r.NsPerOp)
+	}
+	cq.SetMetrics(nil)
+	rep.Results = append(rep.Results, base)
+	for _, n := range memSizes[1:] {
+		doc := docs[n]
+		rep.Results = append(rep.Results, measure(
+			"select-"+sizeName(n)+"-nosink", int64(doc.Size()), minTime,
+			func() { countEach(cq, doc) }))
+	}
+	rep.Results = append(rep.Results, withSink)
+	rep.MetricsOverheadPct = (median(ratios) - 1) * 100
+
+	// Streaming: split + evaluate + deliver over a serialized document.
+	streamDoc := gen.Document(gen.DefaultDocConfig(), streamSize)
+	xmlStr, err := xmlhedge.ToString(streamDoc)
+	if err != nil {
+		return nil, err
+	}
+	xmlBytes := []byte(xmlStr)
+	for _, workers := range []int{1, 4} {
+		w := workers
+		rep.Results = append(rep.Results, measure(
+			"stream-"+sizeName(streamSize)+"-w"+strconv.Itoa(w),
+			int64(streamDoc.Size()), minTime, func() {
+				_, err := stream.Run(context.Background(), bytes.NewReader(xmlBytes), cq,
+					stream.Config{Workers: w}, func(*stream.Result) error { return nil })
+				if err != nil && err != io.EOF {
+					panic(err)
+				}
+			}))
+	}
+
+	// Bulk: the shared-compiled-query server shape.
+	bulk := make([]hedge.Hedge, bulkDocs)
+	var bulkNodes int64
+	for i := range bulk {
+		bulk[i] = gen.Document(gen.DefaultDocConfig(), bulkSize)
+		bulkNodes += int64(bulk[i].Size())
+	}
+	rep.Results = append(rep.Results, measure(
+		"bulk-"+strconv.Itoa(bulkDocs)+"x"+sizeName(bulkSize), bulkNodes, minTime,
+		func() { cq.BulkSelect(bulk, 4) }))
+
+	rep.PeakRSSBytes = peakRSS()
+	return rep, nil
+}
+
+// WriteBenchJSON encodes the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// median returns the median of xs (xs is reordered).
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// sizeName renders a node count compactly: 10000 → "10k".
+func sizeName(n int) string {
+	if n%1000 == 0 {
+		return strconv.Itoa(n/1000) + "k"
+	}
+	return strconv.Itoa(n)
+}

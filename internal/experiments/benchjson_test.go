@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestBenchJSONQuick runs the quick perf-regression workloads end to end
+// and checks the report is complete and valid JSON — the same path `make
+// bench-json` exercises in CI.
+func TestBenchJSONQuick(t *testing.T) {
+	rep, err := BenchJSON(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"select-10k-nosink", "select-10k-sink", "stream-20k-w1", "stream-20k-w4", "bulk-16x2k"}
+	if len(rep.Results) != len(wantNames) {
+		t.Fatalf("got %d results, want %d", len(rep.Results), len(wantNames))
+	}
+	for i, r := range rep.Results {
+		if r.Name != wantNames[i] {
+			t.Errorf("result %d = %q, want %q", i, r.Name, wantNames[i])
+		}
+		if r.Iterations < 2 || r.NsPerOp <= 0 {
+			t.Errorf("%s: iterations=%d ns/op=%.0f, want measured values", r.Name, r.Iterations, r.NsPerOp)
+		}
+		if r.NodesPerSec <= 0 {
+			t.Errorf("%s: nodes/sec = %.0f, want > 0", r.Name, r.NodesPerSec)
+		}
+	}
+	if rep.PeakRSSBytes <= 0 {
+		t.Errorf("peak RSS = %d, want > 0", rep.PeakRSSBytes)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report does not round-trip as JSON: %v", err)
+	}
+	if len(round.Results) != len(rep.Results) || round.GoVersion != rep.GoVersion {
+		t.Errorf("round-trip drifted: %+v", round)
+	}
+}

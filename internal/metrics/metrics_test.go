@@ -1,0 +1,236 @@
+package metrics
+
+import (
+	"math/bits"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeTimer(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Errorf("Counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Set(3)
+	if got := g.Load(); got != 3 {
+		t.Errorf("Gauge = %d, want 3 (last value)", got)
+	}
+	var tm Timer
+	tm.Observe(100 * time.Nanosecond)
+	tm.Observe(250 * time.Nanosecond)
+	if s := tm.Snapshot(); s.Count != 2 || s.TotalNs != 350 {
+		t.Errorf("Timer = %+v, want count 2 total 350", s)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {1023, 10}, {1024, 11},
+		{1 << 50, numBuckets - 1}, // overflow clamps into the last bucket
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Bucket invariant: an observation of n ns lands in the bucket whose
+	// bound is the smallest power of two strictly greater than n.
+	for _, ns := range []int64{1, 7, 900, 1500, 123456} {
+		idx := bucketOf(ns)
+		le := int64(1) << uint(idx)
+		if ns >= le || (idx > 0 && ns < le/2) {
+			t.Errorf("bucketOf(%d) = %d (bound %d): observation outside bucket range", ns, idx, le)
+		}
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	h.Observe(900 * time.Nanosecond)
+	h.Observe(1500 * time.Nanosecond)
+	h.Observe(1500 * time.Nanosecond)
+	s := h.Snapshot()
+	if s.Count != 3 || s.SumNs != 3900 {
+		t.Fatalf("histogram totals = %+v, want count 3 sum 3900", s)
+	}
+	want := []Bucket{{LeNs: 1024, Count: 1}, {LeNs: 2048, Count: 2}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", s.Buckets, want)
+	}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Errorf("bucket %d = %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+}
+
+// fill populates a registry with fixed values used by the golden and
+// delta tests.
+func fill(m *Metrics) {
+	m.Eval.Docs.Add(2)
+	m.Eval.Nodes.Add(100)
+	m.Eval.Marks.Add(7)
+	m.Eval.Transitions.Add(450)
+	m.Split.Records.Add(3)
+	m.Split.Nodes.Add(90)
+	m.Split.Bytes.Add(1024)
+	m.Split.ArenaNodesReused.Add(80)
+	m.Split.ArenaChunkAllocs.Add(1)
+	m.Stream.Runs.Inc()
+	m.Stream.Workers.Set(4)
+	m.Stream.SplitTime.Add(3, 3000)
+	m.Stream.EvalTime.Add(3, 6000)
+	m.Stream.DeliverTime.Add(3, 1500)
+	m.Stream.WallTime.Add(1, 2000)
+	m.Stream.RecordLatency.Observe(900 * time.Nanosecond)
+	m.Stream.RecordLatency.Observe(1500 * time.Nanosecond)
+	m.Stream.RecordLatency.Observe(2500 * time.Nanosecond)
+}
+
+// TestSnapshotGoldenJSON pins the exact snapshot encoding: field order,
+// names, indentation, and derived values. Dashboards and the golden files
+// under cmd/ parse this layout.
+func TestSnapshotGoldenJSON(t *testing.T) {
+	var m Metrics
+	fill(&m)
+	var b strings.Builder
+	if err := m.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+  "eval": {
+    "docs": 2,
+    "nodes_visited": 100,
+    "marks_emitted": 7,
+    "transitions": 450
+  },
+  "split": {
+    "records": 3,
+    "nodes": 90,
+    "bytes": 1024,
+    "arena_nodes_reused": 80,
+    "arena_chunk_allocs": 1
+  },
+  "stream": {
+    "runs": 1,
+    "workers": 4,
+    "split_time": {
+      "count": 3,
+      "total_ns": 3000
+    },
+    "eval_time": {
+      "count": 3,
+      "total_ns": 6000
+    },
+    "deliver_time": {
+      "count": 3,
+      "total_ns": 1500
+    },
+    "wall_time": {
+      "count": 1,
+      "total_ns": 2000
+    },
+    "record_latency": {
+      "count": 3,
+      "sum_ns": 4900,
+      "buckets": [
+        {
+          "le_ns": 1024,
+          "count": 1
+        },
+        {
+          "le_ns": 2048,
+          "count": 1
+        },
+        {
+          "le_ns": 4096,
+          "count": 1
+        }
+      ]
+    },
+    "worker_occupancy": 0.75
+  }
+}
+`
+	if b.String() != golden {
+		t.Errorf("snapshot JSON drifted from golden:\n--- got ---\n%s--- want ---\n%s", b.String(), golden)
+	}
+}
+
+// TestSnapshotSubAdd checks the delta algebra the facade relies on: for a
+// registry that advanced from `before` to `after`, merging
+// after.Sub(before) into a second registry reproduces the delta exactly
+// (the MetricsSink → engine merge path).
+func TestSnapshotSubAdd(t *testing.T) {
+	var m Metrics
+	fill(&m)
+	before := m.Snapshot()
+	fill(&m) // advance by one more fill
+	delta := m.Snapshot().Sub(before)
+
+	if delta.Eval.Docs != 2 || delta.Eval.NodesVisited != 100 {
+		t.Errorf("eval delta = %+v, want one fill's worth", delta.Eval)
+	}
+	if delta.Stream.RecordLatency.Count != 3 {
+		t.Errorf("latency delta count = %d, want 3", delta.Stream.RecordLatency.Count)
+	}
+
+	var merged Metrics
+	merged.AddSnapshot(delta)
+	got := merged.Snapshot()
+	var single Metrics
+	fill(&single)
+	want := single.Snapshot()
+	// The merged registry carries no wall-time start, so occupancy is
+	// recomputed from identical totals; the snapshots must agree entirely.
+	gb, wb := new(strings.Builder), new(strings.Builder)
+	if err := got.WriteJSON(gb); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.WriteJSON(wb); err != nil {
+		t.Fatal(err)
+	}
+	if gb.String() != wb.String() {
+		t.Errorf("AddSnapshot(Sub) is not the identity:\n--- merged ---\n%s--- one fill ---\n%s", gb, wb)
+	}
+}
+
+func TestHistogramExpandRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, ns := range []int64{1, 1, 500, 70000, 1 << 50} {
+		h.Observe(time.Duration(ns))
+	}
+	s := h.Snapshot()
+	exp := s.expand()
+	var total int64
+	for i, n := range exp {
+		total += n
+		if n != 0 {
+			le := int64(1) << uint(i)
+			found := false
+			for _, b := range s.Buckets {
+				if b.LeNs == le && b.Count == n {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("expand bucket %d (le %d, count %d) missing from snapshot", i, le, n)
+			}
+		}
+	}
+	if total != s.Count {
+		t.Errorf("expanded bucket total %d != count %d", total, s.Count)
+	}
+	// The overflow observation must sit in the final bucket.
+	if idx := bits.Len64(uint64(s.Buckets[len(s.Buckets)-1].LeNs)) - 1; idx != numBuckets-1 {
+		t.Errorf("overflow landed in bucket %d, want %d", idx, numBuckets-1)
+	}
+}

@@ -20,11 +20,15 @@ import (
 	"errors"
 	"io"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xpe/internal/core"
 	"xpe/internal/hedge"
+	"xpe/internal/metrics"
 	"xpe/internal/xmlhedge"
 )
 
@@ -44,6 +48,13 @@ type Config struct {
 	MaxRecordDepth int
 	// KeepWhitespace retains whitespace-only text nodes.
 	KeepWhitespace bool
+	// Metrics, when non-nil, receives live instrumentation: splitter
+	// counters (Metrics.Split, flushed per record by the RecordReader) and
+	// per-stage timings plus worker occupancy (Metrics.Stream). Evaluation
+	// counters flow through the sink attached to cq (see
+	// core.CompiledQuery.SetMetrics). Timing costs two monotonic clock
+	// reads per stage per record when attached and one nil check when not.
+	Metrics *metrics.Metrics
 }
 
 // Stats aggregates one streaming run.
@@ -113,11 +124,20 @@ func Run(ctx context.Context, r io.Reader, cq *core.CompiledQuery, cfg Config, y
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	var ms *metrics.Stream
+	if cfg.Metrics != nil {
+		ropts.Metrics = &cfg.Metrics.Split
+		ms = &cfg.Metrics.Stream
+		ms.Runs.Inc()
+		ms.Workers.Set(int64(workers))
+		start := time.Now()
+		defer func() { ms.WallTime.Observe(time.Since(start)) }()
+	}
 	rr := xmlhedge.NewRecordReader(r, ropts)
 	if workers <= 1 {
-		return runSequential(ctx, rr, cq, yield)
+		return runSequential(ctx, rr, cq, ms, yield)
 	}
-	return runParallel(ctx, rr, cq, workers, yield)
+	return runParallel(ctx, rr, cq, workers, ms, yield)
 }
 
 // evaluate runs the query over one parsed record.
@@ -131,12 +151,14 @@ func evaluate(cq *core.CompiledQuery, rec *xmlhedge.Record, res *Result) {
 }
 
 // runSequential is the single-worker hot loop: one arena, one Result, no
-// goroutines — steady-state evaluation allocates nothing.
-func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.CompiledQuery, yield func(*Result) error) (Stats, error) {
+// goroutines — steady-state evaluation allocates nothing, with or without
+// a metrics sink (timing is two clock reads per stage per record).
+func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.CompiledQuery, ms *metrics.Stream, yield func(*Result) error) (Stats, error) {
 	var (
 		stats Stats
 		arena xmlhedge.Arena
 		res   Result
+		t0    time.Time
 	)
 	for {
 		if err := ctx.Err(); err != nil {
@@ -144,7 +166,13 @@ func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Comp
 			return stats, err
 		}
 		arena.Reset()
+		if ms != nil {
+			t0 = time.Now()
+		}
 		rec, err := rr.Read(&arena)
+		if ms != nil {
+			ms.SplitTime.Observe(time.Since(t0))
+		}
 		if err == io.EOF {
 			break
 		}
@@ -152,11 +180,26 @@ func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Comp
 			stats.Bytes = rr.InputOffset()
 			return stats, err
 		}
+		if ms != nil {
+			t0 = time.Now()
+		}
 		evaluate(cq, &rec, &res)
+		if ms != nil {
+			d := time.Since(t0)
+			ms.EvalTime.Observe(d)
+			ms.RecordLatency.Observe(d)
+		}
 		stats.Records++
 		stats.Nodes += int64(res.Nodes)
 		stats.Matches += int64(len(res.Matches))
-		if err := yield(&res); err != nil {
+		if ms != nil {
+			t0 = time.Now()
+		}
+		err = yield(&res)
+		if ms != nil {
+			ms.DeliverTime.Observe(time.Since(t0))
+		}
+		if err != nil {
 			stats.Bytes = rr.InputOffset()
 			if err == ErrStop {
 				return stats, nil
@@ -172,7 +215,7 @@ func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Comp
 // results for in-order delivery. The arena pool (workers+1 arenas) is the
 // memory bound: the producer blocks until a delivered record's arena is
 // recycled.
-func runParallel(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.CompiledQuery, workers int, yield func(*Result) error) (Stats, error) {
+func runParallel(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.CompiledQuery, workers int, ms *metrics.Stream, yield func(*Result) error) (Stats, error) {
 	ictx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -203,9 +246,15 @@ func runParallel(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Compil
 		cancel()
 	}
 
-	// Producer: split records into recycled arenas.
-	go func() {
+	// Producer: split records into recycled arenas. prodDone orders the
+	// producer's final bytes.Store before the collector's bytes.Load —
+	// without it the collector could observe a stale offset when
+	// cancellation ends the run while a Read is still in flight.
+	prodDone := make(chan struct{})
+	go pprof.Do(ictx, pprof.Labels("xpe.stage", "stream-split"), func(ictx context.Context) {
+		defer close(prodDone)
 		defer close(jobs)
+		var t0 time.Time
 		for {
 			var arena *xmlhedge.Arena
 			select {
@@ -215,7 +264,13 @@ func runParallel(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Compil
 				return
 			}
 			arena.Reset()
+			if ms != nil {
+				t0 = time.Now()
+			}
 			rec, err := rr.Read(arena)
+			if ms != nil {
+				ms.SplitTime.Observe(time.Since(t0))
+			}
 			if err != nil {
 				if err != io.EOF {
 					setErr(err)
@@ -232,24 +287,35 @@ func runParallel(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Compil
 				return
 			}
 		}
-	}()
+	})
 
 	// Workers: evaluate records; the mirror automaton and arenas inside cq
-	// are concurrency-safe (locked / pooled).
+	// are concurrency-safe (locked / pooled). All stage-timer updates are
+	// atomic (metrics.Timer), so concurrent flushes from workers and
+	// snapshot reads race-cleanly.
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go pprof.Do(ictx, pprof.Labels("xpe.stage", "stream-eval", "xpe.worker", strconv.Itoa(w)), func(ictx context.Context) {
 			defer wg.Done()
+			var t0 time.Time
 			for j := range jobs {
+				if ms != nil {
+					t0 = time.Now()
+				}
 				evaluate(cq, &j.rec, j.res)
+				if ms != nil {
+					d := time.Since(t0)
+					ms.EvalTime.Observe(d)
+					ms.RecordLatency.Observe(d)
+				}
 				select {
 				case done <- j.res:
 				case <-ictx.Done():
 					return
 				}
 			}
-		}()
+		})
 	}
 	go func() {
 		wg.Wait()
@@ -258,6 +324,7 @@ func runParallel(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Compil
 
 	// Collector (this goroutine): reorder and deliver.
 	var stats Stats
+	var t0 time.Time
 	pending := map[int]*Result{}
 	next := 0
 	failed := false
@@ -273,7 +340,13 @@ func runParallel(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Compil
 			stats.Records++
 			stats.Nodes += int64(r.Nodes)
 			stats.Matches += int64(len(r.Matches))
+			if ms != nil {
+				t0 = time.Now()
+			}
 			err := yield(r)
+			if ms != nil {
+				ms.DeliverTime.Observe(time.Since(t0))
+			}
 			free <- r.arena
 			r.arena = nil
 			resPool.Put(r)
@@ -296,6 +369,10 @@ func runParallel(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Compil
 			}
 		}
 	}
+	// done is closed once all workers exit, which happens only after jobs
+	// closes or cancellation fires; either way the producer is on its way
+	// out, so this wait is bounded.
+	<-prodDone
 	stats.Bytes = bytes.Load()
 	errMu.Lock()
 	err := firstErr

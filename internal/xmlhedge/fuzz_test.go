@@ -1,0 +1,130 @@
+package xmlhedge
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"xpe/internal/metrics"
+)
+
+// TestRecordReaderMetrics: the splitter flushes counters that agree with
+// what it returned — records, nodes, bytes consumed, and arena reuse.
+func TestRecordReaderMetrics(t *testing.T) {
+	input := "<feed><entry><a/><b>hi</b></entry><entry><a/></entry><entry><b/><b/></entry></feed>"
+	var sink metrics.Split
+	rr := NewRecordReader(strings.NewReader(input), RecordOptions{Metrics: &sink})
+	var arena Arena
+	var records, nodes int64
+	for {
+		arena.Reset()
+		rec, err := rr.Read(&arena)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		records++
+		nodes += int64(rec.Nodes)
+	}
+	s := sink.Snapshot()
+	if s.Records != records || s.Records != 3 {
+		t.Errorf("records = %d, want %d", s.Records, records)
+	}
+	if s.Nodes != nodes {
+		t.Errorf("nodes = %d, want %d", s.Nodes, nodes)
+	}
+	if s.Bytes != int64(len(input)) {
+		t.Errorf("bytes = %d, want %d (whole input consumed at EOF)", s.Bytes, len(input))
+	}
+	if s.ArenaNodesReused+s.ArenaChunkAllocs != nodes {
+		t.Errorf("arena served %d+%d nodes, want %d",
+			s.ArenaNodesReused, s.ArenaChunkAllocs, nodes)
+	}
+}
+
+// FuzzRecordReader fuzzes the streaming splitter under tight resource
+// limits. The seeds pin the interesting control paths: default and named
+// splits, nested split elements, records exactly at and just over the
+// MaxNodes / MaxDepth bounds, text between records, and malformed input.
+func FuzzRecordReader(f *testing.F) {
+	seeds := []struct {
+		xml              string
+		split            string
+		maxNodes, maxDep int
+	}{
+		{"<feed><entry><a/><b>hi</b></entry><entry><a/></entry></feed>", "", 0, 0},
+		{"<doc><r><x/></r>mid<r><y/><y/></r></doc>", "r", 0, 0},
+		{"<doc><r><r><x/></r></r></doc>", "r", 0, 0}, // nested split: outermost wins
+		{"<f><e><a/><b/></e></f>", "", 3, 0},         // record exactly at MaxNodes
+		{"<f><e><a/><b/><c/></e></f>", "", 3, 0},     // record one over MaxNodes
+		{"<f><e>text</e></f>", "", 2, 0},             // text node hits MaxNodes
+		{"<f><e><a><b/></a></e></f>", "", 0, 3},      // depth exactly at MaxDepth
+		{"<f><e><a><b><c/></b></a></e></f>", "", 0, 3},
+		{"<f><e><a/>", "", 0, 0},  // truncated inside a record
+		{"<f><e/><e/>", "", 0, 0}, // truncated outside a record
+		{"junk<f/>", "", 0, 0},    // character data before the document element
+		{"<f>  <e/>\n</f>", "", 0, 0},
+	}
+	for _, s := range seeds {
+		f.Add(s.xml, s.split, s.maxNodes, s.maxDep)
+	}
+	f.Fuzz(func(t *testing.T, xmlStr, split string, maxNodes, maxDepth int) {
+		if maxNodes < 0 || maxNodes > 1<<16 || maxDepth < 0 || maxDepth > 1<<12 {
+			return
+		}
+		var sink metrics.Split
+		opts := RecordOptions{
+			Split:    split,
+			MaxNodes: maxNodes,
+			MaxDepth: maxDepth,
+			Metrics:  &sink,
+		}
+		rr := NewRecordReader(strings.NewReader(xmlStr), opts)
+		var arena Arena
+		var records, nodes int64
+		for i := 0; i < 1<<16; i++ {
+			arena.Reset()
+			rec, err := rr.Read(&arena)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				var le *LimitError
+				if errors.As(err, &le) {
+					if maxNodes == 0 && le.Kind == "nodes" {
+						t.Fatalf("nodes limit error with no nodes limit: %v", le)
+					}
+					if maxDepth == 0 && le.Kind == "depth" {
+						t.Fatalf("depth limit error with no depth limit: %v", le)
+					}
+				}
+				// Errors are sticky: a second read must fail identically.
+				if _, err2 := rr.Read(&arena); err2 != err {
+					t.Fatalf("error not sticky: %v then %v", err, err2)
+				}
+				break
+			}
+			if rec.Nodes <= 0 || len(rec.Hedge) != 1 {
+				t.Fatalf("record %d: nodes=%d trees=%d, want positive single-tree", rec.Index, rec.Nodes, len(rec.Hedge))
+			}
+			if maxNodes > 0 && rec.Nodes > maxNodes {
+				t.Fatalf("record %d has %d nodes over limit %d", rec.Index, rec.Nodes, maxNodes)
+			}
+			if got := rec.Hedge.Size(); got != rec.Nodes {
+				t.Fatalf("record %d: reported %d nodes, hedge has %d", rec.Index, rec.Nodes, got)
+			}
+			records++
+			nodes += int64(rec.Nodes)
+		}
+		s := sink.Snapshot()
+		if s.Records != records || s.Nodes != nodes {
+			t.Fatalf("metrics disagree: %d/%d records, %d/%d nodes", s.Records, records, s.Nodes, nodes)
+		}
+		if s.Bytes < 0 || s.Bytes > int64(len(xmlStr)) {
+			t.Fatalf("bytes = %d outside [0, %d]", s.Bytes, len(xmlStr))
+		}
+	})
+}

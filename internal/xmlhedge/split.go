@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"xpe/internal/hedge"
+	"xpe/internal/metrics"
 )
 
 // RecordOptions configures record splitting for streaming evaluation.
@@ -23,6 +24,10 @@ type RecordOptions struct {
 	MaxDepth int
 	// KeepWhitespace retains whitespace-only text nodes (see Options).
 	KeepWhitespace bool
+	// Metrics, when non-nil, receives one flush of splitter counters per
+	// record (records, nodes, bytes, arena reuse); the nil check is the
+	// only cost when detached.
+	Metrics *metrics.Split
 }
 
 // LimitError reports a record exceeding a configured resource bound. The
@@ -50,16 +55,31 @@ type Arena struct {
 	chunk   int // current chunk index
 	used    int // nodes used in the current chunk
 	rootBuf [1]*hedge.Node
+
+	// reused / chunkAllocs are lifetime tallies (Reset keeps them): nodes
+	// served from an already-allocated chunk vs. fresh chunk allocations.
+	// Single-goroutine plain counters; readers flush deltas (see
+	// RecordReader.Read).
+	reused      int64
+	chunkAllocs int64
 }
 
 const arenaChunk = 512
 
-// Reset rewinds the arena; hedges parsed from it become invalid.
+// Reset rewinds the arena; hedges parsed from it become invalid. The
+// lifetime reuse tallies survive Reset.
 func (a *Arena) Reset() { a.chunk, a.used = 0, 0 }
+
+// Stats reports the arena's lifetime tallies: nodes served from recycled
+// chunks and fresh chunk allocations.
+func (a *Arena) Stats() (reused, chunkAllocs int64) { return a.reused, a.chunkAllocs }
 
 func (a *Arena) node(kind hedge.NodeKind, name string) *hedge.Node {
 	if a.chunk == len(a.chunks) {
 		a.chunks = append(a.chunks, make([]hedge.Node, arenaChunk))
+		a.chunkAllocs++
+	} else {
+		a.reused++
 	}
 	n := &a.chunks[a.chunk][a.used]
 	a.used++
@@ -98,6 +118,8 @@ type RecordReader struct {
 	// (counts[0] counts top-level nodes).
 	counts []int
 	err    error // sticky
+	// flushedBytes is the input offset already flushed to opts.Metrics.
+	flushedBytes int64
 }
 
 // NewRecordReader starts splitting r under the given options.
@@ -115,9 +137,31 @@ func (rr *RecordReader) Read(a *Arena) (Record, error) {
 	if rr.err != nil {
 		return Record{}, rr.err
 	}
+	m := rr.opts.Metrics
+	var reused0, allocs0 int64
+	if m != nil && a != nil {
+		reused0, allocs0 = a.Stats()
+	}
 	rec, err := rr.read(a)
 	if err != nil {
 		rr.err = err
+	}
+	if m != nil {
+		// Flush the bytes consumed since the last flush on every outcome
+		// (EOF included), and the record counters on success only.
+		if off := rr.dec.InputOffset(); off > rr.flushedBytes {
+			m.Bytes.Add(off - rr.flushedBytes)
+			rr.flushedBytes = off
+		}
+		if err == nil {
+			m.Records.Inc()
+			m.Nodes.Add(int64(rec.Nodes))
+			if a != nil {
+				reused, allocs := a.Stats()
+				m.ArenaNodesReused.Add(reused - reused0)
+				m.ArenaChunkAllocs.Add(allocs - allocs0)
+			}
+		}
 	}
 	return rec, err
 }

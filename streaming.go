@@ -29,6 +29,10 @@ type SelectOptions struct {
 	MaxRecordDepth int
 	// KeepWhitespace retains whitespace-only text nodes.
 	KeepWhitespace bool
+	// Metrics, when non-nil, collects this run's splitter and stage
+	// metrics in isolation (the engine's cumulative Stats receives them
+	// too). Nil means engine-level observation only. See MetricsSink.
+	Metrics *MetricsSink
 }
 
 // StreamStats aggregates one SelectStream run.
@@ -83,6 +87,15 @@ func (e *Engine) SelectStream(ctx context.Context, r io.Reader, q *Query, opts S
 		MaxRecordNodes: opts.MaxRecordNodes,
 		MaxRecordDepth: opts.MaxRecordDepth,
 		KeepWhitespace: opts.KeepWhitespace,
+		Metrics:        e.metrics,
+	}
+	if sink := opts.Metrics; sink != nil {
+		// Route the run's splitter/stage metrics into the sink and merge
+		// the delta back into the engine registry afterwards, so a per-run
+		// sink never hides the run from Engine.Stats.
+		cfg.Metrics = &sink.reg
+		before := sink.reg.Snapshot()
+		defer func() { e.metrics.AddSnapshot(sink.reg.Snapshot().Sub(before)) }()
 	}
 	var yerr error // yield-originated, passed through unwrapped
 	st, err := stream.Run(ctx, r, q.cq, cfg, func(res *stream.Result) error {

@@ -41,6 +41,7 @@ import (
 	"xpe/internal/core"
 	"xpe/internal/ha"
 	"xpe/internal/hedge"
+	"xpe/internal/metrics"
 	"xpe/internal/schema"
 	"xpe/internal/xmlhedge"
 	"xpe/internal/xpath"
@@ -52,10 +53,13 @@ import (
 // constructions of Section 8) require.
 type Engine struct {
 	names *ha.Names
+	// metrics is the engine-wide instrumentation registry; queries compiled
+	// through this engine flush evaluation counters into it (see Stats).
+	metrics *metrics.Metrics
 }
 
 // NewEngine returns an empty engine.
-func NewEngine() *Engine { return &Engine{names: ha.NewNames()} }
+func NewEngine() *Engine { return &Engine{names: ha.NewNames(), metrics: &metrics.Metrics{}} }
 
 // Document is a parsed XML document or hedge.
 type Document struct {
@@ -164,6 +168,7 @@ func (e *Engine) CompileQuery(src string) (*Query, error) {
 	if err != nil {
 		return nil, wrapCompileErr(err, src)
 	}
+	cq.SetMetrics(&e.metrics.Eval)
 	return &Query{eng: e, src: src, cq: cq}, nil
 }
 
@@ -390,6 +395,7 @@ func (e *Engine) CompileXPath(src string) (*Query, error) {
 	if err != nil {
 		return nil, wrapCompileErr(err, src)
 	}
+	cq.SetMetrics(&e.metrics.Eval)
 	return &Query{eng: e, src: src, cq: cq}, nil
 }
 
