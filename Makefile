@@ -10,8 +10,12 @@ build:
 test:
 	$(GO) test ./...
 
+# race runs the detector over the packages that share Engines across
+# goroutines: the interner/generation/cache synchronization lives in
+# internal/core, internal/alphabet (via internal/ha), internal/stream,
+# and the facade (the shared-Engine hammer in generation_test.go).
 race:
-	$(GO) test -race ./...
+	$(GO) test -race ./internal/core/... ./internal/stream/... ./internal/alphabet/... .
 
 vet:
 	$(GO) vet ./...
@@ -24,11 +28,12 @@ fmt:
 		exit 1; \
 	fi
 
-# check is the CI gate: formatting, static analysis, the full test suite
-# under the race detector, and a quick perf-regression run (bench-json
-# exercises the instrumented paths end to end; the recorded baseline in
-# BENCH_core.json comes from the non-quick run).
-check: fmt vet build race bench-json
+# check is the CI gate: formatting, static analysis (go vet ./...), the
+# full test suite, the race detector over the concurrency-bearing
+# packages, and a quick perf-regression run (bench-json exercises the
+# instrumented paths end to end; the recorded baseline in BENCH_core.json
+# comes from the non-quick run).
+check: fmt vet build test race bench-json
 
 bench:
 	$(GO) test -bench . -benchmem -run NONE ./...

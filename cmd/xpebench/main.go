@@ -9,18 +9,24 @@
 //
 // With -bench-json the experiment tables are skipped; instead the
 // perf-regression workloads run (in-memory select with and without a
-// metrics sink, streaming with 1 and 4 workers, bulk select) and the
-// report — ns/op, allocs/op, nodes/sec, metrics overhead, peak RSS — is
-// written as JSON to -out (default stdout).
+// metrics sink, streaming with 1 and 4 workers, bulk select, and the
+// engine's compiled-query cache: cold compile vs cache-hit recompile vs
+// the unchanged-generation fast path) and the report — ns/op, allocs/op,
+// nodes/sec, metrics overhead, cache-hit speedup, fast-path overhead,
+// peak RSS — is written as JSON to -out (default stdout).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
+	"xpe"
 	"xpe/internal/experiments"
+	"xpe/internal/hedge"
 )
 
 func main() {
@@ -33,6 +39,9 @@ func main() {
 	if *benchJSON {
 		rep, err := experiments.BenchJSON(*quick)
 		if err != nil {
+			fatal(err)
+		}
+		if err := cacheBench(rep, *quick); err != nil {
 			fatal(err)
 		}
 		w := os.Stdout
@@ -78,6 +87,101 @@ func main() {
 		t.Render(&b)
 	}
 	fmt.Print(b.String())
+}
+
+// cacheBench measures the facade's compiled-query cache and appends the
+// results to rep. It lives here rather than in internal/experiments
+// because that package is imported by the facade's own benchmarks and so
+// cannot import the facade back.
+//
+// Three workloads, all over a fixed alphabet (the document below is
+// parsed once up front, so the generation never moves mid-measurement):
+//
+//   - compile-cold: every iteration compiles a source the cache has never
+//     seen. Trailing-space padding makes each source string distinct —
+//     distinct cache keys — while trimming makes them parse identically,
+//     so the work measured is a genuine parse + automaton construction.
+//   - recompile-cache-hit: every iteration re-requests the same source at
+//     the same generation; after the first miss each is a map lookup.
+//   - the fast path: evaluating through Query.Compiled() (the per-call
+//     generation revalidation) vs evaluating the underlying
+//     core.CompiledQuery directly, in paired rounds; the median ratio is
+//     the revalidation overhead the unchanged-generation path pays.
+func cacheBench(rep *experiments.BenchReport, quick bool) error {
+	minTime := 300 * time.Millisecond
+	rounds := 7
+	if quick {
+		minTime = 40 * time.Millisecond
+		rounds = 5
+	}
+
+	eng := xpe.NewEngine()
+	doc, err := eng.ParseXMLString(
+		"<doc>" + strings.Repeat("<sec><fig/><tab/><fig/></sec>", 500) + "</doc>")
+	if err != nil {
+		return err
+	}
+	const src = "[. ; fig ; .] (sec|doc)*"
+
+	pad := 0
+	cold := experiments.Measure("compile-cold", 0, minTime, func() {
+		pad++
+		if _, err := eng.CompileQuery(src + strings.Repeat(" ", pad)); err != nil {
+			panic(err)
+		}
+	})
+	rep.Results = append(rep.Results, cold)
+
+	hit := experiments.Measure("recompile-cache-hit", 0, minTime, func() {
+		if _, err := eng.CompileQuery(src); err != nil {
+			panic(err)
+		}
+	})
+	rep.Results = append(rep.Results, hit)
+	if hit.NsPerOp > 0 {
+		rep.CacheHitSpeedup = cold.NsPerOp / hit.NsPerOp
+	}
+
+	q, err := eng.CompileQuery(src)
+	if err != nil {
+		return err
+	}
+	cq := q.Compiled()
+	h := doc.Hedge()
+	nodes := int64(doc.Size())
+	pairTime := minTime / 4
+	if pairTime < 10*time.Millisecond {
+		pairTime = 10 * time.Millisecond
+	}
+	var direct, revalidated experiments.BenchResult
+	var ratios []float64
+	for round := 0; round < rounds; round++ {
+		d := experiments.Measure("select-direct", nodes, pairTime, func() {
+			cq.SelectEach(h, func(hedge.Path, *hedge.Node) bool { return true })
+		})
+		if round == 0 || d.NsPerOp < direct.NsPerOp {
+			direct = d
+		}
+		r := experiments.Measure("select-revalidate-fastpath", nodes, pairTime, func() {
+			q.Compiled().SelectEach(h, func(hedge.Path, *hedge.Node) bool { return true })
+		})
+		if round == 0 || r.NsPerOp < revalidated.NsPerOp {
+			revalidated = r
+		}
+		if d.NsPerOp > 0 {
+			ratios = append(ratios, r.NsPerOp/d.NsPerOp)
+		}
+	}
+	rep.Results = append(rep.Results, direct, revalidated)
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		m := ratios[len(ratios)/2]
+		if len(ratios)%2 == 0 {
+			m = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+		}
+		rep.FastPathOverheadPct = (m - 1) * 100
+	}
+	return nil
 }
 
 func fatal(err error) {

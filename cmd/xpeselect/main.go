@@ -13,8 +13,10 @@
 // records (children of the document element, or subtrees rooted at the
 // -split element) and each record is evaluated independently, so paths
 // are record-relative and envelope conditions range over the record
-// subtree only. Because the query is compiled before the document is
-// read, '.' in a streamed query ranges over the query's own labels.
+// subtree only. The query is resolved against the alphabet once, when
+// the stream starts, so '.' in a streamed query ranges over the labels
+// interned at that point (its own labels, on a fresh engine) — labels
+// first seen mid-stream stay outside its closed world for the run.
 package main
 
 import (
@@ -77,8 +79,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "xpeselect: %d node(s) located in %d record(s), %d bytes\n",
-			stats.Matches, stats.Records, stats.Bytes)
+		fmt.Fprintf(os.Stderr, "xpeselect: %d node(s) located in %d record(s), %d bytes%s\n",
+			stats.Matches, stats.Records, stats.Bytes, cacheSummary(eng))
 		printMetrics(eng, *showMetrics)
 		return
 	}
@@ -105,8 +107,16 @@ func main() {
 			fatal(err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "xpeselect: %d node(s) located\n", len(matches))
+	fmt.Fprintf(os.Stderr, "xpeselect: %d node(s) located%s\n", len(matches), cacheSummary(eng))
 	printMetrics(eng, *showMetrics)
+}
+
+// cacheSummary renders the compiled-query cache counters for the run
+// summary; recompiles (misses past the first per query) mean the
+// alphabet grew between compilation and evaluation.
+func cacheSummary(eng *xpe.Engine) string {
+	c := eng.Stats().Cache
+	return fmt.Sprintf(" (query cache: %d hit(s), %d miss(es))", c.Hits, c.Misses)
 }
 
 // printMetrics writes the engine's cumulative metrics snapshot to stderr
@@ -120,9 +130,11 @@ func printMetrics(eng *xpe.Engine, enabled bool) {
 	}
 }
 
-// compileQuery compiles whichever of -query / -xpath was given; queries
-// are compiled after the document parse in the in-memory path so that '.'
-// ranges over the document alphabet.
+// compileQuery compiles whichever of -query / -xpath was given. Compile
+// order no longer affects what a query locates — compiled queries are
+// generation-stamped and recompile transparently when the alphabet has
+// grown — but the in-memory path still compiles after the document parse
+// so the evaluation pays no first-use recompile.
 func compileQuery(eng *xpe.Engine, query, xpathQ string) *xpe.Query {
 	var q *xpe.Query
 	var err error

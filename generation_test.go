@@ -1,0 +1,223 @@
+package xpe
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// docXML has labels (doc, sec, fig, tab) that exercise '.'-sides: under
+// closed-world compilation a query compiled before these labels are
+// interned used to silently locate nothing.
+const docXML = "<doc><sec><fig/><tab/><fig/></sec><sec><fig/></sec></doc>"
+
+// dotQueries all mention '.' (any-hedge over the compile-time alphabet),
+// the construct most sensitive to compile order.
+var dotQueries = []string{
+	"[. ; fig ; .] (sec|doc)*",
+	"select(.; [* ; sec ; *] doc)",
+	"[* ; fig ; tab .] (sec|doc)*",
+}
+
+func selectPaths(t *testing.T, q *Query, d *Document) string {
+	t.Helper()
+	out := ""
+	for _, m := range q.Select(d) {
+		out += m.Path + ":" + m.Term + "\n"
+	}
+	return out
+}
+
+// TestCompileBeforeParseEqualsAfter pins the generation contract: a query
+// compiled on a fresh engine and evaluated after new labels were interned
+// must locate byte-for-byte the same matches as the same query compiled
+// after the documents were parsed. Before generation tracking the
+// compile-first order silently missed every match whose evaluation crossed
+// a '.'-side over the later labels.
+func TestCompileBeforeParseEqualsAfter(t *testing.T) {
+	for _, src := range dotQueries {
+		before := NewEngine()
+		qBefore, err := before.CompileQuery(src)
+		if err != nil {
+			t.Fatalf("compile-first %q: %v", src, err)
+		}
+		dBefore, err := before.ParseXMLString(docXML)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		after := NewEngine()
+		dAfter, err := after.ParseXMLString(docXML)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qAfter, err := after.CompileQuery(src)
+		if err != nil {
+			t.Fatalf("compile-after %q: %v", src, err)
+		}
+
+		got, want := selectPaths(t, qBefore, dBefore), selectPaths(t, qAfter, dAfter)
+		if got != want {
+			t.Errorf("%q: compile order changed matches:\n--- compile-first ---\n%s--- compile-after ---\n%s", src, got, want)
+		}
+		if want == "" {
+			t.Errorf("%q: oracle order located nothing — test is vacuous", src)
+		}
+	}
+}
+
+// TestXPathRecompilesUnderGrowth covers the '//' expansion: the XPath
+// translation enumerates the interned alphabet, so a path compiled when
+// only 'fig' existed must be re-translated once the container labels
+// (doc, sec) are interned — otherwise '//' cannot descend through them.
+func TestXPathRecompilesUnderGrowth(t *testing.T) {
+	eng := NewEngine()
+	if _, err := eng.ParseXMLString("<fig/>"); err != nil {
+		t.Fatal(err)
+	}
+	q, err := eng.CompileXPath("//fig")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := eng.ParseXMLString(docXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(q.Select(d)); got != 3 {
+		t.Fatalf("//fig after growth located %d nodes, want 3", got)
+	}
+}
+
+// TestCacheCounters checks the Stats().Cache accounting end to end:
+// compiling is a miss, recompiling the same source at the same generation
+// is a hit, evaluation after alphabet growth recompiles exactly once (one
+// more miss), and the unchanged-generation fast path touches the cache not
+// at all.
+func TestCacheCounters(t *testing.T) {
+	eng := NewEngine()
+	const src = "[. ; fig ; .] (sec|doc)*"
+	q1, err := eng.CompileQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.CompileQuery(src); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.Stats()
+	if s.Cache.Misses != 1 || s.Cache.Hits != 1 {
+		t.Fatalf("after double compile: hits=%d misses=%d, want 1/1", s.Cache.Hits, s.Cache.Misses)
+	}
+
+	d, err := eng.ParseXMLString(docXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1.Select(d) // generation grew: one recompile miss
+	s = eng.Stats()
+	if s.Cache.Misses != 2 {
+		t.Fatalf("first stale evaluation: misses=%d, want 2", s.Cache.Misses)
+	}
+	q1.Select(d) // generation unchanged: pure fast path
+	q1.Select(d)
+	s2 := eng.Stats()
+	if s2.Cache.Hits != s.Cache.Hits || s2.Cache.Misses != s.Cache.Misses {
+		t.Fatalf("fast path touched the cache: %+v then %+v", s.Cache, s2.Cache)
+	}
+
+	// A second Query object over the same source at the current generation
+	// rides the first recompile's cache entry.
+	q2, err := eng.CompileQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3 := eng.Stats()
+	if s3.Cache.Hits != s2.Cache.Hits+1 {
+		t.Fatalf("same-generation recompile should hit: %+v then %+v", s2.Cache, s3.Cache)
+	}
+	if a, b := selectPaths(t, q1, d), selectPaths(t, q2, d); a != b || a == "" {
+		t.Fatalf("cache hit diverged from original: %q vs %q", a, b)
+	}
+}
+
+// TestCacheEviction fills the LRU past its capacity with distinct sources
+// and checks the bound holds and evictions are counted.
+func TestCacheEviction(t *testing.T) {
+	eng := NewEngine()
+	n := compiledCacheCap + 32
+	for i := 0; i < n; i++ {
+		if _, err := eng.CompileQuery(fmt.Sprintf("q%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.cache.len(); got > compiledCacheCap {
+		t.Fatalf("cache holds %d entries, cap %d", got, compiledCacheCap)
+	}
+	if ev := eng.Stats().Cache.Evictions; ev < int64(n-compiledCacheCap) {
+		t.Fatalf("evictions = %d, want >= %d", ev, n-compiledCacheCap)
+	}
+}
+
+// TestSharedEngineHammer exercises one Engine from many goroutines doing
+// everything that can race: interning fresh labels (ParseXMLString),
+// evaluating a shared query (which may recompile mid-flight), compiling,
+// and snapshotting stats. Run under `make race` this is the regression
+// gate for the interner/generation/cache synchronization.
+func TestSharedEngineHammer(t *testing.T) {
+	eng := NewEngine()
+	q, err := eng.CompileQuery("[. ; fig ; .] (sec|doc)*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := eng.ParseXMLString(docXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const iters = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch i % 4 {
+				case 0:
+					// One fresh label per worker (recurring afterwards): the
+					// generation advances concurrently with evaluation below
+					// while the alphabet stays small — compile cost of a
+					// '.'-side grows with the whole alphabet.
+					xml := fmt.Sprintf("<doc><w%d/><sec><fig/></sec></doc>", w)
+					if _, err := eng.ParseXMLString(xml); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					d := base
+					found := false
+					for m := range q.Matches(d) {
+						_ = m
+						found = true
+					}
+					if !found {
+						t.Errorf("worker %d iter %d: shared query lost its matches", w, i)
+						return
+					}
+				case 2:
+					if _, err := eng.CompileQuery(fmt.Sprintf("[. ; fig ; .] (sec|doc|extra%d)*", w)); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					_ = eng.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// After the dust settles the shared query still answers correctly.
+	if got := selectPaths(t, q, base); got == "" {
+		t.Fatal("shared query lost its matches after the hammer")
+	}
+}

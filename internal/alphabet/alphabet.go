@@ -3,11 +3,19 @@
 // sets, hedge automata over XML element names, the string automaton N of
 // Theorem 4 — run over dense int symbols; an Interner maps external names to
 // those symbols and back.
+//
+// Interners are safe for concurrent use and versioned: every Intern that
+// assigns a fresh symbol advances a monotonically increasing generation
+// counter. Closed-world consumers ('.'-any-hedge desugaring, schema
+// products) record the generation they compiled against and revalidate when
+// it moves — see ha.Names.Generation and the core compile pipeline.
 package alphabet
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Symbol is a dense interned identifier. Valid symbols are non-negative;
@@ -18,9 +26,15 @@ type Symbol = int
 const None Symbol = -1
 
 // Interner assigns dense Symbols to names. The zero value is ready to use.
+// All methods are safe for concurrent use: lookups take a read lock, and
+// interning a genuinely new name takes the write lock and advances the
+// generation counter (reading the counter is a single atomic load, so
+// generation checks stay off the lock entirely).
 type Interner struct {
+	mu    sync.RWMutex
 	names []string
 	ids   map[string]Symbol
+	gen   atomic.Uint64 // == len(names); advances only under mu
 }
 
 // NewInterner returns an empty interner.
@@ -30,23 +44,32 @@ func NewInterner() *Interner {
 
 // Intern returns the symbol for name, assigning a fresh one if needed.
 func (in *Interner) Intern(name string) Symbol {
+	// Fast path: the name is usually already interned.
+	in.mu.RLock()
+	s, ok := in.ids[name]
+	in.mu.RUnlock()
+	if ok {
+		return s
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	if in.ids == nil {
 		in.ids = make(map[string]Symbol)
 	}
 	if s, ok := in.ids[name]; ok {
 		return s
 	}
-	s := Symbol(len(in.names))
+	s = Symbol(len(in.names))
 	in.names = append(in.names, name)
 	in.ids[name] = s
+	in.gen.Store(uint64(len(in.names)))
 	return s
 }
 
 // Lookup returns the symbol for name, or None if it was never interned.
 func (in *Interner) Lookup(name string) Symbol {
-	if in.ids == nil {
-		return None
-	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
 	if s, ok := in.ids[name]; ok {
 		return s
 	}
@@ -56,6 +79,8 @@ func (in *Interner) Lookup(name string) Symbol {
 // Name returns the name of s, or a diagnostic placeholder for unknown
 // symbols.
 func (in *Interner) Name(s Symbol) string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
 	if s < 0 || s >= len(in.names) {
 		return fmt.Sprintf("<sym:%d>", s)
 	}
@@ -63,10 +88,23 @@ func (in *Interner) Name(s Symbol) string {
 }
 
 // Len reports the number of interned symbols.
-func (in *Interner) Len() int { return len(in.names) }
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.names)
+}
+
+// Generation returns the interner's version: a monotonically increasing
+// counter that advances exactly when a fresh symbol is interned (it equals
+// Len, read without taking the lock). Two equal generations imply an
+// identical symbol table; a moved generation tells closed-world consumers
+// their compiled view of the alphabet is stale.
+func (in *Interner) Generation() uint64 { return in.gen.Load() }
 
 // Names returns a copy of all interned names, in symbol order.
 func (in *Interner) Names() []string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
 	out := make([]string, len(in.names))
 	copy(out, in.names)
 	return out
@@ -82,15 +120,36 @@ func (in *Interner) SortedNames() []string {
 // Clone returns an independent copy of the interner.
 func (in *Interner) Clone() *Interner {
 	c := NewInterner()
-	for _, n := range in.names {
+	for _, n := range in.Names() {
 		c.Intern(n)
 	}
 	return c
 }
 
+// Extends reports whether in is an append-only extension of base: every
+// name of base is present in in with the same symbol. This holds between
+// any two snapshots of one growing interner (interning never reorders),
+// and is what makes automata compiled against an older snapshot rebasable
+// onto a newer one — the common symbols keep their ids.
+func (in *Interner) Extends(base *Interner) bool {
+	bn := base.Names()
+	an := in.Names()
+	if len(an) < len(bn) {
+		return false
+	}
+	for i, n := range bn {
+		if an[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
 // TupleInterner assigns dense ids to int tuples. It is used to realize
 // product constructions (composite hedge-automaton states, equivalence
-// classes of Theorem 4) with dense state numbering.
+// classes of Theorem 4) with dense state numbering. Unlike Interner it is
+// not synchronized: every product construction builds its own TupleInterner
+// and never shares it across goroutines.
 type TupleInterner struct {
 	tuples [][]int
 	ids    map[string]int

@@ -1,6 +1,8 @@
 package alphabet
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -75,6 +77,70 @@ func TestInternerDense(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestInternerGeneration(t *testing.T) {
+	in := NewInterner()
+	if in.Generation() != 0 {
+		t.Fatalf("fresh generation = %d, want 0", in.Generation())
+	}
+	in.Intern("a")
+	g1 := in.Generation()
+	if g1 != 1 {
+		t.Fatalf("generation after one intern = %d, want 1", g1)
+	}
+	in.Intern("a") // idempotent intern must not advance
+	if in.Generation() != g1 {
+		t.Fatal("re-interning an existing name advanced the generation")
+	}
+	in.Lookup("zzz") // lookups never advance
+	if in.Generation() != g1 {
+		t.Fatal("lookup advanced the generation")
+	}
+	in.Intern("b")
+	if in.Generation() <= g1 {
+		t.Fatal("fresh intern did not advance the generation")
+	}
+}
+
+// TestInternerConcurrent hammers one interner from concurrent writers and
+// readers; run under -race this pins the thread-safety contract the shared
+// Engine relies on. Symbols interned for the same name must agree across
+// goroutines, and the final generation must equal the distinct name count.
+func TestInternerConcurrent(t *testing.T) {
+	in := NewInterner()
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	syms := make([][]Symbol, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			syms[w] = make([]Symbol, perWorker)
+			for i := 0; i < perWorker; i++ {
+				name := fmt.Sprintf("n%d", i)
+				syms[w][i] = in.Intern(name)
+				if got := in.Lookup(name); got != syms[w][i] {
+					t.Errorf("Lookup(%q) = %d, want %d", name, got, syms[w][i])
+					return
+				}
+				_ = in.Name(syms[w][i])
+				_ = in.Generation()
+				_ = in.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := 0; i < perWorker; i++ {
+			if syms[w][i] != syms[0][i] {
+				t.Fatalf("worker %d interned n%d as %d, worker 0 as %d", w, i, syms[w][i], syms[0][i])
+			}
+		}
+	}
+	if got := in.Generation(); got != perWorker {
+		t.Fatalf("final generation = %d, want %d", got, perWorker)
 	}
 }
 

@@ -31,6 +31,14 @@ type CompiledPHR struct {
 	PHR   *PHR
 	Names *ha.Names
 
+	// Gen is the alphabet generation (Names.Generation) the side automata
+	// were compiled against. The closed-world machinery — component DHAs
+	// complete over the interned alphabet, '.'-side desugaring — is exact
+	// for documents whose labels were interned at or before Gen; callers
+	// that intern labels afterwards must recompile (the xpe facade does so
+	// transparently through its compiled-query cache).
+	Gen uint64
+
 	comps []*component // deduplicated side automata
 	// Per base: component index of each side (-1 = any hedge).
 	leftComp, rightComp []int
@@ -85,12 +93,48 @@ func CompilePHR(phr *PHR, names *ha.Names) (*CompiledPHR, error) {
 	return CompilePHROpt(phr, names, Options{})
 }
 
+// internExprAlphabet interns every symbol, variable, and substitution
+// variable mentioned by e into names. Interning ahead of automaton
+// construction pins the alphabet generation: the build that follows interns
+// nothing new, so the captured generation is exact for the compiled
+// machinery (absent concurrent interning, which the generation mismatch
+// then reports conservatively).
+func internExprAlphabet(e *hre.Expr, names *ha.Names) {
+	if e == nil {
+		return
+	}
+	syms, vars, substs := e.Names()
+	for _, a := range syms {
+		names.Syms.Intern(a)
+	}
+	for _, x := range vars {
+		names.Vars.Intern(x)
+	}
+	for _, z := range substs {
+		names.Vars.Intern(ha.SubstVarName(z))
+	}
+}
+
+// internPHRAlphabet interns every name the PHR mentions (base labels and
+// both side expressions of every base).
+func internPHRAlphabet(phr *PHR, names *ha.Names) {
+	for _, b := range phr.Bases {
+		names.Syms.Intern(b.Label)
+		internExprAlphabet(b.Left, names)
+		internExprAlphabet(b.Right, names)
+	}
+}
+
 // CompilePHROpt is CompilePHR with explicit options.
 func CompilePHROpt(phr *PHR, names *ha.Names, opts Options) (*CompiledPHR, error) {
 	if len(phr.Bases) > 60 {
 		return nil, fmt.Errorf("core: at most 60 base representations supported, have %d", len(phr.Bases))
 	}
-	c := &CompiledPHR{PHR: phr, Names: names}
+	// Intern the PHR's own alphabet first, then capture the generation:
+	// the automaton build below re-interns the same names idempotently, so
+	// Gen is the exact closed world the side automata range over.
+	internPHRAlphabet(phr, names)
+	c := &CompiledPHR{PHR: phr, Names: names, Gen: names.Generation()}
 	byKey := map[string]int{}
 	compileSide := func(e *hre.Expr) (int, error) {
 		if e == nil {

@@ -325,6 +325,63 @@ func TestParseQueryForms(t *testing.T) {
 	}
 }
 
+func TestParseQueryWhitespace(t *testing.T) {
+	// The select(...) form must be recognized under leading whitespace and
+	// CRLF line endings — previously the untrimmed prefix test fell through
+	// to ParsePHR, which rejects 'select' syntax.
+	for _, src := range []string{
+		"  select(b*; a)",
+		"\tselect(b*; a)",
+		"\r\nselect(b*; a)\r\n",
+		"select(b*; a)\r",
+		"a b*\r",
+		"\r\n a b* \r\n",
+	} {
+		q, err := ParseQuery(src)
+		if err != nil {
+			t.Fatalf("ParseQuery(%q): %v", src, err)
+		}
+		if _, err := ParseQuery(q.String()); err != nil {
+			t.Fatalf("re-parse of %q → %q: %v", src, q.String(), err)
+		}
+	}
+}
+
+func TestParseQueryUnmatchedClosers(t *testing.T) {
+	// A stray closer at depth 0 used to drive the depth negative, hiding a
+	// later top-level ';' (depth -1 ≠ 0) and producing a misleading
+	// trailing error. It must be reported at the offending byte.
+	cases := []struct {
+		src  string
+		off  int // expected SyntaxError offset into src
+		stop byte
+	}{
+		{"select(a); b)", 8, ')'},
+		{"select(a]; b)", 8, ']'},
+		{"select(a>; b)", 8, '>'},
+		{"  select(a); b)", 10, ')'},
+	}
+	for _, c := range cases {
+		_, err := ParseQuery(c.src)
+		if err == nil {
+			t.Fatalf("ParseQuery(%q) should fail", c.src)
+		}
+		se, ok := err.(*SyntaxError)
+		if !ok {
+			t.Fatalf("ParseQuery(%q) error type %T, want *SyntaxError", c.src, err)
+		}
+		if se.Offset != c.off || se.Input[se.Offset] != c.stop {
+			t.Errorf("ParseQuery(%q) offset %d (byte %q), want %d (%q)",
+				c.src, se.Offset, se.Input[se.Offset], c.off, c.stop)
+		}
+	}
+	// The historical "select(e1)" shape keeps its dedicated message.
+	_, err := ParseQuery("select(b*)")
+	if se, ok := err.(*SyntaxError); !ok || se.Msg != "select(...) needs 'e1; phr'" {
+		t.Errorf("ParseQuery(select(b*)) = %v, want needs-'e1; phr' syntax error", err)
+	}
+}
+
 func TestPathExpressionHelper(t *testing.T) {
 	// PathExpression turns a label regex into an all-sides-any PHR.
 	phr := MustParsePHR("figure section*")

@@ -55,3 +55,52 @@ func FuzzParseQuery(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseQueryRoundTrip asserts the stronger contract behind the
+// whitespace and depth-underflow fixes: any accepted input renders to a
+// canonical form that re-parses to the same canonical form (render is
+// idempotent), regardless of surrounding whitespace, CRLF endings, or how
+// brackets nest. Rejected inputs must fail with a structured SyntaxError
+// (or the hre/PHR parsers' own errors), never a panic, and whitespace-only
+// variants of an accepted input must agree with it.
+func FuzzParseQueryRoundTrip(f *testing.F) {
+	for _, s := range []string{
+		"  select(a; b)",
+		"\tselect(fig*; [* ; sec ; *] doc)",
+		"select(a; b)\r\n",
+		"\r\nselect(a; b)",
+		"select(a); b)",
+		"select(a]; b)",
+		"select(a>; b)",
+		"a b*\r",
+		"\r\n[() ; a ; b] [b ; a ; ()] \r\n",
+		"select(*; a)]",
+		"select((a; b)",
+		"select(; a)",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := ParseQuery(rendered)
+		if err != nil {
+			t.Fatalf("rendering of %q does not re-parse: %q: %v", src, rendered, err)
+		}
+		if again := q2.String(); again != rendered {
+			t.Fatalf("render not idempotent for %q: %q then %q", src, rendered, again)
+		}
+		// Whitespace decoration must not change the parse.
+		decorated := " \r\n" + src + "\r\n "
+		qd, err := ParseQuery(decorated)
+		if err != nil {
+			t.Fatalf("whitespace-decorated %q rejected: %v", src, err)
+		}
+		if qd.String() != rendered {
+			t.Fatalf("decoration changed parse of %q: %q vs %q", src, qd.String(), rendered)
+		}
+	})
+}

@@ -22,19 +22,34 @@ type Query struct {
 }
 
 // ParseQuery parses "select(e1; phr)" or just "phr" (any subhedge).
+// Surrounding whitespace (including CRLF line endings) is ignored; the
+// select(...) form is recognized whether or not it is preceded by
+// whitespace. SyntaxError offsets always index into the original input.
 func ParseQuery(input string) (*Query, error) {
-	trimmed := input
+	trimmed := trim(input)
+	// lead is how much leading whitespace trim dropped: every offset
+	// computed against trimmed shifts by lead to index the original input.
+	lead := 0
+	for lead < len(input) && isSpace(input[lead]) {
+		lead++
+	}
 	if len(trimmed) >= 7 && trimmed[:7] == "select(" {
 		body := trimmed[7:]
-		// Split at the top-level ';'.
+		// Split at the top-level ';'. Closers at depth 0 before the split
+		// point are unmatched: reporting them here (instead of letting the
+		// depth go negative) keeps a later top-level ';' from being
+		// silently skipped at depth -1.
 		depth := 0
 		for i := 0; i < len(body); i++ {
 			switch body[i] {
 			case '(', '<', '[':
 				depth++
 			case ')', '>', ']':
-				if depth == 0 && body[i] == ')' && i == len(body)-1 {
-					return nil, &SyntaxError{Input: input, Offset: i + 7, Msg: "select(...) needs 'e1; phr'"}
+				if depth == 0 {
+					if body[i] == ')' && i == len(body)-1 {
+						return nil, &SyntaxError{Input: input, Offset: lead + 7 + i, Msg: "select(...) needs 'e1; phr'"}
+					}
+					return nil, &SyntaxError{Input: input, Offset: lead + 7 + i, Msg: fmt.Sprintf("unmatched %q before the top-level ';'", body[i])}
 				}
 				depth--
 			case ';':
@@ -50,7 +65,7 @@ func ParseQuery(input string) (*Query, error) {
 					}
 					rest := trim(body[i+1:])
 					if len(rest) == 0 || rest[len(rest)-1] != ')' {
-						return nil, &SyntaxError{Input: input, Offset: len(input) - 1, Msg: "select(...) not closed"}
+						return nil, &SyntaxError{Input: input, Offset: lead + len(trimmed) - 1, Msg: "select(...) not closed"}
 					}
 					phr, err := ParsePHR(trim(rest[:len(rest)-1]))
 					if err != nil {
@@ -60,20 +75,24 @@ func ParseQuery(input string) (*Query, error) {
 				}
 			}
 		}
-		return nil, &SyntaxError{Input: input, Offset: len(input), Msg: "select(...) needs 'e1; phr'"}
+		return nil, &SyntaxError{Input: input, Offset: lead + len(trimmed), Msg: "select(...) needs 'e1; phr'"}
 	}
-	phr, err := ParsePHR(input)
+	phr, err := ParsePHR(trimmed)
 	if err != nil {
 		return nil, err
 	}
 	return &Query{Envelope: phr}, nil
 }
 
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
 func trim(s string) string {
-	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t' || s[0] == '\n') {
+	for len(s) > 0 && isSpace(s[0]) {
 		s = s[1:]
 	}
-	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t' || s[len(s)-1] == '\n') {
+	for len(s) > 0 && isSpace(s[len(s)-1]) {
 		s = s[:len(s)-1]
 	}
 	return s
@@ -93,8 +112,19 @@ func (q *Query) String() string {
 // for e₂.
 type CompiledQuery struct {
 	Names *ha.Names
-	phr   *CompiledPHR
-	sub   *subChecker // nil = any subhedge
+
+	// Gen is the alphabet generation (Names.Generation) this query was
+	// compiled against. The compiled automata are closed-world over the
+	// symbols interned at that generation: '.'-sides and completed side
+	// automata silently exclude labels interned later. Callers that keep
+	// interning (parsing more documents) should compare Gen against
+	// Names.Generation() at evaluation time and recompile on mismatch —
+	// the xpe facade does this transparently through its compiled-query
+	// cache.
+	Gen uint64
+
+	phr *CompiledPHR
+	sub *subChecker // nil = any subhedge
 
 	// metrics, when non-nil, receives one flush of evaluation counters per
 	// Select/SelectEach call (see CompiledPHR.metrics for the cost model).
@@ -125,10 +155,31 @@ type subChecker struct {
 	arenas sync.Pool
 }
 
+// PreinternQuery interns every name the compilation of q will intern —
+// element labels, variables, and the substitution variables of embeddings
+// and '.' desugaring. Callers that compile against an immutable alphabet
+// snapshot (the xpe facade) publish the query's names to the live alphabet
+// with this first, so the subsequent compile performs only idempotent
+// (read-locked) interns and never mutates the shared snapshot.
+func PreinternQuery(q *Query, names *ha.Names) {
+	internExprAlphabet(q.Subhedge, names)
+	if q.Envelope != nil {
+		internPHRAlphabet(q.Envelope, names)
+	}
+}
+
 // CompileQuery compiles a selection query. Intern the document alphabet
-// into names before calling for a closed-world reading of side conditions.
+// into names before calling for a closed-world reading of side conditions
+// over those documents; the result is stamped with the alphabet generation
+// it ranges over (see CompiledQuery.Gen), so callers can detect — and
+// recover from — labels interned after compilation.
 func CompileQuery(q *Query, names *ha.Names) (*CompiledQuery, error) {
-	cq := &CompiledQuery{Names: names}
+	// Intern the query's own alphabet up front so the generation captured
+	// here is exact: the automaton builds below re-intern idempotently and
+	// cannot move it (a concurrent ParseXML can, which the stamp then
+	// reports as stale — the conservative direction).
+	PreinternQuery(q, names)
+	cq := &CompiledQuery{Names: names, Gen: names.Generation()}
 	phr, err := CompilePHR(q.Envelope, names)
 	if err != nil {
 		return nil, err

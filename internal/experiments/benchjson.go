@@ -43,15 +43,28 @@ type BenchReport struct {
 	// ratios measured in adjacent windows (pairing cancels the
 	// time-correlated scheduling noise a single-window delta would carry).
 	// The no-sink path is the regression-gated hot path.
-	MetricsOverheadPct float64       `json:"metrics_overhead_pct"`
-	PeakRSSBytes       int64         `json:"peak_rss_bytes"`
-	Results            []BenchResult `json:"results"`
+	MetricsOverheadPct float64 `json:"metrics_overhead_pct"`
+	// CacheHitSpeedup is cold-compile ns/op divided by cache-hit
+	// recompile ns/op for the engine's compiled-query cache: how much
+	// cheaper a generation-forced recompile is when the (source,
+	// generation) entry is already cached. Filled by cmd/xpebench (the
+	// facade cannot be imported from here).
+	CacheHitSpeedup float64 `json:"cache_hit_speedup,omitempty"`
+	// FastPathOverheadPct is what the unchanged-generation revalidation
+	// check (two atomic loads per evaluation entry) costs relative to
+	// evaluating the underlying compiled query directly, as the median of
+	// paired-round ratios. Filled by cmd/xpebench.
+	FastPathOverheadPct float64       `json:"fast_path_overhead_pct,omitempty"`
+	PeakRSSBytes        int64         `json:"peak_rss_bytes"`
+	Results             []BenchResult `json:"results"`
 }
 
-// measure times fn until minTime has elapsed (at least twice) and reports
+// Measure times fn until minTime has elapsed (at least twice) and reports
 // per-op duration and per-op allocation deltas from runtime.MemStats.
 // nodes is the per-op node count driving the throughput figure (0 = none).
-func measure(name string, nodes int64, minTime time.Duration, fn func()) BenchResult {
+// Exported so cmd/xpebench can extend the report with workloads that need
+// the facade (which this package cannot import).
+func Measure(name string, nodes int64, minTime time.Duration, fn func()) BenchResult {
 	fn() // warm up: arenas, lazy automata
 	runtime.GC()
 	var before, after runtime.MemStats
@@ -160,13 +173,13 @@ func BenchJSON(quick bool) (*BenchReport, error) {
 	}
 	for round := 0; round < rounds; round++ {
 		cq.SetMetrics(nil)
-		r := measure("select-"+sizeName(memSizes[0])+"-nosink", overheadNodes,
+		r := Measure("select-"+sizeName(memSizes[0])+"-nosink", overheadNodes,
 			pairTime, func() { countEach(cq, overheadDoc) })
 		if round == 0 || r.NsPerOp < base.NsPerOp {
 			base = r
 		}
 		cq.SetMetrics(&sink)
-		s := measure("select-"+sizeName(memSizes[0])+"-sink", overheadNodes,
+		s := Measure("select-"+sizeName(memSizes[0])+"-sink", overheadNodes,
 			pairTime, func() { countEach(cq, overheadDoc) })
 		if round == 0 || s.NsPerOp < withSink.NsPerOp {
 			withSink = s
@@ -177,7 +190,7 @@ func BenchJSON(quick bool) (*BenchReport, error) {
 	rep.Results = append(rep.Results, base)
 	for _, n := range memSizes[1:] {
 		doc := docs[n]
-		rep.Results = append(rep.Results, measure(
+		rep.Results = append(rep.Results, Measure(
 			"select-"+sizeName(n)+"-nosink", int64(doc.Size()), minTime,
 			func() { countEach(cq, doc) }))
 	}
@@ -193,7 +206,7 @@ func BenchJSON(quick bool) (*BenchReport, error) {
 	xmlBytes := []byte(xmlStr)
 	for _, workers := range []int{1, 4} {
 		w := workers
-		rep.Results = append(rep.Results, measure(
+		rep.Results = append(rep.Results, Measure(
 			"stream-"+sizeName(streamSize)+"-w"+strconv.Itoa(w),
 			int64(streamDoc.Size()), minTime, func() {
 				_, err := stream.Run(context.Background(), bytes.NewReader(xmlBytes), cq,
@@ -211,7 +224,7 @@ func BenchJSON(quick bool) (*BenchReport, error) {
 		bulk[i] = gen.Document(gen.DefaultDocConfig(), bulkSize)
 		bulkNodes += int64(bulk[i].Size())
 	}
-	rep.Results = append(rep.Results, measure(
+	rep.Results = append(rep.Results, Measure(
 		"bulk-"+strconv.Itoa(bulkDocs)+"x"+sizeName(bulkSize), bulkNodes, minTime,
 		func() { cq.BulkSelect(bulk, 4) }))
 

@@ -21,7 +21,10 @@ import (
 
 // Names carries the shared interners for Σ (element labels) and X
 // (variable labels). Automata combined by products must share the same
-// *Names.
+// *Names. The interners are individually safe for concurrent use (see
+// package alphabet), so a Names may be shared by concurrent parsers and
+// evaluators; closed-world compilations record Generation and revalidate
+// when it moves.
 type Names struct {
 	Syms *alphabet.Interner
 	Vars *alphabet.Interner
@@ -30,6 +33,33 @@ type Names struct {
 // NewNames returns fresh empty interners.
 func NewNames() *Names {
 	return &Names{Syms: alphabet.NewInterner(), Vars: alphabet.NewInterner()}
+}
+
+// Generation is the combined alphabet version: the sum of the symbol and
+// variable interner generations. Both summands are monotone, so the sum is
+// too, and it advances exactly when either interner assigns a fresh id —
+// i.e. whenever the closed-world reading of '.'-sides and schema products
+// would change. Reading it is two atomic loads; no lock is taken.
+func (n *Names) Generation() uint64 {
+	return n.Syms.Generation() + n.Vars.Generation()
+}
+
+// Clone returns an independent snapshot of both interners. Closed-world
+// compilations build automata against a snapshot so that a concurrent
+// Intern into the shared Names cannot resize the alphabet mid-construction;
+// ids agree between a snapshot and its origin for every name present in
+// both, because interners are append-only.
+func (n *Names) Clone() *Names {
+	return &Names{Syms: n.Syms.Clone(), Vars: n.Vars.Clone()}
+}
+
+// ExtensionOf reports whether n is an append-only extension of base: every
+// symbol and variable of base keeps its id in n. True between any two
+// snapshots of one growing alphabet, which is what lets an automaton
+// compiled against the older snapshot be reinterpreted over the newer one
+// (Complete() maps the extension symbols to the sink).
+func (n *Names) ExtensionOf(base *Names) bool {
+	return n.Syms.Extends(base.Syms) && n.Vars.Extends(base.Vars)
 }
 
 // Horiz is the horizontal transition structure of a deterministic hedge

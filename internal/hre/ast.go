@@ -128,7 +128,7 @@ func VClose(e *Expr, z string) *Expr {
 // the "no condition" building block of pointed hedge representations (a
 // path expression is a PHR whose sibling expressions generate all hedges).
 func AnyHedge(syms, vars []string) *Expr {
-	const z = "\x00any"
+	const z = AnySubst
 	subs := make([]*Expr, 0, len(syms)+len(vars))
 	for _, a := range syms {
 		subs = append(subs, Subst(a, z))
@@ -229,8 +229,15 @@ func (e *Expr) Walk(fn func(*Expr)) {
 	}
 }
 
+// AnySubst is the reserved substitution symbol '.' desugars through (see
+// AnyHedge). The NUL prefix keeps it outside the user-writable namespace.
+const AnySubst = "\x00any"
+
 // Names returns the distinct Σ labels, variables, and substitution symbols
-// mentioned in the expression.
+// mentioned in the expression. A '.' node mentions AnySubst: desugaring
+// routes it through that reserved substitution symbol, so callers that
+// pre-intern an expression's alphabet (to pin a generation before building
+// automata) see every name Compile will intern.
 func (e *Expr) Names() (syms, vars, substs []string) {
 	ss, sv, sz := map[string]bool{}, map[string]bool{}, map[string]bool{}
 	e.Walk(func(x *Expr) {
@@ -244,6 +251,11 @@ func (e *Expr) Names() (syms, vars, substs []string) {
 			if !sv[x.Name] {
 				sv[x.Name] = true
 				vars = append(vars, x.Name)
+			}
+		case KAny:
+			if !sz[AnySubst] {
+				sz[AnySubst] = true
+				substs = append(substs, AnySubst)
 			}
 		}
 		if x.Z != "" && !sz[x.Z] {

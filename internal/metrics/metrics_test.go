@@ -79,6 +79,9 @@ func fill(m *Metrics) {
 	m.Eval.Nodes.Add(100)
 	m.Eval.Marks.Add(7)
 	m.Eval.Transitions.Add(450)
+	m.Cache.Hits.Add(5)
+	m.Cache.Misses.Add(2)
+	m.Cache.Evictions.Add(1)
 	m.Split.Records.Add(3)
 	m.Split.Nodes.Add(90)
 	m.Split.Bytes.Add(1024)
@@ -111,6 +114,11 @@ func TestSnapshotGoldenJSON(t *testing.T) {
     "nodes_visited": 100,
     "marks_emitted": 7,
     "transitions": 450
+  },
+  "cache": {
+    "hits": 5,
+    "misses": 2,
+    "evictions": 1
   },
   "split": {
     "records": 3,

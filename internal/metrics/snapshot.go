@@ -32,6 +32,27 @@ func (e *Eval) Snapshot() EvalSnapshot {
 	}
 }
 
+// Cache counts compiled-query cache traffic in the xpe facade: a hit is a
+// generation-mismatched evaluation served an already-recompiled query, a
+// miss is one that had to recompile, an eviction is a bounded-capacity
+// drop of the least-recently-used entry. Fast-path evaluations (alphabet
+// generation unchanged since compile) never touch the cache and are not
+// counted.
+type Cache struct {
+	Hits      Counter
+	Misses    Counter
+	Evictions Counter
+}
+
+// Snapshot returns the current totals.
+func (c *Cache) Snapshot() CacheSnapshot {
+	return CacheSnapshot{
+		Hits:      c.Hits.Load(),
+		Misses:    c.Misses.Load(),
+		Evictions: c.Evictions.Load(),
+	}
+}
+
 // Split counts record-splitting work in internal/xmlhedge.
 type Split struct {
 	// Records counts records successfully split off the input.
@@ -105,13 +126,14 @@ func occupancy(evalNs, wallNs, workers int64) float64 {
 // flushed into it.
 type Metrics struct {
 	Eval   Eval
+	Cache  Cache
 	Split  Split
 	Stream Stream
 }
 
 // Snapshot returns a point-in-time copy of every counter.
 func (m *Metrics) Snapshot() Snapshot {
-	return Snapshot{Eval: m.Eval.Snapshot(), Split: m.Split.Snapshot(), Stream: m.Stream.Snapshot()}
+	return Snapshot{Eval: m.Eval.Snapshot(), Cache: m.Cache.Snapshot(), Split: m.Split.Snapshot(), Stream: m.Stream.Snapshot()}
 }
 
 // AddSnapshot merges a snapshot (typically a Sub delta of another sink)
@@ -122,6 +144,10 @@ func (m *Metrics) AddSnapshot(s Snapshot) {
 	m.Eval.Nodes.Add(s.Eval.NodesVisited)
 	m.Eval.Marks.Add(s.Eval.MarksEmitted)
 	m.Eval.Transitions.Add(s.Eval.Transitions)
+
+	m.Cache.Hits.Add(s.Cache.Hits)
+	m.Cache.Misses.Add(s.Cache.Misses)
+	m.Cache.Evictions.Add(s.Cache.Evictions)
 
 	m.Split.Records.Add(s.Split.Records)
 	m.Split.Nodes.Add(s.Split.Nodes)
@@ -196,6 +222,13 @@ type EvalSnapshot struct {
 	Transitions  int64 `json:"transitions"`
 }
 
+// CacheSnapshot is the encoded form of Cache.
+type CacheSnapshot struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
 // SplitSnapshot is the encoded form of Split.
 type SplitSnapshot struct {
 	Records          int64 `json:"records"`
@@ -222,6 +255,7 @@ type StreamSnapshot struct {
 // deterministic for a given set of counter values.
 type Snapshot struct {
 	Eval   EvalSnapshot   `json:"eval"`
+	Cache  CacheSnapshot  `json:"cache"`
 	Split  SplitSnapshot  `json:"split"`
 	Stream StreamSnapshot `json:"stream"`
 }
@@ -235,6 +269,11 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 			NodesVisited: s.Eval.NodesVisited - prev.Eval.NodesVisited,
 			MarksEmitted: s.Eval.MarksEmitted - prev.Eval.MarksEmitted,
 			Transitions:  s.Eval.Transitions - prev.Eval.Transitions,
+		},
+		Cache: CacheSnapshot{
+			Hits:      s.Cache.Hits - prev.Cache.Hits,
+			Misses:    s.Cache.Misses - prev.Cache.Misses,
+			Evictions: s.Cache.Evictions - prev.Cache.Evictions,
 		},
 		Split: SplitSnapshot{
 			Records:          s.Split.Records - prev.Split.Records,

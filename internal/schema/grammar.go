@@ -52,6 +52,35 @@ func FromDHA(d *ha.DHA) *Schema {
 	return &Schema{Names: d.Names, NHA: d.ToNHA(), DHA: d}
 }
 
+// Rebase reinterprets the schema over names, an append-only extension of
+// the alphabet it was compiled against (a newer snapshot of the same
+// engine's alphabet). Ids of the common names agree, so the automata carry
+// over unchanged — symbols of the extension fall to the sink on
+// completion, i.e. the rebased schema rejects labels the original never
+// saw, exactly its closed-world semantics. Returns nil when names is not
+// an extension (schemas from unrelated alphabets cannot be combined).
+func Rebase(s *Schema, names *ha.Names) *Schema {
+	if s.Names == names {
+		return s
+	}
+	if !names.ExtensionOf(s.Names) {
+		return nil
+	}
+	out := *s
+	out.Names = names
+	if s.DHA != nil {
+		d := *s.DHA
+		d.Names = names
+		out.DHA = &d
+	}
+	if s.NHA != nil {
+		n := *s.NHA
+		n.Names = names
+		out.NHA = &n
+	}
+	return &out
+}
+
 // classDef is one grammar production.
 type classDef struct {
 	class   string

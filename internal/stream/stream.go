@@ -113,6 +113,11 @@ var ErrStop = errors.New("stream: stop")
 // accumulated over delivered records and the first error among: a parse or
 // limit error from the splitter, a yield error (ErrStop is filtered to
 // nil), or ctx cancellation.
+//
+// cq must be resolved against the alphabet generation the caller wants
+// before Run is entered: the compilation is shared by every worker and is
+// never revalidated or recompiled per record (the facade resolves it once,
+// pre-fork).
 func Run(ctx context.Context, r io.Reader, cq *core.CompiledQuery, cfg Config, yield func(*Result) error) (Stats, error) {
 	ropts := xmlhedge.RecordOptions{
 		Split:          cfg.Split,

@@ -8,10 +8,12 @@ import (
 
 // Stats is a point-in-time snapshot of engine instrumentation: evaluation
 // counters (documents, nodes visited, marks emitted, automaton transitions
-// taken), streaming splitter counters (records, nodes, bytes, arena
-// reuse), and streaming stage timings (split / eval / deliver, wall time,
-// per-record latency histogram, worker occupancy). Snapshots are plain
-// values; encode one with WriteJSON for a stable, diff-friendly layout.
+// taken), compiled-query cache counters (hits, misses, evictions — see
+// Engine.CompileQuery for the recompile cost model they expose), streaming
+// splitter counters (records, nodes, bytes, arena reuse), and streaming
+// stage timings (split / eval / deliver, wall time, per-record latency
+// histogram, worker occupancy). Snapshots are plain values; encode one
+// with WriteJSON for a stable, diff-friendly layout.
 type Stats = metrics.Snapshot
 
 // Stats returns a snapshot of the engine's cumulative instrumentation.

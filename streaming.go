@@ -75,11 +75,15 @@ var ErrStop = stream.ErrStop
 // Path and Term are stable copies. Returning ErrStop from yield ends the
 // stream cleanly; any other error aborts it and is returned.
 //
-// The engine's interned alphabet is closed-world exactly as for Select:
-// compile queries after interning the symbols they should range over (a
-// label outside the alphabet at compile time fails '.'-sides and schema
-// products). Errors are typed: *ParseError for malformed XML, *LimitError
-// for a record exceeding the configured bounds.
+// The query is resolved against the engine's current alphabet generation
+// once, before the worker pool forks: if the alphabet grew since q was
+// compiled, SelectStream transparently recompiles (through the engine's
+// compiled-query cache) and every worker evaluates the same refreshed
+// automata. Within the run the alphabet is closed-world — labels first
+// seen mid-stream are record text, not interned symbols, so they fail
+// '.'-sides exactly as an unknown label does for Select. Errors are typed:
+// *ParseError for malformed XML, *LimitError for a record exceeding the
+// configured bounds.
 func (e *Engine) SelectStream(ctx context.Context, r io.Reader, q *Query, opts SelectOptions, yield func(StreamMatch) error) (StreamStats, error) {
 	cfg := stream.Config{
 		Split:          opts.SplitElement,
@@ -97,8 +101,11 @@ func (e *Engine) SelectStream(ctx context.Context, r io.Reader, q *Query, opts S
 		before := sink.reg.Snapshot()
 		defer func() { e.metrics.AddSnapshot(sink.reg.Snapshot().Sub(before)) }()
 	}
+	// Resolve the compilation once, pre-fork: workers share one snapshot
+	// and never recompile per record.
+	cq := q.compiled()
 	var yerr error // yield-originated, passed through unwrapped
-	st, err := stream.Run(ctx, r, q.cq, cfg, func(res *stream.Result) error {
+	st, err := stream.Run(ctx, r, cq, cfg, func(res *stream.Result) error {
 		recPath := res.Path.String()
 		for i := range res.Matches {
 			m := &res.Matches[i]

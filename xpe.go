@@ -37,6 +37,8 @@ import (
 	"context"
 	"io"
 	"iter"
+	"sync"
+	"sync/atomic"
 
 	"xpe/internal/core"
 	"xpe/internal/ha"
@@ -51,15 +53,62 @@ import (
 // and schema compiled through the same Engine agrees on the alphabet,
 // which is what the paper's closed-world side conditions (and the product
 // constructions of Section 8) require.
+//
+// The alphabet is versioned: interning a fresh label (parsing a document
+// with new element names, Rename with a new target) advances a generation
+// counter, and every compiled query and schema is stamped with the
+// generation it was compiled against. Evaluation entry points (Select*,
+// Matches, SelectStream, Validate, Transform*) compare stamps against the
+// current generation and transparently recompile through a bounded
+// engine-level LRU cache on mismatch — so compile order is not semantics:
+// a query compiled before its documents behaves exactly like one compiled
+// after them. Cache traffic is visible in Stats().Cache.
+//
+// An Engine is safe for concurrent use: documents may be parsed and
+// queries evaluated from any number of goroutines sharing one Engine.
 type Engine struct {
 	names *ha.Names
 	// metrics is the engine-wide instrumentation registry; queries compiled
 	// through this engine flush evaluation counters into it (see Stats).
 	metrics *metrics.Metrics
+	// cache holds compiled queries keyed by source × kind × alphabet
+	// generation; generation-mismatch recompiles go through it.
+	cache *compiledCache
+
+	// snapMu guards the cached alphabet snapshot below. Compilations build
+	// automata against an immutable clone of the live alphabet (a concurrent
+	// Intern cannot resize it mid-construction), and every compilation at
+	// one generation shares the same clone — the pointer identity the
+	// product constructions of Section 8 require across schema and query.
+	snapMu  sync.Mutex
+	snap    *ha.Names
+	snapGen uint64
+}
+
+// snapshot returns the shared frozen alphabet clone for the current
+// generation (cloning at most once per generation). Compilations only ever
+// perform idempotent interns against it — every fresh name is published to
+// the live alphabet before the snapshot is taken — so the clone is
+// effectively immutable and safe to share across concurrent compiles.
+func (e *Engine) snapshot() (*ha.Names, uint64) {
+	gen := e.names.Generation()
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	if e.snap == nil || e.snapGen != gen {
+		e.snap = e.names.Clone()
+		// A concurrent intern during Clone may have slipped extra names in;
+		// the clone's own generation is exact for its contents.
+		e.snapGen = e.snap.Generation()
+	}
+	return e.snap, e.snapGen
 }
 
 // NewEngine returns an empty engine.
-func NewEngine() *Engine { return &Engine{names: ha.NewNames(), metrics: &metrics.Metrics{}} }
+func NewEngine() *Engine {
+	e := &Engine{names: ha.NewNames(), metrics: &metrics.Metrics{}}
+	e.cache = newCompiledCache(compiledCacheCap, &e.metrics.Cache)
+	return e
+}
 
 // Document is a parsed XML document or hedge.
 type Document struct {
@@ -125,11 +174,125 @@ func (d *Document) Term() string { return d.hedge.String() }
 // XML serializes the document back to XML.
 func (d *Document) XML() (string, error) { return xmlhedge.ToString(d.hedge) }
 
-// Query is a compiled selection query.
+// Query is a compiled selection query. It may be shared across goroutines:
+// the underlying compiled automata are replaced atomically when the
+// engine's alphabet outgrows them (see Engine and CompileQuery on
+// generation tracking).
 type Query struct {
-	eng *Engine
-	src string
-	cq  *core.CompiledQuery
+	eng  *Engine
+	src  string
+	kind byte // kindQuery or kindXPath: which pipeline recompiles src
+	cq   atomic.Pointer[core.CompiledQuery]
+}
+
+// compiled returns the query's automata, revalidated against the engine's
+// current alphabet generation. The unchanged-generation fast path is two
+// atomic loads and a compare; on mismatch the source is recompiled through
+// the engine cache (so repeat revalidations and sibling Query objects with
+// the same source share one recompile) and the fresh compilation is
+// installed for the next caller. Recompilation of a source that compiled
+// once cannot fail short of a racing alphabet change; if it somehow does,
+// the previous compilation is kept — stale automata answer exactly as the
+// documented pre-generation-tracking semantics did.
+func (q *Query) compiled() *core.CompiledQuery {
+	cq := q.cq.Load()
+	gen := q.eng.names.Generation()
+	if cq.Gen == gen {
+		return cq
+	}
+	ncq, err := q.eng.compileThroughCache(q.kind, q.src, gen)
+	if err != nil {
+		return cq
+	}
+	q.cq.Store(ncq)
+	return ncq
+}
+
+// compileThroughCache resolves (kind, src) at the given alphabet
+// generation via the engine's LRU cache, compiling on miss. A first
+// compile of a source with fresh labels advances the generation while
+// compiling; the result is additionally aliased under its post-compile
+// generation so the very next same-source compile is a hit.
+func (e *Engine) compileThroughCache(kind byte, src string, gen uint64) (*core.CompiledQuery, error) {
+	cq, err := e.cache.get(cacheKey{kind: kind, gen: gen, src: src}, func() (*core.CompiledQuery, error) {
+		cq, err := e.compileSource(kind, src)
+		if err != nil {
+			return nil, err
+		}
+		cq.SetMetrics(&e.metrics.Eval)
+		return cq, nil
+	})
+	if err == nil && cq.Gen != gen {
+		e.cache.put(cacheKey{kind: kind, gen: cq.Gen, src: src}, cq)
+	}
+	return cq, err
+}
+
+// compileSource runs the parse/translate-and-compile pipeline for one
+// query source. The query's own names are published to the live alphabet
+// first; the automata are then built against the shared frozen snapshot of
+// the current generation, so a concurrent ParseXML can never resize the
+// alphabet mid-construction. XPath sources re-translate on every compile:
+// the translation itself enumerates the interned alphabet ('//' expands
+// per label), so recompiling under a grown alphabet yields a genuinely
+// wider query, not just wider automata.
+func (e *Engine) compileSource(kind byte, src string) (*core.CompiledQuery, error) {
+	switch kind {
+	case kindXPath:
+		p, err := xpath.Parse(src)
+		if err != nil {
+			return nil, wrapCompileErr(err, src)
+		}
+		// The translation enumerates the live alphabet, so re-translate
+		// until the generation holds still across enumerate + pre-intern:
+		// the stamp then covers exactly the labels the translation saw.
+		for attempt := 0; ; attempt++ {
+			genA := e.names.Generation()
+			var vars []string
+			for _, v := range e.names.Vars.Names() {
+				if len(v) > 0 && v[0] != '\x00' {
+					vars = append(vars, v)
+				}
+			}
+			q, err := xpath.Translate(p, e.names.Syms.Names(), vars)
+			if err != nil {
+				return nil, wrapCompileErr(err, src)
+			}
+			// Translation emits one base per label per '//' level; the
+			// optimizer (base unification + canonicalization) collapses the
+			// duplicates.
+			q.Envelope = core.Optimize(q.Envelope)
+			core.PreinternQuery(q, e.names)
+			if e.names.Generation() != genA && attempt < 2 {
+				continue // fresh names appeared; re-translate over them
+			}
+			snap, _ := e.snapshot()
+			cq, err := core.CompileQuery(q, snap)
+			if err != nil {
+				return nil, wrapCompileErr(err, src)
+			}
+			return cq, nil
+		}
+	default: // kindQuery
+		q, err := core.ParseQuery(src)
+		if err != nil {
+			return nil, wrapCompileErr(err, src)
+		}
+		core.PreinternQuery(q, e.names)
+		snap, _ := e.snapshot()
+		cq, err := core.CompileQuery(q, snap)
+		if err != nil {
+			return nil, wrapCompileErr(err, src)
+		}
+		return cq, nil
+	}
+}
+
+// newQuery wraps a compiled core query in the facade type.
+func (e *Engine) newQuery(kind byte, src string, cq *core.CompiledQuery) *Query {
+	q := &Query{eng: e, src: src, kind: kind}
+	q.cq.Store(cq)
+	return q
 }
 
 // CompileQuery parses and compiles a selection query. Two forms:
@@ -156,20 +319,22 @@ type Query struct {
 // a<~z> substitution targets with e^z vertical closure and e1 %z e2
 // embedding.
 //
-// Compile queries after the documents/schemas whose alphabet they should
-// range over: '.' and schema products are closed-world over the engine's
-// interned alphabet.
+// Compile order does not matter: '.' and schema products are closed-world
+// over the engine's interned alphabet, but the compiled query is stamped
+// with the alphabet generation it ranges over and every evaluation entry
+// point revalidates the stamp. Parsing a document with fresh labels after
+// compiling simply makes the query's next evaluation recompile — once,
+// through the engine's bounded LRU cache (repeat evaluations at the same
+// generation, and other queries with the same source, are cache hits).
+// The recompile costs what CompileQuery cost; the unchanged-generation
+// fast path costs two atomic loads. Stats().Cache reports hits, misses,
+// and evictions.
 func (e *Engine) CompileQuery(src string) (*Query, error) {
-	q, err := core.ParseQuery(src)
+	cq, err := e.compileThroughCache(kindQuery, src, e.names.Generation())
 	if err != nil {
-		return nil, wrapCompileErr(err, src)
+		return nil, err
 	}
-	cq, err := core.CompileQuery(q, e.names)
-	if err != nil {
-		return nil, wrapCompileErr(err, src)
-	}
-	cq.SetMetrics(&e.metrics.Eval)
-	return &Query{eng: e, src: src, cq: cq}, nil
+	return e.newQuery(kindQuery, src, cq), nil
 }
 
 // String returns the query source.
@@ -194,7 +359,7 @@ type Match struct {
 // the query.
 func (q *Query) Matches(d *Document) iter.Seq[Match] {
 	return func(yield func(Match) bool) {
-		q.cq.SelectEach(d.hedge, func(p hedge.Path, n *hedge.Node) bool {
+		q.compiled().SelectEach(d.hedge, func(p hedge.Path, n *hedge.Node) bool {
 			return yield(Match{Path: p.String(), Term: n.String(), Node: n})
 		})
 	}
@@ -218,7 +383,7 @@ func (q *Query) SelectCtx(ctx context.Context, d *Document) ([]Match, error) {
 		return nil, err
 	}
 	var out []Match
-	q.cq.SelectEach(d.hedge, func(p hedge.Path, n *hedge.Node) bool {
+	q.compiled().SelectEach(d.hedge, func(p hedge.Path, n *hedge.Node) bool {
 		if ctx.Err() != nil {
 			return false
 		}
@@ -250,7 +415,7 @@ type BoundMatch struct {
 // the envelope is ambiguous one successful match per node is chosen; use
 // UniqueBindings to check up front.
 func (q *Query) SelectBindings(d *Document) []BoundMatch {
-	ms := q.cq.SelectBindings(d.hedge)
+	ms := q.compiled().SelectBindings(d.hedge)
 	out := make([]BoundMatch, 0, len(ms))
 	for _, m := range ms {
 		bm := BoundMatch{Match: Match{Path: m.Path.String(), Term: m.Node.String(), Node: m.Node}}
@@ -273,11 +438,25 @@ func sortBindings(bs []Binding) {
 
 // UniqueBindings reports (conservatively) whether every match determines
 // its bindings uniquely.
-func (q *Query) UniqueBindings() bool { return q.cq.HasUniqueBindings() }
+func (q *Query) UniqueBindings() bool { return q.compiled().HasUniqueBindings() }
 
-// Schema is a compiled schema.
+// Schema is a compiled schema. Like Query it is generation-stamped: a
+// grammar-backed schema reparses itself when the engine's alphabet has
+// grown since compilation, so its completed automata (and the products
+// Transform* builds from them) always range over the current alphabet.
+// Schemas returned by Transform* carry no grammar source and stay closed
+// over the alphabet at transformation time.
 type Schema struct {
-	eng *Engine
+	eng   *Engine
+	src   string // grammar source; "" for derived (transformation) schemas
+	state atomic.Pointer[schemaState]
+}
+
+// schemaState pairs a compiled schema with the alphabet generation it was
+// compiled against; the pair is replaced atomically so concurrent readers
+// never observe a stamp from one compilation with automata from another.
+type schemaState struct {
+	gen uint64
 	s   *schema.Schema
 }
 
@@ -287,21 +466,94 @@ type Schema struct {
 //	element doc { (sec | par)* }
 //	define deepsec = element sec { ... }   — classes may share labels
 //	element par { text* }
+//
+// Like CompileQuery, compile order is not semantics: the schema revalidates
+// against the alphabet generation at each use and reparses when stale.
 func (e *Engine) ParseSchema(src string) (*Schema, error) {
-	s, err := schema.ParseGrammar(src, e.names)
+	st, err := e.compileSchema(src)
 	if err != nil {
+		return nil, err
+	}
+	sc := &Schema{eng: e, src: src}
+	sc.state.Store(st)
+	return sc, nil
+}
+
+// compileSchema parses the grammar in two passes. The discovery pass runs
+// against a private clone of the alphabet, so the first compile of a
+// grammar with fresh labels cannot mutate anything shared; the labels it
+// finds are published to the live alphabet. The real pass then builds the
+// automata against the shared frozen snapshot of the current generation —
+// at that point every grammar name is interned, so the parse performs only
+// idempotent lookups and the snapshot stays immutable. The stamp is exact
+// when no concurrent intern raced the snapshot, and conservatively stale
+// (forcing one later revalidation) when one did.
+func (e *Engine) compileSchema(src string) (*schemaState, error) {
+	probe := e.names.Clone()
+	if _, err := schema.ParseGrammar(src, probe); err != nil {
 		return nil, wrapCompileErr(err, src)
 	}
-	return &Schema{eng: e, s: s}, nil
+	for _, a := range probe.Syms.Names() {
+		e.names.Syms.Intern(a)
+	}
+	for _, v := range probe.Vars.Names() {
+		e.names.Vars.Intern(v)
+	}
+	for attempt := 0; ; attempt++ {
+		snap, gen := e.snapshot()
+		s, err := schema.ParseGrammar(src, snap)
+		if err != nil {
+			return nil, wrapCompileErr(err, src)
+		}
+		if snap.Generation() == gen || attempt >= 2 {
+			return &schemaState{gen: gen, s: s}, nil
+		}
+		// Paranoia: the parse interned a name discovery missed. Publish it
+		// and go around with a fresh snapshot.
+		for _, a := range snap.Syms.Names() {
+			e.names.Syms.Intern(a)
+		}
+		for _, v := range snap.Vars.Names() {
+			e.names.Vars.Intern(v)
+		}
+	}
+}
+
+// compiled returns the schema's automata revalidated against the current
+// alphabet generation, reparsing the grammar on mismatch. Derived schemas
+// (no grammar source) are returned as compiled.
+func (s *Schema) compiled() *schema.Schema {
+	st := s.state.Load()
+	if s.src == "" {
+		return st.s
+	}
+	gen := s.eng.names.Generation()
+	if st.gen == gen {
+		return st.s
+	}
+	nst, err := s.eng.compileSchema(s.src)
+	if err != nil {
+		return st.s
+	}
+	s.state.Store(nst)
+	return nst.s
 }
 
 // Validate reports whether the document conforms to the schema.
 func (s *Schema) Validate(d *Document) bool {
-	return s.s.DHA.Accepts(d.hedge)
+	return s.compiled().DHA.Accepts(d.hedge)
 }
 
 // ValidateHedge reports whether a raw hedge conforms to the schema.
-func (s *Schema) ValidateHedge(h hedge.Hedge) bool { return s.s.DHA.Accepts(h) }
+func (s *Schema) ValidateHedge(h hedge.Hedge) bool { return s.compiled().DHA.Accepts(h) }
+
+// derivedSchema wraps a transformation result, stamped with the current
+// generation but carrying no source to revalidate from.
+func (e *Engine) derivedSchema(out *schema.Schema) *Schema {
+	sc := &Schema{eng: e}
+	sc.state.Store(&schemaState{gen: e.names.Generation(), s: out})
+	return sc
+}
 
 // ResultShape selects what TransformSelect's output schema describes.
 type ResultShape = schema.ResultShape
@@ -312,58 +564,106 @@ const (
 	Subtrees  = schema.Subtrees
 )
 
+// resolvePair resolves the schema and the query against the current
+// alphabet generation for a product construction. Both normally land on
+// the same shared snapshot; a derived schema pinned to an older snapshot
+// is rebased onto the query's newer one (legal because snapshots of one
+// engine extend each other — the extension labels fall to the rebased
+// automaton's sink, preserving its closed world).
+func (s *Schema) resolvePair(q *Query) (*schema.Schema, *core.CompiledQuery) {
+	sc, cqc := s.compiled(), q.compiled()
+	for i := 0; i < 2 && sc.Names != cqc.Names; i++ {
+		sc, cqc = s.compiled(), q.compiled()
+	}
+	if sc.Names != cqc.Names {
+		if r := schema.Rebase(sc, cqc.Names); r != nil {
+			sc = r
+		}
+	}
+	return sc, cqc
+}
+
+// harmonizeSchemas rebases whichever schema was compiled against the older
+// alphabet snapshot onto the newer one, so comparisons run over one shared
+// Names.
+func harmonizeSchemas(a, b *schema.Schema) (*schema.Schema, *schema.Schema) {
+	if a.Names == b.Names {
+		return a, b
+	}
+	if r := schema.Rebase(a, b.Names); r != nil {
+		return r, b
+	}
+	if r := schema.Rebase(b, a.Names); r != nil {
+		return a, r
+	}
+	return a, b
+}
+
 // TransformSelect computes the output schema of the query over this input
 // schema (Section 8): the language of results the query can produce on any
-// conforming document.
+// conforming document. Both the schema and the query are revalidated
+// against the current alphabet generation first, so the product is built
+// from automata over one consistent closed world; the result is a derived
+// schema, closed over the alphabet as of this call.
 func (s *Schema) TransformSelect(q *Query, shape ResultShape) (*Schema, error) {
-	out, err := schema.TransformSelect(s.s, q.cq, shape)
+	sc, cqc := s.resolvePair(q)
+	out, err := schema.TransformSelect(sc, cqc, shape)
 	if err != nil {
 		return nil, err
 	}
-	return &Schema{eng: s.eng, s: out}, nil
+	return s.eng.derivedSchema(out), nil
 }
 
 // TransformDelete computes the output schema of deleting every node the
 // query locates, over this input schema.
 func (s *Schema) TransformDelete(q *Query) (*Schema, error) {
-	out, err := schema.TransformDelete(s.s, q.cq)
+	sc, cqc := s.resolvePair(q)
+	out, err := schema.TransformDelete(sc, cqc)
 	if err != nil {
 		return nil, err
 	}
-	return &Schema{eng: s.eng, s: out}, nil
+	return s.eng.derivedSchema(out), nil
 }
 
 // TransformRename computes the output schema of renaming every located
-// node to newLabel over this input schema.
+// node to newLabel over this input schema. A fresh newLabel is interned
+// (advancing the generation) before the schema and query are resolved, so
+// the product's closed world contains it.
 func (s *Schema) TransformRename(q *Query, newLabel string) (*Schema, error) {
-	out, err := schema.TransformRename(s.s, q.cq, newLabel)
+	s.eng.names.Syms.Intern(newLabel)
+	sc, cqc := s.resolvePair(q)
+	out, err := schema.TransformRename(sc, cqc, newLabel)
 	if err != nil {
 		return nil, err
 	}
-	return &Schema{eng: s.eng, s: out}, nil
+	return s.eng.derivedSchema(out), nil
 }
 
 // EquivalentTo reports whether both schemas accept the same documents.
 func (s *Schema) EquivalentTo(other *Schema) (bool, error) {
-	return schema.Equivalent(s.s, other.s)
+	a, b := harmonizeSchemas(s.compiled(), other.compiled())
+	return schema.Equivalent(a, b)
 }
 
 // Includes reports whether every document of other conforms to s.
 func (s *Schema) Includes(other *Schema) (bool, error) {
-	return schema.Includes(s.s, other.s)
+	a, b := harmonizeSchemas(s.compiled(), other.compiled())
+	return schema.Includes(a, b)
 }
 
 // Delete returns a copy of the document with every located subtree
 // removed (the document-level counterpart of TransformDelete).
 func (q *Query) Delete(d *Document) *Document {
-	res := q.cq.Select(d.hedge)
+	res := q.compiled().Select(d.hedge)
 	return &Document{eng: d.eng, hedge: d.hedge.RemoveNodes(res.Located)}
 }
 
 // Rename returns a copy of the document with every located node relabeled
-// to newLabel (the document-level counterpart of TransformRename).
+// to newLabel (the document-level counterpart of TransformRename). A fresh
+// newLabel is interned, advancing the alphabet generation: queries and
+// schemas compiled earlier transparently recompile at their next use.
 func (q *Query) Rename(d *Document, newLabel string) *Document {
-	res := q.cq.Select(d.hedge)
+	res := q.compiled().Select(d.hedge)
 	d.eng.names.Syms.Intern(newLabel)
 	return &Document{eng: d.eng, hedge: d.hedge.RenameNodes(res.Located, newLabel)}
 }
@@ -373,30 +673,17 @@ func (q *Query) Rename(d *Document, newLabel string) *Document {
 // engine's interned alphabet and compiles it. It demonstrates the paper's
 // Section 2 point that XPath's sibling-aware path core embeds into
 // extended path expressions.
+//
+// The translation enumerates the interned alphabet ('//' expands per
+// label), so it is even more generation-sensitive than query compilation;
+// like CompileQuery the result is stamped and transparently re-translated
+// and recompiled when evaluated after the alphabet has grown.
 func (e *Engine) CompileXPath(src string) (*Query, error) {
-	p, err := xpath.Parse(src)
+	cq, err := e.compileThroughCache(kindXPath, src, e.names.Generation())
 	if err != nil {
-		return nil, wrapCompileErr(err, src)
+		return nil, err
 	}
-	var vars []string
-	for _, v := range e.names.Vars.Names() {
-		if len(v) > 0 && v[0] != '\x00' {
-			vars = append(vars, v)
-		}
-	}
-	q, err := xpath.Translate(p, e.names.Syms.Names(), vars)
-	if err != nil {
-		return nil, wrapCompileErr(err, src)
-	}
-	// Translation emits one base per label per '//' level; the optimizer
-	// (base unification + canonicalization) collapses the duplicates.
-	q.Envelope = core.Optimize(q.Envelope)
-	cq, err := core.CompileQuery(q, e.names)
-	if err != nil {
-		return nil, wrapCompileErr(err, src)
-	}
-	cq.SetMetrics(&e.metrics.Eval)
-	return &Query{eng: e, src: src, cq: cq}, nil
+	return e.newQuery(kindXPath, src, cq), nil
 }
 
 // Internal accessors used by the benchmark harness and cmd tools.
@@ -404,8 +691,9 @@ func (e *Engine) CompileXPath(src string) (*Query, error) {
 // Names exposes the engine's interners.
 func (e *Engine) Names() *ha.Names { return e.names }
 
-// Compiled exposes the compiled core query.
-func (q *Query) Compiled() *core.CompiledQuery { return q.cq }
+// Compiled exposes the compiled core query, revalidated against the
+// current alphabet generation exactly as the evaluation entry points do.
+func (q *Query) Compiled() *core.CompiledQuery { return q.compiled() }
 
-// Underlying exposes the compiled schema.
-func (s *Schema) Underlying() *schema.Schema { return s.s }
+// Underlying exposes the compiled schema, revalidated like Validate does.
+func (s *Schema) Underlying() *schema.Schema { return s.compiled() }
