@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-json
+.PHONY: all build test race vet fmt check chaos bench bench-json
 
 all: check
 
@@ -28,12 +28,20 @@ fmt:
 		exit 1; \
 	fi
 
+# chaos runs the fault-containment suite under the race detector: the
+# fault-injection chaos tests (poisoned feeds, forced panics, budgets,
+# timeouts), the goroutine-leak checks, and the faultinject harness's own
+# tests, across the splitter, the stream pipeline, and the facade.
+chaos:
+	$(GO) test -race -run 'Chaos|Leak|FaultInject' ./internal/stream/... ./internal/faultinject/... ./internal/xmlhedge/... .
+
 # check is the CI gate: formatting, static analysis (go vet ./...), the
 # full test suite, the race detector over the concurrency-bearing
-# packages, and a quick perf-regression run (bench-json exercises the
-# instrumented paths end to end; the recorded baseline in BENCH_core.json
-# comes from the non-quick run).
-check: fmt vet build test race bench-json
+# packages, the fault-containment chaos suite, and a quick
+# perf-regression run (bench-json exercises the instrumented paths end to
+# end; the recorded baseline in BENCH_core.json comes from the non-quick
+# run).
+check: fmt vet build test race chaos bench-json
 
 bench:
 	$(GO) test -bench . -benchmem -run NONE ./...

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	xpeselect -query 'fig sec* [* ; doc ; *]' [-format paths|term|xml] [file.xml]
-//	xpeselect -query 'a b*' -stream [-split entry] [-workers N] [file.xml]
+//	xpeselect -query 'a b*' -stream [-split entry] [-workers N] [-on-error abort|skip] [file.xml]
 //
 // With no file argument the document is read from standard input. Query
 // syntax is documented on xpe.Engine.CompileQuery.
@@ -17,6 +17,12 @@
 // the stream starts, so '.' in a streamed query ranges over the labels
 // interned at that point (its own labels, on a fresh engine) — labels
 // first seen mid-stream stay outside its closed world for the run.
+//
+// -on-error picks the failed-record policy for -stream: abort (default)
+// stops at the first bad record, skip drops it and continues (requires
+// -split past broken markup; the summary then reports skipped/recovered
+// counts). -max-record-bytes, -max-stream-bytes, and -record-timeout bound
+// the resources one record / the whole run may consume.
 package main
 
 import (
@@ -40,7 +46,11 @@ func main() {
 	streaming := flag.Bool("stream", false, "evaluate record by record in bounded memory")
 	split := flag.String("split", "", "record root element for -stream (default: children of the document element)")
 	workers := flag.Int("workers", 0, "concurrent record workers for -stream (0 = GOMAXPROCS)")
-	maxNodes := flag.Int("max-record-nodes", 0, "abort -stream if a record exceeds this node count (0 = unlimited)")
+	maxNodes := flag.Int("max-record-nodes", 0, "fail a -stream record over this node count (0 = unlimited)")
+	maxRecBytes := flag.Int64("max-record-bytes", 0, "fail a -stream record spanning more input bytes (0 = unlimited)")
+	maxStreamBytes := flag.Int64("max-stream-bytes", 0, "abort -stream past this total input size (0 = unlimited)")
+	recTimeout := flag.Duration("record-timeout", 0, "fail a -stream record evaluating longer than this (0 = unlimited)")
+	onError := flag.String("on-error", "abort", "failed-record policy for -stream: abort or skip")
 	showMetrics := flag.Bool("metrics", false, "print engine metrics as JSON on stderr after the run")
 	flag.Parse()
 	if (*query == "") == (*xpathQ == "") {
@@ -71,6 +81,18 @@ func main() {
 			Workers:        *workers,
 			SplitElement:   *split,
 			MaxRecordNodes: *maxNodes,
+			MaxRecordBytes: *maxRecBytes,
+			MaxStreamBytes: *maxStreamBytes,
+			RecordTimeout:  *recTimeout,
+		}
+		switch *onError {
+		case "abort":
+			// nil keeps the historical abort surface (the raw typed cause).
+		case "skip":
+			opts.OnError = xpe.Skip
+		default:
+			fmt.Fprintf(os.Stderr, "xpeselect: -on-error must be abort or skip, not %q\n", *onError)
+			os.Exit(2)
 		}
 		stats, err := eng.SelectStream(context.Background(), input, q, opts,
 			func(m xpe.StreamMatch) error {
@@ -79,8 +101,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "xpeselect: %d node(s) located in %d record(s), %d bytes%s\n",
-			stats.Matches, stats.Records, stats.Bytes, cacheSummary(eng))
+		faults := ""
+		if stats.Skipped > 0 || stats.Recovered > 0 {
+			faults = fmt.Sprintf(", %d skipped, %d recovered", stats.Skipped, stats.Recovered)
+		}
+		fmt.Fprintf(os.Stderr, "xpeselect: %d node(s) located in %d record(s), %d bytes%s%s\n",
+			stats.Matches, stats.Records, stats.Bytes, faults, cacheSummary(eng))
 		printMetrics(eng, *showMetrics)
 		return
 	}
@@ -179,7 +205,17 @@ func fatal(err error) {
 	var ce *xpe.CompileError
 	var pe *xpe.ParseError
 	var le *xpe.LimitError
+	var re *xpe.RecordError
+	var ie *xpe.InternalError
 	switch {
+	case errors.As(err, &re):
+		fmt.Fprintf(os.Stderr, "xpeselect: record %d (at %s) failed: %v\n", re.Record, re.Path, re.Err)
+		if errors.As(re.Err, &ie) {
+			os.Stderr.Write(ie.Stack)
+		}
+	case errors.As(err, &ie):
+		fmt.Fprintf(os.Stderr, "xpeselect: internal error on record %d (at %s): %v\n", ie.Record, ie.Path, ie.Value)
+		os.Stderr.Write(ie.Stack)
 	case errors.As(err, &ce):
 		fmt.Fprintf(os.Stderr, "xpeselect: cannot compile query: %s\n", ce.Msg)
 		if ce.Offset >= 0 {

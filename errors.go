@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"unicode/utf8"
 
 	"xpe/internal/core"
+	"xpe/internal/stream"
 	"xpe/internal/xmlhedge"
 )
 
@@ -65,12 +67,16 @@ func (e *CompileError) Error() string {
 
 func (e *CompileError) Unwrap() error { return e.Err }
 
-// LimitError reports a streamed record exceeding a SelectOptions resource
-// bound; the stream cannot continue past it. Use errors.As to recover it.
+// LimitError reports an exceeded SelectOptions resource bound. Kinds
+// "nodes", "depth", "bytes", and "time" are record-scoped — with a Skip
+// policy the stream continues past the offending record; kind "stream"
+// (the whole-run input budget) always aborts. Use errors.As to recover it.
 type LimitError struct {
-	// Kind is the exceeded bound: "nodes" or "depth".
+	// Kind is the exceeded bound: "nodes", "depth", "bytes", "time", or
+	// "stream".
 	Kind string
-	// Limit is the configured bound.
+	// Limit is the configured bound: a node count, a depth, a byte count,
+	// or milliseconds for kind "time".
 	Limit int
 	// Record is the 0-based index of the offending record.
 	Record int
@@ -81,10 +87,59 @@ type LimitError struct {
 }
 
 func (e *LimitError) Error() string {
-	return fmt.Sprintf("xpe: record %d at %s exceeds %s limit %d", e.Record, e.Path, e.Kind, e.Limit)
+	switch e.Kind {
+	case "stream":
+		return fmt.Sprintf("xpe: stream exceeds input budget of %d bytes", e.Limit)
+	case "time":
+		return fmt.Sprintf("xpe: record %d at %s exceeds evaluation timeout of %dms", e.Record, e.Path, e.Limit)
+	default:
+		return fmt.Sprintf("xpe: record %d at %s exceeds %s limit %d", e.Record, e.Path, e.Kind, e.Limit)
+	}
 }
 
 func (e *LimitError) Unwrap() error { return e.Err }
+
+// RecordError attributes a streaming failure to one record. It is what an
+// ErrorPolicy receives, and what SelectStream returns when a policy aborts
+// on a failed record. Err is the typed cause: *ParseError for malformed
+// XML, *LimitError for an exceeded resource bound, *InternalError for a
+// panicking evaluation. Use errors.As to recover it.
+type RecordError struct {
+	// Record is the 0-based index of the failed record. Failed records
+	// consume an index, so skipping one leaves a gap in the delivered
+	// sequence rather than renumbering its successors.
+	Record int
+	// Path is the Dewey path of the record root in the input document, ""
+	// when the failure left it unknown (e.g. truncated input).
+	Path string
+	// Err is the typed cause.
+	Err error
+}
+
+func (e *RecordError) Error() string {
+	return fmt.Sprintf("xpe: record %d at %s: %v", e.Record, e.Path, e.Err)
+}
+
+func (e *RecordError) Unwrap() error { return e.Err }
+
+// InternalError reports a record evaluation that panicked: an engine bug
+// surfaced by that record's content, contained so the Engine and the
+// stream's other records stay usable. The stack identifies the panic site.
+// Use errors.As to recover it.
+type InternalError struct {
+	// Record is the 0-based index of the record whose evaluation panicked.
+	Record int
+	// Path is the Dewey path of the record root in the input document.
+	Path string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at the panic site.
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("xpe: internal error evaluating record %d at %s: %v", e.Record, e.Path, e.Value)
+}
 
 // wrapParseErr converts a document parse failure into *ParseError. src is
 // the full input when available (string parses), "" otherwise.
@@ -124,13 +179,49 @@ func wrapCompileErr(err error, src string) error {
 	return ce
 }
 
+// wrapRecordFailure converts a stream-level record failure into the
+// facade's *RecordError with a typed cause; timeoutMs is the configured
+// RecordTimeout for the "time" LimitError's Limit field.
+func wrapRecordFailure(se *stream.RecordError, timeoutMs int) *RecordError {
+	return &RecordError{Record: se.Index, Path: se.Path.String(), Err: wrapRecordCause(se, timeoutMs)}
+}
+
+// wrapRecordCause types the cause of a record failure: a panicking
+// evaluation, an evaluation timeout, a limit violation, or malformed XML.
+func wrapRecordCause(se *stream.RecordError, timeoutMs int) error {
+	var pe *stream.PanicError
+	if errors.As(se.Err, &pe) {
+		return &InternalError{Record: se.Index, Path: se.Path.String(), Value: pe.Value, Stack: pe.Stack}
+	}
+	if errors.Is(se.Err, stream.ErrRecordTimeout) {
+		return &LimitError{Kind: "time", Limit: timeoutMs, Record: se.Index, Path: se.Path.String(), Err: se.Err}
+	}
+	var le *xmlhedge.LimitError
+	if errors.As(se.Err, &le) {
+		return &LimitError{Kind: le.Kind, Limit: le.Limit, Record: le.Record, Path: le.Path.String(), Err: se.Err}
+	}
+	return wrapParseErr(se.Err, "")
+}
+
 // wrapStreamErr converts streaming-internal errors into their exported
-// counterparts. Callers must pass yield-originated errors through
-// unwrapped before reaching here: everything else a stream can fail with
-// is a record limit, a cancellation, or a malformed input.
-func wrapStreamErr(err error) error {
+// counterparts. Callers must pass yield- and policy-originated errors
+// through unwrapped before reaching here: everything else a stream can
+// fail with is a record failure, a resource limit, a cancellation, or a
+// malformed input.
+func wrapStreamErr(err error, timeoutMs int) error {
 	if err == nil {
 		return nil
+	}
+	var fe *RecordError
+	if errors.As(err, &fe) {
+		return err // already facade-typed
+	}
+	var se *stream.RecordError
+	if errors.As(err, &se) {
+		// A record failure that aborted with a nil policy: panics and
+		// timeouts reach here (splitter failures abort with the raw
+		// error below, preserving the pre-policy surface).
+		return wrapRecordFailure(se, timeoutMs)
 	}
 	var le *xmlhedge.LimitError
 	if errors.As(err, &le) {
@@ -142,7 +233,8 @@ func wrapStreamErr(err error) error {
 	return wrapParseErr(err, "")
 }
 
-// excerptAt returns a short window of src around offset.
+// excerptAt returns a short window of src around offset, widened outward
+// to rune boundaries so multibyte input never yields a torn excerpt.
 func excerptAt(src string, offset int) string {
 	if offset < 0 || offset > len(src) {
 		return clip(src, 40)
@@ -151,9 +243,15 @@ func excerptAt(src string, offset int) string {
 	if start < 0 {
 		start = 0
 	}
+	for start > 0 && !utf8.RuneStart(src[start]) {
+		start--
+	}
 	end := offset + 20
 	if end > len(src) {
 		end = len(src)
+	}
+	for end < len(src) && !utf8.RuneStart(src[end]) {
+		end++
 	}
 	out := src[start:end]
 	if start > 0 {
@@ -165,10 +263,14 @@ func excerptAt(src string, offset int) string {
 	return out
 }
 
-// clip truncates s to at most n bytes with an ellipsis.
+// clip truncates s to at most n bytes with an ellipsis, backing up to a
+// rune boundary so the cut never splits a multibyte character.
 func clip(s string, n int) string {
 	if len(s) <= n {
 		return s
+	}
+	for n > 0 && !utf8.RuneStart(s[n]) {
+		n--
 	}
 	return s[:n] + "…"
 }

@@ -54,7 +54,13 @@ type BenchReport struct {
 	// check (two atomic loads per evaluation entry) costs relative to
 	// evaluating the underlying compiled query directly, as the median of
 	// paired-round ratios. Filled by cmd/xpebench.
-	FastPathOverheadPct float64       `json:"fast_path_overhead_pct,omitempty"`
+	FastPathOverheadPct float64 `json:"fast_path_overhead_pct,omitempty"`
+	// DegradedOverheadPct is what fault containment costs on a degraded
+	// stream: a feed with 1% of its records poisoned (broken markup),
+	// drained under the skip policy, versus the same feed clean — the
+	// median of paired-round ns/op ratios. It prices the recovery path
+	// (resync scan + per-record fresh decoders), not the happy path.
+	DegradedOverheadPct float64       `json:"degraded_overhead_pct"`
 	PeakRSSBytes        int64         `json:"peak_rss_bytes"`
 	Results             []BenchResult `json:"results"`
 }
@@ -216,6 +222,76 @@ func BenchJSON(quick bool) (*BenchReport, error) {
 				}
 			}))
 	}
+
+	// Degraded streaming: a corpus of records split on "doc" with 1% of the
+	// records' markup broken, drained under the skip policy, paired against
+	// the identical corpus clean. Rounds alternate so scheduling noise
+	// cancels in the ratio (same discipline as the metrics overhead above).
+	recCount, recSize := 100, streamSize/100
+	if quick {
+		recCount, recSize = 50, streamSize/50
+	}
+	records := make([]string, recCount)
+	var degradedNodes int64
+	for i := range records {
+		cfg := gen.DefaultDocConfig()
+		cfg.Seed = int64(i + 1)
+		d := gen.Document(cfg, recSize)
+		degradedNodes += int64(d.Size())
+		s, err := xmlhedge.ToString(d)
+		if err != nil {
+			return nil, err
+		}
+		records[i] = s
+	}
+	// The poison breaks the record's own markup only: no "<doc" byte
+	// sequence survives past the error point, so resync lands exactly on
+	// the next record.
+	const poison = "<doc><section><figure></table></section></doc>"
+	poisonEvery := recCount / max(1, recCount/100)
+	buildFeed := func(poisoned bool) []byte {
+		var b bytes.Buffer
+		b.WriteString("<corpus>")
+		for i, r := range records {
+			if poisoned && i%poisonEvery == poisonEvery/2 {
+				b.WriteString(poison)
+			} else {
+				b.WriteString(r)
+			}
+		}
+		b.WriteString("</corpus>")
+		return b.Bytes()
+	}
+	cleanFeed, poisonFeed := buildFeed(false), buildFeed(true)
+	degCfg := stream.Config{
+		Split:         "doc",
+		Workers:       4,
+		OnRecordError: func(*stream.RecordError) error { return nil },
+	}
+	runFeed := func(feed []byte) {
+		_, err := stream.Run(context.Background(), bytes.NewReader(feed), cq,
+			degCfg, func(*stream.Result) error { return nil })
+		if err != nil {
+			panic(err)
+		}
+	}
+	var degClean, degPoison BenchResult
+	var degRatios []float64
+	for round := 0; round < rounds; round++ {
+		r := Measure("stream-degraded-clean", degradedNodes, pairTime,
+			func() { runFeed(cleanFeed) })
+		if round == 0 || r.NsPerOp < degClean.NsPerOp {
+			degClean = r
+		}
+		p := Measure("stream-degraded-1pct", degradedNodes, pairTime,
+			func() { runFeed(poisonFeed) })
+		if round == 0 || p.NsPerOp < degPoison.NsPerOp {
+			degPoison = p
+		}
+		degRatios = append(degRatios, p.NsPerOp/r.NsPerOp)
+	}
+	rep.Results = append(rep.Results, degClean, degPoison)
+	rep.DegradedOverheadPct = (median(degRatios) - 1) * 100
 
 	// Bulk: the shared-compiled-query server shape.
 	bulk := make([]hedge.Hedge, bulkDocs)

@@ -1,0 +1,278 @@
+// Package faultinject provides deterministic fault injection for the
+// streaming engine's chaos tests: readers that short-read, stall, or fail
+// at a chosen byte; forced evaluation panics and stalls on chosen record
+// indices; and synthetic record feeds with malformed, oversized, or
+// truncated records at known positions.
+//
+// Everything here is test-only. The evaluation hooks plug into the
+// pipeline through the stream.Injector interface (implemented structurally
+// by *EvalFaults, so this package does not import internal/stream), which
+// runs inside the worker's panic-containment scope — an injected panic
+// exercises exactly the production failure path.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the default error injected by a failing Reader.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// ReaderOptions configures an injecting Reader; the zero value injects
+// nothing.
+type ReaderOptions struct {
+	// ChunkSizes caps the bytes returned by successive Read calls, cycling
+	// through the slice — e.g. {1} forces byte-at-a-time delivery, {7, 1}
+	// alternates. Empty means no short reads.
+	ChunkSizes []int
+	// FailAfter makes the reader fail with Err once this many bytes have
+	// been delivered (0 = never fail).
+	FailAfter int64
+	// Err is the injected failure; nil means ErrInjected.
+	Err error
+	// StallEvery sleeps StallFor after every StallEvery delivered bytes
+	// (0 = never stall), simulating a slow producer.
+	StallEvery int64
+	StallFor   time.Duration
+}
+
+// Reader wraps an io.Reader with deterministic delivery faults. It
+// intentionally does not implement io.ByteReader: consumers must cope with
+// a minimal reader.
+type Reader struct {
+	src  io.Reader
+	opts ReaderOptions
+	n    int64 // bytes delivered
+	call int   // Read calls served (indexes ChunkSizes)
+}
+
+// NewReader wraps src with the configured faults.
+func NewReader(src io.Reader, opts ReaderOptions) *Reader {
+	return &Reader{src: src, opts: opts}
+}
+
+// Delivered reports the bytes handed out so far.
+func (r *Reader) Delivered() int64 { return r.n }
+
+func (r *Reader) Read(p []byte) (int, error) {
+	if fa := r.opts.FailAfter; fa > 0 && r.n >= fa {
+		err := r.opts.Err
+		if err == nil {
+			err = ErrInjected
+		}
+		return 0, err
+	}
+	if cs := r.opts.ChunkSizes; len(cs) > 0 {
+		max := cs[r.call%len(cs)]
+		r.call++
+		if max < 1 {
+			max = 1
+		}
+		if len(p) > max {
+			p = p[:max]
+		}
+	}
+	if fa := r.opts.FailAfter; fa > 0 && r.n+int64(len(p)) > fa {
+		p = p[:fa-r.n] // deliver exactly up to the failure point first
+	}
+	n, err := r.src.Read(p)
+	r.n += int64(n)
+	if se := r.opts.StallEvery; se > 0 && r.n/se != (r.n-int64(n))/se {
+		time.Sleep(r.opts.StallFor)
+	}
+	return n, err
+}
+
+// EvalFaults injects failures into record evaluation: it implements the
+// stream.Injector interface (structurally), panicking or stalling when the
+// pipeline reaches a chosen record index. Safe for concurrent use by
+// worker pools; configuration must finish before the run starts.
+type EvalFaults struct {
+	mu     sync.Mutex
+	panics map[int]bool
+	stalls map[int]time.Duration
+	calls  map[int]int
+}
+
+// NewEvalFaults returns an empty injector; chain PanicOn/StallOn to arm it.
+func NewEvalFaults() *EvalFaults {
+	return &EvalFaults{panics: map[int]bool{}, stalls: map[int]time.Duration{}, calls: map[int]int{}}
+}
+
+// PanicOn forces the evaluation of the given record indices to panic.
+func (f *EvalFaults) PanicOn(indices ...int) *EvalFaults {
+	for _, i := range indices {
+		f.panics[i] = true
+	}
+	return f
+}
+
+// StallOn makes the evaluation of the given record indices sleep for d
+// before starting (to trip a RecordTimeout deterministically).
+func (f *EvalFaults) StallOn(d time.Duration, indices ...int) *EvalFaults {
+	for _, i := range indices {
+		f.stalls[i] = d
+	}
+	return f
+}
+
+// BeforeEval is the stream.Injector hook: called at the start of each
+// record's evaluation, inside the panic-containment scope.
+func (f *EvalFaults) BeforeEval(index int) {
+	f.mu.Lock()
+	f.calls[index]++
+	d, stall := f.stalls[index]
+	doPanic := f.panics[index]
+	f.mu.Unlock()
+	if stall {
+		time.Sleep(d)
+	}
+	if doPanic {
+		panic(fmt.Sprintf("faultinject: forced panic on record %d", index))
+	}
+}
+
+// Seen returns the distinct record indices whose evaluation started, in
+// ascending order.
+func (f *EvalFaults) Seen() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]int, 0, len(f.calls))
+	for i := range f.calls {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FeedSpec describes a synthetic record feed: Records records named Split
+// inside a <feed> wrapper, each healthy record of the form
+//
+//	<rec><id>i</id><a/><b/></rec>
+//
+// so the query "[* ; a ; b .] rec" locates exactly one node per healthy
+// record, and the <id> text ties every delivery back to its position.
+type FeedSpec struct {
+	// Records is the total record count.
+	Records int
+	// Split is the record element name; "" means "rec".
+	Split string
+	// Children appends that many extra <c0/>, <c1/>, ... children to every
+	// healthy record (grows record size without changing match counts).
+	Children int
+	// Malformed marks record indices emitted with mismatched tags
+	// (<a></b>), poisoning exactly that record's markup.
+	Malformed map[int]bool
+	// Oversized pads the record with N extra <pad>xxxxxxxx</pad> children —
+	// the lever for tripping MaxRecordNodes/MaxRecordBytes on chosen
+	// records.
+	Oversized map[int]int
+	// Truncated cuts the feed in the middle of the final record (and drops
+	// the </feed> close).
+	Truncated bool
+}
+
+// SplitName returns the effective record element name.
+func (s FeedSpec) SplitName() string {
+	if s.Split == "" {
+		return "rec"
+	}
+	return s.Split
+}
+
+// HealthyIDs lists the ids of records expected to survive the feed's
+// faults: not malformed, not oversized, not the truncated tail.
+func (s FeedSpec) HealthyIDs() []int {
+	var out []int
+	for i := 0; i < s.Records; i++ {
+		if s.Malformed[i] || s.Oversized[i] > 0 {
+			continue
+		}
+		if s.Truncated && i == s.Records-1 {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// record renders record i per the spec.
+func (s FeedSpec) record(i int) string {
+	name := s.SplitName()
+	var b []byte
+	b = append(b, '<')
+	b = append(b, name...)
+	b = append(b, "><id>"...)
+	b = strconv.AppendInt(b, int64(i), 10)
+	b = append(b, "</id>"...)
+	if s.Malformed[i] {
+		b = append(b, "<a></b>"...)
+	} else {
+		b = append(b, "<a/><b/>"...)
+	}
+	for c := 0; c < s.Children; c++ {
+		b = append(b, "<c"...)
+		b = strconv.AppendInt(b, int64(c), 10)
+		b = append(b, "/>"...)
+	}
+	for p := 0; p < s.Oversized[i]; p++ {
+		b = append(b, "<pad>xxxxxxxx</pad>"...)
+	}
+	b = append(b, "</"...)
+	b = append(b, name...)
+	b = append(b, '>')
+	return string(b)
+}
+
+// Reader returns a lazily-generating reader over the feed: records are
+// rendered on demand, so arbitrarily long feeds stream in constant memory.
+func (s FeedSpec) Reader() io.Reader {
+	return &feedReader{spec: s}
+}
+
+type feedReader struct {
+	spec    FeedSpec
+	buf     []byte
+	next    int  // next record index to render
+	started bool // prologue emitted
+	done    bool // epilogue emitted
+}
+
+func (f *feedReader) Read(p []byte) (int, error) {
+	for len(f.buf) == 0 {
+		switch {
+		case !f.started:
+			f.started = true
+			f.buf = append(f.buf, "<feed>"...)
+		case f.next < f.spec.Records:
+			f.buf = append(f.buf, f.nextRecord()...)
+		case !f.done:
+			f.done = true
+			if !f.spec.Truncated {
+				f.buf = append(f.buf, "</feed>"...)
+			}
+		default:
+			return 0, io.EOF
+		}
+	}
+	n := copy(p, f.buf)
+	f.buf = f.buf[n:]
+	return n, nil
+}
+
+// nextRecord renders the next record, applying the truncation cut to the
+// final one.
+func (f *feedReader) nextRecord() string {
+	rec := f.spec.record(f.next)
+	if f.spec.Truncated && f.next == f.spec.Records-1 {
+		rec = rec[:len(rec)/2]
+	}
+	f.next++
+	return rec
+}

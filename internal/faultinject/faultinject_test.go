@@ -1,0 +1,134 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"xpe/internal/xmlhedge"
+)
+
+func TestFaultInjectReaderShortReads(t *testing.T) {
+	src := strings.Repeat("x", 100)
+	r := NewReader(strings.NewReader(src), ReaderOptions{ChunkSizes: []int{1, 7}})
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != src {
+		t.Fatalf("short-read delivery corrupted the stream: %d bytes", len(data))
+	}
+	if r.Delivered() != 100 {
+		t.Fatalf("Delivered() = %d, want 100", r.Delivered())
+	}
+}
+
+func TestFaultInjectReaderFailAfter(t *testing.T) {
+	r := NewReader(strings.NewReader(strings.Repeat("x", 100)), ReaderOptions{FailAfter: 37})
+	data, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if len(data) != 37 {
+		t.Fatalf("delivered %d bytes before failing, want exactly 37", len(data))
+	}
+}
+
+func TestFaultInjectReaderCustomErr(t *testing.T) {
+	boom := errors.New("boom")
+	r := NewReader(strings.NewReader("xxxx"), ReaderOptions{FailAfter: 2, Err: boom})
+	if _, err := io.ReadAll(r); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestFaultInjectReaderStalls(t *testing.T) {
+	r := NewReader(strings.NewReader(strings.Repeat("x", 10)), ReaderOptions{
+		ChunkSizes: []int{5}, StallEvery: 5, StallFor: 10 * time.Millisecond})
+	start := time.Now()
+	if _, err := io.ReadAll(r); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("10 bytes with a stall every 5 took %v, want >= 20ms", d)
+	}
+}
+
+func TestFaultInjectEvalFaultsPanic(t *testing.T) {
+	f := NewEvalFaults().PanicOn(3)
+	f.BeforeEval(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("BeforeEval(3) did not panic")
+			}
+		}()
+		f.BeforeEval(3)
+	}()
+	if seen := f.Seen(); len(seen) != 2 || seen[0] != 1 || seen[1] != 3 {
+		t.Fatalf("Seen() = %v, want [1 3]", seen)
+	}
+}
+
+func TestFaultInjectEvalFaultsStall(t *testing.T) {
+	f := NewEvalFaults().StallOn(15*time.Millisecond, 0)
+	start := time.Now()
+	f.BeforeEval(0)
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("stall lasted %v, want >= 15ms", d)
+	}
+}
+
+func TestFaultInjectFeedCleanWellFormed(t *testing.T) {
+	spec := FeedSpec{Records: 10, Children: 2}
+	h, err := xmlhedge.Parse(spec.Reader(), xmlhedge.Options{})
+	if err != nil {
+		t.Fatalf("clean feed does not parse: %v", err)
+	}
+	if len(h) != 1 || len(h[0].Children) != 10 {
+		t.Fatalf("clean feed shape wrong: %d top-level, %d records", len(h), len(h[0].Children))
+	}
+	if got := spec.HealthyIDs(); len(got) != 10 {
+		t.Fatalf("HealthyIDs = %v, want all 10", got)
+	}
+}
+
+func TestFaultInjectFeedMalformedPoisonsRecord(t *testing.T) {
+	spec := FeedSpec{Records: 3, Malformed: map[int]bool{1: true}}
+	if _, err := xmlhedge.Parse(spec.Reader(), xmlhedge.Options{}); err == nil {
+		t.Fatal("malformed feed parsed cleanly")
+	}
+	if got := spec.HealthyIDs(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("HealthyIDs = %v, want [0 2]", got)
+	}
+}
+
+func TestFaultInjectFeedTruncated(t *testing.T) {
+	spec := FeedSpec{Records: 3, Truncated: true}
+	data, err := io.ReadAll(spec.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasSuffix(string(data), "</feed>") {
+		t.Fatal("truncated feed still ends with </feed>")
+	}
+	if _, err := xmlhedge.Parse(strings.NewReader(string(data)), xmlhedge.Options{}); err == nil {
+		t.Fatal("truncated feed parsed cleanly")
+	}
+}
+
+func TestFaultInjectFeedOversized(t *testing.T) {
+	spec := FeedSpec{Records: 2, Oversized: map[int]int{1: 50}}
+	data, err := io.ReadAll(spec.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<pad>") {
+		t.Fatal("oversized record has no padding")
+	}
+	if got := spec.HealthyIDs(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("HealthyIDs = %v, want [0]", got)
+	}
+}

@@ -89,6 +89,8 @@ func fill(m *Metrics) {
 	m.Split.ArenaChunkAllocs.Add(1)
 	m.Stream.Runs.Inc()
 	m.Stream.Workers.Set(4)
+	m.Stream.RecordsSkipped.Add(2)
+	m.Stream.PanicsRecovered.Inc()
 	m.Stream.SplitTime.Add(3, 3000)
 	m.Stream.EvalTime.Add(3, 6000)
 	m.Stream.DeliverTime.Add(3, 1500)
@@ -130,6 +132,8 @@ func TestSnapshotGoldenJSON(t *testing.T) {
   "stream": {
     "runs": 1,
     "workers": 4,
+    "records_skipped": 2,
+    "panics_recovered": 1,
     "split_time": {
       "count": 3,
       "total_ns": 3000

@@ -85,6 +85,12 @@ type Stream struct {
 	Runs Counter
 	// Workers is the worker count of the most recent run.
 	Workers Gauge
+	// RecordsSkipped counts records dropped by a Skip error policy
+	// (malformed records, limit violations, evaluation failures).
+	RecordsSkipped Counter
+	// PanicsRecovered counts record evaluations that panicked and were
+	// converted to errors (whether the policy then skipped or aborted).
+	PanicsRecovered Counter
 	// SplitTime, EvalTime, and DeliverTime accumulate per-record stage
 	// wall time; EvalTime sums across concurrent workers, so it can exceed
 	// WallTime.
@@ -101,13 +107,15 @@ type Stream struct {
 // worker wall time spent evaluating: EvalTime / (WallTime × Workers).
 func (s *Stream) Snapshot() StreamSnapshot {
 	snap := StreamSnapshot{
-		Runs:          s.Runs.Load(),
-		Workers:       s.Workers.Load(),
-		SplitTime:     s.SplitTime.Snapshot(),
-		EvalTime:      s.EvalTime.Snapshot(),
-		DeliverTime:   s.DeliverTime.Snapshot(),
-		WallTime:      s.WallTime.Snapshot(),
-		RecordLatency: s.RecordLatency.Snapshot(),
+		Runs:            s.Runs.Load(),
+		Workers:         s.Workers.Load(),
+		RecordsSkipped:  s.RecordsSkipped.Load(),
+		PanicsRecovered: s.PanicsRecovered.Load(),
+		SplitTime:       s.SplitTime.Snapshot(),
+		EvalTime:        s.EvalTime.Snapshot(),
+		DeliverTime:     s.DeliverTime.Snapshot(),
+		WallTime:        s.WallTime.Snapshot(),
+		RecordLatency:   s.RecordLatency.Snapshot(),
 	}
 	snap.WorkerOccupancy = occupancy(snap.EvalTime.TotalNs, snap.WallTime.TotalNs, snap.Workers)
 	return snap
@@ -159,6 +167,8 @@ func (m *Metrics) AddSnapshot(s Snapshot) {
 	if s.Stream.Workers != 0 {
 		m.Stream.Workers.Set(s.Stream.Workers)
 	}
+	m.Stream.RecordsSkipped.Add(s.Stream.RecordsSkipped)
+	m.Stream.PanicsRecovered.Add(s.Stream.PanicsRecovered)
 	m.Stream.SplitTime.Add(s.Stream.SplitTime.Count, s.Stream.SplitTime.TotalNs)
 	m.Stream.EvalTime.Add(s.Stream.EvalTime.Count, s.Stream.EvalTime.TotalNs)
 	m.Stream.DeliverTime.Add(s.Stream.DeliverTime.Count, s.Stream.DeliverTime.TotalNs)
@@ -242,6 +252,8 @@ type SplitSnapshot struct {
 type StreamSnapshot struct {
 	Runs            int64             `json:"runs"`
 	Workers         int64             `json:"workers"`
+	RecordsSkipped  int64             `json:"records_skipped"`
+	PanicsRecovered int64             `json:"panics_recovered"`
 	SplitTime       TimerSnapshot     `json:"split_time"`
 	EvalTime        TimerSnapshot     `json:"eval_time"`
 	DeliverTime     TimerSnapshot     `json:"deliver_time"`
@@ -285,6 +297,8 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		Stream: StreamSnapshot{
 			Runs:            s.Stream.Runs - prev.Stream.Runs,
 			Workers:         s.Stream.Workers,
+			RecordsSkipped:  s.Stream.RecordsSkipped - prev.Stream.RecordsSkipped,
+			PanicsRecovered: s.Stream.PanicsRecovered - prev.Stream.PanicsRecovered,
 			SplitTime:       s.Stream.SplitTime.sub(prev.Stream.SplitTime),
 			EvalTime:        s.Stream.EvalTime.sub(prev.Stream.EvalTime),
 			DeliverTime:     s.Stream.DeliverTime.sub(prev.Stream.DeliverTime),

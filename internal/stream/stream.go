@@ -13,13 +13,29 @@
 // the semantics that admits single-pass bounded-memory evaluation: sibling
 // conditions of record ancestors would need the not-yet-read remainder of
 // the document.
+//
+// # Fault containment
+//
+// Record independence also bounds the blast radius of a failure: a
+// malformed record, a limit violation, or a panicking evaluation concerns
+// exactly one record. Config.OnRecordError decides each failed record's
+// fate — consulted in document order, on the caller's goroutine, with a
+// typed *RecordError. Returning nil skips the record (the splitter skims
+// or resynchronizes past it, see xmlhedge.RecordReader.Recover) and the
+// stream continues; returning an error aborts the run with it. A nil
+// policy aborts on the first failure, preserving the pre-policy behavior
+// exactly. Failures that cannot be contained to a record — reader I/O
+// errors, cancellation, the stream byte budget, malformed markup with no
+// named split to resynchronize on — bypass the policy and abort.
 package stream
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strconv"
 	"sync"
@@ -42,10 +58,30 @@ type Config struct {
 	// GOMAXPROCS. Results are delivered in document order regardless.
 	Workers int
 	// MaxRecordNodes / MaxRecordDepth bound individual records (0 =
-	// unlimited); a violating record aborts the stream with
-	// *xmlhedge.LimitError.
+	// unlimited); a violating record fails with *xmlhedge.LimitError,
+	// routed through OnRecordError.
 	MaxRecordNodes int
 	MaxRecordDepth int
+	// MaxRecordBytes bounds the raw input bytes one record may span;
+	// MaxStreamBytes bounds total input consumption (0 = unlimited).
+	// A record over its byte budget is a record-scoped failure; an
+	// exhausted stream budget aborts the run regardless of policy.
+	MaxRecordBytes int64
+	MaxStreamBytes int64
+	// RecordTimeout bounds one record's evaluation wall time (0 =
+	// unlimited). Enforcement is cooperative — the deadline is checked
+	// between matches and after the traversal — so it catches slow
+	// records, not a wedged evaluation.
+	RecordTimeout time.Duration
+	// OnRecordError is the per-record failure policy. Nil aborts the run
+	// on the first failure with the raw error (legacy behavior). When set,
+	// it is called once per failed record, in document order, on the
+	// goroutine running the collector (never concurrently): return nil to
+	// skip the record, or an error to abort the run with it.
+	OnRecordError func(*RecordError) error
+	// Inject, when non-nil, is called at the fault-injection points (test
+	// only; see internal/faultinject).
+	Inject Injector
 	// KeepWhitespace retains whitespace-only text nodes.
 	KeepWhitespace bool
 	// Metrics, when non-nil, receives live instrumentation: splitter
@@ -57,12 +93,21 @@ type Config struct {
 	Metrics *metrics.Metrics
 }
 
+// Injector is the fault-injection hook: BeforeEval runs at the start of
+// each record's evaluation, inside the panic-containment scope, so an
+// injected panic or stall exercises exactly the production failure path.
+type Injector interface {
+	BeforeEval(index int)
+}
+
 // Stats aggregates one streaming run.
 type Stats struct {
-	Records int64 // records evaluated and delivered
-	Nodes   int64 // total nodes across delivered records
-	Matches int64 // total located nodes
-	Bytes   int64 // input bytes consumed by the XML decoder
+	Records   int64 // records evaluated and delivered
+	Nodes     int64 // total nodes across delivered records
+	Matches   int64 // total located nodes
+	Bytes     int64 // input bytes consumed by the XML decoder
+	Skipped   int64 // failed records dropped by the OnRecordError policy
+	Recovered int64 // evaluation panics caught and converted to errors
 }
 
 // Match is one located node within a record.
@@ -87,12 +132,21 @@ type Result struct {
 
 	pathBuf []int
 	arena   *xmlhedge.Arena
+	// fail marks a contained per-record failure (always a *RecordError)
+	// traveling the pipeline in place of matches; the collector routes it
+	// through the error policy at the record's in-order position.
+	fail error
+	// await, on splitter-failure tombstones, carries the policy verdict
+	// back to the producer, which is blocked mid-recovery waiting for it.
+	await chan error
 }
 
 // reset prepares a recycled Result for reuse.
 func (r *Result) reset() {
 	r.Matches = r.Matches[:0]
 	r.pathBuf = r.pathBuf[:0]
+	r.fail = nil
+	r.await = nil
 }
 
 // addMatch copies the (reused) path into the result's backing buffer and
@@ -104,15 +158,50 @@ func (r *Result) addMatch(p hedge.Path, n *hedge.Node) {
 }
 
 // ErrStop, returned by a yield callback, ends the stream early with no
-// error (mirroring fs.SkipAll).
+// error (mirroring fs.SkipAll). Recognition uses errors.Is, so a wrapped
+// stop sentinel works too.
 var ErrStop = errors.New("stream: stop")
+
+// ErrRecordTimeout is the cause inside the *RecordError reported for a
+// record whose evaluation exceeded Config.RecordTimeout.
+var ErrRecordTimeout = errors.New("stream: record evaluation timed out")
+
+// RecordError attributes a contained failure to one record: its index and
+// Dewey path in the document, and the cause — a parse error
+// (*xmlhedge.RecordParseError in Err's chain), a limit violation
+// (*xmlhedge.LimitError), an evaluation panic (*PanicError), or
+// ErrRecordTimeout.
+type RecordError struct {
+	Index int
+	Path  hedge.Path
+	Err   error
+}
+
+func (e *RecordError) Error() string {
+	return fmt.Sprintf("stream: record %d at %s: %v", e.Index, e.Path, e.Err)
+}
+
+func (e *RecordError) Unwrap() error { return e.Err }
+
+// PanicError is the cause inside the *RecordError reported for a record
+// whose evaluation panicked: the recovered value and the stack captured at
+// the panic site.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("stream: record evaluation panicked: %v", e.Value)
+}
 
 // Run streams records from r, evaluates cq on each, and calls yield once
 // per record in document order. Hedge nodes referenced by the Result are
 // recycled: they are valid only until yield returns. Run returns the stats
 // accumulated over delivered records and the first error among: a parse or
-// limit error from the splitter, a yield error (ErrStop is filtered to
-// nil), or ctx cancellation.
+// limit error from the splitter, an evaluation failure, a yield error
+// (ErrStop is filtered to nil), or ctx cancellation — except for failures
+// the cfg.OnRecordError policy chose to skip.
 //
 // cq must be resolved against the alphabet generation the caller wants
 // before Run is entered: the compilation is shared by every worker and is
@@ -123,6 +212,8 @@ func Run(ctx context.Context, r io.Reader, cq *core.CompiledQuery, cfg Config, y
 		Split:          cfg.Split,
 		MaxNodes:       cfg.MaxRecordNodes,
 		MaxDepth:       cfg.MaxRecordDepth,
+		MaxBytes:       cfg.MaxRecordBytes,
+		MaxStreamBytes: cfg.MaxStreamBytes,
 		KeepWhitespace: cfg.KeepWhitespace,
 	}
 	workers := cfg.Workers
@@ -138,33 +229,87 @@ func Run(ctx context.Context, r io.Reader, cq *core.CompiledQuery, cfg Config, y
 		start := time.Now()
 		defer func() { ms.WallTime.Observe(time.Since(start)) }()
 	}
-	rr := xmlhedge.NewRecordReader(r, ropts)
 	if workers <= 1 {
-		return runSequential(ctx, rr, cq, ms, yield)
+		ropts.Ctx = ctx
+		rr := xmlhedge.NewRecordReader(r, ropts)
+		return runSequential(ctx, rr, cq, cfg, ms, yield)
 	}
-	return runParallel(ctx, rr, cq, workers, ms, yield)
+	return runParallel(ctx, r, ropts, cq, workers, cfg, ms, yield)
 }
 
-// evaluate runs the query over one parsed record.
-func evaluate(cq *core.CompiledQuery, rec *xmlhedge.Record, res *Result) {
+// safeEvaluate runs the query over one parsed record with panics contained
+// and the evaluation timeout enforced. A non-nil return is always a
+// *RecordError; on success res holds the matches.
+func safeEvaluate(cq *core.CompiledQuery, rec *xmlhedge.Record, res *Result, timeout time.Duration, inject Injector) (fail *RecordError) {
+	defer func() {
+		if v := recover(); v != nil {
+			fail = &RecordError{Index: rec.Index, Path: rec.Path,
+				Err: &PanicError{Value: v, Stack: debug.Stack()}}
+		}
+	}()
 	res.reset()
 	res.Index, res.Path, res.Nodes = rec.Index, rec.Path, rec.Nodes
-	cq.SelectEach(rec.Hedge, func(p hedge.Path, n *hedge.Node) bool {
-		res.addMatch(p, n)
+	var start time.Time
+	if timeout > 0 || inject != nil {
+		start = time.Now()
+	}
+	if inject != nil {
+		inject.BeforeEval(rec.Index)
+	}
+	if timeout <= 0 {
+		cq.SelectEach(rec.Hedge, func(p hedge.Path, n *hedge.Node) bool {
+			res.addMatch(p, n)
+			return true
+		})
+		return nil
+	}
+	// Cooperative deadline: sampled every 64 matches during the traversal
+	// (Algorithm 1 is linear and terminating — the budget targets slow
+	// records, not infinite loops) and checked once more after it.
+	deadline := start.Add(timeout)
+	n, timedOut := 0, false
+	cq.SelectEach(rec.Hedge, func(p hedge.Path, node *hedge.Node) bool {
+		res.addMatch(p, node)
+		if n++; n&63 == 0 && time.Now().After(deadline) {
+			timedOut = true
+			return false
+		}
 		return true
 	})
+	if timedOut || time.Since(start) > timeout {
+		return &RecordError{Index: rec.Index, Path: rec.Path, Err: ErrRecordTimeout}
+	}
+	return nil
+}
+
+// recordFailure attributes a record-scoped splitter failure to its record,
+// pulling index and path out of the typed error when present (limit
+// violations and in-record parse errors carry them; truncations fall back
+// to the reader's next index).
+func recordFailure(rr *xmlhedge.RecordReader, err error) *RecordError {
+	fail := &RecordError{Index: rr.NextIndex(), Err: err}
+	var le *xmlhedge.LimitError
+	var pe *xmlhedge.RecordParseError
+	switch {
+	case errors.As(err, &le):
+		fail.Index, fail.Path = le.Record, le.Path
+	case errors.As(err, &pe):
+		fail.Index, fail.Path = pe.Index, pe.Path
+	}
+	return fail
 }
 
 // runSequential is the single-worker hot loop: one arena, one Result, no
 // goroutines — steady-state evaluation allocates nothing, with or without
 // a metrics sink (timing is two clock reads per stage per record).
-func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.CompiledQuery, ms *metrics.Stream, yield func(*Result) error) (Stats, error) {
+func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.CompiledQuery, cfg Config, ms *metrics.Stream, yield func(*Result) error) (Stats, error) {
 	var (
 		stats Stats
 		arena xmlhedge.Arena
 		res   Result
 		t0    time.Time
 	)
+	pol := cfg.OnRecordError
 	for {
 		if err := ctx.Err(); err != nil {
 			stats.Bytes = rr.InputOffset()
@@ -183,16 +328,50 @@ func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Comp
 		}
 		if err != nil {
 			stats.Bytes = rr.InputOffset()
-			return stats, err
+			if pol == nil || !rr.CanRecover() {
+				return stats, err
+			}
+			if perr := pol(recordFailure(rr, err)); perr != nil {
+				return stats, perr
+			}
+			stats.Skipped++
+			if ms != nil {
+				ms.RecordsSkipped.Inc()
+			}
+			if rerr := rr.Recover(); rerr != nil {
+				return stats, rerr
+			}
+			continue
 		}
 		if ms != nil {
 			t0 = time.Now()
 		}
-		evaluate(cq, &rec, &res)
+		evalErr := safeEvaluate(cq, &rec, &res, cfg.RecordTimeout, cfg.Inject)
 		if ms != nil {
 			d := time.Since(t0)
 			ms.EvalTime.Observe(d)
 			ms.RecordLatency.Observe(d)
+		}
+		if evalErr != nil {
+			if _, isPanic := evalErr.Err.(*PanicError); isPanic {
+				stats.Recovered++
+				if ms != nil {
+					ms.PanicsRecovered.Inc()
+				}
+			}
+			if pol == nil {
+				stats.Bytes = rr.InputOffset()
+				return stats, evalErr
+			}
+			if perr := pol(evalErr); perr != nil {
+				stats.Bytes = rr.InputOffset()
+				return stats, perr
+			}
+			stats.Skipped++
+			if ms != nil {
+				ms.RecordsSkipped.Inc()
+			}
+			continue
 		}
 		stats.Records++
 		stats.Nodes += int64(res.Nodes)
@@ -206,7 +385,7 @@ func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Comp
 		}
 		if err != nil {
 			stats.Bytes = rr.InputOffset()
-			if err == ErrStop {
+			if errors.Is(err, ErrStop) {
 				return stats, nil
 			}
 			return stats, err
@@ -220,9 +399,21 @@ func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Comp
 // results for in-order delivery. The arena pool (workers+1 arenas) is the
 // memory bound: the producer blocks until a delivered record's arena is
 // recycled.
-func runParallel(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.CompiledQuery, workers int, ms *metrics.Stream, yield func(*Result) error) (Stats, error) {
+//
+// Failure containment keeps the policy on the collector: evaluation
+// failures replace the worker's matches on the Result; splitter failures
+// become tombstone Results injected into the reorder sequence (so in-order
+// delivery never stalls on the failed index) while the producer blocks on
+// the tombstone's await channel for the verdict — recovery rewires the
+// reader's state, so the producer cannot run ahead of the decision.
+func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions, cq *core.CompiledQuery, workers int, cfg Config, ms *metrics.Stream, yield func(*Result) error) (Stats, error) {
 	ictx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	// The splitter polls the internal context, so cancellation (external or
+	// failure-induced) interrupts even a mid-record read.
+	ropts.Ctx = ictx
+	rr := xmlhedge.NewRecordReader(r, ropts)
+	pol := cfg.OnRecordError
 
 	nArenas := workers + 1
 	free := make(chan *xmlhedge.Arena, nArenas)
@@ -277,11 +468,55 @@ func runParallel(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Compil
 				ms.SplitTime.Observe(time.Since(t0))
 			}
 			if err != nil {
-				if err != io.EOF {
-					setErr(err)
+				free <- arena // cap nArenas: never blocks
+				if err == io.EOF || ictx.Err() != nil {
+					// EOF, or a cancellation-induced read failure: the run's
+					// outcome is already decided elsewhere.
+					bytes.Store(rr.InputOffset())
+					return
 				}
-				bytes.Store(rr.InputOffset())
-				return
+				if pol == nil || !rr.CanRecover() {
+					setErr(err)
+					bytes.Store(rr.InputOffset())
+					return
+				}
+				// Recoverable: send a tombstone through the reorder sequence
+				// and wait for the collector's in-order verdict before
+				// touching the reader again.
+				fail := recordFailure(rr, err)
+				res := resPool.Get().(*Result)
+				res.reset()
+				res.Index, res.Path, res.Nodes = fail.Index, fail.Path, 0
+				res.fail = fail
+				verdict := make(chan error, 1)
+				res.await = verdict
+				// done stays open while the producer lives (its closer waits
+				// for jobs to close), so this send is safe.
+				select {
+				case done <- res:
+				case <-ictx.Done():
+					bytes.Store(rr.InputOffset())
+					return
+				}
+				select {
+				case d := <-verdict:
+					if d != nil {
+						// The collector aborted with the policy's error.
+						bytes.Store(rr.InputOffset())
+						return
+					}
+				case <-ictx.Done():
+					bytes.Store(rr.InputOffset())
+					return
+				}
+				if rerr := rr.Recover(); rerr != nil {
+					if ictx.Err() == nil {
+						setErr(rerr)
+					}
+					bytes.Store(rr.InputOffset())
+					return
+				}
+				continue
 			}
 			res := resPool.Get().(*Result)
 			res.arena = arena
@@ -297,7 +532,8 @@ func runParallel(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Compil
 	// Workers: evaluate records; the mirror automaton and arenas inside cq
 	// are concurrency-safe (locked / pooled). All stage-timer updates are
 	// atomic (metrics.Timer), so concurrent flushes from workers and
-	// snapshot reads race-cleanly.
+	// snapshot reads race-cleanly. A panicking evaluation is contained in
+	// safeEvaluate, so a worker goroutine never dies.
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -308,7 +544,9 @@ func runParallel(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Compil
 				if ms != nil {
 					t0 = time.Now()
 				}
-				evaluate(cq, &j.rec, j.res)
+				if evalErr := safeEvaluate(cq, &j.rec, j.res, cfg.RecordTimeout, cfg.Inject); evalErr != nil {
+					j.res.fail = evalErr
+				}
 				if ms != nil {
 					d := time.Since(t0)
 					ms.EvalTime.Observe(d)
@@ -327,12 +565,21 @@ func runParallel(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Compil
 		close(done)
 	}()
 
-	// Collector (this goroutine): reorder and deliver.
+	// Collector (this goroutine): reorder, apply the error policy in
+	// document order, and deliver. Policy callbacks run here only, so a
+	// user-supplied OnRecordError is never invoked concurrently.
 	var stats Stats
 	var t0 time.Time
 	pending := map[int]*Result{}
 	next := 0
 	failed := false
+	recycle := func(r *Result) {
+		if r.arena != nil {
+			free <- r.arena
+			r.arena = nil
+		}
+		resPool.Put(r)
+	}
 	for res := range done {
 		pending[res.Index] = res
 		for !failed {
@@ -342,6 +589,37 @@ func runParallel(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Compil
 			}
 			delete(pending, next)
 			next++
+			if r.fail != nil {
+				rerr := r.fail.(*RecordError)
+				if _, isPanic := rerr.Err.(*PanicError); isPanic {
+					stats.Recovered++
+					if ms != nil {
+						ms.PanicsRecovered.Inc()
+					}
+				}
+				var verdict error
+				if pol == nil {
+					verdict = r.fail
+				} else {
+					verdict = pol(rerr)
+				}
+				if verdict == nil {
+					stats.Skipped++
+					if ms != nil {
+						ms.RecordsSkipped.Inc()
+					}
+				}
+				if r.await != nil {
+					r.await <- verdict
+					r.await = nil
+				}
+				recycle(r)
+				if verdict != nil {
+					setErr(verdict)
+					failed = true
+				}
+				continue
+			}
 			stats.Records++
 			stats.Nodes += int64(r.Nodes)
 			stats.Matches += int64(len(r.Matches))
@@ -352,11 +630,9 @@ func runParallel(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Compil
 			if ms != nil {
 				ms.DeliverTime.Observe(time.Since(t0))
 			}
-			free <- r.arena
-			r.arena = nil
-			resPool.Put(r)
+			recycle(r)
 			if err != nil {
-				if err != ErrStop {
+				if !errors.Is(err, ErrStop) {
 					setErr(err)
 				}
 				cancel()
@@ -365,12 +641,11 @@ func runParallel(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Compil
 		}
 		if failed {
 			// Keep draining so workers and the producer can exit; recycle
-			// without delivering.
+			// without delivering. A blocked tombstone producer is released
+			// by the cancellation, not by an answer.
 			for idx, r := range pending {
 				delete(pending, idx)
-				free <- r.arena
-				r.arena = nil
-				resPool.Put(r)
+				recycle(r)
 			}
 		}
 	}

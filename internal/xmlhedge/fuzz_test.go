@@ -3,6 +3,7 @@ package xmlhedge
 import (
 	"errors"
 	"io"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -67,6 +68,12 @@ func FuzzRecordReader(f *testing.F) {
 		{"<f><e/><e/>", "", 0, 0}, // truncated outside a record
 		{"junk<f/>", "", 0, 0},    // character data before the document element
 		{"<f>  <e/>\n</f>", "", 0, 0},
+		{"<f><e><a></b></e><e/></f>", "e", 0, 0},        // mid-record mismatched tags
+		{"<f><e><a><b></a></b></e></f>", "", 0, 0},      // interleaved cross-nesting
+		{"<f><e><a x=1/></e><e/></f>", "e", 0, 0},       // unquoted attribute value
+		{"<f><e/><junk</f>", "e", 0, 0},                 // malformed between records
+		{"<f><e><a/></e><e><b/", "e", 0, 0},             // truncated mid second record
+		{"<f><e><!--<e>--><a/></e><e/></f>", "e", 0, 0}, // decoy start in comment
 	}
 	for _, s := range seeds {
 		f.Add(s.xml, s.split, s.maxNodes, s.maxDep)
@@ -127,4 +134,100 @@ func FuzzRecordReader(f *testing.F) {
 			t.Fatalf("bytes = %d outside [0, %d]", s.Bytes, len(xmlStr))
 		}
 	})
+}
+
+// poisonRecord renders record i broken in one of four ways; every kind
+// errors inside the record and never emits a byte sequence that could be
+// mistaken for a "rec" start tag, so recovery costs exactly that record.
+func poisonRecord(i, kind int) string {
+	id := "<rec><id>" + strconv.Itoa(i) + "</id>"
+	switch kind & 3 {
+	case 0:
+		return id + "<a></b></rec>" // mismatched end tag
+	case 1:
+		return id + "<a x=1></a></rec>" // unquoted attribute value
+	case 2:
+		return id + "</x></rec>" // stray close
+	default:
+		return id + "<a><b></a></b></rec>" // interleaved cross-nesting
+	}
+}
+
+// FuzzRecordReaderSkip fuzzes the recovery path: feeds of identity-tagged
+// records with an arbitrary subset poisoned (by an arbitrary mix of
+// malformation kinds), drained under the skip policy. The invariant is the
+// chaos suite's core guarantee: every healthy record is delivered exactly
+// once, in document order, with its index equal to its position — skipping
+// never loses, duplicates, or renumbers a healthy record.
+func FuzzRecordReaderSkip(f *testing.F) {
+	f.Add(3, uint32(0), uint32(0))
+	f.Add(5, uint32(1<<1), uint32(0))              // one poisoned record, kind 0
+	f.Add(8, uint32(0b10110), uint32(0x3A))        // scattered, mixed kinds
+	f.Add(6, uint32(0b111111), uint32(0xFFF))      // every record poisoned
+	f.Add(20, uint32(0x55555), uint32(0xCAFEBABE)) // alternating poison
+	f.Add(4, uint32(0b0110), uint32(0b1100))       // adjacent poisoned pair
+	f.Fuzz(func(t *testing.T, n int, mask, kinds uint32) {
+		if n < 1 || n > 20 {
+			return
+		}
+		var b strings.Builder
+		b.WriteString("<feed>")
+		var want []string
+		for i := 0; i < n; i++ {
+			if mask>>uint(i)&1 == 1 {
+				b.WriteString(poisonRecord(i, int(kinds>>(2*uint(i)%32))))
+			} else {
+				b.WriteString("<rec><id>" + strconv.Itoa(i) + "</id><a/><b/></rec>")
+				want = append(want, strconv.Itoa(i))
+			}
+		}
+		b.WriteString("</feed>")
+
+		rr := NewRecordReader(strings.NewReader(b.String()), RecordOptions{Split: "rec"})
+		var got []string
+		var fails int
+		for {
+			rec, err := rr.Read(nil)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !rr.CanRecover() {
+					t.Fatalf("unrecoverable failure with a named split: %v", err)
+				}
+				fails++
+				if rerr := rr.Recover(); rerr != nil {
+					t.Fatalf("Recover: %v", rerr)
+				}
+				continue
+			}
+			id := "?"
+			if root := rec.Hedge[0]; len(root.Children) > 0 && len(root.Children[0].Children) > 0 {
+				id = root.Children[0].Children[0].Text
+			}
+			if id != strconv.Itoa(rec.Index) {
+				t.Fatalf("record index %d carries id %q: skipping renumbered a healthy record", rec.Index, id)
+			}
+			got = append(got, id)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("delivered %v, want %v (mask %b)", got, want, mask)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("delivered %v, want %v (mask %b)", got, want, mask)
+			}
+		}
+		if poisoned := popcount(mask, n); fails != poisoned {
+			t.Fatalf("recovered %d failures for %d poisoned records", fails, poisoned)
+		}
+	})
+}
+
+func popcount(mask uint32, n int) int {
+	c := 0
+	for i := 0; i < n; i++ {
+		c += int(mask >> uint(i) & 1)
+	}
+	return c
 }

@@ -1,0 +1,308 @@
+package xmlhedge
+
+import (
+	"context"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"xpe/internal/hedge"
+)
+
+// readAll drains rr applying the skip policy: on a recoverable failure it
+// records the failure and recovers; it returns the delivered records, the
+// failures, and the terminal error (nil for clean EOF).
+func readAllSkip(t *testing.T, rr *RecordReader) (recs []Record, fails []error, terminal error) {
+	t.Helper()
+	for {
+		rec, err := rr.Read(nil)
+		if err == io.EOF {
+			return recs, fails, nil
+		}
+		if err != nil {
+			if !rr.CanRecover() {
+				return recs, fails, err
+			}
+			fails = append(fails, err)
+			if rerr := rr.Recover(); rerr != nil {
+				return recs, fails, rerr
+			}
+			continue
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// ids extracts the text of each record's first child (the identity marker
+// the chaos feeds embed).
+func ids(recs []Record) []string {
+	var out []string
+	for _, r := range recs {
+		n := r.Hedge[0]
+		if len(n.Children) > 0 && len(n.Children[0].Children) > 0 {
+			out = append(out, n.Children[0].Children[0].Text)
+		} else {
+			out = append(out, "?")
+		}
+	}
+	return out
+}
+
+func TestChaosSplitterSkimPreservesPaths(t *testing.T) {
+	// Record 1 exceeds MaxNodes; after recovery, record 2's index and path
+	// must be exactly what they would have been had record 1 succeeded.
+	doc := `<f><r><id>0</id></r><r><id>1</id><a/><b/><c/><d/></r><r><id>2</id></r></f>`
+	rr := NewRecordReader(strings.NewReader(doc), RecordOptions{MaxNodes: 4})
+	recs, fails, terminal := readAllSkip(t, rr)
+	if terminal != nil {
+		t.Fatalf("terminal error: %v", terminal)
+	}
+	if len(fails) != 1 {
+		t.Fatalf("failures = %d, want 1", len(fails))
+	}
+	var le *LimitError
+	if !errors.As(fails[0], &le) || le.Kind != "nodes" || le.Record != 1 {
+		t.Fatalf("failure = %v, want nodes LimitError for record 1", fails[0])
+	}
+	if got := ids(recs); len(got) != 2 || got[0] != "0" || got[1] != "2" {
+		t.Fatalf("ids = %v, want [0 2]", got)
+	}
+	if recs[0].Index != 0 || recs[1].Index != 2 {
+		t.Fatalf("indices = %d,%d, want 0,2", recs[0].Index, recs[1].Index)
+	}
+	want0, want2 := hedge.Path{0, 0}, hedge.Path{0, 2}
+	if recs[0].Path.String() != want0.String() || recs[1].Path.String() != want2.String() {
+		t.Fatalf("paths = %s,%s, want %s,%s", recs[0].Path, recs[1].Path, want0, want2)
+	}
+}
+
+func TestChaosSplitterResyncMalformedRecord(t *testing.T) {
+	// Record 1 has mismatched tags; a named split lets the reader scan to
+	// the next <r and continue delivering records 2 and 3.
+	doc := `<f><r><id>0</id></r><r><id>1</id><a></b></r><r><id>2</id></r><r><id>3</id></r></f>`
+	rr := NewRecordReader(strings.NewReader(doc), RecordOptions{Split: "r"})
+	recs, fails, terminal := readAllSkip(t, rr)
+	if terminal != nil {
+		t.Fatalf("terminal error: %v", terminal)
+	}
+	if len(fails) != 1 {
+		t.Fatalf("failures = %d, want 1: %v", len(fails), fails)
+	}
+	var rpe *RecordParseError
+	if !errors.As(fails[0], &rpe) || rpe.Index != 1 {
+		t.Fatalf("failure = %v, want RecordParseError for record 1", fails[0])
+	}
+	if got := ids(recs); len(got) != 3 || got[0] != "0" || got[1] != "2" || got[2] != "3" {
+		t.Fatalf("ids = %v, want [0 2 3]", got)
+	}
+	// Index numbering must skip the failed record's slot.
+	if recs[1].Index != 2 || recs[2].Index != 3 {
+		t.Fatalf("indices = %d,%d, want 2,3", recs[1].Index, recs[2].Index)
+	}
+}
+
+func TestChaosSplitterResyncBrokenBetweenRecords(t *testing.T) {
+	// Markup breaks between records (stray close tag); resync must still
+	// find the next record start.
+	doc := `<f><r><id>0</id></r></x><r><id>1</id></r></f>`
+	rr := NewRecordReader(strings.NewReader(doc), RecordOptions{Split: "r"})
+	recs, fails, terminal := readAllSkip(t, rr)
+	if terminal != nil {
+		t.Fatalf("terminal error: %v", terminal)
+	}
+	if len(fails) != 1 {
+		t.Fatalf("failures = %d, want 1: %v", len(fails), fails)
+	}
+	if got := ids(recs); len(got) != 2 || got[0] != "0" || got[1] != "1" {
+		t.Fatalf("ids = %v, want [0 1]", got)
+	}
+}
+
+func TestChaosSplitterResyncIgnoresDecoys(t *testing.T) {
+	// After the malformed record, "<r" appears inside a comment, a CDATA
+	// section, and an attribute value before the real next record; the
+	// scanner must skip all three decoys.
+	doc := `<f><r><id>0</id><broken></r>` +
+		`<!-- <r>decoy</r> -->` +
+		`<x a="<r>"><![CDATA[<r>decoy</r>]]></x>` +
+		`<r><id>1</id></r></f>`
+	rr := NewRecordReader(strings.NewReader(doc), RecordOptions{Split: "r"})
+	recs, fails, terminal := readAllSkip(t, rr)
+	if terminal != nil {
+		t.Fatalf("terminal error: %v", terminal)
+	}
+	if len(fails) == 0 {
+		t.Fatalf("expected at least one failure")
+	}
+	got := ids(recs)
+	if len(got) == 0 || got[len(got)-1] != "1" {
+		t.Fatalf("ids = %v, want last record id 1", got)
+	}
+	for _, id := range got {
+		if id == "?" {
+			t.Fatalf("a decoy was mistaken for a record: ids = %v", got)
+		}
+	}
+}
+
+func TestChaosSplitterLongerNameNotMistaken(t *testing.T) {
+	// Split name "r" must not match records named "rec".
+	doc := `<f><r><id>0</id></r><r><id>bad</id><broken></r><rec><id>X</id></rec><r><id>1</id></r></f>`
+	rr := NewRecordReader(strings.NewReader(doc), RecordOptions{Split: "r"})
+	recs, _, terminal := readAllSkip(t, rr)
+	if terminal != nil {
+		t.Fatalf("terminal error: %v", terminal)
+	}
+	if got := ids(recs); len(got) != 2 || got[0] != "0" || got[1] != "1" {
+		t.Fatalf("ids = %v, want [0 1]", got)
+	}
+}
+
+func TestChaosSplitterTruncationEndsStream(t *testing.T) {
+	doc := `<f><r><id>0</id></r><r><id>1</id><a>`
+	rr := NewRecordReader(strings.NewReader(doc), RecordOptions{Split: "r"})
+	recs, fails, terminal := readAllSkip(t, rr)
+	if terminal != nil {
+		t.Fatalf("terminal error: %v", terminal)
+	}
+	if len(fails) != 1 {
+		t.Fatalf("failures = %d, want 1: %v", len(fails), fails)
+	}
+	if got := ids(recs); len(got) != 1 || got[0] != "0" {
+		t.Fatalf("ids = %v, want [0]", got)
+	}
+	// The reader must stay at EOF afterwards.
+	if _, err := rr.Read(nil); err != io.EOF {
+		t.Fatalf("post-recovery read = %v, want io.EOF", err)
+	}
+}
+
+func TestChaosSplitterDefaultSplitUnrecoverable(t *testing.T) {
+	// Without a named split there is no delimiter to resync on: malformed
+	// markup is terminal.
+	doc := `<f><r><id>0</id></r><r><id>1</id><a></b></r><r><id>2</id></r></f>`
+	rr := NewRecordReader(strings.NewReader(doc), RecordOptions{})
+	_, _, terminal := readAllSkip(t, rr)
+	if terminal == nil {
+		t.Fatalf("expected a terminal error")
+	}
+	if rr.CanRecover() {
+		t.Fatalf("CanRecover() = true for a default-split syntax error")
+	}
+}
+
+func TestChaosSplitterRecordBytesBudget(t *testing.T) {
+	big := `<r><id>1</id>` + strings.Repeat("<pad>xxxxxxxx</pad>", 64) + `</r>`
+	doc := `<f><r><id>0</id></r>` + big + `<r><id>2</id></r></f>`
+	rr := NewRecordReader(strings.NewReader(doc), RecordOptions{Split: "r", MaxBytes: 128})
+	recs, fails, terminal := readAllSkip(t, rr)
+	if terminal != nil {
+		t.Fatalf("terminal error: %v", terminal)
+	}
+	if len(fails) != 1 {
+		t.Fatalf("failures = %d, want 1: %v", len(fails), fails)
+	}
+	var le *LimitError
+	if !errors.As(fails[0], &le) || le.Kind != "bytes" {
+		t.Fatalf("failure = %v, want bytes LimitError", fails[0])
+	}
+	if got := ids(recs); len(got) != 2 || got[0] != "0" || got[1] != "2" {
+		t.Fatalf("ids = %v, want [0 2]", got)
+	}
+}
+
+func TestChaosSplitterStreamBudgetFatal(t *testing.T) {
+	doc := `<f>` + strings.Repeat(`<r><id>0</id></r>`, 100) + `</f>`
+	rr := NewRecordReader(strings.NewReader(doc), RecordOptions{Split: "r", MaxStreamBytes: 200})
+	_, _, terminal := readAllSkip(t, rr)
+	var le *LimitError
+	if !errors.As(terminal, &le) || le.Kind != "stream" {
+		t.Fatalf("terminal = %v, want stream LimitError", terminal)
+	}
+	if rr.CanRecover() {
+		t.Fatalf("CanRecover() = true for an exhausted stream budget")
+	}
+}
+
+func TestChaosSplitterContextCancelMidRecord(t *testing.T) {
+	// A record wide enough to exceed the 256-token poll interval; cancel
+	// before reading and verify the cancellation lands mid-record.
+	doc := `<f><r>` + strings.Repeat("<a>x</a>", 1000) + `</r></f>`
+	ctx, cancel := context.WithCancel(context.Background())
+	rr := NewRecordReader(strings.NewReader(doc), RecordOptions{Ctx: ctx})
+	cancel()
+	_, err := rr.Read(nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("read = %v, want context.Canceled", err)
+	}
+	if rr.CanRecover() {
+		t.Fatalf("CanRecover() = true for a cancellation")
+	}
+}
+
+func TestChaosSplitterRepeatedPoison(t *testing.T) {
+	// Several malformed records interleaved with healthy ones: every
+	// healthy record must come through exactly once, in order.
+	var b strings.Builder
+	b.WriteString("<f>")
+	want := []string{}
+	for i := 0; i < 20; i++ {
+		if i%3 == 1 {
+			b.WriteString(`<r><id>bad</id><a></b></r>`)
+		} else {
+			id := string(rune('A' + i))
+			b.WriteString(`<r><id>` + id + `</id><a/></r>`)
+			want = append(want, id)
+		}
+	}
+	b.WriteString("</f>")
+	rr := NewRecordReader(strings.NewReader(b.String()), RecordOptions{Split: "r"})
+	recs, _, terminal := readAllSkip(t, rr)
+	if terminal != nil {
+		t.Fatalf("terminal error: %v", terminal)
+	}
+	got := ids(recs)
+	if len(got) != len(want) {
+		t.Fatalf("ids = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", got, want)
+		}
+	}
+	// Indices must be strictly increasing (no duplicates or reordering).
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Index <= recs[i-1].Index {
+			t.Fatalf("indices not strictly increasing: %d then %d", recs[i-1].Index, recs[i].Index)
+		}
+	}
+}
+
+func TestChaosSplitterArenaAfterRecovery(t *testing.T) {
+	// Arena-backed reads must survive the skim/resync recovery cycle.
+	doc := `<f><r><id>0</id></r><r><id>1</id><a></b></r><r><id>2</id></r></f>`
+	rr := NewRecordReader(strings.NewReader(doc), RecordOptions{Split: "r"})
+	var a Arena
+	var got []string
+	for {
+		a.Reset()
+		rec, err := rr.Read(&a)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if !rr.CanRecover() {
+				t.Fatalf("terminal error: %v", err)
+			}
+			if rerr := rr.Recover(); rerr != nil {
+				t.Fatalf("recover: %v", rerr)
+			}
+			continue
+		}
+		got = append(got, rec.Hedge[0].Children[0].Children[0].Text)
+	}
+	if len(got) != 2 || got[0] != "0" || got[1] != "2" {
+		t.Fatalf("ids = %v, want [0 2]", got)
+	}
+}

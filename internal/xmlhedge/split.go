@@ -1,7 +1,9 @@
 package xmlhedge
 
 import (
+	"context"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 
@@ -14,36 +16,74 @@ type RecordOptions struct {
 	// Split names the record root element: every subtree rooted at an
 	// element with this local name (outermost wins when they nest) is one
 	// record. Empty means the default split: every child element of the
-	// document element is a record.
+	// document element is a record. A named split also enables malformed-
+	// record resynchronization (see RecordReader.Recover): the split name is
+	// the delimiter the reader scans for when a record's markup is broken.
 	Split string
 	// MaxNodes bounds the node count of a single record (0 = unlimited);
-	// exceeding it aborts the stream with a *LimitError.
+	// exceeding it fails the record with a *LimitError (kind "nodes").
 	MaxNodes int
 	// MaxDepth bounds the element nesting depth within a record, counting
 	// the record root as depth 1 (0 = unlimited).
 	MaxDepth int
+	// MaxBytes bounds the raw input bytes a single record may span (0 =
+	// unlimited); exceeding it fails the record with a *LimitError (kind
+	// "bytes"). The record is abandoned as soon as the budget is crossed,
+	// so memory stays bounded even against a multi-gigabyte record.
+	MaxBytes int64
+	// MaxStreamBytes bounds total input consumption across the whole run
+	// (0 = unlimited). Exceeding it is a stream-fatal *LimitError (kind
+	// "stream"): no recovery is possible past an exhausted stream budget.
+	MaxStreamBytes int64
 	// KeepWhitespace retains whitespace-only text nodes (see Options).
 	KeepWhitespace bool
+	// Ctx, when non-nil, is polled every few hundred decoder tokens, so a
+	// cancellation interrupts the splitter even in the middle of a huge
+	// record. The poll costs one counter increment per token.
+	Ctx context.Context
 	// Metrics, when non-nil, receives one flush of splitter counters per
 	// record (records, nodes, bytes, arena reuse); the nil check is the
 	// only cost when detached.
 	Metrics *metrics.Split
 }
 
-// LimitError reports a record exceeding a configured resource bound. The
-// stream cannot continue past it: the offending record is abandoned
-// mid-parse to keep memory bounded.
+// LimitError reports a record (or the stream) exceeding a configured
+// resource bound. Kinds "nodes", "depth", and "bytes" are record-scoped:
+// the offending record is abandoned mid-parse to keep memory bounded, and
+// Recover can skip past it. Kind "stream" (the MaxStreamBytes budget) is
+// stream-fatal.
 type LimitError struct {
-	Kind   string // "nodes" or "depth"
+	Kind   string // "nodes", "depth", "bytes", or "stream"
 	Limit  int    // the configured bound
 	Record int    // 0-based index of the offending record
 	Path   hedge.Path
 }
 
 func (e *LimitError) Error() string {
+	if e.Kind == "stream" {
+		return fmt.Sprintf("xmlhedge: stream exceeds input budget of %d bytes", e.Limit)
+	}
 	return fmt.Sprintf("xmlhedge: record %d at %s exceeds %s limit %d",
 		e.Record, e.Path, e.Kind, e.Limit)
 }
+
+// RecordParseError wraps a parse failure confined to one record with the
+// record's identity, so error policies can attribute the failure and
+// decide its fate. Unwrap exposes the underlying decoder error.
+type RecordParseError struct {
+	// Index is the 0-based index of the failing record.
+	Index int
+	// Path is the Dewey path of the record root within the input document.
+	Path hedge.Path
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *RecordParseError) Error() string {
+	return fmt.Sprintf("xmlhedge: record %d at %s: %v", e.Index, e.Path, e.Err)
+}
+
+func (e *RecordParseError) Unwrap() error { return e.Err }
 
 // Arena bump-allocates hedge nodes in fixed-size chunks and recycles them
 // across records: Reset rewinds the arena without freeing, and recycled
@@ -95,9 +135,14 @@ func (a *Arena) node(kind hedge.NodeKind, name string) *hedge.Node {
 // Record is one streamed record: a single-tree hedge plus its position in
 // the enclosing document.
 type Record struct {
-	// Index is the 0-based record sequence number.
+	// Index is the 0-based record sequence number. Failed records consume
+	// an index too, so skipping one leaves a gap rather than renumbering
+	// its successors.
 	Index int
 	// Path is the Dewey path of the record root within the input document.
+	// After a malformed-record resynchronization the document structure is
+	// no longer fully known; paths then keep counting siblings from the
+	// last verified prefix (best-effort addressing, monotone per record).
 	Path hedge.Path
 	// Nodes is the node count of the record subtree.
 	Nodes int
@@ -106,33 +151,112 @@ type Record struct {
 	Hedge hedge.Hedge
 }
 
+// recKind classifies how a failed RecordReader can resume.
+type recKind uint8
+
+const (
+	recSkim   recKind = iota + 1 // decoder alive: consume tokens to the record's end
+	recResync                    // decoder dead: raw-scan for the next split-name start tag
+	recEOF                       // truncated input: recovering ends the stream cleanly
+)
+
+// recovery is the pending recovery plan recorded at the moment a
+// record-scoped failure is detected.
+type recovery struct {
+	kind  recKind
+	opens int   // recSkim: open elements left to consume
+	from  int64 // recResync: absolute offset to scan from
+}
+
 // RecordReader incrementally splits an XML document into records. It keeps
 // only the record currently being parsed in memory, so streaming a
 // multi-gigabyte document costs O(largest record), not O(document).
+//
+// Failures are contained per record where possible: limit violations and
+// malformed markup inside one record leave the reader in a sticky error
+// state from which Recover can resume at the next record (see Recover for
+// the exact recoverability rules), which is what streaming Skip policies
+// build on.
 type RecordReader struct {
+	tr   *tailReader
 	dec  *xml.Decoder
+	base int64 // absolute input offset of the current decoder's first byte
 	opts RecordOptions
 	idx  int   // next record index
 	idxs []int // sibling index of each open outside-record element
 	// counts[d] = children seen so far at depth d outside records
 	// (counts[0] counts top-level nodes).
 	counts []int
-	err    error // sticky
+	err    error     // sticky until Recover
+	rec    *recovery // pending recovery plan for the sticky error
+	// degraded: a resynchronization happened; records are now located by
+	// raw-scanning for the split name and parsed by per-record decoders.
+	degraded bool
+	scanPos  int64 // degraded mode: absolute offset to scan from (dec == nil)
+	polls    int   // tokens since the reader started; drives poll sampling
 	// flushedBytes is the input offset already flushed to opts.Metrics.
 	flushedBytes int64
 }
 
 // NewRecordReader starts splitting r under the given options.
 func NewRecordReader(r io.Reader, opts RecordOptions) *RecordReader {
-	return &RecordReader{dec: xml.NewDecoder(r), opts: opts, counts: []int{0}}
+	tr := newTailReader(r)
+	return &RecordReader{tr: tr, dec: xml.NewDecoder(tr), opts: opts, counts: []int{0}}
 }
 
 // InputOffset returns the number of input bytes consumed so far.
-func (rr *RecordReader) InputOffset() int64 { return rr.dec.InputOffset() }
+func (rr *RecordReader) InputOffset() int64 {
+	if rr.dec == nil {
+		return rr.scanPos
+	}
+	return rr.base + rr.dec.InputOffset()
+}
+
+// NextIndex returns the index the next record (or record failure) will be
+// assigned.
+func (rr *RecordReader) NextIndex() int { return rr.idx }
+
+// poll samples the cancellation and stream-budget checks once every 256
+// tokens; the off-sample cost is one increment and mask.
+func (rr *RecordReader) poll() error {
+	rr.polls++
+	if rr.polls&255 != 0 {
+		return nil
+	}
+	return rr.pollNowAt(rr.InputOffset())
+}
+
+// pollNowAt applies the context and stream-budget checks against the given
+// absolute input offset.
+func (rr *RecordReader) pollNowAt(off int64) error {
+	if ctx := rr.opts.Ctx; ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if mb := rr.opts.MaxStreamBytes; mb > 0 && off > mb {
+		return &LimitError{Kind: "stream", Limit: int(mb), Record: rr.idx, Path: rr.nextPath()}
+	}
+	return nil
+}
+
+// nextPath is the Dewey path the next record root would get.
+func (rr *RecordReader) nextPath() hedge.Path {
+	depth := len(rr.idxs)
+	return append(append(hedge.Path(nil), rr.idxs...), rr.counts[depth])
+}
+
+// resyncable reports whether a malformed record can be scanned past: that
+// needs a named split (the delimiter to look for) short enough to fit the
+// replay window.
+func (rr *RecordReader) resyncable() bool {
+	return rr.opts.Split != "" && len(rr.opts.Split) <= tailWindow-8
+}
 
 // Read returns the next record, parsed into arena a (a may be nil to
 // allocate plainly). It returns io.EOF at a well-formed end of input; any
-// other error (including *LimitError) is sticky.
+// other error is sticky: repeated Reads fail identically until Recover
+// clears a recoverable failure.
 func (rr *RecordReader) Read(a *Arena) (Record, error) {
 	if rr.err != nil {
 		return Record{}, rr.err
@@ -142,14 +266,22 @@ func (rr *RecordReader) Read(a *Arena) (Record, error) {
 	if m != nil && a != nil {
 		reused0, allocs0 = a.Stats()
 	}
-	rec, err := rr.read(a)
+	var rec Record
+	var err error
+	if err = rr.pollNowAt(rr.InputOffset()); err == nil {
+		if rr.degraded {
+			rec, err = rr.readDegraded(a)
+		} else {
+			rec, err = rr.read(a)
+		}
+	}
 	if err != nil {
 		rr.err = err
 	}
 	if m != nil {
 		// Flush the bytes consumed since the last flush on every outcome
 		// (EOF included), and the record counters on success only.
-		if off := rr.dec.InputOffset(); off > rr.flushedBytes {
+		if off := rr.InputOffset(); off > rr.flushedBytes {
 			m.Bytes.Add(off - rr.flushedBytes)
 			rr.flushedBytes = off
 		}
@@ -166,23 +298,134 @@ func (rr *RecordReader) Read(a *Arena) (Record, error) {
 	return rec, err
 }
 
+// CanRecover reports whether the sticky error is a record-scoped failure
+// Recover can resume past. Stream-fatal conditions — reader I/O errors,
+// cancellation, the stream byte budget, malformed markup with no named
+// split to resynchronize on — report false.
+func (rr *RecordReader) CanRecover() bool {
+	return rr.err != nil && rr.err != io.EOF && rr.rec != nil
+}
+
+// Recover resumes reading past a record-scoped failure, consuming the
+// failed record's index and sibling slot:
+//
+//   - after a limit violation (kinds "nodes", "depth", "bytes") the stream
+//     is still well-formed, so the rest of the offending record is skimmed
+//     token by token in O(1) memory;
+//   - after malformed markup inside a record, a named split permits
+//     byte-level resynchronization: the raw input is scanned (comment-,
+//     CDATA-, and quote-aware) for the next split-name start tag and a
+//     fresh decoder takes over from there. A malformation that swallows
+//     the record's own terminator may cost the records it absorbed; the
+//     scan resumes at the earliest plausible record start.
+//   - after truncated input, recovering ends the stream cleanly (the next
+//     Read returns io.EOF).
+//
+// Recover returns nil when reading can continue and the terminal error
+// otherwise. Calling it with no sticky error (or at EOF) is a no-op.
+func (rr *RecordReader) Recover() error {
+	if rr.err == nil || rr.err == io.EOF {
+		return nil
+	}
+	p := rr.rec
+	rr.rec = nil
+	if p == nil {
+		return rr.err
+	}
+	switch p.kind {
+	case recEOF:
+		rr.idx++
+		rr.err = io.EOF
+		return nil
+	case recSkim:
+		if err := rr.skim(p.opens); err != nil {
+			var se *xml.SyntaxError
+			if errors.As(err, &se) && rr.resyncable() {
+				// The skim itself hit broken markup: fall back to a raw
+				// resynchronization from where the skim died.
+				rr.scanPos = rr.base + rr.dec.InputOffset()
+				return rr.enterDegraded()
+			}
+			rr.err = err
+			return err
+		}
+		rr.consumeSlot()
+		if rr.degraded {
+			rr.scanPos = rr.base + rr.dec.InputOffset()
+			rr.dec = nil
+		}
+		rr.err = nil
+		return nil
+	case recResync:
+		rr.scanPos = p.from
+		return rr.enterDegraded()
+	}
+	return rr.err
+}
+
+// enterDegraded switches the reader to raw-scan record location, consuming
+// the failed record's slot.
+func (rr *RecordReader) enterDegraded() error {
+	rr.consumeSlot()
+	rr.degraded = true
+	rr.dec = nil
+	rr.err = nil
+	return nil
+}
+
+// consumeSlot burns the failed record's index and sibling position, so the
+// numbering of its healthy successors is unaffected by the skip.
+func (rr *RecordReader) consumeSlot() {
+	rr.counts[len(rr.idxs)]++
+	rr.idx++
+}
+
+// skim consumes tokens until the given number of open elements has closed,
+// discarding everything: the O(1)-memory walk past an over-limit record.
+func (rr *RecordReader) skim(opens int) error {
+	for opens > 0 {
+		if err := rr.poll(); err != nil {
+			return err
+		}
+		tok, err := rr.dec.Token()
+		if err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("xmlhedge: unexpected end of input while skipping a record")
+			}
+			return fmt.Errorf("xmlhedge: %w", err)
+		}
+		switch tok.(type) {
+		case xml.StartElement:
+			opens++
+		case xml.EndElement:
+			opens--
+		}
+	}
+	return nil
+}
+
 func (rr *RecordReader) read(a *Arena) (Record, error) {
 	for {
+		if err := rr.poll(); err != nil {
+			return Record{}, err
+		}
+		startOff := rr.base + rr.dec.InputOffset()
 		tok, err := rr.dec.Token()
 		if err == io.EOF {
 			if len(rr.idxs) != 0 {
+				rr.rec = &recovery{kind: recEOF}
 				return Record{}, fmt.Errorf("xmlhedge: unexpected end of input at depth %d", len(rr.idxs))
 			}
 			return Record{}, io.EOF
 		}
 		if err != nil {
-			return Record{}, fmt.Errorf("xmlhedge: %w", err)
+			return Record{}, rr.failOuter(err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
 			depth := len(rr.idxs)
 			if rr.isRecordRoot(t.Name.Local, depth) {
-				return rr.readRecord(t, a)
+				return rr.readRecord(t, a, startOff)
 			}
 			rr.idxs = append(rr.idxs, rr.counts[depth])
 			rr.counts[depth]++
@@ -197,6 +440,9 @@ func (rr *RecordReader) read(a *Arena) (Record, error) {
 					if isSpace(t) {
 						continue // prolog/epilog whitespace
 					}
+					if rr.resyncable() {
+						rr.rec = &recovery{kind: recResync, from: rr.base + rr.dec.InputOffset()}
+					}
 					return Record{}, fmt.Errorf("xmlhedge: character data outside the document element")
 				}
 				// Text between records occupies a child slot, exactly as in
@@ -205,6 +451,58 @@ func (rr *RecordReader) read(a *Arena) (Record, error) {
 			}
 		}
 	}
+}
+
+// failOuter classifies a decoder failure between records: syntax errors can
+// be resynced past when a named split provides the delimiter; I/O errors
+// are stream-fatal.
+func (rr *RecordReader) failOuter(err error) error {
+	var se *xml.SyntaxError
+	if errors.As(err, &se) && rr.resyncable() {
+		rr.rec = &recovery{kind: recResync, from: rr.base + rr.dec.InputOffset()}
+	}
+	return fmt.Errorf("xmlhedge: %w", err)
+}
+
+// readDegraded locates the next record by raw-scanning for the split name
+// and parses it with a fresh per-record decoder.
+func (rr *RecordReader) readDegraded(a *Arena) (Record, error) {
+	pos, err := rr.scanForRecord()
+	if err != nil {
+		return Record{}, err // io.EOF, cancellation, or budget exhaustion
+	}
+	rep, err := rr.tr.replayFrom(pos)
+	if err != nil {
+		return Record{}, err
+	}
+	rr.dec, rr.base = xml.NewDecoder(rep), pos
+	tok, err := rr.dec.Token()
+	if err != nil {
+		return Record{}, rr.failDegradedStart(err, pos)
+	}
+	start, ok := tok.(xml.StartElement)
+	if !ok {
+		return Record{}, rr.failDegradedStart(fmt.Errorf("unexpected %T at resync point", tok), pos)
+	}
+	rec, err := rr.readRecord(start, a, pos)
+	if err != nil {
+		return Record{}, err
+	}
+	rr.scanPos = rr.base + rr.dec.InputOffset()
+	rr.dec = nil
+	return rec, nil
+}
+
+// failDegradedStart reports a resync candidate that failed to parse as a
+// start tag; the scan resumes past it.
+func (rr *RecordReader) failDegradedStart(err error, pos int64) error {
+	from := rr.base + rr.dec.InputOffset()
+	if from <= pos {
+		from = pos + 1
+	}
+	rr.rec = &recovery{kind: recResync, from: from}
+	return &RecordParseError{Index: rr.idx, Path: rr.nextPath(),
+		Err: fmt.Errorf("xmlhedge: %w", err)}
 }
 
 // isRecordRoot decides whether a start element outside any record begins a
@@ -217,39 +515,60 @@ func (rr *RecordReader) isRecordRoot(name string, depth int) bool {
 	return name == rr.opts.Split
 }
 
-// readRecord parses the subtree rooted at start into a record.
-func (rr *RecordReader) readRecord(start xml.StartElement, a *Arena) (Record, error) {
+// readRecord parses the subtree rooted at start into a record. startOff is
+// the absolute input offset of the record's '<', anchoring the per-record
+// byte budget.
+func (rr *RecordReader) readRecord(start xml.StartElement, a *Arena, startOff int64) (Record, error) {
 	depth := len(rr.idxs)
-	rec := Record{Index: rr.idx, Path: append(append(hedge.Path(nil), rr.idxs...), rr.counts[depth])}
+	rec := Record{Index: rr.idx, Path: rr.nextPath()}
 	newNode := func(kind hedge.NodeKind, name string) *hedge.Node {
 		if a == nil {
 			return &hedge.Node{Kind: kind, Name: name}
 		}
 		return a.node(kind, name)
 	}
-	limitErr := func(kind string, limit int) error {
+	// limitErr abandons the record over a resource bound and plans the
+	// token skim that would skip the rest of it.
+	limitErr := func(kind string, limit, opens int) error {
+		rr.rec = &recovery{kind: recSkim, opens: opens}
 		return &LimitError{Kind: kind, Limit: limit, Record: rec.Index, Path: rec.Path}
 	}
 	root := newNode(hedge.Elem, start.Name.Local)
 	rec.Nodes = 1
 	stack := []*hedge.Node{root}
+	// fail classifies a decoder failure inside the record: truncation ends
+	// the stream on recovery; syntax errors resync when possible.
+	fail := func(err error) error {
+		if err == io.EOF {
+			rr.rec = &recovery{kind: recEOF}
+			err = fmt.Errorf("xmlhedge: unexpected end of input inside <%s>", stack[len(stack)-1].Name)
+		} else {
+			var se *xml.SyntaxError
+			if errors.As(err, &se) && rr.resyncable() {
+				rr.rec = &recovery{kind: recResync, from: rr.base + rr.dec.InputOffset()}
+			}
+			err = fmt.Errorf("xmlhedge: %w", err)
+		}
+		return &RecordParseError{Index: rec.Index, Path: rec.Path, Err: err}
+	}
 	for len(stack) > 0 {
+		if err := rr.poll(); err != nil {
+			return Record{}, err
+		}
+		if mb := rr.opts.MaxBytes; mb > 0 && rr.base+rr.dec.InputOffset()-startOff > mb {
+			return Record{}, limitErr("bytes", int(mb), len(stack))
+		}
 		tok, err := rr.dec.Token()
 		if err != nil {
-			if err == io.EOF {
-				err = fmt.Errorf("xmlhedge: unexpected end of input inside <%s>", stack[len(stack)-1].Name)
-			} else {
-				err = fmt.Errorf("xmlhedge: %w", err)
-			}
-			return Record{}, err
+			return Record{}, fail(err)
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
 			if rr.opts.MaxDepth > 0 && len(stack)+1 > rr.opts.MaxDepth {
-				return Record{}, limitErr("depth", rr.opts.MaxDepth)
+				return Record{}, limitErr("depth", rr.opts.MaxDepth, len(stack)+1)
 			}
 			if rr.opts.MaxNodes > 0 && rec.Nodes+1 > rr.opts.MaxNodes {
-				return Record{}, limitErr("nodes", rr.opts.MaxNodes)
+				return Record{}, limitErr("nodes", rr.opts.MaxNodes, len(stack)+1)
 			}
 			rec.Nodes++
 			n := newNode(hedge.Elem, t.Name.Local)
@@ -263,7 +582,7 @@ func (rr *RecordReader) readRecord(start xml.StartElement, a *Arena) (Record, er
 				continue
 			}
 			if rr.opts.MaxNodes > 0 && rec.Nodes+1 > rr.opts.MaxNodes {
-				return Record{}, limitErr("nodes", rr.opts.MaxNodes)
+				return Record{}, limitErr("nodes", rr.opts.MaxNodes, len(stack))
 			}
 			rec.Nodes++
 			n := newNode(hedge.Var, hedge.TextVar)

@@ -2,8 +2,10 @@ package xpe
 
 import (
 	"context"
+	"errors"
 	"io"
 	"iter"
+	"time"
 
 	"xpe/internal/stream"
 )
@@ -22,25 +24,80 @@ type SelectOptions struct {
 	// document element's children.
 	SplitElement string
 	// MaxRecordNodes bounds the node count of a single record (0 =
-	// unlimited). A violating record aborts the stream with *LimitError.
+	// unlimited). A violating record fails with *LimitError (kind "nodes"),
+	// routed through OnError.
 	MaxRecordNodes int
 	// MaxRecordDepth bounds element nesting within a record, counting the
-	// record root as depth 1 (0 = unlimited).
+	// record root as depth 1 (0 = unlimited; kind "depth").
 	MaxRecordDepth int
+	// MaxRecordBytes bounds the raw input bytes one record may span (0 =
+	// unlimited; kind "bytes"). The record is abandoned as soon as the
+	// budget is crossed, so memory stays bounded even against a
+	// multi-gigabyte record.
+	MaxRecordBytes int64
+	// MaxStreamBytes bounds total input consumption for the run (0 =
+	// unlimited). Exceeding it aborts the stream with *LimitError (kind
+	// "stream") regardless of OnError: there is no recovery past an
+	// exhausted stream budget.
+	MaxStreamBytes int64
+	// RecordTimeout bounds one record's evaluation wall time (0 =
+	// unlimited). A record over budget fails with *LimitError (kind
+	// "time"), routed through OnError. Enforcement is cooperative — the
+	// deadline is sampled between matches — so it catches slow records,
+	// not a wedged evaluation.
+	RecordTimeout time.Duration
+	// OnError decides the fate of a record that failed — malformed XML,
+	// a limit violation, or an evaluation failure. Nil behaves exactly like
+	// Abort: the stream stops at the first failure. Policies are called in
+	// document order on the caller's goroutine, never concurrently. See
+	// ErrorPolicy, Abort, Skip.
+	//
+	// Not every skip is free: past a record with broken markup the splitter
+	// must resynchronize on the next SplitElement start tag (skipping is
+	// only possible with a named SplitElement there), and a malformation
+	// that swallows the record's own terminator may cost the records it
+	// absorbed. Limit violations and evaluation failures skip exactly one
+	// record. Failures larger than a record — unreadable input,
+	// cancellation, an exhausted stream budget — abort regardless.
+	OnError ErrorPolicy
 	// KeepWhitespace retains whitespace-only text nodes.
 	KeepWhitespace bool
+	// inject is the test-only fault-injection hook (see
+	// internal/faultinject); being unexported it is settable only from
+	// this package's tests.
+	inject stream.Injector
 	// Metrics, when non-nil, collects this run's splitter and stage
 	// metrics in isolation (the engine's cumulative Stats receives them
 	// too). Nil means engine-level observation only. See MetricsSink.
 	Metrics *MetricsSink
 }
 
-// StreamStats aggregates one SelectStream run.
+// ErrorPolicy decides the fate of one failed record: return nil to skip it
+// and continue the stream, or an error to abort the run with it (returning
+// the *RecordError itself is the idiomatic abort). The error's Err field
+// carries the typed cause: *ParseError for malformed XML, *LimitError for
+// a resource bound, *InternalError for a panicking evaluation.
+type ErrorPolicy func(*RecordError) error
+
+// Abort stops the stream at the first failed record, returning the typed
+// *RecordError. This is also the behavior when SelectOptions.OnError is
+// nil (the nil default reports the raw underlying error instead of the
+// *RecordError wrapper, for compatibility).
+var Abort ErrorPolicy = func(e *RecordError) error { return e }
+
+// Skip drops failed records and continues the stream; skipped records are
+// counted in StreamStats.Skipped and the engine's stream metrics.
+var Skip ErrorPolicy = func(*RecordError) error { return nil }
+
+// StreamStats aggregates one SelectStream run. The field set mirrors
+// stream.Stats exactly (the struct conversion below depends on it).
 type StreamStats struct {
-	Records int64 // records evaluated and delivered
-	Nodes   int64 // total nodes across delivered records
-	Matches int64 // total located nodes
-	Bytes   int64 // input bytes consumed by the XML decoder
+	Records   int64 // records evaluated and delivered
+	Nodes     int64 // total nodes across delivered records
+	Matches   int64 // total located nodes
+	Bytes     int64 // input bytes consumed by the XML decoder
+	Skipped   int64 // failed records dropped by the OnError policy
+	Recovered int64 // evaluation panics caught and converted to errors
 }
 
 // StreamMatch is one located node of a streamed record. Path (and Term)
@@ -82,16 +139,32 @@ var ErrStop = stream.ErrStop
 // automata. Within the run the alphabet is closed-world — labels first
 // seen mid-stream are record text, not interned symbols, so they fail
 // '.'-sides exactly as an unknown label does for Select. Errors are typed:
-// *ParseError for malformed XML, *LimitError for a record exceeding the
-// configured bounds.
+// *ParseError for malformed XML, *LimitError for an exceeded resource
+// bound, *RecordError (wrapping the cause, including *InternalError for a
+// panicking evaluation) when an OnError policy aborted on a failed record.
 func (e *Engine) SelectStream(ctx context.Context, r io.Reader, q *Query, opts SelectOptions, yield func(StreamMatch) error) (StreamStats, error) {
 	cfg := stream.Config{
 		Split:          opts.SplitElement,
 		Workers:        opts.Workers,
 		MaxRecordNodes: opts.MaxRecordNodes,
 		MaxRecordDepth: opts.MaxRecordDepth,
+		MaxRecordBytes: opts.MaxRecordBytes,
+		MaxStreamBytes: opts.MaxStreamBytes,
+		RecordTimeout:  opts.RecordTimeout,
+		Inject:         opts.inject,
 		KeepWhitespace: opts.KeepWhitespace,
 		Metrics:        e.metrics,
+	}
+	timeoutMs := int(opts.RecordTimeout / time.Millisecond)
+	var perr error // policy-originated abort, passed through unwrapped
+	if pol := opts.OnError; pol != nil {
+		cfg.OnRecordError = func(se *stream.RecordError) error {
+			if err := pol(wrapRecordFailure(se, timeoutMs)); err != nil {
+				perr = err
+				return err
+			}
+			return nil
+		}
 	}
 	if sink := opts.Metrics; sink != nil {
 		// Route the run's splitter/stage metrics into the sink and merge
@@ -115,7 +188,7 @@ func (e *Engine) SelectStream(ctx context.Context, r io.Reader, q *Query, opts S
 				RecordPath: recPath,
 			}
 			if err := yield(sm); err != nil {
-				if err != ErrStop {
+				if !errors.Is(err, ErrStop) {
 					yerr = err
 				}
 				return err
@@ -123,10 +196,10 @@ func (e *Engine) SelectStream(ctx context.Context, r io.Reader, q *Query, opts S
 		}
 		return nil
 	})
-	if err != nil && err == yerr {
+	if err != nil && (err == yerr || err == perr) {
 		return StreamStats(st), err
 	}
-	return StreamStats(st), wrapStreamErr(err)
+	return StreamStats(st), wrapStreamErr(err, timeoutMs)
 }
 
 // SelectStreamSeq is the pull form of SelectStream: it returns an iterator

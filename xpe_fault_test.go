@@ -1,0 +1,299 @@
+package xpe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+	"unicode/utf8"
+
+	"xpe/internal/faultinject"
+)
+
+// faultEngine returns an engine with the faultinject feed alphabet interned
+// and the query that locates exactly one node per healthy feed record.
+func faultEngine(t *testing.T) (*Engine, *Query) {
+	t.Helper()
+	eng := NewEngine()
+	if _, err := eng.ParseXMLString("<feed><rec><id>0</id><a/><b/></rec></feed>"); err != nil {
+		t.Fatal(err)
+	}
+	q, err := eng.CompileQuery("[* ; a ; b .] rec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, q
+}
+
+func TestChaosFacadeSkipMalformed(t *testing.T) {
+	spec := faultinject.FeedSpec{Records: 20, Malformed: map[int]bool{4: true, 9: true}}
+	eng, q := faultEngine(t)
+	for _, workers := range []int{1, 4} {
+		before := eng.Stats()
+		sink := NewMetricsSink()
+		var got []int
+		stats, err := eng.SelectStream(context.Background(), spec.Reader(), q,
+			SelectOptions{Workers: workers, SplitElement: "rec", OnError: Skip, Metrics: sink},
+			func(m StreamMatch) error { got = append(got, m.Record); return nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := spec.HealthyIDs()
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: delivered %v, want %v", workers, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: delivered %v, want %v", workers, got, want)
+			}
+		}
+		if stats.Skipped != 2 || stats.Recovered != 0 {
+			t.Fatalf("workers=%d: skipped=%d recovered=%d, want 2/0", workers, stats.Skipped, stats.Recovered)
+		}
+		// The skip count lands in the per-run sink and the engine registry.
+		if n := sink.Stats().Stream.RecordsSkipped; n != 2 {
+			t.Fatalf("workers=%d: sink records_skipped = %d, want 2", workers, n)
+		}
+		if d := eng.Stats().Stream.RecordsSkipped - before.Stream.RecordsSkipped; d != 2 {
+			t.Fatalf("workers=%d: engine records_skipped delta = %d, want 2", workers, d)
+		}
+	}
+}
+
+func TestChaosFacadePolicyReceivesTypedCause(t *testing.T) {
+	spec := faultinject.FeedSpec{Records: 10, Malformed: map[int]bool{3: true}}
+	eng, q := faultEngine(t)
+	var fails []*RecordError
+	_, err := eng.SelectStream(context.Background(), spec.Reader(), q,
+		SelectOptions{SplitElement: "rec", OnError: func(e *RecordError) error {
+			fails = append(fails, e)
+			return nil
+		}},
+		func(StreamMatch) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fails) != 1 || fails[0].Record != 3 {
+		t.Fatalf("fails = %v, want one failure on record 3", fails)
+	}
+	var pe *ParseError
+	if !errors.As(fails[0].Err, &pe) {
+		t.Fatalf("cause = %v, want *ParseError", fails[0].Err)
+	}
+}
+
+func TestChaosFacadeInternalError(t *testing.T) {
+	spec := faultinject.FeedSpec{Records: 10}
+	eng, q := faultEngine(t)
+
+	// Nil policy: the panic aborts the run with the typed chain
+	// *RecordError → *InternalError, stack included.
+	opts := SelectOptions{SplitElement: "rec"}
+	opts.inject = faultinject.NewEvalFaults().PanicOn(2)
+	_, err := eng.SelectStream(context.Background(), spec.Reader(), q, opts,
+		func(StreamMatch) error { return nil })
+	var re *RecordError
+	if !errors.As(err, &re) || re.Record != 2 {
+		t.Fatalf("err = %v, want *RecordError for record 2", err)
+	}
+	var ie *InternalError
+	if !errors.As(re.Err, &ie) || ie.Record != 2 || len(ie.Stack) == 0 {
+		t.Fatalf("cause = %v, want *InternalError with a stack", re.Err)
+	}
+
+	// Skip policy: the panic is contained, counted, and the rest delivers.
+	before := eng.Stats()
+	opts = SelectOptions{SplitElement: "rec", OnError: Skip, Workers: 4}
+	opts.inject = faultinject.NewEvalFaults().PanicOn(2)
+	var got []int
+	stats, err := eng.SelectStream(context.Background(), spec.Reader(), q, opts,
+		func(m StreamMatch) error { got = append(got, m.Record); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 9 || stats.Skipped != 1 || stats.Recovered != 1 {
+		t.Fatalf("delivered=%d skipped=%d recovered=%d, want 9/1/1", len(got), stats.Skipped, stats.Recovered)
+	}
+	if d := eng.Stats().Stream.PanicsRecovered - before.Stream.PanicsRecovered; d != 1 {
+		t.Fatalf("engine panics_recovered delta = %d, want 1", d)
+	}
+}
+
+func TestChaosFacadeTimeout(t *testing.T) {
+	spec := faultinject.FeedSpec{Records: 6}
+	eng, q := faultEngine(t)
+	var fails []*RecordError
+	opts := SelectOptions{
+		SplitElement:  "rec",
+		RecordTimeout: 10 * time.Millisecond,
+		OnError:       func(e *RecordError) error { fails = append(fails, e); return nil },
+	}
+	opts.inject = faultinject.NewEvalFaults().StallOn(60*time.Millisecond, 1)
+	stats, err := eng.SelectStream(context.Background(), spec.Reader(), q, opts,
+		func(StreamMatch) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fails) != 1 || stats.Skipped != 1 {
+		t.Fatalf("fails=%d skipped=%d, want 1/1", len(fails), stats.Skipped)
+	}
+	var le *LimitError
+	if !errors.As(fails[0].Err, &le) || le.Kind != "time" || le.Limit != 10 || le.Record != 1 {
+		t.Fatalf("cause = %v, want time *LimitError{Limit: 10, Record: 1}", fails[0].Err)
+	}
+}
+
+func TestChaosFacadeAbortSurfaces(t *testing.T) {
+	spec := faultinject.FeedSpec{Records: 10, Malformed: map[int]bool{4: true}}
+	eng, q := faultEngine(t)
+
+	// Nil policy keeps the historical surface: the raw typed cause, no
+	// *RecordError wrapper.
+	_, err := eng.SelectStream(context.Background(), spec.Reader(), q,
+		SelectOptions{SplitElement: "rec"}, func(StreamMatch) error { return nil })
+	var re *RecordError
+	if errors.As(err, &re) {
+		t.Fatalf("nil policy: err = %T, want the unwrapped cause", err)
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("nil policy: err = %v, want *ParseError", err)
+	}
+
+	// The explicit Abort policy returns the *RecordError itself, unwrapped
+	// by the facade (policy-originated errors pass through).
+	_, err = eng.SelectStream(context.Background(), spec.Reader(), q,
+		SelectOptions{SplitElement: "rec", OnError: Abort}, func(StreamMatch) error { return nil })
+	if !errors.As(err, &re) || re.Record != 4 {
+		t.Fatalf("Abort: err = %v, want *RecordError for record 4", err)
+	}
+	if !errors.As(err, &pe) {
+		t.Fatalf("Abort: cause chain %v should reach *ParseError", err)
+	}
+}
+
+func TestChaosFacadeErrStopWrapped(t *testing.T) {
+	// Regression: yield errors wrapping ErrStop end the stream cleanly even
+	// when not identical to the sentinel.
+	eng, q := faultEngine(t)
+	spec := faultinject.FeedSpec{Records: 30}
+	for _, workers := range []int{1, 4} {
+		seen := 0
+		stats, err := eng.SelectStream(context.Background(), spec.Reader(), q,
+			SelectOptions{Workers: workers, SplitElement: "rec"},
+			func(StreamMatch) error {
+				if seen++; seen == 3 {
+					return fmt.Errorf("enough: %w", ErrStop)
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v, want nil for wrapped ErrStop", workers, err)
+		}
+		if stats.Records != 3 {
+			t.Fatalf("workers=%d: records = %d, want 3", workers, stats.Records)
+		}
+	}
+}
+
+// waitNoLeak polls until the goroutine count returns to the baseline,
+// dumping all stacks on timeout.
+func waitNoLeak(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d, baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestLeakStreamSeqBreak(t *testing.T) {
+	// Breaking out of the pull iterator mid-stream must wind down the whole
+	// worker pool: producer, workers, collector.
+	eng, q := faultEngine(t)
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		spec := faultinject.FeedSpec{Records: 10000}
+		n := 0
+		for _, err := range eng.SelectStreamSeq(context.Background(), spec.Reader(), q,
+			SelectOptions{Workers: 8, SplitElement: "rec"}) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n++; n == 2 {
+				break
+			}
+		}
+	}
+	waitNoLeak(t, base)
+}
+
+func TestLeakStreamCancel(t *testing.T) {
+	// Cancelling mid-stream must wind down the pool even with the producer
+	// blocked on a full channel and workers mid-record.
+	eng, q := faultEngine(t)
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		spec := faultinject.FeedSpec{Records: 10000}
+		ctx, cancel := context.WithCancel(context.Background())
+		n := 0
+		_, err := eng.SelectStream(ctx, spec.Reader(), q,
+			SelectOptions{Workers: 8, SplitElement: "rec"},
+			func(StreamMatch) error {
+				if n++; n == 3 {
+					cancel()
+				}
+				return nil
+			})
+		cancel()
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: err = %v, want context.Canceled or nil", i, err)
+		}
+		waitNoLeak(t, base)
+	}
+}
+
+func TestClipMultibyte(t *testing.T) {
+	s := strings.Repeat("é", 30) // 60 bytes of 2-byte runes
+	got := clip(s, 15)           // 15 lands mid-rune
+	if !utf8.ValidString(got) {
+		t.Fatalf("clip produced invalid UTF-8: %q", got)
+	}
+	if want := strings.Repeat("é", 7) + "…"; got != want {
+		t.Fatalf("clip = %q, want %q", got, want)
+	}
+	if got := clip("ascii", 40); got != "ascii" {
+		t.Fatalf("clip short = %q", got)
+	}
+	// A 4-byte rune straddling the cut backs all the way up.
+	if got := clip("ab\U0001F600cd", 4); got != "ab…" {
+		t.Fatalf("clip emoji = %q, want \"ab…\"", got)
+	}
+}
+
+func TestExcerptAtMultibyte(t *testing.T) {
+	src := strings.Repeat("汉", 20) // 60 bytes of 3-byte runes
+	for _, offset := range []int{30, 31, 32} {
+		got := excerptAt(src, offset)
+		if !utf8.ValidString(got) {
+			t.Fatalf("excerptAt(%d) produced invalid UTF-8: %q", offset, got)
+		}
+		if !strings.HasPrefix(got, "…") || !strings.HasSuffix(got, "…") {
+			t.Fatalf("excerptAt(%d) = %q, want ellipses both sides", offset, got)
+		}
+	}
+	// Near the edges no ellipsis is added and the window stays valid.
+	if got := excerptAt(src, 0); !utf8.ValidString(got) || strings.HasPrefix(got, "…") {
+		t.Fatalf("excerptAt(0) = %q", got)
+	}
+	if got := excerptAt("short", 2); got != "short" {
+		t.Fatalf("excerptAt(short, 2) = %q", got)
+	}
+}
