@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check chaos bench bench-json
+.PHONY: all build test race vet fmt check chaos bench bench-json trace-overhead
 
 all: check
 
@@ -33,15 +33,16 @@ fmt:
 # timeouts), the goroutine-leak checks, and the faultinject harness's own
 # tests, across the splitter, the stream pipeline, and the facade.
 chaos:
-	$(GO) test -race -run 'Chaos|Leak|FaultInject' ./internal/stream/... ./internal/faultinject/... ./internal/xmlhedge/... .
+	$(GO) test -race -run 'Chaos|Leak|FaultInject' ./internal/stream/... ./internal/faultinject/... ./internal/xmlhedge/... ./debug/... .
 
 # check is the CI gate: formatting, static analysis (go vet ./...), the
 # full test suite, the race detector over the concurrency-bearing
 # packages, the fault-containment chaos suite, and a quick
-# perf-regression run (bench-json exercises the instrumented paths end to
-# end; the recorded baseline in BENCH_core.json comes from the non-quick
-# run).
-check: fmt vet build test race chaos bench-json
+# perf-regression run with the disabled-tracing budget enforced
+# (trace-overhead runs the same workloads bench-json does, plus the
+# gate; the recorded baseline in BENCH_core.json comes from the
+# non-quick run).
+check: fmt vet build test race chaos trace-overhead
 
 bench:
 	$(GO) test -bench . -benchmem -run NONE ./...
@@ -51,3 +52,9 @@ bench:
 # BENCH_core.json` for the recorded baseline.
 bench-json:
 	$(GO) run ./cmd/xpebench -bench-json -quick -out BENCH_core.json
+
+# trace-overhead is bench-json plus the tracing budget: the per-record
+# tracing hooks must cost at most 1% while disabled (no flight recorder,
+# no slow-record callback attached).
+trace-overhead:
+	$(GO) run ./cmd/xpebench -bench-json -quick -assert-trace-overhead 1 -out BENCH_core.json

@@ -126,9 +126,25 @@ func (c *compiledCache) remove(key cacheKey, entry *cacheEntry) {
 	}
 }
 
-// len reports the current entry count (tests only).
+// len reports the current entry count (tests and the debug surface).
 func (c *compiledCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// CacheInfo describes the compiled-query cache at a point in time:
+// occupancy against the bound, and the alphabet generation current
+// compilations are requested at (entries from older generations are the
+// stale compilations the LRU bound caps).
+type CacheInfo struct {
+	Entries    int    `json:"entries"`
+	Capacity   int    `json:"capacity"`
+	Generation uint64 `json:"alphabet_generation"`
+}
+
+// CacheInfo returns the compiled-query cache's current state; traffic
+// counters (hits, misses, evictions) are in Stats().Cache.
+func (e *Engine) CacheInfo() CacheInfo {
+	return CacheInfo{Entries: e.cache.len(), Capacity: e.cache.cap, Generation: e.names.Generation()}
 }

@@ -34,6 +34,8 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller sizes for a fast run")
 	benchJSON := flag.Bool("bench-json", false, "run the perf-regression workloads and emit JSON instead of tables")
 	out := flag.String("out", "", "output file for -bench-json (default stdout)")
+	maxTraceOverhead := flag.Float64("assert-trace-overhead", 0,
+		"with -bench-json: exit nonzero if the disabled-tracing overhead exceeds this many percent (0 = no gate)")
 	flag.Parse()
 
 	if *benchJSON {
@@ -55,6 +57,14 @@ func main() {
 		}
 		if err := rep.WriteJSON(w); err != nil {
 			fatal(err)
+		}
+		if *maxTraceOverhead > 0 {
+			if rep.TraceOverheadPct > *maxTraceOverhead {
+				fatal(fmt.Errorf("disabled-tracing overhead %.3f%% exceeds the %.3f%% budget",
+					rep.TraceOverheadPct, *maxTraceOverhead))
+			}
+			fmt.Fprintf(os.Stderr, "xpebench: disabled-tracing overhead %.3f%% within the %.3f%% budget\n",
+				rep.TraceOverheadPct, *maxTraceOverhead)
 		}
 		return
 	}

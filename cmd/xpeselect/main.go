@@ -23,6 +23,15 @@
 // -split past broken markup; the summary then reports skipped/recovered
 // counts). -max-record-bytes, -max-stream-bytes, and -record-timeout bound
 // the resources one record / the whole run may consume.
+//
+// Observability: -explain prints each match's provenance (which envelope
+// base matched which ancestor), -slow-record logs -stream records slower
+// than the given duration, and -debug-addr serves the live debug surface
+// — engine stats, cache state, recent record traces, pprof — for the
+// run's duration:
+//
+//	xpeselect -query 'a b*' -stream -debug-addr localhost:6060 big.xml
+//	curl http://localhost:6060/debug/xpe/traces
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"os"
 
 	"xpe"
+	"xpe/debug"
 	"xpe/internal/hedge"
 	"xpe/internal/xmlhedge"
 )
@@ -52,6 +62,9 @@ func main() {
 	recTimeout := flag.Duration("record-timeout", 0, "fail a -stream record evaluating longer than this (0 = unlimited)")
 	onError := flag.String("on-error", "abort", "failed-record policy for -stream: abort or skip")
 	showMetrics := flag.Bool("metrics", false, "print engine metrics as JSON on stderr after the run")
+	explain := flag.Bool("explain", false, "print each match's provenance (why the query matched)")
+	slowRec := flag.Duration("slow-record", 0, "log -stream records slower than this duration (0 = off)")
+	debugAddr := flag.String("debug-addr", "", "serve the live debug surface (stats, cache, traces, pprof) on this address during the run")
 	flag.Parse()
 	if (*query == "") == (*xpathQ == "") {
 		fmt.Fprintln(os.Stderr, "xpeselect: exactly one of -query or -xpath is required")
@@ -75,15 +88,29 @@ func main() {
 
 	eng := xpe.NewEngine()
 
+	if *debugAddr != "" {
+		// The engine-wide recorder gives /debug/xpe/traces content for
+		// both the streaming and in-memory paths.
+		eng.SetFlightRecorder(xpe.NewFlightRecorder(256))
+		srv, err := debug.NewServer(*debugAddr, debug.Options{Engine: eng})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "xpeselect: debug surface at http://%s/debug/xpe/\n", srv.Addr())
+	}
+
 	if *streaming {
 		q := compileQuery(eng, *query, *xpathQ)
 		opts := xpe.SelectOptions{
-			Workers:        *workers,
-			SplitElement:   *split,
-			MaxRecordNodes: *maxNodes,
-			MaxRecordBytes: *maxRecBytes,
-			MaxStreamBytes: *maxStreamBytes,
-			RecordTimeout:  *recTimeout,
+			Workers:             *workers,
+			SplitElement:        *split,
+			MaxRecordNodes:      *maxNodes,
+			MaxRecordBytes:      *maxRecBytes,
+			MaxStreamBytes:      *maxStreamBytes,
+			RecordTimeout:       *recTimeout,
+			Explain:             *explain,
+			SlowRecordThreshold: *slowRec,
 		}
 		switch *onError {
 		case "abort":
@@ -96,7 +123,13 @@ func main() {
 		}
 		stats, err := eng.SelectStream(context.Background(), input, q, opts,
 			func(m xpe.StreamMatch) error {
-				return printMatch(m.Match, *format, m.RecordPath)
+				if err := printMatch(m.Match, *format, m.RecordPath); err != nil {
+					return err
+				}
+				if m.Explanation != nil {
+					fmt.Print(m.Explanation.String())
+				}
+				return nil
 			})
 		if err != nil {
 			fatal(err)
@@ -104,6 +137,9 @@ func main() {
 		faults := ""
 		if stats.Skipped > 0 || stats.Recovered > 0 {
 			faults = fmt.Sprintf(", %d skipped, %d recovered", stats.Skipped, stats.Recovered)
+		}
+		if stats.TimedOut > 0 {
+			faults += fmt.Sprintf(", %d timed out", stats.TimedOut)
 		}
 		fmt.Fprintf(os.Stderr, "xpeselect: %d node(s) located in %d record(s), %d bytes%s%s\n",
 			stats.Matches, stats.Records, stats.Bytes, faults, cacheSummary(eng))
@@ -127,6 +163,15 @@ func main() {
 	}
 
 	q := compileQuery(eng, *query, *xpathQ)
+	if *explain {
+		exps := q.Explain(doc)
+		for _, ex := range exps {
+			fmt.Print(ex.String())
+		}
+		fmt.Fprintf(os.Stderr, "xpeselect: %d node(s) located%s\n", len(exps), cacheSummary(eng))
+		printMetrics(eng, *showMetrics)
+		return
+	}
 	matches := q.Select(doc)
 	for _, m := range matches {
 		if err := printMatch(m, *format, ""); err != nil {

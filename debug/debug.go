@@ -1,0 +1,172 @@
+// Package debug exposes a live operational surface for an xpe.Engine
+// over HTTP: cumulative engine stats, compiled-query cache state, the
+// recent record traces of a flight recorder, and the standard pprof
+// profiles — the "what is the engine doing right now" endpoints, mounted
+// in one call.
+//
+// Mount the handler into an existing mux:
+//
+//	mux.Handle("/debug/", debug.Handler(debug.Options{Engine: eng}))
+//
+// or run a dedicated server (as xpeselect -debug-addr does):
+//
+//	srv, err := debug.NewServer("localhost:6060", debug.Options{
+//		Engine:   eng,
+//		Recorder: rec,
+//	})
+//	defer srv.Close()
+//
+// Endpoints under /debug/xpe/: index, stats, cache, traces; pprof lives
+// at its conventional /debug/pprof/ paths. The surface is read-only but
+// unauthenticated (and pprof profiles reveal code structure) — bind it
+// to localhost or guard it like any pprof listener.
+package debug
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"xpe"
+)
+
+// Options configures the debug surface.
+type Options struct {
+	// Engine is the engine to expose; /debug/xpe/stats and /debug/xpe/cache
+	// answer 404 without one.
+	Engine *xpe.Engine
+	// Recorder backs /debug/xpe/traces. Nil falls back to the Engine's
+	// attached recorder (Engine.SetFlightRecorder) at each request, so a
+	// recorder attached after the server starts is picked up live.
+	Recorder *xpe.FlightRecorder
+}
+
+// recorder resolves the trace source for one request.
+func (o Options) recorder() *xpe.FlightRecorder {
+	if o.Recorder != nil {
+		return o.Recorder
+	}
+	if o.Engine != nil {
+		return o.Engine.FlightRecorder()
+	}
+	return nil
+}
+
+// Handler returns the debug surface as a single http.Handler serving
+// the /debug/xpe/ and /debug/pprof/ trees. It can be mounted on any mux
+// (the returned handler routes by full path, so mount it at "/debug/"
+// or at the root).
+func Handler(opts Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/xpe/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/xpe/" && r.URL.Path != "/debug/xpe" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, `<html><head><title>xpe debug</title></head><body>
+<h1>xpe debug</h1>
+<ul>
+<li><a href="/debug/xpe/stats">stats</a> — cumulative engine instrumentation</li>
+<li><a href="/debug/xpe/cache">cache</a> — compiled-query cache occupancy</li>
+<li><a href="/debug/xpe/traces">traces</a> — flight-recorder ring (recent record traces)</li>
+<li><a href="/debug/pprof/">pprof</a> — runtime profiles</li>
+</ul>
+</body></html>
+`)
+	})
+	mux.HandleFunc("/debug/xpe/stats", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Engine == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := xpe.WriteStats(w, opts.Engine.Stats()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/xpe/cache", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Engine == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(opts.Engine.CacheInfo()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/xpe/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// A nil recorder writes "[]": no recorder attached reads as no
+		// traces, not as an error.
+		if err := opts.recorder().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a dedicated HTTP server for the debug surface.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+	// done closes when Serve returns, so Close can wait for the serve
+	// goroutine instead of leaking it.
+	done chan struct{}
+}
+
+// NewServer listens on addr (e.g. "localhost:6060"; ":0" picks a free
+// port — read it back from Addr) and serves the debug surface until
+// Close. The error is the listener's: a taken port fails here, not in
+// the background.
+func NewServer(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		srv:  &http.Server{Handler: Handler(opts)},
+		ln:   ln,
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		// ErrServerClosed is the normal Shutdown outcome; anything else
+		// has nowhere to go but the next Close call (stored by net/http).
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the server's listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down gracefully, waiting up to five seconds
+// for in-flight requests (a hanging profile download is cut off), then
+// waits for the serve goroutine to exit — after Close returns, no
+// goroutine of this server remains.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Graceful drain timed out; hard-close the stragglers.
+		closeErr := s.srv.Close()
+		if err == context.DeadlineExceeded {
+			err = closeErr
+		}
+	}
+	<-s.done
+	return err
+}

@@ -1,0 +1,164 @@
+package debug
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"xpe"
+)
+
+// newTestEngine returns an engine with one evaluated query and an
+// attached recorder, so every debug endpoint has something to show.
+func newTestEngine(t *testing.T) (*xpe.Engine, *xpe.FlightRecorder) {
+	t.Helper()
+	eng := xpe.NewEngine()
+	rec := xpe.NewFlightRecorder(8)
+	eng.SetFlightRecorder(rec)
+	doc, err := eng.ParseTerm("doc<sec<fig> sec<fig>>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := eng.CompileQuery("fig sec* doc*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(q.Select(doc)); got != 2 {
+		t.Fatalf("located %d, want 2", got)
+	}
+	return eng, rec
+}
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	return rw.Code, rw.Body.String()
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	eng, _ := newTestEngine(t)
+	h := Handler(Options{Engine: eng})
+
+	code, body := get(t, h, "/debug/xpe/")
+	if code != 200 || !strings.Contains(body, "/debug/xpe/traces") {
+		t.Errorf("index: code %d, body %q", code, body)
+	}
+
+	code, body = get(t, h, "/debug/xpe/stats")
+	if code != 200 {
+		t.Fatalf("stats: code %d", code)
+	}
+	var stats map[string]any
+	if err := json.Unmarshal([]byte(body), &stats); err != nil {
+		t.Fatalf("stats is not JSON: %v", err)
+	}
+	if _, ok := stats["eval"]; !ok {
+		t.Errorf("stats missing eval section: %v", stats)
+	}
+
+	code, body = get(t, h, "/debug/xpe/cache")
+	if code != 200 {
+		t.Fatalf("cache: code %d", code)
+	}
+	var info xpe.CacheInfo
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatalf("cache is not JSON: %v", err)
+	}
+	if info.Entries < 1 || info.Capacity < info.Entries {
+		t.Errorf("cache info = %+v, want >=1 entry within capacity", info)
+	}
+
+	code, body = get(t, h, "/debug/xpe/traces")
+	if code != 200 {
+		t.Fatalf("traces: code %d", code)
+	}
+	var traces []xpe.RecordTrace
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("traces is not JSON: %v", err)
+	}
+	// The engine recorder saw the Select above (Index -1, doc eval).
+	if len(traces) != 1 || traces[0].Index != -1 || traces[0].Matches != 2 {
+		t.Errorf("traces = %+v, want one doc-eval trace with 2 matches", traces)
+	}
+
+	if code, _ = get(t, h, "/debug/xpe/nonsense"); code != 404 {
+		t.Errorf("unknown path: code %d, want 404", code)
+	}
+	if code, _ = get(t, h, "/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("pprof cmdline: code %d", code)
+	}
+}
+
+func TestHandlerExplicitRecorderWins(t *testing.T) {
+	eng, _ := newTestEngine(t)
+	other := xpe.NewFlightRecorder(4)
+	h := Handler(Options{Engine: eng, Recorder: other})
+	_, body := get(t, h, "/debug/xpe/traces")
+	var traces []xpe.RecordTrace
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 0 {
+		t.Errorf("explicit empty recorder should win over the engine's: %v", traces)
+	}
+}
+
+func TestHandlerNoEngine(t *testing.T) {
+	h := Handler(Options{})
+	if code, _ := get(t, h, "/debug/xpe/stats"); code != 404 {
+		t.Errorf("stats without engine: code %d, want 404", code)
+	}
+	// traces degrades to an empty list, not an error.
+	code, body := get(t, h, "/debug/xpe/traces")
+	if code != 200 || strings.TrimSpace(body) != "[]" {
+		t.Errorf("traces without recorder: code %d, body %q, want 200 []", code, body)
+	}
+}
+
+// TestDebugServerShutdownLeak pins the Close contract: after Close
+// returns, none of the server's goroutines remain (serve loop, per-conn
+// handlers). The check tolerates unrelated runtime goroutines by
+// comparing counts with retries.
+func TestDebugServerShutdownLeak(t *testing.T) {
+	eng, _ := newTestEngine(t)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		srv, err := NewServer("127.0.0.1:0", Options{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Get("http://" + srv.Addr() + "/debug/xpe/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.ReadAll(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if err := srv.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+	// The client side of the loopback connections (http.DefaultClient's
+	// idle pool) may linger briefly; give the runtime a moment to settle.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked across server lifecycles: %d before, %d after", before, after)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

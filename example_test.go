@@ -54,6 +54,24 @@ func ExampleQuery_SelectBindings() {
 	// s 1.1
 }
 
+// Provenance: Explain names the evidence behind each match — which
+// envelope base consumed which ancestor, with the automaton state at
+// every level of the spine.
+func ExampleQuery_Explain() {
+	eng := xpe.NewEngine()
+	doc, _ := eng.ParseTerm("doc<sec<sec<fig>>>")
+	q, _ := eng.CompileQuery("fig sec* [* ; doc ; *]")
+	for _, ex := range q.Explain(doc) {
+		fmt.Print(ex.String())
+	}
+	// Output:
+	// 1.1.1.1 matches "fig sec* [* ; doc ; *]"
+	//   doc        state 1   fired doc
+	//   sec        state 2   fired sec
+	//   sec        state 2   fired sec
+	//   fig        state 3   fired fig
+}
+
 func ExampleQuery_Delete() {
 	eng := xpe.NewEngine()
 	doc, _ := eng.ParseTerm("doc<sec<fig par> fig>")

@@ -1,0 +1,107 @@
+package xpe
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"xpe/internal/core"
+	"xpe/internal/hedge"
+)
+
+// ExplainStep is one level of a match explanation: an ancestor of the
+// located node (the last step is the node itself). Candidates and Fired
+// render bases of the query's envelope in the query syntax.
+type ExplainStep struct {
+	// Element is the element label at this level.
+	Element string `json:"element"`
+	// State is the envelope automaton's state after this level (stable
+	// across evaluations of one compilation, not across recompiles).
+	State int `json:"state"`
+	// Candidates are the envelope bases whose sibling side conditions
+	// hold at this level.
+	Candidates []string `json:"candidates"`
+	// Fired is the candidate the successful match assigns to this level;
+	// "" if reconstruction failed (an inconsistent compilation).
+	Fired string `json:"fired"`
+}
+
+// Explanation is the provenance of one located node: why the query
+// matched, level by level from the top of the document (or record) down
+// to the node. The paper's Algorithm 1 answers "does a match exist" from
+// two bit sets; an Explanation names the evidence — which base of the
+// pointed hedge representation consumed which ancestor. Produced by
+// Query.Explain and, per streamed match, by SelectOptions.Explain. The
+// JSON encoding (field order above) is stable.
+type Explanation struct {
+	// Query is the query source.
+	Query string `json:"query"`
+	// Path is the located node's Dewey path.
+	Path string `json:"path"`
+	// Subhedge reports that the query's select(e1; ...) subhedge
+	// condition was checked and passed.
+	Subhedge bool `json:"subhedge,omitempty"`
+	// Steps runs from the top level down to the located node.
+	Steps []ExplainStep `json:"steps"`
+}
+
+// String renders the explanation as indented text, one line per level.
+func (ex *Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s matches %q", ex.Path, ex.Query)
+	if ex.Subhedge {
+		b.WriteString(" (subhedge condition passed)")
+	}
+	b.WriteByte('\n')
+	for _, st := range ex.Steps {
+		fmt.Fprintf(&b, "  %-10s state %-3d fired %s", st.Element, st.State, st.Fired)
+		if len(st.Candidates) > 1 {
+			fmt.Fprintf(&b, "  (candidates: %s)", strings.Join(st.Candidates, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// JSON encodes the explanation as indented JSON.
+func (ex *Explanation) JSON() (string, error) {
+	b, err := json.MarshalIndent(ex, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// newExplanation renders a core witness against the compilation that
+// produced it (base indices are meaningless without it).
+func newExplanation(cq *core.CompiledQuery, src string, w *core.Witness) *Explanation {
+	ex := &Explanation{Query: src, Path: w.Path.String(), Subhedge: w.Subhedge,
+		Steps: make([]ExplainStep, len(w.Levels))}
+	for i, lv := range w.Levels {
+		st := ExplainStep{Element: lv.Name, State: lv.State,
+			Candidates: make([]string, len(lv.Candidates))}
+		for j, c := range lv.Candidates {
+			st.Candidates[j] = cq.BaseString(c)
+		}
+		if lv.Fired >= 0 {
+			st.Fired = cq.BaseString(lv.Fired)
+		}
+		ex.Steps[i] = st
+	}
+	return ex
+}
+
+// Explain evaluates the query over the document and returns one
+// Explanation per located node, in document order — the same nodes
+// Select locates, each with the envelope evidence reconstructed. It is
+// a diagnostic surface: unlike Matches it allocates per match and per
+// level; use it to audit a query, not to drive throughput.
+func (q *Query) Explain(d *Document) []Explanation {
+	cq := q.compiled()
+	var out []Explanation
+	cq.ExplainEach(d.hedge, func(w core.Witness, _ *hedge.Node) bool {
+		out = append(out, *newExplanation(cq, q.src, &w))
+		return true
+	})
+	return out
+}

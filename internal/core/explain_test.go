@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+
+	"xpe/internal/ha"
+	"xpe/internal/hedge"
+)
+
+func compileExplain(t *testing.T, src string) *CompiledQuery {
+	t.Helper()
+	names := ha.NewNames()
+	for _, s := range []string{"doc", "sec", "fig", "tab", "par"} {
+		names.Syms.Intern(s)
+	}
+	q, err := ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := CompileQuery(q, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cq
+}
+
+func TestExplainAgreesWithSelectEach(t *testing.T) {
+	cases := []struct {
+		query, doc string
+	}{
+		{"fig sec* [* ; doc ; *]", "doc<sec<fig sec<fig tab>> fig>"},
+		{"[* ; fig ; tab] (sec|doc)*", "doc<sec<fig tab> sec<tab fig>>"},
+		{"select(fig*; sec doc)", "doc<sec<fig fig> sec<par>>"},
+		{"fig doc*", "doc<fig> fig<> sec<fig>"},
+	}
+	for _, c := range cases {
+		cq := compileExplain(t, c.query)
+		h := hedge.MustParse(c.doc)
+		var want []string
+		cq.SelectEach(h, func(p hedge.Path, n *hedge.Node) bool {
+			want = append(want, p.String())
+			return true
+		})
+		var got []string
+		cq.ExplainEach(h, func(w Witness, n *hedge.Node) bool {
+			got = append(got, w.Path.String())
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("%s on %s: ExplainEach found %v, SelectEach %v", c.query, c.doc, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s on %s: match %d: Explain %s vs Select %s", c.query, c.doc, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestExplainWitnessShape(t *testing.T) {
+	cq := compileExplain(t, "fig sec* [* ; doc ; *]")
+	h := hedge.MustParse("doc<sec<fig sec<fig>> fig>")
+	count := 0
+	cq.ExplainEach(h, func(w Witness, n *hedge.Node) bool {
+		count++
+		if n.Name != "fig" {
+			t.Errorf("located %q, want fig", n.Name)
+		}
+		if w.Subhedge {
+			t.Error("query has no e1, Subhedge should be false")
+		}
+		if len(w.Levels) != len(w.Path) {
+			t.Fatalf("at %s: %d levels for a %d-deep path", w.Path, len(w.Levels), len(w.Path))
+		}
+		// The spine's labels follow the document: top level is doc, the
+		// located level is fig.
+		if w.Levels[0].Name != "doc" {
+			t.Errorf("at %s: top level is %q, want doc", w.Path, w.Levels[0].Name)
+		}
+		if last := w.Levels[len(w.Levels)-1]; last.Name != "fig" {
+			t.Errorf("at %s: node level is %q, want fig", w.Path, last.Name)
+		}
+		for k, lv := range w.Levels {
+			if lv.Fired < 0 || lv.Fired >= cq.NumBases() {
+				t.Errorf("at %s level %d: fired base %d out of range", w.Path, k, lv.Fired)
+			}
+			found := false
+			for _, c := range lv.Candidates {
+				if c == lv.Fired {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("at %s level %d: fired base %d not among candidates %v",
+					w.Path, k, lv.Fired, lv.Candidates)
+			}
+		}
+		return true
+	})
+	if count != 3 {
+		t.Fatalf("located %d, want 3", count)
+	}
+}
+
+// TestExplainFiredBases pins the reconstructed base assignment for a
+// query whose decomposition is unambiguous: the PHR "fig sec* [*;doc;*]"
+// has bases 0=fig, 1=sec, 2=[*;doc;*], read from the node's level up.
+func TestExplainFiredBases(t *testing.T) {
+	cq := compileExplain(t, "fig sec* [* ; doc ; *]")
+	if cq.NumBases() != 3 {
+		t.Fatalf("NumBases = %d, want 3", cq.NumBases())
+	}
+	if got := cq.BaseString(0); got != "fig" {
+		t.Fatalf("base 0 renders %q, want fig", got)
+	}
+	h := hedge.MustParse("doc<sec<sec<fig>>>")
+	var witnesses []Witness
+	cq.ExplainEach(h, func(w Witness, n *hedge.Node) bool {
+		witnesses = append(witnesses, w)
+		return true
+	})
+	if len(witnesses) != 1 {
+		t.Fatalf("located %d, want 1", len(witnesses))
+	}
+	w := witnesses[0]
+	if w.Path.String() != "1.1.1.1" {
+		t.Fatalf("located %s, want 1.1.1.1", w.Path)
+	}
+	// Top-down the spine reads doc sec sec fig; the PHR reads bottom-up
+	// fig sec* doc, so fired bases top-down are 2 1 1 0.
+	wantFired := []int{2, 1, 1, 0}
+	for k, lv := range w.Levels {
+		if lv.Fired != wantFired[k] {
+			t.Errorf("level %d (%s): fired %d, want %d", k, lv.Name, lv.Fired, wantFired[k])
+		}
+	}
+}
+
+func TestExplainSubhedgeCondition(t *testing.T) {
+	cq := compileExplain(t, "select(fig*; sec doc)")
+	h := hedge.MustParse("doc<sec<fig fig> sec<par> sec<>>")
+	var paths []string
+	cq.ExplainEach(h, func(w Witness, n *hedge.Node) bool {
+		if !w.Subhedge {
+			t.Error("query has an e1, Subhedge should be true")
+		}
+		paths = append(paths, w.Path.String())
+		return true
+	})
+	// sec<par> fails e1 = fig*; sec<fig fig> and the empty sec pass.
+	if len(paths) != 2 || paths[0] != "1.1" || paths[1] != "1.3" {
+		t.Fatalf("located %v, want [1.1 1.3]", paths)
+	}
+}
+
+func TestExplainEarlyStop(t *testing.T) {
+	cq := compileExplain(t, "fig doc*")
+	h := hedge.MustParse("doc<fig fig fig>")
+	n := 0
+	done := cq.ExplainEach(h, func(w Witness, _ *hedge.Node) bool {
+		n++
+		return n < 2
+	})
+	if done || n != 2 {
+		t.Fatalf("done=%v after %d matches, want early stop after 2", done, n)
+	}
+}
+
+func TestExplainMirrorStatesFollowSpine(t *testing.T) {
+	// Sibling-sensitive envelope: the state sequence must reflect the
+	// stepped candidate sets, and repeated evaluation of one compilation
+	// must yield identical state ids (lazy interning is deterministic per
+	// compilation and evaluation order).
+	cq := compileExplain(t, "[* ; fig ; tab] (sec|doc)*")
+	h := hedge.MustParse("doc<sec<fig tab> sec<tab fig>>")
+	run := func() [][]int {
+		var out [][]int
+		cq.ExplainEach(h, func(w Witness, _ *hedge.Node) bool {
+			states := make([]int, len(w.Levels))
+			for i, lv := range w.Levels {
+				states[i] = lv.State
+			}
+			out = append(out, states)
+			return true
+		})
+		return out
+	}
+	first, second := run(), run()
+	if len(first) != 1 {
+		t.Fatalf("located %d, want 1 (only the fig before a tab)", len(first))
+	}
+	for i := range first {
+		for j := range first[i] {
+			if first[i][j] != second[i][j] {
+				t.Fatalf("state ids drifted between runs: %v vs %v", first, second)
+			}
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"xpe/internal/hedge"
 	"xpe/internal/metrics"
 	"xpe/internal/stream"
+	"xpe/internal/trace"
 	"xpe/internal/xmlhedge"
 )
 
@@ -60,9 +61,16 @@ type BenchReport struct {
 	// drained under the skip policy, versus the same feed clean — the
 	// median of paired-round ns/op ratios. It prices the recovery path
 	// (resync scan + per-record fresh decoders), not the happy path.
-	DegradedOverheadPct float64       `json:"degraded_overhead_pct"`
-	PeakRSSBytes        int64         `json:"peak_rss_bytes"`
-	Results             []BenchResult `json:"results"`
+	DegradedOverheadPct float64 `json:"degraded_overhead_pct"`
+	// TraceOverheadPct is what the per-record tracing hooks cost while
+	// tracing is disabled (no flight recorder, no slow-record callback):
+	// the nil-checked hook sequence the stream pipeline runs per record,
+	// wrapped around one in-memory evaluation and interleaved op-by-op
+	// with the bare evaluation — the ratio of the two sides' median
+	// per-op durations. Gated ≤ 1% by `make trace-overhead`.
+	TraceOverheadPct float64       `json:"trace_overhead_pct"`
+	PeakRSSBytes     int64         `json:"peak_rss_bytes"`
+	Results          []BenchResult `json:"results"`
 }
 
 // Measure times fn until minTime has elapsed (at least twice) and reports
@@ -202,6 +210,86 @@ func BenchJSON(quick bool) (*BenchReport, error) {
 	}
 	rep.Results = append(rep.Results, withSink)
 	rep.MetricsOverheadPct = (median(ratios) - 1) * 100
+
+	// Disabled-tracing overhead: the pipeline's per-record trace path when
+	// nothing is attached is one sink nil-check, one boolean, and the
+	// branches guarding each would-be clock read (see stream.runSequential).
+	// The hooked side wraps one evaluation in exactly that hook sequence —
+	// against a nil sink, so every branch takes its disabled arm.
+	//
+	// The 1% budget is tighter than the metrics pair's 3%, and separate
+	// measurement windows drift past it on a noisy host (frequency
+	// scaling, cgroup throttling can shift whole windows by more than the
+	// budget). So the two sides are interleaved at the single-operation
+	// level: adjacent ops sample near-identical machine conditions, and
+	// the overhead is the median of per-pair duration ratios — each ratio
+	// cancels the conditions its own pair ran under, and the median
+	// shrugs off GC pauses and stalls that hit individual ops. Which side
+	// runs first alternates pair by pair, so cache- or scheduler-position
+	// effects cannot systematically favor one side.
+	var nilSink *trace.EventSink
+	bareOp := func() { countEach(cq, overheadDoc) }
+	hookedOp := func() {
+		tracing := nilSink.Enabled()
+		var t0 time.Time
+		if tracing {
+			t0 = time.Now()
+		}
+		countEach(cq, overheadDoc)
+		if tracing {
+			_ = trace.Since(t0)
+			_ = nilSink.Drain()
+		}
+	}
+	bareOp()
+	hookedOp() // warm up
+	runtime.GC()
+	var tBefore, tAfter runtime.MemStats
+	runtime.ReadMemStats(&tBefore)
+	traceBudget := 12 * minTime
+	var bareNS, hookedNS, pairRatios []float64
+	traceStart := time.Now()
+	for time.Since(traceStart) < traceBudget || len(bareNS) < 16 {
+		bareFirst := len(bareNS)%2 == 0
+		s0 := time.Now()
+		if bareFirst {
+			bareOp()
+		} else {
+			hookedOp()
+		}
+		s1 := time.Now()
+		if bareFirst {
+			hookedOp()
+		} else {
+			bareOp()
+		}
+		s2 := time.Now()
+		first, second := float64(s1.Sub(s0)), float64(s2.Sub(s1))
+		b, h := first, second
+		if !bareFirst {
+			b, h = second, first
+		}
+		bareNS = append(bareNS, b)
+		hookedNS = append(hookedNS, h)
+		pairRatios = append(pairRatios, h/b)
+	}
+	runtime.ReadMemStats(&tAfter)
+	// Both sides run the same evaluation (the hooks neither allocate nor
+	// free), so the jointly measured allocation deltas are split evenly.
+	traceOps := float64(2 * len(bareNS))
+	traceRes := func(name string, nsPerOp float64, iters int) BenchResult {
+		res := BenchResult{Name: name, Iterations: int64(iters), NsPerOp: nsPerOp,
+			AllocsPerOp: float64(tAfter.Mallocs-tBefore.Mallocs) / traceOps,
+			BytesPerOp:  float64(tAfter.TotalAlloc-tBefore.TotalAlloc) / traceOps}
+		if nsPerOp > 0 {
+			res.NodesPerSec = float64(overheadNodes) / nsPerOp * 1e9
+		}
+		return res
+	}
+	traceBase := traceRes("select-"+sizeName(memSizes[0])+"-notrace", median(bareNS), len(bareNS))
+	traceHooked := traceRes("select-"+sizeName(memSizes[0])+"-trace-disabled", median(hookedNS), len(hookedNS))
+	rep.Results = append(rep.Results, traceBase, traceHooked)
+	rep.TraceOverheadPct = (median(pairRatios) - 1) * 100
 
 	// Streaming: split + evaluate + deliver over a serialized document.
 	streamDoc := gen.Document(gen.DefaultDocConfig(), streamSize)

@@ -14,7 +14,9 @@ func TestBenchJSONQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantNames := []string{"select-10k-nosink", "select-10k-sink", "stream-20k-w1", "stream-20k-w4",
+	wantNames := []string{"select-10k-nosink", "select-10k-sink",
+		"select-10k-notrace", "select-10k-trace-disabled",
+		"stream-20k-w1", "stream-20k-w4",
 		"stream-degraded-clean", "stream-degraded-1pct", "bulk-16x2k"}
 	if len(rep.Results) != len(wantNames) {
 		t.Fatalf("got %d results, want %d", len(rep.Results), len(wantNames))

@@ -122,7 +122,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{Count: h.count.Load(), SumNs: h.sum.Load()}
 	for i := range h.buckets {
 		if n := h.buckets[i].Load(); n != 0 {
-			s.Buckets = append(s.Buckets, Bucket{LeNs: int64(1) << uint(i), Count: n})
+			s.Buckets = append(s.Buckets, newBucket(i, n))
 		}
 	}
 	return s

@@ -61,13 +61,30 @@ func TestHistogramSnapshot(t *testing.T) {
 	if s.Count != 3 || s.SumNs != 3900 {
 		t.Fatalf("histogram totals = %+v, want count 3 sum 3900", s)
 	}
-	want := []Bucket{{LeNs: 1024, Count: 1}, {LeNs: 2048, Count: 2}}
+	want := []Bucket{{LeNs: 1024, Le: "le_1us", Count: 1}, {LeNs: 2048, Le: "le_2us", Count: 2}}
 	if len(s.Buckets) != len(want) {
 		t.Fatalf("buckets = %v, want %v", s.Buckets, want)
 	}
 	for i, b := range want {
 		if s.Buckets[i] != b {
 			t.Errorf("bucket %d = %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+}
+
+func TestBucketLabel(t *testing.T) {
+	cases := []struct {
+		idx  int
+		want string
+	}{
+		{0, "le_1ns"}, {1, "le_2ns"}, {9, "le_512ns"},
+		{10, "le_1us"}, {15, "le_32us"}, {19, "le_512us"},
+		{20, "le_1ms"}, {29, "le_512ms"},
+		{30, "le_1s"}, {43, "le_8192s"},
+	}
+	for _, c := range cases {
+		if got := bucketLabel(c.idx); got != c.want {
+			t.Errorf("bucketLabel(%d) = %q, want %q", c.idx, got, c.want)
 		}
 	}
 }
@@ -90,6 +107,7 @@ func fill(m *Metrics) {
 	m.Stream.Runs.Inc()
 	m.Stream.Workers.Set(4)
 	m.Stream.RecordsSkipped.Add(2)
+	m.Stream.RecordsTimedOut.Inc()
 	m.Stream.PanicsRecovered.Inc()
 	m.Stream.SplitTime.Add(3, 3000)
 	m.Stream.EvalTime.Add(3, 6000)
@@ -133,6 +151,7 @@ func TestSnapshotGoldenJSON(t *testing.T) {
     "runs": 1,
     "workers": 4,
     "records_skipped": 2,
+    "records_timed_out": 1,
     "panics_recovered": 1,
     "split_time": {
       "count": 3,
@@ -156,14 +175,17 @@ func TestSnapshotGoldenJSON(t *testing.T) {
       "buckets": [
         {
           "le_ns": 1024,
+          "le": "le_1us",
           "count": 1
         },
         {
           "le_ns": 2048,
+          "le": "le_2us",
           "count": 1
         },
         {
           "le_ns": 4096,
+          "le": "le_4us",
           "count": 1
         }
       ]

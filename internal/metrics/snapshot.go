@@ -88,6 +88,11 @@ type Stream struct {
 	// RecordsSkipped counts records dropped by a Skip error policy
 	// (malformed records, limit violations, evaluation failures).
 	RecordsSkipped Counter
+	// RecordsTimedOut counts records whose evaluation exceeded the
+	// configured RecordTimeout (whether the policy then skipped or
+	// aborted) — the timeout slice of the failures RecordsSkipped
+	// aggregates.
+	RecordsTimedOut Counter
 	// PanicsRecovered counts record evaluations that panicked and were
 	// converted to errors (whether the policy then skipped or aborted).
 	PanicsRecovered Counter
@@ -110,6 +115,7 @@ func (s *Stream) Snapshot() StreamSnapshot {
 		Runs:            s.Runs.Load(),
 		Workers:         s.Workers.Load(),
 		RecordsSkipped:  s.RecordsSkipped.Load(),
+		RecordsTimedOut: s.RecordsTimedOut.Load(),
 		PanicsRecovered: s.PanicsRecovered.Load(),
 		SplitTime:       s.SplitTime.Snapshot(),
 		EvalTime:        s.EvalTime.Snapshot(),
@@ -168,6 +174,7 @@ func (m *Metrics) AddSnapshot(s Snapshot) {
 		m.Stream.Workers.Set(s.Stream.Workers)
 	}
 	m.Stream.RecordsSkipped.Add(s.Stream.RecordsSkipped)
+	m.Stream.RecordsTimedOut.Add(s.Stream.RecordsTimedOut)
 	m.Stream.PanicsRecovered.Add(s.Stream.PanicsRecovered)
 	m.Stream.SplitTime.Add(s.Stream.SplitTime.Count, s.Stream.SplitTime.TotalNs)
 	m.Stream.EvalTime.Add(s.Stream.EvalTime.Count, s.Stream.EvalTime.TotalNs)
@@ -190,10 +197,51 @@ func (t TimerSnapshot) sub(prev TimerSnapshot) TimerSnapshot {
 }
 
 // Bucket is one non-empty histogram bucket: Count observations below LeNs
-// nanoseconds (and at or above the previous bucket's bound).
+// nanoseconds (and at or above the previous bucket's bound). Le is the
+// same bound rendered human-readably in the nearest binary unit
+// ("le_1ms" for 2^20 ns); LeNs stays the exact machine-readable key, so
+// golden files keyed on it keep working.
 type Bucket struct {
-	LeNs  int64 `json:"le_ns"`
-	Count int64 `json:"count"`
+	LeNs  int64  `json:"le_ns"`
+	Le    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// bucketLabel renders bucket index i's bound (2^i ns) as a compact
+// human-readable label in the nearest power-of-two unit: le_512ns,
+// le_1us, le_1ms, le_1s. The rendering is approximate by design
+// (1<<20 ns is 1.05ms) — LeNs carries the exact bound.
+func bucketLabel(i int) string {
+	switch {
+	case i < 10:
+		return "le_" + itoa(int64(1)<<uint(i)) + "ns"
+	case i < 20:
+		return "le_" + itoa(int64(1)<<uint(i-10)) + "us"
+	case i < 30:
+		return "le_" + itoa(int64(1)<<uint(i-20)) + "ms"
+	default:
+		return "le_" + itoa(int64(1)<<uint(i-30)) + "s"
+	}
+}
+
+// itoa avoids importing strconv for one call site.
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// newBucket builds the snapshot bucket for index i.
+func newBucket(i int, count int64) Bucket {
+	return Bucket{LeNs: int64(1) << uint(i), Le: bucketLabel(i), Count: count}
 }
 
 // HistogramSnapshot is the encoded form of a Histogram.
@@ -218,7 +266,7 @@ func (h HistogramSnapshot) sub(prev HistogramSnapshot) HistogramSnapshot {
 	cur, old := h.expand(), prev.expand()
 	for i := range cur {
 		if n := cur[i] - old[i]; n != 0 {
-			out.Buckets = append(out.Buckets, Bucket{LeNs: int64(1) << uint(i), Count: n})
+			out.Buckets = append(out.Buckets, newBucket(i, n))
 		}
 	}
 	return out
@@ -253,6 +301,7 @@ type StreamSnapshot struct {
 	Runs            int64             `json:"runs"`
 	Workers         int64             `json:"workers"`
 	RecordsSkipped  int64             `json:"records_skipped"`
+	RecordsTimedOut int64             `json:"records_timed_out"`
 	PanicsRecovered int64             `json:"panics_recovered"`
 	SplitTime       TimerSnapshot     `json:"split_time"`
 	EvalTime        TimerSnapshot     `json:"eval_time"`
@@ -298,6 +347,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 			Runs:            s.Stream.Runs - prev.Stream.Runs,
 			Workers:         s.Stream.Workers,
 			RecordsSkipped:  s.Stream.RecordsSkipped - prev.Stream.RecordsSkipped,
+			RecordsTimedOut: s.Stream.RecordsTimedOut - prev.Stream.RecordsTimedOut,
 			PanicsRecovered: s.Stream.PanicsRecovered - prev.Stream.PanicsRecovered,
 			SplitTime:       s.Stream.SplitTime.sub(prev.Stream.SplitTime),
 			EvalTime:        s.Stream.EvalTime.sub(prev.Stream.EvalTime),

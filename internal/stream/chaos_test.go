@@ -11,6 +11,8 @@ import (
 	"xpe/internal/core"
 	"xpe/internal/faultinject"
 	"xpe/internal/ha"
+	"xpe/internal/metrics"
+	"xpe/internal/trace"
 	"xpe/internal/xmlhedge"
 )
 
@@ -364,6 +366,165 @@ func TestChaosErrStopWrapped(t *testing.T) {
 		}
 		if stats.Records != 5 {
 			t.Fatalf("workers=%d: records = %d, want 5", workers, stats.Records)
+		}
+	}
+}
+
+// traceByIndex groups a run's retained traces by record index, failing
+// the test on duplicates: the flight-recorder contract is exactly one
+// trace per record that reached an in-order verdict.
+func traceByIndex(t *testing.T, tr *trace.Tracer) map[int]trace.RecordTrace {
+	t.Helper()
+	out := map[int]trace.RecordTrace{}
+	for _, rt := range tr.Traces() {
+		if _, dup := out[rt.Index]; dup {
+			t.Fatalf("record %d committed more than one trace", rt.Index)
+		}
+		out[rt.Index] = rt
+	}
+	return out
+}
+
+func TestChaosTraceOneVerdictPerRecord(t *testing.T) {
+	// Malformed and panicking records under a skip policy: every record —
+	// delivered or skipped — appears exactly once in the flight recorder,
+	// with the right outcome, a closed (totaled) span set, and an error
+	// rendering on the failures.
+	spec := faultinject.FeedSpec{
+		Records:   20,
+		Malformed: map[int]bool{3: true, 9: true},
+	}
+	skipped := map[int]bool{3: true, 6: true, 9: true}
+	for _, workers := range []int{1, 4} {
+		tr := trace.New(64)
+		inject := faultinject.NewEvalFaults().PanicOn(6)
+		_, _, stats := runSkip(t, spec, Config{Workers: workers, Trace: tr}, inject)
+		if stats.Skipped != 3 {
+			t.Fatalf("workers=%d: skipped = %d, want 3", workers, stats.Skipped)
+		}
+		if tr.Total() != int64(spec.Records) {
+			t.Fatalf("workers=%d: committed %d traces, want %d", workers, tr.Total(), spec.Records)
+		}
+		byIdx := traceByIndex(t, tr)
+		for i := 0; i < spec.Records; i++ {
+			rt, ok := byIdx[i]
+			if !ok {
+				t.Fatalf("workers=%d: record %d has no trace", workers, i)
+			}
+			if rt.TotalNS != rt.SplitNS+rt.EvalNS+rt.DeliverNS {
+				t.Fatalf("workers=%d: record %d spans not totaled: %+v", workers, i, rt)
+			}
+			if skipped[i] {
+				if rt.Outcome != "skipped" || rt.Error == "" {
+					t.Fatalf("workers=%d: record %d trace = %+v, want skipped with an error", workers, i, rt)
+				}
+				continue
+			}
+			if rt.Outcome != "ok" || rt.Error != "" || rt.Matches != 1 {
+				t.Fatalf("workers=%d: record %d trace = %+v, want ok with 1 match", workers, i, rt)
+			}
+			if rt.SplitNS+rt.EvalNS <= 0 {
+				t.Fatalf("workers=%d: record %d delivered with empty spans: %+v", workers, i, rt)
+			}
+		}
+	}
+}
+
+func TestChaosTraceTimedOutCounted(t *testing.T) {
+	// A timed-out record is counted separately from generic skips — in
+	// Stats, in the metrics counter, and as a skipped trace whose error
+	// names the timeout.
+	spec := faultinject.FeedSpec{Records: 10}
+	for _, workers := range []int{1, 4} {
+		tr := trace.New(16)
+		var m metrics.Metrics
+		inject := faultinject.NewEvalFaults().StallOn(60*time.Millisecond, 3)
+		_, fails, stats := runSkip(t, spec,
+			Config{Workers: workers, RecordTimeout: 10 * time.Millisecond, Trace: tr, Metrics: &m}, inject)
+		if stats.TimedOut != 1 || stats.Skipped != 1 || len(fails) != 1 {
+			t.Fatalf("workers=%d: timedout=%d skipped=%d fails=%d, want 1/1/1",
+				workers, stats.TimedOut, stats.Skipped, len(fails))
+		}
+		if got := m.Stream.RecordsTimedOut.Load(); got != 1 {
+			t.Fatalf("workers=%d: metrics records_timed_out = %d, want 1", workers, got)
+		}
+		rt, ok := traceByIndex(t, tr)[3]
+		if !ok {
+			t.Fatalf("workers=%d: no trace for the timed-out record", workers)
+		}
+		if rt.Outcome != "skipped" || !strings.Contains(rt.Error, "timed out") {
+			t.Fatalf("workers=%d: timed-out trace = %+v, want skipped with a timeout error", workers, rt)
+		}
+	}
+}
+
+func TestChaosTraceRecoveryEvents(t *testing.T) {
+	// Sequential recovery attribution: each delivered record's trace
+	// carries its own "record" boundary event, and the splitter's recovery
+	// activity for a skipped record lands on the *following* record's
+	// trace (the skip verdict commits before Recover runs), with the event
+	// detail naming the record it concerns.
+	spec := faultinject.FeedSpec{Records: 8, Malformed: map[int]bool{2: true}}
+	tr := trace.New(16)
+	_, _, stats := runSkip(t, spec, Config{Workers: 1, Trace: tr}, nil)
+	if stats.Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", stats.Skipped)
+	}
+	byIdx := traceByIndex(t, tr)
+	for _, id := range spec.HealthyIDs() {
+		rt := byIdx[id]
+		found := false
+		for _, ev := range rt.Events {
+			if ev.Name == "record" && strings.Contains(ev.Detail, fmt.Sprintf("record %d ", id)) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("record %d trace has no boundary event: %+v", id, rt.Events)
+		}
+	}
+	recovery := false
+	for _, ev := range byIdx[3].Events {
+		if (ev.Name == "resync" || ev.Name == "resync_hit" || ev.Name == "skim") &&
+			strings.Contains(ev.Detail, "record 2") {
+			recovery = true
+		}
+	}
+	if !recovery {
+		t.Fatalf("record 3 trace carries no recovery event for skipped record 2: %+v", byIdx[3].Events)
+	}
+	// The skipped record's own trace committed before recovery started.
+	for _, ev := range byIdx[2].Events {
+		if ev.Name == "resync" || ev.Name == "resync_hit" || ev.Name == "skim" {
+			t.Fatalf("recovery event leaked onto the skipped record's own trace: %+v", ev)
+		}
+	}
+}
+
+func TestChaosTraceSlowRecordRouting(t *testing.T) {
+	// A 1ns threshold routes every delivered record to OnSlow (tracing
+	// works with no ring attached — the slow-record log alone forces span
+	// assembly); an unreachable threshold routes none.
+	spec := faultinject.FeedSpec{Records: 12}
+	for _, workers := range []int{1, 4} {
+		var slow []trace.RecordTrace
+		cfg := Config{Workers: workers, SlowThreshold: time.Nanosecond,
+			OnSlow: func(rt trace.RecordTrace) { slow = append(slow, rt) }}
+		_, _, stats := runSkip(t, spec, cfg, nil)
+		if int64(len(slow)) != stats.Records {
+			t.Fatalf("workers=%d: %d slow records routed, want all %d", workers, len(slow), stats.Records)
+		}
+		for _, rt := range slow {
+			if rt.Outcome != "ok" || rt.TotalNS <= 0 {
+				t.Fatalf("workers=%d: slow trace = %+v, want ok with a positive total", workers, rt)
+			}
+		}
+		none := 0
+		cfg = Config{Workers: workers, SlowThreshold: time.Hour,
+			OnSlow: func(trace.RecordTrace) { none++ }}
+		runSkip(t, spec, cfg, nil)
+		if none != 0 {
+			t.Fatalf("workers=%d: %d records crossed an hour-long threshold", workers, none)
 		}
 	}
 }

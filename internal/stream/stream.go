@@ -45,6 +45,7 @@ import (
 	"xpe/internal/core"
 	"xpe/internal/hedge"
 	"xpe/internal/metrics"
+	"xpe/internal/trace"
 	"xpe/internal/xmlhedge"
 )
 
@@ -91,6 +92,42 @@ type Config struct {
 	// core.CompiledQuery.SetMetrics). Timing costs two monotonic clock
 	// reads per stage per record when attached and one nil check when not.
 	Metrics *metrics.Metrics
+	// Trace, when non-nil, receives one trace.RecordTrace per record that
+	// reaches an in-order verdict — delivered, skipped, or aborting the
+	// run (parallel runs may abort without a trace when the failure
+	// bypasses the policy). Stage timings are assembled whenever Trace or
+	// OnSlow is set, at the same cost as Metrics timing; splitter events
+	// ride the trace of the record being produced when they fired, so
+	// recovery activity for a skipped record lands on the *following*
+	// record's trace (the event detail names the record it concerns).
+	// Nil disables trace assembly entirely.
+	Trace *trace.Tracer
+	// SlowThreshold routes records whose split+eval+deliver total meets
+	// or exceeds it to OnSlow (0 disables the slow-record log).
+	SlowThreshold time.Duration
+	// OnSlow receives slow records' traces, on the goroutine delivering
+	// results (never concurrently), after the trace is committed to Trace.
+	OnSlow func(trace.RecordTrace)
+	// Explain captures match provenance: each delivered Match carries a
+	// Witness reconstructing the envelope evidence level by level (see
+	// core.CompiledQuery.ExplainEach). Provenance allocates per match;
+	// leave it off for steady-state throughput.
+	Explain bool
+}
+
+// tracing reports whether per-record traces must be assembled: a ring to
+// commit into, or a slow-record callback to feed.
+func (cfg *Config) tracing() bool { return cfg.Trace != nil || cfg.OnSlow != nil }
+
+// commitTrace finalizes one record trace: totals the stage spans, stores
+// the trace in the flight-recorder ring, and routes it to the slow-record
+// callback when it crossed the threshold.
+func commitTrace(cfg *Config, rt trace.RecordTrace) {
+	rt.TotalNS = rt.SplitNS + rt.EvalNS + rt.DeliverNS
+	cfg.Trace.Commit(rt)
+	if cfg.OnSlow != nil && cfg.SlowThreshold > 0 && rt.TotalNS >= int64(cfg.SlowThreshold) {
+		cfg.OnSlow(rt)
+	}
 }
 
 // Injector is the fault-injection hook: BeforeEval runs at the start of
@@ -107,6 +144,7 @@ type Stats struct {
 	Matches   int64 // total located nodes
 	Bytes     int64 // input bytes consumed by the XML decoder
 	Skipped   int64 // failed records dropped by the OnRecordError policy
+	TimedOut  int64 // records over RecordTimeout, whether skipped or aborting
 	Recovered int64 // evaluation panics caught and converted to errors
 }
 
@@ -117,6 +155,10 @@ type Match struct {
 	// Node is the located node; like Result.Hedge it is arena-backed and
 	// valid only until the yield callback returns.
 	Node *hedge.Node
+	// Witness, when Config.Explain is set, is the match's provenance:
+	// the envelope evidence level by level. Unlike Node it is freshly
+	// allocated and safe to retain. Nil when Explain is off.
+	Witness *core.Witness
 }
 
 // Result is one evaluated record.
@@ -139,6 +181,13 @@ type Result struct {
 	// await, on splitter-failure tombstones, carries the policy verdict
 	// back to the producer, which is blocked mid-recovery waiting for it.
 	await chan error
+	// splitNS/evalNS/events carry the producer's and worker's trace
+	// contributions to the collector when tracing is on. They are not
+	// cleared by reset — the worker resets after the producer has already
+	// stamped them — so every tracing-enabled path must set all three.
+	splitNS int64
+	evalNS  int64
+	events  []trace.Event
 }
 
 // reset prepares a recycled Result for reuse.
@@ -229,18 +278,23 @@ func Run(ctx context.Context, r io.Reader, cq *core.CompiledQuery, cfg Config, y
 		start := time.Now()
 		defer func() { ms.WallTime.Observe(time.Since(start)) }()
 	}
+	var sink *trace.EventSink
+	if cfg.tracing() {
+		sink = trace.NewEventSink()
+		ropts.Events = sink
+	}
 	if workers <= 1 {
 		ropts.Ctx = ctx
 		rr := xmlhedge.NewRecordReader(r, ropts)
-		return runSequential(ctx, rr, cq, cfg, ms, yield)
+		return runSequential(ctx, rr, cq, cfg, ms, sink, yield)
 	}
-	return runParallel(ctx, r, ropts, cq, workers, cfg, ms, yield)
+	return runParallel(ctx, r, ropts, cq, workers, cfg, ms, sink, yield)
 }
 
 // safeEvaluate runs the query over one parsed record with panics contained
 // and the evaluation timeout enforced. A non-nil return is always a
 // *RecordError; on success res holds the matches.
-func safeEvaluate(cq *core.CompiledQuery, rec *xmlhedge.Record, res *Result, timeout time.Duration, inject Injector) (fail *RecordError) {
+func safeEvaluate(cq *core.CompiledQuery, rec *xmlhedge.Record, res *Result, cfg *Config) (fail *RecordError) {
 	defer func() {
 		if v := recover(); v != nil {
 			fail = &RecordError{Index: rec.Index, Path: rec.Path,
@@ -249,12 +303,16 @@ func safeEvaluate(cq *core.CompiledQuery, rec *xmlhedge.Record, res *Result, tim
 	}()
 	res.reset()
 	res.Index, res.Path, res.Nodes = rec.Index, rec.Path, rec.Nodes
+	timeout := cfg.RecordTimeout
 	var start time.Time
-	if timeout > 0 || inject != nil {
+	if timeout > 0 || cfg.Inject != nil {
 		start = time.Now()
 	}
-	if inject != nil {
-		inject.BeforeEval(rec.Index)
+	if cfg.Inject != nil {
+		cfg.Inject.BeforeEval(rec.Index)
+	}
+	if cfg.Explain {
+		return explainRecord(cq, rec, res, start, timeout)
 	}
 	if timeout <= 0 {
 		cq.SelectEach(rec.Hedge, func(p hedge.Path, n *hedge.Node) bool {
@@ -282,6 +340,33 @@ func safeEvaluate(cq *core.CompiledQuery, rec *xmlhedge.Record, res *Result, tim
 	return nil
 }
 
+// explainRecord is safeEvaluate's provenance-capturing variant: same
+// matches (ExplainEach locates exactly what SelectEach does), same
+// cooperative deadline, with each match carrying its witness. It runs
+// inside safeEvaluate's panic scope.
+func explainRecord(cq *core.CompiledQuery, rec *xmlhedge.Record, res *Result, start time.Time, timeout time.Duration) *RecordError {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = start.Add(timeout)
+	}
+	n, timedOut := 0, false
+	cq.ExplainEach(rec.Hedge, func(w core.Witness, node *hedge.Node) bool {
+		res.addMatch(w.Path, node)
+		res.Matches[len(res.Matches)-1].Witness = &w
+		if timeout > 0 {
+			if n++; n&63 == 0 && time.Now().After(deadline) {
+				timedOut = true
+				return false
+			}
+		}
+		return true
+	})
+	if timeout > 0 && (timedOut || time.Since(start) > timeout) {
+		return &RecordError{Index: rec.Index, Path: rec.Path, Err: ErrRecordTimeout}
+	}
+	return nil
+}
+
 // recordFailure attributes a record-scoped splitter failure to its record,
 // pulling index and path out of the typed error when present (limit
 // violations and in-record parse errors carry them; truncations fall back
@@ -302,7 +387,7 @@ func recordFailure(rr *xmlhedge.RecordReader, err error) *RecordError {
 // runSequential is the single-worker hot loop: one arena, one Result, no
 // goroutines — steady-state evaluation allocates nothing, with or without
 // a metrics sink (timing is two clock reads per stage per record).
-func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.CompiledQuery, cfg Config, ms *metrics.Stream, yield func(*Result) error) (Stats, error) {
+func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.CompiledQuery, cfg Config, ms *metrics.Stream, sink *trace.EventSink, yield func(*Result) error) (Stats, error) {
 	var (
 		stats Stats
 		arena xmlhedge.Arena
@@ -310,47 +395,72 @@ func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Comp
 		t0    time.Time
 	)
 	pol := cfg.OnRecordError
+	tracing := sink.Enabled()
+	timed := ms != nil || tracing
+	commit := func(rt trace.RecordTrace) {
+		rt.Events = sink.Drain()
+		commitTrace(&cfg, rt)
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			stats.Bytes = rr.InputOffset()
 			return stats, err
 		}
 		arena.Reset()
-		if ms != nil {
+		if timed {
 			t0 = time.Now()
 		}
 		rec, err := rr.Read(&arena)
-		if ms != nil {
-			ms.SplitTime.Observe(time.Since(t0))
+		var splitNS int64
+		if timed {
+			d := time.Since(t0)
+			splitNS = int64(d)
+			if ms != nil {
+				ms.SplitTime.Observe(d)
+			}
 		}
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			stats.Bytes = rr.InputOffset()
+			splitTrace := func(outcome string, cause error) {
+				if tracing {
+					fail := recordFailure(rr, err)
+					commit(trace.RecordTrace{Index: fail.Index, Path: fail.Path.String(),
+						SplitNS: splitNS, Outcome: outcome, Error: cause.Error()})
+				}
+			}
 			if pol == nil || !rr.CanRecover() {
+				splitTrace("aborted", err)
 				return stats, err
 			}
 			if perr := pol(recordFailure(rr, err)); perr != nil {
+				splitTrace("aborted", perr)
 				return stats, perr
 			}
 			stats.Skipped++
 			if ms != nil {
 				ms.RecordsSkipped.Inc()
 			}
+			splitTrace("skipped", err)
 			if rerr := rr.Recover(); rerr != nil {
 				return stats, rerr
 			}
 			continue
 		}
-		if ms != nil {
+		if timed {
 			t0 = time.Now()
 		}
-		evalErr := safeEvaluate(cq, &rec, &res, cfg.RecordTimeout, cfg.Inject)
-		if ms != nil {
+		evalErr := safeEvaluate(cq, &rec, &res, &cfg)
+		var evalNS int64
+		if timed {
 			d := time.Since(t0)
-			ms.EvalTime.Observe(d)
-			ms.RecordLatency.Observe(d)
+			evalNS = int64(d)
+			if ms != nil {
+				ms.EvalTime.Observe(d)
+				ms.RecordLatency.Observe(d)
+			}
 		}
 		if evalErr != nil {
 			if _, isPanic := evalErr.Err.(*PanicError); isPanic {
@@ -359,29 +469,55 @@ func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Comp
 					ms.PanicsRecovered.Inc()
 				}
 			}
+			if errors.Is(evalErr.Err, ErrRecordTimeout) {
+				stats.TimedOut++
+				if ms != nil {
+					ms.RecordsTimedOut.Inc()
+				}
+			}
+			evalTrace := func(outcome string, cause error) {
+				if tracing {
+					commit(trace.RecordTrace{Index: res.Index, Path: res.Path.String(),
+						SplitNS: splitNS, EvalNS: evalNS, Nodes: res.Nodes,
+						Matches: len(res.Matches), Outcome: outcome, Error: cause.Error()})
+				}
+			}
 			if pol == nil {
 				stats.Bytes = rr.InputOffset()
+				evalTrace("aborted", evalErr)
 				return stats, evalErr
 			}
 			if perr := pol(evalErr); perr != nil {
 				stats.Bytes = rr.InputOffset()
+				evalTrace("aborted", perr)
 				return stats, perr
 			}
 			stats.Skipped++
 			if ms != nil {
 				ms.RecordsSkipped.Inc()
 			}
+			evalTrace("skipped", evalErr)
 			continue
 		}
 		stats.Records++
 		stats.Nodes += int64(res.Nodes)
 		stats.Matches += int64(len(res.Matches))
-		if ms != nil {
+		if timed {
 			t0 = time.Now()
 		}
 		err = yield(&res)
-		if ms != nil {
-			ms.DeliverTime.Observe(time.Since(t0))
+		var deliverNS int64
+		if timed {
+			d := time.Since(t0)
+			deliverNS = int64(d)
+			if ms != nil {
+				ms.DeliverTime.Observe(d)
+			}
+		}
+		if tracing {
+			commit(trace.RecordTrace{Index: res.Index, Path: res.Path.String(),
+				SplitNS: splitNS, EvalNS: evalNS, DeliverNS: deliverNS,
+				Nodes: res.Nodes, Matches: len(res.Matches), Outcome: "ok"})
 		}
 		if err != nil {
 			stats.Bytes = rr.InputOffset()
@@ -406,7 +542,7 @@ func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Comp
 // delivery never stalls on the failed index) while the producer blocks on
 // the tombstone's await channel for the verdict — recovery rewires the
 // reader's state, so the producer cannot run ahead of the decision.
-func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions, cq *core.CompiledQuery, workers int, cfg Config, ms *metrics.Stream, yield func(*Result) error) (Stats, error) {
+func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions, cq *core.CompiledQuery, workers int, cfg Config, ms *metrics.Stream, sink *trace.EventSink, yield func(*Result) error) (Stats, error) {
 	ictx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	// The splitter polls the internal context, so cancellation (external or
@@ -414,6 +550,8 @@ func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions,
 	ropts.Ctx = ictx
 	rr := xmlhedge.NewRecordReader(r, ropts)
 	pol := cfg.OnRecordError
+	tracing := sink.Enabled()
+	timed := ms != nil || tracing
 
 	nArenas := workers + 1
 	free := make(chan *xmlhedge.Arena, nArenas)
@@ -460,12 +598,17 @@ func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions,
 				return
 			}
 			arena.Reset()
-			if ms != nil {
+			if timed {
 				t0 = time.Now()
 			}
 			rec, err := rr.Read(arena)
-			if ms != nil {
-				ms.SplitTime.Observe(time.Since(t0))
+			var splitNS int64
+			if timed {
+				d := time.Since(t0)
+				splitNS = int64(d)
+				if ms != nil {
+					ms.SplitTime.Observe(d)
+				}
 			}
 			if err != nil {
 				free <- arena // cap nArenas: never blocks
@@ -487,6 +630,7 @@ func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions,
 				res := resPool.Get().(*Result)
 				res.reset()
 				res.Index, res.Path, res.Nodes = fail.Index, fail.Path, 0
+				res.splitNS, res.evalNS, res.events = splitNS, 0, sink.Drain()
 				res.fail = fail
 				verdict := make(chan error, 1)
 				res.await = verdict
@@ -520,6 +664,7 @@ func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions,
 			}
 			res := resPool.Get().(*Result)
 			res.arena = arena
+			res.splitNS, res.evalNS, res.events = splitNS, 0, sink.Drain()
 			select {
 			case jobs <- job{rec: rec, res: res}:
 			case <-ictx.Done():
@@ -541,16 +686,19 @@ func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions,
 			defer wg.Done()
 			var t0 time.Time
 			for j := range jobs {
-				if ms != nil {
+				if timed {
 					t0 = time.Now()
 				}
-				if evalErr := safeEvaluate(cq, &j.rec, j.res, cfg.RecordTimeout, cfg.Inject); evalErr != nil {
+				if evalErr := safeEvaluate(cq, &j.rec, j.res, &cfg); evalErr != nil {
 					j.res.fail = evalErr
 				}
-				if ms != nil {
+				if timed {
 					d := time.Since(t0)
-					ms.EvalTime.Observe(d)
-					ms.RecordLatency.Observe(d)
+					j.res.evalNS = int64(d)
+					if ms != nil {
+						ms.EvalTime.Observe(d)
+						ms.RecordLatency.Observe(d)
+					}
 				}
 				select {
 				case done <- j.res:
@@ -578,7 +726,25 @@ func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions,
 			free <- r.arena
 			r.arena = nil
 		}
+		r.events = nil
 		resPool.Put(r)
+	}
+	// commit assembles a verdict-bearing record's trace from the
+	// contributions stamped on the Result by the producer and worker.
+	// Commits happen here only, so the ring sees records in delivery
+	// order and OnSlow is never invoked concurrently.
+	commit := func(r *Result, outcome string, cause error, deliverNS int64) {
+		if !tracing {
+			return
+		}
+		rt := trace.RecordTrace{Index: r.Index, Path: r.Path.String(),
+			SplitNS: r.splitNS, EvalNS: r.evalNS, DeliverNS: deliverNS,
+			Nodes: r.Nodes, Matches: len(r.Matches), Outcome: outcome,
+			Events: r.events}
+		if cause != nil {
+			rt.Error = cause.Error()
+		}
+		commitTrace(&cfg, rt)
 	}
 	for res := range done {
 		pending[res.Index] = res
@@ -597,6 +763,12 @@ func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions,
 						ms.PanicsRecovered.Inc()
 					}
 				}
+				if errors.Is(rerr.Err, ErrRecordTimeout) {
+					stats.TimedOut++
+					if ms != nil {
+						ms.RecordsTimedOut.Inc()
+					}
+				}
 				var verdict error
 				if pol == nil {
 					verdict = r.fail
@@ -608,6 +780,9 @@ func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions,
 					if ms != nil {
 						ms.RecordsSkipped.Inc()
 					}
+					commit(r, "skipped", rerr, 0)
+				} else {
+					commit(r, "aborted", verdict, 0)
 				}
 				if r.await != nil {
 					r.await <- verdict
@@ -623,13 +798,19 @@ func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions,
 			stats.Records++
 			stats.Nodes += int64(r.Nodes)
 			stats.Matches += int64(len(r.Matches))
-			if ms != nil {
+			if timed {
 				t0 = time.Now()
 			}
 			err := yield(r)
-			if ms != nil {
-				ms.DeliverTime.Observe(time.Since(t0))
+			var deliverNS int64
+			if timed {
+				d := time.Since(t0)
+				deliverNS = int64(d)
+				if ms != nil {
+					ms.DeliverTime.Observe(d)
+				}
 			}
+			commit(r, "ok", nil, deliverNS)
 			recycle(r)
 			if err != nil {
 				if !errors.Is(err, ErrStop) {

@@ -178,6 +178,48 @@ func TestRunYieldError(t *testing.T) {
 	}
 }
 
+func TestRunExplainWitness(t *testing.T) {
+	// Explain mode locates exactly what plain evaluation does, with each
+	// match carrying a witness whose path agrees with the match and whose
+	// levels walk the located node's spine.
+	input := feed(30)
+	names := ha.NewNames()
+	cq := compile(t, names, "[* ; a ; b .] entry")
+	plain, _ := collectRun(t, input, cq, Config{Workers: 1})
+	for _, workers := range []int{1, 4} {
+		var got []string
+		_, err := Run(context.Background(), strings.NewReader(input), cq,
+			Config{Workers: workers, Explain: true},
+			func(r *Result) error {
+				for _, m := range r.Matches {
+					if m.Witness == nil {
+						t.Fatalf("workers=%d: record %d match %s has no witness", workers, r.Index, m.Path)
+					}
+					if m.Witness.Path.String() != m.Path.String() {
+						t.Fatalf("workers=%d: witness path %s, match path %s", workers, m.Witness.Path, m.Path)
+					}
+					if len(m.Witness.Levels) != len(m.Path) {
+						t.Fatalf("workers=%d: witness has %d levels for path %s",
+							workers, len(m.Witness.Levels), m.Path)
+					}
+					got = append(got, fmt.Sprintf("%d:%s:%s", r.Index, m.Path, m.Node.Name))
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(plain) {
+			t.Fatalf("workers=%d: explain located %d, plain located %d", workers, len(got), len(plain))
+		}
+		for i := range got {
+			if got[i] != plain[i] {
+				t.Fatalf("workers=%d: explain match %d = %s, plain = %s", workers, i, got[i], plain[i])
+			}
+		}
+	}
+}
+
 func TestRunLimitAborts(t *testing.T) {
 	input := feed(20)
 	names := ha.NewNames()

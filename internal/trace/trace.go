@@ -1,0 +1,218 @@
+// Package trace is the engine's per-record tracing substrate: cheap
+// monotonic-clock spans, point events from lower layers (the record
+// splitter's recovery paths), and a bounded flight-recorder ring of
+// recent record traces.
+//
+// The design contract mirrors internal/metrics: tracing must cost
+// nothing when disabled. Every entry point is nil-safe — the stream
+// pipeline holds a possibly-nil *Tracer and calls through it without
+// guarding, and a nil receiver returns immediately — so the disabled
+// path is one pointer test per hook, no clock reads, no allocation
+// (the trace-overhead workload in BENCH_core.json gates this budget).
+// When enabled, a record's trace is assembled on the stack by the
+// pipeline (spans from Begin/Since, events drained from an EventSink)
+// and committed once, so the ring sees exactly one trace per record
+// that reached an in-order verdict — delivered, skipped, or aborted.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is a point-in-time annotation attached to a record's trace:
+// splitter recovery activity (token skims, raw resynchronizations,
+// truncation) and record boundaries. At is nanoseconds since the
+// emitting sink was created (run start).
+type Event struct {
+	At     int64  `json:"at_ns"`
+	Name   string `json:"name"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// RecordTrace is the assembled trace of one streamed record (or, at the
+// facade, one in-memory document evaluation): per-stage span durations,
+// result counts, the record's fate, and any events the splitter emitted
+// while producing it. Field order fixes the JSON encoding.
+type RecordTrace struct {
+	// Index is the record's 0-based sequence number (-1 for in-memory
+	// document evaluations, which have no record stream).
+	Index int `json:"record"`
+	// Path is the Dewey path of the record root in the input document.
+	Path string `json:"path,omitempty"`
+	// Query is the query source, set by facade-level document traces
+	// (streamed records share one query; repeating it per record would
+	// be noise).
+	Query string `json:"query,omitempty"`
+	// SplitNS / EvalNS / DeliverNS are the stage span durations;
+	// TotalNS is their sum (the figure slow-record routing compares
+	// against the threshold).
+	SplitNS   int64 `json:"split_ns"`
+	EvalNS    int64 `json:"eval_ns"`
+	DeliverNS int64 `json:"deliver_ns"`
+	TotalNS   int64 `json:"total_ns"`
+	// Nodes and Matches are the record's node count and located-node
+	// count (zero for failed records).
+	Nodes   int `json:"nodes"`
+	Matches int `json:"matches"`
+	// Outcome is the record's fate: "ok" (delivered), "skipped"
+	// (failed, dropped by the error policy), or "aborted" (failed, and
+	// the policy — or its absence — ended the run).
+	Outcome string `json:"outcome"`
+	// Error is the failure rendered as text, "" on success.
+	Error string `json:"error,omitempty"`
+	// Events are the splitter events attributed to this record, oldest
+	// first.
+	Events []Event `json:"events,omitempty"`
+}
+
+// Begin opens a span: it returns the monotonic reading Since measures
+// from. A nil Tracer returns the zero time and the span is inert —
+// the disabled path performs no clock read.
+func (t *Tracer) Begin() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Since closes a span opened by Begin, in nanoseconds; a zero start
+// (disabled tracer) reports zero without reading the clock.
+func Since(t0 time.Time) int64 {
+	if t0.IsZero() {
+		return 0
+	}
+	return int64(time.Since(t0))
+}
+
+// Tracer is a bounded flight recorder: a ring of the last capacity
+// record traces. All methods are nil-safe and safe for concurrent use
+// (the parallel pipeline's collector commits while observers read).
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []RecordTrace
+	next  int
+	total int64
+}
+
+// New returns a Tracer retaining the last capacity traces. A capacity
+// <= 0 disables retention: Commit still counts records (and the caller
+// may still route slow ones), but Traces returns nothing.
+func New(capacity int) *Tracer {
+	t := &Tracer{}
+	if capacity > 0 {
+		t.ring = make([]RecordTrace, 0, capacity)
+	}
+	return t
+}
+
+// Commit records one assembled trace, evicting the oldest when the ring
+// is full. Nil-safe: a nil Tracer drops the trace.
+func (t *Tracer) Commit(rt RecordTrace) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.total++
+	if cap(t.ring) > 0 {
+		if len(t.ring) < cap(t.ring) {
+			t.ring = append(t.ring, rt)
+		} else {
+			t.ring[t.next] = rt
+			t.next = (t.next + 1) % cap(t.ring)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Total returns the number of traces ever committed (retained or not).
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Traces returns the retained traces, oldest first. The slice is a
+// copy; a nil Tracer returns nil.
+func (t *Tracer) Traces() []RecordTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]RecordTrace, 0, len(t.ring))
+	if len(t.ring) == cap(t.ring) {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Reset drops the retained traces and zeroes the commit count, keeping
+// the capacity.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ring = t.ring[:0]
+	t.next = 0
+	t.total = 0
+	t.mu.Unlock()
+}
+
+// WriteJSON encodes the retained traces (oldest first) as indented
+// JSON followed by a newline.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	traces := t.Traces()
+	if traces == nil {
+		traces = []RecordTrace{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(traces)
+}
+
+// EventSink collects point events emitted by a lower layer between
+// drains. The splitter owns one per run — single-goroutine, like the
+// reader itself — and the pipeline drains it into each record's trace,
+// so recovery events land on the record whose production caused them.
+// Emit and Drain are nil-safe: a detached splitter pays one pointer
+// test per would-be event.
+type EventSink struct {
+	t0     time.Time
+	events []Event
+}
+
+// NewEventSink returns an empty sink; event offsets count from now.
+func NewEventSink() *EventSink { return &EventSink{t0: time.Now()} }
+
+// Emit appends one event. Nil-safe.
+func (s *EventSink) Emit(name, detail string) {
+	if s == nil {
+		return
+	}
+	s.events = append(s.events, Event{At: int64(time.Since(s.t0)), Name: name, Detail: detail})
+}
+
+// Enabled reports whether events are being collected; lower layers
+// gate the rendering of event detail strings on it.
+func (s *EventSink) Enabled() bool { return s != nil }
+
+// Drain returns the collected events and resets the sink. The returned
+// slice is owned by the caller. Nil-safe.
+func (s *EventSink) Drain() []Event {
+	if s == nil || len(s.events) == 0 {
+		return nil
+	}
+	out := s.events
+	s.events = nil
+	return out
+}

@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if !tr.Begin().IsZero() {
+		t.Fatal("nil tracer Begin should return the zero time")
+	}
+	if ns := Since(time.Time{}); ns != 0 {
+		t.Fatalf("Since(zero) = %d, want 0", ns)
+	}
+	tr.Commit(RecordTrace{Index: 1})
+	tr.Reset()
+	if tr.Total() != 0 || tr.Traces() != nil {
+		t.Fatal("nil tracer should record nothing")
+	}
+}
+
+func TestRingEvictsOldest(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 5; i++ {
+		tr.Commit(RecordTrace{Index: i})
+	}
+	if got := tr.Total(); got != 5 {
+		t.Fatalf("Total = %d, want 5", got)
+	}
+	traces := tr.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("len(Traces) = %d, want 3", len(traces))
+	}
+	for i, want := range []int{2, 3, 4} {
+		if traces[i].Index != want {
+			t.Fatalf("Traces[%d].Index = %d, want %d (oldest first)", i, traces[i].Index, want)
+		}
+	}
+}
+
+func TestZeroCapacityCountsWithoutRetaining(t *testing.T) {
+	tr := New(0)
+	tr.Commit(RecordTrace{Index: 7})
+	if tr.Total() != 1 {
+		t.Fatalf("Total = %d, want 1", tr.Total())
+	}
+	if got := tr.Traces(); len(got) != 0 {
+		t.Fatalf("Traces = %v, want empty", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New(2)
+	tr.Commit(RecordTrace{Index: 0})
+	tr.Commit(RecordTrace{Index: 1})
+	tr.Commit(RecordTrace{Index: 2})
+	tr.Reset()
+	if tr.Total() != 0 || len(tr.Traces()) != 0 {
+		t.Fatal("Reset should clear count and ring")
+	}
+	tr.Commit(RecordTrace{Index: 9})
+	got := tr.Traces()
+	if len(got) != 1 || got[0].Index != 9 {
+		t.Fatalf("post-Reset Traces = %v, want [record 9]", got)
+	}
+}
+
+func TestSpanMeasuresElapsed(t *testing.T) {
+	tr := New(1)
+	t0 := tr.Begin()
+	time.Sleep(2 * time.Millisecond)
+	if ns := Since(t0); ns < int64(time.Millisecond) {
+		t.Fatalf("Since = %dns, want >= 1ms", ns)
+	}
+}
+
+func TestWriteJSONStableShape(t *testing.T) {
+	tr := New(2)
+	tr.Commit(RecordTrace{
+		Index: 4, Path: "1.3", SplitNS: 100, EvalNS: 200, DeliverNS: 50,
+		TotalNS: 350, Nodes: 12, Matches: 2, Outcome: "ok",
+		Events: []Event{{At: 10, Name: "resync", Detail: "offset=99"}},
+	})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"record": 4`, `"path": "1.3"`, `"total_ns": 350`,
+		`"outcome": "ok"`, `"name": "resync"`, `"detail": "offset=99"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON missing %s:\n%s", want, out)
+		}
+	}
+	var decoded []RecordTrace
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if len(decoded) != 1 || decoded[0].Matches != 2 {
+		t.Fatalf("round trip mismatch: %+v", decoded)
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(4).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("empty tracer JSON = %q, want []", got)
+	}
+}
+
+func TestEventSink(t *testing.T) {
+	var nilSink *EventSink
+	nilSink.Emit("x", "y")
+	if nilSink.Drain() != nil || nilSink.Enabled() {
+		t.Fatal("nil sink should collect nothing")
+	}
+	s := NewEventSink()
+	if !s.Enabled() {
+		t.Fatal("live sink should report Enabled")
+	}
+	s.Emit("skim", "3 opens")
+	s.Emit("resync", "offset=42")
+	evs := s.Drain()
+	if len(evs) != 2 || evs[0].Name != "skim" || evs[1].Detail != "offset=42" {
+		t.Fatalf("Drain = %+v", evs)
+	}
+	if evs[1].At < evs[0].At {
+		t.Fatalf("event offsets not monotone: %+v", evs)
+	}
+	if s.Drain() != nil {
+		t.Fatal("second Drain should be empty")
+	}
+}
+
+func TestConcurrentCommitAndRead(t *testing.T) {
+	tr := New(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Commit(RecordTrace{Index: g*1000 + i, Outcome: "ok"})
+				if i%17 == 0 {
+					_ = tr.Traces()
+					_ = tr.Total()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Total() != 800 {
+		t.Fatalf("Total = %d, want 800", tr.Total())
+	}
+	if got := len(tr.Traces()); got != 8 {
+		t.Fatalf("retained %d, want 8", got)
+	}
+}
+
+func BenchmarkDisabledHooks(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		t0 := tr.Begin()
+		sink += Since(t0)
+		if tr != nil {
+			tr.Commit(RecordTrace{})
+		}
+	}
+	if sink != 0 {
+		b.Fatal("disabled spans must measure zero")
+	}
+}
+
+func ExampleTracer() {
+	tr := New(2)
+	tr.Commit(RecordTrace{Index: 0, Outcome: "ok", TotalNS: 1200})
+	tr.Commit(RecordTrace{Index: 1, Outcome: "skipped", Error: "boom"})
+	for _, rt := range tr.Traces() {
+		fmt.Printf("record %d: %s\n", rt.Index, rt.Outcome)
+	}
+	// Output:
+	// record 0: ok
+	// record 1: skipped
+}

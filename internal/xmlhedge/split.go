@@ -9,6 +9,7 @@ import (
 
 	"xpe/internal/hedge"
 	"xpe/internal/metrics"
+	"xpe/internal/trace"
 )
 
 // RecordOptions configures record splitting for streaming evaluation.
@@ -45,6 +46,12 @@ type RecordOptions struct {
 	// record (records, nodes, bytes, arena reuse); the nil check is the
 	// only cost when detached.
 	Metrics *metrics.Split
+	// Events, when non-nil, receives trace events: record boundaries and
+	// the recovery activity of Recover (token skims, raw
+	// resynchronizations, truncation). The stream pipeline drains the
+	// sink per record; a nil sink costs one pointer test per would-be
+	// event.
+	Events *trace.EventSink
 }
 
 // LimitError reports a record (or the stream) exceeding a configured
@@ -334,10 +341,16 @@ func (rr *RecordReader) Recover() error {
 	}
 	switch p.kind {
 	case recEOF:
+		if s := rr.opts.Events; s.Enabled() {
+			s.Emit("truncated", fmt.Sprintf("record %d: input truncated, stream ends", rr.idx))
+		}
 		rr.idx++
 		rr.err = io.EOF
 		return nil
 	case recSkim:
+		if s := rr.opts.Events; s.Enabled() {
+			s.Emit("skim", fmt.Sprintf("record %d: skimming %d open element(s)", rr.idx, p.opens))
+		}
 		if err := rr.skim(p.opens); err != nil {
 			var se *xml.SyntaxError
 			if errors.As(err, &se) && rr.resyncable() {
@@ -366,6 +379,10 @@ func (rr *RecordReader) Recover() error {
 // enterDegraded switches the reader to raw-scan record location, consuming
 // the failed record's slot.
 func (rr *RecordReader) enterDegraded() error {
+	if s := rr.opts.Events; s.Enabled() {
+		s.Emit("resync", fmt.Sprintf("record %d: raw scan for <%s from byte %d",
+			rr.idx, rr.opts.Split, rr.scanPos))
+	}
 	rr.consumeSlot()
 	rr.degraded = true
 	rr.dec = nil
@@ -471,6 +488,9 @@ func (rr *RecordReader) readDegraded(a *Arena) (Record, error) {
 	if err != nil {
 		return Record{}, err // io.EOF, cancellation, or budget exhaustion
 	}
+	if s := rr.opts.Events; s.Enabled() {
+		s.Emit("resync_hit", fmt.Sprintf("record start candidate at byte %d", pos))
+	}
 	rep, err := rr.tr.replayFrom(pos)
 	if err != nil {
 		return Record{}, err
@@ -521,6 +541,9 @@ func (rr *RecordReader) isRecordRoot(name string, depth int) bool {
 func (rr *RecordReader) readRecord(start xml.StartElement, a *Arena, startOff int64) (Record, error) {
 	depth := len(rr.idxs)
 	rec := Record{Index: rr.idx, Path: rr.nextPath()}
+	if s := rr.opts.Events; s.Enabled() {
+		s.Emit("record", fmt.Sprintf("record %d <%s> at byte %d", rec.Index, start.Name.Local, startOff))
+	}
 	newNode := func(kind hedge.NodeKind, name string) *hedge.Node {
 		if a == nil {
 			return &hedge.Node{Kind: kind, Name: name}

@@ -70,6 +70,26 @@ type SelectOptions struct {
 	// metrics in isolation (the engine's cumulative Stats receives them
 	// too). Nil means engine-level observation only. See MetricsSink.
 	Metrics *MetricsSink
+	// Trace, when non-nil, records this run's per-record traces into the
+	// given flight recorder, overriding the engine-wide recorder
+	// (Engine.SetFlightRecorder) for this run. One trace is committed per
+	// record that reaches an in-order verdict — delivered, skipped, or
+	// aborting — with stage timings and any splitter recovery events.
+	// Tracing costs two clock reads per stage per record while attached.
+	Trace *FlightRecorder
+	// SlowRecordThreshold enables the slow-record log: every record whose
+	// split+eval+deliver total meets or exceeds the threshold is routed to
+	// OnSlowRecord (0 disables). The threshold works without a recorder
+	// attached — slow traces are assembled and routed either way.
+	SlowRecordThreshold time.Duration
+	// OnSlowRecord receives slow records' traces, in document order on
+	// the goroutine delivering results (never concurrently). Nil with a
+	// threshold set logs a warning through slog.
+	OnSlowRecord func(RecordTrace)
+	// Explain attaches provenance to every delivered match:
+	// StreamMatch.Explanation names the envelope evidence level by level.
+	// Provenance allocates per match; leave it off for throughput.
+	Explain bool
 }
 
 // ErrorPolicy decides the fate of one failed record: return nil to skip it
@@ -97,6 +117,7 @@ type StreamStats struct {
 	Matches   int64 // total located nodes
 	Bytes     int64 // input bytes consumed by the XML decoder
 	Skipped   int64 // failed records dropped by the OnError policy
+	TimedOut  int64 // records over RecordTimeout, whether skipped or aborting
 	Recovered int64 // evaluation panics caught and converted to errors
 }
 
@@ -111,6 +132,10 @@ type StreamMatch struct {
 	// document; RecordPath + Path[1:] addresses the node in the whole
 	// document.
 	RecordPath string
+	// Explanation is the match's provenance, present only when
+	// SelectOptions.Explain is set. Unlike Node it is freshly allocated
+	// and safe to retain past the callback.
+	Explanation *Explanation
 }
 
 // ErrStop, returned from a SelectStream yield callback, ends the stream
@@ -154,6 +179,23 @@ func (e *Engine) SelectStream(ctx context.Context, r io.Reader, q *Query, opts S
 		Inject:         opts.inject,
 		KeepWhitespace: opts.KeepWhitespace,
 		Metrics:        e.metrics,
+		Explain:        opts.Explain,
+	}
+	// Tracing: the per-run recorder wins; the engine-wide one is the
+	// fallback. A slow-record threshold assembles traces even with no
+	// recorder attached anywhere.
+	fr := opts.Trace
+	if fr == nil {
+		fr = e.recorder.Load()
+	}
+	cfg.Trace = fr.tracer()
+	if opts.SlowRecordThreshold > 0 {
+		cfg.SlowThreshold = opts.SlowRecordThreshold
+		if opts.OnSlowRecord != nil {
+			cfg.OnSlow = opts.OnSlowRecord
+		} else {
+			cfg.OnSlow = logSlowRecord
+		}
 	}
 	timeoutMs := int(opts.RecordTimeout / time.Millisecond)
 	var perr error // policy-originated abort, passed through unwrapped
@@ -186,6 +228,9 @@ func (e *Engine) SelectStream(ctx context.Context, r io.Reader, q *Query, opts S
 				Match:      Match{Path: m.Path.String(), Term: m.Node.String(), Node: m.Node},
 				Record:     res.Index,
 				RecordPath: recPath,
+			}
+			if m.Witness != nil {
+				sm.Explanation = newExplanation(cq, q.src, m.Witness)
 			}
 			if err := yield(sm); err != nil {
 				if !errors.Is(err, ErrStop) {

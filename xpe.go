@@ -39,6 +39,7 @@ import (
 	"iter"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xpe/internal/core"
 	"xpe/internal/ha"
@@ -74,6 +75,10 @@ type Engine struct {
 	// cache holds compiled queries keyed by source × kind × alphabet
 	// generation; generation-mismatch recompiles go through it.
 	cache *compiledCache
+	// recorder is the engine-wide flight recorder, nil when detached
+	// (the common case: evaluation pays one atomic load per call). See
+	// SetFlightRecorder.
+	recorder atomic.Pointer[FlightRecorder]
 
 	// snapMu guards the cached alphabet snapshot below. Compilations build
 	// automata against an immutable clone of the live alphabet (a concurrent
@@ -359,9 +364,20 @@ type Match struct {
 // the query.
 func (q *Query) Matches(d *Document) iter.Seq[Match] {
 	return func(yield func(Match) bool) {
+		fr := q.eng.recorder.Load()
+		if fr == nil {
+			q.compiled().SelectEach(d.hedge, func(p hedge.Path, n *hedge.Node) bool {
+				return yield(Match{Path: p.String(), Term: n.String(), Node: n})
+			})
+			return
+		}
+		t0 := time.Now()
+		matches := 0
 		q.compiled().SelectEach(d.hedge, func(p hedge.Path, n *hedge.Node) bool {
+			matches++
 			return yield(Match{Path: p.String(), Term: n.String(), Node: n})
 		})
+		fr.commitDoc(q.src, int64(time.Since(t0)), d.Size(), matches)
 	}
 }
 
@@ -382,6 +398,11 @@ func (q *Query) SelectCtx(ctx context.Context, d *Document) ([]Match, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	fr := q.eng.recorder.Load()
+	var t0 time.Time
+	if fr != nil {
+		t0 = time.Now()
+	}
 	var out []Match
 	q.compiled().SelectEach(d.hedge, func(p hedge.Path, n *hedge.Node) bool {
 		if ctx.Err() != nil {
@@ -392,6 +413,9 @@ func (q *Query) SelectCtx(ctx context.Context, d *Document) ([]Match, error) {
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if fr != nil {
+		fr.commitDoc(q.src, int64(time.Since(t0)), d.Size(), len(out))
 	}
 	return out, nil
 }
