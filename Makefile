@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check chaos bench bench-json trace-overhead
+.PHONY: all build test race vet fmt check chaos bench bench-json trace-overhead bench-gate
 
 all: check
 
@@ -37,12 +37,11 @@ chaos:
 
 # check is the CI gate: formatting, static analysis (go vet ./...), the
 # full test suite, the race detector over the concurrency-bearing
-# packages, the fault-containment chaos suite, and a quick
-# perf-regression run with the disabled-tracing budget enforced
-# (trace-overhead runs the same workloads bench-json does, plus the
-# gate; the recorded baseline in BENCH_core.json comes from the
-# non-quick run).
-check: fmt vet build test race chaos trace-overhead
+# packages, the fault-containment chaos suite, a quick perf-regression
+# run with the disabled-tracing budget enforced, and the streaming
+# throughput gate against the committed baseline (the recorded baseline
+# in BENCH_core.json comes from the non-quick bench-json run).
+check: fmt vet build test race chaos trace-overhead bench-gate
 
 bench:
 	$(GO) test -bench . -benchmem -run NONE ./...
@@ -55,6 +54,15 @@ bench-json:
 
 # trace-overhead is bench-json plus the tracing budget: the per-record
 # tracing hooks must cost at most 1% while disabled (no flight recorder,
-# no slow-record callback attached).
+# no slow-record callback attached). It measures only — the committed
+# BENCH_core.json baseline is left alone so bench-gate compares against
+# the recorded numbers, not this run's.
 trace-overhead:
-	$(GO) run ./cmd/xpebench -bench-json -quick -assert-trace-overhead 1 -out BENCH_core.json
+	$(GO) run ./cmd/xpebench -bench-json -quick -assert-trace-overhead 1 -out /dev/null
+
+# bench-gate is the streaming perf-regression gate: it re-measures every
+# stream-* workload recorded in BENCH_core.json (best of five fresh
+# runs each, same sizes and worker counts) and fails when any drops more
+# than 10% nodes/sec below the recorded baseline.
+bench-gate:
+	$(GO) run ./cmd/xpebench -assert-baseline BENCH_core.json

@@ -6,17 +6,25 @@
 //
 //	xpebench [-experiment all|E1|E2|...] [-quick]
 //	xpebench -bench-json [-quick] [-out BENCH_core.json]
+//	xpebench -assert-baseline BENCH_core.json [-baseline-max-drop 10]
 //
 // With -bench-json the experiment tables are skipped; instead the
 // perf-regression workloads run (in-memory select with and without a
-// metrics sink, streaming with 1 and 4 workers, bulk select, and the
+// metrics sink, streaming with 1/4/8/16 workers, bulk select, and the
 // engine's compiled-query cache: cold compile vs cache-hit recompile vs
 // the unchanged-generation fast path) and the report — ns/op, allocs/op,
 // nodes/sec, metrics overhead, cache-hit speedup, fast-path overhead,
-// peak RSS — is written as JSON to -out (default stdout).
+// scaling efficiency per worker count, peak RSS — is written as JSON to
+// -out (default stdout).
+//
+// With -assert-baseline the stream-* workloads recorded in the given
+// report are re-measured at their recorded sizes and worker counts and
+// the run exits nonzero when any falls more than -baseline-max-drop
+// percent below its recorded nodes/sec (`make bench-gate`).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,7 +44,35 @@ func main() {
 	out := flag.String("out", "", "output file for -bench-json (default stdout)")
 	maxTraceOverhead := flag.Float64("assert-trace-overhead", 0,
 		"with -bench-json: exit nonzero if the disabled-tracing overhead exceeds this many percent (0 = no gate)")
+	assertBaseline := flag.String("assert-baseline", "",
+		"re-measure the stream-* workloads recorded in this baseline report and exit nonzero on a throughput regression")
+	maxDrop := flag.Float64("baseline-max-drop", 10,
+		"with -assert-baseline: the largest tolerated nodes/sec drop, in percent")
 	flag.Parse()
+
+	if *assertBaseline != "" {
+		data, err := os.ReadFile(*assertBaseline)
+		if err != nil {
+			fatal(err)
+		}
+		var base experiments.BenchReport
+		if err := json.Unmarshal(data, &base); err != nil {
+			fatal(fmt.Errorf("%s: %w", *assertBaseline, err))
+		}
+		// Best of five fresh runs per workload: the baseline records
+		// best-window figures, and a genuine regression slows every run
+		// while a scheduler stall only hits some.
+		err = experiments.GateStreamBaseline(&base, *maxDrop, 5,
+			func(format string, a ...any) { fmt.Fprintf(os.Stderr, format, a...) })
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "xpebench: stream throughput within %.0f%% of the %s baseline\n",
+			*maxDrop, *assertBaseline)
+		if !*benchJSON {
+			return
+		}
+	}
 
 	if *benchJSON {
 		rep, err := experiments.BenchJSON(*quick)

@@ -121,29 +121,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "xpeselect: -on-error must be abort or skip, not %q\n", *onError)
 			os.Exit(2)
 		}
-		stats, err := eng.SelectStream(context.Background(), input, q, opts,
-			func(m xpe.StreamMatch) error {
-				if err := printMatch(m.Match, *format, m.RecordPath); err != nil {
-					return err
-				}
-				if m.Explanation != nil {
-					fmt.Print(m.Explanation.String())
-				}
-				return nil
-			})
-		if err != nil {
-			fatal(err)
+		seq, stats := eng.SelectStreamSeq(context.Background(), input, q, opts)
+		for m, err := range seq {
+			if err != nil {
+				fatal(err)
+			}
+			if perr := printMatch(m.Match, *format, m.RecordPath); perr != nil {
+				fatal(perr)
+			}
+			if m.Explanation != nil {
+				fmt.Print(m.Explanation.String())
+			}
 		}
-		faults := ""
-		if stats.Skipped > 0 || stats.Recovered > 0 {
-			faults = fmt.Sprintf(", %d skipped, %d recovered", stats.Skipped, stats.Recovered)
-		}
-		if stats.TimedOut > 0 {
-			faults += fmt.Sprintf(", %d timed out", stats.TimedOut)
-		}
-		fmt.Fprintf(os.Stderr, "xpeselect: %d node(s) located in %d record(s), %d bytes%s%s\n",
-			stats.Matches, stats.Records, stats.Bytes, faults, cacheSummary(eng))
-		printMetrics(eng, *showMetrics)
+		printSummary(eng, *stats, *showMetrics)
 		return
 	}
 
@@ -163,23 +153,39 @@ func main() {
 	}
 
 	q := compileQuery(eng, *query, *xpathQ)
-	if *explain {
-		exps := q.Explain(doc)
-		for _, ex := range exps {
-			fmt.Print(ex.String())
-		}
-		fmt.Fprintf(os.Stderr, "xpeselect: %d node(s) located%s\n", len(exps), cacheSummary(eng))
-		printMetrics(eng, *showMetrics)
-		return
+	// The shared options surface drives both paths: the in-memory run
+	// honors Explain (and Metrics/Trace) through Engine.Select, printing
+	// matches and provenance exactly like the streaming loop above.
+	matches, err := eng.Select(context.Background(), doc, q, xpe.SelectOptions{Explain: *explain})
+	if err != nil {
+		fatal(err)
 	}
-	matches := q.Select(doc)
 	for _, m := range matches {
 		if err := printMatch(m, *format, ""); err != nil {
 			fatal(err)
 		}
+		if m.Explanation != nil {
+			fmt.Print(m.Explanation.String())
+		}
 	}
 	fmt.Fprintf(os.Stderr, "xpeselect: %d node(s) located%s\n", len(matches), cacheSummary(eng))
 	printMetrics(eng, *showMetrics)
+}
+
+// printSummary writes the streaming run summary — the same shape as the
+// in-memory path's, extended with record/byte/fault accounting — followed
+// by the metrics snapshot when enabled.
+func printSummary(eng *xpe.Engine, stats xpe.StreamStats, showMetrics bool) {
+	faults := ""
+	if stats.Skipped > 0 || stats.Recovered > 0 {
+		faults = fmt.Sprintf(", %d skipped, %d recovered", stats.Skipped, stats.Recovered)
+	}
+	if stats.TimedOut > 0 {
+		faults += fmt.Sprintf(", %d timed out", stats.TimedOut)
+	}
+	fmt.Fprintf(os.Stderr, "xpeselect: %d node(s) located in %d record(s), %d bytes%s%s\n",
+		stats.Matches, stats.Records, stats.Bytes, faults, cacheSummary(eng))
+	printMetrics(eng, showMetrics)
 }
 
 // cacheSummary renders the compiled-query cache counters for the run

@@ -440,10 +440,14 @@ type mirrorDFA struct {
 	ids    map[string]int // set key → DFA state
 	accept []bool
 	trans  []map[uint64]int // DFA state → candidate bits → DFA state
+	// startID memoizes the interned start ε-closure: start() sits on the
+	// per-record streaming hot path, and recomputing the closure (plus its
+	// set key) would cost two allocations per evaluation.
+	startID int
 }
 
 func newMirrorDFA(rev *sfa.NFA) *mirrorDFA {
-	m := &mirrorDFA{rev: rev, ids: map[string]int{}}
+	m := &mirrorDFA{rev: rev, ids: map[string]int{}, startID: -1}
 	return m
 }
 
@@ -478,7 +482,10 @@ func (m *mirrorDFA) intern(set []int) int {
 func (m *mirrorDFA) start() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.intern(m.rev.EpsClosure(m.rev.Start))
+	if m.startID < 0 {
+		m.startID = m.intern(m.rev.EpsClosure(m.rev.Start))
+	}
+	return m.startID
 }
 
 func (m *mirrorDFA) accepting(state int) bool {

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"xpe/internal/core"
+	"xpe/internal/gen"
+	"xpe/internal/stream"
+	"xpe/internal/xmlhedge"
+)
+
+// streamFeed is one serialized streaming workload the baseline gate
+// replays: the input bytes, the node count behind the throughput figure,
+// and the pipeline configuration the recorded run used.
+type streamFeed struct {
+	data  []byte
+	nodes int64
+	cfg   stream.Config
+}
+
+func (f *streamFeed) measure(cq *core.CompiledQuery, name string, minTime time.Duration) BenchResult {
+	return Measure(name, f.nodes, minTime, func() {
+		_, err := stream.Run(context.Background(), bytes.NewReader(f.data), cq, f.cfg,
+			func(*stream.Result) error { return nil })
+		if err != nil && err != io.EOF {
+			panic(err)
+		}
+	})
+}
+
+// plainFeed rebuilds the stream-<size>-w<N> workload: one generated
+// document of the recorded size, streamed with the recorded worker count.
+func plainFeed(size, workers int) (*streamFeed, error) {
+	doc := gen.Document(gen.DefaultDocConfig(), size)
+	s, err := xmlhedge.ToString(doc)
+	if err != nil {
+		return nil, err
+	}
+	return &streamFeed{
+		data:  []byte(s),
+		nodes: int64(doc.Size()),
+		cfg:   stream.Config{Workers: workers},
+	}, nil
+}
+
+// degradedFeed rebuilds the stream-degraded-{clean,1pct} corpus with the
+// same record counts, sizes, seeds, and poison placement BenchJSON uses,
+// keyed off the baseline's quick flag.
+func degradedFeed(quick, poisoned bool) (*streamFeed, error) {
+	recCount, recSize := 100, 1000
+	if quick {
+		recCount, recSize = 50, 400
+	}
+	var b bytes.Buffer
+	var nodes int64
+	const poison = "<doc><section><figure></table></section></doc>"
+	poisonEvery := recCount / max(1, recCount/100)
+	b.WriteString("<corpus>")
+	for i := 0; i < recCount; i++ {
+		cfg := gen.DefaultDocConfig()
+		cfg.Seed = int64(i + 1)
+		d := gen.Document(cfg, recSize)
+		nodes += int64(d.Size())
+		if poisoned && i%poisonEvery == poisonEvery/2 {
+			b.WriteString(poison)
+			continue
+		}
+		s, err := xmlhedge.ToString(d)
+		if err != nil {
+			return nil, err
+		}
+		b.WriteString(s)
+	}
+	b.WriteString("</corpus>")
+	return &streamFeed{
+		data:  b.Bytes(),
+		nodes: nodes,
+		cfg: stream.Config{
+			Split:         "doc",
+			Workers:       4,
+			OnRecordError: func(*stream.RecordError) error { return nil },
+		},
+	}, nil
+}
+
+// parseStreamName recovers (size, workers) from a "stream-<size>-w<N>"
+// bench name, undoing sizeName's compaction ("100k" → 100000).
+func parseStreamName(name string) (size, workers int, ok bool) {
+	parts := strings.Split(name, "-")
+	if len(parts) != 3 || parts[0] != "stream" || !strings.HasPrefix(parts[2], "w") {
+		return 0, 0, false
+	}
+	sz := parts[1]
+	mult := 1
+	if strings.HasSuffix(sz, "k") {
+		sz, mult = strings.TrimSuffix(sz, "k"), 1000
+	}
+	n, err := strconv.Atoi(sz)
+	if err != nil {
+		return 0, 0, false
+	}
+	w, err := strconv.Atoi(parts[2][1:])
+	if err != nil || w < 1 {
+		return 0, 0, false
+	}
+	return n * mult, w, true
+}
+
+// GateStreamBaseline re-measures every stream-* workload recorded in base
+// and returns an error naming the regressions when any re-measured
+// nodes/sec falls more than maxDropPct percent below the recorded figure.
+// Each workload is measured retries times and the best run is compared:
+// the baseline itself records best-window figures, and for a lower-bound
+// gate the best run is the noise-robust estimate — a genuine regression
+// slows every run, a scheduler stall or GC pause only some. Workloads the
+// gate cannot reconstruct from their name are reported through logf and
+// skipped — never silently.
+func GateStreamBaseline(base *BenchReport, maxDropPct float64, retries int, logf func(format string, a ...any)) error {
+	if retries < 1 {
+		retries = 1
+	}
+	names := NewDocEnv()
+	cq, err := CompileQuery(names, SelectQuery)
+	if err != nil {
+		return err
+	}
+	const minTime = 100 * time.Millisecond
+	// The plain feeds for one size are shared across worker counts; the
+	// config is stamped per bench.
+	feeds := map[int]*streamFeed{}
+	var failures []string
+	gated := 0
+	for _, res := range base.Results {
+		if !strings.HasPrefix(res.Name, "stream-") {
+			continue
+		}
+		if res.NodesPerSec <= 0 {
+			logf("xpebench: %s has no recorded nodes/sec; not gated\n", res.Name)
+			continue
+		}
+		var feed *streamFeed
+		if strings.HasPrefix(res.Name, "stream-degraded-") {
+			feed, err = degradedFeed(base.Quick, strings.HasSuffix(res.Name, "-1pct"))
+			if err != nil {
+				return err
+			}
+		} else {
+			size, workers, ok := parseStreamName(res.Name)
+			if !ok {
+				logf("xpebench: cannot reconstruct workload %q from its name; not gated\n", res.Name)
+				continue
+			}
+			shared, ok := feeds[size]
+			if !ok {
+				if shared, err = plainFeed(size, workers); err != nil {
+					return err
+				}
+				feeds[size] = shared
+			}
+			f := *shared
+			f.cfg = stream.Config{Workers: workers}
+			feed = &f
+		}
+		var got float64
+		for i := 0; i < retries; i++ {
+			if nps := feed.measure(cq, res.Name, minTime).NodesPerSec; nps > got {
+				got = nps
+			}
+		}
+		dropPct := (1 - got/res.NodesPerSec) * 100
+		logf("xpebench: %s: %.0f nodes/sec vs baseline %.0f (%+.1f%%)\n",
+			res.Name, got, res.NodesPerSec, -dropPct)
+		gated++
+		if dropPct > maxDropPct {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f nodes/sec is %.1f%% below the recorded %.0f",
+				res.Name, got, dropPct, res.NodesPerSec))
+		}
+	}
+	if gated == 0 {
+		return fmt.Errorf("baseline has no gateable stream-* benches")
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("stream throughput regressed more than %.0f%%:\n  %s",
+			maxDropPct, strings.Join(failures, "\n  "))
+	}
+	return nil
+}

@@ -68,9 +68,16 @@ type BenchReport struct {
 	// wrapped around one in-memory evaluation and interleaved op-by-op
 	// with the bare evaluation — the ratio of the two sides' median
 	// per-op durations. Gated ≤ 1% by `make trace-overhead`.
-	TraceOverheadPct float64       `json:"trace_overhead_pct"`
-	PeakRSSBytes     int64         `json:"peak_rss_bytes"`
-	Results          []BenchResult `json:"results"`
+	TraceOverheadPct float64 `json:"trace_overhead_pct"`
+	// ScalingEfficiency maps a worker count ("4", "8", "16") to that
+	// run's nodes/sec divided by the single-worker run's, over the same
+	// stream-* workload. On a box with real parallelism the w4 figure
+	// approaches min(4, cores); on one core the interesting property is
+	// that it stays near 1.0 — the batched pipeline's coordination
+	// overhead, not speedup, is what a single-core figure prices.
+	ScalingEfficiency map[string]float64 `json:"scaling_efficiency,omitempty"`
+	PeakRSSBytes      int64              `json:"peak_rss_bytes"`
+	Results           []BenchResult      `json:"results"`
 }
 
 // Measure times fn until minTime has elapsed (at least twice) and reports
@@ -298,17 +305,36 @@ func BenchJSON(quick bool) (*BenchReport, error) {
 		return nil, err
 	}
 	xmlBytes := []byte(xmlStr)
-	for _, workers := range []int{1, 4} {
+	rep.ScalingEfficiency = map[string]float64{}
+	var streamW1 float64
+	for _, workers := range []int{1, 4, 8, 16} {
 		w := workers
-		rep.Results = append(rep.Results, Measure(
-			"stream-"+sizeName(streamSize)+"-w"+strconv.Itoa(w),
-			int64(streamDoc.Size()), minTime, func() {
-				_, err := stream.Run(context.Background(), bytes.NewReader(xmlBytes), cq,
-					stream.Config{Workers: w}, func(*stream.Result) error { return nil })
-				if err != nil && err != io.EOF {
-					panic(err)
-				}
-			}))
+		// Best of several short rounds, the same discipline the degraded
+		// pair and the bench-gate re-measurement use: these figures are the
+		// committed regression baseline, and a single long window is one
+		// sample of the box's noise where the best round is a stable
+		// estimate of capability.
+		var best BenchResult
+		for round := 0; round < rounds; round++ {
+			r := Measure(
+				"stream-"+sizeName(streamSize)+"-w"+strconv.Itoa(w),
+				int64(streamDoc.Size()), pairTime, func() {
+					_, err := stream.Run(context.Background(), bytes.NewReader(xmlBytes), cq,
+						stream.Config{Workers: w}, func(*stream.Result) error { return nil })
+					if err != nil && err != io.EOF {
+						panic(err)
+					}
+				})
+			if round == 0 || r.NsPerOp < best.NsPerOp {
+				best = r
+			}
+		}
+		rep.Results = append(rep.Results, best)
+		if w == 1 {
+			streamW1 = best.NodesPerSec
+		} else if streamW1 > 0 {
+			rep.ScalingEfficiency[strconv.Itoa(w)] = best.NodesPerSec / streamW1
+		}
 	}
 
 	// Degraded streaming: a corpus of records split on "doc" with 1% of the

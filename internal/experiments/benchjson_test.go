@@ -16,10 +16,15 @@ func TestBenchJSONQuick(t *testing.T) {
 	}
 	wantNames := []string{"select-10k-nosink", "select-10k-sink",
 		"select-10k-notrace", "select-10k-trace-disabled",
-		"stream-20k-w1", "stream-20k-w4",
+		"stream-20k-w1", "stream-20k-w4", "stream-20k-w8", "stream-20k-w16",
 		"stream-degraded-clean", "stream-degraded-1pct", "bulk-16x2k"}
 	if len(rep.Results) != len(wantNames) {
 		t.Fatalf("got %d results, want %d", len(rep.Results), len(wantNames))
+	}
+	for _, w := range []string{"4", "8", "16"} {
+		if rep.ScalingEfficiency[w] <= 0 {
+			t.Errorf("scaling_efficiency[%s] = %v, want > 0", w, rep.ScalingEfficiency[w])
+		}
 	}
 	for i, r := range rep.Results {
 		if r.Name != wantNames[i] {

@@ -14,6 +14,7 @@ package hedge
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -160,6 +161,22 @@ func (p Path) String() string {
 		parts[i] = fmt.Sprint(x + 1) // Dewey numbers are 1-based
 	}
 	return strings.Join(parts, ".")
+}
+
+// AppendString appends the path's Dewey rendering (exactly String's
+// output) to dst and returns the extended slice, for callers serializing
+// into a reused buffer.
+func (p Path) AppendString(dst []byte) []byte {
+	if len(p) == 0 {
+		return append(dst, "ε"...)
+	}
+	for i, x := range p {
+		if i > 0 {
+			dst = append(dst, '.')
+		}
+		dst = strconv.AppendInt(dst, int64(x+1), 10)
+	}
+	return dst
 }
 
 // Equal reports whether two paths are identical.
@@ -351,4 +368,35 @@ func (n *Node) String() string {
 	var b strings.Builder
 	n.render(&b)
 	return b.String()
+}
+
+// AppendString appends the node's term rendering (exactly String's output)
+// to dst and returns the extended slice, for callers serializing into a
+// reused buffer.
+func (n *Node) AppendString(dst []byte) []byte {
+	switch n.Kind {
+	case Var:
+		dst = append(dst, '$')
+		dst = append(dst, n.Name...)
+	case Subst:
+		if n.Name == Eta {
+			dst = append(dst, '@')
+		} else {
+			dst = append(dst, '~')
+			dst = append(dst, n.Name...)
+		}
+	case Elem:
+		dst = append(dst, n.Name...)
+		if len(n.Children) > 0 {
+			dst = append(dst, '<')
+			for i, c := range n.Children {
+				if i > 0 {
+					dst = append(dst, ' ')
+				}
+				dst = c.AppendString(dst)
+			}
+			dst = append(dst, '>')
+		}
+	}
+	return dst
 }

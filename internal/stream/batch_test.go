@@ -1,0 +1,168 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"xpe/internal/faultinject"
+	"xpe/internal/ha"
+	"xpe/internal/trace"
+)
+
+// batchSizes sweeps the handoff granularities the batched pipeline must be
+// correct under: record-at-a-time, tiny, prime (batch boundaries land
+// everywhere), the default, and larger-than-stream.
+var batchSizes = []int{1, 2, 7, 32, 100}
+
+func TestBatchSizesPreserveOrderAndSkips(t *testing.T) {
+	// Exact in-order delivery and document-order policy consultation must
+	// be invariant over the batch size, with faults landing on batch
+	// boundaries and in batch interiors alike: malformed records (splitter
+	// tombstones close a batch early), panics (worker-side failures travel
+	// inside batches), a limit violation, and a truncated tail.
+	spec := faultinject.FeedSpec{
+		Records:   90,
+		Malformed: map[int]bool{0: true, 7: true, 31: true, 32: true, 64: true},
+		Oversized: map[int]int{40: 50},
+		Truncated: true,
+	}
+	panicked := []int{13, 33, 77}
+	for _, bs := range batchSizes {
+		inject := faultinject.NewEvalFaults().PanicOn(panicked...)
+		delivered, fails, stats := runSkip(t, spec,
+			Config{Workers: 4, BatchSize: bs, MaxRecordNodes: 10}, inject)
+		want := []int{}
+		for _, id := range spec.HealthyIDs() {
+			if id != 13 && id != 33 && id != 77 {
+				want = append(want, id)
+			}
+		}
+		wantIDs(t, fmt.Sprintf("batch=%d delivered", bs), delivered, want)
+		// 5 malformed + 1 oversized + 3 panicked + 1 truncated tail.
+		if stats.Skipped != 10 || len(fails) != 10 {
+			t.Fatalf("batch=%d: skipped=%d fails=%d, want 10/10", bs, stats.Skipped, len(fails))
+		}
+		if stats.Recovered != 3 {
+			t.Fatalf("batch=%d: recovered = %d, want 3", bs, stats.Recovered)
+		}
+		for i := 1; i < len(fails); i++ {
+			if fails[i].Index <= fails[i-1].Index {
+				t.Fatalf("batch=%d: policy order violated: %d then %d", bs, fails[i-1].Index, fails[i].Index)
+			}
+		}
+	}
+}
+
+func TestBatchTraceOneVerdictPerRecord(t *testing.T) {
+	// The one-trace-per-verdict contract survives batching: every record
+	// appears exactly once in the flight recorder with the right outcome,
+	// whatever batch the verdict traveled in.
+	spec := faultinject.FeedSpec{
+		Records:   40,
+		Malformed: map[int]bool{3: true, 32: true},
+	}
+	skipped := map[int]bool{3: true, 6: true, 32: true}
+	for _, bs := range batchSizes {
+		tr := trace.New(64)
+		inject := faultinject.NewEvalFaults().PanicOn(6)
+		_, _, stats := runSkip(t, spec, Config{Workers: 4, BatchSize: bs, Trace: tr}, inject)
+		if stats.Skipped != 3 {
+			t.Fatalf("batch=%d: skipped = %d, want 3", bs, stats.Skipped)
+		}
+		if tr.Total() != int64(spec.Records) {
+			t.Fatalf("batch=%d: committed %d traces, want %d", bs, tr.Total(), spec.Records)
+		}
+		byIdx := traceByIndex(t, tr)
+		for i := 0; i < spec.Records; i++ {
+			rt, ok := byIdx[i]
+			if !ok {
+				t.Fatalf("batch=%d: record %d has no trace", bs, i)
+			}
+			if skipped[i] {
+				if rt.Outcome != "skipped" || rt.Error == "" {
+					t.Fatalf("batch=%d: record %d trace = %+v, want skipped with an error", bs, i, rt)
+				}
+			} else if rt.Outcome != "ok" || rt.Matches != 1 {
+				t.Fatalf("batch=%d: record %d trace = %+v, want ok with 1 match", bs, i, rt)
+			}
+		}
+	}
+}
+
+func TestBatchPolicyAbortStopsDelivery(t *testing.T) {
+	// An aborting policy ends the run with its error and nothing past the
+	// aborting record is delivered, regardless of how many records the
+	// producer had batched ahead.
+	spec := faultinject.FeedSpec{Records: 50, Malformed: map[int]bool{5: true, 12: true}}
+	cq := chaosQuery(t)
+	giveUp := errors.New("two strikes")
+	for _, bs := range batchSizes {
+		seen := 0
+		var delivered []int
+		_, err := Run(context.Background(), spec.Reader(), cq,
+			Config{
+				Workers: 4, BatchSize: bs, Split: spec.SplitName(),
+				OnRecordError: func(e *RecordError) error {
+					if seen++; seen == 2 {
+						return giveUp
+					}
+					return nil
+				},
+			},
+			func(r *Result) error { delivered = append(delivered, r.Index); return nil })
+		if !errors.Is(err, giveUp) {
+			t.Fatalf("batch=%d: err = %v, want the policy's error", bs, err)
+		}
+		for _, idx := range delivered {
+			if idx > 12 {
+				t.Fatalf("batch=%d: record %d delivered after the aborting failure", bs, idx)
+			}
+		}
+	}
+}
+
+func TestBatchEarlyStopPartialBatch(t *testing.T) {
+	// ErrStop from the yield callback mid-batch ends the stream cleanly
+	// with exact accounting, even when undelivered records sit behind it
+	// in the same batch and in batches already handed to workers.
+	input := feed(200)
+	cq := compile(t, ha.NewNames(), "[* ; a ; b .] entry")
+	for _, bs := range batchSizes {
+		seen := 0
+		stats, err := Run(context.Background(), strings.NewReader(input), cq,
+			Config{Workers: 4, BatchSize: bs},
+			func(r *Result) error {
+				if seen++; seen == 5 {
+					return ErrStop
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("batch=%d: err = %v, want nil for ErrStop", bs, err)
+		}
+		if stats.Records != 5 {
+			t.Fatalf("batch=%d: records = %d, want 5", bs, stats.Records)
+		}
+	}
+}
+
+func TestBatchRecoveryAcrossBatchBoundary(t *testing.T) {
+	// A malformed record flushes a partial batch and parks the producer on
+	// the verdict; recovery must resume splitting into a fresh batch with
+	// no record lost or duplicated. Back-to-back malformations exercise
+	// repeated tombstone flushes.
+	spec := faultinject.FeedSpec{
+		Records:   30,
+		Malformed: map[int]bool{10: true, 11: true, 12: true},
+	}
+	for _, bs := range batchSizes {
+		delivered, fails, stats := runSkip(t, spec, Config{Workers: 4, BatchSize: bs}, nil)
+		wantIDs(t, fmt.Sprintf("batch=%d delivered", bs), delivered, spec.HealthyIDs())
+		if len(fails) != 3 || stats.Skipped != 3 {
+			t.Fatalf("batch=%d: fails=%d skipped=%d, want 3", bs, len(fails), stats.Skipped)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package stream
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"xpe/internal/ha"
+)
+
+// TestParallelScaling asserts the batched pipeline actually scales: on a
+// synthetic 100k-record feed, four workers must clear at least 1.5× the
+// single-worker throughput. Best-of-3 per worker count damps scheduler
+// noise; boxes without real parallelism (or -short runs) skip, since no
+// pipeline can beat Amdahl on one core.
+func TestParallelScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling measurement skipped in -short mode")
+	}
+	if runtime.GOMAXPROCS(0) < 4 || runtime.NumCPU() < 4 {
+		t.Skipf("need 4 CPUs for a meaningful scaling run, have GOMAXPROCS=%d NumCPU=%d",
+			runtime.GOMAXPROCS(0), runtime.NumCPU())
+	}
+
+	input := feed(100_000)
+	cq := compile(t, ha.NewNames(), "[* ; a ; b .] entry")
+
+	nodesPerSec := func(workers int) float64 {
+		best := 0.0
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			stats, err := Run(context.Background(), strings.NewReader(input), cq,
+				Config{Workers: workers}, func(r *Result) error { return nil })
+			wall := time.Since(t0)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if nps := float64(stats.Nodes) / wall.Seconds(); nps > best {
+				best = nps
+			}
+		}
+		return best
+	}
+
+	w1 := nodesPerSec(1)
+	w4 := nodesPerSec(4)
+	t.Logf("w1 = %.0f nodes/sec, w4 = %.0f nodes/sec (%.2fx)", w1, w4, w4/w1)
+	if w4 < 1.5*w1 {
+		t.Errorf("w4 throughput %.0f nodes/sec is under 1.5x w1's %.0f (%.2fx)", w4, w1, w4/w1)
+	}
+}

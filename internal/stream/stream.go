@@ -58,6 +58,13 @@ type Config struct {
 	// Workers is the number of concurrent evaluation workers; <=0 means
 	// GOMAXPROCS. Results are delivered in document order regardless.
 	Workers int
+	// BatchSize is the number of records per worker handoff in parallel
+	// runs (0 = auto, currently 32; 1 restores record-at-a-time handoff).
+	// Larger batches amortize channel and scheduler costs per record but
+	// raise peak memory — the bound is O(largest record × BatchSize ×
+	// (Workers+2)) — and delivery latency for slow producers. Sequential
+	// runs ignore it.
+	BatchSize int
 	// MaxRecordNodes / MaxRecordDepth bound individual records (0 =
 	// unlimited); a violating record fails with *xmlhedge.LimitError,
 	// routed through OnRecordError.
@@ -173,7 +180,11 @@ type Result struct {
 	Matches []Match
 
 	pathBuf []int
-	arena   *xmlhedge.Arena
+	// collect caches the bound SelectEach match sink. The callback escapes
+	// into a pooled walker on every evaluation, so an uncached closure
+	// would cost one heap allocation per record; the method value here is
+	// allocated once per Result lifetime instead. reset keeps it.
+	collect func(p hedge.Path, n *hedge.Node) bool
 	// fail marks a contained per-record failure (always a *RecordError)
 	// traveling the pipeline in place of matches; the collector routes it
 	// through the error policy at the record's in-order position.
@@ -204,6 +215,20 @@ func (r *Result) addMatch(p hedge.Path, n *hedge.Node) {
 	start := len(r.pathBuf)
 	r.pathBuf = append(r.pathBuf, p...)
 	r.Matches = append(r.Matches, Match{Path: r.pathBuf[start:len(r.pathBuf):len(r.pathBuf)], Node: n})
+}
+
+// collectMatch is the unbounded match sink: append and keep going.
+func (r *Result) collectMatch(p hedge.Path, n *hedge.Node) bool {
+	r.addMatch(p, n)
+	return true
+}
+
+// sink returns the cached bound collectMatch, creating it on first use.
+func (r *Result) sink() func(p hedge.Path, n *hedge.Node) bool {
+	if r.collect == nil {
+		r.collect = r.collectMatch
+	}
+	return r.collect
 }
 
 // ErrStop, returned by a yield callback, ends the stream early with no
@@ -315,10 +340,7 @@ func safeEvaluate(cq *core.CompiledQuery, rec *xmlhedge.Record, res *Result, cfg
 		return explainRecord(cq, rec, res, start, timeout)
 	}
 	if timeout <= 0 {
-		cq.SelectEach(rec.Hedge, func(p hedge.Path, n *hedge.Node) bool {
-			res.addMatch(p, n)
-			return true
-		})
+		cq.SelectEach(rec.Hedge, res.sink())
 		return nil
 	}
 	// Cooperative deadline: sampled every 64 matches during the traversal
@@ -388,12 +410,16 @@ func recordFailure(rr *xmlhedge.RecordReader, err error) *RecordError {
 // goroutines — steady-state evaluation allocates nothing, with or without
 // a metrics sink (timing is two clock reads per stage per record).
 func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.CompiledQuery, cfg Config, ms *metrics.Stream, sink *trace.EventSink, yield func(*Result) error) (Stats, error) {
+	// The arena and Result ride in a pooled single-item batch so
+	// back-to-back runs reuse warm storage: one short stream never
+	// amortizes cold chunk growth on its own.
+	st := getBatch(1)
+	defer batchPool.Put(st)
 	var (
 		stats Stats
-		arena xmlhedge.Arena
-		res   Result
 		t0    time.Time
 	)
+	arena, res := &st.arena, &st.items[0].res
 	pol := cfg.OnRecordError
 	tracing := sink.Enabled()
 	timed := ms != nil || tracing
@@ -410,7 +436,7 @@ func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Comp
 		if timed {
 			t0 = time.Now()
 		}
-		rec, err := rr.Read(&arena)
+		rec, err := rr.Read(arena)
 		var splitNS int64
 		if timed {
 			d := time.Since(t0)
@@ -452,7 +478,7 @@ func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Comp
 		if timed {
 			t0 = time.Now()
 		}
-		evalErr := safeEvaluate(cq, &rec, &res, &cfg)
+		evalErr := safeEvaluate(cq, &rec, res, &cfg)
 		var evalNS int64
 		if timed {
 			d := time.Since(t0)
@@ -505,7 +531,7 @@ func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Comp
 		if timed {
 			t0 = time.Now()
 		}
-		err = yield(&res)
+		err = yield(res)
 		var deliverNS int64
 		if timed {
 			d := time.Since(t0)
@@ -531,17 +557,62 @@ func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Comp
 	return stats, nil
 }
 
-// runParallel fans records out to a bounded worker pool and reorders the
-// results for in-order delivery. The arena pool (workers+1 arenas) is the
-// memory bound: the producer blocks until a delivered record's arena is
-// recycled.
+// defaultBatchSize is the auto records-per-handoff for parallel runs: big
+// enough to amortize a channel exchange and a scheduler wakeup over many
+// records, small enough that a batch of typical records stays cache- and
+// memory-friendly.
+const defaultBatchSize = 32
+
+// batchItem is one record's slot in a batch: the parsed record and its
+// evaluation result, both recycled with the batch.
+type batchItem struct {
+	rec xmlhedge.Record
+	res Result
+}
+
+// batch is the unit of producer→worker→collector handoff: up to cap
+// records parsed into the batch's own arena, sequence-numbered for the
+// reorder ring. Batches are recycled through a free list, so a warm run
+// allocates nothing per handoff.
+type batch struct {
+	seq   int
+	n     int // items in use
+	items []batchItem
+	arena xmlhedge.Arena
+}
+
+// batchPool recycles batches across runs so short streams still evaluate
+// into warm arenas: one Run sees only a handful of batches, far too few to
+// amortize cold chunk and child-slice growth within the run itself.
+var batchPool = sync.Pool{New: func() any { return new(batch) }}
+
+// getBatch takes a pooled batch sized for batchSize items. items is
+// allocated at full capacity once and never grown, so &items[i] pointers
+// taken during fill and eval stay valid.
+func getBatch(batchSize int) *batch {
+	b := batchPool.Get().(*batch)
+	if cap(b.items) < batchSize {
+		b.items = make([]batchItem, batchSize)
+	}
+	b.items = b.items[:batchSize]
+	return b
+}
+
+// runParallel fans batches of records out to a bounded worker pool and
+// reorders them for in-order delivery. Batch objects (workers+2 of them,
+// each owning one arena) are the memory bound: the producer blocks until a
+// delivered batch is recycled. Workers publish finished batches into a
+// sequence-indexed reorder ring with a non-blocking wakeup, so delivery
+// order costs no per-record channel exchange and workers never block on a
+// slow collector.
 //
 // Failure containment keeps the policy on the collector: evaluation
-// failures replace the worker's matches on the Result; splitter failures
-// become tombstone Results injected into the reorder sequence (so in-order
-// delivery never stalls on the failed index) while the producer blocks on
-// the tombstone's await channel for the verdict — recovery rewires the
-// reader's state, so the producer cannot run ahead of the decision.
+// failures replace the worker's matches on the item's Result; splitter
+// failures become tombstone items closing out the current batch (so
+// in-order delivery never stalls on the failed index) while the producer
+// blocks on the tombstone's await channel for the verdict — recovery
+// rewires the reader's state, so the producer cannot run ahead of the
+// decision.
 func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions, cq *core.CompiledQuery, workers int, cfg Config, ms *metrics.Stream, sink *trace.EventSink, yield func(*Result) error) (Stats, error) {
 	ictx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -552,19 +623,28 @@ func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions,
 	pol := cfg.OnRecordError
 	tracing := sink.Enabled()
 	timed := ms != nil || tracing
+	batchSize := cfg.BatchSize
+	if batchSize <= 0 {
+		batchSize = defaultBatchSize
+	}
 
-	nArenas := workers + 1
-	free := make(chan *xmlhedge.Arena, nArenas)
-	for i := 0; i < nArenas; i++ {
-		free <- &xmlhedge.Arena{}
+	nBatches := workers + 2
+	free := make(chan *batch, nBatches)
+	for i := 0; i < nBatches; i++ {
+		free <- getBatch(batchSize)
 	}
-	type job struct {
-		rec xmlhedge.Record
-		res *Result
+	jobs := make(chan *batch, nBatches)
+	// Reorder ring: slot seq&ringMask holds the finished batch with that
+	// sequence number. In-order recycling bounds the in-flight sequence
+	// span to nBatches, and the ring is the next power of two above it, so
+	// two live batches never share a slot.
+	ringSize := 1
+	for ringSize <= nBatches {
+		ringSize <<= 1
 	}
-	jobs := make(chan job, nArenas)
-	done := make(chan *Result, nArenas)
-	resPool := sync.Pool{New: func() any { return &Result{} }}
+	ringMask := ringSize - 1
+	ring := make([]atomic.Pointer[batch], ringSize)
+	kick := make(chan struct{}, 1) // non-blocking wakeup: ring slot filled
 
 	var (
 		bytes    atomic.Int64
@@ -580,159 +660,178 @@ func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions,
 		cancel()
 	}
 
-	// Producer: split records into recycled arenas. prodDone orders the
-	// producer's final bytes.Store before the collector's bytes.Load —
-	// without it the collector could observe a stale offset when
-	// cancellation ends the run while a Read is still in flight.
+	// Producer: split batches of records into recycled batch arenas.
+	// prodDone orders the producer's final bytes.Store before the
+	// collector's bytes.Load — without it the collector could observe a
+	// stale offset when cancellation ends the run mid-Read.
 	prodDone := make(chan struct{})
 	go pprof.Do(ictx, pprof.Labels("xpe.stage", "stream-split"), func(ictx context.Context) {
 		defer close(prodDone)
 		defer close(jobs)
+		verdict := make(chan error, 1) // reused: at most one tombstone is outstanding
+		seq := 0
+		// flush hands the batch to the workers; jobs' capacity equals the
+		// total batch count, so the send cannot block.
+		flush := func(b *batch) {
+			b.seq = seq
+			seq++
+			jobs <- b
+		}
 		var t0 time.Time
 		for {
-			var arena *xmlhedge.Arena
+			var b *batch
 			select {
-			case arena = <-free:
+			case b = <-free:
 			case <-ictx.Done():
 				bytes.Store(rr.InputOffset())
 				return
 			}
-			arena.Reset()
-			if timed {
-				t0 = time.Now()
-			}
-			rec, err := rr.Read(arena)
-			var splitNS int64
-			if timed {
-				d := time.Since(t0)
-				splitNS = int64(d)
-				if ms != nil {
-					ms.SplitTime.Observe(d)
+			b.arena.Reset()
+			b.n = 0
+			for b.n < batchSize {
+				if timed {
+					t0 = time.Now()
 				}
-			}
-			if err != nil {
-				free <- arena // cap nArenas: never blocks
-				if err == io.EOF || ictx.Err() != nil {
-					// EOF, or a cancellation-induced read failure: the run's
-					// outcome is already decided elsewhere.
-					bytes.Store(rr.InputOffset())
-					return
+				rec, err := rr.Read(&b.arena)
+				var splitNS int64
+				if timed {
+					d := time.Since(t0)
+					splitNS = int64(d)
+					if ms != nil {
+						ms.SplitTime.Observe(d)
+					}
 				}
-				if pol == nil || !rr.CanRecover() {
-					setErr(err)
-					bytes.Store(rr.InputOffset())
-					return
-				}
-				// Recoverable: send a tombstone through the reorder sequence
-				// and wait for the collector's in-order verdict before
-				// touching the reader again.
-				fail := recordFailure(rr, err)
-				res := resPool.Get().(*Result)
-				res.reset()
-				res.Index, res.Path, res.Nodes = fail.Index, fail.Path, 0
-				res.splitNS, res.evalNS, res.events = splitNS, 0, sink.Drain()
-				res.fail = fail
-				verdict := make(chan error, 1)
-				res.await = verdict
-				// done stays open while the producer lives (its closer waits
-				// for jobs to close), so this send is safe.
-				select {
-				case done <- res:
-				case <-ictx.Done():
-					bytes.Store(rr.InputOffset())
-					return
-				}
-				select {
-				case d := <-verdict:
-					if d != nil {
-						// The collector aborted with the policy's error.
+				if err != nil {
+					if err == io.EOF || ictx.Err() != nil {
+						// EOF: ship what the batch holds and end the stream.
+						// Cancellation: the run's outcome is decided
+						// elsewhere; the partial batch is abandoned.
+						if err == io.EOF && b.n > 0 {
+							flush(b)
+						} else {
+							free <- b // cap nBatches: never blocks
+						}
 						bytes.Store(rr.InputOffset())
 						return
 					}
-				case <-ictx.Done():
-					bytes.Store(rr.InputOffset())
-					return
-				}
-				if rerr := rr.Recover(); rerr != nil {
-					if ictx.Err() == nil {
-						setErr(rerr)
+					if pol == nil || !rr.CanRecover() {
+						// Stream-fatal: records already split still reach
+						// delivery ahead of the abort.
+						if b.n > 0 {
+							flush(b)
+						} else {
+							free <- b
+						}
+						setErr(err)
+						bytes.Store(rr.InputOffset())
+						return
 					}
-					bytes.Store(rr.InputOffset())
-					return
+					// Recoverable: close out the batch with a tombstone item
+					// and wait for the collector's in-order verdict before
+					// touching the reader again.
+					fail := recordFailure(rr, err)
+					it := &b.items[b.n]
+					b.n++
+					it.res.reset()
+					it.res.Index, it.res.Path, it.res.Nodes = fail.Index, fail.Path, 0
+					it.res.splitNS, it.res.evalNS, it.res.events = splitNS, 0, sink.Drain()
+					it.res.fail = fail
+					it.res.await = verdict
+					flush(b)
+					select {
+					case d := <-verdict:
+						if d != nil {
+							// The collector aborted with the policy's error.
+							bytes.Store(rr.InputOffset())
+							return
+						}
+					case <-ictx.Done():
+						bytes.Store(rr.InputOffset())
+						return
+					}
+					if rerr := rr.Recover(); rerr != nil {
+						if ictx.Err() == nil {
+							setErr(rerr)
+						}
+						bytes.Store(rr.InputOffset())
+						return
+					}
+					b = nil
+					break // batch flushed with the tombstone; start a fresh one
 				}
-				continue
+				it := &b.items[b.n]
+				b.n++
+				it.rec = rec
+				// fail/await must be cleared here: the worker's tombstone
+				// check reads them before safeEvaluate's reset runs.
+				it.res.fail, it.res.await = nil, nil
+				it.res.splitNS, it.res.evalNS, it.res.events = splitNS, 0, sink.Drain()
 			}
-			res := resPool.Get().(*Result)
-			res.arena = arena
-			res.splitNS, res.evalNS, res.events = splitNS, 0, sink.Drain()
-			select {
-			case jobs <- job{rec: rec, res: res}:
-			case <-ictx.Done():
-				bytes.Store(rr.InputOffset())
-				return
+			if b != nil {
+				flush(b)
 			}
 		}
 	})
 
-	// Workers: evaluate records; the mirror automaton and arenas inside cq
+	// Workers: evaluate batches; the mirror automaton and arenas inside cq
 	// are concurrency-safe (locked / pooled). All stage-timer updates are
 	// atomic (metrics.Timer), so concurrent flushes from workers and
 	// snapshot reads race-cleanly. A panicking evaluation is contained in
-	// safeEvaluate, so a worker goroutine never dies.
+	// safeEvaluate, so a worker goroutine never dies. Publishing is a ring
+	// store plus an optional buffered wakeup — never a blocking send — so
+	// workers drain jobs even when the collector has stopped consuming.
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go pprof.Do(ictx, pprof.Labels("xpe.stage", "stream-eval", "xpe.worker", strconv.Itoa(w)), func(ictx context.Context) {
 			defer wg.Done()
 			var t0 time.Time
-			for j := range jobs {
-				if timed {
-					t0 = time.Now()
-				}
-				if evalErr := safeEvaluate(cq, &j.rec, j.res, &cfg); evalErr != nil {
-					j.res.fail = evalErr
-				}
-				if timed {
-					d := time.Since(t0)
-					j.res.evalNS = int64(d)
-					if ms != nil {
-						ms.EvalTime.Observe(d)
-						ms.RecordLatency.Observe(d)
+			for b := range jobs {
+				for i := 0; i < b.n; i++ {
+					it := &b.items[i]
+					if it.res.fail != nil {
+						continue // splitter tombstone: nothing to evaluate
+					}
+					if timed {
+						t0 = time.Now()
+					}
+					if evalErr := safeEvaluate(cq, &it.rec, &it.res, &cfg); evalErr != nil {
+						it.res.fail = evalErr
+					}
+					if timed {
+						d := time.Since(t0)
+						it.res.evalNS = int64(d)
+						if ms != nil {
+							ms.EvalTime.Observe(d)
+							ms.RecordLatency.Observe(d)
+						}
 					}
 				}
+				ring[b.seq&ringMask].Store(b)
 				select {
-				case done <- j.res:
-				case <-ictx.Done():
-					return
+				case kick <- struct{}{}:
+				default:
 				}
 			}
 		})
 	}
+	workersDone := make(chan struct{})
 	go func() {
 		wg.Wait()
-		close(done)
+		close(workersDone)
 	}()
 
-	// Collector (this goroutine): reorder, apply the error policy in
-	// document order, and deliver. Policy callbacks run here only, so a
-	// user-supplied OnRecordError is never invoked concurrently.
+	// Collector (this goroutine): consume the ring in sequence order, apply
+	// the error policy in document order, and deliver. Policy callbacks run
+	// here only, so a user-supplied OnRecordError is never invoked
+	// concurrently.
 	var stats Stats
 	var t0 time.Time
-	pending := map[int]*Result{}
-	next := 0
 	failed := false
-	recycle := func(r *Result) {
-		if r.arena != nil {
-			free <- r.arena
-			r.arena = nil
-		}
-		r.events = nil
-		resPool.Put(r)
-	}
 	// commit assembles a verdict-bearing record's trace from the
 	// contributions stamped on the Result by the producer and worker.
-	// Commits happen here only, so the ring sees records in delivery
-	// order and OnSlow is never invoked concurrently.
+	// Commits happen here only, so the ring sees records in delivery order
+	// and OnSlow is never invoked concurrently.
 	commit := func(r *Result, outcome string, cause error, deliverNS int64) {
 		if !tracing {
 			return
@@ -746,94 +845,116 @@ func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions,
 		}
 		commitTrace(&cfg, rt)
 	}
-	for res := range done {
-		pending[res.Index] = res
-		for !failed {
-			r, ok := pending[next]
-			if !ok {
-				break
-			}
-			delete(pending, next)
-			next++
-			if r.fail != nil {
-				rerr := r.fail.(*RecordError)
-				if _, isPanic := rerr.Err.(*PanicError); isPanic {
-					stats.Recovered++
-					if ms != nil {
-						ms.PanicsRecovered.Inc()
-					}
-				}
-				if errors.Is(rerr.Err, ErrRecordTimeout) {
-					stats.TimedOut++
-					if ms != nil {
-						ms.RecordsTimedOut.Inc()
-					}
-				}
-				var verdict error
-				if pol == nil {
-					verdict = r.fail
-				} else {
-					verdict = pol(rerr)
-				}
-				if verdict == nil {
-					stats.Skipped++
-					if ms != nil {
-						ms.RecordsSkipped.Inc()
-					}
-					commit(r, "skipped", rerr, 0)
-				} else {
-					commit(r, "aborted", verdict, 0)
-				}
-				if r.await != nil {
-					r.await <- verdict
-					r.await = nil
-				}
-				recycle(r)
-				if verdict != nil {
-					setErr(verdict)
-					failed = true
-				}
-				continue
-			}
-			stats.Records++
-			stats.Nodes += int64(r.Nodes)
-			stats.Matches += int64(len(r.Matches))
-			if timed {
-				t0 = time.Now()
-			}
-			err := yield(r)
-			var deliverNS int64
-			if timed {
-				d := time.Since(t0)
-				deliverNS = int64(d)
+	// processItem routes one in-order result: the failure policy for
+	// tombstones and evaluation failures, the yield callback for healthy
+	// records. In failed mode everything is drained undelivered; a blocked
+	// tombstone producer is released by the cancellation, not by an answer.
+	processItem := func(r *Result) {
+		if failed {
+			return
+		}
+		if r.fail != nil {
+			rerr := r.fail.(*RecordError)
+			if _, isPanic := rerr.Err.(*PanicError); isPanic {
+				stats.Recovered++
 				if ms != nil {
-					ms.DeliverTime.Observe(d)
+					ms.PanicsRecovered.Inc()
 				}
 			}
-			commit(r, "ok", nil, deliverNS)
-			recycle(r)
-			if err != nil {
-				if !errors.Is(err, ErrStop) {
-					setErr(err)
+			if errors.Is(rerr.Err, ErrRecordTimeout) {
+				stats.TimedOut++
+				if ms != nil {
+					ms.RecordsTimedOut.Inc()
 				}
-				cancel()
+			}
+			var verdict error
+			if pol == nil {
+				verdict = r.fail
+			} else {
+				verdict = pol(rerr)
+			}
+			if verdict == nil {
+				stats.Skipped++
+				if ms != nil {
+					ms.RecordsSkipped.Inc()
+				}
+				commit(r, "skipped", rerr, 0)
+			} else {
+				commit(r, "aborted", verdict, 0)
+			}
+			if r.await != nil {
+				r.await <- verdict
+				r.await = nil
+			}
+			if verdict != nil {
+				setErr(verdict)
 				failed = true
 			}
+			return
 		}
-		if failed {
-			// Keep draining so workers and the producer can exit; recycle
-			// without delivering. A blocked tombstone producer is released
-			// by the cancellation, not by an answer.
-			for idx, r := range pending {
-				delete(pending, idx)
-				recycle(r)
+		stats.Records++
+		stats.Nodes += int64(r.Nodes)
+		stats.Matches += int64(len(r.Matches))
+		if timed {
+			t0 = time.Now()
+		}
+		err := yield(r)
+		var deliverNS int64
+		if timed {
+			d := time.Since(t0)
+			deliverNS = int64(d)
+			if ms != nil {
+				ms.DeliverTime.Observe(d)
 			}
 		}
+		commit(r, "ok", nil, deliverNS)
+		if err != nil {
+			if !errors.Is(err, ErrStop) {
+				setErr(err)
+			}
+			cancel()
+			failed = true
+		}
 	}
-	// done is closed once all workers exit, which happens only after jobs
-	// closes or cancellation fires; either way the producer is on its way
-	// out, so this wait is bounded.
+	next := 0
+	for {
+		b := ring[next&ringMask].Load()
+		if b == nil {
+			select {
+			case <-kick:
+			case <-workersDone:
+				if ring[next&ringMask].Load() == nil {
+					// All workers exited and the next slot is still empty:
+					// no batch with this sequence number is coming.
+					goto drained
+				}
+			}
+			continue
+		}
+		ring[next&ringMask].Store(nil)
+		next++
+		for i := 0; i < b.n; i++ {
+			processItem(&b.items[i].res)
+			b.items[i].res.events = nil
+		}
+		// Recycle: free's capacity equals the total batch count, so the
+		// send cannot block even after the producer has exited.
+		free <- b
+	}
+drained:
+	// Workers exit only after jobs closes or cancellation fires; either way
+	// the producer is on its way out, so this wait is bounded.
 	<-prodDone
+	// Return idle batches to the pool for the next run. Batches the
+	// producer abandoned mid-cancellation are simply garbage-collected.
+	for drainedFree := false; !drainedFree; {
+		select {
+		case b := <-free:
+			batchPool.Put(b)
+		default:
+			drainedFree = true
+		}
+	}
 	stats.Bytes = bytes.Load()
 	errMu.Lock()
 	err := firstErr

@@ -300,7 +300,9 @@ func TestChaosSplitterArenaAfterRecovery(t *testing.T) {
 			}
 			continue
 		}
-		got = append(got, rec.Hedge[0].Children[0].Children[0].Text)
+		// Text strings live in the arena's text slab: copy them out inside
+		// the record's validity window (before the next Reset).
+		got = append(got, strings.Clone(rec.Hedge[0].Children[0].Children[0].Text))
 	}
 	if len(got) != 2 || got[0] != "0" || got[1] != "2" {
 		t.Fatalf("ids = %v, want [0 2]", got)

@@ -45,12 +45,12 @@ func newTailReader(r io.Reader) *tailReader {
 	return &tailReader{src: r, buf: make([]byte, 4096)}
 }
 
-// ReadByte implements io.ByteReader; encoding/xml uses it directly, which
-// keeps InputOffset an exact account of consumed bytes.
-func (t *tailReader) ReadByte() (byte, error) {
+// peek returns the buffered unconsumed bytes, refilling from src when the
+// buffer is empty (byteSource for the tokenizer).
+func (t *tailReader) peek() ([]byte, error) {
 	if t.r == t.w {
 		if t.rerr != nil {
-			return 0, t.rerr
+			return nil, t.rerr
 		}
 		t.r, t.w = 0, 0
 		for t.w == 0 && t.rerr == nil {
@@ -58,13 +58,37 @@ func (t *tailReader) ReadByte() (byte, error) {
 			t.w, t.rerr = n, err
 		}
 		if t.w == 0 {
-			return 0, t.rerr
+			return nil, t.rerr
 		}
 	}
-	b := t.buf[t.r]
-	t.r++
-	t.tail[t.off%tailWindow] = b
-	t.off++
+	return t.buf[t.r:t.w], nil
+}
+
+// consume advances past n peeked bytes, remembering them in the tail
+// window. Wraparound copies never hand out a stale window: later copies of
+// an over-long run overwrite earlier ones in ring order.
+func (t *tailReader) consume(n int) {
+	src := t.buf[t.r : t.r+n]
+	t.r += n
+	for len(src) > 0 {
+		c := copy(t.tail[t.off%tailWindow:], src)
+		t.off += int64(c)
+		src = src[c:]
+	}
+}
+
+// offset is the absolute offset of the next unconsumed byte.
+func (t *tailReader) offset() int64 { return t.off }
+
+// ReadByte implements io.ByteReader for the raw resynchronization scanner;
+// it routes through peek/consume so the tail window stays consistent.
+func (t *tailReader) ReadByte() (byte, error) {
+	w, err := t.peek()
+	if err != nil {
+		return 0, err
+	}
+	b := w[0]
+	t.consume(1)
 	return b, nil
 }
 
@@ -129,6 +153,42 @@ func (r *replayReader) Read(p []byte) (int, error) {
 	}
 	return len(p), nil
 }
+
+// replaySourceFrom is replayFrom as a byteSource, re-anchoring a tokenizer
+// at absolute offset abs for degraded-mode per-record parsing.
+func (t *tailReader) replaySourceFrom(abs int64) (*replaySource, error) {
+	rep, err := t.replayFrom(abs)
+	if err != nil {
+		return nil, err
+	}
+	return &replaySource{t: t, pend: rep.pend}, nil
+}
+
+// replaySource serves remembered tail bytes, then the live tailReader.
+// Like replayReader, consuming the pending bytes does not advance t.off —
+// they already sit in the tail window at their original offsets — so the
+// absolute offset is t.off minus what remains pending.
+type replaySource struct {
+	t    *tailReader
+	pend []byte
+}
+
+func (r *replaySource) peek() ([]byte, error) {
+	if len(r.pend) > 0 {
+		return r.pend, nil
+	}
+	return r.t.peek()
+}
+
+func (r *replaySource) consume(n int) {
+	if len(r.pend) > 0 {
+		r.pend = r.pend[n:]
+		return
+	}
+	r.t.consume(n)
+}
+
+func (r *replaySource) offset() int64 { return r.t.off - int64(len(r.pend)) }
 
 // scanForRecord raw-scans from rr.scanPos for the next plausible record
 // start (`<` + split name + delimiter) and returns its absolute offset.

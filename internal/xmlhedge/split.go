@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"unsafe"
 
 	"xpe/internal/hedge"
 	"xpe/internal/metrics"
@@ -97,11 +98,39 @@ func (e *RecordParseError) Unwrap() error { return e.Err }
 // element nodes keep their Children slice capacity, so a warm arena parses
 // a record of familiar shape with no allocation. Chunking keeps previously
 // handed-out node pointers stable while the arena grows.
+//
+// Beyond nodes, the arena carries everything else a record's parse would
+// otherwise allocate: a text slab (node Text strings are views into it), an
+// int slab (Dewey paths), and an element-name intern table that survives
+// Reset. All of it shares the nodes' lifetime — valid until Reset.
 type Arena struct {
-	chunks  [][]hedge.Node
-	chunk   int // current chunk index
-	used    int // nodes used in the current chunk
-	rootBuf [1]*hedge.Node
+	chunks [][]hedge.Node
+	chunk  int // current chunk index
+	used   int // nodes used in the current chunk
+
+	// roots backs the one-element Hedge handed out per record. Append-only
+	// between Resets so several live records parsed into the same arena
+	// keep distinct roots; growth may reallocate, which leaves earlier
+	// handed-out views pointing at the old backing array — still valid.
+	roots []*hedge.Node
+
+	// Text slab: decoded character data lives here and node Text strings
+	// are unsafe views into it, so parsing text costs a copy, not an
+	// allocation. Chunking keeps handed-out strings stable while it grows.
+	textChunks [][]byte
+	textChunk  int
+	textUsed   int
+
+	// Int slab, same discipline, for record Dewey paths.
+	intChunks [][]int
+	intChunk  int
+	intUsed   int
+
+	// names interns element names for the arena's lifetime (Reset keeps
+	// it): a stream's names repeat, so a warm arena resolves them without
+	// allocating. Capped so adversarially unique names cannot grow it
+	// without bound.
+	names map[string]string
 
 	// reused / chunkAllocs are lifetime tallies (Reset keeps them): nodes
 	// served from an already-allocated chunk vs. fresh chunk allocations.
@@ -111,11 +140,84 @@ type Arena struct {
 	chunkAllocs int64
 }
 
-const arenaChunk = 512
+const (
+	arenaChunk     = 512
+	arenaTextChunk = 1 << 14
+	arenaIntChunk  = 256
+	arenaMaxNames  = 4096
+)
 
-// Reset rewinds the arena; hedges parsed from it become invalid. The
-// lifetime reuse tallies survive Reset.
-func (a *Arena) Reset() { a.chunk, a.used = 0, 0 }
+// Reset rewinds the arena; hedges, paths, and text strings parsed from it
+// become invalid. The lifetime reuse tallies and the name intern table
+// survive Reset.
+func (a *Arena) Reset() {
+	a.chunk, a.used = 0, 0
+	a.roots = a.roots[:0]
+	a.textChunk, a.textUsed = 0, 0
+	a.intChunk, a.intUsed = 0, 0
+}
+
+// text copies b into the arena's text slab, returning it as a string valid
+// until Reset. Oversized texts fall back to a plain allocation.
+func (a *Arena) text(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if len(b) > arenaTextChunk {
+		return string(b)
+	}
+	if a.textChunk < len(a.textChunks) && len(b) > arenaTextChunk-a.textUsed {
+		a.textChunk, a.textUsed = a.textChunk+1, 0
+	}
+	if a.textChunk == len(a.textChunks) {
+		a.textChunks = append(a.textChunks, make([]byte, arenaTextChunk))
+		a.textUsed = 0
+	}
+	dst := a.textChunks[a.textChunk][a.textUsed : a.textUsed+len(b)]
+	a.textUsed += len(b)
+	copy(dst, b)
+	// The slab region is written exactly once and never moves (chunks are
+	// append-only), so an unsafe no-copy string view is sound.
+	return unsafe.String(&dst[0], len(dst))
+}
+
+// ints hands out an n-int slice from the arena's int slab, valid until
+// Reset; oversized requests fall back to a plain allocation.
+func (a *Arena) ints(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	if n > arenaIntChunk {
+		return make([]int, n)
+	}
+	if a.intChunk < len(a.intChunks) && n > arenaIntChunk-a.intUsed {
+		a.intChunk, a.intUsed = a.intChunk+1, 0
+	}
+	if a.intChunk == len(a.intChunks) {
+		a.intChunks = append(a.intChunks, make([]int, arenaIntChunk))
+		a.intUsed = 0
+	}
+	s := a.intChunks[a.intChunk][a.intUsed : a.intUsed+n : a.intUsed+n]
+	a.intUsed += n
+	return s
+}
+
+// internName returns a stable string for an element name; unlike slab
+// storage the interned string is independent of Reset.
+func (a *Arena) internName(b []byte) string {
+	if s, ok := a.names[string(b)]; ok {
+		return s
+	}
+	if len(a.names) >= arenaMaxNames {
+		return string(b)
+	}
+	if a.names == nil {
+		a.names = make(map[string]string, 32)
+	}
+	s := string(b)
+	a.names[s] = s
+	return s
+}
 
 // Stats reports the arena's lifetime tallies: nodes served from recycled
 // chunks and fresh chunk allocations.
@@ -150,11 +252,15 @@ type Record struct {
 	// After a malformed-record resynchronization the document structure is
 	// no longer fully known; paths then keep counting siblings from the
 	// last verified prefix (best-effort addressing, monotone per record).
+	// When the record was read into an Arena the path is arena-backed,
+	// valid only until that arena is Reset (like Hedge).
 	Path hedge.Path
 	// Nodes is the node count of the record subtree.
 	Nodes int
 	// Hedge is the record subtree as a one-tree hedge. When the record was
-	// read into an Arena it is valid only until that arena is Reset.
+	// read into an Arena it is valid only until that arena is Reset — node
+	// storage, Text strings (views into the arena's text slab), and Path
+	// alike.
 	Hedge hedge.Hedge
 }
 
@@ -186,21 +292,22 @@ type recovery struct {
 // build on.
 type RecordReader struct {
 	tr   *tailReader
-	dec  *xml.Decoder
-	base int64 // absolute input offset of the current decoder's first byte
+	tk   *tokenizer // nil only in degraded mode between records
 	opts RecordOptions
 	idx  int   // next record index
 	idxs []int // sibling index of each open outside-record element
 	// counts[d] = children seen so far at depth d outside records
 	// (counts[0] counts top-level nodes).
 	counts []int
-	err    error     // sticky until Recover
-	rec    *recovery // pending recovery plan for the sticky error
+	stack  []*hedge.Node // readRecord's open-element stack, reused
+	err    error         // sticky until Recover
+	rec    *recovery     // pending recovery plan for the sticky error
 	// degraded: a resynchronization happened; records are now located by
-	// raw-scanning for the split name and parsed by per-record decoders.
+	// raw-scanning for the split name and parsed by per-record tokenizers.
 	degraded bool
-	scanPos  int64 // degraded mode: absolute offset to scan from (dec == nil)
-	polls    int   // tokens since the reader started; drives poll sampling
+	degTk    *tokenizer // reused degraded-mode per-record tokenizer
+	scanPos  int64      // degraded mode: absolute offset to scan from (tk == nil)
+	polls    int        // tokens since the reader started; drives poll sampling
 	// flushedBytes is the input offset already flushed to opts.Metrics.
 	flushedBytes int64
 }
@@ -208,15 +315,15 @@ type RecordReader struct {
 // NewRecordReader starts splitting r under the given options.
 func NewRecordReader(r io.Reader, opts RecordOptions) *RecordReader {
 	tr := newTailReader(r)
-	return &RecordReader{tr: tr, dec: xml.NewDecoder(tr), opts: opts, counts: []int{0}}
+	return &RecordReader{tr: tr, tk: newTokenizer(tr), opts: opts, counts: []int{0}}
 }
 
 // InputOffset returns the number of input bytes consumed so far.
 func (rr *RecordReader) InputOffset() int64 {
-	if rr.dec == nil {
+	if rr.tk == nil {
 		return rr.scanPos
 	}
-	return rr.base + rr.dec.InputOffset()
+	return rr.tk.off()
 }
 
 // NextIndex returns the index the next record (or record failure) will be
@@ -247,10 +354,30 @@ func (rr *RecordReader) pollNowAt(off int64) error {
 	return nil
 }
 
-// nextPath is the Dewey path the next record root would get.
+// nextPath is the Dewey path the next record root would get, plainly
+// allocated (used on failure paths, where the path escapes into errors).
 func (rr *RecordReader) nextPath() hedge.Path {
 	depth := len(rr.idxs)
 	return append(append(hedge.Path(nil), rr.idxs...), rr.counts[depth])
+}
+
+// nextPathIn is nextPath served from the arena's int slab: valid until the
+// arena is Reset, like everything else in a record.
+func (rr *RecordReader) nextPathIn(a *Arena) hedge.Path {
+	if a == nil {
+		return rr.nextPath()
+	}
+	depth := len(rr.idxs)
+	p := a.ints(depth + 1)
+	copy(p, rr.idxs)
+	p[depth] = rr.counts[depth]
+	return p
+}
+
+// clonePath copies an arena-backed path into plain storage, for errors
+// that outlive the record's arena.
+func clonePath(p hedge.Path) hedge.Path {
+	return append(hedge.Path(nil), p...)
 }
 
 // resyncable reports whether a malformed record can be scanned past: that
@@ -356,7 +483,7 @@ func (rr *RecordReader) Recover() error {
 			if errors.As(err, &se) && rr.resyncable() {
 				// The skim itself hit broken markup: fall back to a raw
 				// resynchronization from where the skim died.
-				rr.scanPos = rr.base + rr.dec.InputOffset()
+				rr.scanPos = rr.tk.off()
 				return rr.enterDegraded()
 			}
 			rr.err = err
@@ -364,8 +491,8 @@ func (rr *RecordReader) Recover() error {
 		}
 		rr.consumeSlot()
 		if rr.degraded {
-			rr.scanPos = rr.base + rr.dec.InputOffset()
-			rr.dec = nil
+			rr.scanPos = rr.tk.off()
+			rr.tk = nil
 		}
 		rr.err = nil
 		return nil
@@ -385,7 +512,7 @@ func (rr *RecordReader) enterDegraded() error {
 	}
 	rr.consumeSlot()
 	rr.degraded = true
-	rr.dec = nil
+	rr.tk = nil
 	rr.err = nil
 	return nil
 }
@@ -404,17 +531,16 @@ func (rr *RecordReader) skim(opens int) error {
 		if err := rr.poll(); err != nil {
 			return err
 		}
-		tok, err := rr.dec.Token()
-		if err != nil {
+		if err := rr.tk.next(); err != nil {
 			if err == io.EOF {
 				return fmt.Errorf("xmlhedge: unexpected end of input while skipping a record")
 			}
 			return fmt.Errorf("xmlhedge: %w", err)
 		}
-		switch tok.(type) {
-		case xml.StartElement:
+		switch rr.tk.kind {
+		case tokStart:
 			opens++
-		case xml.EndElement:
+		case tokEnd:
 			opens--
 		}
 	}
@@ -422,14 +548,17 @@ func (rr *RecordReader) skim(opens int) error {
 }
 
 func (rr *RecordReader) read(a *Arena) (Record, error) {
+	tk := rr.tk
 	for {
 		if err := rr.poll(); err != nil {
 			return Record{}, err
 		}
-		startOff := rr.base + rr.dec.InputOffset()
-		tok, err := rr.dec.Token()
+		startOff := tk.off()
+		err := tk.next()
 		if err == io.EOF {
 			if len(rr.idxs) != 0 {
+				// Defensive: the tokenizer reports EOF with open elements
+				// as a syntax error, so this branch needs it lost its stack.
 				rr.rec = &recovery{kind: recEOF}
 				return Record{}, fmt.Errorf("xmlhedge: unexpected end of input at depth %d", len(rr.idxs))
 			}
@@ -438,27 +567,27 @@ func (rr *RecordReader) read(a *Arena) (Record, error) {
 		if err != nil {
 			return Record{}, rr.failOuter(err)
 		}
-		switch t := tok.(type) {
-		case xml.StartElement:
+		switch tk.kind {
+		case tokStart:
 			depth := len(rr.idxs)
-			if rr.isRecordRoot(t.Name.Local, depth) {
-				return rr.readRecord(t, a, startOff)
+			if rr.isRecordRoot(tk.name, depth) {
+				return rr.readRecord(a, startOff)
 			}
 			rr.idxs = append(rr.idxs, rr.counts[depth])
 			rr.counts[depth]++
 			rr.counts = append(rr.counts[:depth+1], 0)
-		case xml.EndElement:
-			// The decoder guarantees balance; this closes an outside-record
-			// element.
+		case tokEnd:
+			// The tokenizer guarantees balance; this closes an
+			// outside-record element.
 			rr.idxs = rr.idxs[:len(rr.idxs)-1]
-		case xml.CharData:
-			if rr.opts.KeepWhitespace || !isSpace(t) {
+		case tokText:
+			if rr.opts.KeepWhitespace || !isSpace(tk.text) {
 				if len(rr.idxs) == 0 {
-					if isSpace(t) {
+					if isSpace(tk.text) {
 						continue // prolog/epilog whitespace
 					}
 					if rr.resyncable() {
-						rr.rec = &recovery{kind: recResync, from: rr.base + rr.dec.InputOffset()}
+						rr.rec = &recovery{kind: recResync, from: tk.off()}
 					}
 					return Record{}, fmt.Errorf("xmlhedge: character data outside the document element")
 				}
@@ -470,19 +599,19 @@ func (rr *RecordReader) read(a *Arena) (Record, error) {
 	}
 }
 
-// failOuter classifies a decoder failure between records: syntax errors can
-// be resynced past when a named split provides the delimiter; I/O errors
-// are stream-fatal.
+// failOuter classifies a tokenizer failure between records: syntax errors
+// can be resynced past when a named split provides the delimiter; I/O
+// errors are stream-fatal.
 func (rr *RecordReader) failOuter(err error) error {
 	var se *xml.SyntaxError
 	if errors.As(err, &se) && rr.resyncable() {
-		rr.rec = &recovery{kind: recResync, from: rr.base + rr.dec.InputOffset()}
+		rr.rec = &recovery{kind: recResync, from: rr.tk.off()}
 	}
 	return fmt.Errorf("xmlhedge: %w", err)
 }
 
 // readDegraded locates the next record by raw-scanning for the split name
-// and parses it with a fresh per-record decoder.
+// and parses it with a per-record tokenizer over a tail-window replay.
 func (rr *RecordReader) readDegraded(a *Arena) (Record, error) {
 	pos, err := rr.scanForRecord()
 	if err != nil {
@@ -491,32 +620,35 @@ func (rr *RecordReader) readDegraded(a *Arena) (Record, error) {
 	if s := rr.opts.Events; s.Enabled() {
 		s.Emit("resync_hit", fmt.Sprintf("record start candidate at byte %d", pos))
 	}
-	rep, err := rr.tr.replayFrom(pos)
+	src, err := rr.tr.replaySourceFrom(pos)
 	if err != nil {
 		return Record{}, err
 	}
-	rr.dec, rr.base = xml.NewDecoder(rep), pos
-	tok, err := rr.dec.Token()
-	if err != nil {
+	if rr.degTk == nil {
+		rr.degTk = newTokenizer(src)
+	} else {
+		rr.degTk.reset(src)
+	}
+	rr.tk = rr.degTk
+	if err := rr.tk.next(); err != nil {
 		return Record{}, rr.failDegradedStart(err, pos)
 	}
-	start, ok := tok.(xml.StartElement)
-	if !ok {
-		return Record{}, rr.failDegradedStart(fmt.Errorf("unexpected %T at resync point", tok), pos)
+	if rr.tk.kind != tokStart {
+		return Record{}, rr.failDegradedStart(fmt.Errorf("unexpected token at resync point"), pos)
 	}
-	rec, err := rr.readRecord(start, a, pos)
+	rec, err := rr.readRecord(a, pos)
 	if err != nil {
-		return Record{}, err
+		return Record{}, err // rr.tk stays set: skim-based recovery needs it
 	}
-	rr.scanPos = rr.base + rr.dec.InputOffset()
-	rr.dec = nil
+	rr.scanPos = rr.tk.off()
+	rr.tk = nil
 	return rec, nil
 }
 
 // failDegradedStart reports a resync candidate that failed to parse as a
 // start tag; the scan resumes past it.
 func (rr *RecordReader) failDegradedStart(err error, pos int64) error {
-	from := rr.base + rr.dec.InputOffset()
+	from := rr.tk.off()
 	if from <= pos {
 		from = pos + 1
 	}
@@ -528,101 +660,116 @@ func (rr *RecordReader) failDegradedStart(err error, pos int64) error {
 // isRecordRoot decides whether a start element outside any record begins a
 // record: under the default split, any child of a top-level element; under
 // a named split, any element with the split name.
-func (rr *RecordReader) isRecordRoot(name string, depth int) bool {
+func (rr *RecordReader) isRecordRoot(name []byte, depth int) bool {
 	if rr.opts.Split == "" {
 		return depth == 1
 	}
-	return name == rr.opts.Split
+	return string(name) == rr.opts.Split
 }
 
-// readRecord parses the subtree rooted at start into a record. startOff is
-// the absolute input offset of the record's '<', anchoring the per-record
-// byte budget.
-func (rr *RecordReader) readRecord(start xml.StartElement, a *Arena, startOff int64) (Record, error) {
+// readRecord parses the record whose start tag the tokenizer just
+// produced. startOff is the absolute input offset of the record's '<',
+// anchoring the per-record byte budget.
+func (rr *RecordReader) readRecord(a *Arena, startOff int64) (Record, error) {
+	tk := rr.tk
 	depth := len(rr.idxs)
-	rec := Record{Index: rr.idx, Path: rr.nextPath()}
+	rec := Record{Index: rr.idx, Path: rr.nextPathIn(a)}
 	if s := rr.opts.Events; s.Enabled() {
-		s.Emit("record", fmt.Sprintf("record %d <%s> at byte %d", rec.Index, start.Name.Local, startOff))
+		s.Emit("record", fmt.Sprintf("record %d <%s> at byte %d", rec.Index, tk.name, startOff))
 	}
-	newNode := func(kind hedge.NodeKind, name string) *hedge.Node {
-		if a == nil {
-			return &hedge.Node{Kind: kind, Name: name}
-		}
-		return a.node(kind, name)
+	var root *hedge.Node
+	if a == nil {
+		root = &hedge.Node{Kind: hedge.Elem, Name: string(tk.name)}
+	} else {
+		root = a.node(hedge.Elem, a.internName(tk.name))
 	}
-	// limitErr abandons the record over a resource bound and plans the
-	// token skim that would skip the rest of it.
-	limitErr := func(kind string, limit, opens int) error {
-		rr.rec = &recovery{kind: recSkim, opens: opens}
-		return &LimitError{Kind: kind, Limit: limit, Record: rec.Index, Path: rec.Path}
-	}
-	root := newNode(hedge.Elem, start.Name.Local)
 	rec.Nodes = 1
-	stack := []*hedge.Node{root}
-	// fail classifies a decoder failure inside the record: truncation ends
-	// the stream on recovery; syntax errors resync when possible.
-	fail := func(err error) error {
-		if err == io.EOF {
-			rr.rec = &recovery{kind: recEOF}
-			err = fmt.Errorf("xmlhedge: unexpected end of input inside <%s>", stack[len(stack)-1].Name)
-		} else {
-			var se *xml.SyntaxError
-			if errors.As(err, &se) && rr.resyncable() {
-				rr.rec = &recovery{kind: recResync, from: rr.base + rr.dec.InputOffset()}
-			}
-			err = fmt.Errorf("xmlhedge: %w", err)
-		}
-		return &RecordParseError{Index: rec.Index, Path: rec.Path, Err: err}
-	}
-	for len(stack) > 0 {
+	rr.stack = append(rr.stack[:0], root)
+	for len(rr.stack) > 0 {
 		if err := rr.poll(); err != nil {
 			return Record{}, err
 		}
-		if mb := rr.opts.MaxBytes; mb > 0 && rr.base+rr.dec.InputOffset()-startOff > mb {
-			return Record{}, limitErr("bytes", int(mb), len(stack))
+		if mb := rr.opts.MaxBytes; mb > 0 && tk.off()-startOff > mb {
+			return Record{}, rr.limitErr(&rec, "bytes", int(mb), len(rr.stack))
 		}
-		tok, err := rr.dec.Token()
-		if err != nil {
-			return Record{}, fail(err)
+		if err := tk.next(); err != nil {
+			return Record{}, rr.failRecord(&rec, err)
 		}
-		switch t := tok.(type) {
-		case xml.StartElement:
-			if rr.opts.MaxDepth > 0 && len(stack)+1 > rr.opts.MaxDepth {
-				return Record{}, limitErr("depth", rr.opts.MaxDepth, len(stack)+1)
+		switch tk.kind {
+		case tokStart:
+			if rr.opts.MaxDepth > 0 && len(rr.stack)+1 > rr.opts.MaxDepth {
+				return Record{}, rr.limitErr(&rec, "depth", rr.opts.MaxDepth, len(rr.stack)+1)
 			}
 			if rr.opts.MaxNodes > 0 && rec.Nodes+1 > rr.opts.MaxNodes {
-				return Record{}, limitErr("nodes", rr.opts.MaxNodes, len(stack)+1)
+				return Record{}, rr.limitErr(&rec, "nodes", rr.opts.MaxNodes, len(rr.stack)+1)
 			}
 			rec.Nodes++
-			n := newNode(hedge.Elem, t.Name.Local)
-			parent := stack[len(stack)-1]
+			var n *hedge.Node
+			if a == nil {
+				n = &hedge.Node{Kind: hedge.Elem, Name: string(tk.name)}
+			} else {
+				n = a.node(hedge.Elem, a.internName(tk.name))
+			}
+			parent := rr.stack[len(rr.stack)-1]
 			parent.Children = append(parent.Children, n)
-			stack = append(stack, n)
-		case xml.EndElement:
-			stack = stack[:len(stack)-1]
-		case xml.CharData:
-			if !rr.opts.KeepWhitespace && isSpace(t) {
+			rr.stack = append(rr.stack, n)
+		case tokEnd:
+			rr.stack = rr.stack[:len(rr.stack)-1]
+		case tokText:
+			if !rr.opts.KeepWhitespace && isSpace(tk.text) {
 				continue
 			}
 			if rr.opts.MaxNodes > 0 && rec.Nodes+1 > rr.opts.MaxNodes {
-				return Record{}, limitErr("nodes", rr.opts.MaxNodes, len(stack))
+				return Record{}, rr.limitErr(&rec, "nodes", rr.opts.MaxNodes, len(rr.stack))
 			}
 			rec.Nodes++
-			n := newNode(hedge.Var, hedge.TextVar)
-			n.Text = string(t)
-			parent := stack[len(stack)-1]
+			var n *hedge.Node
+			if a == nil {
+				n = &hedge.Node{Kind: hedge.Var, Name: hedge.TextVar, Text: string(tk.text)}
+			} else {
+				n = a.node(hedge.Var, hedge.TextVar)
+				n.Text = a.text(tk.text)
+			}
+			parent := rr.stack[len(rr.stack)-1]
 			parent.Children = append(parent.Children, n)
 		}
 	}
 	rr.counts[depth]++
 	rr.idx++
 	if a != nil {
-		a.rootBuf[0] = root
-		rec.Hedge = a.rootBuf[:1:1]
+		a.roots = append(a.roots, root)
+		rec.Hedge = a.roots[len(a.roots)-1 : len(a.roots) : len(a.roots)]
 	} else {
 		rec.Hedge = hedge.Hedge{root}
 	}
 	return rec, nil
+}
+
+// limitErr abandons the record over a resource bound, planning the token
+// skim that skips the rest of it. The error's path is cloned out of the
+// arena — errors outlive the record's storage.
+func (rr *RecordReader) limitErr(rec *Record, kind string, limit, opens int) error {
+	rr.rec = &recovery{kind: recSkim, opens: opens}
+	return &LimitError{Kind: kind, Limit: limit, Record: rec.Index, Path: clonePath(rec.Path)}
+}
+
+// failRecord classifies a tokenizer failure inside a record: truncation
+// surfaces as the tokenizer's "unexpected EOF" syntax error (resyncing
+// when a named split allows it), exactly like the decoder's.
+func (rr *RecordReader) failRecord(rec *Record, err error) error {
+	if err == io.EOF {
+		// Defensive: the tokenizer reports EOF inside an element as a
+		// syntax error; a raw EOF here would mean it lost its stack.
+		rr.rec = &recovery{kind: recEOF}
+		err = fmt.Errorf("xmlhedge: unexpected end of input inside a record")
+	} else {
+		var se *xml.SyntaxError
+		if errors.As(err, &se) && rr.resyncable() {
+			rr.rec = &recovery{kind: recResync, from: rr.tk.off()}
+		}
+		err = fmt.Errorf("xmlhedge: %w", err)
+	}
+	return &RecordParseError{Index: rec.Index, Path: clonePath(rec.Path), Err: err}
 }
 
 // isSpace reports whether the character data is whitespace-only.

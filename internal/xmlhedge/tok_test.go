@@ -1,0 +1,153 @@
+package xmlhedge
+
+import (
+	"encoding/xml"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"xpe/internal/hedge"
+)
+
+// splitAll drives a RecordReader over doc with the default split,
+// collecting records until the first error.
+func splitAll(t *testing.T, doc string, opts RecordOptions) ([]Record, error) {
+	t.Helper()
+	rr := NewRecordReader(strings.NewReader(doc), opts)
+	var recs []Record
+	for {
+		rec, err := rr.Read(nil)
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return recs, err
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// oracleCompare parses doc with the encoding/xml-based in-memory parser
+// and asserts every record the tokenizer-based splitter produced is
+// subtree-identical to the node at the record's path in the oracle tree.
+// KeepWhitespace on both sides keeps their whitespace policies aligned.
+func oracleCompare(t *testing.T, doc string) {
+	t.Helper()
+	recs, serr := splitAll(t, doc, RecordOptions{KeepWhitespace: true})
+	oracle, perr := ParseString(doc, Options{KeepWhitespace: true})
+	if serr != nil || perr != nil {
+		// Error agreement is checked by the fuzzer within known-divergence
+		// limits; the table entries here are all well-formed.
+		t.Fatalf("splitter err = %v, parser err = %v", serr, perr)
+	}
+	elems := 0
+	for _, c := range oracle[0].Children {
+		if c.Kind == hedge.Elem {
+			elems++
+		}
+	}
+	if len(recs) != elems {
+		t.Fatalf("got %d records, oracle has %d element children", len(recs), elems)
+	}
+	for _, rec := range recs {
+		want := oracle.At(rec.Path)
+		if want == nil {
+			t.Fatalf("record %d path %s not in oracle tree", rec.Index, rec.Path)
+		}
+		if !rec.Hedge.Equal(hedge.Hedge{want}) {
+			t.Fatalf("record %d at %s differs from oracle subtree", rec.Index, rec.Path)
+		}
+	}
+}
+
+func TestTokenizerAgainstParseOracle(t *testing.T) {
+	docs := map[string]string{
+		"plain":       `<f><r><id>1</id></r><r><id>2</id></r></f>`,
+		"selfclose":   `<f><r/><r a="1"/><r><x/></r></f>`,
+		"attrs":       `<f version='1.0'><r a="x" b='y' c = "z &lt; w"><v k="1"/></r></f>`,
+		"entities":    `<f><r>a&lt;b&gt;c&amp;d&apos;e&quot;f</r><r>&#65;&#x42;&#x1F600;</r></f>`,
+		"cdata":       "<f><r>pre<![CDATA[raw <&> stuff]]>post</r><r><![CDATA[]]></r></f>",
+		"comments":    `<f><!-- between --><r>a<!-- inside -->b</r><r><!--<decoy></decoy>--></r></f>`,
+		"pis":         `<?xml version="1.0"?><f><?target data?><r>x<?p q?>y</r></f>`,
+		"doctype":     `<!DOCTYPE f [ <!ELEMENT f (r*)> <!ENTITY unused "v"> ]><f><r>t</r></f>`,
+		"crlf":        "<f>\r\n<r>line1\r\nline2\rline3</r>\r</f>",
+		"nested":      `<f><r><r>inner is part of outer</r></r><r>next</r></f>`,
+		"prefixed":    `<f xmlns:n="u"><n:r>a</n:r><r n:a="1">b</r></f>`,
+		"deep":        `<f><r><a><b><c><d>x</d></c></b></a></r></f>`,
+		"mixed":       `<f>  <r>a</r> tail <r>b</r>  </f>`,
+		"ws-records":  "<f>\n  <r> </r>\n  <r>\t</r>\n</f>",
+		"empty-texts": `<f><r></r><r>x</r></f>`,
+		"epilog":      "<f><r>x</r></f>\n<!-- trailing -->\n",
+	}
+	for name, doc := range docs {
+		t.Run(name, func(t *testing.T) { oracleCompare(t, doc) })
+	}
+}
+
+// TestTokenizerErrors pins the malformations the recovery machinery
+// classifies through *xml.SyntaxError: each must fail, and each must be an
+// xml.SyntaxError exactly when the encoding/xml decoder reports one.
+func TestTokenizerErrors(t *testing.T) {
+	cases := map[string]struct {
+		doc    string
+		syntax bool // must surface as *xml.SyntaxError
+	}{
+		"mismatched-end":  {`<f><a></b></f>`, true},
+		"stray-end":       {`<f></f></x>`, true},
+		"unquoted-attr":   {`<f><a x=1></a></f>`, true},
+		"missing-eq":      {`<f><a x "1"></a></f>`, true},
+		"truncated-elem":  {`<f><a>text`, true},
+		"truncated-tag":   {`<f><a`, true},
+		"truncated-open":  {`<f><a/>`, true}, // EOF with <f> still open
+		"bad-entity":      {`<f>&nosuch;</f>`, true},
+		"bare-amp":        {`<f>a & b</f>`, true},
+		"bad-numeric":     {`<f>&#xZZ;</f>`, true},
+		"double-lt":       {`<f><<a/></f>`, true},
+		"bad-name":        {`<f><1a/></f>`, true},
+		"half-comment":    {`<f><!-x--></f>`, true},
+		"text-at-top":     {`junk<f></f>`, false}, // splitter's own error
+		"cross-nesting":   {`<f><a><b></a></b></f>`, true},
+		"junk-in-end-tag": {`<f><a></a x></f>`, true},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := splitAll(t, tc.doc, RecordOptions{})
+			if err == nil {
+				t.Fatalf("no error for %q", tc.doc)
+			}
+			var se *xml.SyntaxError
+			if got := errors.As(err, &se); got != tc.syntax {
+				t.Fatalf("errors.As(xml.SyntaxError) = %v, want %v (err: %v)", got, tc.syntax, err)
+			}
+		})
+	}
+}
+
+// FuzzSplitVsParse cross-checks the tokenizer-based splitter against the
+// encoding/xml-based Parse on arbitrary input: whenever both accept a
+// document, every record must equal the oracle subtree at its path. (Error
+// agreement is deliberately not asserted — the tokenizer is laxer on
+// attribute-value entities and encoding declarations by design.)
+func FuzzSplitVsParse(f *testing.F) {
+	f.Add(`<f><r><id>1</id></r><r a="x">t&amp;t</r></f>`)
+	f.Add("<f>\r\n<r>a<!--c--><![CDATA[<&]]></r><r/></f>")
+	f.Add(`<?xml version="1.0"?><!DOCTYPE f [<!ELEMENT f ANY>]><f><n:r>x</n:r></f>`)
+	f.Add(`<f><r>&#x41;&#66;</r> tail <r><a><b/></a></r></f>`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		recs, serr := splitAll(t, doc, RecordOptions{KeepWhitespace: true})
+		oracle, perr := ParseString(doc, Options{KeepWhitespace: true})
+		if serr != nil || perr != nil {
+			return
+		}
+		for _, rec := range recs {
+			want := oracle.At(rec.Path)
+			if want == nil {
+				t.Fatalf("record %d path %s not in oracle tree", rec.Index, rec.Path)
+			}
+			if !rec.Hedge.Equal(hedge.Hedge{want}) {
+				t.Fatalf("record %d at %s differs from oracle subtree", rec.Index, rec.Path)
+			}
+		}
+	})
+}

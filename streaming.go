@@ -6,7 +6,10 @@ import (
 	"io"
 	"iter"
 	"time"
+	"unsafe"
 
+	"xpe/internal/core"
+	"xpe/internal/hedge"
 	"xpe/internal/stream"
 )
 
@@ -18,6 +21,20 @@ type SelectOptions struct {
 	// means GOMAXPROCS, 1 forces the zero-allocation sequential loop.
 	// Matches are delivered in document order regardless.
 	Workers int
+	// BatchSize is the number of records per worker handoff in parallel
+	// runs: 0 picks the default (currently 32), 1 restores record-at-a-time
+	// handoff. Larger batches amortize scheduling costs per record but
+	// raise peak memory (O(largest record × BatchSize × (Workers+2))) and
+	// delivery latency on slow producers. Sequential runs ignore it.
+	BatchSize int
+	// ReuseBuffers opts into zero-copy delivery: StreamMatch.Path, .Term,
+	// and .RecordPath are views into per-run buffers recycled between
+	// yields, so everything a StreamMatch carries — strings and Node alike
+	// — is valid only until the yield callback returns. Copy (or
+	// strings.Clone) whatever outlives the callback. Off, the strings are
+	// freshly allocated and safe to retain, matching the historical
+	// contract.
+	ReuseBuffers bool
 	// SplitElement names the record root element: every subtree rooted at
 	// an element with this name (outermost wins when nested) is one
 	// record, e.g. "entry" for a feed. Empty splits the document into the
@@ -130,12 +147,9 @@ type StreamMatch struct {
 	Record int
 	// RecordPath is the Dewey path of the record root within the input
 	// document; RecordPath + Path[1:] addresses the node in the whole
-	// document.
+	// document. (The embedded Match carries the provenance when
+	// SelectOptions.Explain is set.)
 	RecordPath string
-	// Explanation is the match's provenance, present only when
-	// SelectOptions.Explain is set. Unlike Node it is freshly allocated
-	// and safe to retain past the callback.
-	Explanation *Explanation
 }
 
 // ErrStop, returned from a SelectStream yield callback, ends the stream
@@ -171,6 +185,7 @@ func (e *Engine) SelectStream(ctx context.Context, r io.Reader, q *Query, opts S
 	cfg := stream.Config{
 		Split:          opts.SplitElement,
 		Workers:        opts.Workers,
+		BatchSize:      opts.BatchSize,
 		MaxRecordNodes: opts.MaxRecordNodes,
 		MaxRecordDepth: opts.MaxRecordDepth,
 		MaxRecordBytes: opts.MaxRecordBytes,
@@ -220,14 +235,32 @@ func (e *Engine) SelectStream(ctx context.Context, r io.Reader, q *Query, opts S
 	// and never recompile per record.
 	cq := q.compiled()
 	var yerr error // yield-originated, passed through unwrapped
+	// With ReuseBuffers the three strings are serialized into per-run
+	// scratch buffers (one per record for the record path, one per match)
+	// and handed out as no-copy views, valid only until yield returns.
+	var recBuf, matchBuf []byte
 	st, err := stream.Run(ctx, r, cq, cfg, func(res *stream.Result) error {
-		recPath := res.Path.String()
+		var recPath string
+		if opts.ReuseBuffers {
+			recBuf = res.Path.AppendString(recBuf[:0])
+			recPath = bufString(recBuf)
+		} else {
+			recPath = res.Path.String()
+		}
 		for i := range res.Matches {
 			m := &res.Matches[i]
 			sm := StreamMatch{
-				Match:      Match{Path: m.Path.String(), Term: m.Node.String(), Node: m.Node},
 				Record:     res.Index,
 				RecordPath: recPath,
+			}
+			if opts.ReuseBuffers {
+				matchBuf = m.Path.AppendString(matchBuf[:0])
+				pathLen := len(matchBuf)
+				matchBuf = m.Node.AppendString(matchBuf)
+				sm.Match = Match{Path: bufString(matchBuf[:pathLen]),
+					Term: bufString(matchBuf[pathLen:]), Node: m.Node}
+			} else {
+				sm.Match = Match{Path: m.Path.String(), Term: m.Node.String(), Node: m.Node}
 			}
 			if m.Witness != nil {
 				sm.Explanation = newExplanation(cq, q.src, m.Witness)
@@ -248,20 +281,95 @@ func (e *Engine) SelectStream(ctx context.Context, r io.Reader, q *Query, opts S
 }
 
 // SelectStreamSeq is the pull form of SelectStream: it returns an iterator
-// over (match, error) pairs for use with range-over-func. Iteration stops
-// at the first non-nil error (yielded as the final pair with a zero
-// match); breaking out of the loop cancels the stream. The stream runs
-// only while being iterated — the iterator is single-use.
-func (e *Engine) SelectStreamSeq(ctx context.Context, r io.Reader, q *Query, opts SelectOptions) iter.Seq2[StreamMatch, error] {
-	return func(yield func(StreamMatch, error) bool) {
-		_, err := e.SelectStream(ctx, r, q, opts, func(m StreamMatch) error {
+// over (match, error) pairs for use with range-over-func, plus the run's
+// statistics. Iteration stops at the first non-nil error (yielded as the
+// final pair with a zero match); breaking out of the loop cancels the
+// stream. The stream runs only while being iterated — the iterator is
+// single-use — and the returned StreamStats is populated when iteration
+// finishes (it reads as zero before that, and reflects the partial run
+// after an early break).
+func (e *Engine) SelectStreamSeq(ctx context.Context, r io.Reader, q *Query, opts SelectOptions) (iter.Seq2[StreamMatch, error], *StreamStats) {
+	stats := new(StreamStats)
+	seq := func(yield func(StreamMatch, error) bool) {
+		st, err := e.SelectStream(ctx, r, q, opts, func(m StreamMatch) error {
 			if !yield(m, nil) {
 				return ErrStop
 			}
 			return nil
 		})
+		*stats = st
 		if err != nil {
 			yield(StreamMatch{}, err)
 		}
 	}
+	return seq, stats
+}
+
+// bufString is a no-copy view of b, used for ReuseBuffers delivery. The
+// backing bytes are written once per yield and never mutated while the
+// view is live (the documented validity window).
+func bufString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// Select evaluates q over an in-memory document under ctx, honoring the
+// subset of opts that applies outside the streaming pipeline — Metrics,
+// Trace, and Explain — so in-memory and streamed runs share one options
+// surface. The stream-only fields (Workers, BatchSize, ReuseBuffers,
+// SplitElement, the record limits and RecordTimeout, OnError,
+// KeepWhitespace, SlowRecordThreshold, OnSlowRecord) configure the
+// splitter pipeline, which an already-parsed document never enters; they
+// are ignored here.
+//
+// Cancellation is cooperative, checked between matches like
+// Query.SelectCtx. With Explain set every returned Match carries its
+// Explanation. A per-run Metrics sink receives the engine registry's delta
+// across the run — with concurrent runs on the same engine the delta
+// includes their overlapping activity, so isolate benchmarked runs.
+func (e *Engine) Select(ctx context.Context, d *Document, q *Query, opts SelectOptions) ([]Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if sink := opts.Metrics; sink != nil {
+		before := e.metrics.Snapshot()
+		defer func() { sink.reg.AddSnapshot(e.metrics.Snapshot().Sub(before)) }()
+	}
+	fr := opts.Trace
+	if fr == nil {
+		fr = e.recorder.Load()
+	}
+	cq := q.compiled()
+	var t0 time.Time
+	if fr != nil {
+		t0 = time.Now()
+	}
+	var out []Match
+	if opts.Explain {
+		cq.ExplainEach(d.hedge, func(w core.Witness, n *hedge.Node) bool {
+			if ctx.Err() != nil {
+				return false
+			}
+			out = append(out, Match{Path: w.Path.String(), Term: n.String(), Node: n,
+				Explanation: newExplanation(cq, q.src, &w)})
+			return true
+		})
+	} else {
+		cq.SelectEach(d.hedge, func(p hedge.Path, n *hedge.Node) bool {
+			if ctx.Err() != nil {
+				return false
+			}
+			out = append(out, Match{Path: p.String(), Term: n.String(), Node: n})
+			return true
+		})
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if fr != nil {
+		fr.commitDoc(q.src, int64(time.Since(t0)), d.Size(), len(out))
+	}
+	return out, nil
 }

@@ -353,6 +353,10 @@ type Match struct {
 	Term string
 	// Node is the located node within the document's hedge.
 	Node *hedge.Node
+	// Explanation is the match's provenance, present only when the run
+	// requested it (SelectOptions.Explain). It is freshly allocated and
+	// safe to retain even where Node is not.
+	Explanation *Explanation
 }
 
 // Matches runs the query against a document using Algorithm 1 (two

@@ -222,8 +222,9 @@ func TestLeakStreamSeqBreak(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		spec := faultinject.FeedSpec{Records: 10000}
 		n := 0
-		for _, err := range eng.SelectStreamSeq(context.Background(), spec.Reader(), q,
-			SelectOptions{Workers: 8, SplitElement: "rec"}) {
+		seq, _ := eng.SelectStreamSeq(context.Background(), spec.Reader(), q,
+			SelectOptions{Workers: 8, SplitElement: "rec"})
+		for _, err := range seq {
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -192,7 +192,8 @@ func TestSelectStreamSeq(t *testing.T) {
 	}
 	input := "<feed><entry/><entry/><entry/><entry/></feed>"
 	var n int
-	for m, err := range eng.SelectStreamSeq(context.Background(), strings.NewReader(input), q, SelectOptions{}) {
+	seq, stats := eng.SelectStreamSeq(context.Background(), strings.NewReader(input), q, SelectOptions{})
+	for m, err := range seq {
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,10 +208,16 @@ func TestSelectStreamSeq(t *testing.T) {
 	if n != 2 {
 		t.Fatalf("iterated %d, want 2", n)
 	}
+	// The stats pointer is populated once iteration ends, even after an
+	// early break (the partial run's accounting).
+	if stats.Records == 0 || stats.Matches == 0 {
+		t.Fatalf("stats not populated after iteration: %+v", *stats)
+	}
 
 	// Errors are yielded as the final pair.
 	var last error
-	for _, err := range eng.SelectStreamSeq(context.Background(), strings.NewReader("<feed><bad"), q, SelectOptions{}) {
+	errSeq, _ := eng.SelectStreamSeq(context.Background(), strings.NewReader("<feed><bad"), q, SelectOptions{})
+	for _, err := range errSeq {
 		last = err
 	}
 	var pe *ParseError
