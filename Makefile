@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check chaos bench bench-json trace-overhead bench-gate
+.PHONY: all build test race vet fmt check chaos diff-test bench bench-json trace-overhead bench-gate
 
 all: check
 
@@ -35,13 +35,22 @@ fmt:
 chaos:
 	$(GO) test -race -run 'Chaos|Leak|FaultInject' ./internal/stream/... ./internal/faultinject/... ./internal/xmlhedge/... ./debug/... .
 
+# diff-test runs the differential correctness harness under the race
+# detector: every (query, document) pair through the eager-determinized,
+# lazy-determinized, and prefiltered evaluation paths with identical
+# match sets and stats modulo prefilter skips, plus the lazy-vs-eager
+# fuzz seeds and the prefilter equivalence/property suites.
+diff-test:
+	$(GO) test -race -run 'Differential|Prefilter|Lazy|Skim' -count=1 . ./internal/stream/... ./internal/xmlhedge/... ./internal/core/... ./internal/ha/...
+
 # check is the CI gate: formatting, static analysis (go vet ./...), the
 # full test suite, the race detector over the concurrency-bearing
-# packages, the fault-containment chaos suite, a quick perf-regression
-# run with the disabled-tracing budget enforced, and the streaming
-# throughput gate against the committed baseline (the recorded baseline
-# in BENCH_core.json comes from the non-quick bench-json run).
-check: fmt vet build test race chaos trace-overhead bench-gate
+# packages, the fault-containment chaos suite, the three-way
+# differential harness, a quick perf-regression run with the
+# disabled-tracing budget enforced, and the streaming throughput gate
+# against the committed baseline (the recorded baseline in
+# BENCH_core.json comes from the non-quick bench-json run).
+check: fmt vet build test race chaos diff-test trace-overhead bench-gate
 
 bench:
 	$(GO) test -bench . -benchmem -run NONE ./...

@@ -24,6 +24,14 @@
 // counts). -max-record-bytes, -max-stream-bytes, and -record-timeout bound
 // the resources one record / the whole run may consume.
 //
+// By default -stream skims each record's raw bytes for the query's
+// required element labels and skips records that cannot match without
+// parsing them (the summary reports the skip rate); -no-prefilter
+// disables the cascade. -lazy compiles the query with on-demand subset
+// construction, bounding compile time on queries whose eager
+// determinization would blow up; the summary reports the lazy-DHA cache
+// activity.
+//
 // Observability: -explain prints each match's provenance (which envelope
 // base matched which ancestor), -slow-record logs -stream records slower
 // than the given duration, and -debug-addr serves the live debug surface
@@ -61,6 +69,8 @@ func main() {
 	maxStreamBytes := flag.Int64("max-stream-bytes", 0, "abort -stream past this total input size (0 = unlimited)")
 	recTimeout := flag.Duration("record-timeout", 0, "fail a -stream record evaluating longer than this (0 = unlimited)")
 	onError := flag.String("on-error", "abort", "failed-record policy for -stream: abort or skip")
+	noPrefilter := flag.Bool("no-prefilter", false, "disable the -stream raw-byte record prefilter (results are identical; only throughput differs)")
+	lazy := flag.Bool("lazy", false, "compile with lazy determinization (on-demand subset construction; bounds compile cost on adversarial queries)")
 	showMetrics := flag.Bool("metrics", false, "print engine metrics as JSON on stderr after the run")
 	explain := flag.Bool("explain", false, "print each match's provenance (why the query matched)")
 	slowRec := flag.Duration("slow-record", 0, "log -stream records slower than this duration (0 = off)")
@@ -86,7 +96,11 @@ func main() {
 		input = f
 	}
 
-	eng := xpe.NewEngine()
+	var engOpts []xpe.EngineOption
+	if *lazy {
+		engOpts = append(engOpts, xpe.WithLazyDeterminization())
+	}
+	eng := xpe.NewEngine(engOpts...)
 
 	if *debugAddr != "" {
 		// The engine-wide recorder gives /debug/xpe/traces content for
@@ -111,6 +125,9 @@ func main() {
 			RecordTimeout:       *recTimeout,
 			Explain:             *explain,
 			SlowRecordThreshold: *slowRec,
+		}
+		if *noPrefilter {
+			opts.Prefilter = xpe.PrefilterOff
 		}
 		switch *onError {
 		case "abort":
@@ -185,6 +202,15 @@ func printSummary(eng *xpe.Engine, stats xpe.StreamStats, showMetrics bool) {
 	}
 	fmt.Fprintf(os.Stderr, "xpeselect: %d node(s) located in %d record(s), %d bytes%s%s\n",
 		stats.Matches, stats.Records, stats.Bytes, faults, cacheSummary(eng))
+	if stats.Prefiltered > 0 {
+		total := stats.Records + stats.Prefiltered
+		fmt.Fprintf(os.Stderr, "xpeselect: prefilter skipped %d of %d record(s) (%.1f%%) without parsing\n",
+			stats.Prefiltered, total, 100*float64(stats.Prefiltered)/float64(total))
+	}
+	if stats.LazyStates > 0 || stats.LazyHits > 0 {
+		fmt.Fprintf(os.Stderr, "xpeselect: lazy determinization: %d state(s) built, %d cache hit(s), %d eviction(s)\n",
+			stats.LazyStates, stats.LazyHits, stats.LazyEvictions)
+	}
 	printMetrics(eng, showMetrics)
 }
 

@@ -1,0 +1,226 @@
+package xpe
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"xpe/internal/gen"
+	"xpe/internal/xmlhedge"
+)
+
+// The three-way differential harness: every (query, document) pair runs
+// through the eager-determinized, lazy-determinized, and prefiltered
+// evaluation paths, and the match sets (record index, record path, Dewey
+// path, term) must be identical, with stats agreeing modulo prefilter
+// skips. This is the executable form of the PR's correctness argument —
+// the prefilter may only skip records that cannot match, and the lazy DHA
+// must answer exactly like the Theorem 1 eager subset construction.
+
+// diffVariant is one compilation/evaluation configuration under test.
+type diffVariant struct {
+	name string
+	eng  *Engine
+	mode PrefilterMode
+}
+
+// diffCorpus builds a mixed-selectivity corpus: generated docbook-like
+// documents (which contain figures and tables) interleaved with sparse
+// hand-written records that lack them, so the prefilter has something real
+// to skip while the generated records exercise the full evaluator.
+func diffCorpus(t testing.TB, nDocs int) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString("<corpus>")
+	for i := 0; i < nDocs; i++ {
+		cfg := gen.DefaultDocConfig()
+		cfg.Seed = int64(i + 1)
+		s, err := xmlhedge.ToString(gen.Document(cfg, 120+60*i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.WriteString(s)
+		// Sparse records: no figure/table, with decoys (comments, CDATA,
+		// attributes, entities) that mention the labels without containing
+		// the elements.
+		fmt.Fprintf(&b, `<doc><!-- figure? no --><para note="figure">item %d &amp; co</para></doc>`, i)
+		fmt.Fprintf(&b, `<doc><section><para><![CDATA[<figure/>]]></para></section></doc>`)
+	}
+	b.WriteString("</corpus>")
+	return b.String()
+}
+
+// diffQueries spans the query families: pure path expressions, sibling
+// conditions (real side automata for the lazy DHA), subhedge conditions,
+// and a query with an empty requirement set (prefilter disengaged).
+var diffQueries = []string{
+	"figure section* [* ; doc ; *]",
+	"[* ; figure ; table .] (section|doc)*",
+	"[. ; figure ; .] (section|doc)*",
+	"select(figure*; [* ; section ; *] (section|doc)*)",
+	"select(.; [* ; table ; . figure .] (section|doc)*)",
+	"para (section|doc)*",
+	"[* ; figure ; *] | [* ; para ; *]", // alternation intersects to ∅: no prefilter
+}
+
+// streamAll runs one streaming evaluation and renders every match.
+func streamAll(t *testing.T, eng *Engine, q *Query, corpus string, opts SelectOptions) (string, StreamStats) {
+	t.Helper()
+	var got strings.Builder
+	stats, err := eng.SelectStream(context.Background(), strings.NewReader(corpus), q, opts,
+		func(m StreamMatch) error {
+			fmt.Fprintf(&got, "%d|%s|%s|%s\n", m.Record, m.RecordPath, m.Path, m.Term)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("SelectStream: %v", err)
+	}
+	return got.String(), stats
+}
+
+func TestDifferentialEagerLazyPrefilter(t *testing.T) {
+	corpus := diffCorpus(t, 5)
+
+	variants := []diffVariant{
+		{name: "eager", eng: NewEngine(), mode: PrefilterOff},
+		{name: "eager+prefilter", eng: NewEngine(), mode: PrefilterAuto},
+		{name: "lazy", eng: NewEngine(WithLazyDeterminization()), mode: PrefilterOff},
+		{name: "lazy+prefilter", eng: NewEngine(WithLazyDeterminization()), mode: PrefilterAuto},
+		// A one-transition budget forces constant evictions: correctness
+		// must not depend on the cache retaining anything.
+		{name: "lazy-tight+prefilter", eng: NewEngine(WithLazyTransitionBudget(1)), mode: PrefilterAuto},
+	}
+	// Every engine interns the corpus alphabet before compiling, the same
+	// closed-world discipline single-engine callers follow.
+	for _, v := range variants {
+		if _, err := v.eng.ParseXMLString(corpus); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, src := range diffQueries {
+		t.Run(src, func(t *testing.T) {
+			// Reference: eager compilation, no prefilter, sequential.
+			refQ, err := variants[0].eng.CompileQuery(src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			want, refStats := streamAll(t, variants[0].eng, refQ, corpus,
+				SelectOptions{Workers: 1, Prefilter: PrefilterOff})
+
+			for _, v := range variants {
+				q, err := v.eng.CompileQuery(src)
+				if err != nil {
+					t.Fatalf("%s: compile: %v", v.name, err)
+				}
+				for _, workers := range []int{1, 4} {
+					got, stats := streamAll(t, v.eng, q, corpus,
+						SelectOptions{Workers: workers, Prefilter: v.mode})
+					name := fmt.Sprintf("%s/workers=%d", v.name, workers)
+					if got != want {
+						t.Errorf("%s: match sets differ\ngot:\n%s\nwant:\n%s", name, got, want)
+					}
+					if stats.Matches != refStats.Matches {
+						t.Errorf("%s: Matches = %d, want %d", name, stats.Matches, refStats.Matches)
+					}
+					// Stats modulo skips: prefiltered records move from
+					// Records to Prefiltered, nothing else changes.
+					if got := stats.Records + stats.Prefiltered; got != refStats.Records {
+						t.Errorf("%s: Records+Prefiltered = %d, want %d", name, got, refStats.Records)
+					}
+					if v.mode == PrefilterOff && stats.Prefiltered != 0 {
+						t.Errorf("%s: Prefiltered = %d with the prefilter off", name, stats.Prefiltered)
+					}
+					if stats.Bytes != refStats.Bytes {
+						t.Errorf("%s: Bytes = %d, want %d", name, stats.Bytes, refStats.Bytes)
+					}
+					if v.eng == variants[0].eng || v.eng == variants[1].eng {
+						if stats.LazyStates != 0 || stats.LazyHits != 0 {
+							t.Errorf("%s: eager run reported lazy stats: %+v", name, stats)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialInMemory pins the lazy DHA against eager determinization
+// on the in-memory path too: Query.Select answers identically whichever
+// way the engine compiles.
+func TestDifferentialInMemory(t *testing.T) {
+	eager := NewEngine()
+	lazy := NewEngine(WithLazyDeterminization())
+
+	for i := 0; i < 6; i++ {
+		cfg := gen.DefaultDocConfig()
+		cfg.Seed = int64(100 + i)
+		h := gen.Document(cfg, 200)
+		s, err := xmlhedge.ToString(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		de, err := eager.ParseXMLString(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dl, err := lazy.ParseXMLString(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range diffQueries {
+			qe, err := eager.CompileQuery(src)
+			if err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+			ql, err := lazy.CompileQuery(src)
+			if err != nil {
+				t.Fatalf("%s: %v", src, err)
+			}
+			me, ml := qe.Select(de), ql.Select(dl)
+			if len(me) != len(ml) {
+				t.Fatalf("doc %d %s: eager %d matches, lazy %d", i, src, len(me), len(ml))
+			}
+			for j := range me {
+				if me[j].Path != ml[j].Path || me[j].Term != ml[j].Term {
+					t.Fatalf("doc %d %s match %d: eager %s|%s, lazy %s|%s",
+						i, src, j, me[j].Path, me[j].Term, ml[j].Path, ml[j].Term)
+				}
+			}
+		}
+	}
+	// The lazy engine must actually have exercised the lazy path.
+	if st := lazy.Stats(); st.Eval.LazyStates == 0 {
+		t.Errorf("lazy engine built no lazy states: %+v", st.Eval)
+	}
+	if st := eager.Stats(); st.Eval.LazyStates != 0 {
+		t.Errorf("eager engine reported lazy states: %+v", st.Eval)
+	}
+}
+
+// TestDifferentialPrefilterMetrics: the engine-wide registry counts
+// prefiltered records, and an explicitly attached per-run sink sees the
+// run's own skips.
+func TestDifferentialPrefilterMetrics(t *testing.T) {
+	corpus := diffCorpus(t, 3)
+	eng := NewEngine()
+	if _, err := eng.ParseXMLString(corpus); err != nil {
+		t.Fatal(err)
+	}
+	q, err := eng.CompileQuery("[. ; figure ; .] (section|doc)*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewMetricsSink()
+	_, stats := streamAll(t, eng, q, corpus, SelectOptions{Workers: 1, Metrics: sink})
+	if stats.Prefiltered == 0 {
+		t.Fatal("no records prefiltered; corpus or query lost its selectivity")
+	}
+	if got := sink.Stats().Split.RecordsPrefiltered; got != stats.Prefiltered {
+		t.Errorf("sink RecordsPrefiltered = %d, want %d", got, stats.Prefiltered)
+	}
+	if got := eng.Stats().Split.RecordsPrefiltered; got < stats.Prefiltered {
+		t.Errorf("engine RecordsPrefiltered = %d, want >= %d", got, stats.Prefiltered)
+	}
+}

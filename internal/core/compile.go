@@ -64,12 +64,43 @@ type CompiledPHR struct {
 func (c *CompiledPHR) SetMetrics(m *metrics.Eval) { c.metrics = m }
 
 // component is one side automaton: a complete DHA plus its final membership
-// DFAs in both directions.
+// DFAs in both directions — or, in lazy mode, an on-demand subset
+// construction behind the same stepping surface.
 type component struct {
 	dha  *ha.DHA
 	sink int      // state assigned to nodes outside the interned alphabet
 	fwd  *sfa.DFA // complete final DFA over dha states (prefix membership)
 	bwd  *sfa.DFA // complete DFA of the reversed final language (suffix membership)
+
+	// lazy, when non-nil, replaces dha/fwd/bwd on the evaluation paths:
+	// states and transitions materialize as documents demand them. The
+	// source NHA is retained so schema-level constructions (which need the
+	// concrete DFAs) can materialize the eager structures on first use.
+	lazy     *ha.LazyDet
+	nha      *ha.NHA
+	eager    sync.Once
+	minimize bool
+}
+
+// materialize builds the eager structures of a lazily compiled component.
+// Evaluation keeps using the lazy path (stateOf and the membership passes
+// branch on comp.lazy); the eager DFAs exist only for schema-level
+// constructions like BuildMatchAutomaton, which run their own product
+// exploration and never mix states with the lazy ids.
+func (comp *component) materialize() {
+	if comp.lazy == nil {
+		return
+	}
+	comp.eager.Do(func() {
+		det := comp.nha.Determinize()
+		fwd := det.DHA.Final.Complete()
+		bwd := det.DHA.Final.Reverse().Determinize().Complete()
+		if comp.minimize {
+			fwd = fwd.Minimize()
+			bwd = bwd.Minimize()
+		}
+		comp.dha, comp.fwd, comp.bwd = det.DHA, fwd, bwd
+	})
 }
 
 // Options tunes PHR compilation; the zero value is the default
@@ -80,6 +111,22 @@ type Options struct {
 	// benchmark (BenchmarkAblationMinimize) measures: it shrinks the
 	// machines the two traversals step through at some extra compile cost.
 	SkipMinimize bool
+
+	// LazyDeterminize defers the Theorem 1 subset construction: side and
+	// subhedge automata are compiled into on-demand caches (ha.LazyDet)
+	// whose states materialize only as documents demand them, so the
+	// exponential eager worst case (the C1 caveat) is paid proportionally
+	// to input diversity instead of up front. Membership answers are
+	// identical to the eager construction (the differential suite pins
+	// this); SkipMinimize is irrelevant on the lazy evaluation path.
+	LazyDeterminize bool
+
+	// LazyTransitionBudget caps the cached transitions per lazy automaton:
+	// exceeding it flushes the transition maps (states survive, so ids stay
+	// valid) and counts an eviction. Zero means
+	// ha.DefaultLazyTransitionBudget; negative disables the bound. Ignored
+	// unless LazyDeterminize is set.
+	LazyTransitionBudget int
 }
 
 // CompilePHR compiles a pointed hedge representation for Algorithm 1
@@ -148,13 +195,19 @@ func CompilePHROpt(phr *PHR, names *ha.Names, opts Options) (*CompiledPHR, error
 		if err != nil {
 			return 0, err
 		}
-		det := nha.Determinize()
-		comp := &component{dha: det.DHA, sink: det.Subsets.Lookup(nil)}
-		comp.fwd = comp.dha.Final.Complete()
-		comp.bwd = comp.dha.Final.Reverse().Determinize().Complete()
-		if !opts.SkipMinimize {
-			comp.fwd = comp.fwd.Minimize()
-			comp.bwd = comp.bwd.Minimize()
+		var comp *component
+		if opts.LazyDeterminize {
+			lz := nha.LazyDeterminize(ha.LazyOptions{TransitionBudget: opts.LazyTransitionBudget})
+			comp = &component{lazy: lz, nha: nha, sink: lz.Sink(), minimize: !opts.SkipMinimize}
+		} else {
+			det := nha.Determinize()
+			comp = &component{dha: det.DHA, sink: det.Subsets.Lookup(nil)}
+			comp.fwd = comp.dha.Final.Complete()
+			comp.bwd = comp.dha.Final.Reverse().Determinize().Complete()
+			if !opts.SkipMinimize {
+				comp.fwd = comp.fwd.Minimize()
+				comp.bwd = comp.bwd.Minimize()
+			}
 		}
 		idx := len(c.comps)
 		c.comps = append(c.comps, comp)
@@ -188,6 +241,14 @@ func CompilePHROpt(phr *PHR, names *ha.Names, opts Options) (*CompiledPHR, error
 func (c *CompiledPHR) MaxComponentStates() int {
 	max := 0
 	for _, comp := range c.comps {
+		if comp.lazy != nil {
+			// Lazy components report the states materialized so far — the
+			// pay-as-you-go reading of the same metric.
+			if v := int(comp.lazy.Stats().StatesBuilt); v > max {
+				max = v
+			}
+			continue
+		}
 		if comp.fwd.NumStates > max {
 			max = comp.fwd.NumStates
 		}
@@ -229,9 +290,37 @@ func (c *CompiledPHR) Locate(h hedge.Hedge) *Result {
 		m.Nodes.Add(int64(ar.size))
 		m.Marks.Add(int64(len(res.Paths)))
 		m.Transitions.Add(ar.steps + ar.elems)
+		c.flushLazy(m)
 	}
 	c.arenas.Put(ar)
 	return res
+}
+
+// flushLazy folds the since-last-flush lazy-determinization deltas of every
+// lazily compiled component into the metrics sink. A no-op under eager
+// compilation.
+func (c *CompiledPHR) flushLazy(m *metrics.Eval) {
+	for _, comp := range c.comps {
+		if comp.lazy == nil {
+			continue
+		}
+		d := comp.lazy.FlushDelta()
+		m.LazyStates.Add(d.StatesBuilt)
+		m.LazyHits.Add(d.Hits)
+		m.LazyEvictions.Add(d.Evictions)
+	}
+}
+
+// LazyStats sums the lazy-determinization counters across the side
+// automata; all-zero under eager compilation.
+func (c *CompiledPHR) LazyStats() ha.LazyStats {
+	var s ha.LazyStats
+	for _, comp := range c.comps {
+		if comp.lazy != nil {
+			s = s.Add(comp.lazy.Stats())
+		}
+	}
+	return s
 }
 
 // annotArena bump-allocates every annot record (and component-state array)
@@ -309,6 +398,23 @@ func (c *CompiledPHR) annotateIn(h hedge.Hedge, ar *annotArena) []annot {
 	ar.steps += 2 * int64(len(recs)) * int64(len(c.comps))
 	for ci, comp := range c.comps {
 		bit := uint64(1) << uint(ci)
+		if lz := comp.lazy; lz != nil {
+			st := lz.FwdStart()
+			for i := range recs {
+				if lz.FwdAccepting(st) {
+					recs[i].leftBits |= bit
+				}
+				st = lz.FwdStep(st, recs[i].compStates[ci])
+			}
+			rt := lz.BwdStart()
+			for i := len(recs) - 1; i >= 0; i-- {
+				if lz.BwdAccepting(rt) {
+					recs[i].rightBits |= bit
+				}
+				rt = lz.BwdStep(rt, recs[i].compStates[ci])
+			}
+			continue
+		}
 		st := comp.fwd.Start
 		for i := range recs {
 			if comp.fwd.Accepting(st) {
@@ -330,6 +436,9 @@ func (c *CompiledPHR) annotateIn(h hedge.Hedge, ar *annotArena) []annot {
 // stateOf computes the component state of a node from its children's
 // records (already computed bottom-up).
 func (c *CompiledPHR) stateOf(ci int, comp *component, n *hedge.Node, children []annot) int {
+	if comp.lazy != nil {
+		return c.stateOfLazy(ci, comp, n, children)
+	}
 	switch n.Kind {
 	case hedge.Var:
 		if v := c.Names.Vars.Lookup(n.Name); v != alphabet.None && v < len(comp.dha.Iota) {
@@ -358,6 +467,36 @@ func (c *CompiledPHR) stateOf(ci int, comp *component, n *hedge.Node, children [
 		return c.sinkOf(comp)
 	default:
 		return c.sinkOf(comp)
+	}
+}
+
+// stateOfLazy is stateOf over a lazily determinized component: the same
+// run, materializing horizontal states on demand. The lazy machines are
+// total (HorizStep never goes dead), so only the symbol lookup can fall to
+// the sink early.
+func (c *CompiledPHR) stateOfLazy(ci int, comp *component, n *hedge.Node, children []annot) int {
+	lz := comp.lazy
+	switch n.Kind {
+	case hedge.Var:
+		if v := c.Names.Vars.Lookup(n.Name); v != alphabet.None {
+			return lz.IotaState(v)
+		}
+		return comp.sink
+	case hedge.Elem:
+		sym := c.Names.Syms.Lookup(n.Name)
+		if sym == alphabet.None {
+			return comp.sink
+		}
+		st := lz.HorizStart(sym)
+		if st < 0 {
+			return comp.sink
+		}
+		for _, ch := range children {
+			st = lz.HorizStep(sym, st, ch.compStates[ci])
+		}
+		return lz.HorizOut(sym, st)
+	default:
+		return comp.sink
 	}
 }
 

@@ -53,6 +53,10 @@ func BuildMatchAutomaton(schema *ha.DHA, cq *CompiledQuery) (*MatchAutomaton, er
 		return nil, fmt.Errorf("core: schema and query must share Names")
 	}
 	m := &MatchAutomaton{Names: names, States: alphabet.NewTupleInterner(), markPos: -1}
+	// The product construction below needs concrete DFAs; a lazily compiled
+	// query materializes its eager structures here (once). Evaluation keeps
+	// using the lazy path — the two never mix state ids.
+	cq.materializeEager()
 	phr := cq.phr
 
 	// Product components: schema, M↓e₁ (if any), side automata.

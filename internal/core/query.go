@@ -126,6 +126,10 @@ type CompiledQuery struct {
 	phr *CompiledPHR
 	sub *subChecker // nil = any subhedge
 
+	// subExpr is the source e₁ expression (nil = any), retained for
+	// required-label extraction (RequiredLabels).
+	subExpr *hre.Expr
+
 	// metrics, when non-nil, receives one flush of evaluation counters per
 	// Select/SelectEach call (see CompiledPHR.metrics for the cost model).
 	metrics *metrics.Eval
@@ -153,6 +157,26 @@ type subChecker struct {
 	// streaming record loop) reuses the slabs instead of allocating
 	// per document.
 	arenas sync.Pool
+
+	// lazy, when non-nil, replaces dha/fin on the marking pass (see
+	// component.lazy); nha is retained for on-demand materialization of the
+	// eager structures, which schema-level constructions need.
+	lazy  *ha.LazyDet
+	nha   *ha.NHA
+	eager sync.Once
+}
+
+// materialize builds the eager structures of a lazily compiled subChecker
+// (see component.materialize).
+func (s *subChecker) materialize() {
+	if s.lazy == nil {
+		return
+	}
+	s.eager.Do(func() {
+		det := s.nha.Determinize()
+		s.dha = det.DHA
+		s.fin = det.DHA.Final.Complete()
+	})
 }
 
 // PreinternQuery interns every name the compilation of q will intern —
@@ -174,13 +198,19 @@ func PreinternQuery(q *Query, names *ha.Names) {
 // it ranges over (see CompiledQuery.Gen), so callers can detect — and
 // recover from — labels interned after compilation.
 func CompileQuery(q *Query, names *ha.Names) (*CompiledQuery, error) {
+	return CompileQueryOpt(q, names, Options{})
+}
+
+// CompileQueryOpt is CompileQuery with explicit options (lazy
+// determinization, minimization).
+func CompileQueryOpt(q *Query, names *ha.Names, opts Options) (*CompiledQuery, error) {
 	// Intern the query's own alphabet up front so the generation captured
 	// here is exact: the automaton builds below re-intern idempotently and
 	// cannot move it (a concurrent ParseXML can, which the stamp then
 	// reports as stale — the conservative direction).
 	PreinternQuery(q, names)
-	cq := &CompiledQuery{Names: names, Gen: names.Generation()}
-	phr, err := CompilePHR(q.Envelope, names)
+	cq := &CompiledQuery{Names: names, Gen: names.Generation(), subExpr: q.Subhedge}
+	phr, err := CompilePHROpt(q.Envelope, names, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -190,14 +220,63 @@ func CompileQuery(q *Query, names *ha.Names) (*CompiledQuery, error) {
 		if err != nil {
 			return nil, err
 		}
-		det := nha.Determinize()
-		cq.sub = &subChecker{
-			dha:  det.DHA,
-			sink: det.Subsets.Lookup(nil),
-			fin:  det.DHA.Final.Complete(),
+		if opts.LazyDeterminize {
+			lz := nha.LazyDeterminize(ha.LazyOptions{TransitionBudget: opts.LazyTransitionBudget})
+			cq.sub = &subChecker{lazy: lz, nha: nha, sink: lz.Sink()}
+		} else {
+			det := nha.Determinize()
+			cq.sub = &subChecker{
+				dha:  det.DHA,
+				sink: det.Subsets.Lookup(nil),
+				fin:  det.DHA.Final.Complete(),
+			}
 		}
 	}
 	return cq, nil
+}
+
+// Lazy reports whether the query was compiled with lazy determinization.
+func (cq *CompiledQuery) Lazy() bool {
+	for _, comp := range cq.phr.comps {
+		if comp.lazy != nil {
+			return true
+		}
+	}
+	return cq.sub != nil && cq.sub.lazy != nil
+}
+
+// LazyStats sums the lazy-determinization counters across the query's side
+// and subhedge automata; all-zero under eager compilation.
+func (cq *CompiledQuery) LazyStats() ha.LazyStats {
+	s := cq.phr.LazyStats()
+	if cq.sub != nil && cq.sub.lazy != nil {
+		s = s.Add(cq.sub.lazy.Stats())
+	}
+	return s
+}
+
+// flushLazy folds the lazy-determinization deltas of every lazily compiled
+// automaton of the query into the metrics sink (see CompiledPHR.flushLazy).
+func (cq *CompiledQuery) flushLazy(m *metrics.Eval) {
+	cq.phr.flushLazy(m)
+	if cq.sub != nil && cq.sub.lazy != nil {
+		d := cq.sub.lazy.FlushDelta()
+		m.LazyStates.Add(d.StatesBuilt)
+		m.LazyHits.Add(d.Hits)
+		m.LazyEvictions.Add(d.Evictions)
+	}
+}
+
+// materializeEager builds the eager determinizations of a lazily compiled
+// query. Schema-level constructions (BuildMatchAutomaton) need the concrete
+// DFAs; per-document evaluation keeps using the lazy path.
+func (cq *CompiledQuery) materializeEager() {
+	for _, comp := range cq.phr.comps {
+		comp.materialize()
+	}
+	if cq.sub != nil {
+		cq.sub.materialize()
+	}
 }
 
 // Select returns the nodes of h located by the query (Definition 22).
@@ -216,6 +295,7 @@ func (cq *CompiledQuery) Select(h hedge.Hedge) *Result {
 		m.Nodes.Add(int64(ar.size))
 		m.Marks.Add(int64(len(res.Paths)))
 		m.Transitions.Add(ar.steps + ar.elems + sar.steps)
+		cq.flushLazy(m)
 	}
 	cq.phr.arenas.Put(ar)
 	cq.sub.arenas.Put(sar)
@@ -247,6 +327,7 @@ func (cq *CompiledQuery) SelectEach(h hedge.Hedge, fn func(p hedge.Path, n *hedg
 			steps += sar.steps
 		}
 		m.Transitions.Add(steps)
+		cq.flushLazy(m)
 	}
 	w.cq, w.fn = nil, nil
 	w.path = w.path[:0]
@@ -359,18 +440,30 @@ func (s *subChecker) annotateIn(h hedge.Hedge, ar *subArena) []subAnnot {
 		switch n.Kind {
 		case hedge.Var:
 			a.state = s.sink
-			if v := s.dha.Names.Vars.Lookup(n.Name); v != alphabet.None && v < len(s.dha.Iota) {
+			if lz := s.lazy; lz != nil {
+				if v := lz.Names.Vars.Lookup(n.Name); v != alphabet.None {
+					a.state = lz.IotaState(v)
+				}
+			} else if v := s.dha.Names.Vars.Lookup(n.Name); v != alphabet.None && v < len(s.dha.Iota) {
 				if q := s.dha.Iota[v]; q != alphabet.None {
 					a.state = q
 				}
 			}
 		case hedge.Elem:
 			a.children = s.annotateIn(n.Children, ar)
-			fs := s.fin.Start
-			for j := range a.children {
-				fs = s.fin.Step(fs, a.children[j].state)
+			if lz := s.lazy; lz != nil {
+				fs := lz.FwdStart()
+				for j := range a.children {
+					fs = lz.FwdStep(fs, a.children[j].state)
+				}
+				a.marked = lz.FwdAccepting(fs)
+			} else {
+				fs := s.fin.Start
+				for j := range a.children {
+					fs = s.fin.Step(fs, a.children[j].state)
+				}
+				a.marked = s.fin.Accepting(fs)
 			}
-			a.marked = s.fin.Accepting(fs)
 			a.state = s.applyAlphaAnnot(n.Name, a.children)
 			// One final-DFA step and one horizontal-DFA step per child.
 			ar.steps += 2 * int64(len(a.children))
@@ -382,6 +475,20 @@ func (s *subChecker) annotateIn(h hedge.Hedge, ar *subArena) []subAnnot {
 }
 
 func (s *subChecker) applyAlphaAnnot(symName string, children []subAnnot) int {
+	if lz := s.lazy; lz != nil {
+		sym := lz.Names.Syms.Lookup(symName)
+		if sym == alphabet.None {
+			return s.sink
+		}
+		st := lz.HorizStart(sym)
+		if st < 0 {
+			return s.sink
+		}
+		for j := range children {
+			st = lz.HorizStep(sym, st, children[j].state)
+		}
+		return lz.HorizOut(sym, st)
+	}
 	sym := s.dha.Names.Syms.Lookup(symName)
 	if sym == alphabet.None || sym >= len(s.dha.Horiz) || s.dha.Horiz[sym] == nil {
 		return s.sink

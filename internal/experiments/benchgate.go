@@ -89,6 +89,51 @@ func degradedFeed(quick, poisoned bool) (*streamFeed, error) {
 	}, nil
 }
 
+// prefilterFeed rebuilds the stream-prefilter-{off,on} workload: a
+// low-selectivity corpus where only every 16th record contains the query's
+// required labels (a generated document with sections); the rest are
+// text-heavy paragraph records the raw-byte skim rejects without parsing.
+// Both configurations deliver identical matches — only the throughput and
+// the skip count differ.
+func prefilterFeed(quick, prefilter bool) (*streamFeed, error) {
+	recCount, docSize, paras := 256, 300, 24
+	if quick {
+		recCount, docSize, paras = 64, 200, 12
+	}
+	var b bytes.Buffer
+	b.WriteString("<corpus>")
+	for i := 0; i < recCount; i++ {
+		if i%32 == 0 {
+			cfg := gen.DefaultDocConfig()
+			cfg.Seed = int64(i + 1)
+			s, err := xmlhedge.ToString(gen.Document(cfg, docSize))
+			if err != nil {
+				return nil, err
+			}
+			b.WriteString(s)
+			continue
+		}
+		b.WriteString("<doc>")
+		for j := 0; j < paras; j++ {
+			fmt.Fprintf(&b, "<para>record %d paragraph %d: plain prose with no matching structure, "+
+				"just enough text that skimming beats parsing &amp; node building.</para>", i, j)
+		}
+		b.WriteString("</doc>")
+	}
+	b.WriteString("</corpus>")
+	h, err := xmlhedge.ParseString(b.String(), xmlhedge.Options{})
+	if err != nil {
+		return nil, err
+	}
+	cfg := stream.Config{Workers: 1}
+	if !prefilter {
+		cfg.Prefilter = stream.PrefilterOff
+	}
+	// Throughput is nodes of the logical input per second: the prefiltered
+	// run answers for the same records whether or not it parses them.
+	return &streamFeed{data: b.Bytes(), nodes: int64(h.Size()) - 1, cfg: cfg}, nil
+}
+
 // parseStreamName recovers (size, workers) from a "stream-<size>-w<N>"
 // bench name, undoing sizeName's compaction ("100k" → 100000).
 func parseStreamName(name string) (size, workers int, ok bool) {
@@ -147,6 +192,11 @@ func GateStreamBaseline(base *BenchReport, maxDropPct float64, retries int, logf
 		var feed *streamFeed
 		if strings.HasPrefix(res.Name, "stream-degraded-") {
 			feed, err = degradedFeed(base.Quick, strings.HasSuffix(res.Name, "-1pct"))
+			if err != nil {
+				return err
+			}
+		} else if strings.HasPrefix(res.Name, "stream-prefilter-") {
+			feed, err = prefilterFeed(base.Quick, strings.HasSuffix(res.Name, "-on"))
 			if err != nil {
 				return err
 			}

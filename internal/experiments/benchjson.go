@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
@@ -13,6 +14,7 @@ import (
 
 	"xpe/internal/core"
 	"xpe/internal/gen"
+	"xpe/internal/ha"
 	"xpe/internal/hedge"
 	"xpe/internal/metrics"
 	"xpe/internal/stream"
@@ -62,6 +64,21 @@ type BenchReport struct {
 	// median of paired-round ns/op ratios. It prices the recovery path
 	// (resync scan + per-record fresh decoders), not the happy path.
 	DegradedOverheadPct float64 `json:"degraded_overhead_pct"`
+	// PrefilterSpeedup is the stream-prefilter-off / stream-prefilter-on
+	// ns/op ratio over the low-selectivity corpus (15 of 16 records lack
+	// the query's required labels): how much throughput the raw-byte
+	// prefilter cascade buys when most records cannot match. Median of
+	// paired rounds.
+	PrefilterSpeedup float64 `json:"prefilter_speedup,omitempty"`
+	// PrefilterSkipRate is the fraction of the corpus's records the skim
+	// rejected without parsing in the prefiltered run.
+	PrefilterSkipRate float64 `json:"prefilter_skip_rate,omitempty"`
+	// LazyBlowupAvoided is the eager determinization's membership-DFA
+	// state count divided by the states the lazy DHA actually materialized
+	// evaluating a document sample, for the adversarial k-th-from-end
+	// family at the recorded k — the compile-time blowup the lazy path
+	// never paid.
+	LazyBlowupAvoided float64 `json:"lazy_blowup_avoided,omitempty"`
 	// TraceOverheadPct is what the per-record tracing hooks cost while
 	// tracing is disabled (no flight recorder, no slow-record callback):
 	// the nil-checked hook sequence the stream pipeline runs per record,
@@ -406,6 +423,85 @@ func BenchJSON(quick bool) (*BenchReport, error) {
 	}
 	rep.Results = append(rep.Results, degClean, degPoison)
 	rep.DegradedOverheadPct = (median(degRatios) - 1) * 100
+
+	// Prefilter cascade: the same pipeline over a low-selectivity feed,
+	// with and without the raw-byte skim. Paired best-of-rounds like the
+	// degraded pair; both runs deliver identical matches, so nodes/sec
+	// over the same logical input is the honest comparison.
+	offFeed, err := prefilterFeed(quick, false)
+	if err != nil {
+		return nil, err
+	}
+	onFeed, err := prefilterFeed(quick, true)
+	if err != nil {
+		return nil, err
+	}
+	var preOff, preOn BenchResult
+	var preRatios []float64
+	for round := 0; round < rounds; round++ {
+		o := offFeed.measure(cq, "stream-prefilter-off", pairTime)
+		if round == 0 || o.NsPerOp < preOff.NsPerOp {
+			preOff = o
+		}
+		p := onFeed.measure(cq, "stream-prefilter-on", pairTime)
+		if round == 0 || p.NsPerOp < preOn.NsPerOp {
+			preOn = p
+		}
+		preRatios = append(preRatios, o.NsPerOp/p.NsPerOp)
+	}
+	rep.Results = append(rep.Results, preOff, preOn)
+	rep.PrefilterSpeedup = median(preRatios)
+	preStats, err := stream.Run(context.Background(), bytes.NewReader(onFeed.data), cq,
+		onFeed.cfg, func(*stream.Result) error { return nil })
+	if err != nil {
+		return nil, err
+	}
+	if total := preStats.Records + preStats.Prefiltered; total > 0 {
+		rep.PrefilterSkipRate = float64(preStats.Prefiltered) / float64(total)
+	}
+
+	// Lazy determinization: the adversarial k-th-from-end family, whose
+	// eager Theorem 1 subset construction doubles per k. The eager compile
+	// pays the full blowup up front; the lazy DHA materializes only the
+	// states a document sample reaches — the ratio is the blowup avoided.
+	const advK = 12
+	advNames := ha.NewNames()
+	for _, s := range []string{"a", "b", "c", "r"} {
+		advNames.Syms.Intern(s)
+	}
+	advSrc := gen.KthFromEndPHR(advK)
+	var eagerStates int
+	eagerCompile := Measure("compile-adversarial-k"+strconv.Itoa(advK)+"-eager", 0, pairTime, func() {
+		c, err := core.CompilePHR(core.MustParsePHR(advSrc), advNames)
+		if err != nil {
+			panic(err)
+		}
+		eagerStates = c.MaxComponentStates()
+	})
+	advQ, err := core.ParseQuery(advSrc)
+	if err != nil {
+		return nil, err
+	}
+	lazyCompile := Measure("compile-adversarial-k"+strconv.Itoa(advK)+"-lazy", 0, pairTime, func() {
+		if _, err := core.CompileQueryOpt(advQ, advNames, core.Options{LazyDeterminize: true}); err != nil {
+			panic(err)
+		}
+	})
+	rep.Results = append(rep.Results, eagerCompile, lazyCompile)
+	lazyCQ, err := core.CompileQueryOpt(advQ, advNames, core.Options{LazyDeterminize: true})
+	if err != nil {
+		return nil, err
+	}
+	// A modest document sample: the states the lazy DHA builds are bounded
+	// by the sibling-suffix diversity these rows actually exhibit, not by
+	// the 2^k the eager construction enumerates up front.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 24; i++ {
+		countEach(lazyCQ, gen.SiblingRow(rng, 32))
+	}
+	if built := lazyCQ.LazyStats().StatesBuilt; built > 0 {
+		rep.LazyBlowupAvoided = float64(eagerStates) / float64(built)
+	}
 
 	// Bulk: the shared-compiled-query server shape.
 	bulk := make([]hedge.Hedge, bulkDocs)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -17,7 +18,10 @@ func TestBenchJSONQuick(t *testing.T) {
 	wantNames := []string{"select-10k-nosink", "select-10k-sink",
 		"select-10k-notrace", "select-10k-trace-disabled",
 		"stream-20k-w1", "stream-20k-w4", "stream-20k-w8", "stream-20k-w16",
-		"stream-degraded-clean", "stream-degraded-1pct", "bulk-16x2k"}
+		"stream-degraded-clean", "stream-degraded-1pct",
+		"stream-prefilter-off", "stream-prefilter-on",
+		"compile-adversarial-k12-eager", "compile-adversarial-k12-lazy",
+		"bulk-16x2k"}
 	if len(rep.Results) != len(wantNames) {
 		t.Fatalf("got %d results, want %d", len(rep.Results), len(wantNames))
 	}
@@ -33,9 +37,20 @@ func TestBenchJSONQuick(t *testing.T) {
 		if r.Iterations < 2 || r.NsPerOp <= 0 {
 			t.Errorf("%s: iterations=%d ns/op=%.0f, want measured values", r.Name, r.Iterations, r.NsPerOp)
 		}
-		if r.NodesPerSec <= 0 {
+		// The adversarial compile workloads measure build time, not
+		// document throughput; they carry no node count.
+		if r.NodesPerSec <= 0 && !strings.HasPrefix(r.Name, "compile-adversarial-") {
 			t.Errorf("%s: nodes/sec = %.0f, want > 0", r.Name, r.NodesPerSec)
 		}
+	}
+	if rep.PrefilterSpeedup <= 0 {
+		t.Errorf("prefilter_speedup = %v, want > 0", rep.PrefilterSpeedup)
+	}
+	if rep.PrefilterSkipRate <= 0 || rep.PrefilterSkipRate >= 1 {
+		t.Errorf("prefilter_skip_rate = %v, want in (0,1)", rep.PrefilterSkipRate)
+	}
+	if rep.LazyBlowupAvoided <= 1 {
+		t.Errorf("lazy_blowup_avoided = %v, want > 1", rep.LazyBlowupAvoided)
 	}
 	if rep.PeakRSSBytes <= 0 {
 		t.Errorf("peak RSS = %d, want > 0", rep.PeakRSSBytes)

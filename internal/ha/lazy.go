@@ -1,0 +1,446 @@
+package ha
+
+import (
+	"sync"
+
+	"xpe/internal/alphabet"
+	"xpe/internal/hedge"
+	"xpe/internal/sfa"
+)
+
+// Lazy determinization — the pay-as-you-go reading of Theorem 1.
+//
+// Determinize builds every reachable subset up front, which is exponential
+// in the worst case (the C1 caveat). LazyDet defers the subset construction:
+// DHA states (NHA-state subsets), horizontal-DFA states, and final-DFA
+// states are materialized only when an input actually demands them, so the
+// states built are bounded by the diversity of the input, not by 2^|Q|.
+// Identity is preserved across calls — a subset seen twice gets the same id
+// — so lazily computed states are exactly the reachable fragment of the
+// eager construction and membership agrees with Determinize on every hedge
+// (the FuzzLazyVsEagerDeterminize target pins this).
+//
+// All stepping methods share one mutex, so a LazyDet may back a compiled
+// query shared by concurrent evaluators (the same discipline as the
+// mirror-automaton memo in internal/core).
+
+// DefaultLazyTransitionBudget bounds the cached transitions of a LazyDet
+// when LazyOptions.TransitionBudget is zero.
+const DefaultLazyTransitionBudget = 1 << 16
+
+// LazyOptions configures LazyDeterminize.
+type LazyOptions struct {
+	// TransitionBudget caps the number of cached DFA transitions across the
+	// lazy horizontal and final structures. When the cache would exceed the
+	// budget it is flushed: every transition map is dropped, but states and
+	// their subsets are kept, so state ids held by an in-flight evaluation
+	// stay valid and future steps recompute transitions on demand. Zero
+	// means DefaultLazyTransitionBudget; negative disables the bound.
+	TransitionBudget int
+}
+
+// LazyStats is a snapshot of a LazyDet's counters.
+type LazyStats struct {
+	Subsets     int64 // distinct NHA-state subsets interned (= DHA states built)
+	StatesBuilt int64 // horizontal + final DFA states materialized
+	Hits        int64 // cached-transition hits
+	Misses      int64 // transitions computed on demand
+	Evictions   int64 // cache flushes forced by the transition budget
+}
+
+// Add returns the field-wise sum of two snapshots.
+func (s LazyStats) Add(o LazyStats) LazyStats {
+	return LazyStats{
+		Subsets:     s.Subsets + o.Subsets,
+		StatesBuilt: s.StatesBuilt + o.StatesBuilt,
+		Hits:        s.Hits + o.Hits,
+		Misses:      s.Misses + o.Misses,
+		Evictions:   s.Evictions + o.Evictions,
+	}
+}
+
+// Sub returns the field-wise difference s - o.
+func (s LazyStats) Sub(o LazyStats) LazyStats {
+	return LazyStats{
+		Subsets:     s.Subsets - o.Subsets,
+		StatesBuilt: s.StatesBuilt - o.StatesBuilt,
+		Hits:        s.Hits - o.Hits,
+		Misses:      s.Misses - o.Misses,
+		Evictions:   s.Evictions - o.Evictions,
+	}
+}
+
+// lazyDFA is the shared memo shape of every lazily determinized machine: a
+// growing table of NFA-state sets with dense ids and per-state transition
+// maps keyed by subset-id symbols. States are append-only; only trans is
+// dropped on a budget flush.
+type lazyDFA struct {
+	sets  [][]int
+	ids   map[string]int
+	trans []map[int]int
+	start int
+}
+
+func (d *lazyDFA) intern(set []int, l *LazyDet, onNew func(id int, set []int)) int {
+	k := setKeyLazy(set)
+	if id, ok := d.ids[k]; ok {
+		return id
+	}
+	id := len(d.sets)
+	d.ids[k] = id
+	d.sets = append(d.sets, set)
+	d.trans = append(d.trans, nil)
+	l.stats.StatesBuilt++
+	if onNew != nil {
+		onNew(id, set)
+	}
+	return id
+}
+
+func setKeyLazy(set []int) string {
+	b := make([]byte, 0, len(set)*4)
+	for _, s := range set {
+		b = append(b, byte(s), byte(s>>8), byte(s>>16), byte(s>>24))
+	}
+	return string(b)
+}
+
+// lazySym is the on-demand horizontal structure for one symbol: the merged
+// rule NFA with its accept-state→result mapping, determinized state by
+// state as child sequences are read.
+type lazySym struct {
+	nfa     *sfa.NFA
+	results map[int]int
+	dfa     lazyDFA
+	out     []int // DFA state → result subset id
+}
+
+// lazyFinal is the on-demand membership DFA over subset-id symbols for a
+// final NFA (or its reverse): it accepts a subset word S₁…S_k iff some
+// q₁…q_k with qᵢ ∈ Sᵢ is accepted.
+type lazyFinal struct {
+	nfa    *sfa.NFA
+	dfa    lazyDFA
+	accept []bool
+}
+
+// LazyDet is an on-demand determinization of an NHA behind the same
+// stepping surface the evaluator uses on an eager Det: subset-id states,
+// horizontal runs per symbol, and forward/backward final membership.
+type LazyDet struct {
+	Names *Names
+
+	mu      sync.Mutex
+	subsets *alphabet.TupleInterner
+	sink    int
+	iota    []int
+	bySym   []*lazySym // symbol id → horizontal structure (nil = no rules)
+	fwd     lazyFinal
+	bwd     lazyFinal
+
+	budget      int // cached-transition cap (<0 = unbounded)
+	cachedTrans int
+	stats       LazyStats
+	flushed     LazyStats // cursor for FlushDelta
+}
+
+// LazyDeterminize prepares the on-demand subset construction. It does no
+// determinization work beyond merging the per-symbol rule NFAs (linear in
+// the NHA size); states appear as inputs demand them.
+func (n *NHA) LazyDeterminize(opts LazyOptions) *LazyDet {
+	budget := opts.TransitionBudget
+	if budget == 0 {
+		budget = DefaultLazyTransitionBudget
+	}
+	l := &LazyDet{
+		Names:   n.Names,
+		subsets: alphabet.NewTupleInterner(),
+		budget:  budget,
+		bySym:   make([]*lazySym, n.Names.Syms.Len()),
+	}
+	l.sink = l.subsets.Intern(nil)
+
+	for _, rule := range n.Rules {
+		if rule.Sym < 0 || rule.Sym >= len(l.bySym) {
+			continue
+		}
+		c := l.bySym[rule.Sym]
+		if c == nil {
+			c = &lazySym{
+				nfa:     sfa.NewNFA(n.NumStates),
+				results: map[int]int{},
+				dfa:     lazyDFA{ids: map[string]int{}},
+			}
+			l.bySym[rule.Sym] = c
+		}
+		offset := c.nfa.NumStates
+		for i := 0; i < rule.Lang.NumStates; i++ {
+			c.nfa.AddState(false)
+		}
+		for s := 0; s < rule.Lang.NumStates; s++ {
+			for sym, ts := range rule.Lang.Trans[s] {
+				for _, t := range ts {
+					c.nfa.AddTrans(offset+s, sym, offset+t)
+				}
+			}
+			for _, t := range rule.Lang.Eps[s] {
+				c.nfa.AddEps(offset+s, offset+t)
+			}
+			if rule.Lang.Accept[s] {
+				c.results[offset+s] = rule.Result
+			}
+		}
+		for _, s := range rule.Lang.Start {
+			c.nfa.MarkStart(offset + s)
+		}
+	}
+
+	// ι images and the start states of every machine are materialized
+	// eagerly: they are O(|NHA|) and every run needs them.
+	vars := n.Names.Vars.Len()
+	l.iota = make([]int, vars)
+	for v := 0; v < vars; v++ {
+		var qs []int
+		if v < len(n.Iota) {
+			qs = normalizeSet(n.Iota[v])
+		}
+		l.iota[v] = l.internSubset(qs)
+	}
+	for _, c := range l.bySym {
+		if c == nil {
+			continue
+		}
+		start := c.nfa.EpsClosure(c.nfa.Start)
+		c.dfa.start = c.dfa.intern(start, l, func(id int, set []int) {
+			c.out = append(c.out, l.internSubset(resultSubset(set, c.results)))
+		})
+	}
+	l.fwd = lazyFinal{nfa: n.Final, dfa: lazyDFA{ids: map[string]int{}}}
+	l.bwd = lazyFinal{nfa: n.Final.Reverse(), dfa: lazyDFA{ids: map[string]int{}}}
+	l.initFinal(&l.fwd)
+	l.initFinal(&l.bwd)
+	return l
+}
+
+func (l *LazyDet) initFinal(f *lazyFinal) {
+	start := f.nfa.EpsClosure(f.nfa.Start)
+	f.dfa.start = f.dfa.intern(start, l, func(id int, set []int) {
+		f.accept = append(f.accept, anyAccept(f.nfa, set))
+	})
+}
+
+func anyAccept(nfa *sfa.NFA, set []int) bool {
+	for _, s := range set {
+		if nfa.Accept[s] {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *LazyDet) internSubset(qs []int) int {
+	before := l.subsets.Len()
+	id := l.subsets.Intern(qs)
+	if l.subsets.Len() > before {
+		l.stats.Subsets++
+	}
+	return id
+}
+
+// chargeTrans accounts one freshly cached transition and flushes every
+// transition map when the budget is exceeded. States (and their subsets)
+// survive a flush, so ids held by callers stay valid.
+func (l *LazyDet) chargeTrans() {
+	l.cachedTrans++
+	if l.budget < 0 || l.cachedTrans <= l.budget {
+		return
+	}
+	for _, c := range l.bySym {
+		if c == nil {
+			continue
+		}
+		for i := range c.dfa.trans {
+			c.dfa.trans[i] = nil
+		}
+	}
+	for i := range l.fwd.dfa.trans {
+		l.fwd.dfa.trans[i] = nil
+	}
+	for i := range l.bwd.dfa.trans {
+		l.bwd.dfa.trans[i] = nil
+	}
+	l.cachedTrans = 0
+	l.stats.Evictions++
+}
+
+// Sink returns the subset id of the empty subset — the state the complete
+// automaton assigns to nodes outside the interned alphabet.
+func (l *LazyDet) Sink() int { return l.sink }
+
+// IotaState returns ι(v) as a subset id (the sink when v is undefined).
+func (l *LazyDet) IotaState(v int) int {
+	if v >= 0 && v < len(l.iota) {
+		return l.iota[v]
+	}
+	return l.sink
+}
+
+// SubsetOf returns the NHA state subset represented by subset id q. The
+// returned slice must not be modified.
+func (l *LazyDet) SubsetOf(q int) []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.subsets.Tuple(q)
+}
+
+// HorizStart returns the horizontal start state for sym, or -1 when the
+// symbol is outside the construction (callers treat -1 as "result is the
+// sink", matching the eager automaton completed over the alphabet).
+func (l *LazyDet) HorizStart(sym int) int {
+	if sym < 0 || sym >= len(l.bySym) || l.bySym[sym] == nil {
+		return -1
+	}
+	return l.bySym[sym].dfa.start
+}
+
+// HorizStep advances the horizontal run of sym from state st on the child
+// subset id q, materializing the successor on demand. The lazy horizontal
+// machines are total: Step never returns a dead state.
+func (l *LazyDet) HorizStep(sym, st, q int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c := l.bySym[sym]
+	if t, ok := c.dfa.trans[st][q]; ok {
+		l.stats.Hits++
+		return t
+	}
+	l.stats.Misses++
+	next := stepNFAOnSubset(c.nfa, c.dfa.sets[st], l.subsets.Tuple(q))
+	to := c.dfa.intern(next, l, func(id int, set []int) {
+		c.out = append(c.out, l.internSubset(resultSubset(set, c.results)))
+	})
+	if c.dfa.trans[st] == nil {
+		c.dfa.trans[st] = make(map[int]int)
+	}
+	c.dfa.trans[st][q] = to
+	l.chargeTrans()
+	return to
+}
+
+// HorizOut returns the result subset id at horizontal state st of sym.
+func (l *LazyDet) HorizOut(sym, st int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bySym[sym].out[st]
+}
+
+// FwdStart returns the start state of the forward final-membership run.
+func (l *LazyDet) FwdStart() int { return l.fwd.dfa.start }
+
+// FwdStep advances the forward final run on subset id q.
+func (l *LazyDet) FwdStep(st, q int) int { return l.finalStep(&l.fwd, st, q) }
+
+// FwdAccepting reports whether forward final state st is accepting.
+func (l *LazyDet) FwdAccepting(st int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.fwd.accept[st]
+}
+
+// BwdStart returns the start state of the reversed final-membership run.
+func (l *LazyDet) BwdStart() int { return l.bwd.dfa.start }
+
+// BwdStep advances the reversed final run on subset id q.
+func (l *LazyDet) BwdStep(st, q int) int { return l.finalStep(&l.bwd, st, q) }
+
+// BwdAccepting reports whether reversed final state st is accepting.
+func (l *LazyDet) BwdAccepting(st int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bwd.accept[st]
+}
+
+func (l *LazyDet) finalStep(f *lazyFinal, st, q int) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if t, ok := f.dfa.trans[st][q]; ok {
+		l.stats.Hits++
+		return t
+	}
+	l.stats.Misses++
+	next := stepNFAOnSubset(f.nfa, f.dfa.sets[st], l.subsets.Tuple(q))
+	to := f.dfa.intern(next, l, func(id int, set []int) {
+		f.accept = append(f.accept, anyAccept(f.nfa, set))
+	})
+	if f.dfa.trans[st] == nil {
+		f.dfa.trans[st] = make(map[int]int)
+	}
+	f.dfa.trans[st][q] = to
+	l.chargeTrans()
+	return to
+}
+
+// Stats returns the cumulative counters.
+func (l *LazyDet) Stats() LazyStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// FlushDelta returns the counters accumulated since the previous FlushDelta
+// call and advances the cursor. Metrics sinks use this to fold lazy work
+// into per-evaluation flushes without double counting.
+func (l *LazyDet) FlushDelta() LazyStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d := l.stats.Sub(l.flushed)
+	l.flushed = l.stats
+	return d
+}
+
+// Accepts reports whether the lazily determinized automaton accepts the
+// hedge — the Definition 5 run, materializing states on demand. Agreement
+// with NHA.Accepts and with the eager Determinize is the differential-fuzz
+// property.
+func (l *LazyDet) Accepts(h hedge.Hedge) bool {
+	top := l.execHedge(h)
+	st := l.FwdStart()
+	for _, q := range top {
+		st = l.FwdStep(st, q)
+	}
+	return l.FwdAccepting(st)
+}
+
+func (l *LazyDet) execHedge(h hedge.Hedge) []int {
+	states := make([]int, len(h))
+	for i, n := range h {
+		states[i] = l.execNode(n)
+	}
+	return states
+}
+
+func (l *LazyDet) execNode(n *hedge.Node) int {
+	switch n.Kind {
+	case hedge.Var:
+		if v := l.Names.Vars.Lookup(n.Name); v != alphabet.None {
+			return l.IotaState(v)
+		}
+		return l.sink
+	case hedge.Elem:
+		children := l.execHedge(n.Children)
+		sym := l.Names.Syms.Lookup(n.Name)
+		st := l.HorizStart(sym)
+		if st < 0 {
+			return l.sink
+		}
+		for _, q := range children {
+			st = l.HorizStep(sym, st, q)
+		}
+		return l.HorizOut(sym, st)
+	default:
+		if v := l.Names.Vars.Lookup(SubstVarName(n.Name)); v != alphabet.None {
+			return l.IotaState(v)
+		}
+		return l.sink
+	}
+}

@@ -1,0 +1,222 @@
+package ha
+
+import (
+	"math/rand"
+	"testing"
+
+	"xpe/internal/hedge"
+	"xpe/internal/sfa"
+)
+
+// lazyAgreeOn checks the three-way membership agreement NHA vs eager
+// determinization vs lazy determinization on one hedge.
+func lazyAgreeOn(t *testing.T, n *NHA, det *Det, lazy *LazyDet, h hedge.Hedge) {
+	t.Helper()
+	want := n.Accepts(h)
+	if got := det.DHA.Accepts(h); got != want {
+		t.Fatalf("eager Determinize disagrees with NHA on %v: eager=%v nha=%v", h, got, want)
+	}
+	if got := lazy.Accepts(h); got != want {
+		t.Fatalf("LazyDeterminize disagrees with NHA on %v: lazy=%v nha=%v", h, got, want)
+	}
+}
+
+func randomHedges(seed int64, count int) []hedge.Hedge {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := hedge.RandConfig{
+		Symbols:  []string{"d", "p"},
+		Vars:     []string{"x", "y"},
+		MaxDepth: 4,
+		MaxWidth: 3,
+	}
+	out := make([]hedge.Hedge, count)
+	for i := range out {
+		out[i] = hedge.Random(rng, cfg)
+	}
+	return out
+}
+
+func TestLazyMatchesEagerOnPaperExamples(t *testing.T) {
+	for name, build := range map[string]func(testing.TB) *NHA{"M0": paperM0, "M1": paperM1} {
+		t.Run(name, func(t *testing.T) {
+			n := build(t)
+			det := n.Determinize()
+			lazy := n.LazyDeterminize(LazyOptions{})
+			for _, src := range []string{
+				"", "d<p<$x> p<$y>> d<p<$x>>", "d<p<$x>>", "d<p<$y>>",
+				"d<p<$x> p<$x>>", "p<$x>", "d<>", "d<p<$x> p<$y> p<$y>>",
+				"d<p<$x> p<$x> p<$x>>", "$x", "d<$x>",
+			} {
+				lazyAgreeOn(t, n, det, lazy, hedge.MustParse(src))
+			}
+			for _, h := range randomHedges(7, 200) {
+				lazyAgreeOn(t, n, det, lazy, h)
+			}
+			st := lazy.Stats()
+			if st.StatesBuilt == 0 || st.Subsets == 0 {
+				t.Fatalf("lazy construction built nothing: %+v", st)
+			}
+			if st.Hits == 0 {
+				t.Fatalf("repeated evaluation produced no transition-cache hits: %+v", st)
+			}
+		})
+	}
+}
+
+// TestLazyBudgetEviction forces transition-cache flushes with a tiny budget
+// and checks that membership answers are unaffected (states survive the
+// flush; transitions are recomputed).
+func TestLazyBudgetEviction(t *testing.T) {
+	n := paperM1(t)
+	det := n.Determinize()
+	lazy := n.LazyDeterminize(LazyOptions{TransitionBudget: 2})
+	for _, h := range randomHedges(11, 300) {
+		lazyAgreeOn(t, n, det, lazy, h)
+	}
+	st := lazy.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions under TransitionBudget=2, got %+v", st)
+	}
+}
+
+// TestLazyNeverExceedsEager: the lazily materialized DHA states (subsets)
+// are a subset of the eager construction's reachable subsets, so the count
+// is bounded by it.
+func TestLazyNeverExceedsEager(t *testing.T) {
+	n := paperM1(t)
+	det := n.Determinize()
+	lazy := n.LazyDeterminize(LazyOptions{})
+	for _, h := range randomHedges(13, 500) {
+		_ = lazy.Accepts(h)
+	}
+	if got, limit := lazy.Stats().Subsets, int64(det.Subsets.Len()); got > limit {
+		t.Fatalf("lazy interned %d subsets, eager construction has only %d", got, limit)
+	}
+}
+
+func TestLazyFlushDelta(t *testing.T) {
+	n := paperM0(t)
+	lazy := n.LazyDeterminize(LazyOptions{})
+	_ = lazy.Accepts(hedge.MustParse("d<p<$x>>"))
+	d1 := lazy.FlushDelta()
+	if d1.StatesBuilt == 0 {
+		t.Fatalf("first delta empty: %+v", d1)
+	}
+	d2 := lazy.FlushDelta()
+	if d2.StatesBuilt != 0 || d2.Misses != 0 {
+		t.Fatalf("second delta not reset: %+v", d2)
+	}
+	total := lazy.Stats()
+	if sum := d1.Add(d2); sum != total {
+		t.Fatalf("deltas %+v do not sum to cumulative %+v", sum, total)
+	}
+}
+
+// fuzzReader consumes fuzz bytes as a bounded decision stream.
+type fuzzReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *fuzzReader) next(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if r.pos >= len(r.data) {
+		return 0
+	}
+	v := int(r.data[r.pos]) % n
+	r.pos++
+	return v
+}
+
+// randomNHAFrom decodes an arbitrary small NHA from fuzz bytes: a handful
+// of states, rules with small horizontal NFAs, iota images, and a final
+// NFA. Every decode is total — any byte string yields a valid automaton.
+func randomNHAFrom(r *fuzzReader) (*NHA, []string, []string) {
+	syms := []string{"a", "b", "c"}[:1+r.next(3)]
+	vars := []string{"x", "y"}[:r.next(3)]
+	names := NewNames()
+	for _, s := range syms {
+		names.Syms.Intern(s)
+	}
+	for _, v := range vars {
+		names.Vars.Intern(v)
+	}
+	n := NewNHA(names)
+	numStates := 1 + r.next(4)
+	for i := 0; i < numStates; i++ {
+		n.AddState()
+	}
+	for vi := range vars {
+		for k := r.next(3); k > 0; k-- {
+			n.AddIota(vi, r.next(numStates))
+		}
+	}
+	numRules := r.next(5)
+	for i := 0; i < numRules; i++ {
+		sym := r.next(len(syms))
+		result := r.next(numStates)
+		n.AddRule(sym, result, randomNFAFrom(r, numStates))
+	}
+	n.Final = randomNFAFrom(r, numStates)
+	n.Final.GrowAlphabet(numStates)
+	return n, syms, vars
+}
+
+func randomNFAFrom(r *fuzzReader, numSymbols int) *sfa.NFA {
+	nfa := sfa.NewNFA(numSymbols)
+	states := 1 + r.next(3)
+	for i := 0; i < states; i++ {
+		nfa.AddState(r.next(2) == 1)
+	}
+	for k := 1 + r.next(2); k > 0; k-- {
+		nfa.MarkStart(r.next(states))
+	}
+	for k := r.next(7); k > 0; k-- {
+		nfa.AddTrans(r.next(states), r.next(numSymbols), r.next(states))
+	}
+	for k := r.next(3); k > 0; k-- {
+		nfa.AddEps(r.next(states), r.next(states))
+	}
+	return nfa
+}
+
+// FuzzLazyVsEagerDeterminize decodes a random NHA from the fuzz input,
+// determinizes it both eagerly and lazily (including a tiny-budget lazy
+// variant that is forced to evict), and checks membership agreement with
+// the NHA itself on sampled hedges.
+func FuzzLazyVsEagerDeterminize(f *testing.F) {
+	f.Add([]byte{}, int64(1))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, int64(2))
+	f.Add([]byte{9, 0, 1, 3, 3, 3, 1, 0, 2, 2, 4, 1, 1, 0, 7, 5}, int64(3))
+	f.Add([]byte{2, 2, 4, 4, 1, 1, 0, 0, 3, 3, 2, 2, 8, 8, 1, 1, 6, 6}, int64(4))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		r := &fuzzReader{data: data}
+		n, syms, vars := randomNHAFrom(r)
+		det := n.Determinize()
+		lazy := n.LazyDeterminize(LazyOptions{})
+		tiny := n.LazyDeterminize(LazyOptions{TransitionBudget: 1})
+		rng := rand.New(rand.NewSource(seed))
+		cfg := hedge.RandConfig{Symbols: syms, Vars: vars, MaxDepth: 3, MaxWidth: 3}
+		if len(vars) == 0 {
+			cfg.Vars = nil
+		}
+		for i := 0; i < 25; i++ {
+			h := hedge.Random(rng, cfg)
+			want := n.Accepts(h)
+			if got := det.DHA.Accepts(h); got != want {
+				t.Fatalf("eager disagrees with NHA on %v: %v vs %v", h, got, want)
+			}
+			if got := lazy.Accepts(h); got != want {
+				t.Fatalf("lazy disagrees with NHA on %v: %v vs %v", h, got, want)
+			}
+			if got := tiny.Accepts(h); got != want {
+				t.Fatalf("tiny-budget lazy disagrees with NHA on %v: %v vs %v", h, got, want)
+			}
+		}
+		if got, limit := lazy.Stats().Subsets, int64(det.Subsets.Len()); got > limit {
+			t.Fatalf("lazy interned %d subsets, eager has %d", got, limit)
+		}
+	})
+}

@@ -96,6 +96,9 @@ func fill(m *Metrics) {
 	m.Eval.Nodes.Add(100)
 	m.Eval.Marks.Add(7)
 	m.Eval.Transitions.Add(450)
+	m.Eval.LazyStates.Add(12)
+	m.Eval.LazyHits.Add(40)
+	m.Eval.LazyEvictions.Add(1)
 	m.Cache.Hits.Add(5)
 	m.Cache.Misses.Add(2)
 	m.Cache.Evictions.Add(1)
@@ -104,6 +107,7 @@ func fill(m *Metrics) {
 	m.Split.Bytes.Add(1024)
 	m.Split.ArenaNodesReused.Add(80)
 	m.Split.ArenaChunkAllocs.Add(1)
+	m.Split.RecordsPrefiltered.Add(4)
 	m.Stream.Runs.Inc()
 	m.Stream.Workers.Set(4)
 	m.Stream.RecordsSkipped.Add(2)
@@ -133,7 +137,10 @@ func TestSnapshotGoldenJSON(t *testing.T) {
     "docs": 2,
     "nodes_visited": 100,
     "marks_emitted": 7,
-    "transitions": 450
+    "transitions": 450,
+    "lazy_states_built": 12,
+    "lazy_cache_hits": 40,
+    "lazy_evictions": 1
   },
   "cache": {
     "hits": 5,
@@ -145,7 +152,8 @@ func TestSnapshotGoldenJSON(t *testing.T) {
     "nodes": 90,
     "bytes": 1024,
     "arena_nodes_reused": 80,
-    "arena_chunk_allocs": 1
+    "arena_chunk_allocs": 1,
+    "records_prefiltered": 4
   },
   "stream": {
     "runs": 1,

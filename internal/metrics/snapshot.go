@@ -20,15 +20,25 @@ type Eval struct {
 	// Transitions counts automaton transitions taken: component membership
 	// DFA steps, mirror-automaton steps, and e₁ marking steps.
 	Transitions Counter
+	// LazyStates counts determinization states materialized on demand by
+	// lazily compiled queries (zero under eager compilation); LazyHits
+	// counts lazy transition-cache hits, LazyEvictions budget-forced cache
+	// flushes.
+	LazyStates    Counter
+	LazyHits      Counter
+	LazyEvictions Counter
 }
 
 // Snapshot returns the current totals.
 func (e *Eval) Snapshot() EvalSnapshot {
 	return EvalSnapshot{
-		Docs:         e.Docs.Load(),
-		NodesVisited: e.Nodes.Load(),
-		MarksEmitted: e.Marks.Load(),
-		Transitions:  e.Transitions.Load(),
+		Docs:          e.Docs.Load(),
+		NodesVisited:  e.Nodes.Load(),
+		MarksEmitted:  e.Marks.Load(),
+		Transitions:   e.Transitions.Load(),
+		LazyStates:    e.LazyStates.Load(),
+		LazyHits:      e.LazyHits.Load(),
+		LazyEvictions: e.LazyEvictions.Load(),
 	}
 }
 
@@ -66,16 +76,20 @@ type Split struct {
 	// pipeline shows reuse approaching one per node and allocs flat.
 	ArenaNodesReused Counter
 	ArenaChunkAllocs Counter
+	// RecordsPrefiltered counts records skipped by the required-label raw
+	// byte skim without being parsed (they are not in Records).
+	RecordsPrefiltered Counter
 }
 
 // Snapshot returns the current totals.
 func (s *Split) Snapshot() SplitSnapshot {
 	return SplitSnapshot{
-		Records:          s.Records.Load(),
-		Nodes:            s.Nodes.Load(),
-		Bytes:            s.Bytes.Load(),
-		ArenaNodesReused: s.ArenaNodesReused.Load(),
-		ArenaChunkAllocs: s.ArenaChunkAllocs.Load(),
+		Records:            s.Records.Load(),
+		Nodes:              s.Nodes.Load(),
+		Bytes:              s.Bytes.Load(),
+		ArenaNodesReused:   s.ArenaNodesReused.Load(),
+		ArenaChunkAllocs:   s.ArenaChunkAllocs.Load(),
+		RecordsPrefiltered: s.RecordsPrefiltered.Load(),
 	}
 }
 
@@ -158,6 +172,9 @@ func (m *Metrics) AddSnapshot(s Snapshot) {
 	m.Eval.Nodes.Add(s.Eval.NodesVisited)
 	m.Eval.Marks.Add(s.Eval.MarksEmitted)
 	m.Eval.Transitions.Add(s.Eval.Transitions)
+	m.Eval.LazyStates.Add(s.Eval.LazyStates)
+	m.Eval.LazyHits.Add(s.Eval.LazyHits)
+	m.Eval.LazyEvictions.Add(s.Eval.LazyEvictions)
 
 	m.Cache.Hits.Add(s.Cache.Hits)
 	m.Cache.Misses.Add(s.Cache.Misses)
@@ -168,6 +185,7 @@ func (m *Metrics) AddSnapshot(s Snapshot) {
 	m.Split.Bytes.Add(s.Split.Bytes)
 	m.Split.ArenaNodesReused.Add(s.Split.ArenaNodesReused)
 	m.Split.ArenaChunkAllocs.Add(s.Split.ArenaChunkAllocs)
+	m.Split.RecordsPrefiltered.Add(s.Split.RecordsPrefiltered)
 
 	m.Stream.Runs.Add(s.Stream.Runs)
 	if s.Stream.Workers != 0 {
@@ -274,10 +292,13 @@ func (h HistogramSnapshot) sub(prev HistogramSnapshot) HistogramSnapshot {
 
 // EvalSnapshot is the encoded form of Eval.
 type EvalSnapshot struct {
-	Docs         int64 `json:"docs"`
-	NodesVisited int64 `json:"nodes_visited"`
-	MarksEmitted int64 `json:"marks_emitted"`
-	Transitions  int64 `json:"transitions"`
+	Docs          int64 `json:"docs"`
+	NodesVisited  int64 `json:"nodes_visited"`
+	MarksEmitted  int64 `json:"marks_emitted"`
+	Transitions   int64 `json:"transitions"`
+	LazyStates    int64 `json:"lazy_states_built"`
+	LazyHits      int64 `json:"lazy_cache_hits"`
+	LazyEvictions int64 `json:"lazy_evictions"`
 }
 
 // CacheSnapshot is the encoded form of Cache.
@@ -289,11 +310,12 @@ type CacheSnapshot struct {
 
 // SplitSnapshot is the encoded form of Split.
 type SplitSnapshot struct {
-	Records          int64 `json:"records"`
-	Nodes            int64 `json:"nodes"`
-	Bytes            int64 `json:"bytes"`
-	ArenaNodesReused int64 `json:"arena_nodes_reused"`
-	ArenaChunkAllocs int64 `json:"arena_chunk_allocs"`
+	Records            int64 `json:"records"`
+	Nodes              int64 `json:"nodes"`
+	Bytes              int64 `json:"bytes"`
+	ArenaNodesReused   int64 `json:"arena_nodes_reused"`
+	ArenaChunkAllocs   int64 `json:"arena_chunk_allocs"`
+	RecordsPrefiltered int64 `json:"records_prefiltered"`
 }
 
 // StreamSnapshot is the encoded form of Stream.
@@ -326,10 +348,13 @@ type Snapshot struct {
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	return Snapshot{
 		Eval: EvalSnapshot{
-			Docs:         s.Eval.Docs - prev.Eval.Docs,
-			NodesVisited: s.Eval.NodesVisited - prev.Eval.NodesVisited,
-			MarksEmitted: s.Eval.MarksEmitted - prev.Eval.MarksEmitted,
-			Transitions:  s.Eval.Transitions - prev.Eval.Transitions,
+			Docs:          s.Eval.Docs - prev.Eval.Docs,
+			NodesVisited:  s.Eval.NodesVisited - prev.Eval.NodesVisited,
+			MarksEmitted:  s.Eval.MarksEmitted - prev.Eval.MarksEmitted,
+			Transitions:   s.Eval.Transitions - prev.Eval.Transitions,
+			LazyStates:    s.Eval.LazyStates - prev.Eval.LazyStates,
+			LazyHits:      s.Eval.LazyHits - prev.Eval.LazyHits,
+			LazyEvictions: s.Eval.LazyEvictions - prev.Eval.LazyEvictions,
 		},
 		Cache: CacheSnapshot{
 			Hits:      s.Cache.Hits - prev.Cache.Hits,
@@ -337,11 +362,12 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 			Evictions: s.Cache.Evictions - prev.Cache.Evictions,
 		},
 		Split: SplitSnapshot{
-			Records:          s.Split.Records - prev.Split.Records,
-			Nodes:            s.Split.Nodes - prev.Split.Nodes,
-			Bytes:            s.Split.Bytes - prev.Split.Bytes,
-			ArenaNodesReused: s.Split.ArenaNodesReused - prev.Split.ArenaNodesReused,
-			ArenaChunkAllocs: s.Split.ArenaChunkAllocs - prev.Split.ArenaChunkAllocs,
+			Records:            s.Split.Records - prev.Split.Records,
+			Nodes:              s.Split.Nodes - prev.Split.Nodes,
+			Bytes:              s.Split.Bytes - prev.Split.Bytes,
+			ArenaNodesReused:   s.Split.ArenaNodesReused - prev.Split.ArenaNodesReused,
+			ArenaChunkAllocs:   s.Split.ArenaChunkAllocs - prev.Split.ArenaChunkAllocs,
+			RecordsPrefiltered: s.Split.RecordsPrefiltered - prev.Split.RecordsPrefiltered,
 		},
 		Stream: StreamSnapshot{
 			Runs:            s.Stream.Runs - prev.Stream.Runs,

@@ -92,6 +92,13 @@ type Config struct {
 	Inject Injector
 	// KeepWhitespace retains whitespace-only text nodes.
 	KeepWhitespace bool
+	// Prefilter controls the raw-byte record prefilter. PrefilterAuto (the
+	// zero value) derives the query's required labels at Run time and skips
+	// records whose bytes cannot contain them all — no parse, no eval —
+	// falling back to a byte-identical normal parse whenever the skim is
+	// unsure. PrefilterOff disables the cascade entirely; results are
+	// identical either way, only Stats.Prefiltered and throughput differ.
+	Prefilter PrefilterMode
 	// Metrics, when non-nil, receives live instrumentation: splitter
 	// counters (Metrics.Split, flushed per record by the RecordReader) and
 	// per-stage timings plus worker occupancy (Metrics.Stream). Evaluation
@@ -122,6 +129,17 @@ type Config struct {
 	Explain bool
 }
 
+// PrefilterMode selects whether the raw-byte record prefilter runs.
+type PrefilterMode uint8
+
+const (
+	// PrefilterAuto enables the prefilter whenever the compiled query
+	// requires at least one label (the default).
+	PrefilterAuto PrefilterMode = iota
+	// PrefilterOff never prefilters; every record is parsed and evaluated.
+	PrefilterOff
+)
+
 // tracing reports whether per-record traces must be assembled: a ring to
 // commit into, or a slow-record callback to feed.
 func (cfg *Config) tracing() bool { return cfg.Trace != nil || cfg.OnSlow != nil }
@@ -146,13 +164,19 @@ type Injector interface {
 
 // Stats aggregates one streaming run.
 type Stats struct {
-	Records   int64 // records evaluated and delivered
-	Nodes     int64 // total nodes across delivered records
-	Matches   int64 // total located nodes
-	Bytes     int64 // input bytes consumed by the XML decoder
-	Skipped   int64 // failed records dropped by the OnRecordError policy
-	TimedOut  int64 // records over RecordTimeout, whether skipped or aborting
-	Recovered int64 // evaluation panics caught and converted to errors
+	Records     int64 // records evaluated and delivered
+	Nodes       int64 // total nodes across delivered records
+	Matches     int64 // total located nodes
+	Bytes       int64 // input bytes consumed by the XML decoder
+	Skipped     int64 // failed records dropped by the OnRecordError policy
+	TimedOut    int64 // records over RecordTimeout, whether skipped or aborting
+	Recovered   int64 // evaluation panics caught and converted to errors
+	Prefiltered int64 // records skipped by the raw-byte prefilter cascade
+	// Lazy-determinization deltas over the run (zero for eagerly compiled
+	// queries; approximate when several runs share one compilation).
+	LazyStates    int64 // lazy-DHA states materialized during the run
+	LazyHits      int64 // lazy transition-cache hits during the run
+	LazyEvictions int64 // lazy transition-cache evictions during the run
 }
 
 // Match is one located node within a record.
@@ -308,12 +332,29 @@ func Run(ctx context.Context, r io.Reader, cq *core.CompiledQuery, cfg Config, y
 		sink = trace.NewEventSink()
 		ropts.Events = sink
 	}
+	if cfg.Prefilter == PrefilterAuto {
+		// NewPrefilter returns nil when the query has no required labels
+		// (e.g. wildcard-only queries), which disables the cascade.
+		ropts.Prefilter = xmlhedge.NewPrefilter(cq.RequiredLabels())
+	}
+	// Lazy-determinization counters live on the shared compilation; deltas
+	// around the run attribute this run's share to its Stats.
+	lz0 := cq.LazyStats()
+	var stats Stats
+	var err error
 	if workers <= 1 {
 		ropts.Ctx = ctx
 		rr := xmlhedge.NewRecordReader(r, ropts)
-		return runSequential(ctx, rr, cq, cfg, ms, sink, yield)
+		stats, err = runSequential(ctx, rr, cq, cfg, ms, sink, yield)
+		stats.Prefiltered = rr.Prefiltered()
+	} else {
+		stats, err = runParallel(ctx, r, ropts, cq, workers, cfg, ms, sink, yield)
 	}
-	return runParallel(ctx, r, ropts, cq, workers, cfg, ms, sink, yield)
+	lzd := cq.LazyStats().Sub(lz0)
+	stats.LazyStates = lzd.StatesBuilt
+	stats.LazyHits = lzd.Hits
+	stats.LazyEvictions = lzd.Evictions
+	return stats, err
 }
 
 // safeEvaluate runs the query over one parsed record with panics contained
@@ -648,6 +689,7 @@ func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions,
 
 	var (
 		bytes    atomic.Int64
+		pre      atomic.Int64
 		errMu    sync.Mutex
 		firstErr error
 	)
@@ -659,11 +701,17 @@ func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions,
 		errMu.Unlock()
 		cancel()
 	}
+	// storeProgress publishes the producer's reader-side counters for the
+	// collector; called at every producer exit path (see prodDone ordering).
+	storeProgress := func() {
+		bytes.Store(rr.InputOffset())
+		pre.Store(rr.Prefiltered())
+	}
 
 	// Producer: split batches of records into recycled batch arenas.
-	// prodDone orders the producer's final bytes.Store before the
-	// collector's bytes.Load — without it the collector could observe a
-	// stale offset when cancellation ends the run mid-Read.
+	// prodDone orders the producer's final storeProgress before the
+	// collector's loads — without it the collector could observe a stale
+	// offset when cancellation ends the run mid-Read.
 	prodDone := make(chan struct{})
 	go pprof.Do(ictx, pprof.Labels("xpe.stage", "stream-split"), func(ictx context.Context) {
 		defer close(prodDone)
@@ -683,7 +731,7 @@ func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions,
 			select {
 			case b = <-free:
 			case <-ictx.Done():
-				bytes.Store(rr.InputOffset())
+				storeProgress()
 				return
 			}
 			b.arena.Reset()
@@ -711,7 +759,7 @@ func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions,
 						} else {
 							free <- b // cap nBatches: never blocks
 						}
-						bytes.Store(rr.InputOffset())
+						storeProgress()
 						return
 					}
 					if pol == nil || !rr.CanRecover() {
@@ -723,7 +771,7 @@ func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions,
 							free <- b
 						}
 						setErr(err)
-						bytes.Store(rr.InputOffset())
+						storeProgress()
 						return
 					}
 					// Recoverable: close out the batch with a tombstone item
@@ -742,18 +790,18 @@ func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions,
 					case d := <-verdict:
 						if d != nil {
 							// The collector aborted with the policy's error.
-							bytes.Store(rr.InputOffset())
+							storeProgress()
 							return
 						}
 					case <-ictx.Done():
-						bytes.Store(rr.InputOffset())
+						storeProgress()
 						return
 					}
 					if rerr := rr.Recover(); rerr != nil {
 						if ictx.Err() == nil {
 							setErr(rerr)
 						}
-						bytes.Store(rr.InputOffset())
+						storeProgress()
 						return
 					}
 					b = nil
@@ -956,6 +1004,7 @@ drained:
 		}
 	}
 	stats.Bytes = bytes.Load()
+	stats.Prefiltered = pre.Load()
 	errMu.Lock()
 	err := firstErr
 	errMu.Unlock()

@@ -1,0 +1,660 @@
+package xmlhedge
+
+// Raw-byte record prefiltering: the runtime half of the prefilter cascade.
+//
+// A compiled query knows a set of element labels every matching record must
+// contain (core.RequiredLabels). Before parsing a record, the reader skims
+// its raw bytes — a structural scan that finds the record's extent without
+// building anything — and searches the extent for each required label. A
+// record missing one cannot produce a match, so it is skipped whole:
+// no node allocation, no evaluation, just one bulk consume.
+//
+// The skim must preserve the reader's observable behavior exactly, so it is
+// deliberately conservative: it only skips a record when the scanned bytes
+// would definitely have parsed cleanly (tag structure, attribute grammar,
+// entities, comments/CDATA/PIs all validated to the tokenizer's rules) and
+// definitely stay inside every configured resource limit. On any doubt —
+// truncation, a lookahead cap, markup the tokenizer would reject, a limit
+// that might trip — the skim consumes nothing and the record parses
+// byte-identically to an unfiltered run. Skipped bytes flow through the
+// normal consume path, so the resynchronization tail window stays exactly
+// as an unfiltered run would have left it.
+//
+// Label presence is a byte search, not a parse: an element with local name
+// L appears in raw XML as `<L` or `<prefix:L` (the tokenizer strips the
+// prefix at the first colon), so L's bytes occur preceded by '<' or ':'
+// (or '/' in its end tag) and followed by a non-name byte. Matches inside
+// comments, CDATA, attribute values, or text are false positives that only
+// prevent a skip — never unsound. The record root's own name is checked
+// directly (its tag is already consumed when the skim runs).
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// prefilterLookahead caps how many bytes the skim will buffer ahead of the
+// parse position before giving up and parsing normally. It bounds the
+// reader's memory against a huge record on a skippable-looking prefix.
+const prefilterLookahead = 1 << 20
+
+// Prefilter is a compiled required-label matcher. A nil *Prefilter (or one
+// built from an empty label set) disables prefiltering.
+type Prefilter struct {
+	labels [][]byte
+	names  []string
+}
+
+// NewPrefilter compiles a prefilter from required element labels. Labels
+// are deduplicated; empty strings are dropped. Returns nil when nothing
+// remains — an empty requirement set can never reject a record.
+func NewPrefilter(labels []string) *Prefilter {
+	seen := make(map[string]bool, len(labels))
+	p := &Prefilter{}
+	for _, l := range labels {
+		if l == "" || seen[l] {
+			continue
+		}
+		seen[l] = true
+		p.names = append(p.names, l)
+		p.labels = append(p.labels, []byte(l))
+	}
+	if len(p.labels) == 0 {
+		return nil
+	}
+	sort.Strings(p.names)
+	return p
+}
+
+// Labels returns the compiled label set, sorted.
+func (p *Prefilter) Labels() []string { return p.names }
+
+// matchedBy reports whether the record could match: every required label is
+// the root's local name or occurs as an element-name byte pattern in body
+// (the record's raw bytes after the root start tag, through its end tag).
+func (p *Prefilter) matchedBy(body []byte, rootName []byte) bool {
+	for _, l := range p.labels {
+		if bytes.Equal(l, rootName) {
+			continue
+		}
+		if !labelInBytes(body, l) {
+			return false
+		}
+	}
+	return true
+}
+
+// labelInBytes searches for label occurring as an element name: preceded by
+// '<' (plain start tag), ':' (namespace-prefixed), or '/' (end tag), and
+// followed by a byte that cannot continue an XML name.
+func labelInBytes(b, label []byte) bool {
+	for i := 0; ; {
+		j := bytes.Index(b[i:], label)
+		if j < 0 {
+			return false
+		}
+		k := i + j
+		end := k + len(label)
+		if k > 0 && end < len(b) &&
+			(b[k-1] == '<' || b[k-1] == ':' || b[k-1] == '/') &&
+			!isNameByte(b[end]) {
+			return true
+		}
+		i = k + 1
+	}
+}
+
+// fillTo tries to ensure at least n unconsumed bytes are buffered, reading
+// more input and growing the buffer as needed, and returns the buffered
+// window (shorter than n when the source is exhausted or erroring). It
+// consumes nothing: the tokenizer resumes exactly where it was, and a
+// relative index into the returned window stays valid across further fills
+// (compaction and growth preserve the unconsumed prefix).
+func (t *tailReader) fillTo(n int) []byte {
+	for t.w-t.r < n && t.rerr == nil {
+		if t.w == len(t.buf) {
+			if t.r > 0 {
+				copy(t.buf, t.buf[t.r:t.w])
+				t.w -= t.r
+				t.r = 0
+			} else {
+				nb := make([]byte, 2*len(t.buf))
+				copy(nb, t.buf[:t.w])
+				t.buf = nb
+			}
+		}
+		m, err := t.src.Read(t.buf[t.w:])
+		t.w += m
+		if err != nil {
+			t.rerr = err
+		}
+	}
+	return t.buf[t.r:t.w]
+}
+
+// skimResult describes a successfully skimmed record: its extent and the
+// structural tallies the caller checks against resource limits.
+type skimResult struct {
+	n        int // bytes from the current position through the closing '>'
+	elems    int // start tags seen, the record root excluded
+	texts    int // gaps and CDATA sections that could each become a text node
+	maxDepth int // deepest open-element nesting, the root counting as 1
+}
+
+// skimmer scans buffered lookahead bytes without consuming them. All
+// positions are relative to the tail reader's current read position (the
+// byte after the record root's start tag).
+type skimmer struct {
+	t   *tailReader
+	max int
+	// stack holds the open elements' raw-name extents as (start, end)
+	// pairs of relative offsets, for end-tag matching. Extents stay valid
+	// across fills because refilling preserves relative positions.
+	stack []int
+}
+
+// byteAt returns the lookahead byte at relative position i, or ok=false at
+// the cap, end of input, or a read error — all of which abort the skim.
+func (s *skimmer) byteAt(i int) (byte, bool) {
+	if i >= s.max {
+		return 0, false
+	}
+	w := s.t.fillTo(i + 1)
+	if i >= len(w) {
+		return 0, false
+	}
+	return w[i], true
+}
+
+// window returns the buffered bytes from relative position i, filling so at
+// least one byte past i is available; ok=false aborts the skim.
+func (s *skimmer) window(i int) ([]byte, bool) {
+	if i >= s.max {
+		return nil, false
+	}
+	w := s.t.fillTo(i + 1)
+	if i >= len(w) {
+		return nil, false
+	}
+	if len(w) > s.max {
+		w = w[:s.max]
+	}
+	return w, true
+}
+
+// skimRecord scans forward from the current position — immediately after a
+// record root's start tag — to the end tag that closes the root, validating
+// structure to the tokenizer's rules along the way. ok=false means "parse
+// normally": the input may be malformed, truncated, or just bigger than the
+// cap; nothing has been consumed either way.
+func (s *skimmer) skimRecord() (res skimResult, ok bool) {
+	depth := 1
+	res.maxDepth = 1
+	i := 0
+	for {
+		// Text run: everything up to the next '<'. A gap containing any
+		// non-whitespace byte may become a text node; entities must be ones
+		// the tokenizer would accept, else it would fail where we'd skip.
+		gapText := false
+	textRun:
+		for {
+			w, ok := s.window(i)
+			if !ok {
+				return res, false
+			}
+			j := bytes.IndexByte(w[i:], '<')
+			segEnd := len(w)
+			if j >= 0 {
+				segEnd = i + j
+			}
+			for k := i; k < segEnd; {
+				// Jump straight to the next entity; the bytes before it only
+				// matter for the text/whitespace distinction, which is settled
+				// after the first non-space byte of the gap.
+				a := bytes.IndexByte(w[k:segEnd], '&')
+				seg := segEnd
+				if a >= 0 {
+					seg = k + a
+				}
+				if !gapText && hasText(w[k:seg]) {
+					gapText = true
+				}
+				k = seg
+				if a < 0 {
+					break
+				}
+				n, valid := validEntityAt(w[k:segEnd])
+				if valid {
+					gapText = true
+					k += n
+					continue
+				}
+				// An entity cannot contain '<' and spans at most 18
+				// bytes, so with a tag boundary or 19+ bytes in view the
+				// verdict is final; otherwise buffer more and rescan.
+				if j >= 0 || segEnd-k >= 19 {
+					return res, false
+				}
+				if _, more := s.byteAt(len(w)); !more {
+					return res, false
+				}
+				continue textRun
+			}
+			i = segEnd
+			if j >= 0 {
+				break
+			}
+		}
+		if gapText {
+			res.texts++
+		}
+		// Markup at i ('<').
+		b, ok := s.byteAt(i + 1)
+		if !ok {
+			return res, false
+		}
+		switch {
+		case b == '/':
+			end, match, ok := s.endTagAt(i + 2)
+			if !ok || !match {
+				return res, false
+			}
+			depth--
+			i = end
+			if depth == 0 {
+				res.n = i
+				return res, true
+			}
+		case b == '!':
+			end, isText, ok := s.bangAt(i + 2)
+			if !ok {
+				return res, false
+			}
+			if isText {
+				res.texts++
+			}
+			i = end
+		case b == '?':
+			end, ok := s.skipToAt(i+2, "?>")
+			if !ok {
+				return res, false
+			}
+			i = end
+		case isNameStart(b):
+			end, selfClose, ok := s.startTagAt(i + 1)
+			if !ok {
+				return res, false
+			}
+			res.elems++
+			// Even a self-closing element occupies depth+1 for the parser's
+			// MaxDepth check, so it counts toward maxDepth either way.
+			if depth+1 > res.maxDepth {
+				res.maxDepth = depth + 1
+			}
+			if !selfClose {
+				depth++
+			}
+			i = end
+		default:
+			return res, false // the tokenizer would reject this too
+		}
+	}
+}
+
+// nameAt consumes XML name bytes starting at i, returning the position of
+// the first non-name byte. The caller has verified i starts a name.
+func (s *skimmer) nameAt(i int) (int, bool) {
+	for {
+		b, ok := s.byteAt(i)
+		if !ok {
+			return 0, false
+		}
+		if !isNameByte(b) {
+			return i, true
+		}
+		i++
+	}
+}
+
+// startTagAt validates a start tag from the first name byte at i through
+// its '>' (or '/>'), applying the tokenizer's attribute grammar exactly:
+// anything it would reject aborts the skim. The raw name extent is pushed
+// for end-tag matching unless the tag self-closes.
+func (s *skimmer) startTagAt(i int) (end int, selfClose bool, ok bool) {
+	nameStart := i
+	i, ok = s.nameAt(i)
+	if !ok {
+		return 0, false, false
+	}
+	nameEnd := i
+	for {
+		b, ok := s.byteAt(i)
+		if !ok {
+			return 0, false, false
+		}
+		switch {
+		case isXMLSpace(b):
+			i++
+			continue
+		case b == '>':
+			s.stack = append(s.stack, nameStart, nameEnd)
+			return i + 1, false, true
+		case b == '/':
+			c, ok := s.byteAt(i + 1)
+			if !ok || c != '>' {
+				return 0, false, false
+			}
+			return i + 2, true, true
+		case !isNameStart(b):
+			return 0, false, false
+		}
+		// Attribute: name, optional spaces, '=', optional spaces, quoted
+		// value — the tokenizer accepts nothing less.
+		if i, ok = s.nameAt(i + 1); !ok {
+			return 0, false, false
+		}
+		for {
+			b, ok := s.byteAt(i)
+			if !ok {
+				return 0, false, false
+			}
+			if !isXMLSpace(b) {
+				break
+			}
+			i++
+		}
+		if b, ok := s.byteAt(i); !ok || b != '=' {
+			return 0, false, false
+		}
+		i++
+		for {
+			b, ok := s.byteAt(i)
+			if !ok {
+				return 0, false, false
+			}
+			if !isXMLSpace(b) {
+				break
+			}
+			i++
+		}
+		q, ok := s.byteAt(i)
+		if !ok || (q != '\'' && q != '"') {
+			return 0, false, false
+		}
+		i++
+		for {
+			b, ok := s.byteAt(i)
+			if !ok {
+				return 0, false, false
+			}
+			i++
+			if b == q {
+				break
+			}
+		}
+	}
+}
+
+// endTagAt validates an end tag from the first name byte at i through its
+// '>', and matches the raw name against the innermost open start tag — a
+// mismatch would fail the real parse, so it aborts the skim.
+func (s *skimmer) endTagAt(i int) (end int, match, ok bool) {
+	b, ok := s.byteAt(i)
+	if !ok || !isNameStart(b) {
+		return 0, false, false
+	}
+	nameStart := i
+	i, ok = s.nameAt(i)
+	if !ok {
+		return 0, false, false
+	}
+	nameEnd := i
+	for {
+		b, ok := s.byteAt(i)
+		if !ok {
+			return 0, false, false
+		}
+		if !isXMLSpace(b) {
+			if b != '>' {
+				return 0, false, false
+			}
+			break
+		}
+		i++
+	}
+	if len(s.stack) == 0 {
+		// The record root's name is not on the skim stack: depth 1 closing
+		// means this end tag is the root's, already matched by the caller's
+		// tokenizer state. Structural validity is all that's needed here.
+		return i + 1, true, true
+	}
+	ns, ne := s.stack[len(s.stack)-2], s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-2]
+	w := s.t.buf[s.t.r:s.t.w]
+	if !bytes.Equal(w[ns:ne], w[nameStart:nameEnd]) {
+		return 0, false, false
+	}
+	return i + 1, true, true
+}
+
+// bangAt handles "<!" at relative position i (first byte after the '!'):
+// comments and CDATA sections are skipped to their terminators; CDATA
+// counts as potential text. Directives inside a record are rare and
+// DOCTYPE-shaped ones need nesting rules, so they abort the skim.
+func (s *skimmer) bangAt(i int) (end int, isText, ok bool) {
+	b, ok := s.byteAt(i)
+	if !ok {
+		return 0, false, false
+	}
+	switch b {
+	case '-':
+		c, ok := s.byteAt(i + 1)
+		if !ok || c != '-' {
+			return 0, false, false
+		}
+		end, ok = s.skipToAt(i+2, "-->")
+		return end, false, ok
+	case '[':
+		for k, c := range []byte("CDATA[") {
+			d, ok := s.byteAt(i + 1 + k)
+			if !ok || d != c {
+				return 0, false, false
+			}
+		}
+		end, ok = s.skipToAt(i+7, "]]>")
+		return end, true, ok
+	default:
+		return 0, false, false
+	}
+}
+
+// skipToAt advances past the next occurrence of pat (2-3 bytes), returning
+// the position just after it, via a sliding window so overlapping
+// occurrences ("--->") are not missed.
+func (s *skimmer) skipToAt(i int, pat string) (int, bool) {
+	var w [3]byte
+	n := 0
+	for {
+		b, ok := s.byteAt(i)
+		if !ok {
+			return 0, false
+		}
+		i++
+		if n < len(w) {
+			w[n] = b
+			n++
+		} else {
+			w[0], w[1], w[2] = w[1], w[2], b
+		}
+		if n >= len(pat) && string(w[n-len(pat):n]) == pat {
+			return i, true
+		}
+	}
+}
+
+// hasText reports whether b contains any byte that is not XML whitespace.
+func hasText(b []byte) bool {
+	for _, c := range b {
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			return true
+		}
+	}
+	return false
+}
+
+// validEntityAt checks whether b starts with a complete entity the
+// tokenizer would accept ('&' at b[0]), returning its total byte length.
+// It mirrors the tokenizer's rules exactly: the five predefined names and
+// numeric character references within the rune range, at most 16 bytes
+// between '&' and ';'.
+func validEntityAt(b []byte) (n int, ok bool) {
+	end := -1
+	for i := 1; i < len(b) && i <= 17; i++ {
+		if b[i] == ';' {
+			end = i
+			break
+		}
+		if !(b[i] == '#' || isNameByte(b[i])) {
+			return 0, false
+		}
+	}
+	if end < 2 {
+		return 0, false
+	}
+	ent := b[1:end]
+	if ent[0] == '#' {
+		digits := ent[1:]
+		hex := false
+		if len(digits) > 0 && (digits[0] == 'x' || digits[0] == 'X') {
+			hex, digits = true, digits[1:]
+		}
+		if len(digits) == 0 {
+			return 0, false
+		}
+		var r int64
+		for _, d := range digits {
+			var v int64
+			switch {
+			case d >= '0' && d <= '9':
+				v = int64(d - '0')
+			case hex && d >= 'a' && d <= 'f':
+				v = int64(d-'a') + 10
+			case hex && d >= 'A' && d <= 'F':
+				v = int64(d-'A') + 10
+			default:
+				return 0, false
+			}
+			base := int64(10)
+			if hex {
+				base = 16
+			}
+			if r = r*base + v; r > 0x10FFFF {
+				return 0, false
+			}
+		}
+		return end + 1, true
+	}
+	switch string(ent) {
+	case "lt", "gt", "amp", "apos", "quot":
+		return end + 1, true
+	}
+	return 0, false
+}
+
+// tryPrefilter runs the prefilter cascade on the record whose root start
+// tag the tokenizer just consumed. It returns true when the record was
+// skipped (bytes consumed, slot burned, counters bumped) and false when the
+// record must be parsed — in which case nothing was consumed and the parse
+// proceeds byte-identically to an unfiltered run.
+func (rr *RecordReader) tryPrefilter(startOff int64) bool {
+	pf := rr.opts.Prefilter
+	tk := rr.tk
+	if tk.selfClose {
+		// The record is exactly its root element; the only label present is
+		// the root's name.
+		if pf.matchedBy(nil, tk.name) {
+			return false
+		}
+		tk.selfClose = false
+		tk.pop()
+		rr.recordPrefiltered(startOff, tk.off()-startOff)
+		return true
+	}
+	max := prefilterLookahead
+	if mb := rr.opts.MaxBytes; mb > 0 {
+		// Only skip records that provably fit the per-record byte budget;
+		// an over-budget record must fail the normal way.
+		rem := mb - (tk.off() - startOff)
+		if rem <= 0 {
+			return false
+		}
+		if int64(max) > rem {
+			max = int(rem)
+		}
+	}
+	sk := skimmer{t: rr.tr, max: max, stack: rr.skimStack[:0]}
+	res, ok := sk.skimRecord()
+	rr.skimStack = sk.stack[:0]
+	if !ok {
+		return false
+	}
+	// Resource limits: a record that might trip one must parse normally so
+	// the limit error (and its recovery) surface exactly as unfiltered.
+	// elems+texts is an upper bound on node count, so clearing it here
+	// guarantees the real parse would have finished.
+	if d := rr.opts.MaxDepth; d > 0 && res.maxDepth > d {
+		return false
+	}
+	if n := rr.opts.MaxNodes; n > 0 && 1+res.elems+res.texts > n {
+		return false
+	}
+	if sb := rr.opts.MaxStreamBytes; sb > 0 && tk.off()+int64(res.n) > sb {
+		return false
+	}
+	body := rr.tr.buf[rr.tr.r : rr.tr.r+res.n]
+	if pf.matchedBy(body, tk.name) {
+		return false
+	}
+	// Skip: account skipped lines for later error positions, consume the
+	// record's bytes through the normal path (keeping the resync tail
+	// window exactly as a parse would), pop the root, burn the slot.
+	tk.line += countLines(body)
+	rr.tr.consume(res.n)
+	tk.pop()
+	rr.recordPrefiltered(startOff, int64(res.n))
+	return true
+}
+
+// recordPrefiltered accounts one record skipped by the prefilter: trace
+// event, metrics counter, and the record's index and sibling slot (skipped
+// records leave numbering gaps exactly like failed ones).
+func (rr *RecordReader) recordPrefiltered(startOff, n int64) {
+	if s := rr.opts.Events; s.Enabled() {
+		s.Emit("prefilter", fmt.Sprintf("record %d skipped by prefilter at byte %d (%d bytes)",
+			rr.idx, startOff, n))
+	}
+	if m := rr.opts.Metrics; m != nil {
+		m.RecordsPrefiltered.Inc()
+	}
+	rr.prefiltered++
+	rr.consumeSlot()
+}
+
+// countLines counts line endings the tokenizer would have counted in the
+// skipped bytes ("\r\n" and "\r" normalize to one line each), keeping later
+// error line numbers aligned with an unfiltered parse.
+func countLines(b []byte) int {
+	n := bytes.Count(b, []byte{'\n'})
+	for i := 0; ; {
+		j := bytes.IndexByte(b[i:], '\r')
+		if j < 0 {
+			return n
+		}
+		k := i + j
+		if k+1 >= len(b) || b[k+1] != '\n' {
+			n++
+		}
+		i = k + 1
+	}
+}

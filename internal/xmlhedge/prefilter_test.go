@@ -1,0 +1,622 @@
+package xmlhedge
+
+import (
+	"errors"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+
+	"xpe/internal/hedge"
+	"xpe/internal/metrics"
+	"xpe/internal/trace"
+)
+
+func TestNewPrefilter(t *testing.T) {
+	if p := NewPrefilter(nil); p != nil {
+		t.Errorf("NewPrefilter(nil) = %v, want nil", p)
+	}
+	if p := NewPrefilter([]string{"", ""}); p != nil {
+		t.Errorf("NewPrefilter of empties = %v, want nil", p)
+	}
+	p := NewPrefilter([]string{"b", "a", "b", ""})
+	if p == nil {
+		t.Fatal("NewPrefilter returned nil for a real label set")
+	}
+	if got := p.Labels(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Labels() = %v, want [a b]", got)
+	}
+}
+
+func TestLabelInBytes(t *testing.T) {
+	cases := []struct {
+		body  string
+		label string
+		want  bool
+	}{
+		{"<price>1</price>", "price", true},
+		{"<ns:price>1</ns:price>", "price", true}, // prefix stripped at parse
+		{"</price>", "price", true},
+		{"<priceList/>", "price", false},   // name continues
+		{"<aprice/>", "price", false},      // not at a name boundary
+		{"price", "price", false},          // bare text at offset 0
+		{"x price y", "price", false},      // text occurrence
+		{"<x a='price'/>", "price", false}, // attribute value (no boundary)
+		{"<x>price</x><price/>", "price", true},
+		{"", "price", false},
+	}
+	for _, c := range cases {
+		if got := labelInBytes([]byte(c.body), []byte(c.label)); got != c.want {
+			t.Errorf("labelInBytes(%q, %q) = %v, want %v", c.body, c.label, got, c.want)
+		}
+	}
+}
+
+// hedgeHasLabel force-evaluates the prefilter's claim on a parsed record:
+// does any element in the hedge carry the label?
+func hedgeHasLabel(h hedge.Hedge, label string) bool {
+	var walk func(n *hedge.Node) bool
+	walk = func(n *hedge.Node) bool {
+		if n.Kind == hedge.Elem && n.Name == label {
+			return true
+		}
+		for _, c := range n.Children {
+			if walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, n := range h {
+		if walk(n) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPrefilterSkipsNonMatching(t *testing.T) {
+	input := `<feed>` +
+		`<e><price>1</price></e>` +
+		`<e><name>x</name></e>` +
+		`<e><a><price>2</price></a></e>` +
+		`<e>plain text</e>` +
+		`</feed>`
+	var sink metrics.Split
+	opts := RecordOptions{
+		Prefilter: NewPrefilter([]string{"price"}),
+		Metrics:   &sink,
+	}
+	rr := NewRecordReader(strings.NewReader(input), opts)
+	var recs []Record
+	for {
+		rec, err := rr.Read(nil)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2 (two skipped)", len(recs))
+	}
+	// Skipped records burn their indices and sibling slots.
+	if recs[0].Index != 0 || recs[1].Index != 2 {
+		t.Errorf("indices = %d,%d, want 0,2", recs[0].Index, recs[1].Index)
+	}
+	want0, want2 := hedge.Path{0, 0}, hedge.Path{0, 2}
+	if recs[0].Path.String() != want0.String() || recs[1].Path.String() != want2.String() {
+		t.Errorf("paths = %s,%s, want %s,%s", recs[0].Path, recs[1].Path, want0, want2)
+	}
+	if got := rr.Prefiltered(); got != 2 {
+		t.Errorf("Prefiltered() = %d, want 2", got)
+	}
+	s := sink.Snapshot()
+	if s.RecordsPrefiltered != 2 {
+		t.Errorf("records_prefiltered = %d, want 2", s.RecordsPrefiltered)
+	}
+	if s.Records != 2 {
+		t.Errorf("records = %d, want 2 (skipped records are not parsed)", s.Records)
+	}
+	// All input bytes flow through consume either way.
+	if s.Bytes != int64(len(input)) {
+		t.Errorf("bytes = %d, want %d", s.Bytes, len(input))
+	}
+}
+
+func TestPrefilterRootNameCounts(t *testing.T) {
+	// The required label is the record root itself: nothing may be skipped.
+	input := `<feed><price/><price>x</price></feed>`
+	rr := NewRecordReader(strings.NewReader(input),
+		RecordOptions{Prefilter: NewPrefilter([]string{"price"})})
+	n := 0
+	for {
+		_, err := rr.Read(nil)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 2 || rr.Prefiltered() != 0 {
+		t.Fatalf("records = %d (skipped %d), want 2 delivered, 0 skipped", n, rr.Prefiltered())
+	}
+}
+
+func TestPrefilterSelfCloseRoot(t *testing.T) {
+	input := `<feed><e/><e><price/></e><e attr="price"/></feed>`
+	rr := NewRecordReader(strings.NewReader(input),
+		RecordOptions{Prefilter: NewPrefilter([]string{"price"})})
+	var recs []Record
+	for {
+		rec, err := rr.Read(nil)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 1 || recs[0].Index != 1 {
+		t.Fatalf("records = %v, want only index 1", recs)
+	}
+	if rr.Prefiltered() != 2 {
+		t.Fatalf("Prefiltered() = %d, want 2 (both self-closing roots)", rr.Prefiltered())
+	}
+}
+
+func TestPrefilterNamespacePrefix(t *testing.T) {
+	// The tokenizer strips namespace prefixes, so <ns:price> satisfies the
+	// required label "price" and the skim must agree.
+	input := `<feed><e><ns:price>1</ns:price></e><e><ns:other/></e></feed>`
+	rr := NewRecordReader(strings.NewReader(input),
+		RecordOptions{Prefilter: NewPrefilter([]string{"price"})})
+	var recs []Record
+	for {
+		rec, err := rr.Read(nil)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 1 || recs[0].Index != 0 {
+		t.Fatalf("records = %d, want the prefixed-price record only", len(recs))
+	}
+	if !hedgeHasLabel(recs[0].Hedge, "price") {
+		t.Fatalf("delivered record lacks price: %s", recs[0].Hedge)
+	}
+}
+
+func TestPrefilterDecoysPreventSkipOnly(t *testing.T) {
+	// The label appears only in a comment, a CDATA section, and an attribute
+	// value: false positives that must prevent the skip (delivering the
+	// record) — never the other way around.
+	input := `<feed>` +
+		`<e><!-- <price/> --><x/></e>` +
+		`<e><![CDATA[<price/>]]></e>` +
+		`<e><x a="<price/>"/></e>` +
+		`<e><y/></e>` +
+		`</feed>`
+	rr := NewRecordReader(strings.NewReader(input),
+		RecordOptions{Prefilter: NewPrefilter([]string{"price"})})
+	var idx []int
+	for {
+		rec, err := rr.Read(nil)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx = append(idx, rec.Index)
+	}
+	// Records 0-2 carry decoy occurrences (delivered, conservatively);
+	// record 3 is clean of the label and must be skipped.
+	if len(idx) != 3 || idx[0] != 0 || idx[1] != 1 || idx[2] != 2 {
+		t.Fatalf("delivered indices = %v, want [0 1 2]", idx)
+	}
+	if rr.Prefiltered() != 1 {
+		t.Fatalf("Prefiltered() = %d, want 1", rr.Prefiltered())
+	}
+}
+
+func TestPrefilterInvalidEntityParsesNormally(t *testing.T) {
+	// The record lacks the label but contains an entity the tokenizer
+	// rejects: the skim must not skip it, so the parse error surfaces
+	// exactly as without a prefilter.
+	input := `<feed><e>&bogus;</e><e><price/></e></feed>`
+	for _, pf := range []*Prefilter{nil, NewPrefilter([]string{"price"})} {
+		rr := NewRecordReader(strings.NewReader(input), RecordOptions{Split: "e", Prefilter: pf})
+		_, err := rr.Read(nil)
+		if err == nil || err == io.EOF {
+			t.Fatalf("prefilter=%v: err = %v, want entity syntax error", pf != nil, err)
+		}
+		if !rr.CanRecover() {
+			t.Fatalf("prefilter=%v: entity error not recoverable under a named split", pf != nil)
+		}
+		if rerr := rr.Recover(); rerr != nil {
+			t.Fatal(rerr)
+		}
+		rec, err := rr.Read(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Index != 1 || !hedgeHasLabel(rec.Hedge, "price") {
+			t.Fatalf("prefilter=%v: recovered record = %d %s", pf != nil, rec.Index, rec.Hedge)
+		}
+	}
+}
+
+func TestPrefilterValidEntitiesSkip(t *testing.T) {
+	// Valid entities in a label-free record do not spook the skim.
+	input := `<feed><e>a &lt; b &#65; &#x41; &amp;</e><e><price/></e></feed>`
+	rr := NewRecordReader(strings.NewReader(input),
+		RecordOptions{Prefilter: NewPrefilter([]string{"price"})})
+	rec, err := rr.Read(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Index != 1 || rr.Prefiltered() != 1 {
+		t.Fatalf("record %d, skipped %d; want record 1 after 1 skip", rec.Index, rr.Prefiltered())
+	}
+}
+
+func TestPrefilterRespectsLimits(t *testing.T) {
+	// A label-free record that exceeds MaxNodes must fail like an unfiltered
+	// run — a silent skip would hide the limit violation.
+	input := `<feed><e><a/><b/><c/><d/></e></feed>`
+	rr := NewRecordReader(strings.NewReader(input),
+		RecordOptions{MaxNodes: 3, Prefilter: NewPrefilter([]string{"price"})})
+	_, err := rr.Read(nil)
+	var le *LimitError
+	if !errors.As(err, &le) || le.Kind != "nodes" {
+		t.Fatalf("err = %v, want nodes LimitError despite the prefilter", err)
+	}
+
+	// Same for MaxDepth.
+	rr = NewRecordReader(strings.NewReader(`<feed><e><a><b/></a></e></feed>`),
+		RecordOptions{MaxDepth: 2, Prefilter: NewPrefilter([]string{"price"})})
+	_, err = rr.Read(nil)
+	if !errors.As(err, &le) || le.Kind != "depth" {
+		t.Fatalf("err = %v, want depth LimitError despite the prefilter", err)
+	}
+
+	// And MaxBytes.
+	big := `<feed><e>` + strings.Repeat("<pad>xxxx</pad>", 64) + `</e></feed>`
+	rr = NewRecordReader(strings.NewReader(big),
+		RecordOptions{Split: "e", MaxBytes: 128, Prefilter: NewPrefilter([]string{"price"})})
+	_, err = rr.Read(nil)
+	if !errors.As(err, &le) || le.Kind != "bytes" {
+		t.Fatalf("err = %v, want bytes LimitError despite the prefilter", err)
+	}
+
+	// Within the limits the skip happens.
+	rr = NewRecordReader(strings.NewReader(`<feed><e><a/></e><e><price/></e></feed>`),
+		RecordOptions{MaxNodes: 10, MaxDepth: 10, MaxBytes: 1 << 16,
+			Prefilter: NewPrefilter([]string{"price"})})
+	rec, rerr := rr.Read(nil)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if rec.Index != 1 || rr.Prefiltered() != 1 {
+		t.Fatalf("record %d, skipped %d; want record 1 after 1 skip", rec.Index, rr.Prefiltered())
+	}
+}
+
+func TestPrefilterLargeRecordGrowsLookahead(t *testing.T) {
+	// A skippable record far larger than the reader's 4 KiB buffer: the
+	// lookahead must grow to hold it, and everything after it must parse
+	// intact.
+	var b strings.Builder
+	b.WriteString("<feed><e>")
+	for i := 0; i < 2000; i++ {
+		b.WriteString("<row>some text content here</row>")
+	}
+	b.WriteString("</e><e><price>1</price></e></feed>")
+	rr := NewRecordReader(strings.NewReader(b.String()),
+		RecordOptions{Prefilter: NewPrefilter([]string{"price"})})
+	rec, err := rr.Read(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Index != 1 || rr.Prefiltered() != 1 {
+		t.Fatalf("record %d, skipped %d; want record 1 after skipping the big record", rec.Index, rr.Prefiltered())
+	}
+	if _, err := rr.Read(nil); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestPrefilterLookaheadCapParsesNormally(t *testing.T) {
+	// A record bigger than the lookahead cap is parsed, not skipped: the
+	// prefilter bounds its own memory, never correctness.
+	var b strings.Builder
+	b.WriteString("<feed><e>")
+	row := "<row>" + strings.Repeat("x", 1024) + "</row>"
+	for i := 0; i < (prefilterLookahead/len(row))+4; i++ {
+		b.WriteString(row)
+	}
+	b.WriteString("</e></feed>")
+	rr := NewRecordReader(strings.NewReader(b.String()),
+		RecordOptions{Prefilter: NewPrefilter([]string{"price"})})
+	rec, err := rr.Read(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Prefiltered() != 0 {
+		t.Fatalf("Prefiltered() = %d, want 0 (over the lookahead cap)", rr.Prefiltered())
+	}
+	if rec.Nodes < prefilterLookahead/len(row) {
+		t.Fatalf("big record came back with %d nodes", rec.Nodes)
+	}
+}
+
+func TestPrefilterResyncAfterSkip(t *testing.T) {
+	// Chaos interplay: a skip immediately before a malformed record. The
+	// skipped bytes must have flowed through the tail window so the resync
+	// scan can re-anchor, and no healthy record may be lost or renumbered.
+	doc := `<f>` +
+		`<r><id>0</id><price/></r>` + // delivered
+		`<r><id>1</id><x/></r>` + // skipped by prefilter
+		`<r><id>2</id><price/><a></b></r>` + // malformed: resync
+		`<r><id>3</id><price/></r>` + // delivered (degraded mode)
+		`<r><id>4</id></r>` + // delivered: prefiltering is off while degraded
+		`<r><id>5</id><price/></r>` + // delivered
+		`</f>`
+	sink := trace.NewEventSink()
+	rr := NewRecordReader(strings.NewReader(doc),
+		RecordOptions{Split: "r", Prefilter: NewPrefilter([]string{"price"}), Events: sink})
+	recs, fails, terminal := readAllSkip(t, rr)
+	if terminal != nil {
+		t.Fatalf("terminal error: %v", terminal)
+	}
+	if len(fails) != 1 {
+		t.Fatalf("failures = %d, want 1: %v", len(fails), fails)
+	}
+	var rpe *RecordParseError
+	if !errors.As(fails[0], &rpe) || rpe.Index != 2 {
+		t.Fatalf("failure = %v, want RecordParseError for record 2", fails[0])
+	}
+	got := ids(recs)
+	want := []string{"0", "3", "4", "5"}
+	if len(got) != len(want) {
+		t.Fatalf("ids = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", got, want)
+		}
+	}
+	for i, idx := range []int{0, 3, 4, 5} {
+		if recs[i].Index != idx {
+			t.Fatalf("record %d index = %d, want %d", i, recs[i].Index, idx)
+		}
+	}
+	var pfEvents int
+	for _, e := range sink.Drain() {
+		if e.Name == "prefilter" {
+			pfEvents++
+		}
+	}
+	if int64(pfEvents) != rr.Prefiltered() {
+		t.Fatalf("prefilter events = %d, counter = %d", pfEvents, rr.Prefiltered())
+	}
+	if rr.Prefiltered() < 1 {
+		t.Fatalf("Prefiltered() = %d, want at least the pre-resync skip", rr.Prefiltered())
+	}
+}
+
+// runSplitDiff drains the same input through an unfiltered and a filtered
+// reader and checks the differential contract: the filtered reader delivers
+// a subset of the unfiltered records (identical index, path, and hedge),
+// every dropped record provably lacks a required label, every failure and
+// the terminal outcome agree exactly, and both consume the whole input.
+func runSplitDiff(t *testing.T, input string, opts RecordOptions, labels []string) {
+	t.Helper()
+	type outcome struct {
+		recs  []Record
+		fails []string
+		term  string
+		off   int64
+		pre   int64
+	}
+	run := func(pf *Prefilter) outcome {
+		o := opts
+		o.Prefilter = pf
+		rr := NewRecordReader(strings.NewReader(input), o)
+		var out outcome
+		for i := 0; i < 1<<14; i++ {
+			rec, err := rr.Read(nil)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !rr.CanRecover() {
+					out.term = err.Error()
+					break
+				}
+				out.fails = append(out.fails, err.Error())
+				if rerr := rr.Recover(); rerr != nil {
+					out.term = rerr.Error()
+					break
+				}
+				continue
+			}
+			out.recs = append(out.recs, rec)
+		}
+		out.off = rr.InputOffset()
+		out.pre = rr.Prefiltered()
+		return out
+	}
+	plain := run(nil)
+	filt := run(NewPrefilter(labels))
+
+	if plain.term != filt.term {
+		t.Fatalf("terminal outcomes diverge:\nplain: %q\nfilt:  %q", plain.term, filt.term)
+	}
+	if len(plain.fails) != len(filt.fails) {
+		t.Fatalf("failure counts diverge: plain %v, filtered %v", plain.fails, filt.fails)
+	}
+	for i := range plain.fails {
+		if plain.fails[i] != filt.fails[i] {
+			t.Fatalf("failure %d diverges:\nplain: %q\nfilt:  %q", i, plain.fails[i], filt.fails[i])
+		}
+	}
+	byIndex := make(map[int]Record, len(plain.recs))
+	for _, r := range plain.recs {
+		byIndex[r.Index] = r
+	}
+	seen := make(map[int]bool, len(filt.recs))
+	for _, r := range filt.recs {
+		p, ok := byIndex[r.Index]
+		if !ok {
+			t.Fatalf("filtered delivered record %d the plain run never produced", r.Index)
+		}
+		seen[r.Index] = true
+		if p.Path.String() != r.Path.String() || !p.Hedge.Equal(r.Hedge) || p.Nodes != r.Nodes {
+			t.Fatalf("record %d diverges: plain %s %s, filtered %s %s",
+				r.Index, p.Path, p.Hedge, r.Path, r.Hedge)
+		}
+	}
+	dropped := 0
+	for _, p := range plain.recs {
+		if seen[p.Index] {
+			continue
+		}
+		dropped++
+		missing := false
+		for _, l := range labels {
+			if !hedgeHasLabel(p.Hedge, l) {
+				missing = true
+				break
+			}
+		}
+		if !missing {
+			t.Fatalf("record %d was skipped but contains every required label %v: %s",
+				p.Index, labels, p.Hedge)
+		}
+	}
+	if int64(dropped) != filt.pre {
+		t.Fatalf("dropped %d records but Prefiltered() = %d", dropped, filt.pre)
+	}
+	if plain.term == "" && plain.off != filt.off {
+		t.Fatalf("input offsets diverge: plain %d, filtered %d", plain.off, filt.off)
+	}
+}
+
+func TestPrefilterDifferentialCorpus(t *testing.T) {
+	labels := []string{"price"}
+	corpus := []struct {
+		name, input string
+		opts        RecordOptions
+	}{
+		{"mixed", `<f><e><price>1</price></e><e><x/></e><e><a><price/></a></e></f>`, RecordOptions{}},
+		{"named-split", `<db><g><item><price/></item><item><x/></item></g><item/></db>`, RecordOptions{Split: "item"}},
+		{"self-close", `<f><e/><e><price/></e><e/></f>`, RecordOptions{}},
+		{"comments", `<f><e><!--price--><x/></e><e><price/><!--x--></e></f>`, RecordOptions{}},
+		{"cdata", `<f><e><![CDATA[<price/>]]></e><e><price/></e></f>`, RecordOptions{}},
+		{"entities", `<f><e>&amp;&lt;&#65;</e><e><price>&gt;</price></e></f>`, RecordOptions{}},
+		{"bad-entity", `<f><e>&nope;</e><e><price/></e></f>`, RecordOptions{Split: "e"}},
+		{"attrs", `<f><e a="price" b='<price>'><x/></e><e c="1"><price/></e></f>`, RecordOptions{}},
+		{"prefixes", `<f><e><ns:price/></e><e><ns:x/></e></f>`, RecordOptions{}},
+		{"malformed-mid", `<f><e><x/></e><e><a></b></e><e><price/></e></f>`, RecordOptions{Split: "e"}},
+		{"truncated", `<f><e><x/></e><e><price>`, RecordOptions{Split: "e"}},
+		{"limits", `<f><e><a/><b/><c/><d/></e><e><price/></e></f>`, RecordOptions{MaxNodes: 4}},
+		{"depth-limit", `<f><e><a><b><c/></b></a></e><e><price/></e></f>`, RecordOptions{MaxDepth: 3}},
+		{"whitespace", "<f>\n  <e>\n    <x/>\n  </e>\n  <e><price/></e>\n</f>", RecordOptions{}},
+		{"keep-ws", "<f><e> <x/> </e><e><price/></e></f>", RecordOptions{KeepWhitespace: true}},
+		{"pi-doctype", `<?xml version="1.0"?><f><e><?pi data?><x/></e><e><price/></e></f>`, RecordOptions{}},
+		{"text-between", `<db>text<item><x/></item>more<item><price/></item></db>`, RecordOptions{Split: "item"}},
+		{"nested-split", `<db><item><item><price/></item></item></db>`, RecordOptions{Split: "item"}},
+	}
+	for _, c := range corpus {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			runSplitDiff(t, c.input, c.opts, labels)
+		})
+	}
+}
+
+// FuzzPrefilterDifferential holds the prefiltered reader to the unfiltered
+// reader's observable behavior on arbitrary input: identical failures and
+// terminal outcome, identical surviving records, and only label-free
+// records skipped.
+func FuzzPrefilterDifferential(f *testing.F) {
+	f.Add(`<f><e><price/></e><e><x/></e></f>`, "", "price", 0, 0)
+	f.Add(`<f><r><a/></r><r><a></b></r><r><price/></r></f>`, "r", "price", 0, 0)
+	f.Add(`<f><e>&#65;&bad;</e><e><price/></e></f>`, "e", "price", 0, 0)
+	f.Add(`<f><e><a/><b/><c/></e></f>`, "", "price", 3, 0)
+	f.Add(`<f><e><!--<price/>--></e></f>`, "", "price", 0, 4)
+	f.Add(`<f><e><ns:price a="x"/></e><e/></f>`, "", "price,name", 0, 0)
+	f.Fuzz(func(t *testing.T, xmlStr, split, labelsCSV string, maxNodes, maxDepth int) {
+		if maxNodes < 0 || maxNodes > 1<<12 || maxDepth < 0 || maxDepth > 1<<8 {
+			return
+		}
+		if len(xmlStr) > 1<<16 || len(split) > 32 || len(labelsCSV) > 64 {
+			return
+		}
+		var labels []string
+		for _, l := range strings.Split(labelsCSV, ",") {
+			if l != "" {
+				labels = append(labels, l)
+			}
+		}
+		if len(labels) == 0 {
+			return
+		}
+		opts := RecordOptions{Split: split, MaxNodes: maxNodes, MaxDepth: maxDepth}
+		runSplitDiff(t, xmlStr, opts, labels)
+	})
+}
+
+// TestPrefilterManyRecords pushes enough skips through one reader to cross
+// several buffer refills and exercise slot accounting at scale.
+func TestPrefilterManyRecords(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("<feed>")
+	var wantIdx []int
+	for i := 0; i < 500; i++ {
+		if i%7 == 0 {
+			b.WriteString("<e><id>" + strconv.Itoa(i) + "</id><price>1</price></e>")
+			wantIdx = append(wantIdx, i)
+		} else {
+			b.WriteString("<e><id>" + strconv.Itoa(i) + "</id><other/></e>")
+		}
+	}
+	b.WriteString("</feed>")
+	rr := NewRecordReader(strings.NewReader(b.String()),
+		RecordOptions{Prefilter: NewPrefilter([]string{"price"})})
+	var got []int
+	for {
+		rec, err := rr.Read(nil)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rec.Index)
+		if want := (hedge.Path{0, rec.Index}); rec.Path.String() != want.String() {
+			t.Fatalf("record %d path = %s, want %s", rec.Index, rec.Path, want)
+		}
+	}
+	if len(got) != len(wantIdx) {
+		t.Fatalf("delivered %d records, want %d", len(got), len(wantIdx))
+	}
+	for i := range wantIdx {
+		if got[i] != wantIdx[i] {
+			t.Fatalf("indices = %v..., want %v...", got[:i+1], wantIdx[:i+1])
+		}
+	}
+	if rr.Prefiltered() != int64(500-len(wantIdx)) {
+		t.Fatalf("Prefiltered() = %d, want %d", rr.Prefiltered(), 500-len(wantIdx))
+	}
+}

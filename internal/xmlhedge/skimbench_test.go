@@ -1,0 +1,52 @@
+package xmlhedge
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Benchmarks pinning the skim's advantage over a full parse on the feed
+// shape the prefilter cascade targets: text-heavy records that contain
+// none of the required labels. The skim's text path is a memchr-driven
+// scan, so its MB/s should stay a small multiple of the tokenizer's —
+// if these two converge, the cascade stops paying for itself.
+
+func benchSparseFeed(n int) string {
+	var b strings.Builder
+	b.WriteString("<corpus>")
+	for i := 0; i < n; i++ {
+		b.WriteString("<doc>")
+		for j := 0; j < 24; j++ {
+			fmt.Fprintf(&b, "<para>record %d paragraph %d: plain prose with no matching structure, "+
+				"just enough text that skimming beats parsing &amp; node building.</para>", i, j)
+		}
+		b.WriteString("</doc>")
+	}
+	b.WriteString("</corpus>")
+	return b.String()
+}
+
+func benchSplit(b *testing.B, opts RecordOptions) {
+	input := benchSparseFeed(200)
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rr := NewRecordReader(strings.NewReader(input), opts)
+		var a Arena
+		for {
+			a.Reset()
+			if _, err := rr.Read(&a); err != nil {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkSplitNoPrefilter(b *testing.B) {
+	benchSplit(b, RecordOptions{})
+}
+
+func BenchmarkSplitPrefilter(b *testing.B) {
+	benchSplit(b, RecordOptions{Prefilter: NewPrefilter([]string{"section"})})
+}

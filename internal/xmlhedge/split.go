@@ -39,6 +39,14 @@ type RecordOptions struct {
 	MaxStreamBytes int64
 	// KeepWhitespace retains whitespace-only text nodes (see Options).
 	KeepWhitespace bool
+	// Prefilter, when non-nil, is checked against each record's raw bytes
+	// before parsing: a record that cannot contain every required label is
+	// skipped whole — no parse, no nodes, one bulk consume — and burns its
+	// index and sibling slot like a failed record. The skim is conservative
+	// (see prefilter.go): any record it is unsure about parses normally,
+	// byte-identically to an unfiltered run. Prefiltering is suspended in
+	// degraded (post-resync) mode.
+	Prefilter *Prefilter
 	// Ctx, when non-nil, is polled every few hundred decoder tokens, so a
 	// cancellation interrupts the splitter even in the middle of a huge
 	// record. The poll costs one counter increment per token.
@@ -310,6 +318,11 @@ type RecordReader struct {
 	polls    int        // tokens since the reader started; drives poll sampling
 	// flushedBytes is the input offset already flushed to opts.Metrics.
 	flushedBytes int64
+	// skimStack is the prefilter skim's reusable open-tag extent stack.
+	skimStack []int
+	// prefiltered counts records skipped by the prefilter over the reader's
+	// lifetime.
+	prefiltered int64
 }
 
 // NewRecordReader starts splitting r under the given options.
@@ -329,6 +342,9 @@ func (rr *RecordReader) InputOffset() int64 {
 // NextIndex returns the index the next record (or record failure) will be
 // assigned.
 func (rr *RecordReader) NextIndex() int { return rr.idx }
+
+// Prefiltered returns how many records the prefilter has skipped so far.
+func (rr *RecordReader) Prefiltered() int64 { return rr.prefiltered }
 
 // poll samples the cancellation and stream-budget checks once every 256
 // tokens; the off-sample cost is one increment and mask.
@@ -571,6 +587,9 @@ func (rr *RecordReader) read(a *Arena) (Record, error) {
 		case tokStart:
 			depth := len(rr.idxs)
 			if rr.isRecordRoot(tk.name, depth) {
+				if rr.opts.Prefilter != nil && rr.tryPrefilter(startOff) {
+					continue
+				}
 				return rr.readRecord(a, startOff)
 			}
 			rr.idxs = append(rr.idxs, rr.counts[depth])

@@ -79,6 +79,16 @@ type SelectOptions struct {
 	OnError ErrorPolicy
 	// KeepWhitespace retains whitespace-only text nodes.
 	KeepWhitespace bool
+	// Prefilter controls the raw-byte record prefilter cascade. The zero
+	// value PrefilterAuto derives the query's required element labels at
+	// run start and skips records whose raw bytes provably cannot contain
+	// them all, without parsing or evaluating them; whenever the byte skim
+	// is unsure, the record is parsed normally. Match sets and errors are
+	// identical either way — only StreamStats.Prefiltered and throughput
+	// differ. PrefilterOff disables the cascade, e.g. to attribute time
+	// precisely in benchmarks or to rule the prefilter out while
+	// debugging.
+	Prefilter PrefilterMode
 	// inject is the test-only fault-injection hook (see
 	// internal/faultinject); being unexported it is settable only from
 	// this package's tests.
@@ -109,6 +119,18 @@ type SelectOptions struct {
 	Explain bool
 }
 
+// PrefilterMode selects the raw-byte prefilter behavior for a streaming
+// run; see SelectOptions.Prefilter.
+type PrefilterMode = stream.PrefilterMode
+
+const (
+	// PrefilterAuto (the default) skips records whose bytes provably lack
+	// one of the query's required element labels.
+	PrefilterAuto = stream.PrefilterAuto
+	// PrefilterOff disables the prefilter cascade for the run.
+	PrefilterOff = stream.PrefilterOff
+)
+
 // ErrorPolicy decides the fate of one failed record: return nil to skip it
 // and continue the stream, or an error to abort the run with it (returning
 // the *RecordError itself is the idiomatic abort). The error's Err field
@@ -129,13 +151,19 @@ var Skip ErrorPolicy = func(*RecordError) error { return nil }
 // StreamStats aggregates one SelectStream run. The field set mirrors
 // stream.Stats exactly (the struct conversion below depends on it).
 type StreamStats struct {
-	Records   int64 // records evaluated and delivered
-	Nodes     int64 // total nodes across delivered records
-	Matches   int64 // total located nodes
-	Bytes     int64 // input bytes consumed by the XML decoder
-	Skipped   int64 // failed records dropped by the OnError policy
-	TimedOut  int64 // records over RecordTimeout, whether skipped or aborting
-	Recovered int64 // evaluation panics caught and converted to errors
+	Records     int64 // records evaluated and delivered
+	Nodes       int64 // total nodes across delivered records
+	Matches     int64 // total located nodes
+	Bytes       int64 // input bytes consumed by the XML decoder
+	Skipped     int64 // failed records dropped by the OnError policy
+	TimedOut    int64 // records over RecordTimeout, whether skipped or aborting
+	Recovered   int64 // evaluation panics caught and converted to errors
+	Prefiltered int64 // records skipped by the raw-byte prefilter cascade
+	// Lazy-determinization deltas for the run (zero under eager
+	// compilation; approximate when concurrent runs share one query).
+	LazyStates    int64 // lazy-DHA states materialized during the run
+	LazyHits      int64 // lazy transition-cache hits during the run
+	LazyEvictions int64 // lazy transition-cache evictions during the run
 }
 
 // StreamMatch is one located node of a streamed record. Path (and Term)
@@ -193,6 +221,7 @@ func (e *Engine) SelectStream(ctx context.Context, r io.Reader, q *Query, opts S
 		RecordTimeout:  opts.RecordTimeout,
 		Inject:         opts.inject,
 		KeepWhitespace: opts.KeepWhitespace,
+		Prefilter:      opts.Prefilter,
 		Metrics:        e.metrics,
 		Explain:        opts.Explain,
 	}

@@ -88,6 +88,37 @@ type Engine struct {
 	snapMu  sync.Mutex
 	snap    *ha.Names
 	snapGen uint64
+
+	// copts carries engine-wide query-compilation options (lazy
+	// determinization and its budget); fixed at construction.
+	copts core.Options
+}
+
+// EngineOption configures a new Engine (see NewEngine).
+type EngineOption func(*Engine)
+
+// WithLazyDeterminization makes the engine compile queries with on-demand
+// subset construction: the Theorem 1 determinization of each side automaton
+// is deferred, and deterministic states are materialized one transition at a
+// time as evaluation first needs them, behind a bounded cache. Queries whose
+// eager determinization would blow up exponentially compile in time
+// proportional to the states actually reached. Match sets are identical to
+// eager compilation; Stats().Eval reports lazy_states_built,
+// lazy_cache_hits, and lazy_evictions, and each streaming run's share
+// appears in StreamStats.
+func WithLazyDeterminization() EngineOption {
+	return func(e *Engine) { e.copts.LazyDeterminize = true }
+}
+
+// WithLazyTransitionBudget enables lazy determinization with an explicit
+// per-automaton cached-transition cap (0 picks the default bound, negative
+// disables eviction). Smaller budgets bound memory on adversarial inputs at
+// the cost of re-deriving evicted transitions.
+func WithLazyTransitionBudget(n int) EngineOption {
+	return func(e *Engine) {
+		e.copts.LazyDeterminize = true
+		e.copts.LazyTransitionBudget = n
+	}
 }
 
 // snapshot returns the shared frozen alphabet clone for the current
@@ -108,10 +139,14 @@ func (e *Engine) snapshot() (*ha.Names, uint64) {
 	return e.snap, e.snapGen
 }
 
-// NewEngine returns an empty engine.
-func NewEngine() *Engine {
+// NewEngine returns an empty engine. Options select engine-wide compilation
+// behavior, e.g. NewEngine(xpe.WithLazyDeterminization()).
+func NewEngine(opts ...EngineOption) *Engine {
 	e := &Engine{names: ha.NewNames(), metrics: &metrics.Metrics{}}
 	e.cache = newCompiledCache(compiledCacheCap, &e.metrics.Cache)
+	for _, o := range opts {
+		o(e)
+	}
 	return e
 }
 
@@ -272,7 +307,7 @@ func (e *Engine) compileSource(kind byte, src string) (*core.CompiledQuery, erro
 				continue // fresh names appeared; re-translate over them
 			}
 			snap, _ := e.snapshot()
-			cq, err := core.CompileQuery(q, snap)
+			cq, err := core.CompileQueryOpt(q, snap, e.copts)
 			if err != nil {
 				return nil, wrapCompileErr(err, src)
 			}
@@ -285,7 +320,7 @@ func (e *Engine) compileSource(kind byte, src string) (*core.CompiledQuery, erro
 		}
 		core.PreinternQuery(q, e.names)
 		snap, _ := e.snapshot()
-		cq, err := core.CompileQuery(q, snap)
+		cq, err := core.CompileQueryOpt(q, snap, e.copts)
 		if err != nil {
 			return nil, wrapCompileErr(err, src)
 		}
