@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check chaos diff-test bench bench-json trace-overhead bench-gate
+.PHONY: all build test race vet fmt check chaos diff-test serve-test bench bench-json trace-overhead bench-gate
 
 all: check
 
@@ -43,14 +43,22 @@ chaos:
 diff-test:
 	$(GO) test -race -run 'Differential|Prefilter|Lazy|Skim' -count=1 . ./internal/stream/... ./internal/xmlhedge/... ./internal/core/... ./internal/ha/...
 
+# serve-test runs the query-serving daemon's suite under the race
+# detector: the httptest end-to-end differential (served matches ==
+# library matches per query), registration validation, per-tenant
+# budgets, admission control (429 under load), graceful drain, and the
+# goroutine-leak check.
+serve-test:
+	$(GO) test -race -count=1 ./internal/serve/...
+
 # check is the CI gate: formatting, static analysis (go vet ./...), the
 # full test suite, the race detector over the concurrency-bearing
 # packages, the fault-containment chaos suite, the three-way
-# differential harness, a quick perf-regression run with the
-# disabled-tracing budget enforced, and the streaming throughput gate
-# against the committed baseline (the recorded baseline in
-# BENCH_core.json comes from the non-quick bench-json run).
-check: fmt vet build test race chaos diff-test trace-overhead bench-gate
+# differential harness, the serving-layer suite, a quick perf-regression
+# run with the disabled-tracing budget enforced, and the streaming
+# throughput gate against the committed baseline (the recorded baseline
+# in BENCH_core.json comes from the non-quick bench-json run).
+check: fmt vet build test race chaos diff-test serve-test trace-overhead bench-gate
 
 bench:
 	$(GO) test -bench . -benchmem -run NONE ./...

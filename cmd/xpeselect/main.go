@@ -22,7 +22,9 @@
 // stops at the first bad record, skip drops it and continues (requires
 // -split past broken markup; the summary then reports skipped/recovered
 // counts). -max-record-bytes, -max-stream-bytes, and -record-timeout bound
-// the resources one record / the whole run may consume.
+// the resources one record / the whole run may consume. Stream-only flags
+// given without -stream are an error (exit 2), not a silent no-op; -lazy,
+// -explain, -metrics, and -debug-addr apply to both paths.
 //
 // By default -stream skims each record's raw bytes for the query's
 // required element labels and skips records that cannot match without
@@ -49,6 +51,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
 	"xpe"
 	"xpe/debug"
@@ -56,35 +60,89 @@ import (
 	"xpe/internal/xmlhedge"
 )
 
+// cliFlags holds every parsed flag; defineFlags registers them on a
+// FlagSet so validation is testable against synthetic command lines.
+type cliFlags struct {
+	query, xpathQ, format, split, onError, debugAddr *string
+	term, streaming, noPrefilter, lazy               *bool
+	showMetrics, explain                             *bool
+	workers, maxNodes                                *int
+	maxRecBytes, maxStreamBytes                      *int64
+	recTimeout, slowRec                              *time.Duration
+}
+
+func defineFlags(fs *flag.FlagSet) *cliFlags {
+	return &cliFlags{
+		query:          fs.String("query", "", "selection query"),
+		xpathQ:         fs.String("xpath", "", "XPath location path (translated to a selection query)"),
+		format:         fs.String("format", "paths", "output format: paths, term, or xml"),
+		term:           fs.Bool("term", false, "input is in term syntax rather than XML"),
+		streaming:      fs.Bool("stream", false, "evaluate record by record in bounded memory"),
+		split:          fs.String("split", "", "record root element for -stream (default: children of the document element)"),
+		workers:        fs.Int("workers", 0, "concurrent record workers for -stream (0 = GOMAXPROCS)"),
+		maxNodes:       fs.Int("max-record-nodes", 0, "fail a -stream record over this node count (0 = unlimited)"),
+		maxRecBytes:    fs.Int64("max-record-bytes", 0, "fail a -stream record spanning more input bytes (0 = unlimited)"),
+		maxStreamBytes: fs.Int64("max-stream-bytes", 0, "abort -stream past this total input size (0 = unlimited)"),
+		recTimeout:     fs.Duration("record-timeout", 0, "fail a -stream record evaluating longer than this (0 = unlimited)"),
+		onError:        fs.String("on-error", "abort", "failed-record policy for -stream: abort or skip"),
+		noPrefilter:    fs.Bool("no-prefilter", false, "disable the -stream raw-byte record prefilter (results are identical; only throughput differs)"),
+		lazy:           fs.Bool("lazy", false, "compile with lazy determinization (on-demand subset construction; bounds compile cost on adversarial queries; applies to -stream and in-memory runs alike)"),
+		showMetrics:    fs.Bool("metrics", false, "print engine metrics as JSON on stderr after the run"),
+		explain:        fs.Bool("explain", false, "print each match's provenance (why the query matched)"),
+		slowRec:        fs.Duration("slow-record", 0, "log -stream records slower than this duration (0 = off)"),
+		debugAddr:      fs.String("debug-addr", "", "serve the live debug surface (stats, cache, traces, pprof) on this address during the run"),
+	}
+}
+
+// streamOnly names the flags that configure the record-splitting pipeline:
+// setting one without -stream used to be silently ignored, which reads as
+// "my limit/policy is in force" when nothing of the sort is running.
+// validateFlags rejects that loudly instead. (-lazy, -explain, -metrics,
+// and -debug-addr are NOT in this set: they apply to both paths.)
+var streamOnly = map[string]bool{
+	"split": true, "workers": true, "on-error": true, "no-prefilter": true,
+	"max-record-nodes": true, "max-record-bytes": true, "max-stream-bytes": true,
+	"record-timeout": true, "slow-record": true,
+}
+
+// validateFlags checks cross-flag consistency after parsing, returning a
+// diagnostic message ("" when the combination is valid).
+func validateFlags(fs *flag.FlagSet, f *cliFlags) string {
+	if (*f.query == "") == (*f.xpathQ == "") {
+		return "exactly one of -query or -xpath is required"
+	}
+	if *f.streaming && *f.term {
+		return "-stream reads XML, not -term input"
+	}
+	if !*f.streaming {
+		var misplaced []string
+		fs.Visit(func(fl *flag.Flag) {
+			if streamOnly[fl.Name] {
+				misplaced = append(misplaced, "-"+fl.Name)
+			}
+		})
+		if len(misplaced) > 0 {
+			return fmt.Sprintf("%s require(s) -stream (the in-memory path has no record pipeline)",
+				strings.Join(misplaced, ", "))
+		}
+	}
+	return ""
+}
+
 func main() {
-	query := flag.String("query", "", "selection query")
-	xpathQ := flag.String("xpath", "", "XPath location path (translated to a selection query)")
-	format := flag.String("format", "paths", "output format: paths, term, or xml")
-	term := flag.Bool("term", false, "input is in term syntax rather than XML")
-	streaming := flag.Bool("stream", false, "evaluate record by record in bounded memory")
-	split := flag.String("split", "", "record root element for -stream (default: children of the document element)")
-	workers := flag.Int("workers", 0, "concurrent record workers for -stream (0 = GOMAXPROCS)")
-	maxNodes := flag.Int("max-record-nodes", 0, "fail a -stream record over this node count (0 = unlimited)")
-	maxRecBytes := flag.Int64("max-record-bytes", 0, "fail a -stream record spanning more input bytes (0 = unlimited)")
-	maxStreamBytes := flag.Int64("max-stream-bytes", 0, "abort -stream past this total input size (0 = unlimited)")
-	recTimeout := flag.Duration("record-timeout", 0, "fail a -stream record evaluating longer than this (0 = unlimited)")
-	onError := flag.String("on-error", "abort", "failed-record policy for -stream: abort or skip")
-	noPrefilter := flag.Bool("no-prefilter", false, "disable the -stream raw-byte record prefilter (results are identical; only throughput differs)")
-	lazy := flag.Bool("lazy", false, "compile with lazy determinization (on-demand subset construction; bounds compile cost on adversarial queries)")
-	showMetrics := flag.Bool("metrics", false, "print engine metrics as JSON on stderr after the run")
-	explain := flag.Bool("explain", false, "print each match's provenance (why the query matched)")
-	slowRec := flag.Duration("slow-record", 0, "log -stream records slower than this duration (0 = off)")
-	debugAddr := flag.String("debug-addr", "", "serve the live debug surface (stats, cache, traces, pprof) on this address during the run")
+	f := defineFlags(flag.CommandLine)
 	flag.Parse()
-	if (*query == "") == (*xpathQ == "") {
-		fmt.Fprintln(os.Stderr, "xpeselect: exactly one of -query or -xpath is required")
+	if msg := validateFlags(flag.CommandLine, f); msg != "" {
+		fmt.Fprintln(os.Stderr, "xpeselect: "+msg)
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *streaming && *term {
-		fmt.Fprintln(os.Stderr, "xpeselect: -stream reads XML, not -term input")
-		os.Exit(2)
-	}
+	query, xpathQ, format := f.query, f.xpathQ, f.format
+	term, streaming, split := f.term, f.streaming, f.split
+	workers, maxNodes, maxRecBytes := f.workers, f.maxNodes, f.maxRecBytes
+	maxStreamBytes, recTimeout, onError := f.maxStreamBytes, f.recTimeout, f.onError
+	noPrefilter, lazy, showMetrics := f.noPrefilter, f.lazy, f.showMetrics
+	explain, slowRec, debugAddr := f.explain, f.slowRec, f.debugAddr
 
 	var input io.Reader = os.Stdin
 	if flag.NArg() > 0 {

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+// parse runs a synthetic command line through the real flag definitions
+// and returns the validation verdict.
+func parse(t *testing.T, args ...string) string {
+	t.Helper()
+	fs := flag.NewFlagSet("xpeselect", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := defineFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return validateFlags(fs, f)
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string // substring of the expected diagnostic, "" = valid
+	}{
+		// Exactly one of -query / -xpath: both and neither are errors, not
+		// a silent preference.
+		{[]string{"-query", "a b*"}, ""},
+		{[]string{"-xpath", "/a/b"}, ""},
+		{[]string{"-query", "a b*", "-xpath", "/a/b"}, "exactly one of -query or -xpath"},
+		{[]string{}, "exactly one of -query or -xpath"},
+		// -term feeds the in-memory parser; -stream has no term reader.
+		{[]string{"-query", "a b*", "-stream", "-term"}, "-stream reads XML"},
+		// Stream-only flags without -stream: loud, naming the flags.
+		{[]string{"-query", "a b*", "-workers", "4"}, "-workers"},
+		{[]string{"-query", "a b*", "-on-error", "skip"}, "-on-error"},
+		// Visit reports set flags in lexical order.
+		{[]string{"-query", "a b*", "-split", "entry", "-record-timeout", "1s"}, "-record-timeout, -split"},
+		{[]string{"-query", "a b*", "-no-prefilter"}, "-no-prefilter"},
+		{[]string{"-query", "a b*", "-max-record-nodes", "10"}, "require(s) -stream"},
+		// The same flags with -stream are fine.
+		{[]string{"-query", "a b*", "-stream", "-workers", "4", "-on-error", "skip", "-split", "entry"}, ""},
+		// -lazy, -explain, -metrics, -debug-addr configure compilation or
+		// observability, not the pipeline: valid on the in-memory path too.
+		{[]string{"-query", "a b*", "-lazy"}, ""},
+		{[]string{"-query", "a b*", "-lazy", "-explain", "-metrics"}, ""},
+		{[]string{"-query", "a b*", "-debug-addr", "localhost:0"}, ""},
+	}
+	for _, c := range cases {
+		got := parse(t, c.args...)
+		if c.want == "" && got != "" {
+			t.Errorf("%v: unexpected diagnostic %q", c.args, got)
+		}
+		if c.want != "" && !strings.Contains(got, c.want) {
+			t.Errorf("%v: diagnostic %q does not mention %q", c.args, got, c.want)
+		}
+	}
+}

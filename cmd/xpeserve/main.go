@@ -1,0 +1,107 @@
+// Command xpeserve is the long-lived query-serving daemon: tenants
+// register compiled queries over HTTP and stream documents past them,
+// getting NDJSON matches back from a single shared evaluation pass per
+// feed post.
+//
+//	xpeserve -addr :8080 &
+//	curl -d '{"tenant":"t1","name":"prices","query":"price doc* *","feed":"market"}' \
+//	     localhost:8080/v1/queries
+//	curl --data-binary @feed.xml localhost:8080/v1/feed/market
+//
+// The surface is internal/serve; this binary adds the process lifecycle:
+// flag wiring, the listener, and graceful drain — on SIGTERM/SIGINT it
+// stops admitting evaluation requests (503), lets in-flight streams
+// finish up to -drain-timeout, then shuts the listener down.
+//
+// Like a pprof port, the server is unauthenticated: bind it to loopback
+// or a trusted network.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xpe"
+	"xpe/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "localhost:8080", "listen address")
+		workers      = flag.Int("workers", 0, "evaluation workers per stream (0 = GOMAXPROCS)")
+		maxConc      = flag.Int("max-concurrent", 4, "streams evaluating at once")
+		maxQueue     = flag.Int("max-queue", 8, "admission waiters beyond -max-concurrent before 429")
+		maxTenantQ   = flag.Int("max-queries-per-tenant", 256, "registrations allowed per tenant")
+		recBytes     = flag.Int64("max-record-bytes", 0, "default per-record input byte budget (0 = unlimited)")
+		recNodes     = flag.Int("max-record-nodes", 0, "default per-record node budget (0 = unlimited)")
+		recTimeout   = flag.Duration("record-timeout", 0, "default per-record evaluation budget across all queries (0 = unlimited)")
+		lazy         = flag.Bool("lazy", false, "compile with lazy determinization")
+		lazyBudget   = flag.Int("lazy-budget", 0, "lazy transition-cache budget (0 = unlimited; needs -lazy)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight streams on SIGTERM")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "xpeserve: unexpected arguments %q\n", flag.Args())
+		os.Exit(2)
+	}
+	if *lazyBudget != 0 && !*lazy {
+		fmt.Fprintln(os.Stderr, "xpeserve: -lazy-budget requires -lazy")
+		os.Exit(2)
+	}
+
+	var engOpts []xpe.EngineOption
+	if *lazy {
+		engOpts = append(engOpts, xpe.WithLazyTransitionBudget(*lazyBudget))
+	}
+	srv, err := serve.NewServer(serve.Options{
+		Engine:              xpe.NewEngine(engOpts...),
+		MaxConcurrent:       *maxConc,
+		MaxQueueDepth:       *maxQueue,
+		MaxQueriesPerTenant: *maxTenantQ,
+		Workers:             *workers,
+		DefaultBudgets: serve.Budgets{
+			MaxRecordBytes: *recBytes,
+			MaxRecordNodes: *recNodes,
+			RecordTimeout:  *recTimeout,
+		},
+	})
+	if err != nil {
+		log.Fatalf("xpeserve: %v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("xpeserve: serving on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("xpeserve: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Drain: refuse new evaluation work immediately, give in-flight
+	// streams the grace window, then close the listener and connections.
+	log.Printf("xpeserve: draining (up to %s)", *drainTimeout)
+	srv.BeginDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("xpeserve: drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("xpeserve: shutdown: %v", err)
+	}
+	log.Print("xpeserve: stopped")
+}

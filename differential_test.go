@@ -146,6 +146,67 @@ func TestDifferentialEagerLazyPrefilter(t *testing.T) {
 	}
 }
 
+// TestDifferentialPrefilterNamespacePrefixes pins the prefilter's
+// required-label matching against namespace-prefixed and mixed-case tags.
+// The tokenizer strips prefixes at the first colon, so an element that
+// evaluates as "price" appears in raw bytes as `<ns:price` — the skim must
+// credit the label through the ':' predecessor, and must stay byte-exact
+// on case (the evaluator is case-sensitive, so `<Price>` neither satisfies
+// nor is satisfied by required label "price"). A skim that skipped a
+// record the evaluator would match is a correctness bug; every fixture
+// here is a record that MUST survive the skim for some query, surrounded
+// by decoys (attributes, comments, CDATA) that must not count as
+// presence.
+func TestDifferentialPrefilterNamespacePrefixes(t *testing.T) {
+	corpus := `<corpus>` +
+		`<doc><ns:price>10</ns:price></doc>` + // prefixed child: label after ':'
+		`<ns:doc><price>11</price></ns:doc>` + // prefixed record root
+		`<doc><Price>20</Price></doc>` + // mixed case: a different label
+		`<doc><PRICE>21</PRICE></doc>` +
+		`<doc><price currency="EUR">30</price></doc>` +
+		`<doc><a:b:price>40</a:b:price></doc>` + // multi-colon prefix (streaming tokenizer accepts)
+		`<doc><priceless>0</priceless><quote price="yes"><!-- price --></quote></doc>` + // decoys only
+		`<doc><section><![CDATA[<price/>]]></section></doc>` +
+		`<doc><ns:pricey/></doc>` +
+		`</corpus>`
+	eng := NewEngine()
+	for _, l := range []string{"doc", "price", "Price", "PRICE", "priceless",
+		"quote", "section", "pricey"} {
+		eng.names.Syms.Intern(l)
+	}
+	for _, src := range []string{
+		"price doc* *",
+		"Price doc* *",
+		"PRICE doc* *",
+		"[* ; price ; *] doc*",
+	} {
+		q, err := eng.CompileQuery(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		for _, workers := range []int{1, 4} {
+			want, wantStats := streamAll(t, eng, q, corpus,
+				SelectOptions{Workers: workers, Prefilter: PrefilterOff})
+			if want == "" {
+				t.Fatalf("%s: matched nothing unfiltered; fixture lost its point", src)
+			}
+			got, stats := streamAll(t, eng, q, corpus,
+				SelectOptions{Workers: workers, Prefilter: PrefilterAuto})
+			if got != want {
+				t.Errorf("%s workers=%d: prefiltered match set differs\ngot:\n%swant:\n%s",
+					src, workers, got, want)
+			}
+			if got := stats.Records + stats.Prefiltered; got != wantStats.Records {
+				t.Errorf("%s workers=%d: Records+Prefiltered = %d, want %d",
+					src, workers, got, wantStats.Records)
+			}
+			if stats.Prefiltered == 0 {
+				t.Errorf("%s workers=%d: decoy records were not skipped", src, workers)
+			}
+		}
+	}
+}
+
 // TestDifferentialInMemory pins the lazy DHA against eager determinization
 // on the in-memory path too: Query.Select answers identically whichever
 // way the engine compiles.

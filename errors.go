@@ -122,6 +122,23 @@ func (e *RecordError) Error() string {
 
 func (e *RecordError) Unwrap() error { return e.Err }
 
+// OptionError reports an invalid engine option. NewEngine has no error
+// return, so the offending engine records the error and every subsequent
+// compile entry point (CompileQuery, CompileXPath) returns it — loudly,
+// instead of compiling under silently adjusted semantics. Use errors.As
+// to recover it.
+type OptionError struct {
+	// Option is the option's constructor name, e.g.
+	// "WithLazyTransitionBudget".
+	Option string
+	// Reason says what was wrong with the value.
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("xpe: invalid engine option %s: %s", e.Option, e.Reason)
+}
+
 // InternalError reports a record evaluation that panicked: an engine bug
 // surfaced by that record's content, contained so the Engine and the
 // stream's other records stay usable. The stack identifies the panic site.

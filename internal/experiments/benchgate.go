@@ -22,16 +22,42 @@ type streamFeed struct {
 	data  []byte
 	nodes int64
 	cfg   stream.Config
+	// queries, when set, makes this a multi-query workload: one shared
+	// RunMulti pass, or — with independent — one full Run pass per query,
+	// the N-scans shape the shared pass is benched against. cq is ignored.
+	queries     []*core.CompiledQuery
+	independent bool
 }
 
 func (f *streamFeed) measure(cq *core.CompiledQuery, name string, minTime time.Duration) BenchResult {
-	return Measure(name, f.nodes, minTime, func() {
+	op := func() {
 		_, err := stream.Run(context.Background(), bytes.NewReader(f.data), cq, f.cfg,
 			func(*stream.Result) error { return nil })
 		if err != nil && err != io.EOF {
 			panic(err)
 		}
-	})
+	}
+	switch {
+	case f.independent:
+		op = func() {
+			for _, q := range f.queries {
+				_, err := stream.Run(context.Background(), bytes.NewReader(f.data), q, f.cfg,
+					func(*stream.Result) error { return nil })
+				if err != nil && err != io.EOF {
+					panic(err)
+				}
+			}
+		}
+	case len(f.queries) > 0:
+		op = func() {
+			_, err := stream.RunMulti(context.Background(), bytes.NewReader(f.data), f.queries, f.cfg,
+				func(*stream.Result) error { return nil })
+			if err != nil && err != io.EOF {
+				panic(err)
+			}
+		}
+	}
+	return Measure(name, f.nodes, minTime, op)
 }
 
 // plainFeed rebuilds the stream-<size>-w<N> workload: one generated
@@ -134,6 +160,63 @@ func prefilterFeed(quick, prefilter bool) (*streamFeed, error) {
 	return &streamFeed{data: b.Bytes(), nodes: int64(h.Size()) - 1, cfg: cfg}, nil
 }
 
+// sharedPassQueries is the fan-out of the shared-pass serving workload:
+// one registered query per topic label.
+const sharedPassQueries = 8
+
+// sharedPassFeed rebuilds the stream-sharedpass-{8q,independent} workload:
+// a selective multi-tenant feed evaluated by 8 queries, each keyed to its
+// own topic label. Every 4th record files under one topic (cycling through
+// the 8); the rest are plain prose no query is interested in — the feed
+// shape serving sees when tenants subscribe to slices of a broader stream.
+// The shared pass splits and skims the feed once — the union skim drops
+// the prose records wholesale and the per-query hint bits route each kept
+// record to the ~1 query whose topic it carries — while the independent
+// shape re-splits and re-skims the entire feed once per query. Both
+// deliver identical matches per query; the ratio is what one pass over N
+// registered queries saves against N passes.
+func sharedPassFeed(quick, independent bool) (*streamFeed, error) {
+	recCount, paras := 1024, 24
+	if quick {
+		recCount, paras = 192, 12
+	}
+	names := NewDocEnv()
+	queries := make([]*core.CompiledQuery, sharedPassQueries)
+	for i := range queries {
+		names.Syms.Intern(fmt.Sprintf("topic%d", i))
+		cq, err := CompileQuery(names, fmt.Sprintf("figure topic%d doc*", i))
+		if err != nil {
+			return nil, err
+		}
+		queries[i] = cq
+	}
+	var b bytes.Buffer
+	b.WriteString("<corpus>")
+	for i := 0; i < recCount; i++ {
+		b.WriteString("<doc>")
+		if i%4 == 0 {
+			topic := (i / 4) % sharedPassQueries
+			fmt.Fprintf(&b, "<topic%d><figure/><table/></topic%d>", topic, topic)
+		}
+		for j := 0; j < paras; j++ {
+			fmt.Fprintf(&b, "<para>record %d paragraph %d: plain prose no registered query selects.</para>", i, j)
+		}
+		b.WriteString("</doc>")
+	}
+	b.WriteString("</corpus>")
+	h, err := xmlhedge.ParseString(b.String(), xmlhedge.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &streamFeed{
+		data:        b.Bytes(),
+		nodes:       int64(h.Size()) - 1,
+		cfg:         stream.Config{Workers: 1},
+		queries:     queries,
+		independent: independent,
+	}, nil
+}
+
 // parseStreamName recovers (size, workers) from a "stream-<size>-w<N>"
 // bench name, undoing sizeName's compaction ("100k" → 100000).
 func parseStreamName(name string) (size, workers int, ok bool) {
@@ -197,6 +280,11 @@ func GateStreamBaseline(base *BenchReport, maxDropPct float64, retries int, logf
 			}
 		} else if strings.HasPrefix(res.Name, "stream-prefilter-") {
 			feed, err = prefilterFeed(base.Quick, strings.HasSuffix(res.Name, "-on"))
+			if err != nil {
+				return err
+			}
+		} else if strings.HasPrefix(res.Name, "stream-sharedpass-") {
+			feed, err = sharedPassFeed(base.Quick, strings.HasSuffix(res.Name, "-independent"))
 			if err != nil {
 				return err
 			}

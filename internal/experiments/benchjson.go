@@ -73,6 +73,14 @@ type BenchReport struct {
 	// PrefilterSkipRate is the fraction of the corpus's records the skim
 	// rejected without parsing in the prefiltered run.
 	PrefilterSkipRate float64 `json:"prefilter_skip_rate,omitempty"`
+	// SharedPassSpeedup is what serving N registered queries from one
+	// shared pass saves against N independent passes over the same feed:
+	// the 8-passes ns/op divided by the single-RunMulti-pass ns/op on the
+	// selective topic corpus (each record relevant to ~1 query), as the
+	// median of paired rounds. The shared pass splits, skims, and parses
+	// the feed once and the union prefilter's per-query verdict bits gate
+	// each record to the queries whose required labels it carries.
+	SharedPassSpeedup float64 `json:"shared_pass_speedup,omitempty"`
 	// LazyBlowupAvoided is the eager determinization's membership-DFA
 	// state count divided by the states the lazy DHA actually materialized
 	// evaluating a document sample, for the adversarial k-th-from-end
@@ -459,6 +467,33 @@ func BenchJSON(quick bool) (*BenchReport, error) {
 	if total := preStats.Records + preStats.Prefiltered; total > 0 {
 		rep.PrefilterSkipRate = float64(preStats.Prefiltered) / float64(total)
 	}
+
+	// Shared multi-query pass: the serving shape — N registered queries,
+	// one feed post — against the N-scans shape it replaces. Paired
+	// best-of-rounds; both sides deliver identical per-query matches.
+	sharedFeed, err := sharedPassFeed(quick, false)
+	if err != nil {
+		return nil, err
+	}
+	indepFeed, err := sharedPassFeed(quick, true)
+	if err != nil {
+		return nil, err
+	}
+	var spShared, spIndep BenchResult
+	var spRatios []float64
+	for round := 0; round < rounds; round++ {
+		s := sharedFeed.measure(nil, "stream-sharedpass-8q", pairTime)
+		if round == 0 || s.NsPerOp < spShared.NsPerOp {
+			spShared = s
+		}
+		i := indepFeed.measure(nil, "stream-sharedpass-independent", pairTime)
+		if round == 0 || i.NsPerOp < spIndep.NsPerOp {
+			spIndep = i
+		}
+		spRatios = append(spRatios, i.NsPerOp/s.NsPerOp)
+	}
+	rep.Results = append(rep.Results, spShared, spIndep)
+	rep.SharedPassSpeedup = median(spRatios)
 
 	// Lazy determinization: the adversarial k-th-from-end family, whose
 	// eager Theorem 1 subset construction doubles per k. The eager compile

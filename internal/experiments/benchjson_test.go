@@ -20,6 +20,7 @@ func TestBenchJSONQuick(t *testing.T) {
 		"stream-20k-w1", "stream-20k-w4", "stream-20k-w8", "stream-20k-w16",
 		"stream-degraded-clean", "stream-degraded-1pct",
 		"stream-prefilter-off", "stream-prefilter-on",
+		"stream-sharedpass-8q", "stream-sharedpass-independent",
 		"compile-adversarial-k12-eager", "compile-adversarial-k12-lazy",
 		"bulk-16x2k"}
 	if len(rep.Results) != len(wantNames) {
@@ -48,6 +49,9 @@ func TestBenchJSONQuick(t *testing.T) {
 	}
 	if rep.PrefilterSkipRate <= 0 || rep.PrefilterSkipRate >= 1 {
 		t.Errorf("prefilter_skip_rate = %v, want in (0,1)", rep.PrefilterSkipRate)
+	}
+	if rep.SharedPassSpeedup <= 1 {
+		t.Errorf("shared_pass_speedup = %v, want > 1", rep.SharedPassSpeedup)
 	}
 	if rep.LazyBlowupAvoided <= 1 {
 		t.Errorf("lazy_blowup_avoided = %v, want > 1", rep.LazyBlowupAvoided)

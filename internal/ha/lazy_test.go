@@ -79,6 +79,27 @@ func TestLazyBudgetEviction(t *testing.T) {
 	}
 }
 
+// TestLazyBudgetUnbounded pins the internal "no bound" representation: a
+// negative TransitionBudget must never evict, however small the magnitude
+// — it is a mode, not a cap of -n. (The facade maps its public "0 =
+// unlimited" onto this; the ha zero keeps meaning
+// DefaultLazyTransitionBudget.)
+func TestLazyBudgetUnbounded(t *testing.T) {
+	n := paperM1(t)
+	det := n.Determinize()
+	lazy := n.LazyDeterminize(LazyOptions{TransitionBudget: -1})
+	for _, h := range randomHedges(11, 300) {
+		lazyAgreeOn(t, n, det, lazy, h)
+	}
+	st := lazy.Stats()
+	if st.StatesBuilt == 0 {
+		t.Fatalf("lazy construction built nothing: %+v", st)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("negative budget must disable eviction, got %+v", st)
+	}
+}
+
 // TestLazyNeverExceedsEager: the lazily materialized DHA states (subsets)
 // are a subset of the eager construction's reachable subsets, so the count
 // is bounded by it.

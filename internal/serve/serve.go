@@ -1,0 +1,600 @@
+// Package serve is the multi-tenant query-serving layer: a long-lived
+// HTTP surface where tenants register compiled queries once and stream
+// documents past them, getting NDJSON matches back.
+//
+// Endpoints:
+//
+//	POST /v1/queries        register a query (JSON body; compiled eagerly)
+//	GET  /v1/queries        list registrations (?tenant= filters)
+//	POST /v1/select         one-shot: evaluate an ad-hoc query over the body
+//	POST /v1/feed/{feed}    shared pass: every query registered on the feed
+//	GET  /v1/healthz        liveness ("draining" while shutting down)
+//	GET  /debug/xpe/serve   serving counters (admission, feeds, matches)
+//	/debug/xpe/*, /debug/pprof/*  the engine debug surface (xpe/debug)
+//
+// A feed run is ONE pass over the posted document however many queries are
+// registered: the stream is split and parsed once and every record drives
+// all the match automata (xpe.Engine.SelectStreamMulti), with the union
+// prefilter gating per-query evaluation. Matches stream back as NDJSON
+// lines tagged with tenant and query name, grouped per record by
+// registration order; a final {"summary":...} line carries the run's
+// stats, in which records+prefiltered always equals the total records the
+// splitter saw.
+//
+// Tenancy is cooperative, not authenticated (bind the listener like a
+// pprof port): a tenant is a namespace for query names plus a budget set —
+// MaxRecordBytes/MaxRecordNodes/RecordTimeout — applied to the documents
+// that tenant posts. Feed runs default to the Skip policy so one poisoned
+// record costs that record, not the feed (fault containment); pass
+// ?on-error=abort to fail fast instead.
+//
+// Admission control bounds concurrent evaluation: at most MaxConcurrent
+// streams evaluate at once and at most MaxQueueDepth more may wait;
+// beyond that the server answers 429 with a Retry-After hint rather than
+// queueing unboundedly. BeginDrain flips new evaluation requests to 503
+// while in-flight streams finish — the graceful-shutdown half that
+// http.Server.Shutdown's connection draining does not cover.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xpe"
+	"xpe/debug"
+)
+
+// DefaultFeed is the feed queries register on when the registration names
+// none.
+const DefaultFeed = "default"
+
+// Budgets are the per-tenant resource bounds applied to documents the
+// tenant streams. Zero fields mean unlimited, matching xpe.SelectOptions.
+type Budgets struct {
+	// MaxRecordBytes bounds the raw input bytes one record may span.
+	MaxRecordBytes int64 `json:"maxRecordBytes,omitempty"`
+	// MaxRecordNodes bounds one record's node count.
+	MaxRecordNodes int `json:"maxRecordNodes,omitempty"`
+	// RecordTimeout bounds one record's evaluation wall time — across all
+	// queries of a feed pass (it is a record budget, not a per-query one).
+	RecordTimeout time.Duration `json:"-"`
+	// RecordTimeoutStr is RecordTimeout's JSON form ("150ms").
+	RecordTimeoutStr string `json:"recordTimeout,omitempty"`
+}
+
+// normalize resolves the JSON duration form, favoring the typed field.
+func (b *Budgets) normalize() error {
+	if b.RecordTimeout == 0 && b.RecordTimeoutStr != "" {
+		d, err := time.ParseDuration(b.RecordTimeoutStr)
+		if err != nil {
+			return fmt.Errorf("recordTimeout: %w", err)
+		}
+		b.RecordTimeout = d
+	}
+	if b.MaxRecordBytes < 0 || b.MaxRecordNodes < 0 || b.RecordTimeout < 0 {
+		return errors.New("budgets must be non-negative (0 = unlimited)")
+	}
+	if b.RecordTimeout > 0 {
+		b.RecordTimeoutStr = b.RecordTimeout.String()
+	}
+	return nil
+}
+
+// Options configures a Server.
+type Options struct {
+	// Engine compiles and evaluates; required.
+	Engine *xpe.Engine
+	// MaxConcurrent bounds streams evaluating at once (<=0: 4).
+	MaxConcurrent int
+	// MaxQueueDepth bounds admission waiters beyond MaxConcurrent (<=0: 8);
+	// the next request is answered 429 + Retry-After.
+	MaxQueueDepth int
+	// Workers is the per-stream evaluation worker count (xpe
+	// SelectOptions.Workers; <=0 = GOMAXPROCS).
+	Workers int
+	// DefaultBudgets apply to tenants that never set their own, and to
+	// anonymous posts.
+	DefaultBudgets Budgets
+	// MaxQueriesPerTenant caps registrations per tenant (<=0: 256).
+	MaxQueriesPerTenant int
+}
+
+// regQuery is one registered query.
+type regQuery struct {
+	Tenant string `json:"tenant"`
+	Name   string `json:"name"`
+	Source string `json:"query,omitempty"`
+	XPath  string `json:"xpath,omitempty"`
+	Feed   string `json:"feed"`
+	seq    int    // global registration order: the feed-pass query order
+	q      *xpe.Query
+}
+
+// tenant is a name namespace plus its budget set.
+type tenant struct {
+	budgets Budgets
+	queries map[string]*regQuery
+}
+
+// Stats are the server's cumulative serving counters, exposed at
+// /debug/xpe/serve.
+type Stats struct {
+	Requests     int64 `json:"requests"`     // evaluation requests seen
+	Admitted     int64 `json:"admitted"`     // granted an evaluation slot
+	Rejected     int64 `json:"rejected_429"` // bounced by queue-depth admission
+	Draining     int64 `json:"draining_503"` // bounced while draining
+	Feeds        int64 `json:"feed_runs"`    // shared-pass feed evaluations
+	Selects      int64 `json:"select_runs"`  // one-shot evaluations
+	Matches      int64 `json:"matches"`      // NDJSON match lines written
+	Records      int64 `json:"records"`      // records evaluated
+	Prefiltered  int64 `json:"prefiltered"`  // records skipped by the union prefilter
+	Skipped      int64 `json:"skipped"`      // failed records dropped by Skip
+	QueueDepth   int64 `json:"queue_depth"`  // current admission waiters
+	ActiveProbes int64 `json:"active"`       // streams evaluating right now
+	Registered   int64 `json:"registered"`   // live query registrations
+}
+
+// Server is the serving state machine behind the HTTP surface. It is an
+// http.Handler; lifecycle (listening, TLS, connection shutdown) belongs to
+// the embedding http.Server — see cmd/xpeserve.
+type Server struct {
+	opts Options
+	mux  *http.ServeMux
+
+	mu      sync.RWMutex
+	tenants map[string]*tenant
+	feeds   map[string][]*regQuery
+	regSeq  int
+
+	sem      chan struct{}
+	queued   atomic.Int64
+	draining atomic.Bool
+	active   sync.WaitGroup
+
+	requests, admitted, rejected, drained atomic.Int64
+	feedRuns, selectRuns                  atomic.Int64
+	matches, records, prefiltered, skips  atomic.Int64
+	activeN, registered                   atomic.Int64
+}
+
+// NewServer builds the serving surface over eng.
+func NewServer(opts Options) (*Server, error) {
+	if opts.Engine == nil {
+		return nil, errors.New("serve: Options.Engine is required")
+	}
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = 4
+	}
+	if opts.MaxQueueDepth <= 0 {
+		opts.MaxQueueDepth = 8
+	}
+	if opts.MaxQueriesPerTenant <= 0 {
+		opts.MaxQueriesPerTenant = 256
+	}
+	if err := opts.DefaultBudgets.normalize(); err != nil {
+		return nil, fmt.Errorf("serve: default budgets: %w", err)
+	}
+	s := &Server{
+		opts:    opts,
+		tenants: make(map[string]*tenant),
+		feeds:   make(map[string][]*regQuery),
+		sem:     make(chan struct{}, opts.MaxConcurrent),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/queries", s.handleRegister)
+	mux.HandleFunc("GET /v1/queries", s.handleList)
+	mux.HandleFunc("POST /v1/select", s.handleSelect)
+	mux.HandleFunc("POST /v1/feed/{feed}", s.handleFeed)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("GET /debug/xpe/serve", s.handleStats)
+	mux.Handle("/debug/", debug.Handler(debug.Options{Engine: opts.Engine}))
+	s.mux = mux
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// BeginDrain stops admitting new evaluation requests (503) while letting
+// in-flight streams run to completion. Registration and debug surfaces
+// stay up. Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Drain blocks until every admitted stream has finished or ctx expires.
+// Call BeginDrain first, or new streams keep being admitted while you
+// wait.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() { s.active.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:     s.requests.Load(),
+		Admitted:     s.admitted.Load(),
+		Rejected:     s.rejected.Load(),
+		Draining:     s.drained.Load(),
+		Feeds:        s.feedRuns.Load(),
+		Selects:      s.selectRuns.Load(),
+		Matches:      s.matches.Load(),
+		Records:      s.records.Load(),
+		Prefiltered:  s.prefiltered.Load(),
+		Skipped:      s.skips.Load(),
+		QueueDepth:   s.queued.Load(),
+		ActiveProbes: s.activeN.Load(),
+		Registered:   s.registered.Load(),
+	}
+}
+
+// admit runs the admission gate for one evaluation request: it returns a
+// release func on success, or writes the refusal (429 with Retry-After, or
+// 503 while draining) and returns nil.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) func() {
+	s.requests.Add(1)
+	if s.draining.Load() {
+		s.drained.Add(1)
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return nil
+	}
+	// Bounded queue: a fast-path slot grab, else count ourselves as a
+	// waiter if the queue has room. The depth check is optimistic (two
+	// racing requests may both slip into the last queue slot); the bound
+	// this enforces — no unbounded pileup, a prompt 429 under overload —
+	// does not need it to be exact.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		if s.queued.Load() >= int64(s.opts.MaxQueueDepth) {
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "evaluation queue full", http.StatusTooManyRequests)
+			return nil
+		}
+		s.queued.Add(1)
+		select {
+		case s.sem <- struct{}{}:
+			s.queued.Add(-1)
+		case <-r.Context().Done():
+			s.queued.Add(-1)
+			return nil
+		}
+	}
+	s.admitted.Add(1)
+	s.activeN.Add(1)
+	s.active.Add(1)
+	return func() {
+		<-s.sem
+		s.activeN.Add(-1)
+		s.active.Done()
+	}
+}
+
+// budgetsFor resolves the budget set for the posting tenant ("" means the
+// server defaults).
+func (s *Server) budgetsFor(name string) Budgets {
+	if name != "" {
+		s.mu.RLock()
+		t := s.tenants[name]
+		s.mu.RUnlock()
+		if t != nil {
+			return t.budgets
+		}
+	}
+	return s.opts.DefaultBudgets
+}
+
+// registerRequest is the POST /v1/queries payload. Exactly one of query /
+// xpath carries the source. Budgets, when present, replace the tenant's
+// budget set (they are tenant-scoped, not query-scoped).
+type registerRequest struct {
+	Tenant  string   `json:"tenant"`
+	Name    string   `json:"name"`
+	Query   string   `json:"query,omitempty"`
+	XPath   string   `json:"xpath,omitempty"`
+	Feed    string   `json:"feed,omitempty"`
+	Budgets *Budgets `json:"budgets,omitempty"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad registration: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch {
+	case req.Tenant == "":
+		http.Error(w, "tenant is required", http.StatusBadRequest)
+		return
+	case req.Name == "":
+		http.Error(w, "name is required", http.StatusBadRequest)
+		return
+	case (req.Query == "") == (req.XPath == ""):
+		http.Error(w, "exactly one of query or xpath is required", http.StatusBadRequest)
+		return
+	case strings.Contains(req.Feed, "/"):
+		http.Error(w, "feed names cannot contain '/'", http.StatusBadRequest)
+		return
+	}
+	if req.Feed == "" {
+		req.Feed = DefaultFeed
+	}
+	if req.Budgets != nil {
+		if err := req.Budgets.normalize(); err != nil {
+			http.Error(w, "bad budgets: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	// Compile outside the registry lock: compilation can be slow and the
+	// engine is concurrency-safe. A compile failure is the caller's bug,
+	// reported with the engine's diagnostic.
+	var q *xpe.Query
+	var err error
+	if req.Query != "" {
+		q, err = s.opts.Engine.CompileQuery(req.Query)
+	} else {
+		q, err = s.opts.Engine.CompileXPath(req.XPath)
+	}
+	if err != nil {
+		http.Error(w, "compile: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	s.mu.Lock()
+	t := s.tenants[req.Tenant]
+	if t == nil {
+		t = &tenant{budgets: s.opts.DefaultBudgets, queries: make(map[string]*regQuery)}
+		s.tenants[req.Tenant] = t
+	}
+	if req.Budgets != nil {
+		t.budgets = *req.Budgets
+	}
+	if _, dup := t.queries[req.Name]; dup {
+		s.mu.Unlock()
+		http.Error(w, fmt.Sprintf("tenant %q already has a query %q", req.Tenant, req.Name),
+			http.StatusConflict)
+		return
+	}
+	if len(t.queries) >= s.opts.MaxQueriesPerTenant {
+		s.mu.Unlock()
+		http.Error(w, fmt.Sprintf("tenant %q is at its %d-query cap", req.Tenant, s.opts.MaxQueriesPerTenant),
+			http.StatusForbidden)
+		return
+	}
+	rq := &regQuery{Tenant: req.Tenant, Name: req.Name, Source: req.Query,
+		XPath: req.XPath, Feed: req.Feed, seq: s.regSeq, q: q}
+	s.regSeq++
+	t.queries[req.Name] = rq
+	s.feeds[req.Feed] = append(s.feeds[req.Feed], rq)
+	s.registered.Add(1)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	json.NewEncoder(w).Encode(rq)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	filter := r.URL.Query().Get("tenant")
+	s.mu.RLock()
+	var out []*regQuery
+	for name, t := range s.tenants {
+		if filter != "" && name != filter {
+			continue
+		}
+		for _, rq := range t.queries {
+			out = append(out, rq)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+}
+
+// evalParams are the per-request evaluation knobs shared by select and
+// feed: the poster's identity (budgets), split element, and error policy.
+func (s *Server) evalOptions(r *http.Request) (xpe.SelectOptions, string, error) {
+	qp := r.URL.Query()
+	tenantName := r.Header.Get("X-Tenant")
+	if t := qp.Get("tenant"); t != "" {
+		tenantName = t
+	}
+	b := s.budgetsFor(tenantName)
+	opts := xpe.SelectOptions{
+		Workers:        s.opts.Workers,
+		SplitElement:   qp.Get("split"),
+		MaxRecordBytes: b.MaxRecordBytes,
+		MaxRecordNodes: b.MaxRecordNodes,
+		RecordTimeout:  b.RecordTimeout,
+	}
+	switch pol := qp.Get("on-error"); pol {
+	case "", "skip":
+		// Fault containment is the serving default: a poisoned record
+		// costs that record, not the stream.
+		opts.OnError = xpe.Skip
+	case "abort":
+		opts.OnError = xpe.Abort
+	default:
+		return opts, tenantName, fmt.Errorf("on-error must be skip or abort, not %q", pol)
+	}
+	return opts, tenantName, nil
+}
+
+// matchLine is one NDJSON match.
+type matchLine struct {
+	Tenant     string `json:"tenant,omitempty"`
+	Query      string `json:"query"`
+	Record     int    `json:"record"`
+	RecordPath string `json:"recordPath"`
+	Path       string `json:"path"`
+	Term       string `json:"term"`
+}
+
+// summaryLine closes every NDJSON stream. Records+Prefiltered is the
+// total record count the splitter saw — the invariant the differential
+// harness pins — so consumers can compute the skim rate directly.
+type summaryLine struct {
+	Records     int64 `json:"records"`
+	Matches     int64 `json:"matches"`
+	Prefiltered int64 `json:"prefiltered"`
+	Skipped     int64 `json:"skipped"`
+	TimedOut    int64 `json:"timedOut"`
+	Recovered   int64 `json:"recovered"`
+	Bytes       int64 `json:"bytes"`
+	Queries     int   `json:"queries"`
+}
+
+// ndjson starts an NDJSON response and returns a line writer that flushes
+// at record boundaries.
+func ndjson(w http.ResponseWriter) func(v any) error {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	fl, _ := w.(http.Flusher)
+	return func(v any) error {
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		return nil
+	}
+}
+
+// finishStream accounts a finished evaluation and emits the summary (or
+// the error, when the run died after the header was committed).
+func (s *Server) finishStream(write func(any) error, stats xpe.StreamStats, nq int, err error) {
+	s.matches.Add(stats.Matches)
+	s.records.Add(stats.Records)
+	s.prefiltered.Add(stats.Prefiltered)
+	s.skips.Add(stats.Skipped)
+	if err != nil {
+		write(map[string]string{"error": err.Error()})
+		return
+	}
+	write(struct {
+		Summary summaryLine `json:"summary"`
+	}{summaryLine{
+		Records: stats.Records, Matches: stats.Matches,
+		Prefiltered: stats.Prefiltered, Skipped: stats.Skipped,
+		TimedOut: stats.TimedOut, Recovered: stats.Recovered,
+		Bytes: stats.Bytes, Queries: nq,
+	}})
+}
+
+// handleSelect evaluates one ad-hoc query (?query= or ?xpath=) over the
+// posted document — the single-query end of the serving surface, no
+// registration required.
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	opts, tenantName, err := s.evalOptions(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	qp := r.URL.Query()
+	src, xp := qp.Get("query"), qp.Get("xpath")
+	if (src == "") == (xp == "") {
+		http.Error(w, "exactly one of ?query= or ?xpath= is required", http.StatusBadRequest)
+		return
+	}
+	var q *xpe.Query
+	if src != "" {
+		q, err = s.opts.Engine.CompileQuery(src)
+	} else {
+		q, err = s.opts.Engine.CompileXPath(xp)
+	}
+	if err != nil {
+		http.Error(w, "compile: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+	s.selectRuns.Add(1)
+	write := ndjson(w)
+	var werr error
+	stats, err := s.opts.Engine.SelectStream(r.Context(), r.Body, q, opts,
+		func(m xpe.StreamMatch) error {
+			werr = write(matchLine{Tenant: tenantName, Query: src + xp, Record: m.Record,
+				RecordPath: m.RecordPath, Path: m.Path, Term: m.Term})
+			return werr
+		})
+	if err == nil {
+		err = werr
+	}
+	s.finishStream(write, stats, 1, err)
+}
+
+// handleFeed runs the shared pass: every query registered on the feed, in
+// registration order, over one split+parse of the posted document.
+func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
+	opts, _, err := s.evalOptions(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	feed := r.PathValue("feed")
+	s.mu.RLock()
+	regs := append([]*regQuery(nil), s.feeds[feed]...)
+	s.mu.RUnlock()
+	if len(regs) == 0 {
+		http.Error(w, fmt.Sprintf("feed %q has no registered queries", feed), http.StatusNotFound)
+		return
+	}
+	qs := make([]*xpe.Query, len(regs))
+	for i, rq := range regs {
+		qs[i] = rq.q
+	}
+	release := s.admit(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+	s.feedRuns.Add(1)
+	write := ndjson(w)
+	var werr error
+	stats, err := s.opts.Engine.SelectStreamMulti(r.Context(), r.Body, qs, opts,
+		func(m xpe.MultiStreamMatch) error {
+			rq := regs[m.Query]
+			werr = write(matchLine{Tenant: rq.Tenant, Query: rq.Name, Record: m.Record,
+				RecordPath: m.RecordPath, Path: m.Path, Term: m.Term})
+			return werr
+		})
+	if err == nil {
+		err = werr
+	}
+	s.finishStream(write, stats, len(qs), err)
+}

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"xpe/internal/core"
+	"xpe/internal/ha"
 	"xpe/internal/hedge"
 	"xpe/internal/metrics"
 	"xpe/internal/trace"
@@ -181,6 +182,9 @@ type Stats struct {
 
 // Match is one located node within a record.
 type Match struct {
+	// Query is the index (into RunMulti's query slice) of the query that
+	// located this node. Always 0 for single-query Run.
+	Query int
 	// Path is the record-relative Dewey path (the record root is node 1).
 	Path hedge.Path
 	// Node is the located node; like Result.Hedge it is arena-backed and
@@ -200,10 +204,15 @@ type Result struct {
 	Path hedge.Path
 	// Nodes is the record's node count.
 	Nodes int
-	// Matches lists the located nodes in document order.
+	// Matches lists the located nodes: document order for a single-query
+	// run; for RunMulti, grouped by ascending Match.Query with document
+	// order within each query's group.
 	Matches []Match
 
-	pathBuf []int
+	// curQuery is the query index stamped onto matches as they are
+	// collected; safeEvaluate sets it before each query's traversal.
+	curQuery int
+	pathBuf  []int
 	// collect caches the bound SelectEach match sink. The callback escapes
 	// into a pooled walker on every evaluation, so an uncached closure
 	// would cost one heap allocation per record; the method value here is
@@ -229,16 +238,18 @@ type Result struct {
 func (r *Result) reset() {
 	r.Matches = r.Matches[:0]
 	r.pathBuf = r.pathBuf[:0]
+	r.curQuery = 0
 	r.fail = nil
 	r.await = nil
 }
 
 // addMatch copies the (reused) path into the result's backing buffer and
-// appends a match.
+// appends a match for the query currently being evaluated.
 func (r *Result) addMatch(p hedge.Path, n *hedge.Node) {
 	start := len(r.pathBuf)
 	r.pathBuf = append(r.pathBuf, p...)
-	r.Matches = append(r.Matches, Match{Path: r.pathBuf[start:len(r.pathBuf):len(r.pathBuf)], Node: n})
+	r.Matches = append(r.Matches, Match{Query: r.curQuery,
+		Path: r.pathBuf[start:len(r.pathBuf):len(r.pathBuf)], Node: n})
 }
 
 // collectMatch is the unbounded match sink: append and keep going.
@@ -306,6 +317,32 @@ func (e *PanicError) Error() string {
 // never revalidated or recompiled per record (the facade resolves it once,
 // pre-fork).
 func Run(ctx context.Context, r io.Reader, cq *core.CompiledQuery, cfg Config, yield func(*Result) error) (Stats, error) {
+	return runQueries(ctx, r, []*core.CompiledQuery{cq}, cfg, yield)
+}
+
+// RunMulti evaluates every query in cqs over one shared pass: the input is
+// split and parsed once, and each record drives all the match automata
+// instead of one scan per query. Matches carry Match.Query (the index into
+// cqs); within one Result they are grouped by ascending query index, in
+// document order within each group. Everything else behaves like Run —
+// ordering, fault containment, budgets (Config.RecordTimeout bounds one
+// record's evaluation across ALL queries, it is not a per-query budget).
+//
+// Under PrefilterAuto the skim runs against the union of the queries'
+// required-label sets: a record is skipped whole only when no query's
+// requirement set is fully present (requiring the union conjunctively
+// would be unsound), and kept records carry a per-query verdict
+// (xmlhedge.Record.Hint) that gates evaluation to the queries whose
+// requirements the record can actually satisfy — the shared-pass scaling
+// lever on selective workloads. Stats.Matches counts across all queries.
+func RunMulti(ctx context.Context, r io.Reader, cqs []*core.CompiledQuery, cfg Config, yield func(*Result) error) (Stats, error) {
+	if len(cqs) == 0 {
+		return Stats{}, errors.New("stream: RunMulti needs at least one query")
+	}
+	return runQueries(ctx, r, cqs, cfg, yield)
+}
+
+func runQueries(ctx context.Context, r io.Reader, qs []*core.CompiledQuery, cfg Config, yield func(*Result) error) (Stats, error) {
 	ropts := xmlhedge.RecordOptions{
 		Split:          cfg.Split,
 		MaxNodes:       cfg.MaxRecordNodes,
@@ -333,34 +370,78 @@ func Run(ctx context.Context, r io.Reader, cq *core.CompiledQuery, cfg Config, y
 		ropts.Events = sink
 	}
 	if cfg.Prefilter == PrefilterAuto {
-		// NewPrefilter returns nil when the query has no required labels
-		// (e.g. wildcard-only queries), which disables the cascade.
-		ropts.Prefilter = xmlhedge.NewPrefilter(cq.RequiredLabels())
+		if len(qs) == 1 {
+			// NewPrefilter returns nil when the query has no required labels
+			// (e.g. wildcard-only queries), which disables the cascade.
+			ropts.Prefilter = xmlhedge.NewPrefilter(qs[0].RequiredLabels())
+		} else {
+			// One requirement group per query, indices aligned with qs, so
+			// the skim verdict doubles as the per-query evaluation gate.
+			groups := make([][]string, len(qs))
+			for i, cq := range qs {
+				groups[i] = cq.RequiredLabels()
+			}
+			ropts.Prefilter = xmlhedge.NewMultiPrefilter(groups)
+		}
 	}
-	// Lazy-determinization counters live on the shared compilation; deltas
-	// around the run attribute this run's share to its Stats.
-	lz0 := cq.LazyStats()
+	// Lazy-determinization counters live on the shared compilations; deltas
+	// around the run attribute this run's share to its Stats. Repeated
+	// pointers (the same compilation registered under several indices)
+	// count once.
+	lz0 := lazyTotals(qs)
 	var stats Stats
 	var err error
 	if workers <= 1 {
 		ropts.Ctx = ctx
 		rr := xmlhedge.NewRecordReader(r, ropts)
-		stats, err = runSequential(ctx, rr, cq, cfg, ms, sink, yield)
+		stats, err = runSequential(ctx, rr, qs, cfg, ms, sink, yield)
 		stats.Prefiltered = rr.Prefiltered()
 	} else {
-		stats, err = runParallel(ctx, r, ropts, cq, workers, cfg, ms, sink, yield)
+		stats, err = runParallel(ctx, r, ropts, qs, workers, cfg, ms, sink, yield)
 	}
-	lzd := cq.LazyStats().Sub(lz0)
+	lzd := lazyTotals(qs).Sub(lz0)
 	stats.LazyStates = lzd.StatesBuilt
 	stats.LazyHits = lzd.Hits
 	stats.LazyEvictions = lzd.Evictions
 	return stats, err
 }
 
-// safeEvaluate runs the query over one parsed record with panics contained
-// and the evaluation timeout enforced. A non-nil return is always a
-// *RecordError; on success res holds the matches.
-func safeEvaluate(cq *core.CompiledQuery, rec *xmlhedge.Record, res *Result, cfg *Config) (fail *RecordError) {
+// lazyTotals sums lazy-DHA counters across distinct compilations.
+func lazyTotals(qs []*core.CompiledQuery) ha.LazyStats {
+	if len(qs) == 1 {
+		return qs[0].LazyStats()
+	}
+	var total ha.LazyStats
+	for i, cq := range qs {
+		dup := false
+		for _, prev := range qs[:i] {
+			if prev == cq {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			total = total.Add(cq.LazyStats())
+		}
+	}
+	return total
+}
+
+// hintAllows reports whether the record's prefilter verdict leaves query
+// qi live. Only the first 64 queries have verdict bits; later ones always
+// evaluate.
+func hintAllows(hint uint64, qi int) bool {
+	return qi >= 64 || hint&(1<<qi) != 0
+}
+
+// safeEvaluate runs every live query over one parsed record with panics
+// contained and the evaluation timeout enforced — the timeout budget spans
+// the whole record, shared by all queries. A query whose verdict bit in
+// rec.Hint is clear is provably matchless here (the prefilter found a
+// required label absent) and is skipped without touching its automaton. A
+// non-nil return is always a *RecordError; on success res holds the
+// matches, grouped by query index.
+func safeEvaluate(qs []*core.CompiledQuery, rec *xmlhedge.Record, res *Result, cfg *Config) (fail *RecordError) {
 	defer func() {
 		if v := recover(); v != nil {
 			fail = &RecordError{Index: rec.Index, Path: rec.Path,
@@ -377,53 +458,55 @@ func safeEvaluate(cq *core.CompiledQuery, rec *xmlhedge.Record, res *Result, cfg
 	if cfg.Inject != nil {
 		cfg.Inject.BeforeEval(rec.Index)
 	}
-	if cfg.Explain {
-		return explainRecord(cq, rec, res, start, timeout)
-	}
-	if timeout <= 0 {
-		cq.SelectEach(rec.Hedge, res.sink())
-		return nil
-	}
-	// Cooperative deadline: sampled every 64 matches during the traversal
+	// Cooperative deadline: sampled every 64 matches during a traversal
 	// (Algorithm 1 is linear and terminating — the budget targets slow
-	// records, not infinite loops) and checked once more after it.
-	deadline := start.Add(timeout)
-	n, timedOut := 0, false
-	cq.SelectEach(rec.Hedge, func(p hedge.Path, node *hedge.Node) bool {
-		res.addMatch(p, node)
-		if n++; n&63 == 0 && time.Now().After(deadline) {
-			timedOut = true
-			return false
-		}
-		return true
-	})
-	if timedOut || time.Since(start) > timeout {
-		return &RecordError{Index: rec.Index, Path: rec.Path, Err: ErrRecordTimeout}
-	}
-	return nil
-}
-
-// explainRecord is safeEvaluate's provenance-capturing variant: same
-// matches (ExplainEach locates exactly what SelectEach does), same
-// cooperative deadline, with each match carrying its witness. It runs
-// inside safeEvaluate's panic scope.
-func explainRecord(cq *core.CompiledQuery, rec *xmlhedge.Record, res *Result, start time.Time, timeout time.Duration) *RecordError {
+	// records, not infinite loops), between queries, and once more at the
+	// end.
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = start.Add(timeout)
 	}
 	n, timedOut := 0, false
-	cq.ExplainEach(rec.Hedge, func(w core.Witness, node *hedge.Node) bool {
-		res.addMatch(w.Path, node)
-		res.Matches[len(res.Matches)-1].Witness = &w
-		if timeout > 0 {
-			if n++; n&63 == 0 && time.Now().After(deadline) {
-				timedOut = true
-				return false
-			}
+	for qi, cq := range qs {
+		if !hintAllows(rec.Hint, qi) {
+			continue
 		}
-		return true
-	})
+		if timeout > 0 && time.Now().After(deadline) {
+			timedOut = true
+			break
+		}
+		res.curQuery = qi
+		switch {
+		case cfg.Explain:
+			// Provenance capture: ExplainEach locates exactly what
+			// SelectEach does, with each match carrying its witness.
+			cq.ExplainEach(rec.Hedge, func(w core.Witness, node *hedge.Node) bool {
+				res.addMatch(w.Path, node)
+				res.Matches[len(res.Matches)-1].Witness = &w
+				if timeout > 0 {
+					if n++; n&63 == 0 && time.Now().After(deadline) {
+						timedOut = true
+						return false
+					}
+				}
+				return true
+			})
+		case timeout <= 0:
+			cq.SelectEach(rec.Hedge, res.sink())
+		default:
+			cq.SelectEach(rec.Hedge, func(p hedge.Path, node *hedge.Node) bool {
+				res.addMatch(p, node)
+				if n++; n&63 == 0 && time.Now().After(deadline) {
+					timedOut = true
+					return false
+				}
+				return true
+			})
+		}
+		if timedOut {
+			break
+		}
+	}
 	if timeout > 0 && (timedOut || time.Since(start) > timeout) {
 		return &RecordError{Index: rec.Index, Path: rec.Path, Err: ErrRecordTimeout}
 	}
@@ -450,7 +533,7 @@ func recordFailure(rr *xmlhedge.RecordReader, err error) *RecordError {
 // runSequential is the single-worker hot loop: one arena, one Result, no
 // goroutines — steady-state evaluation allocates nothing, with or without
 // a metrics sink (timing is two clock reads per stage per record).
-func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.CompiledQuery, cfg Config, ms *metrics.Stream, sink *trace.EventSink, yield func(*Result) error) (Stats, error) {
+func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, qs []*core.CompiledQuery, cfg Config, ms *metrics.Stream, sink *trace.EventSink, yield func(*Result) error) (Stats, error) {
 	// The arena and Result ride in a pooled single-item batch so
 	// back-to-back runs reuse warm storage: one short stream never
 	// amortizes cold chunk growth on its own.
@@ -519,7 +602,7 @@ func runSequential(ctx context.Context, rr *xmlhedge.RecordReader, cq *core.Comp
 		if timed {
 			t0 = time.Now()
 		}
-		evalErr := safeEvaluate(cq, &rec, res, &cfg)
+		evalErr := safeEvaluate(qs, &rec, res, &cfg)
 		var evalNS int64
 		if timed {
 			d := time.Since(t0)
@@ -654,7 +737,7 @@ func getBatch(batchSize int) *batch {
 // blocks on the tombstone's await channel for the verdict — recovery
 // rewires the reader's state, so the producer cannot run ahead of the
 // decision.
-func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions, cq *core.CompiledQuery, workers int, cfg Config, ms *metrics.Stream, sink *trace.EventSink, yield func(*Result) error) (Stats, error) {
+func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions, qs []*core.CompiledQuery, workers int, cfg Config, ms *metrics.Stream, sink *trace.EventSink, yield func(*Result) error) (Stats, error) {
 	ictx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	// The splitter polls the internal context, so cancellation (external or
@@ -843,7 +926,7 @@ func runParallel(ctx context.Context, r io.Reader, ropts xmlhedge.RecordOptions,
 					if timed {
 						t0 = time.Now()
 					}
-					if evalErr := safeEvaluate(cq, &it.rec, &it.res, &cfg); evalErr != nil {
+					if evalErr := safeEvaluate(qs, &it.rec, &it.res, &cfg); evalErr != nil {
 						it.res.fail = evalErr
 					}
 					if timed {

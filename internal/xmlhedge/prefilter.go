@@ -39,11 +39,35 @@ import (
 // reader's memory against a huge record on a skippable-looking prefix.
 const prefilterLookahead = 1 << 20
 
+// MaxPrefilterGroups bounds how many requirement groups (and how many
+// distinct labels) a multi-query prefilter can track: group verdicts and
+// label presence are bitmasks in a uint64. NewMultiPrefilter returns nil
+// beyond the bound — every record then parses and evaluates normally.
+const MaxPrefilterGroups = 64
+
+// HintAll is the Record.Hint value meaning "no prefilter verdict": every
+// requirement group may match, so nothing can be gated off.
+const HintAll = ^uint64(0)
+
 // Prefilter is a compiled required-label matcher. A nil *Prefilter (or one
 // built from an empty label set) disables prefiltering.
+//
+// A prefilter built by NewMultiPrefilter tracks several requirement groups
+// at once over the union of their labels: one skim decides, per group,
+// whether every required label is present. A record is skipped only when
+// NO group is satisfied (requiring the union conjunctively would be
+// unsound — it would skip records one group alone could match); kept
+// records carry the per-group verdict as Record.Hint so the evaluator can
+// skip automata whose requirements are provably absent.
 type Prefilter struct {
 	labels [][]byte
 	names  []string
+	// groups[i] lists indices into labels that group i requires; nil means
+	// a single-group prefilter requiring every label (NewPrefilter).
+	groups [][]int
+	// free marks groups with an empty requirement set: they can match any
+	// record, so their verdict bit is always on and no record is skippable.
+	free uint64
 }
 
 // NewPrefilter compiles a prefilter from required element labels. Labels
@@ -67,8 +91,96 @@ func NewPrefilter(labels []string) *Prefilter {
 	return p
 }
 
+// NewMultiPrefilter compiles one prefilter over several requirement
+// groups, typically one group per registered query (core.RequiredLabels).
+// Empty labels are dropped; a group left empty is always satisfied, so it
+// never lets a record be skipped but still contributes a hint bit. Returns
+// nil when there are no groups, when every group is empty, or when the
+// group count or the union label count exceeds MaxPrefilterGroups.
+func NewMultiPrefilter(groups [][]string) *Prefilter {
+	if len(groups) == 0 || len(groups) > MaxPrefilterGroups {
+		return nil
+	}
+	p := &Prefilter{groups: make([][]int, len(groups))}
+	idx := make(map[string]int)
+	anyReq := false
+	for gi, g := range groups {
+		var is []int
+		for _, l := range g {
+			if l == "" {
+				continue
+			}
+			li, ok := idx[l]
+			if !ok {
+				li = len(p.labels)
+				idx[l] = li
+				p.names = append(p.names, l)
+				p.labels = append(p.labels, []byte(l))
+			}
+			is = append(is, li)
+		}
+		if len(is) == 0 {
+			p.free |= 1 << gi
+			continue
+		}
+		anyReq = true
+		p.groups[gi] = is
+	}
+	if !anyReq || len(p.labels) > MaxPrefilterGroups {
+		return nil
+	}
+	sort.Strings(p.names)
+	return p
+}
+
 // Labels returns the compiled label set, sorted.
 func (p *Prefilter) Labels() []string { return p.names }
+
+// verdict returns the bitmask of requirement groups whose every required
+// label is present in the record (bit i set means group i may match; a
+// zero mask means the record can be skipped whole). Presence is decided
+// exactly as matchedBy does — root-name equality or an element-name byte
+// pattern in body — so false positives only keep a group live, never drop
+// one. A single-group prefilter answers 1 or 0.
+func (p *Prefilter) verdict(body, rootName []byte) uint64 {
+	if p.groups == nil {
+		if p.matchedBy(body, rootName) {
+			return 1
+		}
+		return 0
+	}
+	// Label presence is computed lazily and memoized across groups: each
+	// group short-circuits at its first missing label, and a label shared
+	// by many groups (common when queries overlap) is searched once. On a
+	// record satisfying no group this often settles after a single search
+	// — the same short-circuit a single-query matchedBy enjoys.
+	var checked, present uint64
+	mask := p.free
+	for gi, g := range p.groups {
+		if g == nil {
+			continue // free group, already in the mask
+		}
+		sat := true
+		for _, li := range g {
+			bit := uint64(1) << li
+			if checked&bit == 0 {
+				checked |= bit
+				l := p.labels[li]
+				if bytes.Equal(l, rootName) || labelInBytes(body, l) {
+					present |= bit
+				}
+			}
+			if present&bit == 0 {
+				sat = false
+				break
+			}
+		}
+		if sat {
+			mask |= 1 << gi
+		}
+	}
+	return mask
+}
 
 // matchedBy reports whether the record could match: every required label is
 // the root's local name or occurs as an element-name byte pattern in body
@@ -573,7 +685,8 @@ func (rr *RecordReader) tryPrefilter(startOff int64) bool {
 	if tk.selfClose {
 		// The record is exactly its root element; the only label present is
 		// the root's name.
-		if pf.matchedBy(nil, tk.name) {
+		if mask := pf.verdict(nil, tk.name); mask != 0 {
+			rr.hint = mask
 			return false
 		}
 		tk.selfClose = false
@@ -613,7 +726,8 @@ func (rr *RecordReader) tryPrefilter(startOff int64) bool {
 		return false
 	}
 	body := rr.tr.buf[rr.tr.r : rr.tr.r+res.n]
-	if pf.matchedBy(body, tk.name) {
+	if mask := pf.verdict(body, tk.name); mask != 0 {
+		rr.hint = mask
 		return false
 	}
 	// Skip: account skipped lines for later error positions, consume the

@@ -270,6 +270,12 @@ type Record struct {
 	// storage, Text strings (views into the arena's text slab), and Path
 	// alike.
 	Hedge hedge.Hedge
+	// Hint is the prefilter's per-group verdict for this record: bit i set
+	// means requirement group i may match (see Prefilter.verdict). When no
+	// verdict was computed — prefilter off, skim aborted, degraded mode —
+	// it is HintAll, so evaluators must treat a set bit as "evaluate" and
+	// only a clear bit as proof of non-matching.
+	Hint uint64
 }
 
 // recKind classifies how a failed RecordReader can resume.
@@ -323,6 +329,10 @@ type RecordReader struct {
 	// prefiltered counts records skipped by the prefilter over the reader's
 	// lifetime.
 	prefiltered int64
+	// hint is the prefilter verdict for the record about to be read: set by
+	// tryPrefilter when a skim succeeded but kept the record, consumed by
+	// readRecord via takeHint. Zero means "no verdict" (reads as HintAll).
+	hint uint64
 }
 
 // NewRecordReader starts splitting r under the given options.
@@ -345,6 +355,18 @@ func (rr *RecordReader) NextIndex() int { return rr.idx }
 
 // Prefiltered returns how many records the prefilter has skipped so far.
 func (rr *RecordReader) Prefiltered() int64 { return rr.prefiltered }
+
+// takeHint consumes the pending prefilter verdict for the record being
+// read. No verdict (prefilter off, aborted skim, degraded mode) reads as
+// HintAll: every group may match.
+func (rr *RecordReader) takeHint() uint64 {
+	h := rr.hint
+	rr.hint = 0
+	if h == 0 {
+		return HintAll
+	}
+	return h
+}
 
 // poll samples the cancellation and stream-budget checks once every 256
 // tokens; the off-sample cost is one increment and mask.
@@ -692,7 +714,7 @@ func (rr *RecordReader) isRecordRoot(name []byte, depth int) bool {
 func (rr *RecordReader) readRecord(a *Arena, startOff int64) (Record, error) {
 	tk := rr.tk
 	depth := len(rr.idxs)
-	rec := Record{Index: rr.idx, Path: rr.nextPathIn(a)}
+	rec := Record{Index: rr.idx, Path: rr.nextPathIn(a), Hint: rr.takeHint()}
 	if s := rr.opts.Events; s.Enabled() {
 		s.Emit("record", fmt.Sprintf("record %d <%s> at byte %d", rec.Index, tk.name, startOff))
 	}

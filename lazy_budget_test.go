@@ -1,0 +1,91 @@
+package xpe
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// WithLazyTransitionBudget semantics, pinned: 0 means unlimited (the
+// package-wide "zero disables the bound" convention), positive caps the
+// cache, negative is a typed construction error surfaced at compile time.
+
+func TestLazyBudgetZeroMeansUnlimited(t *testing.T) {
+	corpus := diffCorpus(t, 4)
+	run := func(eng *Engine) StreamStats {
+		t.Helper()
+		if _, err := eng.ParseXMLString(corpus); err != nil {
+			t.Fatal(err)
+		}
+		q, err := eng.CompileQuery("[* ; figure ; table .] (section|doc)*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, stats := streamAll(t, eng, q, corpus, SelectOptions{Workers: 1, Prefilter: PrefilterOff})
+		return stats
+	}
+
+	unlimited := run(NewEngine(WithLazyTransitionBudget(0)))
+	if unlimited.LazyStates == 0 {
+		t.Fatal("budget 0 built no lazy states; the lazy path did not engage")
+	}
+	if unlimited.LazyEvictions != 0 {
+		t.Errorf("budget 0 evicted %d transitions; 0 must mean unlimited, not \"cache nothing\"",
+			unlimited.LazyEvictions)
+	}
+
+	// The same workload under a one-transition budget must evict — proving
+	// the zero-budget run above had something to evict.
+	tight := run(NewEngine(WithLazyTransitionBudget(1)))
+	if tight.LazyEvictions == 0 {
+		t.Error("budget 1 evicted nothing; the workload cannot distinguish the budgets")
+	}
+}
+
+func TestLazyBudgetNegativeIsTypedError(t *testing.T) {
+	eng := NewEngine(WithLazyTransitionBudget(-1))
+	for name, compile := range map[string]func(string) (*Query, error){
+		"CompileQuery": eng.CompileQuery,
+		"CompileXPath": eng.CompileXPath,
+	} {
+		_, err := compile("doc*")
+		if err == nil {
+			t.Fatalf("%s: negative budget compiled successfully", name)
+		}
+		var oe *OptionError
+		if !errors.As(err, &oe) {
+			t.Fatalf("%s: error %v (%T) is not an *OptionError", name, err, err)
+		}
+		if oe.Option != "WithLazyTransitionBudget" {
+			t.Errorf("%s: OptionError names %q", name, oe.Option)
+		}
+	}
+	// The error is sticky: a later, valid-looking compile still reports it.
+	if _, err := eng.CompileQuery("section doc*"); err == nil {
+		t.Error("second compile on a misconfigured engine succeeded")
+	}
+}
+
+// A misconfigured engine still answers the streaming entry point with the
+// typed error (via the compile that SelectStream's Query requires), and a
+// valid engine built with budget 0 streams normally — the two ends of the
+// construction surface.
+func TestLazyBudgetStreamingSurface(t *testing.T) {
+	good := NewEngine(WithLazyTransitionBudget(0))
+	if _, err := good.ParseXMLString("<d><a/></d>"); err != nil {
+		t.Fatal(err)
+	}
+	q, err := good.CompileQuery("a d*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if _, err := good.SelectStream(context.Background(), strings.NewReader("<d><a/></d>"), q,
+		SelectOptions{Workers: 1}, func(StreamMatch) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("got %d matches, want 1", n)
+	}
+}

@@ -1,0 +1,169 @@
+package xpe
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The multi-query differential harness: a shared-pass SelectStreamMulti
+// run over N queries must produce, per query, exactly the match set of
+// that query's own independent SelectStream run — across worker counts
+// and with the prefilter on and off. This is the executable form of the
+// shared-pass correctness argument: the union prefilter may only skip
+// records no query can match, and the per-query evaluation gate may only
+// drop (query, record) pairs whose required labels are provably absent.
+
+// multiStreamAll runs one shared-pass evaluation and renders every match,
+// bucketed by query index.
+func multiStreamAll(t *testing.T, eng *Engine, qs []*Query, corpus string, opts SelectOptions) ([]string, StreamStats) {
+	t.Helper()
+	got := make([]strings.Builder, len(qs))
+	stats, err := eng.SelectStreamMulti(context.Background(), strings.NewReader(corpus), qs, opts,
+		func(m MultiStreamMatch) error {
+			fmt.Fprintf(&got[m.Query], "%d|%s|%s|%s\n", m.Record, m.RecordPath, m.Path, m.Term)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("SelectStreamMulti: %v", err)
+	}
+	out := make([]string, len(qs))
+	for i := range got {
+		out[i] = got[i].String()
+	}
+	return out, stats
+}
+
+func TestDifferentialMultiQuery(t *testing.T) {
+	corpus := diffCorpus(t, 5)
+	eng := NewEngine()
+	if _, err := eng.ParseXMLString(corpus); err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]*Query, len(diffQueries))
+	for i, src := range diffQueries {
+		q, err := eng.CompileQuery(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		qs[i] = q
+	}
+
+	// References: each query's own single-query streaming run, prefilter
+	// off, sequential — the most direct evaluation path.
+	want := make([]string, len(qs))
+	var wantMatches, refRecords int64
+	for i, q := range qs {
+		out, st := streamAll(t, eng, q, corpus, SelectOptions{Workers: 1, Prefilter: PrefilterOff})
+		want[i] = out
+		wantMatches += st.Matches
+		refRecords = st.Records
+	}
+
+	for _, workers := range []int{1, 4} {
+		for _, mode := range []PrefilterMode{PrefilterAuto, PrefilterOff} {
+			name := fmt.Sprintf("workers=%d/prefilter=%v", workers, mode == PrefilterAuto)
+			got, stats := multiStreamAll(t, eng, qs, corpus,
+				SelectOptions{Workers: workers, Prefilter: mode})
+			for i, src := range diffQueries {
+				if got[i] != want[i] {
+					t.Errorf("%s: query %d (%s): match sets differ\ngot:\n%s\nwant:\n%s",
+						name, i, src, got[i], want[i])
+				}
+			}
+			if stats.Matches != wantMatches {
+				t.Errorf("%s: Matches = %d, want %d", name, stats.Matches, wantMatches)
+			}
+			// The shared pass sees every record exactly once: skips move
+			// records from Records to Prefiltered, nothing else.
+			if got := stats.Records + stats.Prefiltered; got != refRecords {
+				t.Errorf("%s: Records+Prefiltered = %d, want %d", name, got, refRecords)
+			}
+			if mode == PrefilterOff && stats.Prefiltered != 0 {
+				t.Errorf("%s: Prefiltered = %d with the prefilter off", name, stats.Prefiltered)
+			}
+			// One query has an empty requirement set, so no record can be
+			// skipped whole — the union prefilter must degrade to gating
+			// only.
+			if mode == PrefilterAuto && stats.Prefiltered != 0 {
+				t.Errorf("%s: Prefiltered = %d, but an unfiltered query is registered", name, stats.Prefiltered)
+			}
+		}
+	}
+
+	// Without the unfiltered query the union prefilter must actually skip:
+	// the corpus has sparse records lacking figure and table.
+	selective := qs[:5]
+	got, stats := multiStreamAll(t, eng, selective, corpus,
+		SelectOptions{Workers: 1, Prefilter: PrefilterAuto})
+	for i := range selective {
+		if got[i] != want[i] {
+			t.Errorf("selective: query %d (%s): match sets differ", i, diffQueries[i])
+		}
+	}
+	if stats.Prefiltered == 0 {
+		t.Error("selective query set: union prefilter skipped nothing; corpus lost its selectivity")
+	}
+	if got := stats.Records + stats.Prefiltered; got != refRecords {
+		t.Errorf("selective: Records+Prefiltered = %d, want %d", got, refRecords)
+	}
+
+	// A duplicated query must simply report its matches twice, under two
+	// indices.
+	dup := []*Query{qs[0], qs[0]}
+	gotDup, _ := multiStreamAll(t, eng, dup, corpus, SelectOptions{Workers: 1})
+	if gotDup[0] != want[0] || gotDup[1] != want[0] {
+		t.Error("duplicated query: per-index match sets differ from the single-query run")
+	}
+}
+
+// TestDifferentialMultiQueryNamespacePrefixes pins the prefilter's label
+// matching against namespace-prefixed and mixed-case tags in the
+// multi-query gate too: the tokenizer strips prefixes at the first colon,
+// so required label "price" must hit <ns:price>, and matching is
+// byte-exact on case for both sides of the comparison. A gate that
+// dropped a (query, record) pair the evaluator would match is exactly the
+// skip-a-matching-record bug class this guards against.
+func TestDifferentialMultiQueryNamespacePrefixes(t *testing.T) {
+	corpus := `<corpus>` +
+		`<doc><ns:price>10</ns:price></doc>` +
+		`<doc><Price>20</Price></doc>` +
+		`<doc><price currency="EUR">30</price></doc>` +
+		`<doc><quote price="yes"><!-- price --></quote></doc>` +
+		`<doc><sku/></doc>` +
+		`</corpus>`
+	eng := NewEngine()
+	if _, err := eng.ParseXMLString(corpus); err != nil {
+		t.Fatal(err)
+	}
+	sources := []string{
+		"price doc* *",     // hits records 0 and 2 (prefix stripped)
+		"Price doc* *",     // hits record 1 only (case is significant)
+		"(quote|sku) doc*", // decoy-adjacent labels
+	}
+	qs := make([]*Query, len(sources))
+	for i, src := range sources {
+		q, err := eng.CompileQuery(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		qs[i] = q
+	}
+	want := make([]string, len(qs))
+	for i, q := range qs {
+		want[i], _ = streamAll(t, eng, q, corpus, SelectOptions{Workers: 1, Prefilter: PrefilterOff})
+		if want[i] == "" {
+			t.Fatalf("query %q matched nothing; fixture lost its point", sources[i])
+		}
+	}
+	for _, mode := range []PrefilterMode{PrefilterAuto, PrefilterOff} {
+		got, _ := multiStreamAll(t, eng, qs, corpus, SelectOptions{Workers: 1, Prefilter: mode})
+		for i := range qs {
+			if got[i] != want[i] {
+				t.Errorf("prefilter=%v: query %q: got:\n%swant:\n%s",
+					mode == PrefilterAuto, sources[i], got[i], want[i])
+			}
+		}
+	}
+}

@@ -150,6 +150,12 @@ var Skip ErrorPolicy = func(*RecordError) error { return nil }
 
 // StreamStats aggregates one SelectStream run. The field set mirrors
 // stream.Stats exactly (the struct conversion below depends on it).
+//
+// Invariant: Records + Prefiltered is the total number of records the
+// splitter saw, whatever the prefilter mode or (for SelectStreamMulti)
+// the query count — prefiltering only moves a record between the two
+// buckets, never conjures or drops one. The differential harness pins
+// this, and Prefiltered/(Records+Prefiltered) is the run's skim rate.
 type StreamStats struct {
 	Records     int64 // records evaluated and delivered
 	Nodes       int64 // total nodes across delivered records
@@ -210,6 +216,48 @@ var ErrStop = stream.ErrStop
 // bound, *RecordError (wrapping the cause, including *InternalError for a
 // panicking evaluation) when an OnError policy aborted on a failed record.
 func (e *Engine) SelectStream(ctx context.Context, r io.Reader, q *Query, opts SelectOptions, yield func(StreamMatch) error) (StreamStats, error) {
+	return e.selectStream(ctx, r, []*Query{q}, opts, func(_ int, m StreamMatch) error {
+		return yield(m)
+	})
+}
+
+// MultiStreamMatch is one located node from a multi-query streaming run:
+// the match plus the index of the query that located it.
+type MultiStreamMatch struct {
+	StreamMatch
+	// Query is the index into SelectStreamMulti's query slice of the query
+	// this node matched.
+	Query int
+}
+
+// SelectStreamMulti evaluates every query in qs over one shared pass of
+// the stream: the input is split and parsed once, and each record drives
+// all the compiled match automata instead of one scan per query — the
+// serving path for N registered queries over one hot feed. Matches carry
+// the originating query's index; within one record they arrive grouped by
+// ascending query index, in document order within each query.
+//
+// Everything else follows the SelectStream contract — in-order delivery,
+// fault containment via OnError, budgets, tracing. Two multi-query
+// specifics: RecordTimeout bounds one record's evaluation across ALL
+// queries (it is a record budget, not a per-query one), and under
+// PrefilterAuto the skim tests the union of the queries' required labels,
+// skipping a record only when no query's requirement set is present and
+// gating per-record evaluation to the queries whose requirements are —
+// per query, exactly the records its own prefiltered run would evaluate.
+// StreamStats.Matches counts across all queries; the
+// Records+Prefiltered sum is identical to a single-query run over the
+// same input (see StreamStats).
+func (e *Engine) SelectStreamMulti(ctx context.Context, r io.Reader, qs []*Query, opts SelectOptions, yield func(MultiStreamMatch) error) (StreamStats, error) {
+	if len(qs) == 0 {
+		return StreamStats{}, errors.New("xpe: SelectStreamMulti needs at least one query")
+	}
+	return e.selectStream(ctx, r, qs, opts, func(qi int, m StreamMatch) error {
+		return yield(MultiStreamMatch{StreamMatch: m, Query: qi})
+	})
+}
+
+func (e *Engine) selectStream(ctx context.Context, r io.Reader, qs []*Query, opts SelectOptions, yield func(int, StreamMatch) error) (StreamStats, error) {
 	cfg := stream.Config{
 		Split:          opts.SplitElement,
 		Workers:        opts.Workers,
@@ -260,15 +308,18 @@ func (e *Engine) SelectStream(ctx context.Context, r io.Reader, q *Query, opts S
 		before := sink.reg.Snapshot()
 		defer func() { e.metrics.AddSnapshot(sink.reg.Snapshot().Sub(before)) }()
 	}
-	// Resolve the compilation once, pre-fork: workers share one snapshot
-	// and never recompile per record.
-	cq := q.compiled()
+	// Resolve the compilations once, pre-fork: workers share one snapshot
+	// per query and never recompile per record.
+	cqs := make([]*core.CompiledQuery, len(qs))
+	for i, q := range qs {
+		cqs[i] = q.compiled()
+	}
 	var yerr error // yield-originated, passed through unwrapped
 	// With ReuseBuffers the three strings are serialized into per-run
 	// scratch buffers (one per record for the record path, one per match)
 	// and handed out as no-copy views, valid only until yield returns.
 	var recBuf, matchBuf []byte
-	st, err := stream.Run(ctx, r, cq, cfg, func(res *stream.Result) error {
+	st, err := stream.RunMulti(ctx, r, cqs, cfg, func(res *stream.Result) error {
 		var recPath string
 		if opts.ReuseBuffers {
 			recBuf = res.Path.AppendString(recBuf[:0])
@@ -292,9 +343,9 @@ func (e *Engine) SelectStream(ctx context.Context, r io.Reader, q *Query, opts S
 				sm.Match = Match{Path: m.Path.String(), Term: m.Node.String(), Node: m.Node}
 			}
 			if m.Witness != nil {
-				sm.Explanation = newExplanation(cq, q.src, m.Witness)
+				sm.Explanation = newExplanation(cqs[m.Query], qs[m.Query].src, m.Witness)
 			}
-			if err := yield(sm); err != nil {
+			if err := yield(m.Query, sm); err != nil {
 				if !errors.Is(err, ErrStop) {
 					yerr = err
 				}

@@ -35,6 +35,7 @@ package xpe
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"iter"
 	"sync"
@@ -92,6 +93,9 @@ type Engine struct {
 	// copts carries engine-wide query-compilation options (lazy
 	// determinization and its budget); fixed at construction.
 	copts core.Options
+	// optErr records an invalid construction option (*OptionError); fixed
+	// at construction and returned by every compile entry point.
+	optErr error
 }
 
 // EngineOption configures a new Engine (see NewEngine).
@@ -111,12 +115,30 @@ func WithLazyDeterminization() EngineOption {
 }
 
 // WithLazyTransitionBudget enables lazy determinization with an explicit
-// per-automaton cached-transition cap (0 picks the default bound, negative
-// disables eviction). Smaller budgets bound memory on adversarial inputs at
-// the cost of re-deriving evicted transitions.
+// per-automaton cached-transition cap. n > 0 caps the cache at n
+// transitions, evicting (and later re-deriving) beyond it — smaller
+// budgets bound memory on adversarial inputs at the cost of re-derivation.
+// n == 0 means unlimited: nothing is ever evicted, following the
+// package-wide "zero disables the bound" convention (MaxRecordBytes,
+// RecordTimeout). For the default bound without naming a number, use
+// WithLazyDeterminization alone.
+//
+// A negative budget is invalid: the engine records a typed *OptionError
+// that every subsequent CompileQuery/CompileXPath call returns, instead of
+// compiling under silently reinterpreted semantics.
 func WithLazyTransitionBudget(n int) EngineOption {
 	return func(e *Engine) {
+		if n < 0 {
+			e.optErr = &OptionError{Option: "WithLazyTransitionBudget",
+				Reason: fmt.Sprintf("negative budget %d (0 means unlimited)", n)}
+			return
+		}
 		e.copts.LazyDeterminize = true
+		if n == 0 {
+			// The internal representation of "no bound" (ha.LazyOptions
+			// treats 0 as "pick the default").
+			n = -1
+		}
 		e.copts.LazyTransitionBudget = n
 	}
 }
@@ -370,6 +392,9 @@ func (e *Engine) newQuery(kind byte, src string, cq *core.CompiledQuery) *Query 
 // fast path costs two atomic loads. Stats().Cache reports hits, misses,
 // and evictions.
 func (e *Engine) CompileQuery(src string) (*Query, error) {
+	if e.optErr != nil {
+		return nil, e.optErr
+	}
 	cq, err := e.compileThroughCache(kindQuery, src, e.names.Generation())
 	if err != nil {
 		return nil, err
@@ -742,6 +767,9 @@ func (q *Query) Rename(d *Document, newLabel string) *Document {
 // like CompileQuery the result is stamped and transparently re-translated
 // and recompiled when evaluated after the alphabet has grown.
 func (e *Engine) CompileXPath(src string) (*Query, error) {
+	if e.optErr != nil {
+		return nil, e.optErr
+	}
 	cq, err := e.compileThroughCache(kindXPath, src, e.names.Generation())
 	if err != nil {
 		return nil, err
