@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check chaos diff-test serve-test bench bench-json trace-overhead bench-gate
+.PHONY: all build test race vet fmt check chaos diff-test serve-test serve-chaos soak bench bench-json trace-overhead bench-gate
 
 all: check
 
@@ -51,6 +51,25 @@ diff-test:
 serve-test:
 	$(GO) test -race -count=1 ./internal/serve/...
 
+# serve-chaos runs the serving-layer resilience suite under the race
+# detector: slow-loris bodies and mid-feed disconnects (HTTP-layer fault
+# injection), kill-and-restart journal recovery (exact registration set,
+# quarantine, torn tails, compaction), per-feed circuit breakers
+# (trip/half-open/backoff at both the unit and HTTP level), and the
+# weighted-fair admitter (interleave, weights, per-tenant bounds, shed
+# order, drain-rate retry hints) — including the fairness-under-flood
+# pin with its goroutine-leak checks.
+serve-chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Journal|Breaker|Admitter|Admission|Leak' ./internal/serve/... ./internal/faultinject/...
+
+# soak is the opt-in endurance run, deliberately excluded from check:
+# 30 seconds of mixed-tenant traffic — steady posters, slow-loris drips,
+# mid-body hangups, and a poisoned feed cycling its breaker — against one
+# persistent server under the race detector, failing on any undocumented
+# status, deadlock, or leaked goroutine.
+soak:
+	$(GO) test -race -count=1 -run TestSoak ./internal/serve/ -soak 30s -v
+
 # check is the CI gate: formatting, static analysis (go vet ./...), the
 # full test suite, the race detector over the concurrency-bearing
 # packages, the fault-containment chaos suite, the three-way
@@ -58,7 +77,7 @@ serve-test:
 # run with the disabled-tracing budget enforced, and the streaming
 # throughput gate against the committed baseline (the recorded baseline
 # in BENCH_core.json comes from the non-quick bench-json run).
-check: fmt vet build test race chaos diff-test serve-test trace-overhead bench-gate
+check: fmt vet build test race chaos diff-test serve-test serve-chaos trace-overhead bench-gate
 
 bench:
 	$(GO) test -bench . -benchmem -run NONE ./...

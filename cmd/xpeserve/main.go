@@ -38,7 +38,10 @@ func main() {
 		addr         = flag.String("addr", "localhost:8080", "listen address")
 		workers      = flag.Int("workers", 0, "evaluation workers per stream (0 = GOMAXPROCS)")
 		maxConc      = flag.Int("max-concurrent", 4, "streams evaluating at once")
-		maxQueue     = flag.Int("max-queue", 8, "admission waiters beyond -max-concurrent before 429")
+		maxQueue     = flag.Int("max-queue", 8, "admission waiters per tenant before 429")
+		stateDir     = flag.String("state-dir", "", "directory for crash-safe registration persistence (empty = in-memory only)")
+		breakN       = flag.Int("breaker-threshold", 8, "consecutive record failures tripping a feed's circuit breaker (negative = disabled)")
+		breakBackoff = flag.Duration("breaker-backoff", 5*time.Second, "initial open interval after a breaker trip (doubles per failed probe)")
 		maxTenantQ   = flag.Int("max-queries-per-tenant", 256, "registrations allowed per tenant")
 		recBytes     = flag.Int64("max-record-bytes", 0, "default per-record input byte budget (0 = unlimited)")
 		recNodes     = flag.Int("max-record-nodes", 0, "default per-record node budget (0 = unlimited)")
@@ -67,6 +70,9 @@ func main() {
 		MaxQueueDepth:       *maxQueue,
 		MaxQueriesPerTenant: *maxTenantQ,
 		Workers:             *workers,
+		StateDir:            *stateDir,
+		BreakerThreshold:    *breakN,
+		BreakerBackoff:      *breakBackoff,
 		DefaultBudgets: serve.Budgets{
 			MaxRecordBytes: *recBytes,
 			MaxRecordNodes: *recNodes,
@@ -75,6 +81,12 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("xpeserve: %v", err)
+	}
+	defer srv.Close()
+	if *stateDir != "" {
+		st := srv.Stats()
+		log.Printf("xpeserve: recovered %d registrations (%d quarantined) from %s",
+			st.Registered, st.Quarantined, *stateDir)
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

@@ -276,3 +276,48 @@ func (f *feedReader) nextRecord() string {
 	f.next++
 	return rec
 }
+
+// HTTP-level client faults: request bodies that misbehave the way real
+// network peers do. These are plain io.Readers, so they plug directly
+// into http.Request.Body (or http.Post) in serving-layer chaos tests.
+
+// SlowLoris returns a reader that trickles data out chunk bytes at a
+// time, sleeping delay between chunks — the classic hold-a-slot-open
+// client. The total stall is len(data)/chunk × delay; keep it small
+// enough for the test but long enough to overlap the concurrent traffic
+// under test.
+func SlowLoris(data []byte, chunk int, delay time.Duration) io.Reader {
+	if chunk <= 0 {
+		chunk = 1
+	}
+	return NewReader(bytesReader(data), ReaderOptions{
+		ChunkSizes: []int{chunk},
+		StallEvery: int64(chunk),
+		StallFor:   delay,
+	})
+}
+
+// Disconnect returns a reader that delivers the first n bytes of data and
+// then fails with err (nil = ErrInjected) — a client vanishing mid-feed.
+// Posting it as a request body makes the server read a truncated stream.
+func Disconnect(data []byte, n int64, err error) io.Reader {
+	return NewReader(bytesReader(data), ReaderOptions{FailAfter: n, Err: err})
+}
+
+// bytesReader is a minimal in-memory reader (avoiding bytes.Reader's
+// extra interfaces, which would let transports bypass the fault wrapper).
+func bytesReader(data []byte) io.Reader { return &sliceReader{data: data} }
+
+type sliceReader struct {
+	data []byte
+	off  int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}

@@ -1,0 +1,283 @@
+package serve
+
+// Per-tenant fair admission: a shared concurrency pool dispensed by
+// weighted round-robin over per-tenant wait queues.
+//
+// The old gate was one semaphore plus one global queue counter, which let
+// a single flooding tenant fill every wait slot and push other tenants to
+// 429 — a noisy neighbor could buy the whole server with queue depth. The
+// admitter keeps one bounded FIFO per tenant instead: a tenant's flood
+// fills only that tenant's queue, and free evaluation slots are granted by
+// cycling tenants in round-robin, each getting up to `weight` consecutive
+// grants per visit. A quiet tenant's request therefore waits at most one
+// full cycle of the other tenants' weights, regardless of how deep any
+// single tenant's backlog is. Idle tenants forfeit their turn — credit is
+// never banked, so fairness is work-conserving.
+//
+// Overload degrades in a documented order (see README "Operations"):
+//
+//  1. totalQueued >= degradeDepth: the server tightens per-tenant budgets
+//     (record timeouts halve) so admitted work drains faster.
+//  2. totalQueued >= shedDepth: new arrivals from tenants whose weight is
+//     below the heaviest currently-queued tenant are rejected outright —
+//     lowest-weight tenants shed first, highest-weight tenants keep their
+//     per-queue bound.
+//
+// Refused requests get a machine-actionable refusal: the tenant's queue
+// depth and a retry hint derived from the observed drain rate (an EWMA of
+// the interval between slot releases) times the work queued ahead.
+
+import (
+	"sync"
+	"time"
+)
+
+// waiter is one admission request parked in a tenant queue.
+type waiter struct {
+	ready   chan struct{} // signaled by dispatch after granted is set
+	granted bool          // guarded by admitter.mu
+}
+
+// tenantQueue is one tenant's admission state: its bounded FIFO of
+// waiters, its scheduling weight, and its cumulative counters.
+type tenantQueue struct {
+	name    string
+	weight  int
+	waiters []*waiter
+
+	admitted int64 // granted an evaluation slot
+	rejected int64 // refused (queue full or shed)
+}
+
+// refusal is the machine-actionable 429 payload for a refused admission.
+type refusal struct {
+	Tenant       string `json:"tenant"`
+	QueueDepth   int    `json:"queue_depth"`
+	RetryAfterMS int64  `json:"retry_after_ms"`
+	Shed         bool   `json:"shed,omitempty"` // refused by weight shedding, not queue bound
+}
+
+// admitter is the shared-pool weighted-fair admission gate.
+type admitter struct {
+	mu       sync.Mutex
+	capacity int // evaluation slots (Options.MaxConcurrent)
+	perQueue int // waiter bound per tenant (Options.MaxQueueDepth)
+
+	active      int // slots in use
+	totalQueued int // waiters across all tenant queues
+	queues      map[string]*tenantQueue
+	order       []*tenantQueue // stable round-robin order (first-seen)
+	cursor      int            // index into order of the queue being served
+	credit      int            // grants left in the cursor queue's turn
+
+	degradeDepth int // totalQueued at which budgets tighten
+	shedDepth    int // totalQueued at which low-weight arrivals shed
+
+	// Drain-rate EWMA: the smoothed interval between slot releases, the
+	// basis for Retry-After hints. Zero until two releases happen.
+	lastRelease time.Time
+	drainNS     float64
+	now         func() time.Time
+
+	degraded int64 // admissions served while budget-tightening was active
+	shed     int64 // arrivals refused by weight shedding
+}
+
+func newAdmitter(capacity, perQueue, degradeDepth, shedDepth int) *admitter {
+	return &admitter{
+		capacity:     capacity,
+		perQueue:     perQueue,
+		degradeDepth: degradeDepth,
+		shedDepth:    shedDepth,
+		queues:       make(map[string]*tenantQueue),
+		now:          time.Now,
+	}
+}
+
+// queueLocked finds or creates the tenant's queue and refreshes its weight
+// (budgets can change between requests).
+func (a *admitter) queueLocked(tenant string, weight int) *tenantQueue {
+	if weight <= 0 {
+		weight = 1
+	}
+	q := a.queues[tenant]
+	if q == nil {
+		q = &tenantQueue{name: tenant, weight: weight}
+		a.queues[tenant] = q
+		a.order = append(a.order, q)
+	}
+	q.weight = weight
+	return q
+}
+
+// admit requests one evaluation slot for tenant. It returns a release
+// func on success, nil+refusal when refused (caller answers 429), or
+// nil+nil when ctx ended while waiting (caller just returns — the client
+// is gone).
+func (a *admitter) admit(ctx ctxDone, tenant string, weight int) (func(), *refusal) {
+	a.mu.Lock()
+	q := a.queueLocked(tenant, weight)
+	if a.totalQueued >= a.shedDepth && q.weight < a.maxQueuedWeightLocked() {
+		q.rejected++
+		a.shed++
+		ref := a.refusalLocked(q)
+		ref.Shed = true
+		a.mu.Unlock()
+		return nil, ref
+	}
+	if len(q.waiters) >= a.perQueue && a.active >= a.capacity {
+		q.rejected++
+		ref := a.refusalLocked(q)
+		a.mu.Unlock()
+		return nil, ref
+	}
+	w := &waiter{ready: make(chan struct{}, 1)}
+	q.waiters = append(q.waiters, w)
+	a.totalQueued++
+	a.dispatchLocked()
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return func() { a.release() }, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: the slot is ours, give it
+			// straight back so the dispatcher can pass it on.
+			a.mu.Unlock()
+			a.release()
+			return nil, nil
+		}
+		a.removeWaiterLocked(q, w)
+		a.mu.Unlock()
+		return nil, nil
+	}
+}
+
+// ctxDone is the slice of context.Context admission waits on.
+type ctxDone interface{ Done() <-chan struct{} }
+
+// dispatchLocked hands free slots to queued waiters by weighted
+// round-robin: the cursor queue gets up to `weight` consecutive grants,
+// then the turn passes; queues with nothing waiting forfeit their turn
+// without banking credit.
+func (a *admitter) dispatchLocked() {
+	for a.active < a.capacity && a.totalQueued > 0 {
+		q := a.nextQueueLocked()
+		w := q.waiters[0]
+		copy(q.waiters, q.waiters[1:])
+		q.waiters[len(q.waiters)-1] = nil
+		q.waiters = q.waiters[:len(q.waiters)-1]
+		a.totalQueued--
+		a.active++
+		q.admitted++
+		w.granted = true
+		w.ready <- struct{}{}
+	}
+}
+
+// nextQueueLocked advances the round-robin to the next queue owed a
+// grant. Only called with totalQueued > 0, so it terminates.
+func (a *admitter) nextQueueLocked() *tenantQueue {
+	for {
+		q := a.order[a.cursor%len(a.order)]
+		if a.credit > 0 && len(q.waiters) > 0 {
+			a.credit--
+			return q
+		}
+		a.cursor = (a.cursor + 1) % len(a.order)
+		a.credit = a.order[a.cursor].weight
+	}
+}
+
+// removeWaiterLocked drops an ungranted waiter whose request was
+// cancelled.
+func (a *admitter) removeWaiterLocked(q *tenantQueue, w *waiter) {
+	for i, x := range q.waiters {
+		if x == w {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			a.totalQueued--
+			return
+		}
+	}
+}
+
+// release returns a slot to the pool, feeds the drain-rate EWMA, and
+// dispatches the next waiter.
+func (a *admitter) release() {
+	a.mu.Lock()
+	a.active--
+	now := a.now()
+	if !a.lastRelease.IsZero() {
+		iv := float64(now.Sub(a.lastRelease))
+		if a.drainNS == 0 {
+			a.drainNS = iv
+		} else {
+			a.drainNS = 0.8*a.drainNS + 0.2*iv
+		}
+	}
+	a.lastRelease = now
+	a.dispatchLocked()
+	a.mu.Unlock()
+}
+
+// maxQueuedWeightLocked is the heaviest weight among tenants with work
+// queued — the shedding threshold: under shed pressure, arrivals lighter
+// than the heaviest waiting tenant are refused.
+func (a *admitter) maxQueuedWeightLocked() int {
+	max := 0
+	for _, q := range a.order {
+		if len(q.waiters) > 0 && q.weight > max {
+			max = q.weight
+		}
+	}
+	return max
+}
+
+// refusalLocked builds the 429 payload: the tenant's own queue depth and
+// a retry hint of drainInterval × (work queued ahead + 1), clamped to
+// [1ms, 30s]. Before any release has been observed the hint defaults to
+// one second.
+func (a *admitter) refusalLocked(q *tenantQueue) *refusal {
+	drain := a.drainNS
+	if drain <= 0 {
+		drain = float64(time.Second)
+	}
+	ms := int64(drain * float64(a.totalQueued+1) / float64(time.Millisecond))
+	if ms < 1 {
+		ms = 1
+	}
+	if ms > 30_000 {
+		ms = 30_000
+	}
+	return &refusal{Tenant: q.name, QueueDepth: len(q.waiters), RetryAfterMS: ms}
+}
+
+// degradedNow reports whether queue pressure has crossed the
+// budget-tightening threshold (overload level 1).
+func (a *admitter) degradedNow() bool {
+	a.mu.Lock()
+	d := a.totalQueued >= a.degradeDepth
+	if d {
+		a.degraded++
+	}
+	a.mu.Unlock()
+	return d
+}
+
+// snapshot captures the admitter's counters for Stats.
+func (a *admitter) snapshot() (active, queued int, degraded, shed int64, tenants map[string]TenantStats) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tenants = make(map[string]TenantStats, len(a.order))
+	for _, q := range a.order {
+		tenants[q.name] = TenantStats{
+			Weight:     q.weight,
+			Admitted:   q.admitted,
+			Rejected:   q.rejected,
+			QueueDepth: int64(len(q.waiters)),
+		}
+	}
+	return a.active, a.totalQueued, a.degraded, a.shed, tenants
+}

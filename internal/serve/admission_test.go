@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitQueued polls until the admitter holds exactly n waiters.
+func waitQueued(t *testing.T, a *admitter, n int) {
+	t.Helper()
+	waitFor(t, func() bool {
+		_, queued, _, _, _ := a.snapshot()
+		return queued == n
+	})
+}
+
+// enqueue parks n admission requests for tenant and returns a channel
+// carrying each grant's tenant name in grant order (each waiter releases
+// its slot immediately, so grants are strictly sequential under
+// capacity 1).
+func enqueue(t *testing.T, a *admitter, tenant string, weight, n int, grants chan<- string, wg *sync.WaitGroup) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		_, before, _, _, _ := a.snapshot()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, ref := a.admit(context.Background(), tenant, weight)
+			if ref != nil || release == nil {
+				grants <- "REFUSED:" + tenant
+				return
+			}
+			grants <- tenant
+			release()
+		}()
+		// One waiter parks before the next is spawned, so queue order —
+		// and therefore grant order — is deterministic.
+		waitQueued(t, a, before+1)
+	}
+}
+
+// TestAdmitterFairInterleave is the deterministic fairness pin: one
+// tenant floods six waiters deep, another parks two, and weighted
+// round-robin must interleave the quiet tenant's grants near the front
+// instead of behind the flood (FIFO would grant them 7th and 8th).
+func TestAdmitterFairInterleave(t *testing.T) {
+	a := newAdmitter(1, 8, 100, 200)
+	hold, ref := a.admit(context.Background(), "hold", 1)
+	if ref != nil || hold == nil {
+		t.Fatal("holder refused with free capacity")
+	}
+
+	grants := make(chan string, 8)
+	var wg sync.WaitGroup
+	enqueue(t, a, "hog", 1, 6, grants, &wg)
+	waitQueued(t, a, 6)
+	enqueue(t, a, "quiet", 1, 2, grants, &wg)
+	waitQueued(t, a, 8)
+
+	hold() // start the chain: each grant releases into the next dispatch
+	wg.Wait()
+	close(grants)
+	var order []string
+	for g := range grants {
+		order = append(order, g)
+	}
+	if len(order) != 8 {
+		t.Fatalf("grants = %v", order)
+	}
+	quietAt := []int{}
+	for i, g := range order {
+		if g == "quiet" {
+			quietAt = append(quietAt, i)
+		}
+		if g == "REFUSED:hog" || g == "REFUSED:quiet" {
+			t.Fatalf("waiter refused after queueing: %v", order)
+		}
+	}
+	// Equal weights alternate while both queues are non-empty: quiet's
+	// grants land within the first four, never trailing the flood.
+	if len(quietAt) != 2 || quietAt[1] > 3 {
+		t.Errorf("quiet granted at positions %v of %v; flood starved it", quietAt, order)
+	}
+
+	_, _, _, _, tenants := a.snapshot()
+	if tenants["hog"].Admitted != 6 || tenants["quiet"].Admitted != 2 {
+		t.Errorf("per-tenant admitted: %+v", tenants)
+	}
+}
+
+// TestAdmitterWeights: a weight-3 tenant takes three consecutive grants
+// per cycle to the weight-1 tenant's one.
+func TestAdmitterWeights(t *testing.T) {
+	a := newAdmitter(1, 16, 100, 200)
+	hold, _ := a.admit(context.Background(), "hold", 1)
+
+	grants := make(chan string, 8)
+	var wg sync.WaitGroup
+	enqueue(t, a, "heavy", 3, 6, grants, &wg)
+	waitQueued(t, a, 6)
+	enqueue(t, a, "light", 1, 2, grants, &wg)
+	waitQueued(t, a, 8)
+
+	hold()
+	wg.Wait()
+	close(grants)
+	var order []string
+	for g := range grants {
+		order = append(order, g)
+	}
+	want := []string{"heavy", "heavy", "heavy", "light", "heavy", "heavy", "heavy", "light"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestAdmitterPerTenantBound: one tenant's full queue refuses only that
+// tenant; another tenant still queues freely.
+func TestAdmitterPerTenantBound(t *testing.T) {
+	a := newAdmitter(1, 2, 100, 200)
+	hold, _ := a.admit(context.Background(), "hold", 1)
+
+	grants := make(chan string, 4)
+	var wg sync.WaitGroup
+	enqueue(t, a, "hog", 1, 2, grants, &wg)
+	waitQueued(t, a, 2)
+
+	// Hog's queue is at its bound: the next hog request is refused with a
+	// machine-actionable payload.
+	release, ref := a.admit(context.Background(), "hog", 1)
+	if release != nil || ref == nil {
+		t.Fatal("over-bound hog admitted")
+	}
+	if ref.Tenant != "hog" || ref.QueueDepth != 2 || ref.RetryAfterMS < 1 {
+		t.Errorf("refusal = %+v", ref)
+	}
+	// A different tenant is untouched by hog's backlog.
+	enqueue(t, a, "quiet", 1, 1, grants, &wg)
+	waitQueued(t, a, 3)
+	_, _, _, _, tenants := a.snapshot()
+	if tenants["hog"].Rejected != 1 || tenants["quiet"].Rejected != 0 {
+		t.Errorf("per-tenant rejected: %+v", tenants)
+	}
+
+	hold()
+	wg.Wait()
+	close(grants)
+	n := 0
+	for g := range grants {
+		if g == "REFUSED:hog" || g == "REFUSED:quiet" {
+			t.Fatalf("queued waiter refused: %v", g)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("grants = %d, want 3", n)
+	}
+}
+
+// TestAdmitterShedsLowWeightFirst: past the shed depth, arrivals lighter
+// than the heaviest queued tenant are refused outright while the heavy
+// tenant keeps its per-queue bound.
+func TestAdmitterShedsLowWeightFirst(t *testing.T) {
+	a := newAdmitter(1, 10, 2, 3)
+	hold, _ := a.admit(context.Background(), "hold", 1)
+
+	grants := make(chan string, 8)
+	var wg sync.WaitGroup
+	enqueue(t, a, "heavy", 5, 3, grants, &wg)
+	waitQueued(t, a, 3) // at shedDepth
+
+	if release, ref := a.admit(context.Background(), "light", 1); release != nil || ref == nil || !ref.Shed {
+		t.Fatalf("light arrival past shed depth: release=%v ref=%+v", release != nil, ref)
+	}
+	// The heavy tenant itself still queues (its weight matches the max).
+	enqueue(t, a, "heavy", 5, 1, grants, &wg)
+	waitQueued(t, a, 4)
+
+	_, _, _, shed, tenants := a.snapshot()
+	if shed != 1 || tenants["light"].Rejected != 1 {
+		t.Errorf("shed = %d, tenants = %+v", shed, tenants)
+	}
+
+	hold()
+	wg.Wait()
+}
+
+// TestAdmitterCancelWhileQueued: a cancelled waiter leaves the queue
+// without consuming a slot, and later grants proceed normally.
+func TestAdmitterCancelWhileQueued(t *testing.T) {
+	a := newAdmitter(1, 4, 100, 200)
+	hold, _ := a.admit(context.Background(), "hold", 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool)
+	go func() {
+		release, ref := a.admit(ctx, "t", 1)
+		done <- release == nil && ref == nil
+	}()
+	waitQueued(t, a, 1)
+	cancel()
+	if !<-done {
+		t.Fatal("cancelled waiter did not return nil,nil")
+	}
+	waitQueued(t, a, 0)
+
+	hold()
+	release, ref := a.admit(context.Background(), "t", 1)
+	if ref != nil || release == nil {
+		t.Fatal("admission broken after a cancelled waiter")
+	}
+	release()
+}
+
+// TestAdmitterRetryHintTracksDrainRate: after releases at a steady
+// cadence, the 429 retry hint is the drain interval times the work
+// queued ahead — not a fixed constant.
+func TestAdmitterRetryHintTracksDrainRate(t *testing.T) {
+	a := newAdmitter(1, 1, 100, 200)
+	now := time.Unix(1000, 0)
+	a.now = func() time.Time { return now }
+
+	for i := 0; i < 4; i++ {
+		release, ref := a.admit(context.Background(), "t", 1)
+		if ref != nil {
+			t.Fatal("refused with free capacity")
+		}
+		now = now.Add(100 * time.Millisecond)
+		release()
+	}
+
+	hold, _ := a.admit(context.Background(), "t", 1)
+	grants := make(chan string, 1)
+	var wg sync.WaitGroup
+	enqueue(t, a, "t", 1, 1, grants, &wg)
+	waitQueued(t, a, 1)
+
+	_, ref := a.admit(context.Background(), "t", 1)
+	if ref == nil {
+		t.Fatal("expected refusal with a full tenant queue")
+	}
+	// EWMA of identical 100ms intervals is 100ms; one waiter ahead plus
+	// this request = 200ms.
+	if ref.RetryAfterMS != 200 {
+		t.Errorf("retry_after_ms = %d, want 200 (drain 100ms × 2 queued)", ref.RetryAfterMS)
+	}
+
+	hold()
+	wg.Wait()
+}

@@ -1,0 +1,223 @@
+package serve
+
+// Per-feed circuit breakers: a feed whose records keep failing is
+// isolated instead of burning evaluation slots on every post.
+//
+// Each feed has a three-state breaker:
+//
+//	closed    normal service; consecutive record failures are counted
+//	open      posts answered 503 + Retry-After until the backoff elapses
+//	half-open one probe run is admitted; clean → closed, failing → open
+//	          again with doubled backoff (capped)
+//
+// "Consecutive" is judged by record index continuity: a failure at index
+// lastFailed+1 extends the streak, any other index restarts it at one. A
+// run that ends without a clean bill (an abort, skips, or timeouts)
+// leaves the streak armed so a feed poisoned at its head — every run
+// fails at record 0 and aborts — accumulates across runs. A fully clean
+// run resets the breaker. Tripping also aborts the in-flight run (the
+// policy wrapper returns the breaker error), so a poisoned feed costs at
+// most threshold failed records per backoff window, not a full pass.
+//
+// Client-side failures — the poster disconnecting mid-body — never reach
+// the breaker: only record-scoped evaluation failures count, so a flaky
+// client cannot open the breaker on a healthy feed.
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// feedBreaker is one feed's breaker. Guarded by its own mutex; the hot
+// path (closed, no failures) is one lock round-trip per failed record and
+// per run start/finish — negligible against evaluation cost.
+type feedBreaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	threshold int
+	base, cap time.Duration
+	backoff   time.Duration // current open interval
+	openedAt  time.Time
+	consec    int  // current consecutive-failure streak
+	lastIdx   int  // index of the streak's last failure
+	probing   bool // a half-open probe run is in flight
+	now       func() time.Time
+}
+
+// rejectedNow is the read-only pre-admission check: true while the
+// breaker is open with backoff remaining. It never transitions state, so
+// a refused request cannot strand a half-open probe.
+func (b *feedBreaker) rejectedNow() (open bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerOpen {
+		return false, 0
+	}
+	if wait := b.openedAt.Add(b.backoff).Sub(b.now()); wait > 0 {
+		return true, wait
+	}
+	return false, 0
+}
+
+// allow gates a feed run. Refused runs get the remaining backoff for the
+// 503's Retry-After.
+func (b *feedBreaker) allow() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if wait := b.openedAt.Add(b.backoff).Sub(b.now()); wait > 0 {
+			return false, wait
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, 0
+	default: // half-open
+		if b.probing {
+			return false, b.backoff
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// recordFailure counts one record-scoped failure and reports whether this
+// one tripped the breaker (the caller then aborts the run).
+func (b *feedBreaker) recordFailure(idx int) (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if idx == b.lastIdx+1 {
+		b.consec++
+	} else {
+		b.consec = 1
+	}
+	b.lastIdx = idx
+	if b.consec < b.threshold {
+		return false
+	}
+	b.tripLocked()
+	return true
+}
+
+// tripLocked opens the breaker. A trip out of half-open (the probe
+// failed) doubles the backoff, up to the cap; a trip out of closed starts
+// from the base.
+func (b *feedBreaker) tripLocked() {
+	if b.state == breakerHalfOpen {
+		b.backoff = min(2*b.backoff, b.cap)
+	} else {
+		b.backoff = b.base
+	}
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.probing = false
+	b.consec = 0
+	b.lastIdx = math.MinInt // next failure starts a fresh streak
+}
+
+// finish closes out one run. clean means the run completed with no abort,
+// no skipped records, and no timeouts — only that resets the breaker. A
+// half-open probe that ends un-clean (even below the trip threshold)
+// reopens with doubled backoff; an un-clean closed run leaves the streak
+// armed at lastIdx = -1 so a failure at the head of the next run
+// continues it.
+func (b *feedBreaker) finish(clean bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if clean {
+		b.state = breakerClosed
+		b.backoff = b.base
+		b.consec = 0
+		b.lastIdx = math.MinInt
+		b.probing = false
+		return
+	}
+	if b.state == breakerHalfOpen {
+		b.state = breakerOpen
+		b.backoff = min(2*b.backoff, b.cap)
+		b.openedAt = b.now()
+		b.probing = false
+	}
+	b.lastIdx = -1
+}
+
+// breakerSet owns the per-feed breakers.
+type breakerSet struct {
+	mu        sync.Mutex
+	m         map[string]*feedBreaker
+	threshold int
+	base, cap time.Duration
+	now       func() time.Time
+}
+
+func newBreakerSet(threshold int, base, cap time.Duration) *breakerSet {
+	return &breakerSet{
+		m:         make(map[string]*feedBreaker),
+		threshold: threshold,
+		base:      base,
+		cap:       cap,
+		now:       time.Now,
+	}
+}
+
+// get returns feed's breaker, or nil when breakers are disabled.
+func (bs *breakerSet) get(feed string) *feedBreaker {
+	if bs == nil || bs.threshold <= 0 {
+		return nil
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	b := bs.m[feed]
+	if b == nil {
+		b = &feedBreaker{
+			threshold: bs.threshold,
+			base:      bs.base,
+			cap:       bs.cap,
+			backoff:   bs.base,
+			lastIdx:   math.MinInt,
+			now:       bs.now,
+		}
+		bs.m[feed] = b
+	}
+	return b
+}
+
+// openCount reports how many feeds are currently refusing service.
+func (bs *breakerSet) openCount() int64 {
+	if bs == nil {
+		return 0
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	var n int64
+	for _, b := range bs.m {
+		b.mu.Lock()
+		if b.state == breakerOpen && b.now().Before(b.openedAt.Add(b.backoff)) {
+			n++
+		}
+		b.mu.Unlock()
+	}
+	return n
+}

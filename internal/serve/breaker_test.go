@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"xpe"
+)
+
+// fakeClock drives breaker time deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_000_000, 0)} }
+func withClock(bs *breakerSet, c *fakeClock) { bs.now = c.now }
+func mustAllow(t *testing.T, b *feedBreaker) {
+	t.Helper()
+	ok, _ := b.allow()
+	mustBool(t, ok, "allow")
+}
+func mustBool(t *testing.T, ok bool, what string) {
+	t.Helper()
+	if !ok {
+		t.Fatalf("%s refused unexpectedly", what)
+	}
+}
+
+// TestBreakerLifecycle walks closed → open → half-open → open (failed
+// probe, doubled backoff) → half-open → closed (clean probe) on a fake
+// clock.
+func TestBreakerLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	bs := newBreakerSet(3, time.Second, 4*time.Second)
+	withClock(bs, clk)
+	b := bs.get("f")
+
+	// Two consecutive failures: armed but closed.
+	if b.recordFailure(0) || b.recordFailure(1) {
+		t.Fatal("tripped below threshold")
+	}
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("closed breaker refused")
+	}
+	// Third consecutive: trips, and the caller is told to abort the run.
+	if !b.recordFailure(2) {
+		t.Fatal("no trip at the threshold")
+	}
+	if open, retry := b.rejectedNow(); !open || retry <= 0 || retry > time.Second {
+		t.Fatalf("open breaker: rejectedNow = %v, %v", open, retry)
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("open breaker allowed inside backoff")
+	}
+
+	// Backoff elapses: exactly one half-open probe goes through.
+	clk.advance(time.Second)
+	if open, _ := b.rejectedNow(); open {
+		t.Fatal("rejectedNow still open after backoff elapsed")
+	}
+	mustAllow(t, b)
+	if ok, _ := b.allow(); ok {
+		t.Fatal("second concurrent probe allowed")
+	}
+	// The probe run ends un-clean: reopen with doubled backoff.
+	b.finish(false)
+	if open, retry := b.rejectedNow(); !open || retry != 2*time.Second {
+		t.Fatalf("failed probe: rejectedNow = %v, %v, want open with 2s backoff", open, retry)
+	}
+
+	// Next probe is clean: breaker closes and the streak resets.
+	clk.advance(2 * time.Second)
+	mustAllow(t, b)
+	b.finish(true)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("closed breaker refused after clean probe")
+	}
+	// Non-consecutive failures never trip.
+	if b.recordFailure(0) || b.recordFailure(5) || b.recordFailure(9) {
+		t.Fatal("non-consecutive failures tripped the breaker")
+	}
+}
+
+// TestBreakerAccumulatesAcrossRuns: a feed poisoned at its head — every
+// run fails at record 0 and ends un-clean — trips after threshold runs,
+// even though each run contributes a single failure.
+func TestBreakerAccumulatesAcrossRuns(t *testing.T) {
+	clk := newFakeClock()
+	bs := newBreakerSet(3, time.Second, 4*time.Second)
+	withClock(bs, clk)
+	b := bs.get("f")
+
+	for run := 0; run < 2; run++ {
+		mustAllow(t, b)
+		if b.recordFailure(0) {
+			t.Fatalf("run %d: tripped early", run)
+		}
+		b.finish(false)
+	}
+	mustAllow(t, b)
+	if !b.recordFailure(0) {
+		t.Fatal("third head-failure run did not trip")
+	}
+	// A clean run in between resets the streak.
+	clk.advance(time.Second)
+	mustAllow(t, b)
+	b.finish(true)
+	mustAllow(t, b)
+	if b.recordFailure(0) {
+		t.Fatal("tripped on the first failure after a clean run")
+	}
+}
+
+// TestBreakerBackoffCap: repeated failed probes double the backoff only
+// up to the cap.
+func TestBreakerBackoffCap(t *testing.T) {
+	clk := newFakeClock()
+	bs := newBreakerSet(1, time.Second, 4*time.Second)
+	withClock(bs, clk)
+	b := bs.get("f")
+
+	b.recordFailure(0) // threshold 1: trips immediately
+	want := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 4 * time.Second}
+	for i, w := range want[1:] {
+		clk.advance(want[i])
+		mustAllow(t, b) // probe
+		b.finish(false) // fails
+		if _, retry := b.rejectedNow(); retry != w {
+			t.Fatalf("probe %d: backoff = %v, want %v", i, retry, w)
+		}
+	}
+}
+
+// TestServeFeedBreaker is the HTTP-level breaker test: a feed whose
+// records keep failing trips mid-run, subsequent posts bounce with a
+// machine-actionable 503, and a clean half-open probe restores service —
+// all on a fake clock.
+func TestServeFeedBreaker(t *testing.T) {
+	s, ts := newTestServer(t, Options{Engine: xpe.NewEngine(), BreakerThreshold: 2,
+		BreakerBackoff: time.Minute})
+	clk := newFakeClock()
+	withClock(s.breakers, clk) // before any feed post creates a breaker
+	mustRegister(t, ts, `{"tenant":"t","name":"q","query":"price doc*","feed":"f"}`)
+
+	// Two consecutive malformed records (split=doc resynchronizes past
+	// each): the Skip policy routes both to the breaker, which trips and
+	// aborts the run.
+	poisoned := `<corpus><doc><price>1</price></doc>` +
+		`<doc><x></doc><doc><y></doc>` +
+		`<doc><price>2</price></doc></corpus>`
+	resp, err := http.Post(ts.URL+"/v1/feed/f?split=doc", "application/xml", strings.NewReader(poisoned))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "circuit breaker opened") {
+		t.Fatalf("poisoned run: %d %q, want an in-stream breaker abort", resp.StatusCode, body)
+	}
+	if st := s.Stats(); st.BreakerTrips != 1 || st.BreakerOpen != 1 {
+		t.Fatalf("after trip: %+v", st)
+	}
+
+	// While open, posts are refused before admission with a 503 carrying
+	// the remaining backoff.
+	resp, err = http.Post(ts.URL+"/v1/feed/f", "application/xml", strings.NewReader(feedCorpus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refuse struct {
+		Error        string `json:"error"`
+		Feed         string `json:"feed"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&refuse); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("open-breaker post: %d, want 503 + Retry-After", resp.StatusCode)
+	}
+	if refuse.Feed != "f" || refuse.RetryAfterMS <= 0 || refuse.RetryAfterMS > 60_000 {
+		t.Fatalf("refusal body: %+v", refuse)
+	}
+	if st := s.Stats(); st.BreakerRejects != 1 {
+		t.Fatalf("breaker rejects = %d, want 1", st.BreakerRejects)
+	}
+	// Other feeds are isolated from f's breaker.
+	mustRegister(t, ts, `{"tenant":"t","name":"q2","query":"price doc*","feed":"g"}`)
+	if _, _, resp := postNDJSON(t, ts.URL+"/v1/feed/g", feedCorpus); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy feed refused while f is open")
+	}
+
+	// Backoff elapses; the half-open probe runs clean and closes the
+	// breaker.
+	clk.advance(time.Minute)
+	if _, _, resp := postNDJSON(t, ts.URL+"/v1/feed/f", feedCorpus); resp.StatusCode != http.StatusOK {
+		t.Fatalf("half-open probe refused")
+	}
+	if st := s.Stats(); st.BreakerOpen != 0 {
+		t.Fatalf("breaker still open after a clean probe: %+v", st)
+	}
+	if _, _, resp := postNDJSON(t, ts.URL+"/v1/feed/f", feedCorpus); resp.StatusCode != http.StatusOK {
+		t.Fatalf("closed breaker refused")
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}

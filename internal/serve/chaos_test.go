@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xpe"
+	"xpe/internal/faultinject"
+)
+
+var soakFor = flag.Duration("soak", 0, "run TestSoak's mixed-tenant chaos feed for this long (0 = skip)")
+
+// drainLeaks closes the test server's client connections and polls until
+// the goroutine count returns to the pre-test baseline, dumping stacks on
+// timeout. HTTP keep-alive goroutines are part of the count, so idle
+// client connections are torn down first.
+func drainLeaks(t *testing.T, base int, closers ...func()) {
+	t.Helper()
+	for _, c := range closers {
+		c()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		// Re-close idle conns each round: a finished request's connection
+		// returns to the pool asynchronously and can miss a single sweep.
+		http.DefaultClient.CloseIdleConnections()
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d, baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// chaosRegister registers a query and drains the response immediately —
+// unlike mustRegister, whose deferred body close would hold a client
+// connection (and its two transport goroutines) past the leak check.
+func chaosRegister(t *testing.T, ts *httptest.Server, body string) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/queries", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register %s: %d %s", body, resp.StatusCode, msg)
+	}
+}
+
+// TestChaosSlowLoris: a client dripping its body a few bytes at a time
+// holds its evaluation slot for the whole drip — it must not be able to
+// hold anyone else's. With one spare slot, a healthy tenant's posts all
+// succeed while the loris crawls, and the crawl itself still completes.
+func TestChaosSlowLoris(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s, ts := newTestServer(t, Options{Engine: xpe.NewEngine(), MaxConcurrent: 2, MaxQueueDepth: 4})
+	chaosRegister(t, ts, `{"tenant":"drip","name":"q","query":"price doc*","feed":"slow"}`)
+	chaosRegister(t, ts, `{"tenant":"live","name":"q","query":"price doc*","feed":"fast"}`)
+
+	slowDone := make(chan error, 1)
+	go func() {
+		body := faultinject.SlowLoris([]byte(feedCorpus), 16, 10*time.Millisecond)
+		resp, err := http.Post(ts.URL+"/v1/feed/slow?tenant=drip", "application/xml", body)
+		if err == nil {
+			defer resp.Body.Close()
+			if _, err = io.Copy(io.Discard, resp.Body); err == nil && resp.StatusCode != http.StatusOK {
+				err = errors.New(resp.Status)
+			}
+		}
+		slowDone <- err
+	}()
+	waitFor(t, func() bool { return s.Stats().ActiveProbes >= 1 })
+
+	// The loris owns one slot; the healthy tenant's traffic flows through
+	// the other without a single refusal.
+	for i := 0; i < 5; i++ {
+		if _, sum, _ := postNDJSON(t, ts.URL+"/v1/feed/fast?tenant=live", feedCorpus); sum.Matches == 0 {
+			t.Fatalf("post %d: healthy feed matched nothing behind the loris", i)
+		}
+	}
+	if st := s.Stats(); st.Tenants["live"].Rejected != 0 {
+		t.Fatalf("healthy tenant rejected behind a slow loris: %+v", st.Tenants)
+	}
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow-loris feed did not complete: %v", err)
+	}
+	drainLeaks(t, base, ts.Close)
+}
+
+// TestChaosMidFeedDisconnect: a client vanishing mid-body releases its
+// slot promptly, does NOT feed the circuit breaker (only record-scoped
+// evaluation failures count), and leaks nothing.
+func TestChaosMidFeedDisconnect(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s, ts := newTestServer(t, Options{Engine: xpe.NewEngine(), MaxConcurrent: 1,
+		BreakerThreshold: 2, BreakerBackoff: time.Minute})
+	chaosRegister(t, ts, `{"tenant":"t","name":"q","query":"price doc*","feed":"f"}`)
+
+	for i := 0; i < 3; i++ {
+		body := faultinject.Disconnect([]byte(feedCorpus), 40, errors.New("client vanished"))
+		resp, err := http.Post(ts.URL+"/v1/feed/f", "application/xml", body)
+		if err == nil {
+			// The transport may still deliver the truncated-run response.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	// With MaxConcurrent 1, success here proves each aborted run released
+	// its slot; a 200 proves three disconnects never opened the breaker.
+	if _, sum, _ := postNDJSON(t, ts.URL+"/v1/feed/f", feedCorpus); sum.Matches == 0 {
+		t.Fatal("feed matched nothing after client disconnects")
+	}
+	if st := s.Stats(); st.BreakerTrips != 0 || st.BreakerOpen != 0 {
+		t.Fatalf("client disconnects tripped the breaker: %+v", st)
+	}
+	drainLeaks(t, base, ts.Close)
+}
+
+// TestChaosFairnessUnderFlood is the HTTP-level fairness pin from the
+// issue: one tenant flooding the shared pool far past its queue bound
+// must not push another tenant to 429 or starve its latency. The quiet
+// tenant's posts all succeed with bounded worst-case latency while the
+// hog eats every refusal.
+func TestChaosFairnessUnderFlood(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s, ts := newTestServer(t, Options{Engine: xpe.NewEngine(), MaxConcurrent: 1, MaxQueueDepth: 4})
+	chaosRegister(t, ts, `{"tenant":"hog","name":"q","query":"price doc*","feed":"hogfeed"}`)
+	chaosRegister(t, ts, `{"tenant":"quiet","name":"q","query":"price doc*","feed":"quietfeed"}`)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var hog429, hogOK atomic.Int64
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Each hog post drips its body (~100ms), holding its
+				// evaluation slot long enough for real queue pressure —
+				// instant posts would drain faster than six clients can
+				// pile up.
+				resp, err := http.Post(ts.URL+"/v1/feed/hogfeed?tenant=hog",
+					"application/xml", faultinject.SlowLoris([]byte(feedCorpus), 64, 20*time.Millisecond))
+				if err != nil {
+					return // server shutting down
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					hogOK.Add(1)
+				case http.StatusTooManyRequests:
+					hog429.Add(1)
+				}
+			}
+		}()
+	}
+	// Let the flood saturate the pool and the hog's queue bound.
+	waitFor(t, func() bool { return s.Stats().QueueDepth >= 4 })
+
+	var worst time.Duration
+	for i := 0; i < 10; i++ {
+		start := time.Now()
+		// postNDJSON fails the test on any non-200: zero quiet 429s.
+		postNDJSON(t, ts.URL+"/v1/feed/quietfeed?tenant=quiet", feedCorpus)
+		if d := time.Since(start); d > worst {
+			worst = d
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Tenants["quiet"].Rejected != 0 {
+		t.Errorf("quiet tenant saw %d rejections under the flood", st.Tenants["quiet"].Rejected)
+	}
+	if hog429.Load() == 0 {
+		t.Errorf("the flood was never pushed back (hog: %d ok, 0 refused)", hogOK.Load())
+	}
+	// Round-robin bounds quiet's wait to roughly one hog evaluation, not
+	// the hog's whole backlog; 2s is orders of magnitude of slack on a
+	// millisecond-scale evaluation.
+	if worst > 2*time.Second {
+		t.Errorf("quiet tenant's worst admission-to-response latency %v; flood starved it", worst)
+	}
+	drainLeaks(t, base, ts.Close)
+}
+
+// TestSoak is the opt-in endurance run (go test -run TestSoak -soak 30s):
+// mixed tenants, slow-loris drips, mid-body disconnects, and a poisoned
+// feed hammer one server under -race for the requested duration, with
+// persistence on. It passes when nothing deadlocks, every response is one
+// of the documented statuses, and no goroutines leak at the end.
+func TestSoak(t *testing.T) {
+	if *soakFor <= 0 {
+		t.Skip("soak disabled; enable with -soak 30s")
+	}
+	base := runtime.NumGoroutine()
+	s, ts := newTestServer(t, Options{Engine: xpe.NewEngine(), MaxConcurrent: 4, MaxQueueDepth: 8,
+		BreakerThreshold: 4, BreakerBackoff: 100 * time.Millisecond, StateDir: t.TempDir()})
+	t.Cleanup(func() { s.Close() })
+	chaosRegister(t, ts, `{"tenant":"a","name":"prices","query":"price doc* *","feed":"main"}`)
+	chaosRegister(t, ts, `{"tenant":"b","name":"skus","query":"sku doc*","feed":"main","budgets":{"weight":3}}`)
+	chaosRegister(t, ts, `{"tenant":"c","name":"memos","query":"memo doc*","feed":"toxic"}`)
+
+	poisoned := `<corpus><doc><x></doc><doc><y></doc><doc><z></doc><doc><w></doc></corpus>`
+	deadline := time.Now().Add(*soakFor)
+	var posts, refused atomic.Int64
+	post := func(url string, body io.Reader) {
+		resp, err := http.Post(url, "application/xml", body)
+		if err != nil {
+			return // disconnect faults surface client-side
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		posts.Add(1)
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			refused.Add(1)
+		default:
+			t.Errorf("soak: unexpected status %d from %s", resp.StatusCode, url)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(role int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				switch role % 4 {
+				case 0: // steady tenants on the shared feed
+					post(ts.URL+"/v1/feed/main?tenant=a", strings.NewReader(feedCorpus))
+				case 1:
+					post(ts.URL+"/v1/feed/main?tenant=b", strings.NewReader(feedCorpus))
+				case 2: // byzantine clients: drips and mid-body hangups
+					if time.Now().UnixNano()%2 == 0 {
+						post(ts.URL+"/v1/feed/main?tenant=a",
+							faultinject.SlowLoris([]byte(feedCorpus), 32, time.Millisecond))
+					} else {
+						post(ts.URL+"/v1/feed/main?tenant=b",
+							faultinject.Disconnect([]byte(feedCorpus), 64, errors.New("gone")))
+					}
+				case 3: // the poisoned feed exercises trip/probe cycles
+					post(ts.URL+"/v1/feed/toxic?split=doc", strings.NewReader(poisoned))
+					time.Sleep(10 * time.Millisecond)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := s.Stats()
+	t.Logf("soak: %d posts (%d refused), stats %+v", posts.Load(), refused.Load(), st)
+	if posts.Load() == 0 {
+		t.Fatal("soak made no requests")
+	}
+	drainLeaks(t, base, ts.Close)
+}

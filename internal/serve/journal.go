@@ -1,0 +1,203 @@
+package serve
+
+// Crash-safe registration persistence: an append-only NDJSON journal plus
+// an atomically-replaced snapshot.
+//
+// Every successful registration is one JSON line appended and fsynced to
+// journal.ndjson BEFORE the 201 is written — a registration the client
+// saw acknowledged survives any crash after that point. On startup the
+// server loads snapshot.json (a JSON array, the compacted prefix), replays
+// journal.ndjson on top, recompiles every entry, and folds the result into
+// the registry; entries that no longer compile are quarantined — kept in
+// the listing with their error, counted, excluded from feed passes — never
+// silently dropped and never fatal to startup. After a successful replay
+// the state is compacted: the full entry set (including quarantined
+// entries) is written to snapshot.json.tmp, fsynced, renamed over
+// snapshot.json, the directory fsynced, and the journal truncated.
+//
+// A torn final journal line — the crash happened mid-append — is
+// tolerated and dropped; it can only be a registration whose 201 was never
+// sent. A malformed line elsewhere is corruption and fails startup loudly.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+const (
+	snapshotFile = "snapshot.json"
+	journalFile  = "journal.ndjson"
+)
+
+// journalEntry is one persisted registration: the original request, so
+// replay is exactly re-registration (budgets included — they are applied
+// in journal order, reproducing the tenant's final budget set).
+type journalEntry struct {
+	Tenant  string   `json:"tenant"`
+	Name    string   `json:"name"`
+	Query   string   `json:"query,omitempty"`
+	XPath   string   `json:"xpath,omitempty"`
+	Feed    string   `json:"feed"`
+	Budgets *Budgets `json:"budgets,omitempty"`
+}
+
+// journal is the open persistence state. All methods are safe for
+// concurrent use.
+type journal struct {
+	dir string
+	mu  sync.Mutex
+	f   *os.File // journal.ndjson, O_APPEND
+}
+
+// openJournal opens (creating if needed) the state directory and returns
+// the recovered entries: snapshot first, then the journal suffix.
+func openJournal(dir string) (*journal, []journalEntry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	var entries []journalEntry
+	snap, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+	case err != nil:
+		return nil, nil, fmt.Errorf("read %s: %w", snapshotFile, err)
+	case len(bytes.TrimSpace(snap)) > 0:
+		if err := json.Unmarshal(snap, &entries); err != nil {
+			return nil, nil, fmt.Errorf("corrupt %s: %w", snapshotFile, err)
+		}
+	}
+
+	jpath := filepath.Join(dir, journalFile)
+	if jf, err := os.Open(jpath); err == nil {
+		tail, jerr := readJournalLines(jf)
+		jf.Close()
+		if jerr != nil {
+			return nil, nil, jerr
+		}
+		entries = append(entries, tail...)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("open %s: %w", journalFile, err)
+	}
+
+	f, err := os.OpenFile(jpath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("open %s for append: %w", journalFile, err)
+	}
+	return &journal{dir: dir, f: f}, entries, nil
+}
+
+// readJournalLines decodes the journal, tolerating exactly one torn line
+// at the very end (a crash mid-append); malformed lines anywhere else are
+// corruption.
+func readJournalLines(r io.Reader) ([]journalEntry, error) {
+	var entries []journalEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	lineNo := 0
+	var pendingErr error
+	for sc.Scan() {
+		lineNo++
+		if pendingErr != nil {
+			// The malformed line was NOT the last one: real corruption.
+			return nil, pendingErr
+		}
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			pendingErr = fmt.Errorf("corrupt %s line %d: %w", journalFile, lineNo, err)
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read %s: %w", journalFile, err)
+	}
+	return entries, nil
+}
+
+// append durably logs one registration: written and fsynced before
+// returning, so a nil return means the entry survives a crash.
+func (j *journal) append(e journalEntry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// compact atomically replaces the snapshot with the full current entry
+// set and empties the journal. The rename is the commit point: a crash
+// anywhere before it leaves the old snapshot + full journal; after it,
+// the new snapshot alone is complete (a stale journal tail would replay
+// entries the snapshot already holds, so the journal is truncated only
+// after the snapshot is durable).
+func (j *journal) compact(entries []journalEntry) error {
+	b, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	tmp := filepath.Join(j.dir, snapshotFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, snapshotFile)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(j.dir); err != nil {
+		return err
+	}
+	if err := j.f.Truncate(0); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xpe"
+)
+
+// listQueries fetches GET /v1/queries and canonicalizes it for
+// comparison: (tenant, name, feed, quarantined, error) per entry, in
+// listing (registration) order.
+func listQueries(t *testing.T, url string) []regQuery {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var regs []regQuery
+	if err := json.NewDecoder(resp.Body).Decode(&regs); err != nil {
+		t.Fatal(err)
+	}
+	return regs
+}
+
+func sameRegs(a, b []regQuery) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Tenant != b[i].Tenant || a[i].Name != b[i].Name ||
+			a[i].Feed != b[i].Feed || a[i].Source != b[i].Source ||
+			a[i].Quarantined != b[i].Quarantined {
+			return false
+		}
+	}
+	return true
+}
+
+// TestJournalKillRestart is the acceptance-criteria chaos test: a server
+// registers queries across tenants and feeds, a feed run is mid-flight,
+// and the process "dies" — no drain, no compaction, the journal simply
+// stops being written. A second server on the same state dir must list
+// the exact pre-kill registration set, none silently dropped, and serve
+// feeds from it.
+func TestJournalKillRestart(t *testing.T) {
+	dir := t.TempDir()
+	eng := xpe.NewEngine()
+	s1, ts1 := newTestServer(t, Options{Engine: eng, StateDir: dir})
+	mustRegister(t, ts1, `{"tenant":"t1","name":"prices","query":"price doc* *","feed":"market"}`)
+	mustRegister(t, ts1, `{"tenant":"t1","name":"skus","query":"sku doc*","feed":"market"}`)
+	mustRegister(t, ts1, `{"tenant":"t2","name":"memos","query":"memo doc*","feed":"backoffice",`+
+		`"budgets":{"maxRecordBytes":4096,"weight":2}}`)
+
+	// A feed run is in flight at kill time: registration durability must
+	// not depend on quiescence.
+	pr, pw := io.Pipe()
+	feedDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts1.URL+"/v1/feed/market", "application/xml", pr)
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		feedDone <- err
+	}()
+	waitFor(t, func() bool { return s1.Stats().ActiveProbes == 1 })
+	preKill := listQueries(t, ts1.URL)
+	if len(preKill) != 3 {
+		t.Fatalf("pre-kill listing: %+v", preKill)
+	}
+
+	// "SIGKILL": bring up the replacement while s1 still runs mid-feed,
+	// exactly as a new process would find the state dir after a kill -9.
+	s2, err := NewServer(Options{Engine: eng, StateDir: dir})
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer s2.Close()
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+
+	postKill := listQueries(t, ts2.URL)
+	if !sameRegs(preKill, postKill) {
+		t.Fatalf("registration set changed across restart:\npre:  %+v\npost: %+v", preKill, postKill)
+	}
+	if st := s2.Stats(); st.Registered != 3 || st.Quarantined != 0 {
+		t.Fatalf("restart stats: %+v", st)
+	}
+	// The recovered registry serves: the shared pass still runs the feed.
+	matches, _, _ := postNDJSON(t, ts2.URL+"/v1/feed/market", feedCorpus)
+	if len(matches) == 0 {
+		t.Fatal("recovered feed matched nothing")
+	}
+	// Recovered tenant budgets apply (t2 set weight 2 at registration).
+	if w := s2.budgetsFor("t2").Weight; w != 2 {
+		t.Errorf("recovered t2 weight = %d, want 2", w)
+	}
+
+	// Let the zombie's feed run finish; its post-kill writes are irrelevant.
+	pw.Write([]byte(feedCorpus))
+	pw.Close()
+	if err := <-feedDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalQuarantine: a journal entry that no longer compiles is
+// quarantined on replay — listed with its error and counted, excluded
+// from feed passes, never fatal — and re-registering over it repairs it
+// durably.
+func TestJournalQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	journal := `{"tenant":"t","name":"good","query":"price doc* *","feed":"f"}
+{"tenant":"t","name":"broken","query":"((((","feed":"f"}
+`
+	if err := os.WriteFile(filepath.Join(dir, journalFile), []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Options{Engine: xpe.NewEngine(), StateDir: dir})
+	t.Cleanup(func() { s.Close() })
+
+	if st := s.Stats(); st.Registered != 1 || st.Quarantined != 1 {
+		t.Fatalf("replay stats: %+v", st)
+	}
+	regs := listQueries(t, ts.URL)
+	if len(regs) != 2 {
+		t.Fatalf("quarantined entry dropped from the listing: %+v", regs)
+	}
+	var quarantined *regQuery
+	for i := range regs {
+		if regs[i].Name == "broken" {
+			quarantined = &regs[i]
+		}
+	}
+	if quarantined == nil || !quarantined.Quarantined || quarantined.Error == "" {
+		t.Fatalf("broken entry not surfaced as quarantined: %+v", regs)
+	}
+	// The feed pass runs the one live query only.
+	matches, summary, _ := postNDJSON(t, ts.URL+"/v1/feed/f", feedCorpus)
+	if summary.Queries != 1 || len(matches) == 0 {
+		t.Fatalf("feed with quarantined sibling: queries=%d matches=%d", summary.Queries, len(matches))
+	}
+
+	// Repair: registering over the quarantined name succeeds, and the
+	// repair survives a further restart.
+	mustRegister(t, ts, `{"tenant":"t","name":"broken","query":"sku doc*","feed":"f"}`)
+	if st := s.Stats(); st.Registered != 2 || st.Quarantined != 0 {
+		t.Fatalf("post-repair stats: %+v", st)
+	}
+	s2, err := NewServer(Options{Engine: xpe.NewEngine(), StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Registered != 2 || st.Quarantined != 0 {
+		t.Fatalf("repair did not survive restart: %+v", st)
+	}
+}
+
+// TestJournalTornTail: a crash mid-append leaves a torn final line; it is
+// dropped (its 201 was never sent) and everything before it survives. A
+// malformed line that is NOT the tail is corruption and fails startup.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	journal := `{"tenant":"t","name":"a","query":"price doc* *","feed":"f"}
+{"tenant":"t","name":"b","query":"sku doc*","feed":"f"}
+{"tenant":"t","name":"c","qu`
+	if err := os.WriteFile(filepath.Join(dir, journalFile), []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(Options{Engine: xpe.NewEngine(), StateDir: dir})
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	defer s.Close()
+	if st := s.Stats(); st.Registered != 2 || st.Quarantined != 0 {
+		t.Fatalf("torn-tail replay: %+v", st)
+	}
+
+	dir2 := t.TempDir()
+	corrupt := `{"tenant":"t","name":"a","query":"price doc* *","feed":"f"}
+NOT JSON
+{"tenant":"t","name":"b","query":"sku doc*","feed":"f"}
+`
+	if err := os.WriteFile(filepath.Join(dir2, journalFile), []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(Options{Engine: xpe.NewEngine(), StateDir: dir2}); err == nil {
+		t.Fatal("mid-journal corruption accepted silently")
+	}
+}
+
+// TestJournalCompaction: startup compacts replayed state into the
+// snapshot atomically and truncates the journal; the compacted state
+// alone reproduces the registration set, and quarantined entries survive
+// compaction too.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	journal := `{"tenant":"t","name":"a","query":"price doc* *","feed":"f"}
+{"tenant":"t","name":"broken","query":"((((","feed":"f"}
+`
+	if err := os.WriteFile(filepath.Join(dir, journalFile), []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(Options{Engine: xpe.NewEngine(), StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Compaction happened: journal empty, snapshot carries both entries.
+	if fi, err := os.Stat(filepath.Join(dir, journalFile)); err != nil || fi.Size() != 0 {
+		t.Fatalf("journal not truncated after compaction: %v, %v", fi, err)
+	}
+	snap, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []journalEntry
+	if err := json.Unmarshal(snap, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("snapshot entries = %+v, want both (quarantined included)", entries)
+	}
+	if !strings.Contains(string(snap), "((((") {
+		t.Fatal("quarantined entry silently dropped by compaction")
+	}
+
+	// The snapshot alone restores the set.
+	s2, err := NewServer(Options{Engine: xpe.NewEngine(), StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Registered != 1 || st.Quarantined != 1 {
+		t.Fatalf("snapshot-only restart: %+v", st)
+	}
+}

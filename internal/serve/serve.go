@@ -29,11 +29,20 @@
 // ?on-error=abort to fail fast instead.
 //
 // Admission control bounds concurrent evaluation: at most MaxConcurrent
-// streams evaluate at once and at most MaxQueueDepth more may wait;
-// beyond that the server answers 429 with a Retry-After hint rather than
-// queueing unboundedly. BeginDrain flips new evaluation requests to 503
-// while in-flight streams finish — the graceful-shutdown half that
-// http.Server.Shutdown's connection draining does not cover.
+// streams evaluate at once, dispensed fairly across tenants by weighted
+// round-robin over per-tenant wait queues of at most MaxQueueDepth each
+// (see admission.go) — one tenant's flood can never push another tenant
+// to 429. Refusals are machine-actionable: a JSON body with the tenant's
+// queue depth and a retry hint derived from the observed drain rate.
+// BeginDrain flips new evaluation requests to 503 while in-flight streams
+// finish — the graceful-shutdown half that http.Server.Shutdown's
+// connection draining does not cover.
+//
+// With Options.StateDir set, registrations survive restarts: each is
+// fsynced to an append-only journal before its 201, and startup replays
+// snapshot+journal, quarantining entries that no longer compile (see
+// journal.go). Per-feed circuit breakers isolate feeds whose records keep
+// failing (see breaker.go).
 package serve
 
 import (
@@ -43,6 +52,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -68,6 +78,11 @@ type Budgets struct {
 	RecordTimeout time.Duration `json:"-"`
 	// RecordTimeoutStr is RecordTimeout's JSON form ("150ms").
 	RecordTimeoutStr string `json:"recordTimeout,omitempty"`
+	// Weight is the tenant's fair-admission share: per round-robin cycle
+	// the tenant may take up to Weight evaluation slots before the turn
+	// passes, and under shed-level overload lower-weight tenants are
+	// rejected first. 0 means 1.
+	Weight int `json:"weight,omitempty"`
 }
 
 // normalize resolves the JSON duration form, favoring the typed field.
@@ -82,6 +97,9 @@ func (b *Budgets) normalize() error {
 	if b.MaxRecordBytes < 0 || b.MaxRecordNodes < 0 || b.RecordTimeout < 0 {
 		return errors.New("budgets must be non-negative (0 = unlimited)")
 	}
+	if b.Weight < 0 {
+		return errors.New("weight must be non-negative (0 = default weight 1)")
+	}
 	if b.RecordTimeout > 0 {
 		b.RecordTimeoutStr = b.RecordTimeout.String()
 	}
@@ -94,8 +112,9 @@ type Options struct {
 	Engine *xpe.Engine
 	// MaxConcurrent bounds streams evaluating at once (<=0: 4).
 	MaxConcurrent int
-	// MaxQueueDepth bounds admission waiters beyond MaxConcurrent (<=0: 8);
-	// the next request is answered 429 + Retry-After.
+	// MaxQueueDepth bounds admission waiters PER TENANT (<=0: 8); a
+	// tenant whose queue is full is answered 429 + Retry-After without
+	// touching any other tenant's queue.
 	MaxQueueDepth int
 	// Workers is the per-stream evaluation worker count (xpe
 	// SelectOptions.Workers; <=0 = GOMAXPROCS).
@@ -105,17 +124,43 @@ type Options struct {
 	DefaultBudgets Budgets
 	// MaxQueriesPerTenant caps registrations per tenant (<=0: 256).
 	MaxQueriesPerTenant int
+	// StateDir, when non-empty, makes registrations crash-safe: an
+	// append-only NDJSON journal plus an atomically-compacted snapshot
+	// live there, replayed on startup (see journal.go). Empty keeps the
+	// registry in memory only.
+	StateDir string
+	// DegradeQueueDepth is the total queued-waiter count at which the
+	// server starts tightening budgets — admitted runs' record timeouts
+	// halve — to drain faster under pressure (<=0: 2×MaxQueueDepth).
+	DegradeQueueDepth int
+	// ShedQueueDepth is the total queued-waiter count at which arrivals
+	// from tenants lighter than the heaviest queued tenant are rejected
+	// outright — lowest weights shed first (<=0: 4×MaxQueueDepth).
+	ShedQueueDepth int
+	// BreakerThreshold is the consecutive record-failure count that trips
+	// a feed's circuit breaker (0: 8; negative: breakers disabled).
+	BreakerThreshold int
+	// BreakerBackoff is the initial open interval after a trip, doubling
+	// on each failed half-open probe up to BreakerMaxBackoff
+	// (<=0: 5s / 2m).
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
 }
 
-// regQuery is one registered query.
+// regQuery is one registered query. A quarantined entry survived a
+// restart but no longer compiles: it stays listed (with its error) and
+// keeps its name reserved, but is excluded from feed passes until
+// re-registered over.
 type regQuery struct {
-	Tenant string `json:"tenant"`
-	Name   string `json:"name"`
-	Source string `json:"query,omitempty"`
-	XPath  string `json:"xpath,omitempty"`
-	Feed   string `json:"feed"`
-	seq    int    // global registration order: the feed-pass query order
-	q      *xpe.Query
+	Tenant      string `json:"tenant"`
+	Name        string `json:"name"`
+	Source      string `json:"query,omitempty"`
+	XPath       string `json:"xpath,omitempty"`
+	Feed        string `json:"feed"`
+	Quarantined bool   `json:"quarantined,omitempty"`
+	Error       string `json:"error,omitempty"`
+	seq         int    // global registration order: the feed-pass query order
+	q           *xpe.Query
 }
 
 // tenant is a name namespace plus its budget set.
@@ -127,19 +172,34 @@ type tenant struct {
 // Stats are the server's cumulative serving counters, exposed at
 // /debug/xpe/serve.
 type Stats struct {
-	Requests     int64 `json:"requests"`     // evaluation requests seen
-	Admitted     int64 `json:"admitted"`     // granted an evaluation slot
-	Rejected     int64 `json:"rejected_429"` // bounced by queue-depth admission
-	Draining     int64 `json:"draining_503"` // bounced while draining
-	Feeds        int64 `json:"feed_runs"`    // shared-pass feed evaluations
-	Selects      int64 `json:"select_runs"`  // one-shot evaluations
-	Matches      int64 `json:"matches"`      // NDJSON match lines written
-	Records      int64 `json:"records"`      // records evaluated
-	Prefiltered  int64 `json:"prefiltered"`  // records skipped by the union prefilter
-	Skipped      int64 `json:"skipped"`      // failed records dropped by Skip
-	QueueDepth   int64 `json:"queue_depth"`  // current admission waiters
-	ActiveProbes int64 `json:"active"`       // streams evaluating right now
-	Registered   int64 `json:"registered"`   // live query registrations
+	Requests       int64                  `json:"requests"`             // evaluation requests seen
+	Admitted       int64                  `json:"admitted"`             // granted an evaluation slot
+	Rejected       int64                  `json:"rejected_429"`         // bounced by admission (queue full or shed)
+	Shed           int64                  `json:"shed_429"`             // the rejected_429 subset shed by weight
+	Degraded       int64                  `json:"degraded"`             // admissions under tightened budgets
+	Draining       int64                  `json:"draining_503"`         // bounced while draining
+	BreakerRejects int64                  `json:"rejected_503_breaker"` // feed posts bounced by an open breaker
+	BreakerTrips   int64                  `json:"breaker_trips"`        // breaker closed→open transitions
+	BreakerOpen    int64                  `json:"breaker_open_feeds"`   // feeds currently refusing service
+	Feeds          int64                  `json:"feed_runs"`            // shared-pass feed evaluations
+	Selects        int64                  `json:"select_runs"`          // one-shot evaluations
+	Matches        int64                  `json:"matches"`              // NDJSON match lines written
+	Records        int64                  `json:"records"`              // records evaluated
+	Prefiltered    int64                  `json:"prefiltered"`          // records skipped by the union prefilter
+	Skipped        int64                  `json:"skipped"`              // failed records dropped by Skip
+	QueueDepth     int64                  `json:"queue_depth"`          // current admission waiters, all tenants
+	ActiveProbes   int64                  `json:"active"`               // streams evaluating right now
+	Registered     int64                  `json:"registered"`           // live query registrations
+	Quarantined    int64                  `json:"quarantined"`          // replayed registrations that no longer compile
+	Tenants        map[string]TenantStats `json:"tenants,omitempty"`    // per-tenant admission counters
+}
+
+// TenantStats are one tenant's admission counters.
+type TenantStats struct {
+	Weight     int   `json:"weight"`
+	Admitted   int64 `json:"admitted"`
+	Rejected   int64 `json:"rejected_429"`
+	QueueDepth int64 `json:"queue_depth"`
 }
 
 // Server is the serving state machine behind the HTTP surface. It is an
@@ -154,15 +214,17 @@ type Server struct {
 	feeds   map[string][]*regQuery
 	regSeq  int
 
-	sem      chan struct{}
-	queued   atomic.Int64
+	adm      *admitter
+	breakers *breakerSet
+	jnl      *journal
 	draining atomic.Bool
 	active   sync.WaitGroup
 
 	requests, admitted, rejected, drained atomic.Int64
 	feedRuns, selectRuns                  atomic.Int64
 	matches, records, prefiltered, skips  atomic.Int64
-	activeN, registered                   atomic.Int64
+	registered, quarantinedN              atomic.Int64
+	breakerTrips, breakerRejects          atomic.Int64
 }
 
 // NewServer builds the serving surface over eng.
@@ -179,14 +241,42 @@ func NewServer(opts Options) (*Server, error) {
 	if opts.MaxQueriesPerTenant <= 0 {
 		opts.MaxQueriesPerTenant = 256
 	}
+	if opts.DegradeQueueDepth <= 0 {
+		opts.DegradeQueueDepth = 2 * opts.MaxQueueDepth
+	}
+	if opts.ShedQueueDepth <= 0 {
+		opts.ShedQueueDepth = 4 * opts.MaxQueueDepth
+	}
+	if opts.BreakerThreshold == 0 {
+		opts.BreakerThreshold = 8
+	}
+	if opts.BreakerBackoff <= 0 {
+		opts.BreakerBackoff = 5 * time.Second
+	}
+	if opts.BreakerMaxBackoff <= 0 {
+		opts.BreakerMaxBackoff = 2 * time.Minute
+	}
 	if err := opts.DefaultBudgets.normalize(); err != nil {
 		return nil, fmt.Errorf("serve: default budgets: %w", err)
 	}
 	s := &Server{
-		opts:    opts,
-		tenants: make(map[string]*tenant),
-		feeds:   make(map[string][]*regQuery),
-		sem:     make(chan struct{}, opts.MaxConcurrent),
+		opts:     opts,
+		tenants:  make(map[string]*tenant),
+		feeds:    make(map[string][]*regQuery),
+		adm:      newAdmitter(opts.MaxConcurrent, opts.MaxQueueDepth, opts.DegradeQueueDepth, opts.ShedQueueDepth),
+		breakers: newBreakerSet(opts.BreakerThreshold, opts.BreakerBackoff, opts.BreakerMaxBackoff),
+	}
+	if opts.StateDir != "" {
+		jnl, entries, err := openJournal(opts.StateDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: state dir %s: %w", opts.StateDir, err)
+		}
+		s.jnl = jnl
+		s.replay(entries)
+		if err := jnl.compact(s.entriesLocked()); err != nil {
+			jnl.close()
+			return nil, fmt.Errorf("serve: compact %s: %w", opts.StateDir, err)
+		}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/queries", s.handleRegister)
@@ -201,6 +291,111 @@ func NewServer(opts Options) (*Server, error) {
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close releases the persistence handle (the registry itself needs no
+// teardown). Safe without StateDir.
+func (s *Server) Close() error {
+	if s.jnl != nil {
+		return s.jnl.close()
+	}
+	return nil
+}
+
+// replay folds recovered journal entries into the registry, in order. An
+// entry that no longer compiles is quarantined, not dropped and not
+// fatal: it stays listed with its error and keeps its name reserved. A
+// later entry for the same (tenant, name) replaces an earlier one — that
+// is how re-registering over a quarantined entry persists.
+func (s *Server) replay(entries []journalEntry) {
+	for _, e := range entries {
+		if e.Feed == "" {
+			e.Feed = DefaultFeed
+		}
+		t := s.tenants[e.Tenant]
+		if t == nil {
+			t = &tenant{budgets: s.opts.DefaultBudgets, queries: make(map[string]*regQuery)}
+			s.tenants[e.Tenant] = t
+		}
+		if e.Budgets != nil {
+			b := *e.Budgets
+			if b.normalize() == nil {
+				t.budgets = b
+			}
+		}
+		rq := &regQuery{Tenant: e.Tenant, Name: e.Name, Source: e.Query,
+			XPath: e.XPath, Feed: e.Feed, seq: s.regSeq}
+		s.regSeq++
+		var err error
+		if e.Query != "" {
+			rq.q, err = s.opts.Engine.CompileQuery(e.Query)
+		} else {
+			rq.q, err = s.opts.Engine.CompileXPath(e.XPath)
+		}
+		if err != nil {
+			rq.Quarantined = true
+			rq.Error = err.Error()
+			rq.q = nil
+		}
+		if old := t.queries[e.Name]; old != nil {
+			s.dropLocked(old)
+		}
+		t.queries[e.Name] = rq
+		if rq.Quarantined {
+			s.quarantinedN.Add(1)
+		} else {
+			s.feeds[e.Feed] = append(s.feeds[e.Feed], rq)
+			s.registered.Add(1)
+		}
+	}
+}
+
+// dropLocked removes a registration from the counters and, when live,
+// from its feed list.
+func (s *Server) dropLocked(rq *regQuery) {
+	if rq.Quarantined {
+		s.quarantinedN.Add(-1)
+		return
+	}
+	s.registered.Add(-1)
+	regs := s.feeds[rq.Feed]
+	for i, x := range regs {
+		if x == rq {
+			s.feeds[rq.Feed] = append(regs[:i], regs[i+1:]...)
+			return
+		}
+	}
+}
+
+// entriesLocked renders the current registry as journal entries in seq
+// order — the compaction snapshot. Quarantined entries are included:
+// compaction must never silently drop a registration. Tenant budgets ride
+// on each tenant's first entry (replay applies them in order, so the
+// final state matches). Callers hold no lock during NewServer; live
+// callers must hold s.mu.
+func (s *Server) entriesLocked() []journalEntry {
+	var all []*regQuery
+	for _, t := range s.tenants {
+		for _, rq := range t.queries {
+			all = append(all, rq)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	entries := make([]journalEntry, 0, len(all))
+	seenTenant := make(map[string]bool)
+	for _, rq := range all {
+		e := journalEntry{Tenant: rq.Tenant, Name: rq.Name, Query: rq.Source,
+			XPath: rq.XPath, Feed: rq.Feed}
+		if !seenTenant[rq.Tenant] {
+			seenTenant[rq.Tenant] = true
+			if b := s.tenants[rq.Tenant].budgets; b != s.opts.DefaultBudgets {
+				bc := b
+				e.Budgets = &bc
+			}
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
 
 // BeginDrain stops admitting new evaluation requests (503) while letting
 // in-flight streams run to completion. Registration and debug surfaces
@@ -223,64 +418,77 @@ func (s *Server) Drain(ctx context.Context) error {
 
 // Stats snapshots the serving counters.
 func (s *Server) Stats() Stats {
+	active, queued, degraded, shed, tenants := s.adm.snapshot()
 	return Stats{
-		Requests:     s.requests.Load(),
-		Admitted:     s.admitted.Load(),
-		Rejected:     s.rejected.Load(),
-		Draining:     s.drained.Load(),
-		Feeds:        s.feedRuns.Load(),
-		Selects:      s.selectRuns.Load(),
-		Matches:      s.matches.Load(),
-		Records:      s.records.Load(),
-		Prefiltered:  s.prefiltered.Load(),
-		Skipped:      s.skips.Load(),
-		QueueDepth:   s.queued.Load(),
-		ActiveProbes: s.activeN.Load(),
-		Registered:   s.registered.Load(),
+		Requests:       s.requests.Load(),
+		Admitted:       s.admitted.Load(),
+		Rejected:       s.rejected.Load(),
+		Shed:           shed,
+		Degraded:       degraded,
+		Draining:       s.drained.Load(),
+		BreakerRejects: s.breakerRejects.Load(),
+		BreakerTrips:   s.breakerTrips.Load(),
+		BreakerOpen:    s.breakers.openCount(),
+		Feeds:          s.feedRuns.Load(),
+		Selects:        s.selectRuns.Load(),
+		Matches:        s.matches.Load(),
+		Records:        s.records.Load(),
+		Prefiltered:    s.prefiltered.Load(),
+		Skipped:        s.skips.Load(),
+		QueueDepth:     int64(queued),
+		ActiveProbes:   int64(active),
+		Registered:     s.registered.Load(),
+		Quarantined:    s.quarantinedN.Load(),
+		Tenants:        tenants,
 	}
 }
 
 // admit runs the admission gate for one evaluation request: it returns a
-// release func on success, or writes the refusal (429 with Retry-After, or
-// 503 while draining) and returns nil.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request) func() {
+// release func on success, or writes the refusal (a machine-actionable
+// 429, or 503 while draining) and returns nil. The tenant's weight buys
+// its share of the shared pool; see admission.go for the fairness model.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, tenantName string) func() {
 	s.requests.Add(1)
 	if s.draining.Load() {
 		s.drained.Add(1)
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return nil
 	}
-	// Bounded queue: a fast-path slot grab, else count ourselves as a
-	// waiter if the queue has room. The depth check is optimistic (two
-	// racing requests may both slip into the last queue slot); the bound
-	// this enforces — no unbounded pileup, a prompt 429 under overload —
-	// does not need it to be exact.
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		if s.queued.Load() >= int64(s.opts.MaxQueueDepth) {
+	release, ref := s.adm.admit(r.Context(), tenantName, s.budgetsFor(tenantName).Weight)
+	if release == nil {
+		if ref != nil {
 			s.rejected.Add(1)
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, "evaluation queue full", http.StatusTooManyRequests)
-			return nil
+			writeRefusal(w, ref)
 		}
-		s.queued.Add(1)
-		select {
-		case s.sem <- struct{}{}:
-			s.queued.Add(-1)
-		case <-r.Context().Done():
-			s.queued.Add(-1)
-			return nil
-		}
+		return nil // context ended while queued: the client is gone
 	}
 	s.admitted.Add(1)
-	s.activeN.Add(1)
 	s.active.Add(1)
 	return func() {
-		<-s.sem
-		s.activeN.Add(-1)
+		release()
 		s.active.Done()
 	}
+}
+
+// writeRefusal answers a refused admission: 429, Retry-After in whole
+// seconds (rounded up from the drain-rate estimate), and the JSON body
+// automation retries on.
+func writeRefusal(w http.ResponseWriter, ref *refusal) {
+	secs := (ref.RetryAfterMS + 999) / 1000
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusTooManyRequests)
+	msg := "evaluation queue full"
+	if ref.Shed {
+		msg = "shed under overload: tenant weight below the queued maximum"
+	}
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+		*refusal
+	}{msg, ref})
 }
 
 // budgetsFor resolves the budget set for the posting tenant ("" means the
@@ -361,20 +569,39 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		t = &tenant{budgets: s.opts.DefaultBudgets, queries: make(map[string]*regQuery)}
 		s.tenants[req.Tenant] = t
 	}
-	if req.Budgets != nil {
-		t.budgets = *req.Budgets
-	}
-	if _, dup := t.queries[req.Name]; dup {
+	// A live duplicate is a conflict; a quarantined one may be registered
+	// over — that is the recovery path for entries a restart could no
+	// longer compile.
+	old := t.queries[req.Name]
+	if old != nil && !old.Quarantined {
 		s.mu.Unlock()
 		http.Error(w, fmt.Sprintf("tenant %q already has a query %q", req.Tenant, req.Name),
 			http.StatusConflict)
 		return
 	}
-	if len(t.queries) >= s.opts.MaxQueriesPerTenant {
+	if old == nil && len(t.queries) >= s.opts.MaxQueriesPerTenant {
 		s.mu.Unlock()
 		http.Error(w, fmt.Sprintf("tenant %q is at its %d-query cap", req.Tenant, s.opts.MaxQueriesPerTenant),
 			http.StatusForbidden)
 		return
+	}
+	// Durability before acknowledgement: the journal append (fsynced) must
+	// succeed before the registration takes effect, so every 201 the
+	// client ever sees survives a crash.
+	if s.jnl != nil {
+		e := journalEntry{Tenant: req.Tenant, Name: req.Name, Query: req.Query,
+			XPath: req.XPath, Feed: req.Feed, Budgets: req.Budgets}
+		if err := s.jnl.append(e); err != nil {
+			s.mu.Unlock()
+			http.Error(w, "persist registration: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	if req.Budgets != nil {
+		t.budgets = *req.Budgets
+	}
+	if old != nil {
+		s.dropLocked(old)
 	}
 	rq := &regQuery{Tenant: req.Tenant, Name: req.Name, Source: req.Query,
 		XPath: req.XPath, Feed: req.Feed, seq: s.regSeq, q: q}
@@ -538,11 +765,12 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "compile: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	release := s.admit(w, r)
+	release := s.admit(w, r, tenantName)
 	if release == nil {
 		return
 	}
 	defer release()
+	s.degradeBudgets(&opts)
 	s.selectRuns.Add(1)
 	write := ndjson(w)
 	var werr error
@@ -559,9 +787,12 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleFeed runs the shared pass: every query registered on the feed, in
-// registration order, over one split+parse of the posted document.
+// registration order, over one split+parse of the posted document. The
+// feed's circuit breaker gates the run (see breaker.go): open feeds are
+// refused before touching admission, and record failures inside the run
+// feed the breaker's streak.
 func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
-	opts, _, err := s.evalOptions(r)
+	opts, tenantName, err := s.evalOptions(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -578,11 +809,39 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	for i, rq := range regs {
 		qs[i] = rq.q
 	}
-	release := s.admit(w, r)
+	br := s.breakers.get(feed)
+	if br != nil {
+		// Cheap pre-admission refusal while the breaker is open: a broken
+		// feed must not consume queue slots other feeds could use.
+		if open, retry := br.rejectedNow(); open {
+			s.refuseBrokenFeed(w, feed, retry)
+			return
+		}
+	}
+	release := s.admit(w, r, tenantName)
 	if release == nil {
 		return
 	}
 	defer release()
+	if br != nil {
+		// The authoritative gate (it may start a half-open probe): the
+		// breaker can have opened while this request queued.
+		ok, retry := br.allow()
+		if !ok {
+			s.refuseBrokenFeed(w, feed, retry)
+			return
+		}
+		inner := opts.OnError
+		opts.OnError = func(re *xpe.RecordError) error {
+			if br.recordFailure(re.Record) {
+				s.breakerTrips.Add(1)
+				return fmt.Errorf("feed %q circuit breaker opened: %d consecutive record failures",
+					feed, s.opts.BreakerThreshold)
+			}
+			return inner(re)
+		}
+	}
+	s.degradeBudgets(&opts)
 	s.feedRuns.Add(1)
 	write := ndjson(w)
 	var werr error
@@ -596,5 +855,36 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	if err == nil {
 		err = werr
 	}
+	if br != nil {
+		br.finish(err == nil && stats.Skipped == 0 && stats.TimedOut == 0)
+	}
 	s.finishStream(write, stats, len(qs), err)
+}
+
+// refuseBrokenFeed answers a post to a feed whose breaker is open: 503,
+// Retry-After for the remaining backoff, machine-actionable JSON body.
+func (s *Server) refuseBrokenFeed(w http.ResponseWriter, feed string, retry time.Duration) {
+	s.breakerRejects.Add(1)
+	secs := int64((retry + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(struct {
+		Error        string `json:"error"`
+		Feed         string `json:"feed"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}{fmt.Sprintf("feed %q circuit breaker open", feed), feed, retry.Milliseconds()})
+}
+
+// degradeBudgets applies overload level 1: under sustained queue pressure
+// admitted runs get half their record-timeout budget, so in-flight work
+// drains faster before shedding (level 2, in admission.go) begins. Only a
+// set timeout tightens — halving "unlimited" is meaningless.
+func (s *Server) degradeBudgets(opts *xpe.SelectOptions) {
+	if opts.RecordTimeout > 0 && s.adm.degradedNow() {
+		opts.RecordTimeout /= 2
+	}
 }

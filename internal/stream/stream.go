@@ -427,13 +427,6 @@ func lazyTotals(qs []*core.CompiledQuery) ha.LazyStats {
 	return total
 }
 
-// hintAllows reports whether the record's prefilter verdict leaves query
-// qi live. Only the first 64 queries have verdict bits; later ones always
-// evaluate.
-func hintAllows(hint uint64, qi int) bool {
-	return qi >= 64 || hint&(1<<qi) != 0
-}
-
 // safeEvaluate runs every live query over one parsed record with panics
 // contained and the evaluation timeout enforced — the timeout budget spans
 // the whole record, shared by all queries. A query whose verdict bit in
@@ -468,7 +461,7 @@ func safeEvaluate(qs []*core.CompiledQuery, rec *xmlhedge.Record, res *Result, c
 	}
 	n, timedOut := 0, false
 	for qi, cq := range qs {
-		if !hintAllows(rec.Hint, qi) {
+		if !rec.Hint.Allows(qi) {
 			continue
 		}
 		if timeout > 0 && time.Now().After(deadline) {

@@ -40,14 +40,98 @@ import (
 const prefilterLookahead = 1 << 20
 
 // MaxPrefilterGroups bounds how many requirement groups (and how many
-// distinct labels) a multi-query prefilter can track: group verdicts and
-// label presence are bitmasks in a uint64. NewMultiPrefilter returns nil
-// beyond the bound — every record then parses and evaluates normally.
-const MaxPrefilterGroups = 64
+// distinct labels) a multi-query prefilter can track. Verdicts and label
+// presence are word-slice bitsets, so the bound is a memory/scan-cost cap,
+// not a representation limit. NewMultiPrefilter returns nil beyond the
+// bound — every record then parses and evaluates normally.
+const MaxPrefilterGroups = 1024
+
+// Hint is the prefilter's per-group verdict bitset for one record: bit
+// i%64 of word i/64 set means requirement group i may match. Word 0 rides
+// inline, so runs with at most 64 groups — the common case — never
+// allocate; groups 64+ live in the More overflow words, allocated once
+// per kept record only when that many groups are registered. A word
+// beyond len(More) reads as all-ones: absent evidence never gates a
+// group off.
+type Hint struct {
+	W0   uint64
+	More []uint64
+}
 
 // HintAll is the Record.Hint value meaning "no prefilter verdict": every
-// requirement group may match, so nothing can be gated off.
-const HintAll = ^uint64(0)
+// requirement group may match, so nothing can be gated off (any group
+// index beyond word 0 reads all-ones via the missing-word rule).
+var HintAll = Hint{W0: ^uint64(0)}
+
+// Allows reports whether requirement group i may match: only an
+// explicitly clear bit — the skim proved a required label absent — gates
+// a group off.
+func (h Hint) Allows(i int) bool {
+	if i < 64 {
+		return h.W0&(1<<uint(i)) != 0
+	}
+	w := i/64 - 1
+	if w >= len(h.More) {
+		return true
+	}
+	return h.More[w]&(1<<(uint(i)&63)) != 0
+}
+
+// zero reports an all-clear verdict: no group can match, so the record is
+// skippable whole. The zero Hint value doubles as RecordReader's
+// "no pending verdict" sentinel (takeHint maps it to HintAll).
+func (h Hint) zero() bool {
+	if h.W0 != 0 {
+		return false
+	}
+	for _, w := range h.More {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// clone detaches the verdict from the scratch buffer it was computed in,
+// so it stays valid across later records of the same reader.
+func (h Hint) clone() Hint {
+	if len(h.More) > 0 {
+		h.More = append([]uint64(nil), h.More...)
+	}
+	return h
+}
+
+// bitset is a minimal word-slice bitset over scratch storage.
+type bitset []uint64
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) & 63) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)&63)) != 0 }
+func bitsetWords(n int) int     { return (n + 63) / 64 }
+
+// verdictScratch holds the per-record bitsets a reader's skims reuse:
+// label-presence memoization and the group verdict under construction.
+// One reader skims one record at a time, so a single scratch set
+// suffices; the verdict handed out on a kept record is cloned off mask.
+type verdictScratch struct {
+	checked, present, mask bitset
+}
+
+func (sc *verdictScratch) ensure(labels, groups int) {
+	lw, gw := bitsetWords(labels), bitsetWords(groups)
+	if cap(sc.checked) < lw {
+		sc.checked = make(bitset, lw)
+		sc.present = make(bitset, lw)
+	}
+	sc.checked = sc.checked[:lw]
+	sc.present = sc.present[:lw]
+	clear(sc.checked)
+	clear(sc.present)
+	if cap(sc.mask) < gw {
+		sc.mask = make(bitset, gw)
+	}
+	sc.mask = sc.mask[:gw]
+	clear(sc.mask)
+}
 
 // Prefilter is a compiled required-label matcher. A nil *Prefilter (or one
 // built from an empty label set) disables prefiltering.
@@ -67,7 +151,7 @@ type Prefilter struct {
 	groups [][]int
 	// free marks groups with an empty requirement set: they can match any
 	// record, so their verdict bit is always on and no record is skippable.
-	free uint64
+	free bitset
 }
 
 // NewPrefilter compiles a prefilter from required element labels. Labels
@@ -101,7 +185,10 @@ func NewMultiPrefilter(groups [][]string) *Prefilter {
 	if len(groups) == 0 || len(groups) > MaxPrefilterGroups {
 		return nil
 	}
-	p := &Prefilter{groups: make([][]int, len(groups))}
+	p := &Prefilter{
+		groups: make([][]int, len(groups)),
+		free:   make(bitset, bitsetWords(len(groups))),
+	}
 	idx := make(map[string]int)
 	anyReq := false
 	for gi, g := range groups {
@@ -120,7 +207,7 @@ func NewMultiPrefilter(groups [][]string) *Prefilter {
 			is = append(is, li)
 		}
 		if len(is) == 0 {
-			p.free |= 1 << gi
+			p.free.set(gi)
 			continue
 		}
 		anyReq = true
@@ -136,50 +223,55 @@ func NewMultiPrefilter(groups [][]string) *Prefilter {
 // Labels returns the compiled label set, sorted.
 func (p *Prefilter) Labels() []string { return p.names }
 
-// verdict returns the bitmask of requirement groups whose every required
-// label is present in the record (bit i set means group i may match; a
-// zero mask means the record can be skipped whole). Presence is decided
-// exactly as matchedBy does — root-name equality or an element-name byte
-// pattern in body — so false positives only keep a group live, never drop
-// one. A single-group prefilter answers 1 or 0.
-func (p *Prefilter) verdict(body, rootName []byte) uint64 {
+// verdict returns the bitset of requirement groups whose every required
+// label is present in the record (bit i set means group i may match; an
+// all-clear verdict means the record can be skipped whole). Presence is
+// decided exactly as matchedBy does — root-name equality or an
+// element-name byte pattern in body — so false positives only keep a
+// group live, never drop one. A single-group prefilter answers with bit 0
+// alone. The returned Hint's overflow words alias sc's storage; callers
+// that retain a verdict past the next skim must clone it.
+func (p *Prefilter) verdict(body, rootName []byte, sc *verdictScratch) Hint {
 	if p.groups == nil {
 		if p.matchedBy(body, rootName) {
-			return 1
+			return Hint{W0: 1}
 		}
-		return 0
+		return Hint{}
 	}
 	// Label presence is computed lazily and memoized across groups: each
 	// group short-circuits at its first missing label, and a label shared
 	// by many groups (common when queries overlap) is searched once. On a
 	// record satisfying no group this often settles after a single search
 	// — the same short-circuit a single-query matchedBy enjoys.
-	var checked, present uint64
-	mask := p.free
+	sc.ensure(len(p.labels), len(p.groups))
+	copy(sc.mask, p.free)
 	for gi, g := range p.groups {
 		if g == nil {
 			continue // free group, already in the mask
 		}
 		sat := true
 		for _, li := range g {
-			bit := uint64(1) << li
-			if checked&bit == 0 {
-				checked |= bit
+			if !sc.checked.has(li) {
+				sc.checked.set(li)
 				l := p.labels[li]
 				if bytes.Equal(l, rootName) || labelInBytes(body, l) {
-					present |= bit
+					sc.present.set(li)
 				}
 			}
-			if present&bit == 0 {
+			if !sc.present.has(li) {
 				sat = false
 				break
 			}
 		}
 		if sat {
-			mask |= 1 << gi
+			sc.mask.set(gi)
 		}
 	}
-	return mask
+	h := Hint{W0: sc.mask[0]}
+	if len(sc.mask) > 1 {
+		h.More = sc.mask[1:]
+	}
+	return h
 }
 
 // matchedBy reports whether the record could match: every required label is
@@ -685,8 +777,8 @@ func (rr *RecordReader) tryPrefilter(startOff int64) bool {
 	if tk.selfClose {
 		// The record is exactly its root element; the only label present is
 		// the root's name.
-		if mask := pf.verdict(nil, tk.name); mask != 0 {
-			rr.hint = mask
+		if mask := pf.verdict(nil, tk.name, &rr.pfScratch); !mask.zero() {
+			rr.hint = mask.clone()
 			return false
 		}
 		tk.selfClose = false
@@ -726,8 +818,8 @@ func (rr *RecordReader) tryPrefilter(startOff int64) bool {
 		return false
 	}
 	body := rr.tr.buf[rr.tr.r : rr.tr.r+res.n]
-	if mask := pf.verdict(body, tk.name); mask != 0 {
-		rr.hint = mask
+	if mask := pf.verdict(body, tk.name, &rr.pfScratch); !mask.zero() {
+		rr.hint = mask.clone()
 		return false
 	}
 	// Skip: account skipped lines for later error positions, consume the

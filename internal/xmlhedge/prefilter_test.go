@@ -620,3 +620,91 @@ func TestPrefilterManyRecords(t *testing.T) {
 		t.Fatalf("Prefiltered() = %d, want %d", rr.Prefiltered(), 500-len(wantIdx))
 	}
 }
+
+func TestHintAllows(t *testing.T) {
+	for _, i := range []int{0, 1, 63, 64, 127, 128, 1000} {
+		if !HintAll.Allows(i) {
+			t.Errorf("HintAll.Allows(%d) = false, want true", i)
+		}
+	}
+	h := Hint{W0: 1 << 5}
+	if !h.Allows(5) || h.Allows(4) || h.Allows(6) || h.Allows(63) {
+		t.Errorf("Hint{W0:1<<5}: word-0 gating wrong")
+	}
+	// Words beyond len(More) read all-ones: absent evidence never gates.
+	if !h.Allows(64) || !h.Allows(200) {
+		t.Errorf("Hint{W0:1<<5}: missing overflow words must allow")
+	}
+	h2 := Hint{More: []uint64{1 << 3}}
+	if !h2.Allows(67) || h2.Allows(66) || h2.Allows(68) || h2.Allows(3) {
+		t.Errorf("Hint{More:[1<<3]}: overflow-word gating wrong")
+	}
+	if !h2.Allows(128) {
+		t.Errorf("Hint{More:[1<<3]}: Allows(128) = false, want true (beyond More)")
+	}
+	if !(Hint{}).zero() || !(Hint{More: []uint64{0}}).zero() {
+		t.Error("all-clear hints must report zero()")
+	}
+	if (Hint{W0: 1}).zero() || (Hint{More: []uint64{0, 2}}).zero() {
+		t.Error("non-empty hints must not report zero()")
+	}
+}
+
+// TestPrefilterWideGroupVerdicts pins the multi-word verdict path: with
+// more than 64 requirement groups, hint bits past group 63 live in the
+// overflow words and must keep gating per group instead of degrading to
+// evaluate-everything. Each kept record satisfies exactly one group; the
+// verdict must allow that group and gate off all others, on both sides of
+// the 64-bit word boundary.
+func TestPrefilterWideGroupVerdicts(t *testing.T) {
+	const n = 70
+	groups := make([][]string, n)
+	for i := range groups {
+		groups[i] = []string{"l" + strconv.Itoa(100+i)}
+	}
+	pf := NewMultiPrefilter(groups)
+	if pf == nil {
+		t.Fatalf("NewMultiPrefilter returned nil for %d groups", n)
+	}
+	keep := []int{0, 31, 63, 64, 65, 69}
+	var b strings.Builder
+	b.WriteString("<feed>")
+	for _, k := range keep {
+		// One record satisfying exactly group k, then a decoy no group
+		// requires — the decoy's all-clear verdict must skip it whole.
+		b.WriteString("<e><l" + strconv.Itoa(100+k) + "/></e><e><none/></e>")
+	}
+	b.WriteString("</feed>")
+	rr := NewRecordReader(strings.NewReader(b.String()), RecordOptions{Prefilter: pf})
+	var got []Record
+	for {
+		rec, err := rr.Read(nil)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rec)
+	}
+	if len(got) != len(keep) {
+		t.Fatalf("kept %d records, want %d", len(got), len(keep))
+	}
+	for i, rec := range got {
+		k := keep[i]
+		for g := 0; g < n; g++ {
+			if rec.Hint.Allows(g) != (g == k) {
+				t.Errorf("record satisfying group %d: Hint.Allows(%d) = %v, want %v",
+					k, g, rec.Hint.Allows(g), g == k)
+			}
+		}
+		// The verdict must survive later skims of the same reader: it was
+		// cloned off scratch, not aliased into it.
+		if i > 0 && got[i-1].Hint.Allows(k) {
+			t.Errorf("record %d's verdict leaked into record %d's hint", i, i-1)
+		}
+	}
+	if rr.Prefiltered() != int64(len(keep)) {
+		t.Errorf("Prefiltered() = %d, want %d decoys skipped", rr.Prefiltered(), len(keep))
+	}
+}

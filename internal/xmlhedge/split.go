@@ -270,12 +270,13 @@ type Record struct {
 	// storage, Text strings (views into the arena's text slab), and Path
 	// alike.
 	Hedge hedge.Hedge
-	// Hint is the prefilter's per-group verdict for this record: bit i set
-	// means requirement group i may match (see Prefilter.verdict). When no
-	// verdict was computed — prefilter off, skim aborted, degraded mode —
-	// it is HintAll, so evaluators must treat a set bit as "evaluate" and
-	// only a clear bit as proof of non-matching.
-	Hint uint64
+	// Hint is the prefilter's per-group verdict for this record: bit i of
+	// the word-slice bitset set means requirement group i may match (see
+	// Prefilter.verdict, Hint.Allows). When no verdict was computed —
+	// prefilter off, skim aborted, degraded mode — it is HintAll, so
+	// evaluators must treat a set bit as "evaluate" and only a clear bit
+	// as proof of non-matching.
+	Hint Hint
 }
 
 // recKind classifies how a failed RecordReader can resume.
@@ -332,7 +333,9 @@ type RecordReader struct {
 	// hint is the prefilter verdict for the record about to be read: set by
 	// tryPrefilter when a skim succeeded but kept the record, consumed by
 	// readRecord via takeHint. Zero means "no verdict" (reads as HintAll).
-	hint uint64
+	hint Hint
+	// pfScratch holds the skim's reusable verdict bitsets.
+	pfScratch verdictScratch
 }
 
 // NewRecordReader starts splitting r under the given options.
@@ -359,10 +362,10 @@ func (rr *RecordReader) Prefiltered() int64 { return rr.prefiltered }
 // takeHint consumes the pending prefilter verdict for the record being
 // read. No verdict (prefilter off, aborted skim, degraded mode) reads as
 // HintAll: every group may match.
-func (rr *RecordReader) takeHint() uint64 {
+func (rr *RecordReader) takeHint() Hint {
 	h := rr.hint
-	rr.hint = 0
-	if h == 0 {
+	rr.hint = Hint{}
+	if h.zero() {
 		return HintAll
 	}
 	return h

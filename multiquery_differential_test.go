@@ -167,3 +167,79 @@ func TestDifferentialMultiQueryNamespacePrefixes(t *testing.T) {
 		}
 	}
 }
+
+// TestDifferentialMultiQueryWide pins the shared pass past the 64-query
+// word boundary: with more than 64 registered queries the per-record
+// verdict spills into Hint's overflow words, and every query — in
+// particular those with index >= 64 — must still produce exactly its
+// independent run's match set. Before the hint widened to a word-slice,
+// query indices past 63 degraded to evaluate-everything at best and to
+// aliased gating at worst; this is the differential pin for both.
+func TestDifferentialMultiQueryWide(t *testing.T) {
+	const nq = 80
+	var b strings.Builder
+	b.WriteString("<corpus>")
+	// Each record carries exactly one field label, cycling through all nq,
+	// so query i matches records i, i+nq, ... and nothing else. Interleaved
+	// decoys carry a label no query requires: the union prefilter must
+	// skip them whole.
+	const docs = 3 * nq
+	for i := 0; i < docs; i++ {
+		fmt.Fprintf(&b, "<doc><f%03d>v%d</f%03d></doc><doc><zz/></doc>", i%nq, i, i%nq)
+	}
+	b.WriteString("</corpus>")
+	corpus := b.String()
+
+	eng := NewEngine()
+	if _, err := eng.ParseXMLString(corpus); err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]*Query, nq)
+	for i := range qs {
+		src := fmt.Sprintf("f%03d doc* *", i)
+		q, err := eng.CompileQuery(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		qs[i] = q
+	}
+
+	want := make([]string, nq)
+	var wantMatches, refRecords int64
+	for i, q := range qs {
+		out, st := streamAll(t, eng, q, corpus, SelectOptions{Workers: 1, Prefilter: PrefilterOff})
+		if out == "" {
+			t.Fatalf("query %d matched nothing; fixture lost its point", i)
+		}
+		want[i] = out
+		wantMatches += st.Matches
+		refRecords = st.Records
+	}
+
+	for _, workers := range []int{1, 4} {
+		for _, mode := range []PrefilterMode{PrefilterAuto, PrefilterOff} {
+			name := fmt.Sprintf("workers=%d/prefilter=%v", workers, mode == PrefilterAuto)
+			got, stats := multiStreamAll(t, eng, qs, corpus,
+				SelectOptions{Workers: workers, Prefilter: mode})
+			for i := range qs {
+				if got[i] != want[i] {
+					t.Errorf("%s: query %d: match sets differ\ngot:\n%swant:\n%s",
+						name, i, got[i], want[i])
+				}
+			}
+			if stats.Matches != wantMatches {
+				t.Errorf("%s: Matches = %d, want %d", name, stats.Matches, wantMatches)
+			}
+			if got := stats.Records + stats.Prefiltered; got != refRecords {
+				t.Errorf("%s: Records+Prefiltered = %d, want %d", name, got, refRecords)
+			}
+			if mode == PrefilterAuto && stats.Prefiltered != docs {
+				t.Errorf("%s: Prefiltered = %d, want %d decoy records skipped",
+					name, stats.Prefiltered, docs)
+			}
+			if mode == PrefilterOff && stats.Prefiltered != 0 {
+				t.Errorf("%s: Prefiltered = %d with the prefilter off", name, stats.Prefiltered)
+			}
+		}
+	}
+}

@@ -298,3 +298,89 @@ func TestExcerptAtMultibyte(t *testing.T) {
 		t.Fatalf("excerptAt(short, 2) = %q", got)
 	}
 }
+
+// multiFaultQueries compiles a >1 query set over the faultinject feed so
+// the shared pass runs the multi-query collector (hint gating, per-query
+// verdict fan-out) — the machinery the single-query leak tests above
+// never touch.
+func multiFaultQueries(t *testing.T, eng *Engine) []*Query {
+	t.Helper()
+	var qs []*Query
+	for _, src := range []string{"[* ; a ; b .] rec", "a rec*", "id rec*"} {
+		q, err := eng.CompileQuery(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		qs = append(qs, q)
+	}
+	return qs
+}
+
+func TestLeakStreamMultiBreak(t *testing.T) {
+	// A consumer breaking out of a shared-pass run (ErrStop from the
+	// callback) must wind down the whole pool: producer, workers,
+	// collector — exactly like the single-query break tests.
+	eng, _ := faultEngine(t)
+	qs := multiFaultQueries(t, eng)
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		spec := faultinject.FeedSpec{Records: 10000}
+		n := 0
+		_, err := eng.SelectStreamMulti(context.Background(), spec.Reader(), qs,
+			SelectOptions{Workers: 8, SplitElement: "rec"},
+			func(MultiStreamMatch) error {
+				if n++; n == 2 {
+					return ErrStop
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("iteration %d: err = %v, want nil after ErrStop", i, err)
+		}
+		waitNoLeak(t, base)
+	}
+	// Arena recycling survives the breaks: a clean full run over the same
+	// engine still delivers every record's matches from the pooled arenas.
+	spec := faultinject.FeedSpec{Records: 200}
+	perQuery := make([]int, len(qs))
+	stats, err := eng.SelectStreamMulti(context.Background(), spec.Reader(), qs,
+		SelectOptions{Workers: 4, SplitElement: "rec"},
+		func(m MultiStreamMatch) error { perQuery[m.Query]++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records+stats.Prefiltered != 200 {
+		t.Fatalf("post-break run: records+prefiltered = %d, want 200", stats.Records+stats.Prefiltered)
+	}
+	for qi, n := range perQuery {
+		if n != 200 {
+			t.Fatalf("post-break run: query %d delivered %d matches, want 200", qi, n)
+		}
+	}
+}
+
+func TestLeakStreamMultiCancel(t *testing.T) {
+	// Cancelling a shared-pass run mid-stream must wind down the pool even
+	// with the producer blocked and workers mid-record.
+	eng, _ := faultEngine(t)
+	qs := multiFaultQueries(t, eng)
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		spec := faultinject.FeedSpec{Records: 10000}
+		ctx, cancel := context.WithCancel(context.Background())
+		n := 0
+		_, err := eng.SelectStreamMulti(ctx, spec.Reader(), qs,
+			SelectOptions{Workers: 8, SplitElement: "rec"},
+			func(MultiStreamMatch) error {
+				if n++; n == 3 {
+					cancel()
+				}
+				return nil
+			})
+		cancel()
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d: err = %v, want context.Canceled or nil", i, err)
+		}
+		waitNoLeak(t, base)
+	}
+}
