@@ -13,6 +13,13 @@
 // stops admitting evaluation requests (503), lets in-flight streams
 // finish up to -drain-timeout, then shuts the listener down.
 //
+// Telemetry is on by default: GET /metrics serves the Prometheus text
+// exposition, every evaluation request carries an X-Request-Id (echoed
+// or assigned) that appears in the structured access log and the
+// per-feed flight recorder, and -slow-record routes slow records to the
+// log with tenant/feed/request-id context. -no-telemetry turns all of
+// it off.
+//
 // Like a pprof port, the server is unauthenticated: bind it to loopback
 // or a trusted network.
 package main
@@ -23,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,6 +57,10 @@ func main() {
 		lazy         = flag.Bool("lazy", false, "compile with lazy determinization")
 		lazyBudget   = flag.Int("lazy-budget", 0, "lazy transition-cache budget (0 = unlimited; needs -lazy)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight streams on SIGTERM")
+		slowRecord   = flag.Duration("slow-record", 0, "log records slower than this, with tenant/feed/request-id context (0 = off)")
+		labelSets    = flag.Int("max-label-sets", 0, "dimensional rollup cardinality cap before folding into 'other' (0 = default 128)")
+		traceDepth   = flag.Int("trace-depth", 0, "per-feed flight-recorder ring capacity (0 = default 32)")
+		noTelemetry  = flag.Bool("no-telemetry", false, "disable serving telemetry wholesale (no /metrics, no request ids, no recorders)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -73,6 +85,11 @@ func main() {
 		StateDir:            *stateDir,
 		BreakerThreshold:    *breakN,
 		BreakerBackoff:      *breakBackoff,
+		Logger:              slog.Default(),
+		SlowRecordThreshold: *slowRecord,
+		MaxLabelSets:        *labelSets,
+		FeedTraceDepth:      *traceDepth,
+		DisableTelemetry:    *noTelemetry,
 		DefaultBudgets: serve.Budgets{
 			MaxRecordBytes: *recBytes,
 			MaxRecordNodes: *recNodes,

@@ -16,7 +16,8 @@
 //	})
 //	defer srv.Close()
 //
-// Endpoints under /debug/xpe/: index, stats, cache, traces; pprof lives
+// Endpoints under /debug/xpe/: index, stats, metrics (Prometheus text
+// exposition), cache, traces; pprof lives
 // at its conventional /debug/pprof/ paths. The surface is read-only but
 // unauthenticated (and pprof profiles reveal code structure) — bind it
 // to localhost or guard it like any pprof listener.
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"xpe"
+	"xpe/internal/telemetry"
 )
 
 // Options configures the debug surface.
@@ -72,6 +74,7 @@ func Handler(opts Options) http.Handler {
 <h1>xpe debug</h1>
 <ul>
 <li><a href="/debug/xpe/stats">stats</a> — cumulative engine instrumentation</li>
+<li><a href="/debug/xpe/metrics">metrics</a> — the same counters as Prometheus text exposition</li>
 <li><a href="/debug/xpe/cache">cache</a> — compiled-query cache occupancy</li>
 <li><a href="/debug/xpe/traces">traces</a> — flight-recorder ring (recent record traces)</li>
 <li><a href="/debug/pprof/">pprof</a> — runtime profiles</li>
@@ -88,6 +91,19 @@ func Handler(opts Options) http.Handler {
 		if err := xpe.WriteStats(w, opts.Engine.Stats()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	})
+	mux.HandleFunc("/debug/xpe/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Engine == nil {
+			http.NotFound(w, r)
+			return
+		}
+		// The library-side exposition: engine counters plus process
+		// runtime gauges. The serving layer's /metrics adds the serve
+		// counters and dimensional rollups on top of the same families.
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		t := telemetry.NewWriter(w)
+		telemetry.AppendEngine(t, opts.Engine.Stats())
+		telemetry.AppendRuntime(t)
 	})
 	mux.HandleFunc("/debug/xpe/cache", func(w http.ResponseWriter, r *http.Request) {
 		if opts.Engine == nil {

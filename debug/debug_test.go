@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"xpe"
+	"xpe/internal/telemetry"
 )
 
 // newTestEngine returns an engine with one evaluated query and an
@@ -61,6 +62,19 @@ func TestHandlerEndpoints(t *testing.T) {
 	}
 	if _, ok := stats["eval"]; !ok {
 		t.Errorf("stats missing eval section: %v", stats)
+	}
+
+	code, body = get(t, h, "/debug/xpe/metrics")
+	if code != 200 {
+		t.Fatalf("metrics: code %d", code)
+	}
+	if err := telemetry.Lint(body); err != nil {
+		t.Fatalf("metrics page fails strict parse: %v", err)
+	}
+	// The Select above visited nodes; the counter must be on the page.
+	if !strings.Contains(body, "xpe_eval_docs_total 1\n") ||
+		!strings.Contains(body, "# TYPE xpe_go_goroutines gauge\n") {
+		t.Errorf("metrics page missing engine counters or runtime gauges:\n%s", body)
 	}
 
 	code, body = get(t, h, "/debug/xpe/cache")

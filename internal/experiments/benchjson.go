@@ -94,6 +94,14 @@ type BenchReport struct {
 	// with the bare evaluation — the ratio of the two sides' median
 	// per-op durations. Gated ≤ 1% by `make trace-overhead`.
 	TraceOverheadPct float64 `json:"trace_overhead_pct"`
+	// TelemetryOverheadPct is what the serving telemetry costs end to
+	// end: a feed post through serve.Server.ServeHTTP with the default
+	// telemetry (rollups, request ids, per-feed recorder, periodic
+	// /metrics scrapes) against an identical server with
+	// DisableTelemetry, interleaved in paired rounds — the median pair
+	// ratio. Measured by cmd/xpebench (the serving layer sits above this
+	// package); gated ≤ 1% by `make telemetry-overhead`.
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
 	// ScalingEfficiency maps a worker count ("4", "8", "16") to that
 	// run's nodes/sec divided by the single-worker run's, over the same
 	// stream-* workload. On a box with real parallelism the w4 figure

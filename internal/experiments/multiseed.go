@@ -1,0 +1,277 @@
+package experiments
+
+// Multi-seed statistical bench trajectory: a throughput figure measured
+// at one RNG seed is a point estimate, and gating on it confuses corpus
+// luck with performance. Each trajectory entry instead measures every
+// workload at several generator seeds (the corpus changes, the code does
+// not) and records the per-seed figures plus their mean/min/max. Entries
+// append to BENCH_history.ndjson — one dated JSON line per run — so the
+// repository carries the trajectory, not just the latest number.
+//
+// The gate (GateHistory) follows the Type-2 experiment discipline: a
+// regression must clear an effect-size bar, not just a percentage. The
+// current run fails only when all three hold against the pooled recent
+// history:
+//
+//  1. magnitude: the cross-seed mean is more than maxDropPct percent
+//     below the historical mean of means;
+//  2. effect size: the current mean falls below the slowest per-seed
+//     figure history ever recorded in the window — the drop exceeds the
+//     measured cross-seed spread, not just the mean;
+//  3. directional consistency: every current seed is below the
+//     historical mean — all corpora agree on the direction.
+//
+// A drop that fails any leg is reported through logf as noise and does
+// not gate. This trades a little sensitivity for near-zero false alarms,
+// which is what keeps a perf gate trusted enough to stay enabled.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"xpe/internal/gen"
+	"xpe/internal/stream"
+	"xpe/internal/xmlhedge"
+)
+
+// DefaultSeeds are the generator seeds a trajectory entry measures at.
+var DefaultSeeds = []int64{42, 123, 456}
+
+// historyWindow is how many recent comparable entries GateHistory pools.
+const historyWindow = 5
+
+// seedRepeats is how many measurement windows each per-seed figure is
+// the best of. The three-leg rule rejects per-seed noise, but transient
+// machine load depresses every seed of a run equally — correlated noise
+// the directional-consistency leg cannot see — so each seed takes its
+// best window, the same discipline as the baseline gate's best-of-five.
+const seedRepeats = 3
+
+// SeedRun is one workload's throughput at one generator seed.
+type SeedRun struct {
+	Seed        int64   `json:"seed"`
+	NodesPerSec float64 `json:"nodes_per_sec"`
+}
+
+// SeedStat is one workload's cross-seed summary: the per-seed runs and
+// their mean/min/max nodes/sec.
+type SeedStat struct {
+	Name string    `json:"name"`
+	Mean float64   `json:"mean_nodes_per_sec"`
+	Min  float64   `json:"min_nodes_per_sec"`
+	Max  float64   `json:"max_nodes_per_sec"`
+	Runs []SeedRun `json:"runs"`
+}
+
+// HistoryEntry is one BENCH_history.ndjson line: a dated multi-seed
+// measurement of the trajectory workloads.
+type HistoryEntry struct {
+	Date      string     `json:"date"` // YYYY-MM-DD (UTC)
+	GoVersion string     `json:"go_version"`
+	GOOS      string     `json:"goos"`
+	GOARCH    string     `json:"goarch"`
+	Quick     bool       `json:"quick"`
+	Workloads []SeedStat `json:"workloads"`
+}
+
+// trajectoryWorkloads are the (name, workers) pairs each entry measures;
+// the document size comes from quick.
+var trajectoryWorkloads = []struct {
+	suffix  string
+	workers int
+}{
+	{"w1", 1},
+	{"w4", 4},
+}
+
+// MeasureStreamSeeds measures the trajectory workloads at every seed
+// (each figure the best of seedRepeats windows) and returns the
+// cross-seed stats. Workload names carry the size ("stream-100k-w4"),
+// so quick and full entries never compare.
+func MeasureStreamSeeds(quick bool, seeds []int64, logf func(format string, a ...any)) ([]SeedStat, error) {
+	if len(seeds) == 0 {
+		seeds = DefaultSeeds
+	}
+	size, minTime := 100_000, 200*time.Millisecond
+	if quick {
+		size, minTime = 20_000, 40*time.Millisecond
+	}
+	names := NewDocEnv()
+	cq, err := CompileQuery(names, SelectQuery)
+	if err != nil {
+		return nil, err
+	}
+	var out []SeedStat
+	for _, w := range trajectoryWorkloads {
+		name := fmt.Sprintf("stream-%s-%s", sizeName(size), w.suffix)
+		st := SeedStat{Name: name}
+		for i, seed := range seeds {
+			feed, err := seededFeed(size, w.workers, seed)
+			if err != nil {
+				return nil, err
+			}
+			var nps float64
+			for r := 0; r < seedRepeats; r++ {
+				if got := feed.measure(cq, name, minTime).NodesPerSec; got > nps {
+					nps = got
+				}
+			}
+			st.Runs = append(st.Runs, SeedRun{Seed: seed, NodesPerSec: nps})
+			st.Mean += nps
+			if i == 0 || nps < st.Min {
+				st.Min = nps
+			}
+			if nps > st.Max {
+				st.Max = nps
+			}
+			logf("xpebench: %s seed %d: %.0f nodes/sec\n", name, seed, nps)
+		}
+		st.Mean /= float64(len(seeds))
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// seededFeed is plainFeed at a chosen generator seed.
+func seededFeed(size, workers int, seed int64) (*streamFeed, error) {
+	cfg := gen.DefaultDocConfig()
+	cfg.Seed = seed
+	doc := gen.Document(cfg, size)
+	s, err := xmlhedge.ToString(doc)
+	if err != nil {
+		return nil, err
+	}
+	return &streamFeed{
+		data:  []byte(s),
+		nodes: int64(doc.Size()),
+		cfg:   stream.Config{Workers: workers},
+	}, nil
+}
+
+// AppendHistory appends one entry to the NDJSON trajectory file,
+// creating it if needed.
+func AppendHistory(path string, e HistoryEntry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadHistory reads a trajectory file. A missing file is an empty
+// trajectory, not an error — the first recorded run has no past.
+func LoadHistory(path string) ([]HistoryEntry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []HistoryEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e HistoryEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, fmt.Errorf("%s: bad trajectory line %q: %w", path, line, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// GateHistory judges cur against the pooled recent history (the last
+// historyWindow comparable entries) per workload, under the three-leg
+// rule in the package comment. Workloads with no comparable history are
+// reported through logf and pass; an empty history passes wholesale.
+func GateHistory(hist []HistoryEntry, cur HistoryEntry, maxDropPct float64, logf func(format string, a ...any)) error {
+	// Pool the recent comparable entries' stats by workload name.
+	type pool struct {
+		meanSum  float64 // sum of entry means
+		nMeans   int
+		worstRun float64 // slowest per-seed figure in the window
+	}
+	pools := map[string]*pool{}
+	comparable := 0
+	for i := len(hist) - 1; i >= 0 && comparable < historyWindow; i-- {
+		e := hist[i]
+		if e.Quick != cur.Quick || e.GOOS != cur.GOOS || e.GOARCH != cur.GOARCH {
+			continue
+		}
+		comparable++
+		for _, st := range e.Workloads {
+			p := pools[st.Name]
+			if p == nil {
+				p = &pool{worstRun: st.Min}
+				pools[st.Name] = p
+			}
+			p.meanSum += st.Mean
+			p.nMeans++
+			if st.Min < p.worstRun {
+				p.worstRun = st.Min
+			}
+		}
+	}
+	if comparable == 0 {
+		logf("xpebench: trajectory has no comparable entries (quick=%v %s/%s); nothing to gate\n",
+			cur.Quick, cur.GOOS, cur.GOARCH)
+		return nil
+	}
+	var failures []string
+	for _, st := range cur.Workloads {
+		p := pools[st.Name]
+		if p == nil || p.nMeans == 0 {
+			logf("xpebench: %s has no trajectory history; not gated\n", st.Name)
+			continue
+		}
+		baseMean := p.meanSum / float64(p.nMeans)
+		dropPct := (1 - st.Mean/baseMean) * 100
+		logf("xpebench: %s: mean %.0f nodes/sec vs trajectory mean %.0f over %d entries (%+.1f%%)\n",
+			st.Name, st.Mean, baseMean, p.nMeans, -dropPct)
+		if dropPct <= maxDropPct {
+			continue
+		}
+		if st.Mean >= p.worstRun {
+			logf("xpebench: %s: drop within the historical cross-seed spread (slowest recorded run %.0f); treated as noise\n",
+				st.Name, p.worstRun)
+			continue
+		}
+		consistent := true
+		for _, r := range st.Runs {
+			if r.NodesPerSec >= baseMean {
+				consistent = false
+				break
+			}
+		}
+		if !consistent {
+			logf("xpebench: %s: seeds disagree on the direction; treated as noise\n", st.Name)
+			continue
+		}
+		failures = append(failures, fmt.Sprintf(
+			"%s: mean %.0f nodes/sec is %.1f%% below the trajectory mean %.0f, below every recorded run, and every seed agrees",
+			st.Name, st.Mean, dropPct, baseMean))
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("stream throughput regressed against the trajectory (max drop %.0f%%):\n  %s",
+			maxDropPct, strings.Join(failures, "\n  "))
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func discardLogf(string, ...any) {}
+
+func TestMeasureStreamSeedsSmoke(t *testing.T) {
+	stats, err := MeasureStreamSeeds(true, []int64{1, 2}, discardLogf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != len(trajectoryWorkloads) {
+		t.Fatalf("got %d workloads, want %d", len(stats), len(trajectoryWorkloads))
+	}
+	for _, st := range stats {
+		if !strings.HasPrefix(st.Name, "stream-20k-") {
+			t.Errorf("quick workload name %q should carry the quick size", st.Name)
+		}
+		if len(st.Runs) != 2 {
+			t.Fatalf("%s: %d runs, want one per seed", st.Name, len(st.Runs))
+		}
+		if st.Min <= 0 || st.Max < st.Min || st.Mean < st.Min || st.Mean > st.Max {
+			t.Errorf("%s: inconsistent stats mean=%f min=%f max=%f", st.Name, st.Mean, st.Min, st.Max)
+		}
+		for _, r := range st.Runs {
+			if r.NodesPerSec <= 0 {
+				t.Errorf("%s seed %d: no throughput", st.Name, r.Seed)
+			}
+		}
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.ndjson")
+	if got, err := LoadHistory(path); err != nil || got != nil {
+		t.Fatalf("missing file: %v, %v; want empty, nil", got, err)
+	}
+	e1 := HistoryEntry{Date: "2026-08-01", GoVersion: "go1.x", GOOS: "linux", GOARCH: "amd64",
+		Workloads: []SeedStat{{Name: "stream-100k-w1", Mean: 100, Min: 90, Max: 110,
+			Runs: []SeedRun{{Seed: 42, NodesPerSec: 90}, {Seed: 123, NodesPerSec: 110}}}}}
+	e2 := e1
+	e2.Date = "2026-08-02"
+	if err := AppendHistory(path, e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendHistory(path, e2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Date != "2026-08-01" || got[1].Date != "2026-08-02" {
+		t.Fatalf("round trip lost entries: %+v", got)
+	}
+	if len(got[0].Workloads) != 1 || got[0].Workloads[0].Runs[1].NodesPerSec != 110 {
+		t.Fatalf("round trip lost workload detail: %+v", got[0].Workloads)
+	}
+}
+
+// histEntry fabricates one comparable trajectory entry with a single
+// workload whose seeds all measured near mean.
+func histEntry(date string, mean, min, max float64) HistoryEntry {
+	return HistoryEntry{Date: date, GOOS: "linux", GOARCH: "amd64",
+		Workloads: []SeedStat{{Name: "stream-100k-w4", Mean: mean, Min: min, Max: max,
+			Runs: []SeedRun{{Seed: 42, NodesPerSec: min}, {Seed: 123, NodesPerSec: max}}}}}
+}
+
+func TestGateHistory(t *testing.T) {
+	hist := []HistoryEntry{
+		histEntry("2026-08-01", 1000, 950, 1050),
+		histEntry("2026-08-02", 1020, 980, 1060),
+	}
+	cases := []struct {
+		name string
+		cur  HistoryEntry
+		fail bool
+	}{
+		// All three legs: >10% below the mean of means (1010), below the
+		// slowest recorded run (950), every seed below the mean.
+		{"consistent regression", histEntry("2026-08-03", 800, 780, 820), true},
+		// Magnitude only: within the historical spread.
+		{"within historical spread", histEntry("2026-08-03", 960, 940, 980), false},
+		// Magnitude + effect size, but one seed beat the historical mean:
+		// seeds disagree, so it is noise.
+		{"seeds disagree", histEntry("2026-08-03", 900, 700, 1100), false},
+		// No regression at all.
+		{"healthy", histEntry("2026-08-03", 1005, 960, 1050), false},
+	}
+	for _, tc := range cases {
+		err := GateHistory(hist, tc.cur, 10, discardLogf)
+		if tc.fail && err == nil {
+			t.Errorf("%s: gate passed, want failure", tc.name)
+		}
+		if !tc.fail && err != nil {
+			t.Errorf("%s: gate failed: %v", tc.name, err)
+		}
+	}
+
+	// Incomparable history (different platform / quick flag) never gates.
+	quick := histEntry("2026-08-03", 500, 490, 510)
+	quick.Quick = true
+	if err := GateHistory(hist, quick, 10, discardLogf); err != nil {
+		t.Errorf("incomparable entries must not gate: %v", err)
+	}
+
+	// A workload history has never seen passes.
+	novel := HistoryEntry{GOOS: "linux", GOARCH: "amd64",
+		Workloads: []SeedStat{{Name: "stream-1k-w1", Mean: 1, Min: 1, Max: 1}}}
+	if err := GateHistory(hist, novel, 10, discardLogf); err != nil {
+		t.Errorf("novel workload must not gate: %v", err)
+	}
+
+	// Empty history passes wholesale.
+	if err := GateHistory(nil, hist[0], 10, discardLogf); err != nil {
+		t.Errorf("empty history must not gate: %v", err)
+	}
+}

@@ -204,6 +204,30 @@ func (bs *breakerSet) get(feed string) *feedBreaker {
 	return b
 }
 
+// states snapshots every known feed's breaker state by name — the
+// point-in-time gauge surface (Stats.BreakerStates and the
+// xpe_serve_breaker_state exposition family). The reported state is the
+// stored one: a breaker still "open" past its backoff stays open here
+// until the next post transitions it to half-open, which is why
+// openCount (feeds actively refusing) can read lower.
+func (bs *breakerSet) states() map[string]string {
+	if bs == nil {
+		return nil
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if len(bs.m) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(bs.m))
+	for feed, b := range bs.m {
+		b.mu.Lock()
+		out[feed] = b.state.String()
+		b.mu.Unlock()
+	}
+	return out
+}
+
 // openCount reports how many feeds are currently refusing service.
 func (bs *breakerSet) openCount() int64 {
 	if bs == nil {

@@ -1,0 +1,261 @@
+package serve
+
+// Dimensional serving rollups: per-tenant × per-feed request counters and
+// latency histograms, per-query match counters, and per-feed flight
+// recorders — the label-bearing half of the /metrics page.
+//
+// Cardinality is bounded by construction: at most maxSets distinct
+// (tenant, feed) cells and maxSets distinct (tenant, feed, query) match
+// counters are ever created; observations past the cap fold into a
+// single ("other", "other") bucket, and the fold count is itself exposed
+// (xpe_serve_rollup_overflow_total), so an exploding label space shows
+// up as one rising counter instead of an unbounded scrape page.
+//
+// The write path is lock-cheap by the same discipline as
+// internal/metrics: one RLock map probe per finished request resolves
+// the cell (misses take the write lock once, to insert), and every cell
+// field is an atomic or an atomic-bucket histogram, so concurrent
+// requests never serialize on accounting.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xpe"
+	"xpe/internal/metrics"
+	"xpe/internal/telemetry"
+)
+
+// overflowLabel is the bucket label sets past the cardinality cap fold
+// into.
+const overflowLabel = "other"
+
+// selectFeedLabel is the feed label one-shot /v1/select runs roll up
+// under (they have no registered feed).
+const selectFeedLabel = "(select)"
+
+type cellKey struct{ tenant, feed string }
+
+type queryKey struct{ tenant, feed, query string }
+
+// statusClasses are the response-code classes requests_total is keyed
+// by; classIdx maps a status code to its slot.
+var statusClasses = [...]string{"2xx", "4xx", "5xx", "other"}
+
+func classIdx(status int) int {
+	switch status / 100 {
+	case 2:
+		return 0
+	case 4:
+		return 1
+	case 5:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// rollupCell aggregates one (tenant, feed) pair. All fields are atomic:
+// a cell is written by concurrent request completions and read by
+// concurrent scrapes without further locking.
+type rollupCell struct {
+	tenant, feed string
+
+	byClass     [len(statusClasses)]atomic.Int64
+	records     atomic.Int64
+	bytes       atomic.Int64
+	matches     atomic.Int64
+	prefiltered atomic.Int64
+	skipped     atomic.Int64
+	latency     metrics.Histogram
+}
+
+// queryCell counts one (tenant, feed, query) registration's matches.
+type queryCell struct {
+	tenant, feed, query string
+	matches             atomic.Int64
+}
+
+// rollups owns the bounded cell maps and the per-feed flight recorders.
+type rollups struct {
+	maxSets    int
+	traceDepth int
+
+	mu        sync.RWMutex
+	cells     map[cellKey]*rollupCell
+	order     []*rollupCell // insertion order: stable scrape pages
+	queries   map[queryKey]*queryCell
+	qorder    []*queryCell
+	recorders map[string]*xpe.FlightRecorder
+
+	overflow atomic.Int64 // observations folded into the other bucket
+}
+
+func newRollups(maxSets, traceDepth int) *rollups {
+	if maxSets <= 0 {
+		maxSets = 128
+	}
+	if traceDepth <= 0 {
+		traceDepth = 32
+	}
+	return &rollups{
+		maxSets:    maxSets,
+		traceDepth: traceDepth,
+		cells:      make(map[cellKey]*rollupCell),
+		queries:    make(map[queryKey]*queryCell),
+		recorders:  make(map[string]*xpe.FlightRecorder),
+	}
+}
+
+// cell resolves (tenant, feed), creating the cell on first sight and
+// folding into the overflow bucket at the cardinality cap.
+func (ru *rollups) cell(tenant, feed string) *rollupCell {
+	key := cellKey{tenant, feed}
+	ru.mu.RLock()
+	c := ru.cells[key]
+	ru.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	if c = ru.cells[key]; c != nil {
+		return c
+	}
+	if len(ru.cells) >= ru.maxSets {
+		ru.overflow.Add(1)
+		key = cellKey{overflowLabel, overflowLabel}
+		if c = ru.cells[key]; c != nil {
+			return c
+		}
+	}
+	c = &rollupCell{tenant: key.tenant, feed: key.feed}
+	ru.cells[key] = c
+	ru.order = append(ru.order, c)
+	return c
+}
+
+// observe accounts one finished evaluation request: its response class,
+// its run totals, and its wall latency.
+func (ru *rollups) observe(tenant, feed string, status int, stats xpe.StreamStats, dur time.Duration) {
+	c := ru.cell(tenant, feed)
+	c.byClass[classIdx(status)].Add(1)
+	c.records.Add(stats.Records)
+	c.bytes.Add(stats.Bytes)
+	c.matches.Add(stats.Matches)
+	c.prefiltered.Add(stats.Prefiltered)
+	c.skipped.Add(stats.Skipped)
+	c.latency.Observe(dur)
+}
+
+// queryMatches accounts one registration's match count from a feed run.
+func (ru *rollups) queryMatches(tenant, feed, query string, n int64) {
+	if n == 0 {
+		return
+	}
+	key := queryKey{tenant, feed, query}
+	ru.mu.RLock()
+	c := ru.queries[key]
+	ru.mu.RUnlock()
+	if c == nil {
+		ru.mu.Lock()
+		if c = ru.queries[key]; c == nil {
+			if len(ru.queries) >= ru.maxSets {
+				ru.overflow.Add(1)
+				key = queryKey{overflowLabel, overflowLabel, overflowLabel}
+			}
+			if c = ru.queries[key]; c == nil {
+				c = &queryCell{tenant: key.tenant, feed: key.feed, query: key.query}
+				ru.queries[key] = c
+				ru.qorder = append(ru.qorder, c)
+			}
+		}
+		ru.mu.Unlock()
+	}
+	c.matches.Add(n)
+}
+
+// recorder returns feed's flight recorder, creating it on first use.
+// Feeds past the cardinality cap are not traced (nil — every
+// FlightRecorder entry point is nil-safe).
+func (ru *rollups) recorder(feed string) *xpe.FlightRecorder {
+	ru.mu.RLock()
+	fr := ru.recorders[feed]
+	ru.mu.RUnlock()
+	if fr != nil {
+		return fr
+	}
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	if fr = ru.recorders[feed]; fr != nil {
+		return fr
+	}
+	if len(ru.recorders) >= ru.maxSets {
+		return nil
+	}
+	fr = xpe.NewFlightRecorder(ru.traceDepth)
+	ru.recorders[feed] = fr
+	return fr
+}
+
+// existingRecorder returns feed's recorder without creating one.
+func (ru *rollups) existingRecorder(feed string) *xpe.FlightRecorder {
+	ru.mu.RLock()
+	defer ru.mu.RUnlock()
+	return ru.recorders[feed]
+}
+
+// render writes the dimensional families. Series appear in cell
+// insertion order, which only grows, so consecutive scrapes agree on
+// ordering.
+func (ru *rollups) render(t *telemetry.Writer) {
+	ru.mu.RLock()
+	cells := append([]*rollupCell(nil), ru.order...)
+	qcells := append([]*queryCell(nil), ru.qorder...)
+	ru.mu.RUnlock()
+
+	t.Family("xpe_serve_requests_total",
+		"Finished evaluation requests by tenant, feed, and response-code class (refusals included).", "counter")
+	for _, c := range cells {
+		for i, cls := range statusClasses {
+			if n := c.byClass[i].Load(); n > 0 {
+				t.Sample("xpe_serve_requests_total", float64(n),
+					"tenant", c.tenant, "feed", c.feed, "code", cls)
+			}
+		}
+	}
+	counter := func(name, help string, field func(*rollupCell) int64) {
+		t.Family(name, help, "counter")
+		for _, c := range cells {
+			t.Sample(name, float64(field(c)), "tenant", c.tenant, "feed", c.feed)
+		}
+	}
+	counter("xpe_serve_records_total", "Records evaluated, by tenant and feed.",
+		func(c *rollupCell) int64 { return c.records.Load() })
+	counter("xpe_serve_bytes_total", "Input bytes consumed, by tenant and feed.",
+		func(c *rollupCell) int64 { return c.bytes.Load() })
+	counter("xpe_serve_matches_total", "NDJSON match lines written, by tenant and feed.",
+		func(c *rollupCell) int64 { return c.matches.Load() })
+	counter("xpe_serve_records_prefiltered_total", "Records skipped whole by the union prefilter, by tenant and feed (skip rate = prefiltered / (records + prefiltered)).",
+		func(c *rollupCell) int64 { return c.prefiltered.Load() })
+	counter("xpe_serve_records_skipped_total", "Failed records dropped by the Skip policy, by tenant and feed.",
+		func(c *rollupCell) int64 { return c.skipped.Load() })
+
+	t.HistogramFamily("xpe_serve_request_duration_seconds",
+		"Evaluation request wall latency by tenant and feed, admission wait included.")
+	for _, c := range cells {
+		t.HistogramSeries("xpe_serve_request_duration_seconds", c.latency.Snapshot(),
+			"tenant", c.tenant, "feed", c.feed)
+	}
+
+	t.Family("xpe_serve_query_matches_total",
+		"Matches per registered query (feed runs share one pass, so per-query latency is not separable; match attribution is).", "counter")
+	for _, c := range qcells {
+		t.Sample("xpe_serve_query_matches_total", float64(c.matches.Load()),
+			"tenant", c.tenant, "feed", c.feed, "query", c.query)
+	}
+
+	t.Counter("xpe_serve_rollup_overflow_total",
+		"Observations folded into the other bucket by the label-cardinality cap.", ru.overflow.Load())
+}

@@ -9,7 +9,9 @@
 //	POST /v1/select         one-shot: evaluate an ad-hoc query over the body
 //	POST /v1/feed/{feed}    shared pass: every query registered on the feed
 //	GET  /v1/healthz        liveness ("draining" while shutting down)
+//	GET  /metrics           Prometheus text exposition (engine, serve, rollups)
 //	GET  /debug/xpe/serve   serving counters (admission, feeds, matches)
+//	GET  /debug/xpe/serve/traces?feed=  one feed's flight-recorder ring
 //	/debug/xpe/*, /debug/pprof/*  the engine debug surface (xpe/debug)
 //
 // A feed run is ONE pass over the posted document however many queries are
@@ -50,6 +52,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -145,6 +148,28 @@ type Options struct {
 	// (<=0: 5s / 2m).
 	BreakerBackoff    time.Duration
 	BreakerMaxBackoff time.Duration
+	// Logger, when non-nil, receives the structured serving log: one
+	// access line per evaluation request (tenant, feed, status, records,
+	// matches, duration, request id) and slow-record warnings. Nil keeps
+	// the server silent (the library-quiet default).
+	Logger *slog.Logger
+	// SlowRecordThreshold routes records whose split+eval+deliver total
+	// meets or exceeds it to the slow-record log, with tenant/feed/
+	// request-id context (0 disables).
+	SlowRecordThreshold time.Duration
+	// MaxLabelSets caps the dimensional rollups' cardinality: at most
+	// this many (tenant, feed) cells and (tenant, feed, query) match
+	// counters; past the cap, observations fold into an "other" bucket
+	// (<=0: 128).
+	MaxLabelSets int
+	// FeedTraceDepth is the per-feed flight-recorder ring capacity
+	// backing /debug/xpe/serve/traces?feed= (<=0: 32).
+	FeedTraceDepth int
+	// DisableTelemetry turns the serving telemetry off wholesale — no
+	// rollups, no request ids, no per-feed recorders; GET /metrics
+	// answers 404. The telemetry-overhead gate measures this
+	// configuration against the default.
+	DisableTelemetry bool
 }
 
 // regQuery is one registered query. A quarantined entry survived a
@@ -169,32 +194,46 @@ type tenant struct {
 	queries map[string]*regQuery
 }
 
-// Stats are the server's cumulative serving counters, exposed at
-// /debug/xpe/serve.
+// Stats are the server's serving counters, exposed as JSON at
+// /debug/xpe/serve and as Prometheus exposition at /metrics.
+//
+// The surface mixes two kinds of figure — keep them straight when
+// graphing. Cumulative counters only ever rise (rate() them): Requests
+// through Skipped below. Point-in-time gauges describe the instant the
+// snapshot was taken and move both ways: QueueDepth, ActiveProbes,
+// BreakerOpen, Registered, Quarantined, BreakerStates, and the
+// per-tenant QueueDepth/Weight. The /metrics page declares the same
+// split with # TYPE counter/gauge.
 type Stats struct {
-	Requests       int64                  `json:"requests"`             // evaluation requests seen
-	Admitted       int64                  `json:"admitted"`             // granted an evaluation slot
-	Rejected       int64                  `json:"rejected_429"`         // bounced by admission (queue full or shed)
-	Shed           int64                  `json:"shed_429"`             // the rejected_429 subset shed by weight
-	Degraded       int64                  `json:"degraded"`             // admissions under tightened budgets
-	Draining       int64                  `json:"draining_503"`         // bounced while draining
-	BreakerRejects int64                  `json:"rejected_503_breaker"` // feed posts bounced by an open breaker
-	BreakerTrips   int64                  `json:"breaker_trips"`        // breaker closed→open transitions
-	BreakerOpen    int64                  `json:"breaker_open_feeds"`   // feeds currently refusing service
-	Feeds          int64                  `json:"feed_runs"`            // shared-pass feed evaluations
-	Selects        int64                  `json:"select_runs"`          // one-shot evaluations
-	Matches        int64                  `json:"matches"`              // NDJSON match lines written
-	Records        int64                  `json:"records"`              // records evaluated
-	Prefiltered    int64                  `json:"prefiltered"`          // records skipped by the union prefilter
-	Skipped        int64                  `json:"skipped"`              // failed records dropped by Skip
-	QueueDepth     int64                  `json:"queue_depth"`          // current admission waiters, all tenants
-	ActiveProbes   int64                  `json:"active"`               // streams evaluating right now
-	Registered     int64                  `json:"registered"`           // live query registrations
-	Quarantined    int64                  `json:"quarantined"`          // replayed registrations that no longer compile
-	Tenants        map[string]TenantStats `json:"tenants,omitempty"`    // per-tenant admission counters
+	// Cumulative counters.
+	Requests       int64 `json:"requests"`             // evaluation requests seen
+	Admitted       int64 `json:"admitted"`             // granted an evaluation slot
+	Rejected       int64 `json:"rejected_429"`         // bounced by admission (queue full or shed)
+	Shed           int64 `json:"shed_429"`             // the rejected_429 subset shed by weight
+	Degraded       int64 `json:"degraded"`             // admissions under tightened budgets
+	Draining       int64 `json:"draining_503"`         // bounced while draining
+	BreakerRejects int64 `json:"rejected_503_breaker"` // feed posts bounced by an open breaker
+	BreakerTrips   int64 `json:"breaker_trips"`        // breaker closed→open transitions
+	Feeds          int64 `json:"feed_runs"`            // shared-pass feed evaluations
+	Selects        int64 `json:"select_runs"`          // one-shot evaluations
+	Matches        int64 `json:"matches"`              // NDJSON match lines written
+	Records        int64 `json:"records"`              // records evaluated
+	Prefiltered    int64 `json:"prefiltered"`          // records skipped by the union prefilter
+	Skipped        int64 `json:"skipped"`              // failed records dropped by Skip
+
+	// Point-in-time gauges.
+	BreakerOpen   int64             `json:"breaker_open_feeds"`       // feeds currently refusing service
+	QueueDepth    int64             `json:"queue_depth"`              // current admission waiters, all tenants
+	ActiveProbes  int64             `json:"active"`                   // streams evaluating right now
+	Registered    int64             `json:"registered"`               // live query registrations
+	Quarantined   int64             `json:"quarantined"`              // replayed registrations that no longer compile
+	BreakerStates map[string]string `json:"breaker_states,omitempty"` // per-feed breaker state: closed / half-open / open
+
+	Tenants map[string]TenantStats `json:"tenants,omitempty"` // per-tenant admission counters
 }
 
-// TenantStats are one tenant's admission counters.
+// TenantStats are one tenant's admission figures: Admitted and Rejected
+// are cumulative counters, Weight and QueueDepth point-in-time gauges.
 type TenantStats struct {
 	Weight     int   `json:"weight"`
 	Admitted   int64 `json:"admitted"`
@@ -217,6 +256,7 @@ type Server struct {
 	adm      *admitter
 	breakers *breakerSet
 	jnl      *journal
+	rollups  *rollups // nil when Options.DisableTelemetry
 	draining atomic.Bool
 	active   sync.WaitGroup
 
@@ -266,6 +306,9 @@ func NewServer(opts Options) (*Server, error) {
 		adm:      newAdmitter(opts.MaxConcurrent, opts.MaxQueueDepth, opts.DegradeQueueDepth, opts.ShedQueueDepth),
 		breakers: newBreakerSet(opts.BreakerThreshold, opts.BreakerBackoff, opts.BreakerMaxBackoff),
 	}
+	if !opts.DisableTelemetry {
+		s.rollups = newRollups(opts.MaxLabelSets, opts.FeedTraceDepth)
+	}
 	if opts.StateDir != "" {
 		jnl, entries, err := openJournal(opts.StateDir)
 		if err != nil {
@@ -284,7 +327,9 @@ func NewServer(opts Options) (*Server, error) {
 	mux.HandleFunc("POST /v1/select", s.handleSelect)
 	mux.HandleFunc("POST /v1/feed/{feed}", s.handleFeed)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/xpe/serve", s.handleStats)
+	mux.HandleFunc("GET /debug/xpe/serve/traces", s.handleFeedTraces)
 	mux.Handle("/debug/", debug.Handler(debug.Options{Engine: opts.Engine}))
 	s.mux = mux
 	return s, nil
@@ -439,35 +484,39 @@ func (s *Server) Stats() Stats {
 		ActiveProbes:   int64(active),
 		Registered:     s.registered.Load(),
 		Quarantined:    s.quarantinedN.Load(),
+		BreakerStates:  s.breakers.states(),
 		Tenants:        tenants,
 	}
 }
 
 // admit runs the admission gate for one evaluation request: it returns a
 // release func on success, or writes the refusal (a machine-actionable
-// 429, or 503 while draining) and returns nil. The tenant's weight buys
-// its share of the shared pool; see admission.go for the fairness model.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request, tenantName string) func() {
+// 429, or 503 while draining) and returns nil plus the status it wrote
+// (0 when the client vanished while queued and nothing was written —
+// the access log records that as-is). The tenant's weight buys its
+// share of the shared pool; see admission.go for the fairness model.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, tenantName string) (func(), int) {
 	s.requests.Add(1)
 	if s.draining.Load() {
 		s.drained.Add(1)
 		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return nil
+		return nil, http.StatusServiceUnavailable
 	}
 	release, ref := s.adm.admit(r.Context(), tenantName, s.budgetsFor(tenantName).Weight)
 	if release == nil {
 		if ref != nil {
 			s.rejected.Add(1)
 			writeRefusal(w, ref)
+			return nil, http.StatusTooManyRequests
 		}
-		return nil // context ended while queued: the client is gone
+		return nil, 0 // context ended while queued: the client is gone
 	}
 	s.admitted.Add(1)
 	s.active.Add(1)
 	return func() {
 		release()
 		s.active.Done()
-	}
+	}, 0
 }
 
 // writeRefusal answers a refused admission: 429, Retry-After in whole
@@ -744,15 +793,20 @@ func (s *Server) finishStream(write func(any) error, stats xpe.StreamStats, nq i
 // posted document — the single-query end of the serving surface, no
 // registration required.
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	rid := s.requestID(sw, r)
 	opts, tenantName, err := s.evalOptions(r)
+	var stats xpe.StreamStats
+	defer func() { s.finishRequest("select", tenantName, selectFeedLabel, rid, 1, sw, &stats, start) }()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(sw, err.Error(), http.StatusBadRequest)
 		return
 	}
 	qp := r.URL.Query()
 	src, xp := qp.Get("query"), qp.Get("xpath")
 	if (src == "") == (xp == "") {
-		http.Error(w, "exactly one of ?query= or ?xpath= is required", http.StatusBadRequest)
+		http.Error(sw, "exactly one of ?query= or ?xpath= is required", http.StatusBadRequest)
 		return
 	}
 	var q *xpe.Query
@@ -762,19 +816,20 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		q, err = s.opts.Engine.CompileXPath(xp)
 	}
 	if err != nil {
-		http.Error(w, "compile: "+err.Error(), http.StatusBadRequest)
+		http.Error(sw, "compile: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	release := s.admit(w, r, tenantName)
+	release, _ := s.admit(sw, r, tenantName)
 	if release == nil {
 		return
 	}
 	defer release()
 	s.degradeBudgets(&opts)
+	s.applyTelemetry(&opts, rid, tenantName, selectFeedLabel)
 	s.selectRuns.Add(1)
-	write := ndjson(w)
+	write := ndjson(sw)
 	var werr error
-	stats, err := s.opts.Engine.SelectStream(r.Context(), r.Body, q, opts,
+	stats, err = s.opts.Engine.SelectStream(r.Context(), r.Body, q, opts,
 		func(m xpe.StreamMatch) error {
 			werr = write(matchLine{Tenant: tenantName, Query: src + xp, Record: m.Record,
 				RecordPath: m.RecordPath, Path: m.Path, Term: m.Term})
@@ -786,25 +841,49 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	s.finishStream(write, stats, 1, err)
 }
 
+// applyTelemetry threads the request's observability hooks into the run
+// options: the correlation id (stamped onto every record trace), the
+// per-feed flight recorder, and the slow-record log with serving
+// context. The recorder and id are telemetry-gated; the slow-record
+// threshold applies regardless (it is a serving policy, not a scrape
+// surface).
+func (s *Server) applyTelemetry(opts *xpe.SelectOptions, rid, tenant, feed string) {
+	opts.RequestID = rid
+	if s.opts.SlowRecordThreshold > 0 {
+		opts.SlowRecordThreshold = s.opts.SlowRecordThreshold
+		opts.OnSlowRecord = s.slowRecordSink(tenant, feed)
+	}
+	if s.rollups != nil && feed != selectFeedLabel {
+		opts.Trace = s.rollups.recorder(feed)
+	}
+}
+
 // handleFeed runs the shared pass: every query registered on the feed, in
 // registration order, over one split+parse of the posted document. The
 // feed's circuit breaker gates the run (see breaker.go): open feeds are
 // refused before touching admission, and record failures inside the run
 // feed the breaker's streak.
 func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
+	sw := &statusWriter{ResponseWriter: w}
+	start := time.Now()
+	rid := s.requestID(sw, r)
+	feed := r.PathValue("feed")
 	opts, tenantName, err := s.evalOptions(r)
+	var stats xpe.StreamStats
+	var nq int
+	defer func() { s.finishRequest("feed", tenantName, feed, rid, nq, sw, &stats, start) }()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(sw, err.Error(), http.StatusBadRequest)
 		return
 	}
-	feed := r.PathValue("feed")
 	s.mu.RLock()
 	regs := append([]*regQuery(nil), s.feeds[feed]...)
 	s.mu.RUnlock()
 	if len(regs) == 0 {
-		http.Error(w, fmt.Sprintf("feed %q has no registered queries", feed), http.StatusNotFound)
+		http.Error(sw, fmt.Sprintf("feed %q has no registered queries", feed), http.StatusNotFound)
 		return
 	}
+	nq = len(regs)
 	qs := make([]*xpe.Query, len(regs))
 	for i, rq := range regs {
 		qs[i] = rq.q
@@ -814,11 +893,11 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 		// Cheap pre-admission refusal while the breaker is open: a broken
 		// feed must not consume queue slots other feeds could use.
 		if open, retry := br.rejectedNow(); open {
-			s.refuseBrokenFeed(w, feed, retry)
+			s.refuseBrokenFeed(sw, feed, retry)
 			return
 		}
 	}
-	release := s.admit(w, r, tenantName)
+	release, _ := s.admit(sw, r, tenantName)
 	if release == nil {
 		return
 	}
@@ -828,7 +907,7 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 		// breaker can have opened while this request queued.
 		ok, retry := br.allow()
 		if !ok {
-			s.refuseBrokenFeed(w, feed, retry)
+			s.refuseBrokenFeed(sw, feed, retry)
 			return
 		}
 		inner := opts.OnError
@@ -842,12 +921,15 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.degradeBudgets(&opts)
+	s.applyTelemetry(&opts, rid, tenantName, feed)
 	s.feedRuns.Add(1)
-	write := ndjson(w)
+	write := ndjson(sw)
 	var werr error
-	stats, err := s.opts.Engine.SelectStreamMulti(r.Context(), r.Body, qs, opts,
+	perQuery := make([]int64, len(regs))
+	stats, err = s.opts.Engine.SelectStreamMulti(r.Context(), r.Body, qs, opts,
 		func(m xpe.MultiStreamMatch) error {
 			rq := regs[m.Query]
+			perQuery[m.Query]++
 			werr = write(matchLine{Tenant: rq.Tenant, Query: rq.Name, Record: m.Record,
 				RecordPath: m.RecordPath, Path: m.Path, Term: m.Term})
 			return werr
@@ -857,6 +939,11 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	}
 	if br != nil {
 		br.finish(err == nil && stats.Skipped == 0 && stats.TimedOut == 0)
+	}
+	if s.rollups != nil {
+		for i, n := range perQuery {
+			s.rollups.queryMatches(regs[i].Tenant, feed, regs[i].Name, n)
+		}
 	}
 	s.finishStream(write, stats, len(qs), err)
 }

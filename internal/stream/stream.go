@@ -117,6 +117,11 @@ type Config struct {
 	// record's trace (the event detail names the record it concerns).
 	// Nil disables trace assembly entirely.
 	Trace *trace.Tracer
+	// RequestID, when non-empty, is stamped onto every RecordTrace the
+	// run commits, correlating record spans with the serving-layer
+	// request that caused them (the X-Request-Id contract in
+	// internal/serve). Inert unless tracing is enabled.
+	RequestID string
 	// SlowThreshold routes records whose split+eval+deliver total meets
 	// or exceeds it to OnSlow (0 disables the slow-record log).
 	SlowThreshold time.Duration
@@ -150,6 +155,7 @@ func (cfg *Config) tracing() bool { return cfg.Trace != nil || cfg.OnSlow != nil
 // callback when it crossed the threshold.
 func commitTrace(cfg *Config, rt trace.RecordTrace) {
 	rt.TotalNS = rt.SplitNS + rt.EvalNS + rt.DeliverNS
+	rt.RequestID = cfg.RequestID
 	cfg.Trace.Commit(rt)
 	if cfg.OnSlow != nil && cfg.SlowThreshold > 0 && rt.TotalNS >= int64(cfg.SlowThreshold) {
 		cfg.OnSlow(rt)

@@ -1,0 +1,391 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint is the strict exposition-format checker shared by the telemetry,
+// debug, and serve test suites. It parses a whole text-exposition page
+// and returns the first violation found (nil for a clean page):
+//
+//   - every line is a well-formed # HELP, # TYPE, or sample line;
+//   - metric and label names match the Prometheus grammar;
+//   - each family is declared (HELP then TYPE) exactly once, with a
+//     known type, before any of its samples, and its samples are
+//     contiguous;
+//   - counter family names end in _total;
+//   - no two samples share a name and label set;
+//   - histogram families carry, per label set, le-increasing cumulative
+//     _bucket series terminated by le="+Inf", plus exactly one _sum and
+//     one _count, with the +Inf bucket equal to _count.
+//
+// Lint is deliberately a validator for pages this package produces, not
+// a general scrape parser: it rejects constructs (bare comments, NaN
+// values, out-of-order families) that a lenient consumer would accept,
+// because in our own output those only ever appear as bugs.
+func Lint(page string) error {
+	l := &linter{
+		seen:   make(map[string]bool),
+		series: make(map[string]bool),
+	}
+	lines := strings.Split(page, "\n")
+	for i, line := range lines {
+		if line == "" {
+			// Only the trailing newline may produce an empty slot.
+			if i != len(lines)-1 {
+				return fmt.Errorf("line %d: empty line inside page", i+1)
+			}
+			continue
+		}
+		if err := l.line(line); err != nil {
+			return fmt.Errorf("line %d: %w", i+1, err)
+		}
+	}
+	return l.endFamily()
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// histSeries accumulates one histogram label set while its family is
+// current, for the cumulative/ordering checks at family end.
+type histSeries struct {
+	les   []float64 // bucket bounds in order of appearance
+	cums  []float64 // cumulative counts in order of appearance
+	sum   *float64
+	count *float64
+}
+
+type linter struct {
+	seen   map[string]bool // family name -> declared (forever)
+	series map[string]bool // name + canonical labels -> sample written
+
+	// current family state
+	cur     string // family name, "" before first declaration
+	curType string
+	helped  bool // saw # HELP for cur, awaiting # TYPE
+	typed   bool // saw # TYPE for cur; samples are legal
+	hist    map[string]*histSeries
+}
+
+func (l *linter) line(s string) error {
+	switch {
+	case strings.HasPrefix(s, "# HELP "):
+		return l.help(strings.TrimPrefix(s, "# HELP "))
+	case strings.HasPrefix(s, "# TYPE "):
+		return l.typeDecl(strings.TrimPrefix(s, "# TYPE "))
+	case strings.HasPrefix(s, "#"):
+		return fmt.Errorf("bare comment %q: only # HELP and # TYPE are produced", s)
+	default:
+		return l.sample(s)
+	}
+}
+
+func (l *linter) help(rest string) error {
+	name, _, ok := strings.Cut(rest, " ")
+	if !ok || name == "" {
+		return fmt.Errorf("malformed # HELP line")
+	}
+	if !metricNameRe.MatchString(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	if err := l.endFamily(); err != nil {
+		return err
+	}
+	if l.seen[name] {
+		return fmt.Errorf("family %s declared twice", name)
+	}
+	l.seen[name] = true
+	l.cur, l.curType, l.helped, l.typed = name, "", true, false
+	return nil
+}
+
+func (l *linter) typeDecl(rest string) error {
+	name, typ, ok := strings.Cut(rest, " ")
+	if !ok {
+		return fmt.Errorf("malformed # TYPE line")
+	}
+	if !l.helped || name != l.cur {
+		return fmt.Errorf("# TYPE %s without immediately preceding # HELP %s", name, name)
+	}
+	switch typ {
+	case "counter", "gauge", "histogram", "untyped":
+	default:
+		return fmt.Errorf("unknown type %q for family %s", typ, name)
+	}
+	if typ == "counter" && !strings.HasSuffix(name, "_total") {
+		return fmt.Errorf("counter family %s does not end in _total", name)
+	}
+	l.curType, l.helped, l.typed = typ, false, true
+	if typ == "histogram" {
+		l.hist = make(map[string]*histSeries)
+	}
+	return nil
+}
+
+func (l *linter) sample(s string) error {
+	name, labels, value, err := parseSample(s)
+	if err != nil {
+		return err
+	}
+	if !l.typed {
+		return fmt.Errorf("sample %s before any complete family declaration", name)
+	}
+	if math.IsNaN(value) {
+		return fmt.Errorf("sample %s has NaN value", name)
+	}
+	key := name + canonicalLabels(labels)
+	if l.series[key] {
+		return fmt.Errorf("duplicate series %s", key)
+	}
+	l.series[key] = true
+
+	if l.curType == "histogram" {
+		return l.histSample(name, labels, value)
+	}
+	if name != l.cur {
+		return fmt.Errorf("sample %s under family %s (families must be contiguous)", name, l.cur)
+	}
+	if l.curType == "counter" && value < 0 {
+		return fmt.Errorf("counter sample %s has negative value %v", name, value)
+	}
+	return nil
+}
+
+func (l *linter) histSample(name string, labels map[string]string, value float64) error {
+	base := l.cur
+	sub := strings.TrimPrefix(name, base)
+	series := func() *histSeries {
+		rest := make(map[string]string, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		k := canonicalLabels(rest)
+		h := l.hist[k]
+		if h == nil {
+			h = &histSeries{}
+			l.hist[k] = h
+		}
+		return h
+	}
+	switch sub {
+	case "_bucket":
+		leStr, ok := labels["le"]
+		if !ok {
+			return fmt.Errorf("%s_bucket sample without le label", base)
+		}
+		le := math.Inf(1)
+		if leStr != "+Inf" {
+			var err error
+			le, err = strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("%s_bucket has unparsable le=%q", base, leStr)
+			}
+		}
+		h := series()
+		h.les = append(h.les, le)
+		h.cums = append(h.cums, value)
+	case "_sum":
+		h := series()
+		if h.sum != nil {
+			return fmt.Errorf("%s_sum repeated for one label set", base)
+		}
+		h.sum = &value
+	case "_count":
+		h := series()
+		if h.count != nil {
+			return fmt.Errorf("%s_count repeated for one label set", base)
+		}
+		h.count = &value
+	default:
+		return fmt.Errorf("sample %s under histogram family %s (want %s_bucket/_sum/_count)", name, base, base)
+	}
+	return nil
+}
+
+// endFamily runs the whole-family checks that need every sample in hand
+// (histogram bucket ordering and completeness). Called when the next
+// family is declared and at end of page.
+func (l *linter) endFamily() error {
+	if l.helped {
+		return fmt.Errorf("family %s has # HELP but no # TYPE", l.cur)
+	}
+	if l.curType != "histogram" {
+		return nil
+	}
+	keys := make([]string, 0, len(l.hist))
+	for k := range l.hist {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := l.hist[k]
+		if len(h.les) == 0 {
+			return fmt.Errorf("histogram %s%s has no _bucket series", l.cur, k)
+		}
+		for i := 1; i < len(h.les); i++ {
+			if h.les[i] <= h.les[i-1] {
+				return fmt.Errorf("histogram %s%s buckets not le-increasing (le=%v after le=%v)", l.cur, k, h.les[i], h.les[i-1])
+			}
+			if h.cums[i] < h.cums[i-1] {
+				return fmt.Errorf("histogram %s%s buckets not cumulative (%v after %v)", l.cur, k, h.cums[i], h.cums[i-1])
+			}
+		}
+		if !math.IsInf(h.les[len(h.les)-1], 1) {
+			return fmt.Errorf("histogram %s%s missing le=\"+Inf\" terminal bucket", l.cur, k)
+		}
+		if h.sum == nil {
+			return fmt.Errorf("histogram %s%s missing _sum", l.cur, k)
+		}
+		if h.count == nil {
+			return fmt.Errorf("histogram %s%s missing _count", l.cur, k)
+		}
+		if got := h.cums[len(h.cums)-1]; got != *h.count {
+			return fmt.Errorf("histogram %s%s +Inf bucket %v != _count %v", l.cur, k, got, *h.count)
+		}
+	}
+	l.hist = nil
+	return nil
+}
+
+// parseSample splits a sample line into name, labels, and value.
+func parseSample(s string) (string, map[string]string, float64, error) {
+	nameEnd := strings.IndexAny(s, "{ ")
+	if nameEnd <= 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample line %q", s)
+	}
+	name := s[:nameEnd]
+	if !metricNameRe.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := s[nameEnd:]
+	var labels map[string]string
+	if rest[0] == '{' {
+		var err error
+		labels, rest, err = parseLabels(rest[1:])
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("sample %s: %w", name, err)
+		}
+	}
+	if len(rest) == 0 || rest[0] != ' ' {
+		return "", nil, 0, fmt.Errorf("sample %s: missing value separator", name)
+	}
+	valStr := rest[1:]
+	if valStr == "" || strings.ContainsAny(valStr, " \t") {
+		return "", nil, 0, fmt.Errorf("sample %s: malformed value %q", name, valStr)
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %s: unparsable value %q", name, valStr)
+	}
+	return name, labels, v, nil
+}
+
+// parseLabels consumes a label list after the opening brace, returning
+// the labels and the unconsumed tail (starting after the closing brace).
+func parseLabels(s string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	for {
+		if len(s) == 0 {
+			return nil, "", fmt.Errorf("unterminated label list")
+		}
+		if s[0] == '}' {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, "", fmt.Errorf("malformed label pair near %q", s)
+		}
+		name := s[:eq]
+		if !labelNameRe.MatchString(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, "", fmt.Errorf("label %s: unquoted value", name)
+		}
+		val, rest, err := parseQuoted(s[1:])
+		if err != nil {
+			return nil, "", fmt.Errorf("label %s: %w", name, err)
+		}
+		labels[name] = val
+		s = rest
+		switch {
+		case len(s) == 0:
+			return nil, "", fmt.Errorf("unterminated label list")
+		case s[0] == ',':
+			s = s[1:]
+		case s[0] == '}':
+			// handled at loop top
+		default:
+			return nil, "", fmt.Errorf("unexpected %q after label %s", s[0], name)
+		}
+	}
+}
+
+// parseQuoted consumes an escaped label value after the opening quote.
+func parseQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("trailing backslash")
+			}
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("invalid escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted value")
+}
+
+// canonicalLabels renders a label set in sorted-key order, for series
+// identity ("" for the empty set).
+func canonicalLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(labels[k])
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}

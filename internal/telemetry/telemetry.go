@@ -1,0 +1,253 @@
+// Package telemetry renders the engine's instrumentation in Prometheus
+// text exposition format (version 0.0.4) — the "make the daemon operable
+// by an outside observer" layer over internal/metrics.
+//
+// The package is a renderer, not a registry: internal/metrics owns the
+// atomic cells, this package turns their snapshots (and any caller-held
+// counters, e.g. internal/serve's rollups) into the line protocol every
+// scraper understands. A Writer accumulates nothing — lines stream
+// straight to the underlying io.Writer — so a scrape costs one pass over
+// the snapshot plus formatting, never a second copy of the counters.
+//
+// Conventions follow the Prometheus exposition contract:
+//
+//   - cumulative counters end in _total and are typed "counter";
+//     point-in-time values are typed "gauge" (see the serve.Stats
+//     hygiene notes in internal/serve).
+//   - durations are seconds (float64), converting the engine's
+//     nanosecond cells at render time.
+//   - the log2-bucket histograms of internal/metrics render as
+//     cumulative <name>_bucket{le="<seconds>"} series (only the occupied
+//     buckets plus the mandatory le="+Inf"), with <name>_sum in seconds
+//     and <name>_count. Buckets are cumulative and le-ordered — the
+//     strict parser in Lint pins this.
+//   - label values are escaped (backslash, double quote, newline), HELP
+//     text likewise (backslash, newline).
+//
+// Lint is the strict format checker the test suites share: it parses a
+// whole exposition page and rejects malformed lines, samples without
+// declarations, type mismatches, and non-cumulative or mis-ordered
+// histograms.
+package telemetry
+
+import (
+	"io"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"xpe/internal/metrics"
+)
+
+// Writer streams one exposition page. Errors are sticky: the first write
+// failure is retained and every later call is a no-op, so callers check
+// Err once at the end instead of at every sample.
+type Writer struct {
+	w   io.Writer
+	err error
+	// buf assembles one sample line at a time; it is recycled across
+	// samples so a scrape's allocation cost is one small slice, not one
+	// per line. The writer keeps no per-family state — callers write each
+	// family's declaration immediately before its samples (Lint audits
+	// the result in the test suites).
+	buf []byte
+}
+
+// NewWriter returns a Writer streaming to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err returns the first underlying write error, nil if all writes
+// succeeded.
+func (t *Writer) Err() error { return t.err }
+
+func (t *Writer) writeString(s string) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = io.WriteString(t.w, s)
+}
+
+func (t *Writer) flushBuf() {
+	if t.err != nil {
+		return
+	}
+	_, t.err = t.w.Write(t.buf)
+	t.buf = t.buf[:0]
+}
+
+// escapeHelp escapes a HELP string (backslash and newline).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer("\\", `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeLabel escapes a label value (backslash, double quote, newline).
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer("\\", `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// Family declares a metric family: one # HELP and one # TYPE line. Call
+// it once, immediately before the family's Sample calls; typ is
+// "counter", "gauge", "histogram", or "untyped".
+func (t *Writer) Family(name, help, typ string) {
+	t.writeString("# HELP " + name + " " + escapeHelp(help) + "\n# TYPE " + name + " " + typ + "\n")
+}
+
+// formatValue renders a sample value: integers exactly, floats in the
+// shortest round-trippable form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Sample writes one series sample of the most recently declared family.
+// labels alternate name, value ("tenant", "t1", "feed", "prices"); an
+// empty list writes the bare metric name.
+func (t *Writer) Sample(name string, value float64, labels ...string) {
+	if t.err != nil {
+		return
+	}
+	t.buf = append(t.buf, name...)
+	t.buf = appendLabels(t.buf, labels)
+	t.buf = append(t.buf, ' ')
+	t.buf = append(t.buf, formatValue(value)...)
+	t.buf = append(t.buf, '\n')
+	t.flushBuf()
+}
+
+func appendLabels(buf []byte, labels []string) []byte {
+	if len(labels) == 0 {
+		return buf
+	}
+	buf = append(buf, '{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, labels[i]...)
+		buf = append(buf, '=', '"')
+		buf = append(buf, escapeLabel(labels[i+1])...)
+		buf = append(buf, '"')
+	}
+	return append(buf, '}')
+}
+
+// Counter declares a single-series counter family and writes its one
+// sample — the convenience form for unlabelled cumulative counters.
+func (t *Writer) Counter(name, help string, value int64, labels ...string) {
+	t.Family(name, help, "counter")
+	t.Sample(name, float64(value), labels...)
+}
+
+// Gauge declares a single-series gauge family and writes its one sample.
+func (t *Writer) Gauge(name, help string, value float64, labels ...string) {
+	t.Family(name, help, "gauge")
+	t.Sample(name, value, labels...)
+}
+
+// HistogramFamily declares a histogram family; attach series with
+// HistogramSeries (one per label set).
+func (t *Writer) HistogramFamily(name, help string) {
+	t.Family(name, help, "histogram")
+}
+
+// HistogramSeries renders one histogram snapshot as cumulative
+// _bucket/_sum/_count series under the given label set. Bucket bounds
+// convert from the engine's power-of-two nanoseconds to seconds; only
+// occupied buckets are written (plus the mandatory le="+Inf"), so the
+// page size tracks the latency spread, not the 44-bucket layout.
+func (t *Writer) HistogramSeries(name string, h metrics.HistogramSnapshot, labels ...string) {
+	if t.err != nil {
+		return
+	}
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		le := strconv.FormatFloat(float64(b.LeNs)/1e9, 'g', -1, 64)
+		t.Sample(name+"_bucket", float64(cum), append(append([]string(nil), labels...), "le", le)...)
+	}
+	t.Sample(name+"_bucket", float64(h.Count), append(append([]string(nil), labels...), "le", "+Inf")...)
+	t.Sample(name+"_sum", float64(h.SumNs)/1e9, labels...)
+	t.Sample(name+"_count", float64(h.Count), labels...)
+}
+
+// Histogram declares a single-series histogram family and renders its one
+// snapshot.
+func (t *Writer) Histogram(name, help string, h metrics.HistogramSnapshot, labels ...string) {
+	t.HistogramFamily(name, help)
+	t.HistogramSeries(name, h, labels...)
+}
+
+// seconds converts an engine nanosecond total to seconds.
+func seconds(ns int64) float64 { return float64(ns) / 1e9 }
+
+// AppendEngine renders an engine metrics snapshot: evaluation counters,
+// compiled-query cache traffic, splitter counters, stream stage timings
+// (as _seconds_total/_ops_total counter pairs keyed by a stage label),
+// and the per-record latency histogram. Families are stable across
+// scrapes; only values move.
+func AppendEngine(t *Writer, s metrics.Snapshot) {
+	t.Counter("xpe_eval_docs_total", "Evaluations flushed: whole documents, bulk entries, or streamed records.", s.Eval.Docs)
+	t.Counter("xpe_eval_nodes_visited_total", "Nodes visited by the Algorithm 1 traversals.", s.Eval.NodesVisited)
+	t.Counter("xpe_eval_marks_emitted_total", "Located nodes emitted.", s.Eval.MarksEmitted)
+	t.Counter("xpe_eval_transitions_total", "Automaton transitions taken (membership DFA, mirror, marking).", s.Eval.Transitions)
+	t.Counter("xpe_eval_lazy_states_built_total", "Determinization states materialized on demand by lazy compilation.", s.Eval.LazyStates)
+	t.Counter("xpe_eval_lazy_cache_hits_total", "Lazy transition-cache hits.", s.Eval.LazyHits)
+	t.Counter("xpe_eval_lazy_evictions_total", "Budget-forced lazy transition-cache evictions.", s.Eval.LazyEvictions)
+
+	t.Counter("xpe_cache_hits_total", "Compiled-query cache hits (generation-forced recompiles served from cache).", s.Cache.Hits)
+	t.Counter("xpe_cache_misses_total", "Compiled-query cache misses (full recompiles).", s.Cache.Misses)
+	t.Counter("xpe_cache_evictions_total", "Compiled-query cache LRU evictions.", s.Cache.Evictions)
+
+	t.Counter("xpe_split_records_total", "Records split off the input stream.", s.Split.Records)
+	t.Counter("xpe_split_nodes_total", "Nodes across split records.", s.Split.Nodes)
+	t.Counter("xpe_split_bytes_total", "Input bytes consumed by the XML decoder.", s.Split.Bytes)
+	t.Counter("xpe_split_arena_nodes_reused_total", "Nodes served from recycled arena chunks (no allocation).", s.Split.ArenaNodesReused)
+	t.Counter("xpe_split_arena_chunk_allocs_total", "Fresh arena chunk allocations.", s.Split.ArenaChunkAllocs)
+	t.Counter("xpe_split_records_prefiltered_total", "Records skipped whole by the raw-byte prefilter skim.", s.Split.RecordsPrefiltered)
+
+	t.Counter("xpe_stream_runs_total", "Streaming runs started.", s.Stream.Runs)
+	t.Gauge("xpe_stream_workers", "Worker count of the most recent streaming run (gauge).", float64(s.Stream.Workers))
+	t.Counter("xpe_stream_records_skipped_total", "Failed records dropped by a Skip error policy.", s.Stream.RecordsSkipped)
+	t.Counter("xpe_stream_records_timed_out_total", "Records over their RecordTimeout budget.", s.Stream.RecordsTimedOut)
+	t.Counter("xpe_stream_panics_recovered_total", "Record evaluations that panicked and were converted to errors.", s.Stream.PanicsRecovered)
+
+	t.Family("xpe_stream_stage_seconds_total", "Cumulative per-stage wall time of the streaming pipeline, in seconds.", "counter")
+	t.Sample("xpe_stream_stage_seconds_total", seconds(s.Stream.SplitTime.TotalNs), "stage", "split")
+	t.Sample("xpe_stream_stage_seconds_total", seconds(s.Stream.EvalTime.TotalNs), "stage", "eval")
+	t.Sample("xpe_stream_stage_seconds_total", seconds(s.Stream.DeliverTime.TotalNs), "stage", "deliver")
+	t.Sample("xpe_stream_stage_seconds_total", seconds(s.Stream.WallTime.TotalNs), "stage", "wall")
+	t.Family("xpe_stream_stage_ops_total", "Cumulative per-stage operation counts of the streaming pipeline.", "counter")
+	t.Sample("xpe_stream_stage_ops_total", float64(s.Stream.SplitTime.Count), "stage", "split")
+	t.Sample("xpe_stream_stage_ops_total", float64(s.Stream.EvalTime.Count), "stage", "eval")
+	t.Sample("xpe_stream_stage_ops_total", float64(s.Stream.DeliverTime.Count), "stage", "deliver")
+	t.Sample("xpe_stream_stage_ops_total", float64(s.Stream.WallTime.Count), "stage", "wall")
+
+	t.Gauge("xpe_stream_worker_occupancy", "Fraction of worker wall time spent evaluating: eval / (wall x workers) (gauge).", s.Stream.WorkerOccupancy)
+	t.Histogram("xpe_stream_record_latency_seconds", "Per-record evaluation latency.", s.Stream.RecordLatency)
+}
+
+// AppendRuntime renders process runtime gauges: goroutines, GOMAXPROCS,
+// heap occupancy, and GC activity. These are the "is the process healthy"
+// series every scrape wants next to the engine counters.
+func AppendRuntime(t *Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	t.Gauge("xpe_go_goroutines", "Current goroutine count (gauge).", float64(runtime.NumGoroutine()))
+	t.Gauge("xpe_go_gomaxprocs", "GOMAXPROCS (gauge).", float64(runtime.GOMAXPROCS(0)))
+	t.Gauge("xpe_go_heap_alloc_bytes", "Bytes of allocated heap objects (gauge).", float64(ms.HeapAlloc))
+	t.Gauge("xpe_go_heap_sys_bytes", "Bytes of heap obtained from the OS (gauge).", float64(ms.HeapSys))
+	t.Counter("xpe_go_alloc_bytes_total", "Cumulative bytes allocated for heap objects.", int64(ms.TotalAlloc))
+	t.Counter("xpe_go_gc_cycles_total", "Completed GC cycles.", int64(ms.NumGC))
+	t.Gauge("xpe_go_next_gc_bytes", "Heap size target of the next GC cycle (gauge).", float64(ms.NextGC))
+}

@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"xpe/internal/metrics"
+)
+
+func page(fn func(t *Writer)) string {
+	var b strings.Builder
+	w := NewWriter(&b)
+	fn(w)
+	if err := w.Err(); err != nil {
+		panic(err)
+	}
+	return b.String()
+}
+
+func TestSampleRendering(t *testing.T) {
+	cases := []struct {
+		name   string
+		value  float64
+		labels []string
+		want   string
+	}{
+		{"xpe_plain", 7, nil, "xpe_plain 7\n"},
+		{"xpe_neg", -3, nil, "xpe_neg -3\n"},
+		{"xpe_float", 0.25, nil, "xpe_float 0.25\n"},
+		{"xpe_big", 1e21, nil, "xpe_big 1e+21\n"},
+		{"xpe_lbl", 1, []string{"tenant", "t1", "feed", "prices"}, `xpe_lbl{tenant="t1",feed="prices"} 1` + "\n"},
+		{"xpe_esc", 1, []string{"q", "a\"b\\c\nd"}, `xpe_esc{q="a\"b\\c\nd"} 1` + "\n"},
+	}
+	for _, c := range cases {
+		got := page(func(w *Writer) { w.Sample(c.name, c.value, c.labels...) })
+		if got != c.want {
+			t.Errorf("Sample(%s): got %q want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestFamilyEscapesHelp(t *testing.T) {
+	got := page(func(w *Writer) { w.Family("xpe_x_total", "line\nbreak \\ slash", "counter") })
+	want := "# HELP xpe_x_total line\\nbreak \\\\ slash\n# TYPE xpe_x_total counter\n"
+	if got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestHistogramSeriesCumulative(t *testing.T) {
+	h := metrics.HistogramSnapshot{
+		Count: 6,
+		SumNs: 1_500_000_000,
+		Buckets: []metrics.Bucket{
+			{LeNs: 1 << 10, Le: "le_1us", Count: 2},
+			{LeNs: 1 << 20, Le: "le_1ms", Count: 3},
+		},
+	}
+	got := page(func(w *Writer) { w.Histogram("xpe_lat_seconds", "Latency.", h, "feed", "f") })
+	want := strings.Join([]string{
+		"# HELP xpe_lat_seconds Latency.",
+		"# TYPE xpe_lat_seconds histogram",
+		`xpe_lat_seconds_bucket{feed="f",le="1.024e-06"} 2`,
+		`xpe_lat_seconds_bucket{feed="f",le="0.001048576"} 5`,
+		`xpe_lat_seconds_bucket{feed="f",le="+Inf"} 6`,
+		`xpe_lat_seconds_sum{feed="f"} 1.5`,
+		`xpe_lat_seconds_count{feed="f"} 6`,
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("histogram page:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if err := Lint(got); err != nil {
+		t.Fatalf("Lint: %v", err)
+	}
+}
+
+// TestAppendEngineLints exercises the full engine + runtime render over a
+// populated registry and pins that the page passes the strict parser.
+func TestAppendEngineLints(t *testing.T) {
+	var m metrics.Metrics
+	m.Eval.Docs.Add(10)
+	m.Eval.Nodes.Add(1000)
+	m.Eval.Marks.Add(42)
+	m.Eval.Transitions.Add(5000)
+	m.Eval.LazyStates.Add(7)
+	m.Cache.Hits.Add(3)
+	m.Cache.Misses.Add(1)
+	m.Split.Records.Add(10)
+	m.Split.Nodes.Add(1000)
+	m.Split.Bytes.Add(65536)
+	m.Split.RecordsPrefiltered.Add(4)
+	m.Stream.Runs.Inc()
+	m.Stream.Workers.Set(4)
+	m.Stream.SplitTime.Add(10, 1_000_000)
+	m.Stream.EvalTime.Add(10, 2_000_000)
+	m.Stream.DeliverTime.Add(10, 500_000)
+	m.Stream.WallTime.Add(1, 3_000_000)
+	for _, d := range []time.Duration{time.Microsecond, 50 * time.Microsecond, 2 * time.Millisecond, 2 * time.Millisecond} {
+		m.Stream.RecordLatency.Observe(d)
+	}
+
+	got := page(func(w *Writer) {
+		AppendEngine(w, m.Snapshot())
+		AppendRuntime(w)
+	})
+	if err := Lint(got); err != nil {
+		t.Fatalf("Lint(engine+runtime page): %v\npage:\n%s", err, got)
+	}
+	for _, want := range []string{
+		"xpe_eval_docs_total 10\n",
+		"xpe_eval_nodes_visited_total 1000\n",
+		"xpe_cache_hits_total 3\n",
+		"xpe_split_records_prefiltered_total 4\n",
+		"xpe_stream_workers 4\n",
+		`xpe_stream_stage_seconds_total{stage="eval"} 0.002` + "\n",
+		`xpe_stream_stage_ops_total{stage="wall"} 1` + "\n",
+		"xpe_stream_record_latency_seconds_count 4\n",
+		"# TYPE xpe_go_goroutines gauge\n",
+		"# TYPE xpe_go_gc_cycles_total counter\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(failWriter{})
+	w.Counter("xpe_x_total", "x", 1)
+	w.Gauge("xpe_y", "y", 2)
+	if w.Err() == nil {
+		t.Fatal("expected sticky error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) {
+	return 0, errShort
+}
+
+var errShort = &shortErr{}
+
+type shortErr struct{}
+
+func (*shortErr) Error() string { return "short write" }
+
+func TestLintAcceptsHandcraftedPage(t *testing.T) {
+	good := strings.Join([]string{
+		"# HELP a_total A counter.",
+		"# TYPE a_total counter",
+		"a_total 5",
+		"# HELP b B gauge.",
+		"# TYPE b gauge",
+		`b{x="1"} -2.5`,
+		`b{x="2"} 0`,
+		"# HELP h H histogram.",
+		"# TYPE h histogram",
+		`h_bucket{le="0.1"} 1`,
+		`h_bucket{le="+Inf"} 3`,
+		"h_sum 0.7",
+		"h_count 3",
+		"",
+	}, "\n")
+	if err := Lint(good); err != nil {
+		t.Fatalf("Lint(good page): %v", err)
+	}
+}
+
+func TestLintRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		page string
+		want string
+	}{
+		{"sample-before-declaration", "a_total 1\n", "before any complete family"},
+		{"bare-comment", "# a comment\n", "bare comment"},
+		{"help-without-type", "# HELP a A.\na 1\n", "before any complete family"},
+		{"unknown-type", "# HELP a A.\n# TYPE a summary\n", "unknown type"},
+		{"counter-without-total", "# HELP a A.\n# TYPE a counter\n", "does not end in _total"},
+		{"duplicate-family", "# HELP a A.\n# TYPE a gauge\na 1\n# HELP a A.\n# TYPE a gauge\na 2\n", "declared twice"},
+		{"duplicate-series", "# HELP a A.\n# TYPE a gauge\na{x=\"1\"} 1\na{x=\"1\"} 2\n", "duplicate series"},
+		{"foreign-sample", "# HELP a A.\n# TYPE a gauge\nzzz 1\n", "under family"},
+		{"negative-counter", "# HELP a_total A.\n# TYPE a_total counter\na_total -1\n", "negative value"},
+		{"nan-value", "# HELP a A.\n# TYPE a gauge\na NaN\n", "NaN"},
+		{"bad-escape", "# HELP a A.\n# TYPE a gauge\na{x=\"\\t\"} 1\n", "invalid escape"},
+		{"unterminated-labels", "# HELP a A.\n# TYPE a gauge\na{x=\"1\" 1\n", "unexpected"},
+		{"unterminated-labels-eol", "# HELP a A.\n# TYPE a gauge\na{x=\"1\"\n", "unterminated"},
+		{"bad-value", "# HELP a A.\n# TYPE a gauge\na one\n", "unparsable value"},
+		{"hist-no-inf", "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n", "+Inf"},
+		{"hist-not-cumulative", "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n", "not cumulative"},
+		{"hist-le-order", "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n", "not le-increasing"},
+		{"hist-count-mismatch", "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n", "!= _count"},
+		{"hist-missing-sum", "# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n", "missing _sum"},
+		{"hist-stray-sample", "# HELP h H.\n# TYPE h histogram\nh_oops 1\n", "want h_bucket"},
+		{"empty-line", "# HELP a A.\n\n# TYPE a gauge\na 1\n", "empty line"},
+	}
+	for _, c := range cases {
+		err := Lint(c.page)
+		if err == nil {
+			t.Errorf("%s: Lint accepted bad page", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}

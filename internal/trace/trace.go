@@ -46,6 +46,10 @@ type RecordTrace struct {
 	// (streamed records share one query; repeating it per record would
 	// be noise).
 	Query string `json:"query,omitempty"`
+	// RequestID correlates the trace with the serving-layer request
+	// that caused the run (the X-Request-Id contract in internal/serve);
+	// "" for library runs that set none.
+	RequestID string `json:"request_id,omitempty"`
 	// SplitNS / EvalNS / DeliverNS are the stage span durations;
 	// TotalNS is their sum (the figure slow-record routing compares
 	// against the threshold).

@@ -104,6 +104,12 @@ type SelectOptions struct {
 	// aborting — with stage timings and any splitter recovery events.
 	// Tracing costs two clock reads per stage per record while attached.
 	Trace *FlightRecorder
+	// RequestID, when non-empty, is stamped onto every RecordTrace this
+	// run commits and onto the slow-record log lines, correlating record
+	// spans with the request that caused the run. The serving layer sets
+	// it from the X-Request-Id header; library callers may use any
+	// correlation token. Inert when no tracing is enabled.
+	RequestID string
 	// SlowRecordThreshold enables the slow-record log: every record whose
 	// split+eval+deliver total meets or exceeds the threshold is routed to
 	// OnSlowRecord (0 disables). The threshold works without a recorder
@@ -271,6 +277,7 @@ func (e *Engine) selectStream(ctx context.Context, r io.Reader, qs []*Query, opt
 		KeepWhitespace: opts.KeepWhitespace,
 		Prefilter:      opts.Prefilter,
 		Metrics:        e.metrics,
+		RequestID:      opts.RequestID,
 		Explain:        opts.Explain,
 	}
 	// Tracing: the per-run recorder wins; the engine-wide one is the

@@ -77,7 +77,7 @@ func (e *Engine) FlightRecorder() *FlightRecorder { return e.recorder.Load() }
 // logSlowRecord is the default slow-record sink: a structured warning
 // through the process-wide slog logger.
 func logSlowRecord(rt RecordTrace) {
-	slog.Warn("xpe: slow record",
+	args := []any{
 		"record", rt.Index,
 		"path", rt.Path,
 		"total_ns", rt.TotalNS,
@@ -86,5 +86,10 @@ func logSlowRecord(rt RecordTrace) {
 		"deliver_ns", rt.DeliverNS,
 		"nodes", rt.Nodes,
 		"matches", rt.Matches,
-		"outcome", rt.Outcome)
+		"outcome", rt.Outcome,
+	}
+	if rt.RequestID != "" {
+		args = append(args, "request_id", rt.RequestID)
+	}
+	slog.Warn("xpe: slow record", args...)
 }

@@ -163,6 +163,43 @@ func TestSelectStreamTrace(t *testing.T) {
 	}
 }
 
+// TestSelectStreamRequestID pins the correlation contract: a RequestID
+// set on the options is stamped onto every committed trace (both the
+// sequential and parallel collectors) and onto slow-record routing.
+func TestSelectStreamRequestID(t *testing.T) {
+	eng, q := streamEngine(t)
+	for _, workers := range []int{1, 4} {
+		fr := NewFlightRecorder(16)
+		var slow []RecordTrace
+		stats, err := eng.SelectStream(context.Background(), strings.NewReader(streamCorpus), q,
+			SelectOptions{
+				Workers:             workers,
+				Trace:               fr,
+				RequestID:           "req-abc123",
+				SlowRecordThreshold: time.Nanosecond,
+				OnSlowRecord:        func(rt RecordTrace) { slow = append(slow, rt) },
+			},
+			func(StreamMatch) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces := fr.Traces()
+		if int64(len(traces)) != stats.Records {
+			t.Fatalf("workers=%d: %d traces for %d records", workers, len(traces), stats.Records)
+		}
+		for i, rt := range traces {
+			if rt.RequestID != "req-abc123" {
+				t.Errorf("workers=%d: trace %d request id %q, want req-abc123", workers, i, rt.RequestID)
+			}
+		}
+		for i, rt := range slow {
+			if rt.RequestID != "req-abc123" {
+				t.Errorf("workers=%d: slow trace %d request id %q, want req-abc123", workers, i, rt.RequestID)
+			}
+		}
+	}
+}
+
 func TestSelectStreamSlowRecordCallback(t *testing.T) {
 	eng, q := streamEngine(t)
 	var slow []RecordTrace
